@@ -1,0 +1,94 @@
+//! Sting's error type: UNIX-flavoured file system errors layered over
+//! Swarm storage errors.
+
+use std::fmt;
+
+use swarm_types::SwarmError;
+
+/// Result alias for Sting operations.
+pub type StingResult<T> = std::result::Result<T, StingError>;
+
+/// File system errors (the usual POSIX suspects) plus storage errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StingError {
+    /// Path component or file does not exist (ENOENT).
+    NotFound(String),
+    /// Path already exists (EEXIST).
+    AlreadyExists(String),
+    /// A non-final path component is not a directory (ENOTDIR).
+    NotADirectory(String),
+    /// Directory where a file was expected (EISDIR).
+    IsADirectory(String),
+    /// rmdir of a non-empty directory (ENOTEMPTY).
+    DirectoryNotEmpty(String),
+    /// Malformed path (empty, no leading '/', embedded NUL, …).
+    InvalidPath(String),
+    /// Operation on a stale or closed file handle (EBADF).
+    BadHandle,
+    /// File would exceed the maximum size Sting supports.
+    FileTooLarge {
+        /// Requested size.
+        requested: u64,
+        /// Maximum supported.
+        max: u64,
+    },
+    /// Refusing to unlink/rename "." or the root.
+    Busy(String),
+    /// The underlying Swarm storage failed.
+    Storage(SwarmError),
+}
+
+impl fmt::Display for StingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StingError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            StingError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            StingError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            StingError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            StingError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            StingError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            StingError::BadHandle => write!(f, "bad file handle"),
+            StingError::FileTooLarge { requested, max } => {
+                write!(f, "file too large: {requested} bytes (max {max})")
+            }
+            StingError::Busy(p) => write!(f, "resource busy: {p}"),
+            StingError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StingError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SwarmError> for StingError {
+    fn from(e: SwarmError) -> Self {
+        StingError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StingError::NotFound("/a/b".into())
+            .to_string()
+            .contains("/a/b"));
+        let e: StingError = SwarmError::corrupt("bad").into();
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StingError>();
+    }
+}

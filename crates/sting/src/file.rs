@@ -1,0 +1,409 @@
+//! Handle-based file I/O: the `open`/`read`/`write`/`seek` face of the
+//! "standard UNIX file system interface" the paper promises (§3.1),
+//! layered over the path-based core.
+//!
+//! Handles follow the UNIX model where it matters for a local FS:
+//! per-handle cursors, `O_APPEND`-style append mode, truncate-on-open,
+//! and the classic "unlinked but open" behaviour *approximated* as:
+//! the handle stays usable for reads of already-written data while the
+//! inode survives (Sting drops inodes at nlink 0, so handle I/O after
+//! unlink reports [`StingError::BadHandle`] — documented divergence).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{StingError, StingResult};
+use crate::fs::StingFs;
+
+/// Options controlling [`StingFs::open`]-style behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenOptions {
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// Every write goes to the end of the file, ignoring the cursor.
+    pub append: bool,
+}
+
+impl OpenOptions {
+    /// Read/write an existing file.
+    pub fn new() -> OpenOptions {
+        OpenOptions::default()
+    }
+
+    /// Sets create-if-missing.
+    pub fn create(mut self, yes: bool) -> OpenOptions {
+        self.create = yes;
+        self
+    }
+
+    /// Sets truncate-on-open.
+    pub fn truncate(mut self, yes: bool) -> OpenOptions {
+        self.truncate = yes;
+        self
+    }
+
+    /// Sets append mode.
+    pub fn append(mut self, yes: bool) -> OpenOptions {
+        self.append = yes;
+        self
+    }
+}
+
+/// An open file: a cursor over an inode.
+pub struct File {
+    fs: Arc<StingFs>,
+    ino: u64,
+    pos: Mutex<u64>,
+    append: bool,
+}
+
+impl std::fmt::Debug for File {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("File")
+            .field("ino", &self.ino)
+            .field("pos", &*self.pos.lock())
+            .field("append", &self.append)
+            .finish()
+    }
+}
+
+/// Where a [`File::seek`] is measured from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// From the start of the file.
+    Start(u64),
+    /// Relative to the current cursor.
+    Current(i64),
+    /// Relative to the end of the file.
+    End(i64),
+}
+
+impl File {
+    pub(crate) fn open_at(
+        fs: Arc<StingFs>,
+        path: &str,
+        options: OpenOptions,
+    ) -> StingResult<File> {
+        if options.create && !fs.exists(path) {
+            fs.create(path)?;
+        }
+        let st = fs.stat(path)?;
+        if st.is_dir {
+            return Err(StingError::IsADirectory(path.into()));
+        }
+        if options.truncate {
+            fs.truncate(path, 0)?;
+        }
+        Ok(File {
+            fs,
+            ino: st.ino,
+            pos: Mutex::new(0),
+            append: options.append,
+        })
+    }
+
+    /// The inode this handle refers to.
+    pub fn ino(&self) -> u64 {
+        self.ino
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> u64 {
+        *self.pos.lock()
+    }
+
+    /// Current file size.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::BadHandle`] if the inode no longer exists.
+    pub fn len(&self) -> StingResult<u64> {
+        self.fs.ino_size(self.ino)
+    }
+
+    /// `true` if the file is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`File::len`].
+    pub fn is_empty(&self) -> StingResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Reads up to `len` bytes at the cursor, advancing it. Returns fewer
+    /// bytes at EOF, empty at/after EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::BadHandle`] and storage errors.
+    pub fn read(&self, len: usize) -> StingResult<Vec<u8>> {
+        let mut pos = self.pos.lock();
+        let data = self.fs.read_ino(self.ino, *pos, len)?;
+        *pos += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Reads `len` bytes at `offset` without touching the cursor.
+    ///
+    /// # Errors
+    ///
+    /// As [`File::read`].
+    pub fn read_at(&self, offset: u64, len: usize) -> StingResult<Vec<u8>> {
+        self.fs.read_ino(self.ino, offset, len)
+    }
+
+    /// Writes at the cursor (or at EOF in append mode), advancing the
+    /// cursor past the written bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`File::read`] plus [`StingError::FileTooLarge`].
+    pub fn write(&self, data: &[u8]) -> StingResult<usize> {
+        let mut pos = self.pos.lock();
+        let at = if self.append {
+            self.fs.ino_size(self.ino)?
+        } else {
+            *pos
+        };
+        let n = self.fs.write_ino(self.ino, at, data)?;
+        *pos = at + n as u64;
+        Ok(n)
+    }
+
+    /// Writes at `offset` without touching the cursor.
+    ///
+    /// # Errors
+    ///
+    /// As [`File::write`].
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> StingResult<usize> {
+        self.fs.write_ino(self.ino, offset, data)
+    }
+
+    /// Moves the cursor; returns the new position.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::InvalidPath`] if the resulting position would be
+    /// negative, [`StingError::BadHandle`] for `End` on a dead inode.
+    pub fn seek(&self, whence: Whence) -> StingResult<u64> {
+        let mut pos = self.pos.lock();
+        let new = match whence {
+            Whence::Start(n) => n as i128,
+            Whence::Current(d) => *pos as i128 + d as i128,
+            Whence::End(d) => self.fs.ino_size(self.ino)? as i128 + d as i128,
+        };
+        if new < 0 {
+            return Err(StingError::InvalidPath(format!(
+                "seek to negative position {new}"
+            )));
+        }
+        *pos = new as u64;
+        Ok(*pos)
+    }
+
+    /// Flushes the whole file system's pending writes (Sting shares one
+    /// log; `fsync` granularity is the client, as in the prototype).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn sync(&self) -> StingResult<()> {
+        self.fs.flush()
+    }
+}
+
+impl std::io::Read for File {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let data = File::read(self, buf.len())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+}
+
+impl std::io::Write for File {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        File::write(self, buf)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.sync()
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+}
+
+impl std::io::Seek for File {
+    fn seek(&mut self, pos: std::io::SeekFrom) -> std::io::Result<u64> {
+        let whence = match pos {
+            std::io::SeekFrom::Start(n) => Whence::Start(n),
+            std::io::SeekFrom::Current(d) => Whence::Current(d),
+            std::io::SeekFrom::End(d) => Whence::End(d),
+        };
+        File::seek(self, whence)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))
+    }
+}
+
+impl StingFs {
+    /// Opens a file with [`OpenOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::NotFound`] unless `create` is set, plus the usual
+    /// path errors.
+    pub fn open(self: &Arc<Self>, path: &str, options: OpenOptions) -> StingResult<File> {
+        File::open_at(self.clone(), path, options)
+    }
+
+    /// Size of an inode (handle support).
+    pub(crate) fn ino_size(&self, ino: u64) -> StingResult<u64> {
+        let inner = self.inner.lock();
+        inner
+            .inodes
+            .get(&ino)
+            .map(|n| n.size)
+            .ok_or(StingError::BadHandle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_log::{Log, LogConfig};
+    use swarm_net::MemTransport;
+    use swarm_server::{MemStore, StorageServer};
+    use swarm_types::{ClientId, ServerId};
+
+    fn fs() -> Arc<StingFs> {
+        let transport = Arc::new(MemTransport::new());
+        for i in 0..2 {
+            let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            transport.register(ServerId::new(i), srv);
+        }
+        let config = LogConfig::new(ClientId::new(1), vec![ServerId::new(0), ServerId::new(1)])
+            .unwrap()
+            .fragment_size(16 * 1024);
+        let log = Arc::new(Log::create(transport, config).unwrap());
+        StingFs::format(log, crate::fs::StingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn cursor_read_write_roundtrip() {
+        let fs = fs();
+        let f = fs.open("/cursor", OpenOptions::new().create(true)).unwrap();
+        assert_eq!(f.write(b"hello ").unwrap(), 6);
+        assert_eq!(f.write(b"world").unwrap(), 5);
+        assert_eq!(f.position(), 11);
+        f.seek(Whence::Start(0)).unwrap();
+        assert_eq!(f.read(5).unwrap(), b"hello");
+        assert_eq!(f.read(100).unwrap(), b" world");
+        assert!(f.read(10).unwrap().is_empty(), "EOF");
+    }
+
+    #[test]
+    fn append_mode_ignores_cursor() {
+        let fs = fs();
+        let f = fs
+            .open("/log.txt", OpenOptions::new().create(true).append(true))
+            .unwrap();
+        f.write(b"line1\n").unwrap();
+        f.seek(Whence::Start(0)).unwrap();
+        f.write(b"line2\n").unwrap(); // still appends
+        assert_eq!(fs.read_to_end("/log.txt").unwrap(), b"line1\nline2\n");
+    }
+
+    #[test]
+    fn truncate_on_open() {
+        let fs = fs();
+        fs.write_file("/t", 0, b"old content").unwrap();
+        let f = fs.open("/t", OpenOptions::new().truncate(true)).unwrap();
+        assert_eq!(f.len().unwrap(), 0);
+        f.write(b"new").unwrap();
+        assert_eq!(fs.read_to_end("/t").unwrap(), b"new");
+    }
+
+    #[test]
+    fn seek_semantics() {
+        let fs = fs();
+        let f = fs.open("/s", OpenOptions::new().create(true)).unwrap();
+        f.write(&[1u8; 100]).unwrap();
+        assert_eq!(f.seek(Whence::End(-10)).unwrap(), 90);
+        assert_eq!(f.read(100).unwrap().len(), 10);
+        assert_eq!(f.seek(Whence::Current(-5)).unwrap(), 95);
+        assert!(f.seek(Whence::Current(-1000)).is_err());
+        // Seek past EOF then write: creates a hole that reads as zeros.
+        f.seek(Whence::Start(200)).unwrap();
+        f.write(b"x").unwrap();
+        let data = fs.read_to_end("/s").unwrap();
+        assert_eq!(data.len(), 201);
+        assert!(data[100..200].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn two_handles_share_one_file() {
+        let fs = fs();
+        let a = fs.open("/shared", OpenOptions::new().create(true)).unwrap();
+        let b = fs.open("/shared", OpenOptions::new()).unwrap();
+        a.write(b"written by a").unwrap();
+        assert_eq!(b.read(12).unwrap(), b"written by a");
+        // Independent cursors.
+        assert_eq!(a.position(), 12);
+        assert_eq!(b.position(), 12);
+        b.seek(Whence::Start(0)).unwrap();
+        assert_eq!(a.position(), 12, "a's cursor untouched");
+    }
+
+    #[test]
+    fn handle_after_unlink_is_bad() {
+        // Documented divergence from POSIX: Sting reclaims the inode at
+        // unlink, so the handle dies with it.
+        let fs = fs();
+        let f = fs.open("/gone", OpenOptions::new().create(true)).unwrap();
+        f.write(b"data").unwrap();
+        fs.unlink("/gone").unwrap();
+        assert!(matches!(f.read_at(0, 4), Err(StingError::BadHandle)));
+        assert!(matches!(f.write(b"x"), Err(StingError::BadHandle)));
+    }
+
+    #[test]
+    fn std_io_traits_work() {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let fs = fs();
+        let mut f = fs.open("/io", OpenOptions::new().create(true)).unwrap();
+        // Generic std::io code drives a Sting file directly.
+        writeln!(f, "line one").unwrap();
+        writeln!(f, "line two").unwrap();
+        Seek::seek(&mut f, SeekFrom::Start(0)).unwrap();
+        let mut text = String::new();
+        f.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "line one\nline two\n");
+        // io::copy between two Sting files.
+        Seek::seek(&mut f, SeekFrom::Start(0)).unwrap();
+        let mut dst = fs.open("/copy", OpenOptions::new().create(true)).unwrap();
+        std::io::copy(&mut f, &mut dst).unwrap();
+        assert_eq!(fs.read_to_end("/copy").unwrap(), text.as_bytes());
+    }
+
+    #[test]
+    fn opening_a_directory_fails() {
+        let fs = fs();
+        fs.mkdir("/dir").unwrap();
+        assert!(matches!(
+            fs.open("/dir", OpenOptions::new()),
+            Err(StingError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn open_without_create_requires_existence() {
+        let fs = fs();
+        assert!(matches!(
+            fs.open("/missing", OpenOptions::new()),
+            Err(StingError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,1072 @@
+//! The Sting file system proper.
+//!
+//! All metadata is memory-resident; every mutating operation appends one
+//! record to the Swarm log before it completes, so the entire file system
+//! can be rebuilt after a crash by restoring the newest checkpoint and
+//! replaying records in order. File data goes into ordinary log blocks,
+//! one per 4 KB file block, each tagged with `(inode, block index)` so
+//! replay and cleaner moves can patch the block map.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_log::Log;
+use swarm_services::CachingReader;
+use swarm_types::{BlockAddr, ByteReader, ByteWriter, Decode, Encode, ServiceId};
+
+use crate::error::{StingError, StingResult};
+use crate::inode::{Inode, InodeKind};
+
+/// Record kinds Sting writes to the log (on-disk stable).
+pub(crate) mod record {
+    /// Create a file or directory.
+    pub const MKNOD: u16 = 1;
+    /// Remove a directory entry (and maybe the file).
+    pub const UNLINK: u16 = 2;
+    /// Remove an empty directory.
+    pub const RMDIR: u16 = 3;
+    /// Set file size (also logged by writes that extend).
+    pub const SETSIZE: u16 = 4;
+    /// Rename, possibly replacing the destination.
+    pub const RENAME: u16 = 5;
+    /// Add a hard link.
+    pub const LINK: u16 = 6;
+}
+
+/// The root directory's inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// Hard cap on blocks per file (4 GiB at 4 KB blocks).
+const MAX_BLOCKS: u64 = 1 << 20;
+
+/// Configuration for a Sting instance.
+#[derive(Debug, Clone)]
+pub struct StingConfig {
+    /// Sting's service id on the log.
+    pub service: ServiceId,
+    /// File block size in bytes (the prototype used 4 KB I/O).
+    pub block_size: usize,
+    /// Client block cache capacity, in blocks ("we expect most reads to
+    /// be handled by the client cache", §3.4).
+    pub cache_blocks: usize,
+}
+
+impl Default for StingConfig {
+    fn default() -> Self {
+        StingConfig {
+            service: ServiceId::new(2),
+            block_size: swarm_types::DEFAULT_BLOCK_SIZE,
+            cache_blocks: 1024,
+        }
+    }
+}
+
+/// A directory listing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// Target inode number.
+    pub ino: u64,
+    /// Is the target a directory?
+    pub is_dir: bool,
+}
+
+/// Metadata returned by [`StingFs::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: u64,
+    /// Directory?
+    pub is_dir: bool,
+    /// Size in bytes.
+    pub size: u64,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Logical modification stamp.
+    pub mtime: u64,
+    /// Data blocks currently mapped.
+    pub blocks: u64,
+}
+
+pub(crate) struct FsInner {
+    pub(crate) inodes: HashMap<u64, Inode>,
+    pub(crate) next_ino: u64,
+    pub(crate) clock: u64,
+}
+
+impl FsInner {
+    fn fresh() -> FsInner {
+        let mut inodes = HashMap::new();
+        inodes.insert(ROOT_INO, Inode::new_dir(ROOT_INO, 0));
+        FsInner {
+            inodes,
+            next_ino: ROOT_INO + 1,
+            clock: 1,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        let t = self.clock;
+        self.clock += 1;
+        t
+    }
+}
+
+/// The Sting local file system.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use sting::{StingConfig, StingFs};
+///
+/// # fn log() -> Arc<swarm_log::Log> { unimplemented!() }
+/// let fs = StingFs::format(log(), StingConfig::default())?;
+/// fs.mkdir("/projects")?;
+/// fs.write_file("/projects/notes.txt", 0, b"hello swarm")?;
+/// assert_eq!(fs.read_to_end("/projects/notes.txt")?, b"hello swarm");
+/// fs.unmount()?; // checkpoint + flush, like the paper's MAB runs
+/// # Ok::<(), sting::StingError>(())
+/// ```
+pub struct StingFs {
+    pub(crate) log: Arc<Log>,
+    pub(crate) reader: CachingReader,
+    pub(crate) inner: Mutex<FsInner>,
+    pub(crate) config: StingConfig,
+}
+
+impl std::fmt::Debug for StingFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("StingFs")
+            .field("service", &self.config.service)
+            .field("inodes", &inner.inodes.len())
+            .field("block_size", &self.config.block_size)
+            .finish()
+    }
+}
+
+pub(crate) fn block_create_info(ino: u64, idx: u64) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&ino.to_le_bytes());
+    out[8..].copy_from_slice(&idx.to_le_bytes());
+    out
+}
+
+pub(crate) fn parse_create_info(create: &[u8]) -> Option<(u64, u64)> {
+    if create.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(create[..8].try_into().unwrap()),
+        u64::from_le_bytes(create[8..].try_into().unwrap()),
+    ))
+}
+
+impl StingFs {
+    /// Creates (formats) a fresh, empty file system on `log`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures from the initial checkpoint.
+    pub fn format(log: Arc<Log>, config: StingConfig) -> StingResult<Arc<StingFs>> {
+        let fs = StingFs::bare(log, config);
+        fs.checkpoint()?; // durable empty root
+        Ok(fs)
+    }
+
+    /// Builds the in-memory shell without writing anything (used by
+    /// recovery before checkpoint/records are applied).
+    pub fn bare(log: Arc<Log>, config: StingConfig) -> Arc<StingFs> {
+        let reader = CachingReader::new(log.clone(), config.cache_blocks);
+        Arc::new(StingFs {
+            log,
+            reader,
+            inner: Mutex::new(FsInner::fresh()),
+            config,
+        })
+    }
+
+    /// The underlying log.
+    pub fn log(&self) -> &Arc<Log> {
+        &self.log
+    }
+
+    /// Sting's service id.
+    pub fn service(&self) -> ServiceId {
+        self.config.service
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    // ------------------------------------------------------------------
+    // Path handling
+    // ------------------------------------------------------------------
+
+    fn split_path(path: &str) -> StingResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(StingError::InvalidPath(path.into()));
+        }
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        for p in &parts {
+            if *p == "." || *p == ".." || p.contains('\0') {
+                return Err(StingError::InvalidPath(path.into()));
+            }
+        }
+        Ok(parts)
+    }
+
+    fn lookup_inner(inner: &FsInner, path: &str) -> StingResult<u64> {
+        let parts = Self::split_path(path)?;
+        let mut ino = ROOT_INO;
+        for part in parts {
+            let node = inner
+                .inodes
+                .get(&ino)
+                .ok_or_else(|| StingError::NotFound(path.into()))?;
+            let InodeKind::Dir { entries } = &node.kind else {
+                return Err(StingError::NotADirectory(path.into()));
+            };
+            ino = *entries
+                .get(part)
+                .ok_or_else(|| StingError::NotFound(path.into()))?;
+        }
+        Ok(ino)
+    }
+
+    /// Resolves `path`'s parent directory and final component.
+    fn resolve_parent<'p>(inner: &FsInner, path: &'p str) -> StingResult<(u64, &'p str)> {
+        let parts = Self::split_path(path)?;
+        let Some((name, dirs)) = parts.split_last() else {
+            return Err(StingError::InvalidPath(path.into()));
+        };
+        let mut ino = ROOT_INO;
+        for part in dirs {
+            let node = inner
+                .inodes
+                .get(&ino)
+                .ok_or_else(|| StingError::NotFound(path.into()))?;
+            let InodeKind::Dir { entries } = &node.kind else {
+                return Err(StingError::NotADirectory(path.into()));
+            };
+            ino = *entries
+                .get(*part)
+                .ok_or_else(|| StingError::NotFound(path.into()))?;
+        }
+        let parent = inner
+            .inodes
+            .get(&ino)
+            .ok_or_else(|| StingError::NotFound(path.into()))?;
+        if !parent.is_dir() {
+            return Err(StingError::NotADirectory(path.into()));
+        }
+        Ok((ino, name))
+    }
+
+    /// Does `path` exist?
+    pub fn exists(&self, path: &str) -> bool {
+        Self::lookup_inner(&self.inner.lock(), path).is_ok()
+    }
+
+    /// Metadata for `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::NotFound`] and path errors.
+    pub fn stat(&self, path: &str) -> StingResult<FileStat> {
+        let inner = self.inner.lock();
+        let ino = Self::lookup_inner(&inner, path)?;
+        let node = inner.inodes.get(&ino).expect("resolved inode exists");
+        Ok(FileStat {
+            ino,
+            is_dir: node.is_dir(),
+            size: node.size,
+            nlink: node.nlink,
+            mtime: node.mtime,
+            blocks: match &node.kind {
+                InodeKind::File { blocks } => blocks.iter().flatten().count() as u64,
+                InodeKind::Dir { entries } => entries.len() as u64,
+            },
+        })
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::NotFound`] / [`StingError::NotADirectory`].
+    pub fn readdir(&self, path: &str) -> StingResult<Vec<DirEntry>> {
+        let inner = self.inner.lock();
+        let ino = Self::lookup_inner(&inner, path)?;
+        let node = inner.inodes.get(&ino).expect("resolved");
+        let InodeKind::Dir { entries } = &node.kind else {
+            return Err(StingError::NotADirectory(path.into()));
+        };
+        Ok(entries
+            .iter()
+            .map(|(name, child)| DirEntry {
+                name: name.clone(),
+                ino: *child,
+                is_dir: inner.inodes.get(child).map(|n| n.is_dir()).unwrap_or(false),
+            })
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    fn append_record(&self, kind: u16, payload: &[u8]) -> StingResult<()> {
+        self.log
+            .append_record(self.config.service, kind, payload)?;
+        Ok(())
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::AlreadyExists`] if the path is taken, plus path and
+    /// storage errors.
+    pub fn create(&self, path: &str) -> StingResult<u64> {
+        self.mknod(path, false)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// As [`StingFs::create`].
+    pub fn mkdir(&self, path: &str) -> StingResult<u64> {
+        self.mknod(path, true)
+    }
+
+    fn mknod(&self, path: &str, is_dir: bool) -> StingResult<u64> {
+        let mut inner = self.inner.lock();
+        let (parent, name) = Self::resolve_parent(&inner, path)?;
+        if inner.inodes[&parent].entries().contains_key(name) {
+            return Err(StingError::AlreadyExists(path.into()));
+        }
+        let ino = inner.next_ino;
+        inner.next_ino += 1;
+        let mtime = inner.tick();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(parent);
+        w.put_str(name);
+        w.put_u64(ino);
+        w.put_bool(is_dir);
+        w.put_u64(mtime);
+        self.append_record(record::MKNOD, w.as_slice())?;
+
+        apply_mknod(&mut inner, parent, name, ino, is_dir, mtime);
+        Ok(ino)
+    }
+
+    /// Removes a file (or one hard link to it).
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::IsADirectory`] for directories (use
+    /// [`StingFs::rmdir`]), plus lookup and storage errors.
+    pub fn unlink(&self, path: &str) -> StingResult<()> {
+        let mut inner = self.inner.lock();
+        let (parent, name) = Self::resolve_parent(&inner, path)?;
+        let ino = *inner.inodes[&parent]
+            .entries()
+            .get(name)
+            .ok_or_else(|| StingError::NotFound(path.into()))?;
+        if inner.inodes[&ino].is_dir() {
+            return Err(StingError::IsADirectory(path.into()));
+        }
+        let mtime = inner.tick();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(parent);
+        w.put_str(name);
+        w.put_u64(ino);
+        w.put_u64(mtime);
+        self.append_record(record::UNLINK, w.as_slice())?;
+
+        // Mark dying blocks dead for the cleaner.
+        let node = &inner.inodes[&ino];
+        if node.nlink == 1 {
+            for addr in node.blocks().iter().flatten() {
+                self.log.delete_block(self.config.service, *addr)?;
+                self.reader.invalidate(*addr);
+            }
+        }
+        apply_unlink(&mut inner, parent, name, ino, mtime);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::DirectoryNotEmpty`], [`StingError::NotADirectory`],
+    /// [`StingError::Busy`] for the root, plus lookup/storage errors.
+    pub fn rmdir(&self, path: &str) -> StingResult<()> {
+        let mut inner = self.inner.lock();
+        let (parent, name) = Self::resolve_parent(&inner, path)?;
+        let ino = *inner.inodes[&parent]
+            .entries()
+            .get(name)
+            .ok_or_else(|| StingError::NotFound(path.into()))?;
+        if ino == ROOT_INO {
+            return Err(StingError::Busy(path.into()));
+        }
+        let node = &inner.inodes[&ino];
+        if !node.is_dir() {
+            return Err(StingError::NotADirectory(path.into()));
+        }
+        if !node.entries().is_empty() {
+            return Err(StingError::DirectoryNotEmpty(path.into()));
+        }
+        let mtime = inner.tick();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(parent);
+        w.put_str(name);
+        w.put_u64(ino);
+        w.put_u64(mtime);
+        self.append_record(record::RMDIR, w.as_slice())?;
+
+        apply_rmdir(&mut inner, parent, name, ino, mtime);
+        Ok(())
+    }
+
+    /// Adds a hard link `new_path` to the file at `existing`.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::IsADirectory`] (no directory hard links), plus
+    /// lookup/storage errors.
+    pub fn link(&self, existing: &str, new_path: &str) -> StingResult<()> {
+        let mut inner = self.inner.lock();
+        let ino = Self::lookup_inner(&inner, existing)?;
+        if inner.inodes[&ino].is_dir() {
+            return Err(StingError::IsADirectory(existing.into()));
+        }
+        let (parent, name) = Self::resolve_parent(&inner, new_path)?;
+        if inner.inodes[&parent].entries().contains_key(name) {
+            return Err(StingError::AlreadyExists(new_path.into()));
+        }
+        let mtime = inner.tick();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(parent);
+        w.put_str(name);
+        w.put_u64(ino);
+        w.put_u64(mtime);
+        self.append_record(record::LINK, w.as_slice())?;
+
+        apply_link(&mut inner, parent, name, ino, mtime);
+        Ok(())
+    }
+
+    /// Renames `src` to `dst` (atomically replacing a same-kind target,
+    /// POSIX style).
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::DirectoryNotEmpty`] if `dst` is a non-empty
+    /// directory, kind-mismatch errors, [`StingError::InvalidPath`] when
+    /// moving a directory into its own subtree, plus lookup/storage
+    /// errors.
+    pub fn rename(&self, src: &str, dst: &str) -> StingResult<()> {
+        let mut inner = self.inner.lock();
+        let (sparent, sname) = Self::resolve_parent(&inner, src)?;
+        let ino = *inner.inodes[&sparent]
+            .entries()
+            .get(sname)
+            .ok_or_else(|| StingError::NotFound(src.into()))?;
+        let (dparent, dname) = Self::resolve_parent(&inner, dst)?;
+
+        if sparent == dparent && sname == dname {
+            return Ok(()); // rename to itself: no-op
+        }
+
+        let moving_dir = inner.inodes[&ino].is_dir();
+        if moving_dir {
+            // dst's parent chain must not pass through ino.
+            let mut cursor = dparent;
+            loop {
+                if cursor == ino {
+                    return Err(StingError::InvalidPath(format!(
+                        "cannot move {src} into its own subtree {dst}"
+                    )));
+                }
+                if cursor == ROOT_INO {
+                    break;
+                }
+                // Find cursor's parent by scanning (no parent pointers).
+                let parent = inner
+                    .inodes
+                    .values()
+                    .filter(|n| n.is_dir())
+                    .find(|n| n.entries().values().any(|&c| c == cursor))
+                    .map(|n| n.ino);
+                match parent {
+                    Some(p) => cursor = p,
+                    None => break,
+                }
+            }
+        }
+
+        let replaced = inner.inodes[&dparent].entries().get(dname).copied();
+        if let Some(rino) = replaced {
+            let target = &inner.inodes[&rino];
+            match (moving_dir, target.is_dir()) {
+                (true, false) => return Err(StingError::NotADirectory(dst.into())),
+                (false, true) => return Err(StingError::IsADirectory(dst.into())),
+                (true, true) if !target.entries().is_empty() => {
+                    return Err(StingError::DirectoryNotEmpty(dst.into()))
+                }
+                _ => {}
+            }
+        }
+        let mtime = inner.tick();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(sparent);
+        w.put_str(sname);
+        w.put_u64(dparent);
+        w.put_str(dname);
+        w.put_u64(ino);
+        replaced.encode(&mut w);
+        w.put_u64(mtime);
+        self.append_record(record::RENAME, w.as_slice())?;
+
+        // Replaced file's blocks die.
+        if let Some(rino) = replaced {
+            let node = &inner.inodes[&rino];
+            if !node.is_dir() && node.nlink == 1 {
+                for addr in node.blocks().iter().flatten() {
+                    self.log.delete_block(self.config.service, *addr)?;
+                    self.reader.invalidate(*addr);
+                }
+            }
+        }
+        apply_rename(&mut inner, sparent, sname, dparent, dname, ino, replaced, mtime);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // File I/O
+    // ------------------------------------------------------------------
+
+    /// Writes `data` into the file at `path` starting at byte `offset`,
+    /// creating the file if needed. Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::IsADirectory`], [`StingError::FileTooLarge`], plus
+    /// lookup/storage errors.
+    pub fn write_file(&self, path: &str, offset: u64, data: &[u8]) -> StingResult<usize> {
+        if !self.exists(path) {
+            self.create(path)?;
+        }
+        let ino = {
+            let inner = self.inner.lock();
+            let ino = Self::lookup_inner(&inner, path)?;
+            if inner.inodes[&ino].is_dir() {
+                return Err(StingError::IsADirectory(path.into()));
+            }
+            ino
+        };
+        self.write_ino(ino, offset, data)
+    }
+
+    pub(crate) fn write_ino(&self, ino: u64, offset: u64, data: &[u8]) -> StingResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let bs = self.config.block_size as u64;
+        let end = offset + data.len() as u64;
+        if end.div_ceil(bs) > MAX_BLOCKS {
+            return Err(StingError::FileTooLarge {
+                requested: end,
+                max: MAX_BLOCKS * bs,
+            });
+        }
+
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        for idx in first_block..=last_block {
+            let block_start = idx * bs;
+            let within_start = offset.max(block_start) - block_start;
+            let within_end = end.min(block_start + bs) - block_start;
+
+            // Assemble the new block content under the lock, then do log
+            // I/O, then commit the mapping under the lock again.
+            let (old_addr, mut content) = {
+                let inner = self.inner.lock();
+                let node = inner
+                    .inodes
+                    .get(&ino)
+                    .ok_or(StingError::BadHandle)?;
+                let old = node
+                    .blocks()
+                    .get(idx as usize)
+                    .copied()
+                    .flatten();
+                let full_cover = within_start == 0 && within_end == bs;
+                let needs_old = !full_cover && old.is_some();
+                (if needs_old { old } else { None }, {
+                    // Preliminary content: either zeros or (filled below
+                    // after reading old outside the lock).
+                    let keep_old = !full_cover && old.is_some();
+                    if keep_old {
+                        Vec::new() // sentinel: fill from old copy
+                    } else {
+                        let len = if full_cover {
+                            bs as usize
+                        } else {
+                            within_end as usize // zero-prefix partial block
+                        };
+                        vec![0u8; len]
+                    }
+                })
+            };
+            if let Some(old) = old_addr {
+                let old_data = self.reader.read(old)?;
+                content = old_data.as_ref().clone();
+            }
+            if content.len() < within_end as usize {
+                content.resize(within_end as usize, 0);
+            }
+            let src_start = (block_start + within_start - offset) as usize;
+            let src_end = (block_start + within_end - offset) as usize;
+            content[within_start as usize..within_end as usize]
+                .copy_from_slice(&data[src_start..src_end]);
+
+            let new_addr = self.log.append_block(
+                self.config.service,
+                &block_create_info(ino, idx),
+                &content,
+            )?;
+            self.reader.put(new_addr, Arc::new(content));
+
+            // Commit mapping; the delete record marks the old copy dead.
+            let prior = {
+                let mut inner = self.inner.lock();
+                let node = inner.inodes.get_mut(&ino).ok_or(StingError::BadHandle)?;
+                let blocks = node.blocks_mut();
+                if blocks.len() <= idx as usize {
+                    blocks.resize(idx as usize + 1, None);
+                }
+                blocks[idx as usize].replace(new_addr)
+            };
+            if let Some(prior) = prior {
+                self.log.delete_block(self.config.service, prior)?;
+                self.reader.invalidate(prior);
+            }
+        }
+
+        // Size + mtime via a SETSIZE record (replayed deterministically).
+        let (new_size, mtime) = {
+            let mut inner = self.inner.lock();
+            let mtime = inner.tick();
+            let node = inner.inodes.get_mut(&ino).ok_or(StingError::BadHandle)?;
+            let new_size = node.size.max(end);
+            (new_size, mtime)
+        };
+        let mut w = ByteWriter::new();
+        w.put_u64(ino);
+        w.put_u64(new_size);
+        w.put_u64(mtime);
+        self.append_record(record::SETSIZE, w.as_slice())?;
+        {
+            let mut inner = self.inner.lock();
+            apply_setsize(&mut inner, ino, new_size, mtime, self.config.block_size);
+        }
+        Ok(data.len())
+    }
+
+    /// Reads up to `len` bytes from `path` at `offset` (short reads at
+    /// EOF, like `pread`).
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::IsADirectory`] plus lookup/storage errors.
+    pub fn read_file(&self, path: &str, offset: u64, len: usize) -> StingResult<Vec<u8>> {
+        let ino = {
+            let inner = self.inner.lock();
+            let ino = Self::lookup_inner(&inner, path)?;
+            if inner.inodes[&ino].is_dir() {
+                return Err(StingError::IsADirectory(path.into()));
+            }
+            ino
+        };
+        self.read_ino(ino, offset, len)
+    }
+
+    pub(crate) fn read_ino(&self, ino: u64, offset: u64, len: usize) -> StingResult<Vec<u8>> {
+        let bs = self.config.block_size as u64;
+        let (size, block_addrs) = {
+            let inner = self.inner.lock();
+            let node = inner.inodes.get(&ino).ok_or(StingError::BadHandle)?;
+            (node.size, node.blocks().clone())
+        };
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(size);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let idx = pos / bs;
+            let within = pos % bs;
+            let take = ((bs - within) as usize).min((end - pos) as usize);
+            match block_addrs.get(idx as usize).copied().flatten() {
+                None => out.extend(std::iter::repeat_n(0u8, take)), // hole
+                Some(addr) => {
+                    let block = self.reader.read(addr)?;
+                    let upto = ((within as usize) + take).min(block.len());
+                    if (within as usize) < upto {
+                        out.extend_from_slice(&block[within as usize..upto]);
+                    }
+                    // Tail of a short final block reads as zeros.
+                    let got = upto.saturating_sub(within as usize);
+                    if got < take {
+                        out.extend(std::iter::repeat_n(0u8, take - got));
+                    }
+                }
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// As [`StingFs::read_file`].
+    pub fn read_to_end(&self, path: &str) -> StingResult<Vec<u8>> {
+        let size = self.stat(path)?.size;
+        self.read_file(path, 0, size as usize)
+    }
+
+    /// Truncates (or zero-extends) the file at `path` to `new_size`.
+    ///
+    /// # Errors
+    ///
+    /// [`StingError::IsADirectory`], [`StingError::FileTooLarge`], plus
+    /// lookup/storage errors.
+    pub fn truncate(&self, path: &str, new_size: u64) -> StingResult<()> {
+        let bs = self.config.block_size as u64;
+        if new_size.div_ceil(bs) > MAX_BLOCKS {
+            return Err(StingError::FileTooLarge {
+                requested: new_size,
+                max: MAX_BLOCKS * bs,
+            });
+        }
+        let (ino, old_size) = {
+            let inner = self.inner.lock();
+            let ino = Self::lookup_inner(&inner, path)?;
+            let node = &inner.inodes[&ino];
+            if node.is_dir() {
+                return Err(StingError::IsADirectory(path.into()));
+            }
+            (ino, node.size)
+        };
+
+        if new_size < old_size {
+            // Rewrite the partial tail block (truncated content) so a
+            // later re-extension reads zeros, then drop whole blocks past
+            // the end and log their deletion.
+            let keep_blocks = new_size.div_ceil(bs);
+            let tail_len = (new_size % bs) as usize;
+            if tail_len > 0 {
+                let tail_idx = keep_blocks - 1;
+                let old_tail = {
+                    let inner = self.inner.lock();
+                    inner.inodes[&ino]
+                        .blocks()
+                        .get(tail_idx as usize)
+                        .copied()
+                        .flatten()
+                };
+                if let Some(old_addr) = old_tail {
+                    let old_data = self.reader.read(old_addr)?;
+                    let mut content = old_data.as_ref().clone();
+                    content.truncate(tail_len);
+                    let new_addr = self.log.append_block(
+                        self.config.service,
+                        &block_create_info(ino, tail_idx),
+                        &content,
+                    )?;
+                    self.reader.put(new_addr, Arc::new(content));
+                    {
+                        let mut inner = self.inner.lock();
+                        let blocks = inner
+                            .inodes
+                            .get_mut(&ino)
+                            .ok_or(StingError::BadHandle)?
+                            .blocks_mut();
+                        blocks[tail_idx as usize] = Some(new_addr);
+                    }
+                    self.log.delete_block(self.config.service, old_addr)?;
+                    self.reader.invalidate(old_addr);
+                }
+            }
+            // Whole blocks beyond the end die.
+            let doomed: Vec<BlockAddr> = {
+                let inner = self.inner.lock();
+                inner.inodes[&ino]
+                    .blocks()
+                    .iter()
+                    .skip(keep_blocks as usize)
+                    .flatten()
+                    .copied()
+                    .collect()
+            };
+            for addr in doomed {
+                self.log.delete_block(self.config.service, addr)?;
+                self.reader.invalidate(addr);
+            }
+        }
+
+        let mtime = self.inner.lock().tick();
+        let mut w = ByteWriter::new();
+        w.put_u64(ino);
+        w.put_u64(new_size);
+        w.put_u64(mtime);
+        self.append_record(record::SETSIZE, w.as_slice())?;
+        let mut inner = self.inner.lock();
+        apply_setsize(&mut inner, ino, new_size, mtime, self.config.block_size);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Pushes everything written so far to the storage servers (like
+    /// `fsync` for the whole file system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log flush failures.
+    pub fn flush(&self) -> StingResult<()> {
+        self.log.flush()?;
+        Ok(())
+    }
+
+    /// Writes a checkpoint: the complete metadata (inode table, directory
+    /// trees, counters) becomes the new recovery anchor, making all older
+    /// Sting records obsolete (and their stripes cleanable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures.
+    pub fn checkpoint(&self) -> StingResult<()> {
+        let payload = self.encode_checkpoint();
+        self.log.checkpoint(self.config.service, &payload)?;
+        Ok(())
+    }
+
+    /// Unmounts: checkpoint + flush (what the paper's MAB run does so
+    /// "the data written are eventually stored to disk").
+    ///
+    /// # Errors
+    ///
+    /// Propagates log failures.
+    pub fn unmount(&self) -> StingResult<()> {
+        self.checkpoint()?;
+        self.flush()
+    }
+
+    pub(crate) fn encode_checkpoint(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        let mut w = ByteWriter::new();
+        w.put_u64(inner.clock);
+        w.put_u64(inner.next_ino);
+        w.put_u64(inner.inodes.len() as u64);
+        let mut inos: Vec<&Inode> = inner.inodes.values().collect();
+        inos.sort_by_key(|n| n.ino);
+        for node in inos {
+            node.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    pub(crate) fn load_checkpoint(&self, data: &[u8]) -> StingResult<()> {
+        let mut r = ByteReader::new(data);
+        let clock = r.get_u64().map_err(StingError::Storage)?;
+        let next_ino = r.get_u64().map_err(StingError::Storage)?;
+        let n = r.get_u64().map_err(StingError::Storage)? as usize;
+        let mut inodes = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let node = Inode::decode(&mut r).map_err(StingError::Storage)?;
+            inodes.insert(node.ino, node);
+        }
+        let mut inner = self.inner.lock();
+        inner.clock = clock;
+        inner.next_ino = next_ino;
+        inner.inodes = inodes;
+        Ok(())
+    }
+
+    /// Total number of inodes (diagnostics).
+    pub fn inode_count(&self) -> usize {
+        self.inner.lock().inodes.len()
+    }
+
+    /// Cache statistics (hits, misses) from the block cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.reader.stats()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pure state-transition functions, shared by the live ops above and by
+// crash replay (service.rs). Keeping them pure guarantees replay
+// convergence: the same record sequence always produces the same state.
+// ----------------------------------------------------------------------
+
+pub(crate) fn apply_mknod(
+    inner: &mut FsInner,
+    parent: u64,
+    name: &str,
+    ino: u64,
+    is_dir: bool,
+    mtime: u64,
+) {
+    let node = if is_dir {
+        Inode::new_dir(ino, mtime)
+    } else {
+        Inode::new_file(ino, mtime)
+    };
+    inner.inodes.insert(ino, node);
+    if let Some(p) = inner.inodes.get_mut(&parent) {
+        p.entries_mut().insert(name.to_string(), ino);
+        p.mtime = mtime;
+        if is_dir {
+            p.nlink += 1;
+        }
+        p.size = p.entries().len() as u64;
+    }
+    inner.next_ino = inner.next_ino.max(ino + 1);
+    inner.clock = inner.clock.max(mtime + 1);
+}
+
+pub(crate) fn apply_unlink(inner: &mut FsInner, parent: u64, name: &str, ino: u64, mtime: u64) {
+    if let Some(p) = inner.inodes.get_mut(&parent) {
+        p.entries_mut().remove(name);
+        p.mtime = mtime;
+        p.size = p.entries().len() as u64;
+    }
+    let remove = if let Some(node) = inner.inodes.get_mut(&ino) {
+        node.nlink = node.nlink.saturating_sub(1);
+        node.nlink == 0
+    } else {
+        false
+    };
+    if remove {
+        inner.inodes.remove(&ino);
+    }
+    inner.clock = inner.clock.max(mtime + 1);
+}
+
+pub(crate) fn apply_rmdir(inner: &mut FsInner, parent: u64, name: &str, ino: u64, mtime: u64) {
+    inner.inodes.remove(&ino);
+    if let Some(p) = inner.inodes.get_mut(&parent) {
+        p.entries_mut().remove(name);
+        p.nlink = p.nlink.saturating_sub(1);
+        p.mtime = mtime;
+        p.size = p.entries().len() as u64;
+    }
+    inner.clock = inner.clock.max(mtime + 1);
+}
+
+pub(crate) fn apply_link(inner: &mut FsInner, parent: u64, name: &str, ino: u64, mtime: u64) {
+    if let Some(node) = inner.inodes.get_mut(&ino) {
+        node.nlink += 1;
+    }
+    if let Some(p) = inner.inodes.get_mut(&parent) {
+        p.entries_mut().insert(name.to_string(), ino);
+        p.mtime = mtime;
+        p.size = p.entries().len() as u64;
+    }
+    inner.clock = inner.clock.max(mtime + 1);
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_rename(
+    inner: &mut FsInner,
+    sparent: u64,
+    sname: &str,
+    dparent: u64,
+    dname: &str,
+    ino: u64,
+    replaced: Option<u64>,
+    mtime: u64,
+) {
+    let moving_dir = inner.inodes.get(&ino).map(|n| n.is_dir()).unwrap_or(false);
+    if let Some(rino) = replaced {
+        let gone = if let Some(node) = inner.inodes.get_mut(&rino) {
+            if node.is_dir() {
+                true // only empty dirs are replaceable
+            } else {
+                node.nlink = node.nlink.saturating_sub(1);
+                node.nlink == 0
+            }
+        } else {
+            false
+        };
+        if gone {
+            let was_dir = inner.inodes.get(&rino).map(|n| n.is_dir()).unwrap_or(false);
+            inner.inodes.remove(&rino);
+            if was_dir {
+                if let Some(d) = inner.inodes.get_mut(&dparent) {
+                    d.nlink = d.nlink.saturating_sub(1);
+                }
+            }
+        }
+    }
+    if let Some(s) = inner.inodes.get_mut(&sparent) {
+        s.entries_mut().remove(sname);
+        if moving_dir {
+            s.nlink = s.nlink.saturating_sub(1);
+        }
+        s.mtime = mtime;
+        s.size = s.entries().len() as u64;
+    }
+    if let Some(d) = inner.inodes.get_mut(&dparent) {
+        d.entries_mut().insert(dname.to_string(), ino);
+        if moving_dir {
+            d.nlink += 1;
+        }
+        d.mtime = mtime;
+        d.size = d.entries().len() as u64;
+    }
+    inner.clock = inner.clock.max(mtime + 1);
+}
+
+pub(crate) fn apply_setsize(
+    inner: &mut FsInner,
+    ino: u64,
+    size: u64,
+    mtime: u64,
+    block_size: usize,
+) {
+    if let Some(node) = inner.inodes.get_mut(&ino) {
+        node.size = size;
+        node.mtime = mtime;
+        let keep = size.div_ceil(block_size as u64) as usize;
+        if let InodeKind::File { blocks } = &mut node.kind {
+            if blocks.len() > keep {
+                blocks.truncate(keep);
+            }
+        }
+    }
+    inner.clock = inner.clock.max(mtime + 1);
+}

@@ -1,0 +1,248 @@
+//! Inodes and their serialization.
+//!
+//! A Sting inode owns either file data (a sparse vector of block
+//! addresses; block `i` covers bytes `[i*bs, (i+1)*bs)`) or directory
+//! entries (a sorted name → inode map). Inodes are memory-resident and
+//! serialized in bulk into Sting's checkpoint, Sprite-LFS style.
+
+use std::collections::BTreeMap;
+
+use swarm_types::{BlockAddr, ByteReader, ByteWriter, Decode, Encode, Result, SwarmError};
+
+/// What an inode is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Regular file: sparse block map (None = hole, reads as zeros).
+    File {
+        /// Block index → address of the block's current copy.
+        blocks: Vec<Option<BlockAddr>>,
+    },
+    /// Directory: name → child inode number.
+    Dir {
+        /// Sorted entries.
+        entries: BTreeMap<String, u64>,
+    },
+}
+
+/// One file or directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number (root is 1).
+    pub ino: u64,
+    /// File or directory payload.
+    pub kind: InodeKind,
+    /// Hard link count (files) / subdirectory convention (dirs: 2 + subdirs).
+    pub nlink: u32,
+    /// Size in bytes (files; dirs report entry count × nominal size).
+    pub size: u64,
+    /// Logical modification stamp (Sting's operation clock, not wall
+    /// time — deterministic across replays).
+    pub mtime: u64,
+}
+
+impl Inode {
+    /// A fresh empty file.
+    pub fn new_file(ino: u64, mtime: u64) -> Inode {
+        Inode {
+            ino,
+            kind: InodeKind::File { blocks: Vec::new() },
+            nlink: 1,
+            size: 0,
+            mtime,
+        }
+    }
+
+    /// A fresh empty directory.
+    pub fn new_dir(ino: u64, mtime: u64) -> Inode {
+        Inode {
+            ino,
+            kind: InodeKind::Dir {
+                entries: BTreeMap::new(),
+            },
+            nlink: 2,
+            size: 0,
+            mtime,
+        }
+    }
+
+    /// Is this a directory?
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir { .. })
+    }
+
+    /// File block map (panics on directories — callers check first).
+    pub fn blocks(&self) -> &Vec<Option<BlockAddr>> {
+        match &self.kind {
+            InodeKind::File { blocks } => blocks,
+            InodeKind::Dir { .. } => panic!("blocks() on a directory"),
+        }
+    }
+
+    /// Mutable file block map.
+    pub fn blocks_mut(&mut self) -> &mut Vec<Option<BlockAddr>> {
+        match &mut self.kind {
+            InodeKind::File { blocks } => blocks,
+            InodeKind::Dir { .. } => panic!("blocks_mut() on a directory"),
+        }
+    }
+
+    /// Directory entries (panics on files).
+    pub fn entries(&self) -> &BTreeMap<String, u64> {
+        match &self.kind {
+            InodeKind::Dir { entries } => entries,
+            InodeKind::File { .. } => panic!("entries() on a file"),
+        }
+    }
+
+    /// Mutable directory entries.
+    pub fn entries_mut(&mut self) -> &mut BTreeMap<String, u64> {
+        match &mut self.kind {
+            InodeKind::Dir { entries } => entries,
+            InodeKind::File { .. } => panic!("entries_mut() on a file"),
+        }
+    }
+}
+
+impl Encode for Inode {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.ino);
+        w.put_u32(self.nlink);
+        w.put_u64(self.size);
+        w.put_u64(self.mtime);
+        match &self.kind {
+            InodeKind::File { blocks } => {
+                w.put_u8(0);
+                // Sparse encoding: count of present blocks, then
+                // (index, addr) pairs, plus the total length.
+                w.put_u64(blocks.len() as u64);
+                let present: Vec<(u64, BlockAddr)> = blocks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| b.map(|a| (i as u64, a)))
+                    .collect();
+                w.put_u64(present.len() as u64);
+                for (i, addr) in present {
+                    w.put_u64(i);
+                    addr.encode(w);
+                }
+            }
+            InodeKind::Dir { entries } => {
+                w.put_u8(1);
+                w.put_u64(entries.len() as u64);
+                for (name, ino) in entries {
+                    w.put_str(name);
+                    w.put_u64(*ino);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Inode {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let ino = r.get_u64()?;
+        let nlink = r.get_u32()?;
+        let size = r.get_u64()?;
+        let mtime = r.get_u64()?;
+        let kind = match r.get_u8()? {
+            0 => {
+                let total = r.get_u64()? as usize;
+                if total > (1 << 32) {
+                    return Err(SwarmError::corrupt("inode block map too large"));
+                }
+                let mut blocks = vec![None; total];
+                let present = r.get_u64()? as usize;
+                for _ in 0..present {
+                    let idx = r.get_u64()? as usize;
+                    let addr = BlockAddr::decode(r)?;
+                    if idx >= total {
+                        return Err(SwarmError::corrupt("inode block index out of range"));
+                    }
+                    blocks[idx] = Some(addr);
+                }
+                InodeKind::File { blocks }
+            }
+            1 => {
+                let n = r.get_u64()? as usize;
+                let mut entries = BTreeMap::new();
+                for _ in 0..n {
+                    let name = r.get_str()?;
+                    let ino = r.get_u64()?;
+                    entries.insert(name, ino);
+                }
+                InodeKind::Dir { entries }
+            }
+            other => {
+                return Err(SwarmError::corrupt(format!(
+                    "unknown inode kind {other}"
+                )))
+            }
+        };
+        Ok(Inode {
+            ino,
+            kind,
+            nlink,
+            size,
+            mtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_types::{ClientId, FragmentId};
+
+    fn addr(seq: u64, off: u32) -> BlockAddr {
+        BlockAddr::new(FragmentId::new(ClientId::new(1), seq), off, 4096)
+    }
+
+    #[test]
+    fn file_inode_roundtrip_with_holes() {
+        let mut ino = Inode::new_file(7, 3);
+        ino.size = 20000;
+        ino.nlink = 2;
+        *ino.blocks_mut() = vec![Some(addr(0, 100)), None, Some(addr(1, 200)), None, None];
+        let buf = ino.encode_to_vec();
+        assert_eq!(Inode::decode_all(&buf).unwrap(), ino);
+    }
+
+    #[test]
+    fn dir_inode_roundtrip() {
+        let mut ino = Inode::new_dir(1, 0);
+        ino.entries_mut().insert("etc".into(), 2);
+        ino.entries_mut().insert("usr".into(), 3);
+        ino.entries_mut().insert("файл".into(), 4); // non-ASCII names
+        let buf = ino.encode_to_vec();
+        assert_eq!(Inode::decode_all(&buf).unwrap(), ino);
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let mut ino = Inode::new_file(7, 3).encode_to_vec();
+        ino[28] = 9; // kind byte (8+4+8+8 = offset 28)
+        assert!(Inode::decode_all(&ino).is_err());
+    }
+
+    #[test]
+    fn out_of_range_block_index_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1); // ino
+        w.put_u32(1); // nlink
+        w.put_u64(0); // size
+        w.put_u64(0); // mtime
+        w.put_u8(0); // file
+        w.put_u64(1); // total blocks
+        w.put_u64(1); // present
+        w.put_u64(5); // index out of range
+        addr(0, 0).encode(&mut w);
+        assert!(Inode::decode_all(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "entries() on a file")]
+    fn kind_accessors_guard() {
+        let ino = Inode::new_file(7, 0);
+        let _ = ino.entries();
+    }
+}

@@ -1,0 +1,41 @@
+//! Sting: the Swarm-based local file system (§3.1).
+//!
+//! "To demonstrate that file systems can be built efficiently using Swarm,
+//! we implemented a local file system called Sting. … It provides the
+//! standard UNIX file system interface as if the file system were stored
+//! on a local disk. The file system data are actually stored in Swarm. …
+//! Sting borrows heavily from Sprite LFS, although it is smaller and
+//! simpler than Sprite LFS because it doesn't have to deal with log
+//! management and storage, cleaning, or reconstruction, all of which are
+//! handled by lower-level Swarm services."
+//!
+//! Design, mirroring that quote:
+//!
+//! * File **data** lives in log blocks (4 KB by default); each block's
+//!   creation record names its `(inode, block index)` so crash replay and
+//!   cleaner moves can patch the mapping.
+//! * **Metadata** (inode table, directory contents, the inode map) lives
+//!   in memory, is serialized wholesale into Sting's checkpoint, and is
+//!   kept crash-consistent by logging one record per mutating operation
+//!   (create, unlink, rename, truncate, …) — Sprite LFS's checkpoint +
+//!   rollforward, with the log layer doing all the hard parts.
+//! * Sting is *local*: one client, no sharing — exactly the paper's
+//!   prototype scope.
+//!
+//! See [`StingFs`] for the API and [`StingService`] for the
+//! recovery/cleaning adapter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod file;
+pub mod fs;
+pub mod inode;
+pub mod service;
+
+pub use error::{StingError, StingResult};
+pub use file::{File, OpenOptions, Whence};
+pub use fs::{DirEntry, FileStat, StingConfig, StingFs};
+pub use inode::{Inode, InodeKind};
+pub use service::StingService;

@@ -1,0 +1,180 @@
+//! Sting's [`Service`] adapter: crash replay and cleaner integration.
+
+use std::sync::Arc;
+
+use swarm_log::{Entry, Log, ReplayEntry};
+use swarm_services::Service;
+use swarm_types::{BlockAddr, ByteReader, Decode, Result, ServiceId, SwarmError};
+
+use crate::fs::{
+    apply_link, apply_mknod, apply_rename, apply_rmdir, apply_setsize, apply_unlink,
+    parse_create_info, record, StingFs,
+};
+use crate::inode::InodeKind;
+
+/// Registers a [`StingFs`] with the service stack so the log layer's
+/// recovery and the cleaner's block moves reach it.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use parking_lot::Mutex;
+/// use sting::{StingConfig, StingFs, StingService};
+/// use swarm_services::{Service, ServiceStack};
+///
+/// # fn log() -> Arc<swarm_log::Log> { unimplemented!() }
+/// let fs = StingFs::format(log(), StingConfig::default())?;
+/// let mut stack = ServiceStack::new();
+/// let svc: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(StingService::new(fs.clone())));
+/// stack.register(svc)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct StingService {
+    fs: Arc<StingFs>,
+}
+
+impl StingService {
+    /// Wraps a file system for stack registration.
+    pub fn new(fs: Arc<StingFs>) -> StingService {
+        StingService { fs }
+    }
+
+    /// The wrapped file system.
+    pub fn fs(&self) -> &Arc<StingFs> {
+        &self.fs
+    }
+}
+
+impl Service for StingService {
+    fn id(&self) -> ServiceId {
+        self.fs.service()
+    }
+
+    fn name(&self) -> &str {
+        "sting"
+    }
+
+    fn restore_checkpoint(&mut self, data: &[u8]) -> Result<()> {
+        self.fs
+            .load_checkpoint(data)
+            .map_err(|e| SwarmError::corrupt(format!("sting checkpoint: {e}")))
+    }
+
+    fn replay(&mut self, entry: &ReplayEntry) -> Result<()> {
+        match &entry.entry {
+            Entry::Record { kind, data, .. } => replay_record(&self.fs, *kind, data),
+            Entry::Block { create, .. } => {
+                let Some((ino, idx)) = parse_create_info(create) else {
+                    return Err(SwarmError::corrupt("sting block creation record malformed"));
+                };
+                let addr = entry
+                    .block_addr
+                    .ok_or_else(|| SwarmError::corrupt("block entry without address"))?;
+                let mut inner = self.fs.inner.lock();
+                if let Some(node) = inner.inodes.get_mut(&ino) {
+                    if let InodeKind::File { blocks } = &mut node.kind {
+                        if blocks.len() <= idx as usize {
+                            blocks.resize(idx as usize + 1, None);
+                        }
+                        blocks[idx as usize] = Some(addr);
+                    }
+                }
+                // Unknown inode: the file was unlinked by a later record;
+                // the mapping would be dropped anyway.
+                Ok(())
+            }
+            // Delete entries carry no (ino, idx); every state change they
+            // imply is also expressed by a Block/SETSIZE/UNLINK record
+            // that replays, so they are safely ignored here.
+            Entry::Delete { .. } => Ok(()),
+            Entry::Checkpoint { .. } => Err(SwarmError::corrupt("checkpoint routed to replay")),
+        }
+    }
+
+    fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()> {
+        let Some((ino, idx)) = parse_create_info(create) else {
+            return Err(SwarmError::corrupt("sting block creation record malformed"));
+        };
+        self.fs.reader.invalidate(old);
+        let mut inner = self.fs.inner.lock();
+        if let Some(node) = inner.inodes.get_mut(&ino) {
+            if let InodeKind::File { blocks } = &mut node.kind {
+                if let Some(slot) = blocks.get_mut(idx as usize) {
+                    if *slot == Some(old) {
+                        *slot = Some(new);
+                    }
+                }
+            }
+        }
+        // A stale move (block overwritten since the cleaner scanned) is a
+        // no-op — the moved copy is already dead.
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+        let payload = self.fs.encode_checkpoint();
+        log.checkpoint(self.fs.service(), &payload)?;
+        Ok(())
+    }
+}
+
+fn replay_record(fs: &StingFs, kind: u16, data: &[u8]) -> Result<()> {
+    let mut r = ByteReader::new(data);
+    let mut inner = fs.inner.lock();
+    match kind {
+        record::MKNOD => {
+            let parent = r.get_u64()?;
+            let name = r.get_str()?;
+            let ino = r.get_u64()?;
+            let is_dir = r.get_bool()?;
+            let mtime = r.get_u64()?;
+            apply_mknod(&mut inner, parent, &name, ino, is_dir, mtime);
+        }
+        record::UNLINK => {
+            let parent = r.get_u64()?;
+            let name = r.get_str()?;
+            let ino = r.get_u64()?;
+            let mtime = r.get_u64()?;
+            apply_unlink(&mut inner, parent, &name, ino, mtime);
+        }
+        record::RMDIR => {
+            let parent = r.get_u64()?;
+            let name = r.get_str()?;
+            let ino = r.get_u64()?;
+            let mtime = r.get_u64()?;
+            apply_rmdir(&mut inner, parent, &name, ino, mtime);
+        }
+        record::SETSIZE => {
+            let ino = r.get_u64()?;
+            let size = r.get_u64()?;
+            let mtime = r.get_u64()?;
+            apply_setsize(&mut inner, ino, size, mtime, fs.block_size());
+        }
+        record::RENAME => {
+            let sparent = r.get_u64()?;
+            let sname = r.get_str()?;
+            let dparent = r.get_u64()?;
+            let dname = r.get_str()?;
+            let ino = r.get_u64()?;
+            let replaced = Option::<u64>::decode(&mut r)?;
+            let mtime = r.get_u64()?;
+            apply_rename(
+                &mut inner, sparent, &sname, dparent, &dname, ino, replaced, mtime,
+            );
+        }
+        record::LINK => {
+            let parent = r.get_u64()?;
+            let name = r.get_str()?;
+            let ino = r.get_u64()?;
+            let mtime = r.get_u64()?;
+            apply_link(&mut inner, parent, &name, ino, mtime);
+        }
+        other => {
+            return Err(SwarmError::corrupt(format!(
+                "unknown sting record kind {other}"
+            )))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Property-based equivalence of Sting against a reference model under
+//! arbitrary operation sequences — including across a crash+recovery
+//! boundary and with a server failure at verification time.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sting::{StingConfig, StingFs, StingService};
+use swarm_log::{recover, Log, LogConfig};
+use swarm_net::MemTransport;
+use swarm_server::{MemStore, StorageServer};
+use swarm_services::Service;
+use swarm_types::{ClientId, ServerId, ServiceId};
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+fn cluster(n: u32) -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..n {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+fn log_config() -> LogConfig {
+    LogConfig::new(ClientId::new(1), (0..3).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(16 * 1024)
+}
+
+fn sting_config() -> StingConfig {
+    StingConfig {
+        service: STING_SVC,
+        block_size: 1024, // small blocks exercise multi-block paths
+        cache_blocks: 8,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum FsAction {
+    Write { file: u8, offset: u16, byte: u8, len: u16 },
+    Truncate { file: u8, size: u16 },
+    Unlink { file: u8 },
+    Rename { from: u8, to: u8 },
+    Checkpoint,
+}
+
+fn action_strategy() -> impl Strategy<Value = FsAction> {
+    prop_oneof![
+        5 => (0u8..6, 0u16..8000, any::<u8>(), 1u16..3000)
+            .prop_map(|(file, offset, byte, len)| FsAction::Write { file, offset, byte, len }),
+        2 => (0u8..6, 0u16..8000).prop_map(|(file, size)| FsAction::Truncate { file, size }),
+        1 => (0u8..6).prop_map(|file| FsAction::Unlink { file }),
+        1 => (0u8..6, 0u8..6).prop_map(|(from, to)| FsAction::Rename { from, to }),
+        1 => Just(FsAction::Checkpoint),
+    ]
+}
+
+fn path(file: u8) -> String {
+    format!("/p{file}")
+}
+
+fn apply_model(model: &mut BTreeMap<String, Vec<u8>>, action: &FsAction) {
+    match action {
+        FsAction::Write { file, offset, byte, len } => {
+            let f = model.entry(path(*file)).or_default();
+            let end = *offset as usize + *len as usize;
+            if f.len() < end {
+                f.resize(end, 0);
+            }
+            f[*offset as usize..end].fill(*byte);
+        }
+        FsAction::Truncate { file, size } => {
+            if let Some(f) = model.get_mut(&path(*file)) {
+                f.resize(*size as usize, 0);
+            }
+        }
+        FsAction::Unlink { file } => {
+            model.remove(&path(*file));
+        }
+        FsAction::Rename { from, to } => {
+            if from != to {
+                if let Some(content) = model.remove(&path(*from)) {
+                    model.insert(path(*to), content);
+                }
+            }
+        }
+        FsAction::Checkpoint => {}
+    }
+}
+
+fn apply_fs(fs: &StingFs, model: &BTreeMap<String, Vec<u8>>, action: &FsAction) {
+    match action {
+        FsAction::Write { file, offset, byte, len } => {
+            fs.write_file(&path(*file), *offset as u64, &vec![*byte; *len as usize])
+                .unwrap();
+        }
+        FsAction::Truncate { file, size } => {
+            if model.contains_key(&path(*file)) {
+                fs.truncate(&path(*file), *size as u64).unwrap();
+            }
+        }
+        FsAction::Unlink { file } => {
+            if model.contains_key(&path(*file)) {
+                fs.unlink(&path(*file)).unwrap();
+            }
+        }
+        FsAction::Rename { from, to } => {
+            if from != to && model.contains_key(&path(*from)) {
+                fs.rename(&path(*from), &path(*to)).unwrap();
+            }
+        }
+        FsAction::Checkpoint => fs.checkpoint().unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_sting_matches_model_across_crash_and_server_failure(
+        actions in proptest::collection::vec(action_strategy(), 1..35),
+        dead in 0u32..3,
+    ) {
+        let transport = cluster(3);
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        {
+            let log = Arc::new(Log::create(transport.clone(), log_config()).unwrap());
+            let fs = StingFs::format(log, sting_config()).unwrap();
+            for action in &actions {
+                // Model order matters: check preconditions against the
+                // model *before* applying to it.
+                apply_fs(&fs, &model, action);
+                apply_model(&mut model, action);
+            }
+            fs.flush().unwrap();
+        }
+
+        // Crash + recover.
+        let (log, replay) = recover(transport.clone(), log_config(), &[STING_SVC]).unwrap();
+        let fs = StingFs::bare(Arc::new(log), sting_config());
+        let mut svc = StingService::new(fs.clone());
+        if let Some(c) = replay.checkpoint_data(STING_SVC) {
+            svc.restore_checkpoint(c).unwrap();
+        }
+        for e in replay.records_for(STING_SVC) {
+            svc.replay(e).unwrap();
+        }
+
+        // Verify with one server dead.
+        transport.set_down(ServerId::new(dead), true);
+        for file in 0..6u8 {
+            let p = path(file);
+            match model.get(&p) {
+                None => prop_assert!(!fs.exists(&p), "{p} should not exist"),
+                Some(want) => {
+                    let got = fs.read_to_end(&p).unwrap();
+                    prop_assert_eq!(&got, want, "{} mismatch", p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! End-to-end Sting tests over an in-process Swarm cluster: POSIX-ish
+//! semantics, crash recovery, cleaner integration, model equivalence.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sting::{StingConfig, StingError, StingFs, StingService};
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{recover, Log, LogConfig};
+use swarm_net::MemTransport;
+use swarm_server::{MemStore, StorageServer};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::{ClientId, ServerId, ServiceId};
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+fn cluster(n: u32) -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..n {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+fn log_config(servers: u32) -> LogConfig {
+    LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(64 * 1024)
+}
+
+fn sting_config() -> StingConfig {
+    StingConfig {
+        service: STING_SVC,
+        block_size: 4096,
+        cache_blocks: 64,
+    }
+}
+
+fn fresh_fs(transport: Arc<MemTransport>, servers: u32) -> Arc<StingFs> {
+    let log = Arc::new(Log::create(transport, log_config(servers)).unwrap());
+    StingFs::format(log, sting_config()).unwrap()
+}
+
+/// Recover a Sting instance after a "crash" (previous instance dropped).
+fn recover_fs(transport: Arc<MemTransport>, servers: u32) -> Arc<StingFs> {
+    let (log, replay) = recover(transport, log_config(servers), &[STING_SVC]).unwrap();
+    let fs = StingFs::bare(Arc::new(log), sting_config());
+    let mut svc = StingService::new(fs.clone());
+    if let Some(data) = replay.checkpoint_data(STING_SVC) {
+        svc.restore_checkpoint(data).unwrap();
+    }
+    for e in replay.records_for(STING_SVC) {
+        svc.replay(e).unwrap();
+    }
+    fs
+}
+
+// ---------------------------------------------------------------------
+// Basic POSIX-ish semantics
+// ---------------------------------------------------------------------
+
+#[test]
+fn create_write_read_roundtrip() {
+    let fs = fresh_fs(cluster(3), 3);
+    fs.write_file("/hello.txt", 0, b"hello swarm").unwrap();
+    assert_eq!(fs.read_to_end("/hello.txt").unwrap(), b"hello swarm");
+    let st = fs.stat("/hello.txt").unwrap();
+    assert_eq!(st.size, 11);
+    assert!(!st.is_dir);
+    assert_eq!(st.nlink, 1);
+}
+
+#[test]
+fn multi_block_files_and_partial_overwrites() {
+    let fs = fresh_fs(cluster(3), 3);
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+    fs.write_file("/big", 0, &data).unwrap();
+    assert_eq!(fs.read_to_end("/big").unwrap(), data);
+
+    // Overwrite a range spanning block boundaries.
+    let patch = vec![0xffu8; 5000];
+    fs.write_file("/big", 3000, &patch).unwrap();
+    let mut expect = data.clone();
+    expect[3000..8000].copy_from_slice(&patch);
+    assert_eq!(fs.read_to_end("/big").unwrap(), expect);
+
+    // Append past the end.
+    fs.write_file("/big", 20_000, b"tail").unwrap();
+    assert_eq!(fs.stat("/big").unwrap().size, 20_004);
+    assert_eq!(fs.read_file("/big", 19_998, 10).unwrap(), {
+        let mut v = expect[19_998..].to_vec();
+        v.extend_from_slice(b"tail");
+        v
+    });
+}
+
+#[test]
+fn sparse_files_read_zeros_in_holes() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.create("/sparse").unwrap();
+    fs.write_file("/sparse", 100_000, b"far out").unwrap();
+    let st = fs.stat("/sparse").unwrap();
+    assert_eq!(st.size, 100_007);
+    // Hole reads as zeros.
+    assert_eq!(fs.read_file("/sparse", 50_000, 16).unwrap(), vec![0u8; 16]);
+    assert_eq!(fs.read_file("/sparse", 100_000, 7).unwrap(), b"far out");
+    // Far fewer blocks mapped than the size implies.
+    assert!(st.blocks < 5, "sparse file materialized {} blocks", st.blocks);
+}
+
+#[test]
+fn directories_nest_and_list() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    fs.write_file("/a/b/c.txt", 0, b"x").unwrap();
+    fs.write_file("/a/top.txt", 0, b"y").unwrap();
+    let mut names: Vec<String> = fs.readdir("/a").unwrap().into_iter().map(|e| e.name).collect();
+    names.sort();
+    assert_eq!(names, vec!["b", "top.txt"]);
+    let entries = fs.readdir("/a/b").unwrap();
+    assert_eq!(entries.len(), 1);
+    assert!(!entries[0].is_dir);
+    assert!(fs.stat("/a/b").unwrap().is_dir);
+}
+
+#[test]
+fn error_paths() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.mkdir("/d").unwrap();
+    fs.write_file("/f", 0, b"data").unwrap();
+
+    assert!(matches!(fs.stat("/nope"), Err(StingError::NotFound(_))));
+    assert!(matches!(fs.mkdir("/d"), Err(StingError::AlreadyExists(_))));
+    assert!(matches!(fs.create("/f"), Err(StingError::AlreadyExists(_))));
+    assert!(matches!(fs.readdir("/f"), Err(StingError::NotADirectory(_))));
+    assert!(matches!(fs.read_file("/d", 0, 1), Err(StingError::IsADirectory(_))));
+    assert!(matches!(fs.unlink("/d"), Err(StingError::IsADirectory(_))));
+    assert!(matches!(fs.rmdir("/f"), Err(StingError::NotADirectory(_))));
+    assert!(matches!(fs.stat("relative"), Err(StingError::InvalidPath(_))));
+    assert!(matches!(fs.stat("/a/../b"), Err(StingError::InvalidPath(_))));
+    fs.write_file("/d/x", 0, b"1").unwrap();
+    assert!(matches!(fs.rmdir("/d"), Err(StingError::DirectoryNotEmpty(_))));
+}
+
+#[test]
+fn unlink_and_rmdir() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.mkdir("/dir").unwrap();
+    fs.write_file("/dir/f", 0, b"bye").unwrap();
+    fs.unlink("/dir/f").unwrap();
+    assert!(!fs.exists("/dir/f"));
+    fs.rmdir("/dir").unwrap();
+    assert!(!fs.exists("/dir"));
+    // Inodes are actually reclaimed.
+    assert_eq!(fs.inode_count(), 1, "only root remains");
+}
+
+#[test]
+fn hard_links_share_content_and_nlink() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.write_file("/orig", 0, b"shared bytes").unwrap();
+    fs.link("/orig", "/alias").unwrap();
+    assert_eq!(fs.stat("/orig").unwrap().nlink, 2);
+    assert_eq!(fs.stat("/orig").unwrap().ino, fs.stat("/alias").unwrap().ino);
+    assert_eq!(fs.read_to_end("/alias").unwrap(), b"shared bytes");
+    // Writing through one name is visible through the other.
+    fs.write_file("/alias", 0, b"SHARED").unwrap();
+    assert_eq!(&fs.read_to_end("/orig").unwrap()[..6], b"SHARED");
+    // Dropping one link keeps the file.
+    fs.unlink("/orig").unwrap();
+    assert_eq!(fs.stat("/alias").unwrap().nlink, 1);
+    assert_eq!(&fs.read_to_end("/alias").unwrap()[..6], b"SHARED");
+}
+
+#[test]
+fn rename_moves_and_replaces() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.mkdir("/src").unwrap();
+    fs.mkdir("/dst").unwrap();
+    fs.write_file("/src/f", 0, b"payload").unwrap();
+    fs.rename("/src/f", "/dst/g").unwrap();
+    assert!(!fs.exists("/src/f"));
+    assert_eq!(fs.read_to_end("/dst/g").unwrap(), b"payload");
+
+    // Replacing an existing file.
+    fs.write_file("/dst/h", 0, b"old target").unwrap();
+    fs.rename("/dst/g", "/dst/h").unwrap();
+    assert_eq!(fs.read_to_end("/dst/h").unwrap(), b"payload");
+    assert!(!fs.exists("/dst/g"));
+
+    // Moving a directory updates nlink bookkeeping.
+    fs.mkdir("/src/sub").unwrap();
+    let src_nlink = fs.stat("/src").unwrap().nlink;
+    fs.rename("/src/sub", "/dst/sub").unwrap();
+    assert_eq!(fs.stat("/src").unwrap().nlink, src_nlink - 1);
+    assert!(fs.stat("/dst/sub").unwrap().is_dir);
+
+    // Cannot move a directory into itself.
+    fs.mkdir("/tree").unwrap();
+    fs.mkdir("/tree/inner").unwrap();
+    assert!(matches!(
+        fs.rename("/tree", "/tree/inner/evil"),
+        Err(StingError::InvalidPath(_))
+    ));
+}
+
+#[test]
+fn truncate_shrinks_and_extends() {
+    let fs = fresh_fs(cluster(2), 2);
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    fs.write_file("/t", 0, &data).unwrap();
+    fs.truncate("/t", 6000).unwrap();
+    assert_eq!(fs.stat("/t").unwrap().size, 6000);
+    assert_eq!(fs.read_to_end("/t").unwrap(), &data[..6000]);
+    // Re-extension reads zeros past the old cut, per POSIX.
+    fs.truncate("/t", 9000).unwrap();
+    let got = fs.read_to_end("/t").unwrap();
+    assert_eq!(&got[..6000], &data[..6000]);
+    assert!(got[6000..].iter().all(|&b| b == 0), "re-extended tail must be zeros");
+    // Truncate to zero drops all blocks.
+    fs.truncate("/t", 0).unwrap();
+    assert_eq!(fs.stat("/t").unwrap().blocks, 0);
+    assert!(fs.read_to_end("/t").unwrap().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_from_unmount_restores_everything() {
+    let transport = cluster(3);
+    {
+        let fs = fresh_fs(transport.clone(), 3);
+        fs.mkdir("/home").unwrap();
+        fs.write_file("/home/a", 0, b"alpha").unwrap();
+        fs.write_file("/home/b", 0, &vec![7u8; 9000]).unwrap();
+        fs.unmount().unwrap();
+    }
+    let fs = recover_fs(transport, 3);
+    assert_eq!(fs.read_to_end("/home/a").unwrap(), b"alpha");
+    assert_eq!(fs.read_to_end("/home/b").unwrap(), vec![7u8; 9000]);
+}
+
+#[test]
+fn recovery_replays_operations_after_checkpoint() {
+    let transport = cluster(3);
+    {
+        let fs = fresh_fs(transport.clone(), 3);
+        fs.write_file("/before", 0, b"pre-ckpt").unwrap();
+        fs.checkpoint().unwrap();
+        // Post-checkpoint operations, then crash without checkpoint.
+        fs.write_file("/after", 0, b"post-ckpt").unwrap();
+        fs.mkdir("/newdir").unwrap();
+        fs.rename("/before", "/newdir/moved").unwrap();
+        fs.write_file("/after", 4, b"-PATCHED").unwrap();
+        fs.flush().unwrap(); // data reaches the servers, no checkpoint
+    }
+    let fs = recover_fs(transport, 3);
+    assert_eq!(fs.read_to_end("/newdir/moved").unwrap(), b"pre-ckpt");
+    assert_eq!(fs.read_to_end("/after").unwrap(), b"post-PATCHED");
+    assert!(!fs.exists("/before"));
+}
+
+#[test]
+fn recovery_discards_unflushed_tail() {
+    let transport = cluster(3);
+    {
+        let fs = fresh_fs(transport.clone(), 3);
+        fs.write_file("/durable", 0, b"flushed").unwrap();
+        fs.flush().unwrap();
+        // These never reach the servers: crash before flush.
+        fs.write_file("/lost", 0, b"never flushed").unwrap();
+    }
+    let fs = recover_fs(transport, 3);
+    assert_eq!(fs.read_to_end("/durable").unwrap(), b"flushed");
+    assert!(!fs.exists("/lost"), "unflushed file must not survive");
+}
+
+#[test]
+fn recovery_with_a_failed_server_reconstructs_file_data() {
+    let transport = cluster(4);
+    {
+        let fs = fresh_fs(transport.clone(), 4);
+        fs.write_file("/precious", 0, &vec![0xabu8; 30_000]).unwrap();
+        fs.unmount().unwrap();
+    }
+    transport.set_down(ServerId::new(2), true);
+    let fs = recover_fs(transport, 4);
+    assert_eq!(
+        fs.read_to_end("/precious").unwrap(),
+        vec![0xabu8; 30_000],
+        "file readable via parity reconstruction"
+    );
+}
+
+#[test]
+fn repeated_crash_recovery_cycles_converge() {
+    let transport = cluster(3);
+    {
+        let fs = fresh_fs(transport.clone(), 3);
+        fs.write_file("/f", 0, b"v1").unwrap();
+        fs.flush().unwrap();
+    }
+    for i in 0..3 {
+        let fs = recover_fs(transport.clone(), 3);
+        let content = fs.read_to_end("/f").unwrap();
+        assert_eq!(content, format!("v{}", i + 1).as_bytes());
+        fs.write_file("/f", 1, format!("{}", i + 2).as_bytes()).unwrap();
+        if i % 2 == 0 {
+            fs.checkpoint().unwrap();
+        }
+        fs.flush().unwrap();
+    }
+    let fs = recover_fs(transport, 3);
+    assert_eq!(fs.read_to_end("/f").unwrap(), b"v4");
+}
+
+// ---------------------------------------------------------------------
+// Cleaner integration
+// ---------------------------------------------------------------------
+
+#[test]
+fn cleaning_under_a_live_file_system_preserves_contents() {
+    let transport = cluster(3);
+    let log = Arc::new(Log::create(transport, log_config(3)).unwrap());
+    let fs = StingFs::format(log.clone(), sting_config()).unwrap();
+
+    // Churn: write files, overwrite half, delete a third. `expected`
+    // mirrors what each surviving file must contain.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut expected: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
+    for i in 0..30 {
+        let len = rng.gen_range(1000..20_000);
+        let byte = (i % 251) as u8;
+        let path = format!("/f{i}");
+        fs.write_file(&path, 0, &vec![byte; len]).unwrap();
+        expected.insert(path, vec![byte; len]);
+    }
+    for i in (0..30).step_by(2) {
+        let len = rng.gen_range(1000..10_000);
+        let path = format!("/f{i}");
+        fs.write_file(&path, 0, &vec![0xee; len]).unwrap();
+        let f = expected.get_mut(&path).unwrap();
+        let covered = len.min(f.len());
+        f[..covered].copy_from_slice(&vec![0xee; covered]);
+        if len > f.len() {
+            f.resize(len, 0xee);
+        }
+    }
+    for i in (0..30).step_by(3) {
+        let path = format!("/f{i}");
+        fs.unlink(&path).unwrap();
+        expected.remove(&path);
+    }
+    fs.unmount().unwrap();
+
+    let mut stack = ServiceStack::new();
+    let svc: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(StingService::new(fs.clone())));
+    stack.register(svc).unwrap();
+    let cleaner = Cleaner::new(log.clone(), Arc::new(stack), CleanPolicy::CostBenefit);
+    let stats = cleaner.clean_pass(1000).unwrap();
+    assert!(stats.stripes_cleaned > 0, "churn must leave cleanable stripes: {stats:?}");
+
+    // Every surviving file reads back correctly after cleaning.
+    for i in 0..30 {
+        let path = format!("/f{i}");
+        match expected.get(&path) {
+            None => assert!(!fs.exists(&path), "{path} should be gone"),
+            Some(want) => {
+                let data = fs.read_to_end(&path).unwrap();
+                assert_eq!(&data, want, "{path} content after cleaning");
+            }
+        }
+    }
+
+    // And the cleaned state survives a crash.
+    fs.unmount().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Model equivalence under random operations
+// ---------------------------------------------------------------------
+
+/// A trivial in-memory reference file system.
+#[derive(Default)]
+struct ModelFs {
+    files: std::collections::BTreeMap<String, Vec<u8>>,
+}
+
+impl ModelFs {
+    fn write(&mut self, path: &str, offset: usize, data: &[u8]) {
+        let f = self.files.entry(path.to_string()).or_default();
+        if f.len() < offset + data.len() {
+            f.resize(offset + data.len(), 0);
+        }
+        f[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    fn truncate(&mut self, path: &str, size: usize) {
+        if let Some(f) = self.files.get_mut(path) {
+            f.resize(size, 0);
+        }
+    }
+}
+
+#[test]
+fn random_ops_match_reference_model_across_a_crash() {
+    let transport = cluster(3);
+    let mut model = ModelFs::default();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let paths: Vec<String> = (0..8).map(|i| format!("/file{i}")).collect();
+
+    {
+        let fs = fresh_fs(transport.clone(), 3);
+        for step in 0..200 {
+            let path = &paths[rng.gen_range(0..paths.len())];
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let offset = rng.gen_range(0..30_000);
+                    let len = rng.gen_range(1..6000);
+                    let byte = rng.gen::<u8>();
+                    let data = vec![byte; len];
+                    fs.write_file(path, offset as u64, &data).unwrap();
+                    model.write(path, offset, &data);
+                }
+                6..=7 => {
+                    if model.files.contains_key(path) {
+                        let size = rng.gen_range(0..20_000);
+                        fs.truncate(path, size as u64).unwrap();
+                        model.truncate(path, size);
+                    }
+                }
+                8 => {
+                    if model.files.contains_key(path) {
+                        fs.unlink(path).unwrap();
+                        model.files.remove(path);
+                    }
+                }
+                _ => {
+                    if step % 3 == 0 {
+                        fs.checkpoint().unwrap();
+                    }
+                }
+            }
+        }
+        fs.flush().unwrap(); // crash after flush, maybe long after a checkpoint
+    }
+
+    let fs = recover_fs(transport, 3);
+    for path in &paths {
+        match model.files.get(path) {
+            None => assert!(!fs.exists(path), "{path} should not exist"),
+            Some(expect) => {
+                let got = fs.read_to_end(path).unwrap();
+                assert_eq!(&got, expect, "content mismatch for {path}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_serves_repeated_reads() {
+    let fs = fresh_fs(cluster(2), 2);
+    fs.write_file("/hot", 0, &vec![1u8; 8192]).unwrap();
+    fs.flush().unwrap();
+    for _ in 0..50 {
+        fs.read_to_end("/hot").unwrap();
+    }
+    let (hits, misses) = fs.cache_stats();
+    assert!(hits > misses * 10, "cache must absorb re-reads: {hits} hits / {misses} misses");
+}

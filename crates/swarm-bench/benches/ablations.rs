@@ -1,0 +1,189 @@
+//! Ablations of the design choices DESIGN.md calls out: stripe width,
+//! pipelining depth, checkpoint interval, cleaner policy, fragment size.
+//!
+//! Model-level ablations (stripe width, pipelining, fragment size) sweep
+//! the testbed simulation; system-level ablations (checkpoint interval,
+//! cleaner policy) run the real implementation on an in-process cluster.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use sting::{StingConfig, StingFs, StingService};
+use swarm_bench::{log_config, mem_cluster};
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{recover, Log};
+use swarm_services::{Service, ServiceStack};
+use swarm_sim::{simulate_write, Calibration};
+use swarm_types::ServiceId;
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+/// §2.1.2: "the cost of computing and writing the parity fragment is
+/// amortized over more data fragments" — useful bandwidth vs stripe width.
+fn ablation_stripe_width(c: &mut Criterion) {
+    let cal = Calibration::testbed_1999();
+    println!("\n== ablation: stripe width (1 client, model) ==");
+    println!("width  raw MB/s  useful MB/s  parity overhead");
+    for width in [2u32, 3, 4, 6, 8, 16] {
+        let p = simulate_write(&cal, 1, width, 20_000, 4096);
+        println!(
+            "{width:>5}  {:>8.2}  {:>11.2}  {:>14.0}%",
+            p.raw_mb_per_s,
+            p.useful_mb_per_s,
+            (1.0 - p.useful_mb_per_s / p.raw_mb_per_s) * 100.0
+        );
+    }
+    // Token criterion entry so the sweep shows up in bench output.
+    c.bench_function("ablation_stripe_width_w8_model", |b| {
+        b.iter(|| simulate_write(&cal, 1, 8, 1_000, 4096));
+    });
+}
+
+/// §2.1.2's flow-control discussion: queue depth 0 (fully synchronous)
+/// vs the paper's overlap scheme vs deeper pipelines.
+fn ablation_pipelining(c: &mut Criterion) {
+    println!("\n== ablation: write pipelining depth (2 clients × 1 server, model) ==");
+    println!("window  raw MB/s");
+    for window in [0usize, 1, 2, 4, 8] {
+        let mut cal = Calibration::testbed_1999();
+        cal.flow_window = window;
+        let p = simulate_write(&cal, 2, 1, 20_000, 4096);
+        println!("{window:>6}  {:>8.2}", p.raw_mb_per_s);
+    }
+    let cal = Calibration::testbed_1999();
+    c.bench_function("ablation_pipelining_w2_model", |b| {
+        b.iter(|| simulate_write(&cal, 2, 1, 1_000, 4096));
+    });
+}
+
+/// §2.1.3: "checkpoints … their frequency establishes an upper bound on
+/// recovery time" — measured on the real system: records written since
+/// the last checkpoint vs wall-clock recovery time.
+fn ablation_checkpoint_interval(c: &mut Criterion) {
+    println!("\n== ablation: checkpoint interval vs recovery time (real system) ==");
+    println!("records-after-ckpt  recovery");
+    for records_after in [0u32, 100, 1000, 5000] {
+        let transport = mem_cluster(3);
+        {
+            let log = Log::create(transport.clone(), log_config(1, 3)).unwrap();
+            log.checkpoint(STING_SVC, b"anchor").unwrap();
+            for k in 0..records_after {
+                log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64]).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let start = std::time::Instant::now();
+        let (_log, replay) = recover(transport, log_config(1, 3), &[STING_SVC]).unwrap();
+        let took = start.elapsed();
+        assert_eq!(replay.records_for(STING_SVC).len(), records_after as usize);
+        println!("{records_after:>18}  {took:?}");
+    }
+    c.bench_function("recover_1000_records", |b| {
+        b.iter_with_setup(
+            || {
+                let transport = mem_cluster(3);
+                {
+                    let log = Log::create(transport.clone(), log_config(1, 3)).unwrap();
+                    log.checkpoint(STING_SVC, b"anchor").unwrap();
+                    for k in 0..1000u32 {
+                        log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64]).unwrap();
+                    }
+                    log.flush().unwrap();
+                }
+                transport
+            },
+            |transport| recover(transport, log_config(1, 3), &[STING_SVC]).unwrap(),
+        );
+    });
+}
+
+fn churned_fs(transport: Arc<swarm_net::MemTransport>) -> (Arc<Log>, Arc<StingFs>, Arc<ServiceStack>) {
+    let log = Arc::new(Log::create(transport, log_config(1, 3).fragment_size(16 * 1024)).unwrap());
+    let fs = StingFs::format(
+        log.clone(),
+        StingConfig {
+            service: STING_SVC,
+            block_size: 4096,
+            cache_blocks: 64,
+        },
+    )
+    .unwrap();
+    // Skewed churn: small hot files rewritten often, big cold files once.
+    for i in 0..20 {
+        fs.write_file(&format!("/cold{i}"), 0, &vec![1u8; 12_000]).unwrap();
+    }
+    for round in 0..10 {
+        for i in 0..5 {
+            fs.write_file(&format!("/hot{i}"), 0, &vec![round as u8; 4_000]).unwrap();
+        }
+        if round % 3 == 0 {
+            fs.checkpoint().unwrap();
+        }
+    }
+    fs.unmount().unwrap();
+    let mut stack = ServiceStack::new();
+    let svc: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(StingService::new(fs.clone())));
+    stack.register(svc).unwrap();
+    (log, fs, Arc::new(stack))
+}
+
+/// §2.1.4 / Blackwell reference: greedy vs cost–benefit victim selection
+/// under skewed churn — cost–benefit should move fewer bytes per
+/// reclaimed stripe.
+fn ablation_cleaner_policy(c: &mut Criterion) {
+    println!("\n== ablation: cleaner policy under skewed churn (real system) ==");
+    println!("policy        stripes  blocks_moved  bytes_moved  bytes_reclaimed");
+    for (name, policy) in [
+        ("greedy", CleanPolicy::Greedy),
+        ("cost-benefit", CleanPolicy::CostBenefit),
+    ] {
+        let transport = mem_cluster(3);
+        let (log, _fs, stack) = churned_fs(transport);
+        let cleaner = Cleaner::new(log, stack, policy);
+        let stats = cleaner.clean_pass(6).unwrap();
+        println!(
+            "{name:<13} {:>7}  {:>12}  {:>11}  {:>15}",
+            stats.stripes_cleaned, stats.blocks_moved, stats.bytes_moved, stats.bytes_reclaimed
+        );
+    }
+    c.bench_function("clean_pass_cost_benefit", |b| {
+        b.iter_with_setup(
+            || {
+                let transport = mem_cluster(3);
+                let (log, _fs, stack) = churned_fs(transport);
+                Cleaner::new(log, stack, CleanPolicy::CostBenefit)
+            },
+            |cleaner| cleaner.clean_pass(4).unwrap(),
+        );
+    });
+}
+
+/// The 1 MB fragment-size choice (§3.3): bandwidth vs fragment size on
+/// the model (small fragments pay per-fragment costs; huge ones hurt
+/// pipelining granularity — and on real disks, slot management).
+fn ablation_fragment_size(c: &mut Criterion) {
+    println!("\n== ablation: fragment size (1 client × 4 servers, model) ==");
+    println!("fragment  raw MB/s  useful MB/s");
+    for frag_kb in [64u64, 256, 1024, 4096] {
+        let mut cal = Calibration::testbed_1999();
+        cal.fragment_size = frag_kb * 1024;
+        let p = simulate_write(&cal, 1, 4, 20_000, 4096);
+        println!("{:>6}KB  {:>8.2}  {:>11.2}", frag_kb, p.raw_mb_per_s, p.useful_mb_per_s);
+    }
+    let cal = Calibration::testbed_1999();
+    c.bench_function("ablation_fragment_size_1mb_model", |b| {
+        b.iter(|| simulate_write(&cal, 1, 4, 1_000, 4096));
+    });
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_stripe_width,
+    ablation_pipelining,
+    ablation_checkpoint_interval,
+    ablation_cleaner_policy,
+    ablation_fragment_size
+);
+criterion_main!(ablations);

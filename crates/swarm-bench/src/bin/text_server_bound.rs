@@ -1,0 +1,42 @@
+//! In-text measurement (§3.3): the storage server's disk upper bound.
+//!
+//! "Each storage server contains a Quantum Viking II SCSI disk dedicated
+//! to holding log fragments. The size of a log fragment is 1 MB. The
+//! storage server can write fragment-sized blocks to the disk at
+//! 10.3 MB/s, providing an upper bound on the server performance."
+
+use swarm_bench::print_table;
+use swarm_sim::disk::Locality;
+use swarm_sim::{Calibration, SimDisk};
+
+fn main() {
+    let disk = SimDisk::viking_ii();
+    let mut rows = Vec::new();
+    for (label, bytes, locality) in [
+        ("4 KB random", 4096u64, Locality::Random),
+        ("64 KB random", 65536, Locality::Random),
+        ("256 KB slot", 262_144, Locality::Nearby),
+        ("1 MB slot (fragment)", 1 << 20, Locality::Nearby),
+        ("4 MB slot", 4 << 20, Locality::Nearby),
+        ("pure sequential", 1 << 20, Locality::Sequential),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", disk.effective_mb_per_s(bytes, locality)),
+        ]);
+    }
+    print_table(
+        "Server disk write bandwidth by access pattern (Quantum Viking II model)",
+        &["pattern", "MB/s"],
+        &rows,
+    );
+    println!(
+        "\npaper anchor: 1 MB fragment slots at 10.3 MB/s (ours: {:.2});",
+        disk.effective_mb_per_s(1 << 20, Locality::Nearby)
+    );
+    let cal = Calibration::testbed_1999();
+    println!(
+        "with per-fragment server processing the sustained service rate is {:.1} MB/s (paper: 7.7)",
+        cal.server_mb_per_s
+    );
+}

@@ -1,0 +1,102 @@
+//! Victim-selection policies.
+//!
+//! The paper cites Blackwell et al.'s heuristic cleaning work \[3\]; we
+//! implement the two classic policies from the LFS literature so the
+//! ablation benchmark can compare them: **greedy** (lowest utilization
+//! first) and **cost–benefit** (Sprite LFS's `(1-u)·age / (1+u)`), which
+//! prefers old, moderately-empty stripes over young ones that may still
+//! be self-cleaning.
+
+use crate::usage::StripeUsage;
+
+/// How the cleaner picks victim stripes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CleanPolicy {
+    /// Clean the emptiest stripes first.
+    Greedy,
+    /// Sprite LFS cost–benefit: maximize `(1-u)·age / (1+u)`.
+    #[default]
+    CostBenefit,
+}
+
+impl CleanPolicy {
+    /// Score a stripe; higher scores are cleaned first.
+    ///
+    /// `newest_first_seq` is the first sequence of the newest stripe in
+    /// the table (proxy for "now" when computing age).
+    pub fn score(&self, usage: &StripeUsage, newest_first_seq: u64) -> f64 {
+        let u = usage.utilization();
+        match self {
+            CleanPolicy::Greedy => 1.0 - u,
+            CleanPolicy::CostBenefit => {
+                let age = (newest_first_seq.saturating_sub(usage.first_seq)) as f64 + 1.0;
+                (1.0 - u) * age / (1.0 + u)
+            }
+        }
+    }
+
+    /// Orders stripe references best-victim-first.
+    pub fn rank<'a>(
+        &self,
+        stripes: impl IntoIterator<Item = &'a StripeUsage>,
+        newest_first_seq: u64,
+    ) -> Vec<&'a StripeUsage> {
+        let mut v: Vec<&StripeUsage> = stripes.into_iter().collect();
+        v.sort_by(|a, b| {
+            self.score(b, newest_first_seq)
+                .partial_cmp(&self.score(a, newest_first_seq))
+                .expect("scores are finite")
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(first_seq: u64, stored: u64, live: u64) -> StripeUsage {
+        StripeUsage {
+            first_seq,
+            stored_bytes: stored,
+            live_bytes: live,
+            ..StripeUsage::default()
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_empty_stripes() {
+        let a = stripe(0, 1000, 900); // 90% full
+        let b = stripe(3, 1000, 100); // 10% full
+        let ranked = CleanPolicy::Greedy.rank([&a, &b], 3);
+        assert_eq!(ranked[0].first_seq, 3);
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_over_young_at_equal_utilization() {
+        let old = stripe(0, 1000, 500);
+        let young = stripe(300, 1000, 500);
+        let ranked = CleanPolicy::CostBenefit.rank([&young, &old], 300);
+        assert_eq!(ranked[0].first_seq, 0, "older stripe wins at equal u");
+    }
+
+    #[test]
+    fn cost_benefit_can_prefer_old_fuller_stripe_over_young_emptier() {
+        // The hallmark of cost-benefit vs greedy (Rosenblum's example):
+        // a very old stripe at 75% beats a brand-new one at 50%.
+        let old_full = stripe(0, 1000, 750);
+        let young_empty = stripe(297, 1000, 500);
+        let cb = CleanPolicy::CostBenefit.rank([&old_full, &young_empty], 300);
+        assert_eq!(cb[0].first_seq, 0);
+        let greedy = CleanPolicy::Greedy.rank([&old_full, &young_empty], 300);
+        assert_eq!(greedy[0].first_seq, 297);
+    }
+
+    #[test]
+    fn fully_dead_stripe_always_ranks_first_under_greedy() {
+        let dead = stripe(6, 1000, 0);
+        let others = [stripe(0, 1000, 10), stripe(3, 1000, 1)];
+        let ranked = CleanPolicy::Greedy.rank([&others[0], &dead, &others[1]], 6);
+        assert_eq!(ranked[0].first_seq, 6);
+    }
+}

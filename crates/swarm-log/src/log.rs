@@ -1,0 +1,984 @@
+//! The striped log: Swarm's core abstraction (§2.1).
+//!
+//! Each client owns one [`Log`]. Appended blocks and records are packed
+//! into fragments; full fragments are sealed and handed to the pipelined
+//! [`WritePool`]; completed stripes get a parity fragment. All of this
+//! happens without any coordination with other clients or between servers
+//! — the paper's central design goal.
+//!
+//! The log is append-only and conceptually infinite. Blocks persist until
+//! deleted; records drive crash recovery (see [`crate::recovery`]); the
+//! cleaner (crate `swarm-cleaner`) reclaims dead stripes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_net::{Connection, Request, Response, Transport};
+use swarm_types::{
+    BlockAddr, ClientId, FragmentId, Result, ServerId, ServiceId, StripeSeq, SwarmError,
+    DEFAULT_FRAGMENT_SIZE,
+};
+
+use crate::entry::Entry;
+use crate::fragment::{FragmentBuilder, FragmentView};
+use crate::parity::ParityAccumulator;
+use crate::reconstruct;
+use crate::stripe::{StripeGroup, StripePlan};
+use crate::writer::WritePool;
+
+/// Record kinds written by the log layer itself (under
+/// [`ServiceId::LOG_LAYER`]).
+pub mod log_record {
+    /// A checkpoint directory: the positions of every service's newest
+    /// checkpoint at the time it was written. Stored alongside each
+    /// checkpoint so recovery can find *all* services' checkpoints from
+    /// the anchor fragment alone — "the log layer tracks the most
+    /// recently written checkpoint for each service and makes it
+    /// available to the service on restart" (§2.1.3).
+    pub const CHECKPOINT_DIR: u16 = 1;
+}
+
+/// A position in the log, ordered by (fragment sequence, offset).
+///
+/// Services compare positions to decide which replayed records postdate
+/// their checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPosition {
+    /// Fragment sequence number within the client's log.
+    pub seq: u64,
+    /// Byte offset within the fragment.
+    pub offset: u32,
+}
+
+impl LogPosition {
+    /// Position of an address.
+    pub fn of(addr: BlockAddr) -> LogPosition {
+        LogPosition {
+            seq: addr.fid.seq(),
+            offset: addr.offset,
+        }
+    }
+
+    /// The zero position (start of the log).
+    pub fn zero() -> LogPosition {
+        LogPosition { seq: 0, offset: 0 }
+    }
+}
+
+/// Client-side operation counters (observability; all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Blocks appended by services.
+    pub blocks_appended: u64,
+    /// Records (incl. deletes) appended.
+    pub records_appended: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Data fragments shipped to servers.
+    pub data_fragments: u64,
+    /// Parity fragments shipped.
+    pub parity_fragments: u64,
+    /// Empty padding fragments shipped (mid-stripe flushes).
+    pub padding_fragments: u64,
+    /// Total bytes shipped (data + parity + padding + headers).
+    pub bytes_shipped: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Reads served from the client fragment cache or open builder.
+    pub cache_hits: u64,
+    /// Fragments rebuilt from parity on the read path.
+    pub reconstructions: u64,
+}
+
+/// Configuration for a client's log.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// The owning client.
+    pub client: ClientId,
+    /// Servers to stripe across (width = group size, one member is
+    /// parity).
+    pub group: StripeGroup,
+    /// Fragment size in bytes (default 1 MiB, the prototype's choice).
+    pub fragment_size: usize,
+    /// Per-server write queue depth (default 2: transfer one fragment
+    /// while the previous is written to disk, §2.1.2).
+    pub queue_depth: usize,
+    /// Client-side fragment cache capacity, in fragments (default 16).
+    /// Serves re-reads and recovery scans without server round-trips.
+    pub cache_fragments: usize,
+    /// Prefetch whole fragments on read misses (default off — the
+    /// paper's prototype did not prefetch, §3.4; enabling this is the
+    /// optimization the paper says "would greatly improve the
+    /// performance of reads that miss in the client cache").
+    pub prefetch: bool,
+}
+
+impl LogConfig {
+    /// Creates a config with the paper's defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if the server set is not a
+    /// valid stripe group (see [`StripeGroup::new`]).
+    pub fn new(client: ClientId, servers: Vec<ServerId>) -> Result<LogConfig> {
+        Ok(LogConfig {
+            client,
+            group: StripeGroup::new(servers)?,
+            fragment_size: DEFAULT_FRAGMENT_SIZE,
+            queue_depth: 2,
+            cache_fragments: 16,
+            prefetch: false,
+        })
+    }
+
+    /// Sets the fragment size.
+    pub fn fragment_size(mut self, bytes: usize) -> LogConfig {
+        self.fragment_size = bytes;
+        self
+    }
+
+    /// Sets the per-server queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> LogConfig {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the client-side fragment cache capacity.
+    pub fn cache_fragments(mut self, fragments: usize) -> LogConfig {
+        self.cache_fragments = fragments;
+        self
+    }
+
+    /// Enables whole-fragment prefetch on read misses.
+    pub fn prefetch(mut self, on: bool) -> LogConfig {
+        self.prefetch = on;
+        self
+    }
+}
+
+struct OpenStripe {
+    plan: StripePlan,
+    acc: ParityAccumulator,
+    next_member: u8,
+}
+
+/// Tiny FIFO-ish fragment cache for the read path.
+struct FragCache {
+    capacity: usize,
+    map: HashMap<FragmentId, Arc<Vec<u8>>>,
+    order: std::collections::VecDeque<FragmentId>,
+}
+
+impl FragCache {
+    fn new(capacity: usize) -> Self {
+        FragCache {
+            capacity,
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn get(&self, fid: FragmentId) -> Option<Arc<Vec<u8>>> {
+        self.map.get(&fid).cloned()
+    }
+
+    fn insert(&mut self, fid: FragmentId, bytes: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(fid, bytes).is_none() {
+            self.order.push_back(fid);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, fid: FragmentId) {
+        self.map.remove(&fid);
+        self.order.retain(|f| *f != fid);
+    }
+}
+
+struct LogState {
+    next_seq: u64,
+    stripe: Option<OpenStripe>,
+    builder: Option<FragmentBuilder>,
+    /// Where each fragment this log knows about lives.
+    fragment_map: HashMap<FragmentId, ServerId>,
+    /// Per-service newest checkpoint position.
+    checkpoints: HashMap<ServiceId, LogPosition>,
+    cache: FragCache,
+    /// Reusable read connections, one per server.
+    conns: HashMap<ServerId, Box<dyn Connection>>,
+    /// Bytes of entries appended since creation (statistics).
+    appended_bytes: u64,
+    stats: LogStats,
+    closed: bool,
+}
+
+/// A client's striped, self-parity-protected, append-only log.
+///
+/// All methods take `&self`; the log is internally synchronized and can be
+/// shared (`Arc<Log>`) between a file system, a cleaner, and other
+/// services on the same client. Appends from multiple threads serialize on
+/// an internal lock — per the paper there is exactly one log per client,
+/// and services on that client share it.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use swarm_log::{Log, LogConfig};
+/// use swarm_types::{ClientId, ServerId, ServiceId};
+///
+/// # fn transport() -> Arc<dyn swarm_net::Transport> { unimplemented!() }
+/// let config = LogConfig::new(
+///     ClientId::new(1),
+///     vec![ServerId::new(0), ServerId::new(1)],
+/// )?;
+/// let log = Log::create(transport(), config)?;
+/// let addr = log.append_block(ServiceId::new(1), b"inode 7 offset 0", b"file data")?;
+/// log.flush()?;
+/// assert_eq!(log.read(addr)?, b"file data");
+/// # Ok::<(), swarm_types::SwarmError>(())
+/// ```
+pub struct Log {
+    config: LogConfig,
+    transport: Arc<dyn Transport>,
+    pool: WritePool,
+    state: Mutex<LogState>,
+}
+
+impl std::fmt::Debug for Log {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log")
+            .field("client", &self.config.client)
+            .field("group", &self.config.group)
+            .field("fragment_size", &self.config.fragment_size)
+            .finish()
+    }
+}
+
+impl Log {
+    /// Creates a fresh, empty log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if the fragment size cannot
+    /// hold a header plus one minimal entry.
+    pub fn create(transport: Arc<dyn Transport>, config: LogConfig) -> Result<Log> {
+        Self::with_start_seq(transport, config, 0)
+    }
+
+    /// Creates a log resuming at fragment sequence `next_seq` (used by
+    /// recovery; `next_seq` must be stripe-aligned).
+    pub(crate) fn with_start_seq(
+        transport: Arc<dyn Transport>,
+        config: LogConfig,
+        next_seq: u64,
+    ) -> Result<Log> {
+        let probe_plan = config.group.plan(config.client, StripeSeq::new(0));
+        let header_len = probe_plan.header(0).encoded_len();
+        if config.fragment_size < header_len + 64 {
+            return Err(SwarmError::invalid(format!(
+                "fragment size {} too small (header alone is {header_len} bytes)",
+                config.fragment_size
+            )));
+        }
+        if !next_seq.is_multiple_of(config.group.width() as u64) {
+            return Err(SwarmError::invalid("start sequence not stripe-aligned"));
+        }
+        let pool = WritePool::new(
+            transport.clone(),
+            config.client,
+            config.group.servers(),
+            config.queue_depth,
+        );
+        let cache = FragCache::new(config.cache_fragments);
+        Ok(Log {
+            pool,
+            transport,
+            state: Mutex::new(LogState {
+                next_seq,
+                stripe: None,
+                builder: None,
+                fragment_map: HashMap::new(),
+                checkpoints: HashMap::new(),
+                cache,
+                conns: HashMap::new(),
+                appended_bytes: 0,
+                stats: LogStats::default(),
+                closed: false,
+            }),
+            config,
+        })
+    }
+
+    /// The owning client.
+    pub fn client(&self) -> ClientId {
+        self.config.client
+    }
+
+    /// The stripe group this log writes across.
+    pub fn group(&self) -> &StripeGroup {
+        &self.config.group
+    }
+
+    /// The configured fragment size.
+    pub fn fragment_size(&self) -> usize {
+        self.config.fragment_size
+    }
+
+    /// Largest block payload that fits in one fragment (blocks larger than
+    /// this must be split by the service).
+    pub fn max_block_size(&self) -> usize {
+        let header_len = self
+            .config
+            .group
+            .plan(self.config.client, StripeSeq::new(0))
+            .header(0)
+            .encoded_len();
+        // Entry overhead for a block with empty creation info: tag(1) +
+        // service(2) + create_len(4) + data_len(4).
+        self.config.fragment_size - header_len - 11
+    }
+
+    /// Total entry bytes appended since creation.
+    pub fn appended_bytes(&self) -> u64 {
+        self.state.lock().appended_bytes
+    }
+
+    /// The transport this log talks through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Seeds the fragment→server map (used after recovery so reads skip
+    /// the broadcast).
+    pub(crate) fn seed_fragment_map(&self, entries: impl IntoIterator<Item = (FragmentId, ServerId)>) {
+        let mut state = self.state.lock();
+        state.fragment_map.extend(entries);
+    }
+
+    /// Records a service's checkpoint position (used by recovery).
+    pub(crate) fn seed_checkpoint(&self, service: ServiceId, pos: LogPosition) {
+        self.state.lock().checkpoints.insert(service, pos);
+    }
+
+    // ------------------------------------------------------------------
+    // Append path
+    // ------------------------------------------------------------------
+
+    fn ensure_builder<'a>(
+        &self,
+        state: &'a mut LogState,
+        need: usize,
+    ) -> Result<&'a mut FragmentBuilder> {
+        if state.closed {
+            return Err(SwarmError::Closed("log"));
+        }
+        if let Some(b) = &state.builder {
+            if !b.fits(need) {
+                self.seal_current(state)?;
+            }
+        }
+        if state.builder.is_none() {
+            let stripe = match &mut state.stripe {
+                Some(s) => s,
+                None => {
+                    let width = self.config.group.width() as u64;
+                    let stripe_seq = StripeSeq::new(state.next_seq / width);
+                    debug_assert_eq!(state.next_seq % width, 0);
+                    let plan = self.config.group.plan(self.config.client, stripe_seq);
+                    state.stripe = Some(OpenStripe {
+                        plan,
+                        acc: ParityAccumulator::new(),
+                        next_member: 0,
+                    });
+                    state.stripe.as_mut().expect("just inserted")
+                }
+            };
+            let header = stripe.plan.header(stripe.next_member);
+            let builder = FragmentBuilder::new(header, self.config.fragment_size);
+            if !builder.fits(need) {
+                return Err(SwarmError::invalid(format!(
+                    "entry of {need} bytes exceeds fragment capacity {}",
+                    self.config.fragment_size
+                )));
+            }
+            state.builder = Some(builder);
+        }
+        Ok(state.builder.as_mut().expect("present"))
+    }
+
+    /// Seals the open fragment (if any) and submits it; closes the stripe
+    /// with a parity fragment when the last data member seals.
+    fn seal_current(&self, state: &mut LogState) -> Result<()> {
+        let Some(builder) = state.builder.take() else {
+            return Ok(());
+        };
+        let sealed = builder.seal();
+        let (server, stripe_done) = {
+            let stripe = state.stripe.as_mut().expect("builder implies stripe");
+            let server = stripe.plan.member_server(stripe.next_member);
+            stripe.acc.add(&sealed);
+            stripe.next_member += 1;
+            (server, stripe.next_member == stripe.plan.parity_index())
+        };
+        state.fragment_map.insert(sealed.fid(), server);
+        state.next_seq = sealed.fid().seq() + 1;
+        state.stats.data_fragments += 1;
+        state.stats.bytes_shipped += sealed.bytes.len() as u64;
+        // Cache the sealed bytes so reads never race the write pipeline
+        // (the fragment may still be in a writer queue).
+        state
+            .cache
+            .insert(sealed.fid(), Arc::new(sealed.bytes.clone()));
+        self.pool.submit(server, sealed)?;
+        if stripe_done {
+            self.close_stripe(state)?;
+        }
+        Ok(())
+    }
+
+    /// Emits the parity fragment for the open stripe and resets stripe
+    /// state. Requires all data members sealed (padding happens in
+    /// `flush`).
+    fn close_stripe(&self, state: &mut LogState) -> Result<()> {
+        let Some(stripe) = state.stripe.take() else {
+            return Ok(());
+        };
+        let parity_index = stripe.plan.parity_index();
+        let header = stripe.plan.header(parity_index);
+        let parity = stripe.acc.build_parity(header);
+        let server = stripe.plan.member_server(parity_index);
+        state.fragment_map.insert(parity.fid(), server);
+        state.next_seq = parity.fid().seq() + 1;
+        state.stats.parity_fragments += 1;
+        state.stats.bytes_shipped += parity.bytes.len() as u64;
+        self.pool.submit(server, parity)?;
+        Ok(())
+    }
+
+    /// Pads the open stripe's unfilled data members with empty fragments
+    /// so the stripe can close (used when flushing mid-stripe).
+    fn pad_and_close_stripe(&self, state: &mut LogState) -> Result<()> {
+        let (plan, mut next_member) = match &state.stripe {
+            None => return Ok(()),
+            Some(s) if s.next_member == 0 => {
+                // Nothing written into this stripe: drop it entirely and
+                // reuse its sequence numbers for the next appends.
+                state.stripe = None;
+                return Ok(());
+            }
+            Some(s) => (s.plan.clone(), s.next_member),
+        };
+        while next_member < plan.parity_index() {
+            let header = plan.header(next_member);
+            let empty = FragmentBuilder::new(header, self.config.fragment_size).seal();
+            let server = plan.member_server(next_member);
+            let fid = empty.fid();
+            state
+                .stripe
+                .as_mut()
+                .expect("stripe open during padding")
+                .acc
+                .add(&empty);
+            state.fragment_map.insert(fid, server);
+            state.next_seq = fid.seq() + 1;
+            state.stats.padding_fragments += 1;
+            state.stats.bytes_shipped += empty.bytes.len() as u64;
+            self.pool.submit(server, empty)?;
+            next_member += 1;
+            state
+                .stripe
+                .as_mut()
+                .expect("stripe open during padding")
+                .next_member = next_member;
+        }
+        self.close_stripe(state)
+    }
+
+    /// Appends a data block for `service`, returning its address.
+    ///
+    /// `create` is the service-specific creation information stored with
+    /// the block (the paper's creation record): enough for the service to
+    /// find the block in its metadata when it is replayed after a crash or
+    /// moved by the cleaner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if the block exceeds
+    /// [`Log::max_block_size`], [`SwarmError::Closed`] after
+    /// [`Log::close`], or a transport error if a fragment seal cascades
+    /// into a failed store.
+    pub fn append_block(
+        &self,
+        service: ServiceId,
+        create: &[u8],
+        data: &[u8],
+    ) -> Result<BlockAddr> {
+        if service == ServiceId::LOG_LAYER {
+            return Err(SwarmError::invalid(
+                "service id 0 is reserved for the log layer",
+            ));
+        }
+        let entry = Entry::Block {
+            service,
+            create: create.to_vec(),
+            data: data.to_vec(),
+        };
+        let need = entry.encoded_len();
+        let mut state = self.state.lock();
+        let builder = self.ensure_builder(&mut state, need)?;
+        let addr = builder.append_block(service, create, data);
+        state.appended_bytes += need as u64;
+        state.stats.blocks_appended += 1;
+        Ok(addr)
+    }
+
+    /// Appends a service record, returning its position.
+    ///
+    /// Record writes are atomic (the enclosing fragment stores atomically)
+    /// and replayed in order after a crash.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Log::append_block`].
+    pub fn append_record(
+        &self,
+        service: ServiceId,
+        kind: u16,
+        data: &[u8],
+    ) -> Result<LogPosition> {
+        if service == ServiceId::LOG_LAYER {
+            return Err(SwarmError::invalid(
+                "service id 0 is reserved for the log layer",
+            ));
+        }
+        let entry = Entry::Record {
+            service,
+            kind,
+            data: data.to_vec(),
+        };
+        let need = entry.encoded_len();
+        let mut state = self.state.lock();
+        let builder = self.ensure_builder(&mut state, need)?;
+        let offset = builder.append_record(service, kind, data);
+        let seq = builder.fid().seq();
+        state.appended_bytes += need as u64;
+        state.stats.records_appended += 1;
+        Ok(LogPosition { seq, offset })
+    }
+
+    /// Appends a block-deletion record. The block's bytes remain on the
+    /// servers until the cleaner reclaims the stripe; this record makes
+    /// the deletion durable and replayable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Log::append_block`].
+    pub fn delete_block(&self, service: ServiceId, addr: BlockAddr) -> Result<LogPosition> {
+        let entry = Entry::Delete { service, addr };
+        let need = entry.encoded_len();
+        let mut state = self.state.lock();
+        let builder = self.ensure_builder(&mut state, need)?;
+        let offset = builder.append_delete(service, addr);
+        let seq = builder.fid().seq();
+        state.appended_bytes += need as u64;
+        state.stats.records_appended += 1;
+        Ok(LogPosition { seq, offset })
+    }
+
+    /// Writes a checkpoint for `service` and flushes the log.
+    ///
+    /// The fragment containing the checkpoint is stored *marked*, so after
+    /// a crash the service's recovery starts from here (§2.1.3, §2.3.1).
+    /// Records older than this checkpoint are implicitly deleted and
+    /// become cleanable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Log::append_block`] plus any flush error.
+    pub fn checkpoint(&self, service: ServiceId, data: &[u8]) -> Result<LogPosition> {
+        if service == ServiceId::LOG_LAYER {
+            return Err(SwarmError::invalid(
+                "service id 0 is reserved for the log layer",
+            ));
+        }
+        let entry = Entry::Checkpoint {
+            service,
+            data: data.to_vec(),
+        };
+        let pos = {
+            let mut state = self.state.lock();
+            // The checkpoint entry and the log layer's checkpoint
+            // directory must land in the same (marked) fragment, so
+            // recovery can find every service's checkpoint from the
+            // anchor alone. Reserve room for both up front.
+            let dir_bound = encode_checkpoint_dir(&state.checkpoints, None).len() + 32;
+            let need = entry.encoded_len() + dir_bound + 16;
+            let checkpoints_snapshot = state.checkpoints.clone();
+            let builder = self.ensure_builder(&mut state, need)?;
+            let offset = builder.append_checkpoint(service, data);
+            let seq = builder.fid().seq();
+            let pos = LogPosition { seq, offset };
+            let dir = encode_checkpoint_dir(&checkpoints_snapshot, Some((service, pos)));
+            builder.append_record(
+                ServiceId::LOG_LAYER,
+                log_record::CHECKPOINT_DIR,
+                &dir,
+            );
+            state.appended_bytes += need as u64;
+            state.stats.checkpoints += 1;
+            state.checkpoints.insert(service, pos);
+            pos
+        };
+        self.flush()?;
+        Ok(pos)
+    }
+
+    /// The newest checkpoint position for `service`, if any.
+    pub fn last_checkpoint(&self, service: ServiceId) -> Option<LogPosition> {
+        self.state.lock().checkpoints.get(&service).copied()
+    }
+
+    /// Seals and stores everything appended so far, waiting for
+    /// durability. Partial stripes are completed (empty-fragment padding
+    /// plus parity) so every byte is parity-protected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first store failure (e.g.
+    /// [`SwarmError::ServerUnavailable`] if a stripe-group member is
+    /// down).
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut state = self.state.lock();
+            if let Some(b) = &state.builder {
+                if !b.is_empty() {
+                    self.seal_current(&mut state)?;
+                } else {
+                    state.builder = None;
+                }
+            }
+            self.pad_and_close_stripe(&mut state)?;
+        }
+        self.pool.flush()
+    }
+
+    /// Closes the log: flushes and rejects further appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn close(&self) -> Result<()> {
+        self.flush()?;
+        self.state.lock().closed = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Reads the bytes at `addr`, transparently reconstructing the
+    /// enclosing fragment if its server is unavailable (§2.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::ReconstructionFailed`] when more than one
+    /// member of the fragment's stripe is gone, or the underlying
+    /// transport/server errors otherwise.
+    pub fn read(&self, addr: BlockAddr) -> Result<Vec<u8>> {
+        // Unflushed data may still be in the open builder: entries are
+        // immutable once appended, so serve such reads straight from the
+        // build buffer.
+        {
+            let mut state = self.state.lock();
+            state.stats.reads += 1;
+            if let Some(b) = &state.builder {
+                if b.fid() == addr.fid {
+                    let result = match b.read_range(addr.offset, addr.len) {
+                        Some(bytes) => Ok(bytes.to_vec()),
+                        None => Err(SwarmError::RangeOutOfBounds {
+                            addr,
+                            stored: b.len() as u32,
+                        }),
+                    };
+                    if result.is_ok() {
+                        state.stats.cache_hits += 1;
+                    }
+                    return result;
+                }
+            }
+            if let Some(bytes) = state.cache.get(addr.fid) {
+                state.stats.cache_hits += 1;
+                return slice_fragment(&bytes, addr);
+            }
+        }
+
+        // Prefetch mode: pull the whole fragment into the client cache
+        // on a miss, so sequential block reads become cache hits (the
+        // optimization §3.4 names but the prototype lacked).
+        if self.config.prefetch {
+            if let Some(bytes) = reconstruct::read_fragment_anywhere(
+                &*self.transport,
+                self.config.client,
+                addr.fid,
+            )? {
+                let bytes = Arc::new(bytes);
+                let data = slice_fragment(&bytes, addr);
+                self.state.lock().cache.insert(addr.fid, bytes);
+                return data;
+            }
+            return Err(SwarmError::FragmentNotFound(addr.fid));
+        }
+
+        // Fast path: direct range read from the fragment's home server.
+        let home = self.state.lock().fragment_map.get(&addr.fid).copied();
+        if let Some(server) = home {
+            match self.call_server(server, &Request::Read {
+                fid: addr.fid,
+                offset: addr.offset,
+                len: addr.len,
+            }) {
+                Ok(Response::Data(data)) => return Ok(data),
+                Ok(other) => match other.into_result() {
+                    Err(e) if e.is_unavailability() => {}
+                    Err(e) => return Err(e),
+                    Ok(r) => {
+                        return Err(SwarmError::protocol(format!(
+                            "unexpected read reply {r:?}"
+                        )))
+                    }
+                },
+                Err(e) if e.is_unavailability() => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Slow path: locate (the map may be stale) or reconstruct.
+        if let Some((server, _)) =
+            reconstruct::locate_fragment(&*self.transport, self.config.client, addr.fid)
+        {
+            self.state.lock().fragment_map.insert(addr.fid, server);
+            match self.call_server(server, &Request::Read {
+                fid: addr.fid,
+                offset: addr.offset,
+                len: addr.len,
+            }) {
+                Ok(Response::Data(data)) => return Ok(data),
+                Ok(other) => {
+                    other.into_result()?;
+                }
+                Err(e) if e.is_unavailability() => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        let bytes = Arc::new(reconstruct::reconstruct_fragment(
+            &*self.transport,
+            self.config.client,
+            addr.fid,
+        )?);
+        let data = slice_fragment(&bytes, addr)?;
+        {
+            let mut state = self.state.lock();
+            state.stats.reconstructions += 1;
+            state.cache.insert(addr.fid, bytes);
+        }
+        Ok(data)
+    }
+
+    /// Client-side operation counters.
+    pub fn stats(&self) -> LogStats {
+        self.state.lock().stats
+    }
+
+    /// Fetches and parses a whole fragment (recovery and cleaning use
+    /// this). Falls back to reconstruction; `Ok(None)` means the fragment
+    /// does not exist anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and corruption.
+    pub fn fetch_fragment_view(&self, fid: FragmentId) -> Result<Option<FragmentView>> {
+        if let Some(bytes) = self.state.lock().cache.get(fid) {
+            return Ok(Some(FragmentView::parse(&bytes)?));
+        }
+        match reconstruct::read_fragment_anywhere(&*self.transport, self.config.client, fid)? {
+            None => Ok(None),
+            Some(bytes) => {
+                let view = FragmentView::parse(&bytes)?;
+                self.state.lock().cache.insert(fid, Arc::new(bytes));
+                Ok(Some(view))
+            }
+        }
+    }
+
+    /// Drops a fragment from the client cache (cleaner calls this after
+    /// deleting a stripe).
+    pub fn evict_cached(&self, fid: FragmentId) {
+        self.state.lock().cache.remove(fid);
+    }
+
+    /// Forgets the home-server mapping of a deleted fragment.
+    pub fn forget_fragment(&self, fid: FragmentId) {
+        let mut state = self.state.lock();
+        state.cache.remove(fid);
+        state.fragment_map.remove(&fid);
+    }
+
+    /// Sends one request to `server`, reusing a cached connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors after one reconnect attempt.
+    pub fn call_server(&self, server: ServerId, request: &Request) -> Result<Response> {
+        let mut state = self.state.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = state.conns.entry(server) {
+            slot.insert(self.transport.connect(server, self.config.client)?);
+        }
+        let conn = state.conns.get_mut(&server).expect("just inserted");
+        match conn.call(request) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                // One reconnect attempt (the server may have restarted).
+                state.conns.remove(&server);
+                let mut conn = self.transport.connect(server, self.config.client)?;
+                let resp = conn.call(request)?;
+                state.conns.insert(server, conn);
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Deletes fragment `fid` on its home server (cleaner use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates server errors; deleting an already-absent fragment is
+    /// reported as [`SwarmError::FragmentNotFound`].
+    pub fn delete_fragment(&self, fid: FragmentId) -> Result<()> {
+        let server = {
+            let state = self.state.lock();
+            state.fragment_map.get(&fid).copied()
+        };
+        let server = match server {
+            Some(s) => s,
+            None => reconstruct::locate_fragment(&*self.transport, self.config.client, fid)
+                .map(|(s, _)| s)
+                .ok_or(SwarmError::FragmentNotFound(fid))?,
+        };
+        self.call_server(server, &Request::Delete { fid })?
+            .into_result()?;
+        self.forget_fragment(fid);
+        Ok(())
+    }
+
+    /// Preallocates server slots for the next `stripes` stripes, so the
+    /// corresponding stores cannot later fail for lack of space (§2.3's
+    /// "preallocating space for a fragment" operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::OutOfSpace`] if any member server cannot
+    /// reserve a slot, *before* any data is written — the caller can run
+    /// the cleaner and retry.
+    pub fn preallocate_stripes(&self, stripes: u64) -> Result<()> {
+        let width = self.config.group.width() as u64;
+        let first = {
+            let state = self.state.lock();
+            // Start at the current stripe's first sequence (slots for
+            // already-written members are no-ops on the servers).
+            (state.next_seq / width) * width
+        };
+        for s in 0..stripes {
+            let stripe_seq = StripeSeq::new(first / width + s);
+            let plan = self.config.group.plan(self.config.client, stripe_seq);
+            for i in 0..plan.width() {
+                let fid = plan.member_fid(i);
+                let server = plan.member_server(i);
+                self.call_server(
+                    server,
+                    &Request::Preallocate {
+                        fid,
+                        len: self.config.fragment_size as u32,
+                    },
+                )?
+                .into_result()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The sequence number the next-appended fragment will get.
+    pub fn next_seq(&self) -> u64 {
+        let state = self.state.lock();
+        match &state.builder {
+            Some(b) => b.fid().seq(),
+            None => state.next_seq,
+        }
+    }
+}
+
+/// Encodes the per-service checkpoint directory, optionally overriding
+/// one entry with a just-written checkpoint.
+fn encode_checkpoint_dir(
+    checkpoints: &HashMap<ServiceId, LogPosition>,
+    extra: Option<(ServiceId, LogPosition)>,
+) -> Vec<u8> {
+    use swarm_types::{ByteWriter, Encode};
+    let mut merged: std::collections::BTreeMap<ServiceId, LogPosition> =
+        checkpoints.iter().map(|(s, p)| (*s, *p)).collect();
+    if let Some((svc, pos)) = extra {
+        merged.insert(svc, pos);
+    }
+    let mut w = ByteWriter::new();
+    w.put_u32(merged.len() as u32);
+    for (svc, pos) in merged {
+        svc.encode(&mut w);
+        w.put_u64(pos.seq);
+        w.put_u32(pos.offset);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a checkpoint directory record payload.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::Corrupt`] on malformed payloads.
+pub fn decode_checkpoint_dir(data: &[u8]) -> Result<Vec<(ServiceId, LogPosition)>> {
+    use swarm_types::{ByteReader, Decode};
+    let mut r = ByteReader::new(data);
+    let n = r.get_u32()? as usize;
+    if n > 4096 {
+        return Err(SwarmError::corrupt("checkpoint directory too large"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let svc = ServiceId::decode(&mut r)?;
+        let seq = r.get_u64()?;
+        let offset = r.get_u32()?;
+        out.push((svc, LogPosition { seq, offset }));
+    }
+    Ok(out)
+}
+
+fn slice_fragment(bytes: &[u8], addr: BlockAddr) -> Result<Vec<u8>> {
+    let start = addr.offset as usize;
+    let end = addr.end() as usize;
+    if end > bytes.len() {
+        return Err(SwarmError::RangeOutOfBounds {
+            addr,
+            stored: bytes.len() as u32,
+        });
+    }
+    Ok(bytes[start..end].to_vec())
+}

@@ -1,0 +1,230 @@
+//! Parity computation (§2.1.2).
+//!
+//! "A stripe's parity is computed as its fragments are written": the
+//! [`ParityAccumulator`] XORs each sealed data fragment into a running
+//! buffer, so by the time the last data fragment of a stripe ships, the
+//! parity fragment is ready too. Fragments in a stripe may have different
+//! lengths (the final stripe before a flush can be short); shorter
+//! fragments are treated as zero-padded, and the true lengths are recorded
+//! in the parity fragment's header so reconstruction can trim its output.
+
+use swarm_types::{crc32, ByteWriter, Encode, FragmentId};
+
+use crate::fragment::{FragmentHeader, SealedFragment, FLAG_PARITY};
+
+/// XORs `src` into `dst`, growing `dst` with zero padding if needed.
+pub fn xor_into(dst: &mut Vec<u8>, src: &[u8]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+/// Accumulates the XOR of data fragments as they seal.
+#[derive(Debug, Default)]
+pub struct ParityAccumulator {
+    buf: Vec<u8>,
+    members: Vec<(FragmentId, u32)>,
+}
+
+impl ParityAccumulator {
+    /// Starts an empty accumulator (one per in-flight stripe).
+    pub fn new() -> Self {
+        ParityAccumulator {
+            buf: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Folds a sealed data fragment into the parity.
+    pub fn add(&mut self, fragment: &SealedFragment) {
+        xor_into(&mut self.buf, &fragment.bytes);
+        self.members.push((fragment.fid(), fragment.len()));
+    }
+
+    /// Number of data fragments folded in so far.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if nothing has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member fragment lengths accumulated so far.
+    pub fn member_lens(&self) -> Vec<u32> {
+        self.members.iter().map(|(_, len)| *len).collect()
+    }
+
+    /// Finalizes into a parity fragment.
+    ///
+    /// `header` must describe the parity member (its fid, index, stripe
+    /// membership); this method fills in the parity flag, body fields, and
+    /// member length table.
+    pub fn build_parity(self, mut header: FragmentHeader) -> SealedFragment {
+        header.flags |= FLAG_PARITY;
+        header.member_lens = self.member_lens();
+        header.body_len = self.buf.len() as u32;
+        header.body_crc = crc32(&self.buf);
+        let mut w = ByteWriter::with_capacity(header.encoded_len() + self.buf.len());
+        header.encode(&mut w);
+        w.put_raw(&self.buf);
+        SealedFragment {
+            header,
+            bytes: w.into_bytes(),
+            marked: false,
+        }
+    }
+
+    /// Reconstructs a missing data fragment from the parity *body* and the
+    /// surviving data fragments' bytes, trimming to `true_len`.
+    ///
+    /// The caller supplies the parity fragment's body (XOR of all data
+    /// members, zero-padded) and every surviving data member's full bytes.
+    pub fn reconstruct(
+        parity_body: &[u8],
+        surviving: impl IntoIterator<Item = Vec<u8>>,
+        true_len: usize,
+    ) -> Vec<u8> {
+        let mut buf = parity_body.to_vec();
+        for frag in surviving {
+            xor_into(&mut buf, &frag);
+        }
+        buf.truncate(true_len);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use swarm_types::{ClientId, ServerId, ServiceId, StripeSeq};
+
+    use crate::fragment::FragmentBuilder;
+
+    fn header(seq: u64, idx: u8, count: u8) -> FragmentHeader {
+        FragmentHeader {
+            flags: 0,
+            fid: FragmentId::new(ClientId::new(1), seq),
+            stripe: StripeSeq::new(0),
+            stripe_first_seq: 0,
+            member_count: count,
+            my_index: idx,
+            parity_index: count - 1,
+            body_len: 0,
+            body_crc: 0,
+            group: (0..count as u32).map(ServerId::new).collect(),
+            member_lens: vec![],
+        }
+    }
+
+    fn data_fragment(seq: u64, idx: u8, count: u8, payload: &[u8]) -> SealedFragment {
+        let mut b = FragmentBuilder::new(header(seq, idx, count), 1 << 16);
+        b.append_block(ServiceId::new(1), b"", payload);
+        b.seal()
+    }
+
+    #[test]
+    fn xor_into_extends_and_xors() {
+        let mut dst = vec![0b1010];
+        xor_into(&mut dst, &[0b0110, 0b1111]);
+        assert_eq!(dst, vec![0b1100, 0b1111]);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = vec![1u8, 2, 3, 4];
+        let mut acc = Vec::new();
+        xor_into(&mut acc, &a);
+        xor_into(&mut acc, &a);
+        assert!(acc.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn any_single_member_is_reconstructible() {
+        // Three data fragments of different lengths + parity.
+        let frags = vec![
+            data_fragment(0, 0, 4, &[1u8; 100]),
+            data_fragment(1, 1, 4, &[2u8; 500]),
+            data_fragment(2, 2, 4, &[3u8; 50]),
+        ];
+        let mut acc = ParityAccumulator::new();
+        for f in &frags {
+            acc.add(f);
+        }
+        let lens = acc.member_lens();
+        let parity = acc.build_parity(header(3, 3, 4));
+        let parity_view = crate::fragment::FragmentView::parse(&parity.bytes).unwrap();
+        assert!(parity_view.header.is_parity());
+        assert_eq!(parity_view.header.member_lens, lens);
+
+        let parity_header_len = parity.header.encoded_len();
+        let parity_body = &parity.bytes[parity_header_len..];
+
+        for lost in 0..3 {
+            let surviving: Vec<Vec<u8>> = frags
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, f)| f.bytes.clone())
+                .collect();
+            let rebuilt = ParityAccumulator::reconstruct(
+                parity_body,
+                surviving,
+                lens[lost] as usize,
+            );
+            assert_eq!(rebuilt, frags[lost].bytes, "member {lost}");
+            // Rebuilt bytes parse as a valid fragment.
+            crate::fragment::FragmentView::parse(&rebuilt).unwrap();
+        }
+    }
+
+    #[test]
+    fn parity_of_single_fragment_is_a_mirror() {
+        // The 1-client/2-server minimum configuration (§3.4): stripe =
+        // one data fragment + parity ⇒ parity body == data bytes.
+        let f = data_fragment(0, 0, 2, b"mirrored payload");
+        let mut acc = ParityAccumulator::new();
+        acc.add(&f);
+        let parity = acc.build_parity(header(1, 1, 2));
+        let body_start = parity.header.encoded_len();
+        assert_eq!(&parity.bytes[body_start..], &f.bytes[..]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_recovers_any_member(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..800), 1..6),
+            lost_idx in 0usize..6,
+        ) {
+            let count = payloads.len() as u8 + 1;
+            let frags: Vec<SealedFragment> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| data_fragment(i as u64, i as u8, count, p))
+                .collect();
+            let lost = lost_idx % frags.len();
+            let mut acc = ParityAccumulator::new();
+            for f in &frags {
+                acc.add(f);
+            }
+            let lens = acc.member_lens();
+            let parity = acc.build_parity(header(payloads.len() as u64, count - 1, count));
+            let body = &parity.bytes[parity.header.encoded_len()..];
+            let surviving: Vec<Vec<u8>> = frags
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, f)| f.bytes.clone())
+                .collect();
+            let rebuilt =
+                ParityAccumulator::reconstruct(body, surviving, lens[lost] as usize);
+            prop_assert_eq!(&rebuilt, &frags[lost].bytes);
+        }
+    }
+}

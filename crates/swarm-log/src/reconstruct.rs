@@ -1,0 +1,269 @@
+//! Fragment reconstruction (§2.3.3).
+//!
+//! "If fragment N needs to be reconstructed, then either fragment N-1 or
+//! fragment N+1 is in the same stripe. A client finds fragment N-1 and N+1
+//! by broadcasting to all storage servers. Once the client locates a
+//! fragment in the same stripe … it uses the stripe group information in
+//! that fragment to access the other fragments in the stripe and perform
+//! the reconstruction."
+//!
+//! Reconstruction is entirely client-side; servers only answer `Locate`
+//! and `Read` and never learn that a reconstruction is happening.
+
+use swarm_net::{broadcast, Request, Transport};
+use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
+
+use crate::fragment::{parse_header, FragmentHeader, LOCATE_HEADER_LEN};
+use crate::parity::{xor_into, ParityAccumulator};
+
+/// Broadcasts a `Locate` for `fid`, returning the first server that holds
+/// it plus its parsed header.
+pub fn locate_fragment(
+    transport: &dyn Transport,
+    client: ClientId,
+    fid: FragmentId,
+) -> Option<(ServerId, FragmentHeader)> {
+    let replies = broadcast(
+        transport,
+        client,
+        &Request::Locate {
+            fid,
+            header_len: LOCATE_HEADER_LEN,
+        },
+    );
+    for (server, resp) in replies {
+        if let Ok(swarm_net::Response::Located(Some(prefix))) = resp.into_result() {
+            if let Ok(header) = parse_header(&prefix) {
+                return Some((server, header));
+            }
+        }
+    }
+    None
+}
+
+/// Fetches the complete bytes of a fragment from a specific server.
+///
+/// # Errors
+///
+/// Propagates transport and server errors ([`SwarmError::FragmentNotFound`],
+/// [`SwarmError::ServerUnavailable`], …) and validates the header.
+pub fn fetch_fragment(
+    transport: &dyn Transport,
+    client: ClientId,
+    server: ServerId,
+    fid: FragmentId,
+) -> Result<Vec<u8>> {
+    let mut conn = transport.connect(server, client)?;
+    // First get the header to learn the total length.
+    let resp = conn
+        .call(&Request::Locate {
+            fid,
+            header_len: LOCATE_HEADER_LEN,
+        })?
+        .into_result()?;
+    let prefix = match resp {
+        swarm_net::Response::Located(Some(p)) => p,
+        swarm_net::Response::Located(None) => return Err(SwarmError::FragmentNotFound(fid)),
+        other => {
+            return Err(SwarmError::protocol(format!(
+                "unexpected locate reply {other:?}"
+            )))
+        }
+    };
+    let header = parse_header(&prefix)?;
+    let total = header.encoded_len() as u32 + header.body_len;
+    let resp = conn
+        .call(&Request::Read {
+            fid,
+            offset: 0,
+            len: total,
+        })?
+        .into_result()?;
+    match resp {
+        swarm_net::Response::Data(bytes) => Ok(bytes),
+        other => Err(SwarmError::protocol(format!(
+            "unexpected read reply {other:?}"
+        ))),
+    }
+}
+
+/// Finds a surviving stripe-mate's header for `fid` by probing `fid ± 1`
+/// (and, transitively, every member the first discovered header names).
+fn find_stripe_header(
+    transport: &dyn Transport,
+    client: ClientId,
+    fid: FragmentId,
+) -> Option<FragmentHeader> {
+    let mut candidates = Vec::new();
+    if let Some(prev) = fid.prev() {
+        candidates.push(prev);
+    }
+    if let Some(next) = fid.next() {
+        candidates.push(next);
+    }
+    for candidate in candidates {
+        if let Some((_, header)) = locate_fragment(transport, client, candidate) {
+            let first = header.stripe_first_seq;
+            let count = header.member_count as u64;
+            if (first..first + count).contains(&fid.seq()) {
+                return Some(header);
+            }
+        }
+    }
+    None
+}
+
+/// Reconstructs the complete bytes of fragment `fid` from the surviving
+/// members of its stripe.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::ReconstructionFailed`] when no stripe-mate can be
+/// located (e.g. the fragment never existed, or more than one member of
+/// the stripe is unavailable), and [`SwarmError::Corrupt`] if the rebuilt
+/// bytes fail validation.
+pub fn reconstruct_fragment(
+    transport: &dyn Transport,
+    client: ClientId,
+    fid: FragmentId,
+) -> Result<Vec<u8>> {
+    let header = find_stripe_header(transport, client, fid).ok_or_else(|| {
+        SwarmError::ReconstructionFailed {
+            fid,
+            reason: "no surviving stripe-mate located via broadcast".into(),
+        }
+    })?;
+
+    let my_index = (fid.seq() - header.stripe_first_seq) as u8;
+    let parity_index = header.parity_index;
+
+    if my_index == parity_index {
+        // Rebuild the parity fragment by re-XOR-ing all data members.
+        let mut acc_buf: Vec<u8> = Vec::new();
+        let mut lens = Vec::new();
+        for i in 0..header.member_count {
+            if i == parity_index {
+                continue;
+            }
+            let bytes = fetch_member(transport, client, &header, i)?;
+            lens.push(bytes.len() as u32);
+            xor_into(&mut acc_buf, &bytes);
+        }
+        let mut parity_header = FragmentHeader {
+            flags: 0,
+            fid,
+            stripe: header.stripe,
+            stripe_first_seq: header.stripe_first_seq,
+            member_count: header.member_count,
+            my_index,
+            parity_index,
+            body_len: 0,
+            body_crc: 0,
+            group: header.group.clone(),
+            member_lens: vec![],
+        };
+        parity_header.flags |= crate::fragment::FLAG_PARITY;
+        parity_header.member_lens = lens;
+        parity_header.body_len = acc_buf.len() as u32;
+        parity_header.body_crc = swarm_types::crc32(&acc_buf);
+        let mut w = swarm_types::ByteWriter::with_capacity(
+            parity_header.encoded_len() + acc_buf.len(),
+        );
+        use swarm_types::Encode;
+        parity_header.encode(&mut w);
+        w.put_raw(&acc_buf);
+        return Ok(w.into_bytes());
+    }
+
+    // Rebuild a data member: parity body XOR all other data members.
+    let parity_bytes = fetch_member(transport, client, &header, parity_index)?;
+    let parity_header = parse_header(&parity_bytes)?;
+    if !parity_header.is_parity() {
+        return Err(SwarmError::corrupt(format!(
+            "member {parity_index} of {} is not a parity fragment",
+            header.stripe
+        )));
+    }
+    let true_len = *parity_header
+        .member_lens
+        .get(my_index as usize)
+        .ok_or_else(|| SwarmError::corrupt("parity member_lens table too short"))?;
+    let parity_body = &parity_bytes[parity_header.encoded_len()..];
+
+    let mut surviving = Vec::new();
+    for i in 0..header.member_count {
+        if i == my_index || i == parity_index {
+            continue;
+        }
+        surviving.push(fetch_member(transport, client, &header, i)?);
+    }
+    let rebuilt = ParityAccumulator::reconstruct(parity_body, surviving, true_len as usize);
+
+    // Validate before handing back.
+    let view = crate::fragment::FragmentView::parse(&rebuilt).map_err(|e| {
+        SwarmError::ReconstructionFailed {
+            fid,
+            reason: format!("rebuilt bytes failed validation: {e}"),
+        }
+    })?;
+    if view.header.fid != fid {
+        return Err(SwarmError::ReconstructionFailed {
+            fid,
+            reason: format!("rebuilt fragment identifies as {}", view.header.fid),
+        });
+    }
+    Ok(rebuilt)
+}
+
+/// Fetches stripe member `i`, trying its home server first and falling
+/// back to a broadcast locate (the member may have been re-homed or its
+/// header map stale).
+fn fetch_member(
+    transport: &dyn Transport,
+    client: ClientId,
+    header: &FragmentHeader,
+    i: u8,
+) -> Result<Vec<u8>> {
+    let fid = header.member_fid(i);
+    let home = header.member_server(i);
+    match fetch_fragment(transport, client, home, fid) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.is_unavailability() => {
+            if let Some((server, _)) = locate_fragment(transport, client, fid) {
+                fetch_fragment(transport, client, server, fid)
+            } else {
+                Err(SwarmError::ReconstructionFailed {
+                    fid,
+                    reason: format!("stripe member {i} unavailable ({e})"),
+                })
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Reads the complete bytes of `fid` from wherever they are, falling back
+/// to reconstruction; `Ok(None)` means the fragment does not exist in the
+/// cluster at all (end of log, or a cleaned stripe).
+pub fn read_fragment_anywhere(
+    transport: &dyn Transport,
+    client: ClientId,
+    fid: FragmentId,
+) -> Result<Option<Vec<u8>>> {
+    if let Some((server, _)) = locate_fragment(transport, client, fid) {
+        match fetch_fragment(transport, client, server, fid) {
+            Ok(bytes) => return Ok(Some(bytes)),
+            Err(e) if e.is_unavailability() => {} // fall through to rebuild
+            Err(e) => return Err(e),
+        }
+    }
+    match reconstruct_fragment(transport, client, fid) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(SwarmError::ReconstructionFailed { reason, .. })
+            if reason.contains("no surviving stripe-mate") =>
+        {
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,427 @@
+//! Client crash recovery: checkpoint discovery and log rollforward
+//! (§2.1.3, §2.3.1).
+//!
+//! After a client crash, recovery proceeds in three steps:
+//!
+//! 1. **Anchor** — broadcast `LastMarked` to every server; the newest
+//!    marked fragment holds the client's most recent checkpoint *and* the
+//!    log layer's checkpoint directory (the positions of every service's
+//!    newest checkpoint — §2.1.3: "the log layer tracks the most
+//!    recently written checkpoint for each service and makes it
+//!    available to the service on restart").
+//! 2. **Checkpoint discovery** — read the directory from the anchor
+//!    fragment and fetch each service's checkpoint directly. (Fallback
+//!    for anchors without a directory: walk backward until a checkpoint
+//!    has been found for every expected service or the log begins.)
+//! 3. **Rollforward** — scan *forward* from the oldest needed checkpoint
+//!    to the end of the log, collecting every entry. Missing fragments are
+//!    reconstructed from parity; the end of the log is the first fragment
+//!    that neither exists nor can be reconstructed.
+//! 4. **Torn-tail discard** — if the scan ends mid-stripe (the client
+//!    crashed before the stripe's parity shipped), the partial stripe's
+//!    entries are discarded and its surviving fragments deleted. This is
+//!    the strict durability rule: data is acknowledged by `flush()`,
+//!    `flush()` always completes stripes, so anything in an incomplete
+//!    stripe was never acknowledged — and keeping it would leave bytes
+//!    with no parity protection. (Like a torn journal record: the
+//!    servers' atomic stores guarantee entries never tear *within* a
+//!    fragment; stripes can still tear *across* fragments.)
+//!
+//! The caller (usually the service stack) then feeds
+//! [`Replay::checkpoint_data`] and [`Replay::records_for`] to each
+//! service.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use swarm_net::{broadcast, Request, Response, Transport};
+use swarm_types::{BlockAddr, ClientId, FragmentId, Result, ServerId, ServiceId, SwarmError};
+
+use crate::entry::Entry;
+use crate::log::{Log, LogConfig, LogPosition};
+use crate::reconstruct;
+
+/// One replayed log entry with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayEntry {
+    /// Where in the log the entry sits.
+    pub pos: LogPosition,
+    /// The entry itself.
+    pub entry: Entry,
+    /// For Block entries, the address of the data payload.
+    pub block_addr: Option<BlockAddr>,
+}
+
+/// Everything recovery learned from the log.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Newest checkpoint per service: position and payload.
+    pub checkpoints: HashMap<ServiceId, (LogPosition, Vec<u8>)>,
+    /// All entries from the scan start to the end of the log, in order.
+    pub entries: Vec<ReplayEntry>,
+    /// Highest fragment sequence number found.
+    pub last_seq: Option<u64>,
+    /// Where each scanned fragment lives (seeds the new log's map).
+    pub fragment_homes: Vec<(FragmentId, ServerId)>,
+}
+
+impl Replay {
+    /// The checkpoint payload for `service`, if one was found.
+    pub fn checkpoint_data(&self, service: ServiceId) -> Option<&[u8]> {
+        self.checkpoints.get(&service).map(|(_, d)| d.as_slice())
+    }
+
+    /// Entries belonging to `service` that postdate its checkpoint (all of
+    /// its entries if it has no checkpoint), in log order.
+    ///
+    /// These are exactly the records the paper says a service must replay:
+    /// "the log layer provides each service with the records the service
+    /// wrote after its most recent checkpoint".
+    pub fn records_for(&self, service: ServiceId) -> Vec<&ReplayEntry> {
+        let after = self
+            .checkpoints
+            .get(&service)
+            .map(|(pos, _)| *pos)
+            .unwrap_or(LogPosition { seq: 0, offset: 0 });
+        let has_ckpt = self.checkpoints.contains_key(&service);
+        self.entries
+            .iter()
+            .filter(|e| e.entry.service() == service)
+            .filter(|e| {
+                if has_ckpt {
+                    e.pos > after
+                } else {
+                    true
+                }
+            })
+            .filter(|e| !matches!(e.entry, Entry::Checkpoint { .. }))
+            .collect()
+    }
+}
+
+/// Recovers a client's log after a crash.
+///
+/// `expected_services` lists the services that will run on this client;
+/// their checkpoints are fetched via the anchor fragment's checkpoint
+/// directory (services absent from the directory get a full-log scan).
+/// Returns a [`Log`] ready for new appends (sequence numbers continue
+/// after the recovered log) plus the [`Replay`] data.
+///
+/// # Errors
+///
+/// Returns transport errors if no server is reachable, and corruption
+/// errors if recovered fragments fail validation.
+pub fn recover(
+    transport: Arc<dyn Transport>,
+    config: LogConfig,
+    expected_services: &[ServiceId],
+) -> Result<(Log, Replay)> {
+    let client = config.client;
+    let width = config.group.width() as u64;
+
+    let anchor = find_anchor(&*transport, client);
+    let mut replay = Replay::default();
+
+    let scan_start = match anchor {
+        None => 0,
+        Some(anchor_fid) => {
+            match read_checkpoint_dir(&*transport, client, anchor_fid)? {
+                Some(directory) => discover_from_directory(
+                    &*transport,
+                    client,
+                    &directory,
+                    expected_services,
+                    &mut replay,
+                )?,
+                // No directory (e.g. the anchor predates directories, or
+                // its record was unreadable): legacy backward walk.
+                None => discover_checkpoints(
+                    &*transport,
+                    client,
+                    anchor_fid,
+                    expected_services,
+                    &mut replay,
+                )?,
+            }
+        }
+    };
+    let anchor_seq = anchor.map(|a| a.seq()).unwrap_or(0);
+
+    // Rollforward.
+    let mut seq = scan_start;
+    loop {
+        let fid = FragmentId::new(client, seq);
+        let located = reconstruct::locate_fragment(&*transport, client, fid);
+        let bytes = match &located {
+            Some((server, _)) => {
+                match reconstruct::fetch_fragment(&*transport, client, *server, fid) {
+                    Ok(b) => Some(b),
+                    Err(e) if e.is_unavailability() => try_reconstruct(&*transport, client, fid)?,
+                    Err(e) => return Err(e),
+                }
+            }
+            None => try_reconstruct(&*transport, client, fid)?,
+        };
+        let Some(bytes) = bytes else {
+            // Below the anchor a missing fragment is a *cleaned* stripe
+            // (the cleaner only reclaims regions older than every
+            // checkpoint that matters) — skip it. At or beyond the
+            // anchor, a miss is the end of the log or a torn tail.
+            if seq < anchor_seq {
+                seq += 1;
+                continue;
+            }
+            break;
+        };
+        if let Some((server, _)) = located {
+            replay.fragment_homes.push((fid, server));
+        }
+        replay.last_seq = Some(seq);
+        let view = crate::fragment::FragmentView::parse(&bytes)?;
+        if view.header.member_count as u32 != width as u32 {
+            return Err(SwarmError::invalid(format!(
+                "log was written with stripe width {}, but recovery was configured \
+                 with width {} — recover with the original stripe group",
+                view.header.member_count, width
+            )));
+        }
+        if !view.header.is_parity() {
+            for le in view.entries {
+                let pos = LogPosition {
+                    seq,
+                    offset: le.entry_offset,
+                };
+                if let Entry::Checkpoint { service, data } = &le.entry {
+                    // Forward scan may see newer checkpoints than the
+                    // backward discovery found (it starts at the oldest).
+                    let newer = replay
+                        .checkpoints
+                        .get(service)
+                        .map(|(p, _)| pos > *p)
+                        .unwrap_or(true);
+                    if newer {
+                        replay
+                            .checkpoints
+                            .insert(*service, (pos, data.clone()));
+                    }
+                }
+                replay.entries.push(ReplayEntry {
+                    pos,
+                    entry: le.entry,
+                    block_addr: le.block_addr,
+                });
+            }
+        }
+        seq += 1;
+    }
+
+    // Torn-tail discard: the scan stopped at `seq`. If that is mid-stripe,
+    // the final stripe never completed (no parity): drop its entries and
+    // best-effort delete its surviving fragments so they don't linger as
+    // unprotected, unaccounted data.
+    if !seq.is_multiple_of(width) {
+        let torn_first = (seq / width) * width;
+        replay.entries.retain(|e| e.pos.seq < torn_first);
+        replay
+            .checkpoints
+            .retain(|_, (pos, _)| pos.seq < torn_first);
+        let torn_homes: Vec<(FragmentId, ServerId)> = replay
+            .fragment_homes
+            .iter()
+            .filter(|(fid, _)| fid.seq() >= torn_first)
+            .copied()
+            .collect();
+        replay
+            .fragment_homes
+            .retain(|(fid, _)| fid.seq() < torn_first);
+        replay.last_seq = torn_first.checked_sub(1);
+        for (fid, server) in torn_homes {
+            if let Ok(mut conn) = transport.connect(server, client) {
+                let _ = conn.call(&Request::Delete { fid });
+            }
+        }
+    }
+
+    // New appends start one stripe past the last stripe the scan touched
+    // (found *or* torn) — never reuse a torn fragment's id even if its
+    // best-effort deletion failed on a down server.
+    let next_seq = if seq == 0 {
+        0
+    } else {
+        ((seq - 1) / width + 1) * width
+    };
+    let log = Log::with_start_seq(transport, config, next_seq)?;
+    log.seed_fragment_map(replay.fragment_homes.iter().copied());
+    for (service, (pos, _)) in &replay.checkpoints {
+        log.seed_checkpoint(*service, *pos);
+    }
+    Ok((log, replay))
+}
+
+fn try_reconstruct(
+    transport: &dyn Transport,
+    client: ClientId,
+    fid: FragmentId,
+) -> Result<Option<Vec<u8>>> {
+    match reconstruct::reconstruct_fragment(transport, client, fid) {
+        Ok(bytes) => Ok(Some(bytes)),
+        // Unreconstructible during a rollforward scan = end of log or a
+        // torn tail; both mean "stop scanning", not "fail recovery".
+        Err(SwarmError::ReconstructionFailed { .. }) => Ok(None),
+        Err(e) if e.is_unavailability() => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Broadcast `LastMarked`; the newest reply is the recovery anchor.
+fn find_anchor(transport: &dyn Transport, client: ClientId) -> Option<FragmentId> {
+    broadcast(transport, client, &Request::LastMarked)
+        .into_iter()
+        .filter_map(|(_, resp)| match resp.into_result() {
+            Ok(Response::LastMarked(fid)) => fid,
+            _ => None,
+        })
+        .max()
+}
+
+/// Reads the log layer's checkpoint directory from the anchor fragment,
+/// if present (the newest CHECKPOINT_DIR record wins).
+fn read_checkpoint_dir(
+    transport: &dyn Transport,
+    client: ClientId,
+    anchor: FragmentId,
+) -> Result<Option<Vec<(ServiceId, crate::log::LogPosition)>>> {
+    if std::env::var("SWARM_DISABLE_CKPT_DIR").is_ok() {
+        return Ok(None); // test hook: force the legacy backward walk
+    }
+    let Some(bytes) = reconstruct::read_fragment_anywhere(transport, client, anchor)? else {
+        return Ok(None);
+    };
+    let view = crate::fragment::FragmentView::parse(&bytes)?;
+    for le in view.entries.iter().rev() {
+        if let Entry::Record {
+            service,
+            kind,
+            data,
+        } = &le.entry
+        {
+            if *service == ServiceId::LOG_LAYER
+                && *kind == crate::log::log_record::CHECKPOINT_DIR
+            {
+                return Ok(Some(crate::log::decode_checkpoint_dir(data)?));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Fetches each expected service's checkpoint straight from the
+/// directory; returns the forward-scan start (the oldest position that
+/// still matters).
+fn discover_from_directory(
+    transport: &dyn Transport,
+    client: ClientId,
+    directory: &[(ServiceId, LogPosition)],
+    expected: &[ServiceId],
+    replay: &mut Replay,
+) -> Result<u64> {
+    let mut scan_start = u64::MAX;
+    for (service, pos) in directory {
+        if !expected.contains(service) {
+            continue;
+        }
+        let fid = FragmentId::new(client, pos.seq);
+        let Some(bytes) = reconstruct::read_fragment_anywhere(transport, client, fid)? else {
+            // The directory references a fragment that is gone — fall
+            // back to scanning from the beginning for safety.
+            scan_start = 0;
+            continue;
+        };
+        let view = crate::fragment::FragmentView::parse(&bytes)?;
+        for le in &view.entries {
+            if le.entry_offset == pos.offset {
+                if let Entry::Checkpoint { service: s, data } = &le.entry {
+                    if s == service {
+                        replay
+                            .checkpoints
+                            .insert(*service, (*pos, data.clone()));
+                    }
+                }
+            }
+        }
+        scan_start = scan_start.min(pos.seq);
+    }
+    // Services expected but absent from the directory never checkpointed:
+    // their records are everywhere, so scan from the very beginning (the
+    // cleaner cannot have reclaimed any stripe holding their records).
+    let all_listed = expected
+        .iter()
+        .all(|svc| directory.iter().any(|(s, _)| s == svc));
+    if !all_listed || scan_start == u64::MAX {
+        scan_start = 0;
+    }
+    Ok(scan_start)
+}
+
+/// Walks backward from the anchor collecting the newest checkpoint per
+/// service; returns the sequence number the forward scan should start at.
+fn discover_checkpoints(
+    transport: &dyn Transport,
+    client: ClientId,
+    anchor: FragmentId,
+    expected: &[ServiceId],
+    replay: &mut Replay,
+) -> Result<u64> {
+    let mut scan_start = anchor.seq();
+    let mut seq = anchor.seq() as i128;
+    loop {
+        if seq < 0 {
+            break;
+        }
+        let fid = FragmentId::new(client, seq as u64);
+        let bytes =
+            match reconstruct::read_fragment_anywhere(transport, client, fid) {
+                Ok(Some(b)) => b,
+                // A cleaned region (or a second failure): stop walking.
+                Ok(None) => break,
+                Err(e) if e.is_unavailability() => break,
+                Err(e) => return Err(e),
+            };
+        let view = crate::fragment::FragmentView::parse(&bytes)?;
+        if !view.header.is_parity() {
+            // Within one fragment, later entries are newer: iterate in
+            // reverse so the newest checkpoint of each service wins.
+            for le in view.entries.iter().rev() {
+                if let Entry::Checkpoint { service, data } = &le.entry {
+                    replay.checkpoints.entry(*service).or_insert_with(|| {
+                        (
+                            LogPosition {
+                                seq: seq as u64,
+                                offset: le.entry_offset,
+                            },
+                            data.clone(),
+                        )
+                    });
+                }
+            }
+        }
+        scan_start = seq as u64;
+        let all_found = expected
+            .iter()
+            .all(|s| replay.checkpoints.contains_key(s));
+        if all_found && !expected.is_empty() {
+            break;
+        }
+        seq -= 1;
+    }
+    // Positions found by the backward walk are authoritative starting
+    // points; the forward scan re-reads from the oldest of them (or the
+    // oldest reachable fragment when some service never checkpointed).
+    let oldest_ckpt = replay
+        .checkpoints
+        .values()
+        .map(|(p, _)| p.seq)
+        .min()
+        .unwrap_or(scan_start);
+    Ok(scan_start.min(oldest_ckpt))
+}

@@ -1,0 +1,239 @@
+//! Stripe planning: which fragment goes where (§2.1.2).
+//!
+//! A client's log is cut into stripes of a fixed width `w` (data members
+//! plus one parity member). Stripe `s` owns the fragment sequence numbers
+//! `[s*w, (s+1)*w)`; consecutive numbering within a stripe is what lets
+//! reconstruction find stripe-mates of a lost fragment by probing
+//! `fid ± 1` (§2.3.3). Member `i` of stripe `s` is placed on
+//! `group[(s + i) mod w]`, so the parity member (always the last fid of
+//! the stripe) rotates across the servers stripe by stripe — the paper's
+//! load-balancing rule for reconstruction traffic.
+//!
+//! Stripes are always *complete*: if the log is flushed mid-stripe, the
+//! unfilled data slots are padded with header-only empty fragments so that
+//! every stripe has exactly `w` members and the fid arithmetic never
+//! breaks. (Empty fragments cost ~64 bytes each and are reclaimed with
+//! their stripe by the cleaner.)
+
+use swarm_types::{ClientId, FragmentId, Result, ServerId, StripeSeq, SwarmError};
+
+use crate::fragment::FragmentHeader;
+
+/// Maximum stripe width (data + parity).
+pub const MAX_WIDTH: usize = swarm_types::MAX_STRIPE_WIDTH;
+
+/// A validated stripe group: the ordered set of servers a client stripes
+/// across.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeGroup {
+    servers: Vec<ServerId>,
+}
+
+impl StripeGroup {
+    /// Creates a stripe group from distinct servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if fewer than 2 servers are
+    /// given ("a stripe is a set of two or more fragments"), more than
+    /// [`MAX_WIDTH`], or any duplicates.
+    pub fn new(servers: Vec<ServerId>) -> Result<StripeGroup> {
+        if servers.len() < 2 {
+            return Err(SwarmError::invalid(
+                "a stripe group needs at least 2 servers (1 data + 1 parity)",
+            ));
+        }
+        if servers.len() > MAX_WIDTH {
+            return Err(SwarmError::invalid(format!(
+                "stripe group of {} servers exceeds maximum width {MAX_WIDTH}",
+                servers.len()
+            )));
+        }
+        let mut sorted = servers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != servers.len() {
+            return Err(SwarmError::invalid("stripe group has duplicate servers"));
+        }
+        Ok(StripeGroup { servers })
+    }
+
+    /// Stripe width (number of members, data + parity).
+    pub fn width(&self) -> u8 {
+        self.servers.len() as u8
+    }
+
+    /// Number of data members per stripe.
+    pub fn data_width(&self) -> u8 {
+        self.width() - 1
+    }
+
+    /// The member servers in declaration order.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Plans stripe `s`: placement and fragment ids for every member.
+    pub fn plan(&self, client: ClientId, stripe: StripeSeq) -> StripePlan {
+        let w = self.servers.len();
+        let s = stripe.raw();
+        let rotated: Vec<ServerId> = (0..w)
+            .map(|i| self.servers[((s as usize) + i) % w])
+            .collect();
+        StripePlan {
+            client,
+            stripe,
+            first_seq: s * w as u64,
+            servers: rotated,
+        }
+    }
+}
+
+/// Placement of one stripe's members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripePlan {
+    /// Log owner.
+    pub client: ClientId,
+    /// Which stripe this is.
+    pub stripe: StripeSeq,
+    /// Sequence number of member 0.
+    pub first_seq: u64,
+    /// Member `i` is stored on `servers[i]` (already rotated).
+    pub servers: Vec<ServerId>,
+}
+
+impl StripePlan {
+    /// Stripe width.
+    pub fn width(&self) -> u8 {
+        self.servers.len() as u8
+    }
+
+    /// Index of the parity member (always the last fid of the stripe).
+    pub fn parity_index(&self) -> u8 {
+        self.width() - 1
+    }
+
+    /// Fragment id of member `i`.
+    pub fn member_fid(&self, i: u8) -> FragmentId {
+        FragmentId::new(self.client, self.first_seq + i as u64)
+    }
+
+    /// Server holding member `i`.
+    pub fn member_server(&self, i: u8) -> ServerId {
+        self.servers[i as usize]
+    }
+
+    /// Builds the header template for member `i` (body fields zeroed;
+    /// parity flag and length table added later for the parity member).
+    pub fn header(&self, i: u8) -> FragmentHeader {
+        FragmentHeader {
+            flags: 0,
+            fid: self.member_fid(i),
+            stripe: self.stripe,
+            stripe_first_seq: self.first_seq,
+            member_count: self.width(),
+            my_index: i,
+            parity_index: self.parity_index(),
+            body_len: 0,
+            body_crc: 0,
+            group: self.servers.clone(),
+            member_lens: vec![],
+        }
+    }
+
+    /// Which stripe a fragment sequence number belongs to, given width.
+    pub fn stripe_of(seq: u64, width: u8) -> StripeSeq {
+        StripeSeq::new(seq / width as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u32) -> StripeGroup {
+        StripeGroup::new((0..n).map(ServerId::new).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_tiny_groups_and_duplicates() {
+        assert!(StripeGroup::new(vec![ServerId::new(0)]).is_err());
+        assert!(StripeGroup::new(vec![]).is_err());
+        assert!(StripeGroup::new(vec![ServerId::new(1), ServerId::new(1)]).is_err());
+        assert!(StripeGroup::new((0..MAX_WIDTH as u32 + 1).map(ServerId::new).collect()).is_err());
+    }
+
+    #[test]
+    fn parity_rotates_across_stripes() {
+        let g = group(4);
+        let client = ClientId::new(1);
+        let mut parity_servers = Vec::new();
+        for s in 0..8 {
+            let plan = g.plan(client, StripeSeq::new(s));
+            parity_servers.push(plan.member_server(plan.parity_index()));
+        }
+        // Over `width` consecutive stripes, parity lands on every server.
+        let mut seen = parity_servers[..4].to_vec();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![
+                ServerId::new(0),
+                ServerId::new(1),
+                ServerId::new(2),
+                ServerId::new(3)
+            ]
+        );
+        // And the rotation repeats with period `width`.
+        assert_eq!(parity_servers[0], parity_servers[4]);
+    }
+
+    #[test]
+    fn members_of_a_stripe_land_on_distinct_servers() {
+        let g = group(5);
+        for s in 0..10 {
+            let plan = g.plan(ClientId::new(2), StripeSeq::new(s));
+            let mut servers = plan.servers.clone();
+            servers.sort_unstable();
+            servers.dedup();
+            assert_eq!(servers.len(), 5, "stripe {s}");
+        }
+    }
+
+    #[test]
+    fn fids_are_consecutive_within_a_stripe() {
+        let g = group(3);
+        let plan = g.plan(ClientId::new(1), StripeSeq::new(7));
+        assert_eq!(plan.first_seq, 21);
+        assert_eq!(plan.member_fid(0).seq(), 21);
+        assert_eq!(plan.member_fid(1).seq(), 22);
+        assert_eq!(plan.member_fid(2).seq(), 23);
+        assert_eq!(StripePlan::stripe_of(22, 3), StripeSeq::new(7));
+        assert_eq!(StripePlan::stripe_of(23, 3), StripeSeq::new(7));
+        assert_eq!(StripePlan::stripe_of(24, 3), StripeSeq::new(8));
+    }
+
+    #[test]
+    fn header_template_is_consistent() {
+        let g = group(3);
+        let plan = g.plan(ClientId::new(1), StripeSeq::new(2));
+        for i in 0..3u8 {
+            let h = plan.header(i);
+            assert_eq!(h.fid, plan.member_fid(i));
+            assert_eq!(h.my_index, i);
+            assert_eq!(h.member_count, 3);
+            assert_eq!(h.parity_index, 2);
+            assert_eq!(h.member_server(i), plan.member_server(i));
+            assert_eq!(h.member_fid(i), plan.member_fid(i));
+        }
+    }
+
+    #[test]
+    fn minimum_two_server_group_mirrors() {
+        let g = group(2);
+        assert_eq!(g.data_width(), 1);
+        let plan = g.plan(ClientId::new(1), StripeSeq::new(0));
+        assert_eq!(plan.width(), 2);
+        assert_eq!(plan.parity_index(), 1);
+    }
+}

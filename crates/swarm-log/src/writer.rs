@@ -1,0 +1,333 @@
+//! The pipelined fragment writer (§2.1.2).
+//!
+//! "The log layer software in the client is multi-threaded, and performs
+//! several operations concurrently … fragments are written to the servers
+//! asynchronously, so that several may be written simultaneously … the log
+//! layer transfers a fragment to a server while the previous fragment is
+//! being written to disk."
+//!
+//! [`WritePool`] keeps one writer thread per server with a small bounded
+//! queue (the paper's "rudimentary form of flow control"): the appending
+//! thread seals fragments and hands them off without blocking until a
+//! server's queue is full, keeping both network and disk busy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use swarm_net::{Connection, Request, Transport};
+use swarm_types::{ClientId, Result, ServerId, SwarmError};
+
+use crate::fragment::SealedFragment;
+
+/// How many times a writer retries a failed store before reporting the
+/// server lost.
+const STORE_RETRIES: usize = 5;
+
+/// Pause between retries: long enough for a rebooting server process to
+/// come back, short enough not to stall the pipeline noticeably.
+const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
+
+struct Job {
+    fragment: SealedFragment,
+}
+
+#[derive(Default)]
+struct PoolState {
+    in_flight: usize,
+    errors: Vec<SwarmError>,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    done: Condvar,
+}
+
+/// A pool of per-server writer threads with bounded queues.
+pub struct WritePool {
+    senders: HashMap<ServerId, Sender<Job>>,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WritePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WritePool")
+            .field("servers", &self.senders.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl WritePool {
+    /// Spawns one writer thread per server with queues of `depth`
+    /// fragments each.
+    ///
+    /// `depth = 1` serializes each server's pipeline (transfer overlaps
+    /// the *previous* disk write, the paper's scheme); larger depths
+    /// admit more outstanding fragments per server.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        client: ClientId,
+        servers: &[ServerId],
+        depth: usize,
+    ) -> WritePool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            done: Condvar::new(),
+        });
+        let mut senders = HashMap::new();
+        let mut threads = Vec::new();
+        for &server in servers {
+            let (tx, rx) = bounded::<Job>(depth.max(1));
+            let transport = transport.clone();
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("swarm-writer-{}", server.raw()))
+                .spawn(move || {
+                    let mut conn: Option<Box<dyn Connection>> = None;
+                    while let Ok(job) = rx.recv() {
+                        let result = store_with_retry(&*transport, client, server, &mut conn, &job);
+                        let mut state = shared.state.lock();
+                        state.in_flight -= 1;
+                        if let Err(e) = result {
+                            state.errors.push(e);
+                        }
+                        shared.done.notify_all();
+                    }
+                })
+                .expect("spawn writer thread");
+            senders.insert(server, tx);
+            threads.push(handle);
+        }
+        WritePool {
+            senders,
+            shared,
+            threads,
+        }
+    }
+
+    /// Queues a sealed fragment for storage on `server`. Blocks only when
+    /// that server's queue is full (flow control).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if `server` is not part of
+    /// this pool, or [`SwarmError::Closed`] if the pool has shut down.
+    pub fn submit(&self, server: ServerId, fragment: SealedFragment) -> Result<()> {
+        let sender = self.senders.get(&server).ok_or_else(|| {
+            SwarmError::invalid(format!("server {server} is not in the write pool"))
+        })?;
+        {
+            let mut state = self.shared.state.lock();
+            state.in_flight += 1;
+        }
+        sender.send(Job { fragment }).map_err(|_| {
+            let mut state = self.shared.state.lock();
+            state.in_flight -= 1;
+            SwarmError::Closed("write pool")
+        })
+    }
+
+    /// Waits for every queued fragment to be durably stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any writer hit since the last `flush`
+    /// (further errors are dropped; the log treats any store failure as
+    /// fatal for the affected stripe).
+    pub fn flush(&self) -> Result<()> {
+        let mut state = self.shared.state.lock();
+        while state.in_flight > 0 {
+            self.shared.done.wait(&mut state);
+        }
+        if state.errors.is_empty() {
+            Ok(())
+        } else {
+            Err(state.errors.drain(..).next().expect("nonempty"))
+        }
+    }
+
+    /// Shuts the pool down, joining all writer threads. Queued work is
+    /// completed first.
+    pub fn shutdown(&mut self) {
+        self.senders.clear(); // closes channels; threads drain and exit
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WritePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn store_with_retry(
+    transport: &dyn Transport,
+    client: ClientId,
+    server: ServerId,
+    conn: &mut Option<Box<dyn Connection>>,
+    job: &Job,
+) -> Result<()> {
+    let request = Request::Store {
+        fid: job.fragment.fid(),
+        marked: job.fragment.marked,
+        ranges: vec![],
+        data: job.fragment.bytes.clone(),
+    };
+    let mut last_err = SwarmError::ServerUnavailable(server);
+    for attempt in 0..STORE_RETRIES {
+        if attempt > 0 {
+            std::thread::sleep(RETRY_BACKOFF);
+        }
+        if conn.is_none() {
+            match transport.connect(server, client) {
+                Ok(c) => *conn = Some(c),
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+        }
+        let c = conn.as_mut().expect("connection present");
+        match c.call(&request) {
+            Ok(resp) => {
+                return match resp.into_result() {
+                    Ok(_) => Ok(()),
+                    // A duplicate store after a retried-but-actually-
+                    // successful attempt is fine: the fragment is there.
+                    Err(SwarmError::FragmentExists(_)) => Ok(()),
+                    Err(e) => Err(e),
+                };
+            }
+            Err(e) => {
+                *conn = None; // force reconnect
+                last_err = e;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{FragmentBuilder, FragmentHeader};
+    use swarm_net::MemTransport;
+    use swarm_server::{FragmentStore, MemStore, StorageServer};
+    use swarm_types::{FragmentId, ServiceId, StripeSeq};
+
+    fn cluster(n: u32) -> (Arc<MemTransport>, Vec<Arc<StorageServer<MemStore>>>) {
+        let transport = Arc::new(MemTransport::new());
+        let mut servers = Vec::new();
+        for i in 0..n {
+            let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            transport.register(ServerId::new(i), srv.clone());
+            servers.push(srv);
+        }
+        (transport, servers)
+    }
+
+    fn fragment(seq: u64, payload: &[u8]) -> SealedFragment {
+        let header = FragmentHeader {
+            flags: 0,
+            fid: FragmentId::new(ClientId::new(1), seq),
+            stripe: StripeSeq::new(0),
+            stripe_first_seq: 0,
+            member_count: 2,
+            my_index: 0,
+            parity_index: 1,
+            body_len: 0,
+            body_crc: 0,
+            group: vec![ServerId::new(0), ServerId::new(1)],
+            member_lens: vec![],
+        };
+        let mut b = FragmentBuilder::new(header, 1 << 16);
+        b.append_block(ServiceId::new(1), b"", payload);
+        b.seal()
+    }
+
+    #[test]
+    fn fragments_arrive_on_their_servers() {
+        let (transport, servers) = cluster(2);
+        let pool = WritePool::new(
+            transport.clone(),
+            ClientId::new(1),
+            &[ServerId::new(0), ServerId::new(1)],
+            2,
+        );
+        for seq in 0..10 {
+            let target = ServerId::new((seq % 2) as u32);
+            pool.submit(target, fragment(seq, format!("frag{seq}").as_bytes()))
+                .unwrap();
+        }
+        pool.flush().unwrap();
+        assert_eq!(servers[0].store().fragment_count(), 5);
+        assert_eq!(servers[1].store().fragment_count(), 5);
+    }
+
+    #[test]
+    fn flush_reports_down_server() {
+        let (transport, _servers) = cluster(2);
+        let pool = WritePool::new(
+            transport.clone(),
+            ClientId::new(1),
+            &[ServerId::new(0), ServerId::new(1)],
+            2,
+        );
+        transport.set_down(ServerId::new(1), true);
+        pool.submit(ServerId::new(0), fragment(0, b"ok")).unwrap();
+        pool.submit(ServerId::new(1), fragment(1, b"doomed")).unwrap();
+        let err = pool.flush().unwrap_err();
+        assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+        // After the error is taken, the pool is usable again.
+        pool.submit(ServerId::new(0), fragment(2, b"ok2")).unwrap();
+        pool.flush().unwrap();
+    }
+
+    #[test]
+    fn submit_to_foreign_server_rejected() {
+        let (transport, _servers) = cluster(1);
+        let pool = WritePool::new(transport, ClientId::new(1), &[ServerId::new(0)], 1);
+        let err = pool
+            .submit(ServerId::new(7), fragment(0, b"x"))
+            .unwrap_err();
+        assert!(matches!(err, SwarmError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn flush_on_idle_pool_is_ok() {
+        let (transport, _servers) = cluster(1);
+        let pool = WritePool::new(transport, ClientId::new(1), &[ServerId::new(0)], 1);
+        pool.flush().unwrap();
+        pool.flush().unwrap();
+    }
+
+    #[test]
+    fn many_fragments_through_narrow_queue() {
+        // Queue depth 1 forces the submitter to block — exercising flow
+        // control — but everything must still arrive.
+        let (transport, servers) = cluster(1);
+        let pool = WritePool::new(transport, ClientId::new(1), &[ServerId::new(0)], 1);
+        for seq in 0..50 {
+            pool.submit(ServerId::new(0), fragment(seq, &[seq as u8; 128]))
+                .unwrap();
+        }
+        pool.flush().unwrap();
+        assert_eq!(servers[0].store().fragment_count(), 50);
+    }
+
+    #[test]
+    fn shutdown_completes_queued_work() {
+        let (transport, servers) = cluster(1);
+        let mut pool = WritePool::new(transport, ClientId::new(1), &[ServerId::new(0)], 4);
+        for seq in 0..8 {
+            pool.submit(ServerId::new(0), fragment(seq, b"payload"))
+                .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(servers[0].store().fragment_count(), 8);
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic fault injection for the in-memory transport.
+//!
+//! Swarm's headline claim is tolerance of server failures, so the test
+//! suite needs to *cause* them precisely: a server that is down, a server
+//! that dies after N requests, a connection that drops mid-call. The
+//! [`FaultPlan`] expresses those scenarios deterministically (no wall-clock
+//! or RNG in the plan itself) so failing tests replay exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-server fault state consulted by [`crate::MemTransport`] on every
+/// connect and call.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Server refuses connections and calls entirely.
+    down: AtomicBool,
+    /// Fail calls once this many have been served (u64::MAX = never).
+    fail_after: AtomicU64,
+    /// Calls served so far (for `fail_after`).
+    served: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        FaultPlan {
+            down: AtomicBool::new(false),
+            fail_after: AtomicU64::new(u64::MAX),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks the server down (or back up).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Is the server currently down?
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Makes the server fail permanently after serving `n` more calls
+    /// (counting from now).
+    pub fn fail_after(&self, n: u64) {
+        let served = self.served.load(Ordering::SeqCst);
+        self.fail_after.store(served.saturating_add(n), Ordering::SeqCst);
+    }
+
+    /// Clears any scheduled failure.
+    pub fn clear(&self) {
+        self.set_down(false);
+        self.fail_after.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Records one attempted call; returns `true` if it should fail.
+    pub fn on_call(&self) -> bool {
+        if self.is_down() {
+            return true;
+        }
+        let served = self.served.fetch_add(1, Ordering::SeqCst);
+        if served >= self.fail_after.load(Ordering::SeqCst) {
+            self.down.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_never_fails() {
+        let plan = FaultPlan::new();
+        for _ in 0..1000 {
+            assert!(!plan.on_call());
+        }
+    }
+
+    #[test]
+    fn down_fails_immediately_and_recovers() {
+        let plan = FaultPlan::new();
+        plan.set_down(true);
+        assert!(plan.on_call());
+        plan.set_down(false);
+        assert!(!plan.on_call());
+    }
+
+    #[test]
+    fn fail_after_counts_calls() {
+        let plan = FaultPlan::new();
+        plan.fail_after(3);
+        assert!(!plan.on_call());
+        assert!(!plan.on_call());
+        assert!(!plan.on_call());
+        assert!(plan.on_call());
+        // …and stays down.
+        assert!(plan.is_down());
+        assert!(plan.on_call());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let plan = FaultPlan::new();
+        plan.fail_after(0);
+        assert!(plan.on_call());
+        plan.clear();
+        assert!(!plan.on_call());
+    }
+}

@@ -1,0 +1,149 @@
+//! Checksummed length-prefixed frames.
+//!
+//! Every message between a client and a storage server travels in one
+//! frame:
+//!
+//! ```text
+//! +--------+--------+-----------+-------------------+
+//! | magic  | length | crc32     | payload (length)  |
+//! | u32 le | u32 le | u32 le    | bytes             |
+//! +--------+--------+-----------+-------------------+
+//! ```
+//!
+//! The CRC covers the payload only; the magic catches stream
+//! desynchronization and non-Swarm peers. Frames are bounded so a bad
+//! length prefix cannot trigger a giant allocation.
+
+use std::io::{Read, Write};
+
+use swarm_types::constants::FRAME_MAGIC;
+use swarm_types::{crc32, Result, SwarmError};
+
+/// Maximum frame payload (16 MiB): a fragment plus protocol overhead.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Writes one frame containing `payload` to `w`, flushing it.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::Io`] if the underlying writer fails, or
+/// [`SwarmError::InvalidArgument`] if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(SwarmError::invalid(format!(
+            "frame payload {} exceeds {MAX_FRAME_LEN}",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, verifying magic and checksum.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::Io`] on reader failure (including a clean EOF
+/// mid-frame) and [`SwarmError::Corrupt`] on bad magic, oversized length,
+/// or checksum mismatch.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(SwarmError::corrupt(format!(
+            "bad frame magic {magic:#010x}"
+        )));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(SwarmError::corrupt(format!(
+            "frame length {len} exceeds {MAX_FRAME_LEN}"
+        )));
+    }
+    let want_crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(SwarmError::corrupt(format!(
+            "frame checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello swarm").unwrap();
+        let got = read_frame(Cursor::new(&buf)).unwrap();
+        assert_eq!(got, b"hello swarm");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        assert_eq!(read_frame(Cursor::new(&buf)).unwrap(), b"");
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello swarm").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let err = read_frame(Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SwarmError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] ^= 0x01;
+        let err = read_frame(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, SwarmError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"two");
+    }
+}

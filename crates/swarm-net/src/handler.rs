@@ -1,0 +1,73 @@
+//! The server-side request dispatch interface.
+
+use swarm_types::ClientId;
+
+use crate::proto::{Request, Response};
+
+/// Something that can service storage-server requests.
+///
+/// Implemented by `swarm_server::StorageServer`; the transports
+/// ([`crate::MemTransport`], [`crate::tcp::TcpServer`]) are generic over
+/// this trait so the same server logic runs in-process and over sockets.
+///
+/// `client` is the authenticated identity of the requester: transports
+/// establish it at connection time (the TCP handshake carries it; the
+/// in-memory transport is told at `connect`). ACL checks key off it.
+pub trait RequestHandler: Send + Sync {
+    /// Services one request on behalf of `client`.
+    ///
+    /// Implementations must be infallible at this boundary: internal errors
+    /// are reported as [`Response::Err`], never panics, so one bad request
+    /// cannot take down a server thread.
+    fn handle(&self, client: ClientId, request: Request) -> Response;
+}
+
+impl<T: RequestHandler + ?Sized> RequestHandler for std::sync::Arc<T> {
+    fn handle(&self, client: ClientId, request: Request) -> Response {
+        (**self).handle(client, request)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use swarm_types::{FragmentId, SwarmError};
+
+    /// Minimal in-memory handler used by transport tests (the real storage
+    /// server lives in `swarm-server`; tests here only need the protocol
+    /// plumbing).
+    #[derive(Default)]
+    pub struct EchoStore {
+        pub fragments: Mutex<HashMap<FragmentId, Vec<u8>>>,
+    }
+
+    impl RequestHandler for EchoStore {
+        fn handle(&self, _client: ClientId, request: Request) -> Response {
+            match request {
+                Request::Ping => Response::Ok,
+                Request::Store { fid, data, .. } => {
+                    self.fragments.lock().insert(fid, data);
+                    Response::Ok
+                }
+                Request::Read { fid, offset, len } => {
+                    let frags = self.fragments.lock();
+                    match frags.get(&fid) {
+                        None => Response::from_error(&SwarmError::FragmentNotFound(fid)),
+                        Some(data) => {
+                            let start = offset as usize;
+                            let end = start + len as usize;
+                            if end > data.len() {
+                                Response::from_error(&SwarmError::corrupt("short"))
+                            } else {
+                                Response::Data(data[start..end].to_vec())
+                            }
+                        }
+                    }
+                }
+                _ => Response::Ok,
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Networking substrate for Swarm: framing, the client↔server request
+//! protocol, and pluggable transports.
+//!
+//! The paper's storage servers export a tiny fragment-oriented interface
+//! (§2.3): store, read, delete, preallocate, and "query the FID of the last
+//! marked fragment", plus ACL management. This crate defines that protocol
+//! as typed [`Request`]/[`Response`] enums over a checksummed binary frame
+//! format, and a [`Transport`] abstraction with two implementations:
+//!
+//! * [`MemTransport`] — in-process dispatch with fault injection (server
+//!   down, dropped calls). Used by tests, examples, and benchmarks: it is
+//!   the moral equivalent of the paper's switched Ethernet for functional
+//!   purposes.
+//! * [`tcp::TcpTransport`] / [`tcp::TcpServer`] — real sockets via
+//!   `std::net`, one thread per connection, matching the prototype's
+//!   user-level server processes.
+//!
+//! The paper locates stripe neighbours by *broadcast* (§2.3.3). Both
+//! transports expose the member set, and the [`broadcast`] helper simply
+//! queries every server — the same observable semantics on a switched
+//! network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod frame;
+pub mod handler;
+pub mod mem;
+pub mod proto;
+pub mod tcp;
+pub mod transport;
+
+pub use fault::FaultPlan;
+pub use frame::{read_frame, write_frame};
+pub use handler::RequestHandler;
+pub use mem::MemTransport;
+pub use proto::{Request, Response, ServerStats, StoreRange};
+pub use transport::{broadcast, Connection, Transport};

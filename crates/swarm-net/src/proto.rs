@@ -1,0 +1,649 @@
+//! The Swarm storage-server protocol.
+//!
+//! §2.3 of the paper: "The fragment operations supported by the server
+//! consist of storing data in a fragment, retrieving data from a fragment,
+//! deleting a fragment, preallocating space for a fragment, and querying
+//! the FID of the last marked fragment", plus ACL management (§2.3.2). The
+//! prototype used TCL scripts as its request encoding; we use the typed
+//! binary messages below (the paper notes the encoding overhead was
+//! inconsequential because every operation involves a disk access).
+//!
+//! Fragments are opaque to servers: `Store` carries raw bytes assembled by
+//! the client's log layer, and `Locate` (used during reconstruction,
+//! §2.3.3) returns a *prefix* of those bytes — the log layer keeps its
+//! self-identifying stripe-group header at the front of every fragment.
+
+use swarm_types::{
+    Aid, ByteReader, ByteWriter, ClientId, Decode, Encode, FragmentId, Result, SwarmError,
+};
+
+/// An access-controlled byte range within a stored fragment (§2.3.2).
+///
+/// "When a fragment is stored each non-overlapping byte range can be
+/// assigned an AID."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreRange {
+    /// Offset of the protected range within the fragment.
+    pub offset: u32,
+    /// Length of the protected range.
+    pub len: u32,
+    /// ACL protecting the range.
+    pub aid: Aid,
+}
+
+impl Encode for StoreRange {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.offset);
+        w.put_u32(self.len);
+        self.aid.encode(w);
+    }
+}
+
+impl Decode for StoreRange {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(StoreRange {
+            offset: r.get_u32()?,
+            len: r.get_u32()?,
+            aid: Aid::decode(r)?,
+        })
+    }
+}
+
+/// Point-in-time counters describing one storage server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Fragments currently stored.
+    pub fragments: u64,
+    /// Bytes of fragment data currently stored.
+    pub bytes: u64,
+    /// Total store operations accepted since start.
+    pub stores: u64,
+    /// Total read operations served since start.
+    pub reads: u64,
+    /// Total delete operations since start.
+    pub deletes: u64,
+    /// Slot capacity (0 = unbounded).
+    pub capacity_fragments: u64,
+}
+
+impl Encode for ServerStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.fragments);
+        w.put_u64(self.bytes);
+        w.put_u64(self.stores);
+        w.put_u64(self.reads);
+        w.put_u64(self.deletes);
+        w.put_u64(self.capacity_fragments);
+    }
+}
+
+impl Decode for ServerStats {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(ServerStats {
+            fragments: r.get_u64()?,
+            bytes: r.get_u64()?,
+            stores: r.get_u64()?,
+            reads: r.get_u64()?,
+            deletes: r.get_u64()?,
+            capacity_fragments: r.get_u64()?,
+        })
+    }
+}
+
+/// A request from a client to a storage server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Store a complete fragment. Atomic: after a crash the fragment either
+    /// exists in full or not at all (§2.3.1).
+    Store {
+        /// Fragment id chosen by the client.
+        fid: FragmentId,
+        /// Marked fragments are returned by [`Request::LastMarked`];
+        /// clients store checkpoints in marked fragments (§2.3.1).
+        marked: bool,
+        /// Access-controlled byte ranges (may be empty = world access).
+        ranges: Vec<StoreRange>,
+        /// Opaque fragment bytes assembled by the log layer.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at `offset` within fragment `fid`.
+    Read {
+        /// Fragment to read from.
+        fid: FragmentId,
+        /// Starting byte offset.
+        offset: u32,
+        /// Number of bytes to return.
+        len: u32,
+    },
+    /// Delete a fragment (invoked by the cleaner once a stripe is dead).
+    Delete {
+        /// Fragment to delete.
+        fid: FragmentId,
+    },
+    /// Reserve a slot for a future fragment so a later `Store` cannot fail
+    /// for lack of space.
+    Preallocate {
+        /// Fragment id the slot is reserved for.
+        fid: FragmentId,
+        /// Expected fragment length in bytes.
+        len: u32,
+    },
+    /// Return the id of the newest *marked* fragment this client has stored
+    /// on this server (checkpoint discovery after a crash, §2.3.1).
+    LastMarked,
+    /// Does this server hold `fid`? If so return the first `header_len`
+    /// bytes (the log layer's self-identifying header). Used by broadcast
+    /// reconstruction (§2.3.3).
+    Locate {
+        /// Fragment being sought.
+        fid: FragmentId,
+        /// How many leading bytes of the fragment to return.
+        header_len: u32,
+    },
+    /// Create an ACL whose members are `members`; the server assigns the id.
+    AclCreate {
+        /// Initial member list.
+        members: Vec<ClientId>,
+    },
+    /// Add and/or remove members of an existing ACL.
+    AclModify {
+        /// ACL to change.
+        aid: Aid,
+        /// Clients to add.
+        add: Vec<ClientId>,
+        /// Clients to remove.
+        remove: Vec<ClientId>,
+    },
+    /// Delete an ACL.
+    AclDelete {
+        /// ACL to delete.
+        aid: Aid,
+    },
+    /// Fetch server statistics.
+    Stat,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A reply from a storage server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Operation succeeded with nothing to return.
+    Ok,
+    /// `Read` succeeded.
+    Data(Vec<u8>),
+    /// `LastMarked` result (None = this client has no marked fragment here).
+    LastMarked(Option<FragmentId>),
+    /// `Locate` result (None = fragment not stored here).
+    Located(Option<Vec<u8>>),
+    /// `AclCreate` result.
+    AclCreated(Aid),
+    /// `Stat` result.
+    Stats(ServerStats),
+    /// The operation failed; see [`wire_error`].
+    Err {
+        /// Error category code (see `wire_error` mapping).
+        code: u16,
+        /// Associated 64-bit datum (usually a fragment id).
+        datum: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Converts an error into its wire representation.
+    pub fn from_error(err: &SwarmError) -> Response {
+        let (code, datum, detail) = wire_error::to_wire(err);
+        Response::Err {
+            code,
+            datum,
+            detail,
+        }
+    }
+
+    /// If this response is an error, converts it back into a [`SwarmError`].
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Err {
+                code,
+                datum,
+                detail,
+            } => Err(wire_error::from_wire(code, datum, detail)),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Mapping between [`SwarmError`] and the `(code, datum, detail)` triple
+/// carried by [`Response::Err`]. Keeping errors typed across the wire lets
+/// the log layer react to `FragmentNotFound` (trigger reconstruction)
+/// differently from `AccessDenied` (report to the caller).
+pub mod wire_error {
+    use swarm_types::{Aid, FragmentId, SwarmError};
+
+    /// Error category codes; stable across releases.
+    pub mod code {
+        /// Fragment not found on the server.
+        pub const FRAGMENT_NOT_FOUND: u16 = 1;
+        /// Fragment already exists.
+        pub const FRAGMENT_EXISTS: u16 = 2;
+        /// Read past end of fragment.
+        pub const RANGE: u16 = 3;
+        /// ACL denied the operation.
+        pub const ACCESS_DENIED: u16 = 4;
+        /// Unknown ACL id.
+        pub const ACL_NOT_FOUND: u16 = 5;
+        /// Server out of slots.
+        pub const OUT_OF_SPACE: u16 = 6;
+        /// Malformed request.
+        pub const PROTOCOL: u16 = 7;
+        /// Server-side I/O failure.
+        pub const IO: u16 = 8;
+        /// Stored data failed validation.
+        pub const CORRUPT: u16 = 9;
+        /// Anything else.
+        pub const OTHER: u16 = 255;
+    }
+
+    /// Encodes `err` as a `(code, datum, detail)` triple.
+    pub fn to_wire(err: &SwarmError) -> (u16, u64, String) {
+        match err {
+            SwarmError::FragmentNotFound(fid) => (code::FRAGMENT_NOT_FOUND, fid.raw(), String::new()),
+            SwarmError::FragmentExists(fid) => (code::FRAGMENT_EXISTS, fid.raw(), String::new()),
+            SwarmError::RangeOutOfBounds { addr, stored } => (
+                code::RANGE,
+                addr.fid.raw(),
+                format!("offset {} len {} stored {stored}", addr.offset, addr.len),
+            ),
+            SwarmError::AccessDenied { aid, op } => {
+                (code::ACCESS_DENIED, aid.raw() as u64, (*op).to_string())
+            }
+            SwarmError::AclNotFound(aid) => (code::ACL_NOT_FOUND, aid.raw() as u64, String::new()),
+            SwarmError::OutOfSpace(m) => (code::OUT_OF_SPACE, 0, m.clone()),
+            SwarmError::Protocol(m) => (code::PROTOCOL, 0, m.clone()),
+            SwarmError::Io(e) => (code::IO, 0, e.to_string()),
+            SwarmError::Corrupt(m) => (code::CORRUPT, 0, m.clone()),
+            other => (code::OTHER, 0, other.to_string()),
+        }
+    }
+
+    /// Decodes a wire triple back into a [`SwarmError`].
+    pub fn from_wire(c: u16, datum: u64, detail: String) -> SwarmError {
+        match c {
+            code::FRAGMENT_NOT_FOUND => SwarmError::FragmentNotFound(FragmentId::from_raw(datum)),
+            code::FRAGMENT_EXISTS => SwarmError::FragmentExists(FragmentId::from_raw(datum)),
+            code::RANGE => SwarmError::corrupt(format!(
+                "range error on fragment {}: {detail}",
+                FragmentId::from_raw(datum)
+            )),
+            code::ACCESS_DENIED => SwarmError::AccessDenied {
+                aid: Aid::new(datum as u32),
+                op: "remote operation",
+            },
+            code::ACL_NOT_FOUND => SwarmError::AclNotFound(Aid::new(datum as u32)),
+            code::OUT_OF_SPACE => SwarmError::OutOfSpace(detail),
+            code::PROTOCOL => SwarmError::Protocol(detail),
+            code::IO => SwarmError::Other(format!("remote i/o error: {detail}")),
+            code::CORRUPT => SwarmError::Corrupt(detail),
+            _ => SwarmError::Other(detail),
+        }
+    }
+}
+
+mod tag {
+    pub const STORE: u8 = 1;
+    pub const READ: u8 = 2;
+    pub const DELETE: u8 = 3;
+    pub const PREALLOCATE: u8 = 4;
+    pub const LAST_MARKED: u8 = 5;
+    pub const LOCATE: u8 = 6;
+    pub const ACL_CREATE: u8 = 7;
+    pub const ACL_MODIFY: u8 = 8;
+    pub const ACL_DELETE: u8 = 9;
+    pub const STAT: u8 = 10;
+    pub const PING: u8 = 11;
+
+    pub const R_OK: u8 = 128;
+    pub const R_DATA: u8 = 129;
+    pub const R_LAST_MARKED: u8 = 130;
+    pub const R_LOCATED: u8 = 131;
+    pub const R_ACL_CREATED: u8 = 132;
+    pub const R_STATS: u8 = 133;
+    pub const R_ERR: u8 = 255;
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Request::Store {
+                fid,
+                marked,
+                ranges,
+                data,
+            } => {
+                w.put_u8(tag::STORE);
+                fid.encode(w);
+                w.put_bool(*marked);
+                w.put_u32(ranges.len() as u32);
+                for r in ranges {
+                    r.encode(w);
+                }
+                w.put_bytes(data);
+            }
+            Request::Read { fid, offset, len } => {
+                w.put_u8(tag::READ);
+                fid.encode(w);
+                w.put_u32(*offset);
+                w.put_u32(*len);
+            }
+            Request::Delete { fid } => {
+                w.put_u8(tag::DELETE);
+                fid.encode(w);
+            }
+            Request::Preallocate { fid, len } => {
+                w.put_u8(tag::PREALLOCATE);
+                fid.encode(w);
+                w.put_u32(*len);
+            }
+            Request::LastMarked => w.put_u8(tag::LAST_MARKED),
+            Request::Locate { fid, header_len } => {
+                w.put_u8(tag::LOCATE);
+                fid.encode(w);
+                w.put_u32(*header_len);
+            }
+            Request::AclCreate { members } => {
+                w.put_u8(tag::ACL_CREATE);
+                members.encode(w);
+            }
+            Request::AclModify { aid, add, remove } => {
+                w.put_u8(tag::ACL_MODIFY);
+                aid.encode(w);
+                add.encode(w);
+                remove.encode(w);
+            }
+            Request::AclDelete { aid } => {
+                w.put_u8(tag::ACL_DELETE);
+                aid.encode(w);
+            }
+            Request::Stat => w.put_u8(tag::STAT),
+            Request::Ping => w.put_u8(tag::PING),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let t = r.get_u8()?;
+        Ok(match t {
+            tag::STORE => {
+                let fid = FragmentId::decode(r)?;
+                let marked = r.get_bool()?;
+                let n = r.get_u32()? as usize;
+                if n > crate::frame::MAX_FRAME_LEN / 12 {
+                    return Err(SwarmError::corrupt("too many store ranges"));
+                }
+                let mut ranges = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ranges.push(StoreRange::decode(r)?);
+                }
+                let data = r.get_bytes()?.to_vec();
+                Request::Store {
+                    fid,
+                    marked,
+                    ranges,
+                    data,
+                }
+            }
+            tag::READ => Request::Read {
+                fid: FragmentId::decode(r)?,
+                offset: r.get_u32()?,
+                len: r.get_u32()?,
+            },
+            tag::DELETE => Request::Delete {
+                fid: FragmentId::decode(r)?,
+            },
+            tag::PREALLOCATE => Request::Preallocate {
+                fid: FragmentId::decode(r)?,
+                len: r.get_u32()?,
+            },
+            tag::LAST_MARKED => Request::LastMarked,
+            tag::LOCATE => Request::Locate {
+                fid: FragmentId::decode(r)?,
+                header_len: r.get_u32()?,
+            },
+            tag::ACL_CREATE => Request::AclCreate {
+                members: Vec::<ClientId>::decode(r)?,
+            },
+            tag::ACL_MODIFY => Request::AclModify {
+                aid: Aid::decode(r)?,
+                add: Vec::<ClientId>::decode(r)?,
+                remove: Vec::<ClientId>::decode(r)?,
+            },
+            tag::ACL_DELETE => Request::AclDelete {
+                aid: Aid::decode(r)?,
+            },
+            tag::STAT => Request::Stat,
+            tag::PING => Request::Ping,
+            other => {
+                return Err(SwarmError::protocol(format!(
+                    "unknown request tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Response::Ok => w.put_u8(tag::R_OK),
+            Response::Data(data) => {
+                w.put_u8(tag::R_DATA);
+                w.put_bytes(data);
+            }
+            Response::LastMarked(fid) => {
+                w.put_u8(tag::R_LAST_MARKED);
+                fid.encode(w);
+            }
+            Response::Located(header) => {
+                w.put_u8(tag::R_LOCATED);
+                match header {
+                    None => w.put_bool(false),
+                    Some(h) => {
+                        w.put_bool(true);
+                        w.put_bytes(h);
+                    }
+                }
+            }
+            Response::AclCreated(aid) => {
+                w.put_u8(tag::R_ACL_CREATED);
+                aid.encode(w);
+            }
+            Response::Stats(s) => {
+                w.put_u8(tag::R_STATS);
+                s.encode(w);
+            }
+            Response::Err {
+                code,
+                datum,
+                detail,
+            } => {
+                w.put_u8(tag::R_ERR);
+                w.put_u16(*code);
+                w.put_u64(*datum);
+                w.put_str(detail);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let t = r.get_u8()?;
+        Ok(match t {
+            tag::R_OK => Response::Ok,
+            tag::R_DATA => Response::Data(r.get_bytes()?.to_vec()),
+            tag::R_LAST_MARKED => Response::LastMarked(Option::<FragmentId>::decode(r)?),
+            tag::R_LOCATED => {
+                if r.get_bool()? {
+                    Response::Located(Some(r.get_bytes()?.to_vec()))
+                } else {
+                    Response::Located(None)
+                }
+            }
+            tag::R_ACL_CREATED => Response::AclCreated(Aid::decode(r)?),
+            tag::R_STATS => Response::Stats(ServerStats::decode(r)?),
+            tag::R_ERR => Response::Err {
+                code: r.get_u16()?,
+                datum: r.get_u64()?,
+                detail: r.get_str()?,
+            },
+            other => {
+                return Err(SwarmError::protocol(format!(
+                    "unknown response tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_types::BlockAddr;
+
+    fn roundtrip_req(req: Request) {
+        let buf = req.encode_to_vec();
+        assert_eq!(Request::decode_all(&buf).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let buf = resp.encode_to_vec();
+        assert_eq!(Response::decode_all(&buf).unwrap(), resp);
+    }
+
+    fn fid(n: u64) -> FragmentId {
+        FragmentId::new(ClientId::new(3), n)
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_req(Request::Store {
+            fid: fid(1),
+            marked: true,
+            ranges: vec![StoreRange {
+                offset: 0,
+                len: 128,
+                aid: Aid::new(5),
+            }],
+            data: vec![1, 2, 3, 4],
+        });
+        roundtrip_req(Request::Read {
+            fid: fid(2),
+            offset: 17,
+            len: 4096,
+        });
+        roundtrip_req(Request::Delete { fid: fid(3) });
+        roundtrip_req(Request::Preallocate {
+            fid: fid(4),
+            len: 1 << 20,
+        });
+        roundtrip_req(Request::LastMarked);
+        roundtrip_req(Request::Locate {
+            fid: fid(5),
+            header_len: 256,
+        });
+        roundtrip_req(Request::AclCreate {
+            members: vec![ClientId::new(1), ClientId::new(2)],
+        });
+        roundtrip_req(Request::AclModify {
+            aid: Aid::new(9),
+            add: vec![ClientId::new(7)],
+            remove: vec![],
+        });
+        roundtrip_req(Request::AclDelete { aid: Aid::new(9) });
+        roundtrip_req(Request::Stat);
+        roundtrip_req(Request::Ping);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Data(vec![9; 100]));
+        roundtrip_resp(Response::LastMarked(Some(fid(8))));
+        roundtrip_resp(Response::LastMarked(None));
+        roundtrip_resp(Response::Located(Some(vec![1, 2])));
+        roundtrip_resp(Response::Located(None));
+        roundtrip_resp(Response::AclCreated(Aid::new(44)));
+        roundtrip_resp(Response::Stats(ServerStats {
+            fragments: 1,
+            bytes: 2,
+            stores: 3,
+            reads: 4,
+            deletes: 5,
+            capacity_fragments: 6,
+        }));
+        roundtrip_resp(Response::Err {
+            code: 4,
+            datum: 2,
+            detail: "denied".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_tag_is_protocol_error() {
+        let err = Request::decode_all(&[200]).unwrap_err();
+        assert!(matches!(err, SwarmError::Protocol(_)));
+        let err = Response::decode_all(&[3]).unwrap_err();
+        assert!(matches!(err, SwarmError::Protocol(_)));
+    }
+
+    #[test]
+    fn typed_errors_survive_the_wire() {
+        let cases = vec![
+            SwarmError::FragmentNotFound(fid(7)),
+            SwarmError::FragmentExists(fid(8)),
+            SwarmError::RangeOutOfBounds {
+                addr: BlockAddr::new(fid(1), 10, 20),
+                stored: 5,
+            },
+            SwarmError::AccessDenied {
+                aid: Aid::new(3),
+                op: "read",
+            },
+            SwarmError::AclNotFound(Aid::new(4)),
+            SwarmError::OutOfSpace("full".into()),
+            SwarmError::Protocol("bad".into()),
+            SwarmError::corrupt("crc"),
+        ];
+        for err in cases {
+            let resp = Response::from_error(&err);
+            let buf = resp.encode_to_vec();
+            let back = Response::decode_all(&buf).unwrap().into_result().unwrap_err();
+            // Same variant family (FragmentNotFound stays FragmentNotFound, etc.)
+            match (&err, &back) {
+                (SwarmError::FragmentNotFound(a), SwarmError::FragmentNotFound(b)) => {
+                    assert_eq!(a, b)
+                }
+                (SwarmError::FragmentExists(a), SwarmError::FragmentExists(b)) => assert_eq!(a, b),
+                (SwarmError::RangeOutOfBounds { .. }, SwarmError::Corrupt(_)) => {}
+                (SwarmError::AccessDenied { aid: a, .. }, SwarmError::AccessDenied { aid: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                (SwarmError::AclNotFound(a), SwarmError::AclNotFound(b)) => assert_eq!(a, b),
+                (SwarmError::OutOfSpace(_), SwarmError::OutOfSpace(_)) => {}
+                (SwarmError::Protocol(_), SwarmError::Protocol(_)) => {}
+                (SwarmError::Corrupt(_), SwarmError::Corrupt(_)) => {}
+                (a, b) => panic!("variant mismatch: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ok_response_into_result_is_ok() {
+        assert!(Response::Ok.into_result().is_ok());
+    }
+}

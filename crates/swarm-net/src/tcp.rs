@@ -1,0 +1,355 @@
+//! TCP transport: the real-sockets equivalent of the paper's prototype,
+//! where storage servers are user-level processes reached over switched
+//! Ethernet (§3).
+//!
+//! Connection establishment performs a small handshake so the server knows
+//! which client it is talking to (the prototype relied on the transport
+//! for identity as well): the client sends a frame containing its
+//! [`ClientId`], the server replies with its [`ServerId`]. After that,
+//! each request frame is answered by exactly one response frame.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use swarm_types::{ByteWriter, ClientId, Decode, Encode, Result, ServerId, SwarmError};
+
+use crate::frame::{read_frame, write_frame};
+use crate::handler::RequestHandler;
+use crate::proto::{Request, Response};
+use crate::transport::{Connection, Transport};
+
+/// A running TCP storage-server endpoint.
+///
+/// Wraps a [`RequestHandler`] and serves it on a listening socket, one
+/// thread per connection. Dropping the server (or calling
+/// [`TcpServer::shutdown`]) stops the accept loop; connection threads exit
+/// when their peers disconnect.
+pub struct TcpServer {
+    id: ServerId,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` as server `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Io`] if the address cannot be bound.
+    pub fn spawn(
+        id: ServerId,
+        bind_addr: &str,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<TcpServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("swarm-server-{}", id.raw()))
+            .spawn(move || accept_loop(listener, id, handler, stop2))
+            .expect("spawn server accept thread");
+        Ok(TcpServer {
+            id,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Existing connections are served until their peers hang up.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    id: ServerId,
+    handler: Arc<dyn RequestHandler>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let handler = handler.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("swarm-conn-{}", id.raw()))
+            .spawn(move || {
+                // A failed connection only loses that connection.
+                let _ = serve_connection(stream, id, &*handler);
+            });
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    id: ServerId,
+    handler: &dyn RequestHandler,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: client id in, server id out.
+    let hello = read_frame(&mut reader)?;
+    let client = ClientId::decode_all(&hello)?;
+    let mut w = ByteWriter::new();
+    id.encode(&mut w);
+    write_frame(&mut writer, w.as_slice())?;
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(SwarmError::Io(_)) => return Ok(()), // peer hung up
+            Err(e) => return Err(e),
+        };
+        let response = match Request::decode_all(&frame) {
+            Ok(request) => handler.handle(client, request),
+            Err(e) => Response::from_error(&e),
+        };
+        write_frame(&mut writer, &response.encode_to_vec())?;
+    }
+}
+
+/// Client-side transport over TCP.
+///
+/// Maps [`ServerId`]s to socket addresses; `connect` dials and performs the
+/// handshake. The server set is fixed at construction (plus
+/// [`TcpTransport::add_server`]), mirroring the prototype where clients
+/// know the cluster membership.
+#[derive(Debug, Default)]
+pub struct TcpTransport {
+    servers: Mutex<BTreeMap<ServerId, SocketAddr>>,
+}
+
+impl TcpTransport {
+    /// Creates a transport with no servers.
+    pub fn new() -> Self {
+        TcpTransport {
+            servers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates a transport pointing at the given running servers.
+    pub fn with_servers(servers: impl IntoIterator<Item = (ServerId, SocketAddr)>) -> Self {
+        TcpTransport {
+            servers: Mutex::new(servers.into_iter().collect()),
+        }
+    }
+
+    /// Adds (or re-addresses) a server.
+    pub fn add_server(&self, id: ServerId, addr: SocketAddr) {
+        self.servers.lock().insert(id, addr);
+    }
+
+    /// Removes a server from the membership.
+    pub fn remove_server(&self, id: ServerId) {
+        self.servers.lock().remove(&id);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
+        let addr = *self
+            .servers
+            .lock()
+            .get(&server)
+            .ok_or(SwarmError::ServerUnavailable(server))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|_| SwarmError::ServerUnavailable(server))?;
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+
+        let mut w = ByteWriter::new();
+        client.encode(&mut w);
+        write_frame(&mut writer, w.as_slice())?;
+        let ack = read_frame(&mut reader)?;
+        let got = ServerId::decode_all(&ack)?;
+        if got != server {
+            return Err(SwarmError::protocol(format!(
+                "handshake: expected server {server}, got {got}"
+            )));
+        }
+
+        Ok(Box::new(TcpConnection {
+            server,
+            reader,
+            writer,
+        }))
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        self.servers.lock().keys().copied().collect()
+    }
+}
+
+struct TcpConnection {
+    server: ServerId,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection for TcpConnection {
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &request.encode_to_vec())
+            .map_err(|_| SwarmError::ServerUnavailable(self.server))?;
+        let frame =
+            read_frame(&mut self.reader).map_err(|_| SwarmError::ServerUnavailable(self.server))?;
+        Response::decode_all(&frame)
+    }
+
+    fn server(&self) -> ServerId {
+        self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::testing::EchoStore;
+    use swarm_types::FragmentId;
+
+    #[test]
+    fn tcp_roundtrip() {
+        let server = TcpServer::spawn(
+            ServerId::new(0),
+            "127.0.0.1:0",
+            Arc::new(EchoStore::default()),
+        )
+        .unwrap();
+        let transport =
+            TcpTransport::with_servers([(ServerId::new(0), server.addr())]);
+        let mut conn = transport
+            .connect(ServerId::new(0), ClientId::new(5))
+            .unwrap();
+        assert_eq!(conn.call(&Request::Ping).unwrap(), Response::Ok);
+
+        let fid = FragmentId::new(ClientId::new(5), 1);
+        let data = (0..255u8).collect::<Vec<_>>();
+        conn.call(&Request::Store {
+            fid,
+            marked: true,
+            ranges: vec![],
+            data: data.clone(),
+        })
+        .unwrap();
+        let resp = conn
+            .call(&Request::Read {
+                fid,
+                offset: 10,
+                len: 5,
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Data(data[10..15].to_vec()));
+    }
+
+    #[test]
+    fn multiple_clients_share_a_server() {
+        let server = TcpServer::spawn(
+            ServerId::new(3),
+            "127.0.0.1:0",
+            Arc::new(EchoStore::default()),
+        )
+        .unwrap();
+        let transport = TcpTransport::with_servers([(ServerId::new(3), server.addr())]);
+        let mut handles = Vec::new();
+        let transport = Arc::new(transport);
+        for c in 0..4u32 {
+            let t = transport.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut conn = t.connect(ServerId::new(3), ClientId::new(c)).unwrap();
+                for i in 0..20u64 {
+                    let fid = FragmentId::new(ClientId::new(c), i);
+                    conn.call(&Request::Store {
+                        fid,
+                        marked: false,
+                        ranges: vec![],
+                        data: vec![c as u8; 64],
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn connect_to_stopped_server_is_unavailable() {
+        let mut server = TcpServer::spawn(
+            ServerId::new(0),
+            "127.0.0.1:0",
+            Arc::new(EchoStore::default()),
+        )
+        .unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        drop(server);
+        let transport = TcpTransport::with_servers([(ServerId::new(0), addr)]);
+        // Either connect fails or the first call does; both surface as
+        // ServerUnavailable.
+        match transport.connect(ServerId::new(0), ClientId::new(0)) {
+            Err(e) => assert!(matches!(e, SwarmError::ServerUnavailable(_)), "{e}"),
+            Ok(mut conn) => {
+                let err = conn.call(&Request::Ping).unwrap_err();
+                assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_server_id_fails_fast() {
+        let transport = TcpTransport::new();
+        assert!(transport
+            .connect(ServerId::new(1), ClientId::new(0))
+            .is_err());
+    }
+}

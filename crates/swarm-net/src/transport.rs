@@ -1,0 +1,96 @@
+//! Client-side transport abstraction.
+
+use swarm_types::{ClientId, Result, ServerId};
+
+use crate::proto::{Request, Response};
+
+/// A live connection from a client to one storage server.
+pub trait Connection: Send {
+    /// Sends a request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::ServerUnavailable`] (or an I/O
+    /// error) if the server cannot be reached; protocol-level failures are
+    /// returned inside the [`Response`] (`Response::Err`) so callers can
+    /// distinguish "server said no" from "server gone".
+    fn call(&mut self, request: &Request) -> Result<Response>;
+
+    /// The server this connection talks to.
+    fn server(&self) -> ServerId;
+}
+
+/// A factory for connections to the servers of a Swarm cluster.
+///
+/// Swarm clients keep one logical connection per server in their stripe
+/// group; reconstruction additionally contacts every member returned by
+/// [`Transport::servers`] (the paper's broadcast, §2.3.3).
+pub trait Transport: Send + Sync {
+    /// Opens a connection to `server`, authenticated as `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::ServerUnavailable`] if the server
+    /// is unknown or down.
+    fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>>;
+
+    /// All servers currently part of the cluster, in id order.
+    fn servers(&self) -> Vec<ServerId>;
+}
+
+impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
+    fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
+        (**self).connect(server, client)
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        (**self).servers()
+    }
+}
+
+/// Sends `request` to every server in the cluster and collects the replies
+/// that arrive, ignoring servers that are down.
+///
+/// This is the paper's broadcast primitive (§2.3.3): "A client finds
+/// fragment N-1 and N+1 by broadcasting to all storage servers." Servers
+/// that cannot be reached are simply absent from the result — exactly the
+/// failure reconstruction is designed to tolerate.
+pub fn broadcast<T: Transport + ?Sized>(
+    transport: &T,
+    client: ClientId,
+    request: &Request,
+) -> Vec<(ServerId, Response)> {
+    let mut replies = Vec::new();
+    for server in transport.servers() {
+        let Ok(mut conn) = transport.connect(server, client) else {
+            continue;
+        };
+        if let Ok(resp) = conn.call(request) {
+            replies.push((server, resp));
+        }
+    }
+    replies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemTransport;
+    use crate::proto::Request;
+    use std::sync::Arc;
+
+    #[test]
+    fn broadcast_skips_down_servers() {
+        let transport = MemTransport::new();
+        for i in 0..3 {
+            transport.register(
+                ServerId::new(i),
+                Arc::new(crate::handler::testing::EchoStore::default()),
+            );
+        }
+        transport.set_down(ServerId::new(1), true);
+        let replies = broadcast(&transport, ClientId::new(0), &Request::Ping);
+        let ids: Vec<u32> = replies.iter().map(|(s, _)| s.raw()).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+}

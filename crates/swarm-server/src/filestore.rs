@@ -1,0 +1,581 @@
+//! Durable, crash-atomic [`FragmentStore`] backed by a directory.
+//!
+//! Mirrors the prototype server (§3.2): fragment-sized slots (one file per
+//! fragment) plus an on-disk *fragment map* — here an append-only journal
+//! so that the map update itself is atomic. Store ordering gives the
+//! paper's §2.3.1 guarantee ("all storage server operations are atomic"):
+//!
+//! 1. fragment bytes are written to `tmp/` and fsync'd,
+//! 2. the file is renamed into `slots/` (atomic on POSIX),
+//! 3. a journal entry is appended and fsync'd.
+//!
+//! A crash before (3) leaves an orphan slot file with no journal entry;
+//! `open` deletes orphans, so the fragment was never stored. A crash
+//! mid-(3) leaves a torn journal tail; replay stops at the first bad
+//! frame, discarding only the torn entry. Either way the fragment exists
+//! in full or not at all.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use swarm_types::{crc32, BlockAddr, ClientId, FragmentId, Result, SwarmError};
+
+use crate::store::{FragmentMeta, FragmentStore};
+
+const JOURNAL: &str = "journal";
+const SLOTS: &str = "slots";
+const TMP: &str = "tmp";
+
+const OP_STORE: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+#[derive(Default)]
+struct Inner {
+    fragments: BTreeMap<FragmentId, (u32, bool)>, // len, marked
+    prealloc: HashSet<FragmentId>,
+    marked: HashMap<ClientId, BTreeSet<FragmentId>>,
+    bytes: u64,
+    journal: Option<File>,
+    journal_entries: u64,
+}
+
+/// A directory-backed fragment store with atomic stores and journaled
+/// fragment map.
+pub struct FileStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    capacity: u64,
+    /// fsync data and journal on every operation (disable only in tests
+    /// and benchmarks that measure other things).
+    durable: bool,
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .field("durable", &self.durable)
+            .finish()
+    }
+}
+
+impl FileStore {
+    /// Opens (creating if necessary) a store rooted at `dir` with no slot
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Io`] if the directory cannot be created, or
+    /// [`SwarmError::Corrupt`] if the journal references slot files that
+    /// have disappeared.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileStore> {
+        Self::open_with(dir, 0, true)
+    }
+
+    /// Opens a store with a slot capacity (0 = unbounded) and explicit
+    /// durability mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`FileStore::open`].
+    pub fn open_with(dir: impl AsRef<Path>, capacity: u64, durable: bool) -> Result<FileStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(dir.join(SLOTS))?;
+        fs::create_dir_all(dir.join(TMP))?;
+
+        let mut inner = Inner::default();
+        Self::replay_journal(&dir, &mut inner)?;
+        Self::sweep(&dir, &mut inner)?;
+
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(JOURNAL))?;
+        inner.journal = Some(journal);
+
+        Ok(FileStore {
+            dir,
+            inner: Mutex::new(inner),
+            capacity,
+            durable,
+        })
+    }
+
+    fn slot_path(dir: &Path, fid: FragmentId) -> PathBuf {
+        dir.join(SLOTS).join(format!("{:016x}.frag", fid.raw()))
+    }
+
+    fn replay_journal(dir: &Path, inner: &mut Inner) -> Result<()> {
+        let path = dir.join(JOURNAL);
+        let Ok(mut f) = File::open(&path) else {
+            return Ok(()); // fresh store
+        };
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        let mut pos = 0usize;
+        while buf.len() - pos >= 8 {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if len > 64 || buf.len() - pos - 8 < len {
+                break; // torn tail
+            }
+            let payload = &buf[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                break; // torn tail
+            }
+            pos += 8 + len;
+            inner.journal_entries += 1;
+            match payload[0] {
+                OP_STORE if payload.len() == 1 + 8 + 4 + 1 => {
+                    let fid =
+                        FragmentId::from_raw(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+                    let len = u32::from_le_bytes(payload[9..13].try_into().unwrap());
+                    let marked = payload[13] != 0;
+                    if let Some((old_len, old_marked)) =
+                        inner.fragments.insert(fid, (len, marked))
+                    {
+                        // Duplicate store entries can only come from
+                        // compaction races; keep accounting consistent.
+                        inner.bytes -= old_len as u64;
+                        if old_marked {
+                            if let Some(s) = inner.marked.get_mut(&fid.client()) {
+                                s.remove(&fid);
+                            }
+                        }
+                    }
+                    inner.bytes += len as u64;
+                    if marked {
+                        inner.marked.entry(fid.client()).or_default().insert(fid);
+                    }
+                }
+                OP_DELETE if payload.len() == 1 + 8 => {
+                    let fid =
+                        FragmentId::from_raw(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+                    if let Some((len, marked)) = inner.fragments.remove(&fid) {
+                        inner.bytes -= len as u64;
+                        if marked {
+                            if let Some(s) = inner.marked.get_mut(&fid.client()) {
+                                s.remove(&fid);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(SwarmError::corrupt(format!(
+                        "unknown journal op {other}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes orphan slot files (crash between rename and journal append)
+    /// and tmp leftovers; verifies every mapped fragment's file exists.
+    fn sweep(dir: &Path, inner: &mut Inner) -> Result<()> {
+        for entry in fs::read_dir(dir.join(TMP))? {
+            let entry = entry?;
+            let _ = fs::remove_file(entry.path());
+        }
+        let mut present = HashSet::new();
+        for entry in fs::read_dir(dir.join(SLOTS))? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(hex) = name.strip_suffix(".frag") else {
+                continue;
+            };
+            let Ok(raw) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let fid = FragmentId::from_raw(raw);
+            if inner.fragments.contains_key(&fid) {
+                present.insert(fid);
+            } else {
+                // Orphan: store never committed (or delete never finished).
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        for fid in inner.fragments.keys() {
+            if !present.contains(fid) {
+                return Err(SwarmError::corrupt(format!(
+                    "fragment map references missing slot file for {fid}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn append_journal(&self, inner: &mut Inner, payload: &[u8]) -> Result<()> {
+        let journal = inner.journal.as_mut().ok_or(SwarmError::Closed("journal"))?;
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        journal.write_all(&rec)?;
+        if self.durable {
+            journal.sync_data()?;
+        }
+        inner.journal_entries += 1;
+        Ok(())
+    }
+
+    fn slots_used(inner: &Inner) -> u64 {
+        inner.fragments.len() as u64 + inner.prealloc.len() as u64
+    }
+
+    /// Rewrites the journal to contain only live fragments. Called
+    /// automatically when the journal grows far beyond the live set; also
+    /// callable explicitly (e.g. at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Io`] on disk failure; on error the original
+    /// journal remains authoritative.
+    pub fn compact_journal(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.compact_journal_locked(&mut inner)
+    }
+
+    fn compact_journal_locked(&self, inner: &mut Inner) -> Result<()> {
+        let new_path = self.dir.join("journal.new");
+        {
+            let mut f = File::create(&new_path)?;
+            let mut buf = Vec::new();
+            for (fid, (len, marked)) in &inner.fragments {
+                let mut payload = Vec::with_capacity(14);
+                payload.push(OP_STORE);
+                payload.extend_from_slice(&fid.raw().to_le_bytes());
+                payload.extend_from_slice(&len.to_le_bytes());
+                payload.push(*marked as u8);
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+                buf.extend_from_slice(&payload);
+            }
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&new_path, self.dir.join(JOURNAL))?;
+        let journal = OpenOptions::new()
+            .append(true)
+            .open(self.dir.join(JOURNAL))?;
+        inner.journal = Some(journal);
+        inner.journal_entries = inner.fragments.len() as u64;
+        Ok(())
+    }
+
+    fn maybe_compact(&self, inner: &mut Inner) {
+        let live = inner.fragments.len() as u64;
+        if inner.journal_entries > 1024 && inner.journal_entries > live.saturating_mul(4) {
+            // Compaction failure is non-fatal: the journal stays valid.
+            let _ = self.compact_journal_locked(inner);
+        }
+    }
+}
+
+impl FragmentStore for FileStore {
+    fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.fragments.contains_key(&fid) {
+            return Err(SwarmError::FragmentExists(fid));
+        }
+        let had_slot = inner.prealloc.contains(&fid);
+        if !had_slot && self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
+            return Err(SwarmError::OutOfSpace(format!(
+                "all {} slots in use",
+                self.capacity
+            )));
+        }
+
+        // (1) bytes to tmp, fsync'd
+        let tmp_path = self.dir.join(TMP).join(format!("{:016x}", fid.raw()));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(data)?;
+            if self.durable {
+                f.sync_all()?;
+            }
+        }
+        // (2) atomic rename into the slot
+        fs::rename(&tmp_path, Self::slot_path(&self.dir, fid))?;
+        // (3) journal entry
+        let mut payload = Vec::with_capacity(14);
+        payload.push(OP_STORE);
+        payload.extend_from_slice(&fid.raw().to_le_bytes());
+        payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        payload.push(marked as u8);
+        self.append_journal(&mut inner, &payload)?;
+
+        inner.prealloc.remove(&fid);
+        inner.bytes += data.len() as u64;
+        inner.fragments.insert(fid, (data.len() as u32, marked));
+        if marked {
+            inner.marked.entry(fid.client()).or_default().insert(fid);
+        }
+        Ok(())
+    }
+
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        let stored = {
+            let inner = self.inner.lock();
+            let (stored, _) = inner
+                .fragments
+                .get(&fid)
+                .ok_or(SwarmError::FragmentNotFound(fid))?;
+            *stored
+        };
+        if offset > stored || offset + len > stored {
+            return Err(SwarmError::RangeOutOfBounds {
+                addr: BlockAddr::new(fid, offset, len),
+                stored,
+            });
+        }
+        let mut f = File::open(Self::slot_path(&self.dir, fid))?;
+        use std::io::{Seek, SeekFrom};
+        f.seek(SeekFrom::Start(offset as u64))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn delete(&self, fid: FragmentId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.fragments.contains_key(&fid) {
+            return Err(SwarmError::FragmentNotFound(fid));
+        }
+        // Journal first: a crash after this point replays as deleted, and
+        // the sweep removes the then-orphaned slot file.
+        let mut payload = Vec::with_capacity(9);
+        payload.push(OP_DELETE);
+        payload.extend_from_slice(&fid.raw().to_le_bytes());
+        self.append_journal(&mut inner, &payload)?;
+
+        let (len, marked) = inner.fragments.remove(&fid).expect("checked above");
+        inner.bytes -= len as u64;
+        if marked {
+            if let Some(s) = inner.marked.get_mut(&fid.client()) {
+                s.remove(&fid);
+            }
+        }
+        let _ = fs::remove_file(Self::slot_path(&self.dir, fid));
+        self.maybe_compact(&mut inner);
+        Ok(())
+    }
+
+    fn preallocate(&self, fid: FragmentId, _len: u32) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.fragments.contains_key(&fid) || inner.prealloc.contains(&fid) {
+            return Ok(());
+        }
+        if self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
+            return Err(SwarmError::OutOfSpace(format!(
+                "all {} slots in use",
+                self.capacity
+            )));
+        }
+        inner.prealloc.insert(fid);
+        Ok(())
+    }
+
+    fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
+        let inner = self.inner.lock();
+        inner
+            .fragments
+            .get(&fid)
+            .map(|(len, marked)| FragmentMeta {
+                len: *len,
+                marked: *marked,
+            })
+    }
+
+    fn last_marked(&self, client: ClientId) -> Option<FragmentId> {
+        let inner = self.inner.lock();
+        inner
+            .marked
+            .get(&client)
+            .and_then(|set| set.iter().next_back().copied())
+    }
+
+    fn list(&self) -> Vec<FragmentId> {
+        self.inner.lock().fragments.keys().copied().collect()
+    }
+
+    fn fragment_count(&self) -> u64 {
+        self.inner.lock().fragments.len() as u64
+    }
+
+    fn byte_count(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let pid = std::process::id();
+            let n = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos();
+            let path = std::env::temp_dir().join(format!("swarm-fs-{tag}-{pid}-{n}"));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn fid(c: u32, s: u64) -> FragmentId {
+        FragmentId::new(ClientId::new(c), s)
+    }
+
+    #[test]
+    fn conformance_all() {
+        // Non-durable in tests (no fsync) — semantics identical. Each
+        // conformance case assumes a fresh store.
+        type Case = (&'static str, fn(&dyn FragmentStore));
+        let cases: Vec<Case> = vec![
+            ("roundtrip", conformance::store_read_roundtrip),
+            ("double", conformance::double_store_rejected),
+            ("missing", conformance::missing_fragment_errors),
+            ("range", conformance::out_of_range_read_errors),
+            ("delete", conformance::delete_frees_fragment),
+            ("marked", conformance::marked_tracking),
+            ("accounting", conformance::accounting),
+        ];
+        for (tag, case) in cases {
+            let d = TempDir::new(tag);
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            case(&s);
+        }
+    }
+
+    #[test]
+    fn conformance_capacity() {
+        let d = TempDir::new("cap");
+        let s = FileStore::open_with(&d.0, 2, false).unwrap();
+        conformance::capacity_enforced(&s);
+    }
+
+    #[test]
+    fn reopen_recovers_contents_and_marks() {
+        let d = TempDir::new("reopen");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"alpha", false).unwrap();
+            s.store(fid(1, 1), b"beta", true).unwrap();
+            s.store(fid(1, 2), b"gamma", false).unwrap();
+            s.delete(fid(1, 0)).unwrap();
+        }
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.read(fid(1, 1), 0, 4).unwrap(), b"beta");
+        assert_eq!(s.read(fid(1, 2), 0, 5).unwrap(), b"gamma");
+        assert!(s.read(fid(1, 0), 0, 1).is_err());
+        assert_eq!(s.last_marked(ClientId::new(1)), Some(fid(1, 1)));
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.byte_count(), 9);
+    }
+
+    #[test]
+    fn orphan_slot_file_is_swept_on_open() {
+        // Simulates a crash between rename (2) and journal append (3).
+        let d = TempDir::new("orphan");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"committed", false).unwrap();
+        }
+        let orphan = FileStore::slot_path(&d.0, fid(1, 99));
+        fs::write(&orphan, b"never committed").unwrap();
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert!(!orphan.exists(), "orphan should be swept");
+        assert!(s.read(fid(1, 99), 0, 1).is_err());
+        assert_eq!(s.read(fid(1, 0), 0, 9).unwrap(), b"committed");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded() {
+        let d = TempDir::new("torn");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"good", false).unwrap();
+        }
+        // Append garbage (a torn record) to the journal.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(d.0.join(JOURNAL))
+            .unwrap();
+        f.write_all(&[14, 0, 0, 0, 0xde, 0xad]).unwrap();
+        drop(f);
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.fragment_count(), 1);
+        assert_eq!(s.read(fid(1, 0), 0, 4).unwrap(), b"good");
+        // And the store remains writable afterwards.
+        s.store(fid(1, 1), b"more", false).unwrap();
+    }
+
+    #[test]
+    fn missing_slot_file_for_mapped_fragment_is_corruption() {
+        let d = TempDir::new("missing");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"data", false).unwrap();
+        }
+        fs::remove_file(FileStore::slot_path(&d.0, fid(1, 0))).unwrap();
+        let err = FileStore::open_with(&d.0, 0, false).unwrap_err();
+        assert!(matches!(err, SwarmError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn journal_compaction_preserves_state() {
+        let d = TempDir::new("compact");
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        for i in 0..50 {
+            s.store(fid(2, i), format!("frag{i}").as_bytes(), i % 7 == 0)
+                .unwrap();
+        }
+        for i in 0..25 {
+            s.delete(fid(2, i * 2)).unwrap();
+        }
+        s.compact_journal().unwrap();
+        // Still queryable in place…
+        assert_eq!(s.fragment_count(), 25);
+        drop(s);
+        // …and after reopen.
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.fragment_count(), 25);
+        assert_eq!(s.read(fid(2, 1), 0, 5).unwrap(), b"frag1");
+        assert!(s.read(fid(2, 0), 0, 1).is_err());
+        // Marked index survives: fids 7,21,35,49 marked & odd (not deleted);
+        // the newest odd multiple of 7 below 50 is 49.
+        assert_eq!(s.last_marked(ClientId::new(2)), Some(fid(2, 49)));
+    }
+
+    #[test]
+    fn tmp_leftovers_are_cleaned() {
+        let d = TempDir::new("tmp");
+        {
+            let _s = FileStore::open_with(&d.0, 0, false).unwrap();
+        }
+        fs::write(d.0.join(TMP).join("deadbeef"), b"junk").unwrap();
+        let _s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert!(!d.0.join(TMP).join("deadbeef").exists());
+    }
+}

@@ -1,0 +1,35 @@
+//! The Swarm storage server (§2.3 of the paper).
+//!
+//! "A Swarm storage server is merely a repository for log fragments" — it
+//! stores opaque fragments keyed by FID, serves byte-range reads, deletes
+//! fragments when the cleaner reclaims their stripe, preallocates slots,
+//! tracks *marked* fragments for client crash recovery, and enforces ACLs
+//! on byte ranges. It never interprets fragment contents and never talks
+//! to other servers; all intelligence lives in the clients.
+//!
+//! Layout of this crate:
+//!
+//! * [`FragmentStore`] — the slot-oriented persistence abstraction
+//!   ("the server divides its disk(s) into fragment-sized slots", §3.2).
+//! * [`MemStore`] — in-memory store for tests and benchmarks.
+//! * [`FileStore`] — durable store: one file per fragment plus a journaled
+//!   fragment map, with atomic store semantics (§2.3.1: "all storage
+//!   server operations are atomic").
+//! * [`AclDb`] — ACL database indexed by AID (§2.3.2).
+//! * [`StorageServer`] — ties the pieces together and implements
+//!   [`swarm_net::RequestHandler`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod filestore;
+pub mod memstore;
+pub mod server;
+pub mod store;
+
+pub use acl::AclDb;
+pub use filestore::FileStore;
+pub use memstore::MemStore;
+pub use server::StorageServer;
+pub use store::{FragmentMeta, FragmentStore};

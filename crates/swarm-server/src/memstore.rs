@@ -1,0 +1,211 @@
+//! In-memory [`FragmentStore`].
+//!
+//! Used by tests, examples, and throughput benchmarks where disk latency
+//! would only add noise. Shares all semantics with [`crate::FileStore`]
+//! (both pass the same conformance suite).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use parking_lot::Mutex;
+use swarm_types::{BlockAddr, ClientId, FragmentId, Result, SwarmError};
+
+use crate::store::{FragmentMeta, FragmentStore};
+
+#[derive(Default)]
+struct Inner {
+    fragments: BTreeMap<FragmentId, (Vec<u8>, bool)>,
+    prealloc: HashSet<FragmentId>,
+    marked: HashMap<ClientId, BTreeSet<FragmentId>>,
+    bytes: u64,
+}
+
+/// A heap-backed fragment store.
+pub struct MemStore {
+    inner: Mutex<Inner>,
+    capacity: u64,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    /// Creates an unbounded store.
+    pub fn new() -> Self {
+        MemStore {
+            inner: Mutex::new(Inner::default()),
+            capacity: 0,
+        }
+    }
+
+    /// Creates a store with a fixed number of fragment slots, like a
+    /// prototype server's fragment-sized disk slots (§3.2).
+    pub fn with_capacity(slots: u64) -> Self {
+        MemStore {
+            inner: Mutex::new(Inner::default()),
+            capacity: slots,
+        }
+    }
+
+    fn slots_used(inner: &Inner) -> u64 {
+        inner.fragments.len() as u64 + inner.prealloc.len() as u64
+    }
+}
+
+impl FragmentStore for MemStore {
+    fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.fragments.contains_key(&fid) {
+            return Err(SwarmError::FragmentExists(fid));
+        }
+        let had_slot = inner.prealloc.remove(&fid);
+        if !had_slot && self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
+            return Err(SwarmError::OutOfSpace(format!(
+                "all {} slots in use",
+                self.capacity
+            )));
+        }
+        inner.bytes += data.len() as u64;
+        inner.fragments.insert(fid, (data.to_vec(), marked));
+        if marked {
+            inner.marked.entry(fid.client()).or_default().insert(fid);
+        }
+        Ok(())
+    }
+
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let (data, _) = inner
+            .fragments
+            .get(&fid)
+            .ok_or(SwarmError::FragmentNotFound(fid))?;
+        let end = offset as usize + len as usize;
+        if end > data.len() || offset as usize > data.len() {
+            return Err(SwarmError::RangeOutOfBounds {
+                addr: BlockAddr::new(fid, offset, len),
+                stored: data.len() as u32,
+            });
+        }
+        Ok(data[offset as usize..end].to_vec())
+    }
+
+    fn delete(&self, fid: FragmentId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let (data, marked) = inner
+            .fragments
+            .remove(&fid)
+            .ok_or(SwarmError::FragmentNotFound(fid))?;
+        inner.bytes -= data.len() as u64;
+        if marked {
+            if let Some(set) = inner.marked.get_mut(&fid.client()) {
+                set.remove(&fid);
+            }
+        }
+        Ok(())
+    }
+
+    fn preallocate(&self, fid: FragmentId, _len: u32) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.fragments.contains_key(&fid) || inner.prealloc.contains(&fid) {
+            return Ok(());
+        }
+        if self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
+            return Err(SwarmError::OutOfSpace(format!(
+                "all {} slots in use",
+                self.capacity
+            )));
+        }
+        inner.prealloc.insert(fid);
+        Ok(())
+    }
+
+    fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
+        let inner = self.inner.lock();
+        inner.fragments.get(&fid).map(|(data, marked)| FragmentMeta {
+            len: data.len() as u32,
+            marked: *marked,
+        })
+    }
+
+    fn last_marked(&self, client: ClientId) -> Option<FragmentId> {
+        let inner = self.inner.lock();
+        inner
+            .marked
+            .get(&client)
+            .and_then(|set| set.iter().next_back().copied())
+    }
+
+    fn list(&self) -> Vec<FragmentId> {
+        self.inner.lock().fragments.keys().copied().collect()
+    }
+
+    fn fragment_count(&self) -> u64 {
+        self.inner.lock().fragments.len() as u64
+    }
+
+    fn byte_count(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance;
+
+    #[test]
+    fn conformance_store_read_roundtrip() {
+        conformance::store_read_roundtrip(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_double_store_rejected() {
+        conformance::double_store_rejected(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_missing_fragment_errors() {
+        conformance::missing_fragment_errors(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_out_of_range_read_errors() {
+        conformance::out_of_range_read_errors(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_delete_frees_fragment() {
+        conformance::delete_frees_fragment(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_marked_tracking() {
+        conformance::marked_tracking(&MemStore::new());
+    }
+
+    #[test]
+    fn conformance_capacity_enforced() {
+        conformance::capacity_enforced(&MemStore::with_capacity(2));
+    }
+
+    #[test]
+    fn conformance_accounting() {
+        conformance::accounting(&MemStore::new());
+    }
+
+    #[test]
+    fn preallocate_is_idempotent() {
+        let s = MemStore::with_capacity(1);
+        let fid = FragmentId::new(ClientId::new(0), 0);
+        s.preallocate(fid, 10).unwrap();
+        s.preallocate(fid, 10).unwrap();
+        s.store(fid, b"x", false).unwrap();
+        s.preallocate(fid, 10).unwrap(); // already stored: no-op
+    }
+}

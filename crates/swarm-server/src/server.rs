@@ -1,0 +1,676 @@
+//! The storage server request handler: glues a [`FragmentStore`] and an
+//! [`AclDb`] behind the wire protocol.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_net::{Request, RequestHandler, Response, ServerStats};
+use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
+
+use crate::acl::AclDb;
+use crate::store::FragmentStore;
+
+/// A complete Swarm storage server.
+///
+/// Generic over its [`FragmentStore`] so the identical request-handling
+/// logic (ACL checks, marked-fragment queries, statistics) runs in-memory,
+/// on disk, over TCP, or inside the simulator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use swarm_server::{MemStore, StorageServer};
+/// use swarm_net::{Request, RequestHandler, Response};
+/// use swarm_types::{ClientId, FragmentId, ServerId};
+///
+/// let server = StorageServer::new(ServerId::new(0), MemStore::new());
+/// let fid = FragmentId::new(ClientId::new(1), 0);
+/// let resp = server.handle(ClientId::new(1), Request::Store {
+///     fid, marked: false, ranges: vec![], data: vec![1, 2, 3],
+/// });
+/// assert_eq!(resp, Response::Ok);
+/// ```
+pub struct StorageServer<S> {
+    id: ServerId,
+    store: S,
+    acls: AclDb,
+    stores: AtomicU64,
+    reads: AtomicU64,
+    deletes: AtomicU64,
+    cache_hits: AtomicU64,
+    /// Optional in-memory fragment cache (FIFO). The paper's prototype
+    /// had none ("the prototype servers do not cache log fragments in
+    /// memory", §3.4) — this is the extension it names.
+    cache: Option<Mutex<FragmentCache>>,
+}
+
+struct FragmentCache {
+    capacity: usize,
+    map: HashMap<FragmentId, Arc<Vec<u8>>>,
+    order: VecDeque<FragmentId>,
+}
+
+impl FragmentCache {
+    fn new(capacity: usize) -> Self {
+        FragmentCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, fid: FragmentId) -> Option<Arc<Vec<u8>>> {
+        self.map.get(&fid).cloned()
+    }
+
+    fn insert(&mut self, fid: FragmentId, bytes: Arc<Vec<u8>>) {
+        if self.map.insert(fid, bytes).is_none() {
+            self.order.push_back(fid);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, fid: FragmentId) {
+        self.map.remove(&fid);
+        self.order.retain(|f| *f != fid);
+    }
+}
+
+impl<S: FragmentStore> StorageServer<S> {
+    /// Creates a server with an empty ACL database.
+    pub fn new(id: ServerId, store: S) -> Self {
+        StorageServer {
+            id,
+            store,
+            acls: AclDb::new(),
+            stores: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache: None,
+        }
+    }
+
+    /// Enables an in-memory read cache of `fragments` recently stored or
+    /// read fragments — the server-side caching §3.4 names as the
+    /// optimization the prototype lacked.
+    pub fn with_read_cache(mut self, fragments: usize) -> Self {
+        if fragments > 0 {
+            self.cache = Some(Mutex::new(FragmentCache::new(fragments)));
+        }
+        self
+    }
+
+    /// Cache hits served so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Convenience: wraps the server in an [`Arc`] for sharing with
+    /// transports.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Direct access to the backing store (used by tests and tools).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Direct access to the ACL database.
+    pub fn acls(&self) -> &AclDb {
+        &self.acls
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            fragments: self.store.fragment_count(),
+            bytes: self.store.byte_count(),
+            stores: self.stores.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            capacity_fragments: self.store.capacity(),
+        }
+    }
+
+    fn dispatch(&self, client: ClientId, request: Request) -> Result<Response> {
+        match request {
+            Request::Store {
+                fid,
+                marked,
+                ranges,
+                data,
+            } => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                // Validate ranges (and record them) before committing the
+                // bytes so a bad request stores nothing.
+                self.acls.attach_ranges(fid, ranges)?;
+                if let Err(e) = self.store.store(fid, &data, marked) {
+                    self.acls.detach_ranges(fid);
+                    return Err(e);
+                }
+                if let Some(cache) = &self.cache {
+                    cache.lock().insert(fid, Arc::new(data));
+                }
+                Ok(Response::Ok)
+            }
+            Request::Read { fid, offset, len } => {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                self.acls.check(fid, offset, len, client, "read")?;
+                if let Some(cache) = &self.cache {
+                    if let Some(bytes) = cache.lock().get(fid) {
+                        let end = offset as usize + len as usize;
+                        if end <= bytes.len() {
+                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Response::Data(bytes[offset as usize..end].to_vec()));
+                        }
+                    }
+                }
+                let data = self.store.read(fid, offset, len)?;
+                Ok(Response::Data(data))
+            }
+            Request::Delete { fid } => {
+                self.deletes.fetch_add(1, Ordering::Relaxed);
+                self.acls.check(fid, 0, u32::MAX, client, "delete")?;
+                self.store.delete(fid)?;
+                self.acls.detach_ranges(fid);
+                if let Some(cache) = &self.cache {
+                    cache.lock().remove(fid);
+                }
+                Ok(Response::Ok)
+            }
+            Request::Preallocate { fid, len } => {
+                self.store.preallocate(fid, len)?;
+                Ok(Response::Ok)
+            }
+            Request::LastMarked => Ok(Response::LastMarked(self.store.last_marked(client))),
+            Request::Locate { fid, header_len } => match self.store.meta(fid) {
+                None => Ok(Response::Located(None)),
+                Some(meta) => {
+                    let take = header_len.min(meta.len);
+                    self.acls.check(fid, 0, take, client, "locate")?;
+                    let header = self.store.read(fid, 0, take)?;
+                    Ok(Response::Located(Some(header)))
+                }
+            },
+            Request::AclCreate { members } => Ok(Response::AclCreated(self.acls.create(members))),
+            Request::AclModify { aid, add, remove } => {
+                self.acls.modify(aid, add, remove)?;
+                Ok(Response::Ok)
+            }
+            Request::AclDelete { aid } => {
+                self.acls.delete(aid)?;
+                Ok(Response::Ok)
+            }
+            Request::Stat => Ok(Response::Stats(self.stats())),
+            Request::Ping => Ok(Response::Ok),
+            other => Err(SwarmError::protocol(format!(
+                "unsupported request {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<S: FragmentStore> RequestHandler for StorageServer<S> {
+    fn handle(&self, client: ClientId, request: Request) -> Response {
+        match self.dispatch(client, request) {
+            Ok(resp) => resp,
+            Err(e) => Response::from_error(&e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use swarm_net::StoreRange;
+    use swarm_types::{Aid, FragmentId};
+
+    fn server() -> StorageServer<MemStore> {
+        StorageServer::new(ServerId::new(0), MemStore::new())
+    }
+
+    fn fid(c: u32, s: u64) -> FragmentId {
+        FragmentId::new(ClientId::new(c), s)
+    }
+
+    fn ok(resp: Response) -> Response {
+        resp.into_result().expect("expected success")
+    }
+
+    #[test]
+    fn store_read_delete_cycle() {
+        let srv = server();
+        let me = ClientId::new(1);
+        ok(srv.handle(
+            me,
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![],
+                data: b"hello".to_vec(),
+            },
+        ));
+        let resp = ok(srv.handle(
+            me,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 1,
+                len: 3,
+            },
+        ));
+        assert_eq!(resp, Response::Data(b"ell".to_vec()));
+        ok(srv.handle(me, Request::Delete { fid: fid(1, 0) }));
+        let resp = srv.handle(
+            me,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 1,
+            },
+        );
+        assert!(resp.into_result().is_err());
+    }
+
+    #[test]
+    fn last_marked_is_per_client() {
+        let srv = server();
+        for (c, s, m) in [(1, 0, true), (1, 1, false), (2, 5, true), (1, 2, true)] {
+            ok(srv.handle(
+                ClientId::new(c),
+                Request::Store {
+                    fid: fid(c, s),
+                    marked: m,
+                    ranges: vec![],
+                    data: vec![0],
+                },
+            ));
+        }
+        assert_eq!(
+            ok(srv.handle(ClientId::new(1), Request::LastMarked)),
+            Response::LastMarked(Some(fid(1, 2)))
+        );
+        assert_eq!(
+            ok(srv.handle(ClientId::new(2), Request::LastMarked)),
+            Response::LastMarked(Some(fid(2, 5)))
+        );
+        assert_eq!(
+            ok(srv.handle(ClientId::new(3), Request::LastMarked)),
+            Response::LastMarked(None)
+        );
+    }
+
+    #[test]
+    fn locate_returns_fragment_prefix() {
+        let srv = server();
+        let me = ClientId::new(1);
+        ok(srv.handle(
+            me,
+            Request::Store {
+                fid: fid(1, 3),
+                marked: false,
+                ranges: vec![],
+                data: b"headerbody".to_vec(),
+            },
+        ));
+        let resp = ok(srv.handle(
+            me,
+            Request::Locate {
+                fid: fid(1, 3),
+                header_len: 6,
+            },
+        ));
+        assert_eq!(resp, Response::Located(Some(b"header".to_vec())));
+        // header_len longer than the fragment is clamped, not an error.
+        let resp = ok(srv.handle(
+            me,
+            Request::Locate {
+                fid: fid(1, 3),
+                header_len: 1000,
+            },
+        ));
+        assert_eq!(resp, Response::Located(Some(b"headerbody".to_vec())));
+        let resp = ok(srv.handle(
+            me,
+            Request::Locate {
+                fid: fid(1, 9),
+                header_len: 6,
+            },
+        ));
+        assert_eq!(resp, Response::Located(None));
+    }
+
+    #[test]
+    fn acl_protected_store_and_read() {
+        let srv = server();
+        let owner = ClientId::new(1);
+        let other = ClientId::new(2);
+        let aid = match ok(srv.handle(
+            owner,
+            Request::AclCreate {
+                members: vec![owner],
+            },
+        )) {
+            Response::AclCreated(aid) => aid,
+            r => panic!("{r:?}"),
+        };
+        ok(srv.handle(
+            owner,
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![StoreRange {
+                    offset: 0,
+                    len: 5,
+                    aid,
+                }],
+                data: b"secret+public".to_vec(),
+            },
+        ));
+        // Non-member denied on protected bytes…
+        let resp = srv.handle(
+            other,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 5,
+            },
+        );
+        assert!(matches!(
+            resp.into_result(),
+            Err(SwarmError::AccessDenied { .. })
+        ));
+        // …but allowed on unprotected bytes.
+        let resp = ok(srv.handle(
+            other,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 7,
+                len: 6,
+            },
+        ));
+        assert_eq!(resp, Response::Data(b"public".to_vec()));
+        // Granting membership opens the protected range.
+        ok(srv.handle(
+            owner,
+            Request::AclModify {
+                aid,
+                add: vec![other],
+                remove: vec![],
+            },
+        ));
+        ok(srv.handle(
+            other,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 5,
+            },
+        ));
+    }
+
+    #[test]
+    fn failed_store_leaves_no_acl_ranges() {
+        let srv = server();
+        let me = ClientId::new(1);
+        ok(srv.handle(
+            me,
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![],
+                data: vec![1],
+            },
+        ));
+        // Second store of same fid fails; its ranges must not take effect.
+        let aid = match ok(srv.handle(me, Request::AclCreate { members: vec![] })) {
+            Response::AclCreated(aid) => aid,
+            r => panic!("{r:?}"),
+        };
+        let resp = srv.handle(
+            me,
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![StoreRange {
+                    offset: 0,
+                    len: 1,
+                    aid,
+                }],
+                data: vec![2],
+            },
+        );
+        assert!(resp.into_result().is_err());
+        // Anyone can still read the original byte (no lingering ACL).
+        ok(srv.handle(
+            ClientId::new(9),
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 1,
+            },
+        ));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let srv = server();
+        let me = ClientId::new(1);
+        ok(srv.handle(
+            me,
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![],
+                data: vec![0; 64],
+            },
+        ));
+        ok(srv.handle(
+            me,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 8,
+            },
+        ));
+        let stats = match ok(srv.handle(me, Request::Stat)) {
+            Response::Stats(s) => s,
+            r => panic!("{r:?}"),
+        };
+        assert_eq!(stats.fragments, 1);
+        assert_eq!(stats.bytes, 64);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn errors_never_panic_the_handler() {
+        let srv = server();
+        let me = ClientId::new(1);
+        // Read of missing fragment, bad ranges, unknown ACL: all must
+        // come back as Response::Err.
+        let r1 = srv.handle(
+            me,
+            Request::Read {
+                fid: fid(1, 0),
+                offset: 0,
+                len: 1,
+            },
+        );
+        assert!(matches!(r1, Response::Err { .. }));
+        let r2 = srv.handle(
+            me,
+            Request::AclModify {
+                aid: Aid::new(999),
+                add: vec![],
+                remove: vec![],
+            },
+        );
+        assert!(matches!(r2, Response::Err { .. }));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use crate::store::FragmentMeta;
+    use swarm_types::FragmentId;
+
+    /// Counts reads that actually reach the backing store.
+    struct CountingStore {
+        inner: MemStore,
+        reads: AtomicU64,
+    }
+
+    impl FragmentStore for CountingStore {
+        fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+            self.inner.store(fid, data, marked)
+        }
+        fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.read(fid, offset, len)
+        }
+        fn delete(&self, fid: FragmentId) -> Result<()> {
+            self.inner.delete(fid)
+        }
+        fn preallocate(&self, fid: FragmentId, len: u32) -> Result<()> {
+            self.inner.preallocate(fid, len)
+        }
+        fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
+            self.inner.meta(fid)
+        }
+        fn last_marked(&self, client: ClientId) -> Option<FragmentId> {
+            self.inner.last_marked(client)
+        }
+        fn list(&self) -> Vec<FragmentId> {
+            self.inner.list()
+        }
+        fn fragment_count(&self) -> u64 {
+            self.inner.fragment_count()
+        }
+        fn byte_count(&self) -> u64 {
+            self.inner.byte_count()
+        }
+        fn capacity(&self) -> u64 {
+            self.inner.capacity()
+        }
+    }
+
+    fn fid(s: u64) -> FragmentId {
+        FragmentId::new(ClientId::new(1), s)
+    }
+
+    fn counting_server(cache: usize) -> StorageServer<CountingStore> {
+        let srv = StorageServer::new(
+            ServerId::new(0),
+            CountingStore {
+                inner: MemStore::new(),
+                reads: AtomicU64::new(0),
+            },
+        );
+        if cache > 0 {
+            srv.with_read_cache(cache)
+        } else {
+            srv
+        }
+    }
+
+    fn store_frag(srv: &StorageServer<CountingStore>, seq: u64, data: &[u8]) {
+        srv.handle(
+            ClientId::new(1),
+            Request::Store {
+                fid: fid(seq),
+                marked: false,
+                ranges: vec![],
+                data: data.to_vec(),
+            },
+        )
+        .into_result()
+        .unwrap();
+    }
+
+    fn read_frag(srv: &StorageServer<CountingStore>, seq: u64, offset: u32, len: u32) -> Response {
+        srv.handle(
+            ClientId::new(1),
+            Request::Read {
+                fid: fid(seq),
+                offset,
+                len,
+            },
+        )
+    }
+
+    #[test]
+    fn cached_reads_never_hit_the_disk() {
+        let srv = counting_server(4);
+        store_frag(&srv, 0, &[7u8; 1024]);
+        for _ in 0..10 {
+            assert_eq!(read_frag(&srv, 0, 100, 16), Response::Data(vec![7u8; 16]));
+        }
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 0);
+        assert_eq!(srv.cache_hits(), 10);
+    }
+
+    #[test]
+    fn without_cache_every_read_hits_the_store() {
+        let srv = counting_server(0);
+        store_frag(&srv, 0, &[7u8; 1024]);
+        for _ in 0..5 {
+            read_frag(&srv, 0, 0, 8);
+        }
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 5);
+        assert_eq!(srv.cache_hits(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_fifo_and_falls_back_to_store() {
+        let srv = counting_server(2);
+        for seq in 0..3 {
+            store_frag(&srv, seq, &[seq as u8; 64]);
+        }
+        // Fragment 0 was evicted by 2; reading it hits the store.
+        assert_eq!(read_frag(&srv, 0, 0, 4), Response::Data(vec![0u8; 4]));
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
+        // Fragments 1 and 2 still cached.
+        read_frag(&srv, 1, 0, 4);
+        read_frag(&srv, 2, 0, 4);
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn delete_invalidates_the_cache() {
+        let srv = counting_server(4);
+        store_frag(&srv, 0, &[1u8; 64]);
+        srv.handle(ClientId::new(1), Request::Delete { fid: fid(0) })
+            .into_result()
+            .unwrap();
+        // Same fid re-stored with different contents must not serve stale
+        // bytes (it re-populates, so the store is never read, but the
+        // data must be the NEW data).
+        store_frag(&srv, 0, &[2u8; 64]);
+        assert_eq!(read_frag(&srv, 0, 0, 4), Response::Data(vec![2u8; 4]));
+    }
+
+    #[test]
+    fn out_of_range_cached_read_still_errors() {
+        let srv = counting_server(4);
+        store_frag(&srv, 0, &[1u8; 64]);
+        let resp = read_frag(&srv, 0, 60, 10);
+        assert!(resp.into_result().is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! Atomic recovery units (§2.2).
+//!
+//! "An atomic recovery unit (ARU) service … provides atomicity across
+//! multiple log writes. … The records are tagged with the ARU to which
+//! they belong. … During recovery, the replayed records are passed up
+//! from the lower service; the ARU service only relays upwards those
+//! records that belong to ARUs that completed before the crash."
+//!
+//! An [`AruService`] wraps a client service's records: `begin` opens a
+//! unit, `append` adds payloads, `commit` seals it. After a crash, only
+//! payloads of *committed* units are relayed; records of units still open
+//! at crash time are discarded — all-or-nothing semantics built purely on
+//! the log's ordered, atomic records.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_log::{Entry, Log, ReplayEntry};
+use swarm_types::{BlockAddr, ByteReader, ByteWriter, Result, ServiceId, SwarmError};
+
+use crate::service::Service;
+
+/// Identifies one atomic recovery unit within a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AruId(pub u64);
+
+impl std::fmt::Display for AruId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aru{}", self.0)
+    }
+}
+
+/// Record kinds the ARU service writes.
+mod kind {
+    pub const BEGIN: u16 = 1;
+    pub const DATA: u16 = 2;
+    pub const COMMIT: u16 = 3;
+    pub const ABORT: u16 = 4;
+}
+
+#[derive(Debug, Default)]
+struct AruState {
+    next_id: u64,
+    /// Units committed before the crash, with their payloads in order
+    /// (populated during recovery).
+    committed: BTreeMap<AruId, Vec<Vec<u8>>>,
+    /// Units currently being replayed (discarded unless a COMMIT
+    /// arrives).
+    pending: BTreeMap<AruId, Vec<Vec<u8>>>,
+    /// Units open right now (live operation).
+    open: BTreeMap<AruId, u64>,
+}
+
+/// The atomic-recovery-unit service.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use swarm_services::AruService;
+/// use swarm_types::ServiceId;
+///
+/// # fn log() -> Arc<swarm_log::Log> { unimplemented!() }
+/// let aru = AruService::new(ServiceId::new(5), log());
+/// let unit = aru.begin()?;
+/// aru.append(unit, b"step 1")?;
+/// aru.append(unit, b"step 2")?;
+/// aru.commit(unit)?;    // both steps or neither survive a crash
+/// # Ok::<(), swarm_types::SwarmError>(())
+/// ```
+pub struct AruService {
+    id: ServiceId,
+    log: Arc<Log>,
+    state: Mutex<AruState>,
+}
+
+impl std::fmt::Debug for AruService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AruService").field("id", &self.id).finish()
+    }
+}
+
+fn encode_unit(aru: AruId, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(8 + payload.len());
+    w.put_u64(aru.0);
+    w.put_raw(payload);
+    w.into_bytes()
+}
+
+fn decode_unit(data: &[u8]) -> Result<(AruId, &[u8])> {
+    let mut r = ByteReader::new(data);
+    let id = r.get_u64()?;
+    let rest = r.get_raw(r.remaining())?;
+    Ok((AruId(id), rest))
+}
+
+impl AruService {
+    /// Creates an ARU service writing through `log` as service `id`.
+    pub fn new(id: ServiceId, log: Arc<Log>) -> Arc<AruService> {
+        Arc::new(AruService {
+            id,
+            log,
+            state: Mutex::new(AruState::default()),
+        })
+    }
+
+    /// Opens a new unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append failures.
+    pub fn begin(&self) -> Result<AruId> {
+        let aru = {
+            let mut state = self.state.lock();
+            let aru = AruId(state.next_id);
+            state.next_id += 1;
+            state.open.insert(aru, 0);
+            aru
+        };
+        self.log
+            .append_record(self.id, kind::BEGIN, &encode_unit(aru, &[]))?;
+        Ok(aru)
+    }
+
+    /// Appends a payload to an open unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] for unknown/closed units.
+    pub fn append(&self, aru: AruId, payload: &[u8]) -> Result<()> {
+        {
+            let mut state = self.state.lock();
+            let n = state
+                .open
+                .get_mut(&aru)
+                .ok_or_else(|| SwarmError::invalid(format!("{aru} is not open")))?;
+            *n += 1;
+        }
+        self.log
+            .append_record(self.id, kind::DATA, &encode_unit(aru, payload))?;
+        Ok(())
+    }
+
+    /// Commits a unit: its payloads become durable all-or-nothing. The
+    /// log is flushed so the commit record cannot be lost after this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] for unknown/closed units
+    /// and propagates flush failures.
+    pub fn commit(&self, aru: AruId) -> Result<()> {
+        {
+            let mut state = self.state.lock();
+            state
+                .open
+                .remove(&aru)
+                .ok_or_else(|| SwarmError::invalid(format!("{aru} is not open")))?;
+        }
+        self.log
+            .append_record(self.id, kind::COMMIT, &encode_unit(aru, &[]))?;
+        self.log.flush()
+    }
+
+    /// Aborts a unit: its payloads will never be relayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] for unknown/closed units.
+    pub fn abort(&self, aru: AruId) -> Result<()> {
+        {
+            let mut state = self.state.lock();
+            state
+                .open
+                .remove(&aru)
+                .ok_or_else(|| SwarmError::invalid(format!("{aru} is not open")))?;
+        }
+        self.log
+            .append_record(self.id, kind::ABORT, &encode_unit(aru, &[]))?;
+        Ok(())
+    }
+
+    /// After recovery: payloads of every unit that committed before the
+    /// crash, in (unit, append) order. This is what the ARU layer "relays
+    /// upwards".
+    pub fn committed_units(&self) -> Vec<(AruId, Vec<Vec<u8>>)> {
+        self.state
+            .lock()
+            .committed
+            .iter()
+            .map(|(id, payloads)| (*id, payloads.clone()))
+            .collect()
+    }
+}
+
+/// The [`Service`] face of an [`AruService`].
+pub struct AruServiceAdapter {
+    aru: Arc<AruService>,
+}
+
+impl AruServiceAdapter {
+    /// Wraps an ARU service for stack registration.
+    pub fn new(aru: Arc<AruService>) -> Self {
+        AruServiceAdapter { aru }
+    }
+}
+
+impl Service for AruServiceAdapter {
+    fn id(&self) -> ServiceId {
+        self.aru.id
+    }
+
+    fn name(&self) -> &str {
+        "aru"
+    }
+
+    fn restore_checkpoint(&mut self, data: &[u8]) -> Result<()> {
+        // Checkpoint payload: next_id only (committed units before a
+        // checkpoint are already reflected in higher-level state).
+        let mut r = ByteReader::new(data);
+        self.aru.state.lock().next_id = r.get_u64()?;
+        Ok(())
+    }
+
+    fn replay(&mut self, entry: &ReplayEntry) -> Result<()> {
+        let Entry::Record { kind: k, data, .. } = &entry.entry else {
+            return Ok(()); // ARUs write no blocks
+        };
+        let (aru, payload) = decode_unit(data)?;
+        let mut state = self.aru.state.lock();
+        state.next_id = state.next_id.max(aru.0 + 1);
+        match *k {
+            kind::BEGIN => {
+                state.pending.insert(aru, Vec::new());
+            }
+            kind::DATA => {
+                if let Some(p) = state.pending.get_mut(&aru) {
+                    p.push(payload.to_vec());
+                }
+            }
+            kind::COMMIT => {
+                if let Some(p) = state.pending.remove(&aru) {
+                    state.committed.insert(aru, p);
+                }
+            }
+            kind::ABORT => {
+                state.pending.remove(&aru);
+            }
+            other => {
+                return Err(SwarmError::corrupt(format!(
+                    "unknown ARU record kind {other}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn block_moved(&mut self, _old: BlockAddr, _new: BlockAddr, _create: &[u8]) -> Result<()> {
+        Ok(()) // ARUs own no blocks
+    }
+
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+        let next_id = self.aru.state.lock().next_id;
+        let mut w = ByteWriter::new();
+        w.put_u64(next_id);
+        log.checkpoint(self.aru.id, w.as_slice())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_log::{recover, Log, LogConfig};
+    use swarm_net::MemTransport;
+    use swarm_server::{MemStore, StorageServer};
+    use swarm_types::{ClientId, ServerId};
+
+    const ARU_SVC: ServiceId = ServiceId::new(5);
+
+    fn cluster(n: u32) -> Arc<MemTransport> {
+        let transport = Arc::new(MemTransport::new());
+        for i in 0..n {
+            let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            transport.register(ServerId::new(i), srv);
+        }
+        transport
+    }
+
+    fn config() -> LogConfig {
+        LogConfig::new(ClientId::new(1), vec![ServerId::new(0), ServerId::new(1)])
+            .unwrap()
+            .fragment_size(4096)
+    }
+
+    fn recover_aru(transport: Arc<MemTransport>) -> Arc<AruService> {
+        let (log, replay) = recover(transport, config(), &[ARU_SVC]).unwrap();
+        let aru = AruService::new(ARU_SVC, Arc::new(log));
+        let mut adapter = AruServiceAdapter::new(aru.clone());
+        if let Some(d) = replay.checkpoint_data(ARU_SVC) {
+            adapter.restore_checkpoint(d).unwrap();
+        }
+        for e in replay.records_for(ARU_SVC) {
+            adapter.replay(e).unwrap();
+        }
+        aru
+    }
+
+    #[test]
+    fn committed_units_survive_a_crash() {
+        let transport = cluster(2);
+        {
+            let log = Arc::new(Log::create(transport.clone(), config()).unwrap());
+            let aru = AruService::new(ARU_SVC, log);
+            let a = aru.begin().unwrap();
+            aru.append(a, b"a1").unwrap();
+            aru.append(a, b"a2").unwrap();
+            aru.commit(a).unwrap();
+            // crash
+        }
+        let aru = recover_aru(transport);
+        let committed = aru.committed_units();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].1, vec![b"a1".to_vec(), b"a2".to_vec()]);
+    }
+
+    #[test]
+    fn uncommitted_units_are_discarded() {
+        let transport = cluster(2);
+        {
+            let log = Arc::new(Log::create(transport.clone(), config()).unwrap());
+            let aru = AruService::new(ARU_SVC, log.clone());
+            let a = aru.begin().unwrap();
+            aru.append(a, b"committed work").unwrap();
+            aru.commit(a).unwrap();
+            let b = aru.begin().unwrap();
+            aru.append(b, b"doomed work").unwrap();
+            // no commit for b — but the records do reach the servers
+            log.flush().unwrap();
+            // crash
+        }
+        let aru = recover_aru(transport);
+        let committed = aru.committed_units();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].1, vec![b"committed work".to_vec()]);
+    }
+
+    #[test]
+    fn aborted_units_are_discarded() {
+        let transport = cluster(2);
+        {
+            let log = Arc::new(Log::create(transport.clone(), config()).unwrap());
+            let aru = AruService::new(ARU_SVC, log.clone());
+            let a = aru.begin().unwrap();
+            aru.append(a, b"rolled back").unwrap();
+            aru.abort(a).unwrap();
+            log.flush().unwrap();
+        }
+        let aru = recover_aru(transport);
+        assert!(aru.committed_units().is_empty());
+    }
+
+    #[test]
+    fn operations_on_closed_units_fail() {
+        let transport = cluster(2);
+        let log = Arc::new(Log::create(transport, config()).unwrap());
+        let aru = AruService::new(ARU_SVC, log);
+        let a = aru.begin().unwrap();
+        aru.commit(a).unwrap();
+        assert!(aru.append(a, b"late").is_err());
+        assert!(aru.commit(a).is_err());
+        assert!(aru.abort(a).is_err());
+    }
+
+    #[test]
+    fn unit_ids_continue_after_recovery() {
+        let transport = cluster(2);
+        let first_id;
+        {
+            let log = Arc::new(Log::create(transport.clone(), config()).unwrap());
+            let aru = AruService::new(ARU_SVC, log.clone());
+            first_id = aru.begin().unwrap();
+            aru.commit(first_id).unwrap();
+        }
+        let aru = recover_aru(transport);
+        let next = aru.begin().unwrap();
+        assert!(next.0 > first_id.0, "{next} must postdate {first_id}");
+    }
+
+    #[test]
+    fn interleaved_units_recover_independently() {
+        let transport = cluster(2);
+        {
+            let log = Arc::new(Log::create(transport.clone(), config()).unwrap());
+            let aru = AruService::new(ARU_SVC, log.clone());
+            let a = aru.begin().unwrap();
+            let b = aru.begin().unwrap();
+            aru.append(a, b"a1").unwrap();
+            aru.append(b, b"b1").unwrap();
+            aru.append(a, b"a2").unwrap();
+            aru.commit(b).unwrap();
+            aru.append(a, b"a3").unwrap();
+            log.flush().unwrap(); // a never commits
+        }
+        let aru = recover_aru(transport);
+        let committed = aru.committed_units();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].1, vec![b"b1".to_vec()]);
+    }
+}

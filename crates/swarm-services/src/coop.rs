@@ -1,0 +1,333 @@
+//! Cooperative caching: clients serve each other's cache misses.
+//!
+//! §2.2 lists "distributed cooperative caching \[14\]" (Sarkar &
+//! Hartman's hint-based scheme) among the services that can be layered on
+//! Swarm. The idea: a block evicted from one client's cache may still be
+//! hot in another's; fetching it from a peer's memory beats a server disk
+//! access. Following the cited paper, lookup is by *hints* — a local,
+//! possibly stale table of "who probably caches this block" — so there is
+//! no central directory and no synchronization on the read path (Swarm's
+//! design goal, §2).
+//!
+//! The [`CoopCacheGroup`] is the rendezvous: each participating client
+//! registers a [`CoopCache`]; hints propagate lazily (on successful peer
+//! fetches and on local caching events). Wrong hints are harmless — the
+//! reader just falls through to the storage servers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use swarm_log::Log;
+use swarm_types::{BlockAddr, ClientId, Result};
+
+use crate::cache::LruCache;
+
+/// Statistics for one cooperative cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoopStats {
+    /// Served from this client's own cache.
+    pub local_hits: u64,
+    /// Served from a peer's cache via a hint.
+    pub peer_hits: u64,
+    /// Hints that pointed at a peer that no longer had the block.
+    pub stale_hints: u64,
+    /// Fetched from the storage servers.
+    pub server_fetches: u64,
+    /// Blocks this client served to peers.
+    pub served_to_peers: u64,
+}
+
+struct Member {
+    cache: Arc<Mutex<LruCache<BlockAddr, Arc<Vec<u8>>>>>,
+    hints: Arc<Mutex<LruCache<BlockAddr, ClientId>>>,
+    served: Arc<Mutex<u64>>,
+}
+
+/// The set of clients cooperating on one machine-room's caches.
+///
+/// (In the paper's setting peers talk over the same switched network as
+/// the servers; here the group is an in-process registry — the hint
+/// protocol and its staleness behaviour are what matter.)
+#[derive(Default)]
+pub struct CoopCacheGroup {
+    members: RwLock<HashMap<ClientId, Member>>,
+}
+
+impl std::fmt::Debug for CoopCacheGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopCacheGroup")
+            .field("members", &self.members.read().len())
+            .finish()
+    }
+}
+
+impl CoopCacheGroup {
+    /// Creates an empty group.
+    pub fn new() -> Arc<CoopCacheGroup> {
+        Arc::new(CoopCacheGroup::default())
+    }
+
+    /// Asks `peer` for a block (a peer-cache probe).
+    fn probe(&self, peer: ClientId, addr: BlockAddr) -> Option<Arc<Vec<u8>>> {
+        let members = self.members.read();
+        let member = members.get(&peer)?;
+        let hit = member.cache.lock().get(&addr).cloned();
+        if hit.is_some() {
+            *member.served.lock() += 1;
+        }
+        hit
+    }
+
+    /// Delivers the hint "`holder` caches `addr`" to every other member
+    /// (the piggybacked hint exchange of the cited design; here an
+    /// in-process delivery).
+    fn announce(&self, holder: ClientId, addr: BlockAddr) {
+        let members = self.members.read();
+        for (peer, member) in members.iter() {
+            if *peer != holder {
+                member.hints.lock().insert(addr, holder);
+            }
+        }
+    }
+}
+
+/// One client's cooperatively-shared block cache over a [`Log`].
+pub struct CoopCache {
+    client: ClientId,
+    log: Arc<Log>,
+    group: Arc<CoopCacheGroup>,
+    cache: Arc<Mutex<LruCache<BlockAddr, Arc<Vec<u8>>>>>,
+    served: Arc<Mutex<u64>>,
+    /// Hints: block → peer believed to cache it. Possibly stale by
+    /// design; never synchronized.
+    hints: Arc<Mutex<LruCache<BlockAddr, ClientId>>>,
+    stats: Mutex<CoopStats>,
+}
+
+impl std::fmt::Debug for CoopCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopCache")
+            .field("client", &self.client)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl CoopCache {
+    /// Joins `group` with a cache of `capacity` blocks.
+    pub fn join(
+        group: Arc<CoopCacheGroup>,
+        client: ClientId,
+        log: Arc<Log>,
+        capacity: usize,
+    ) -> Arc<CoopCache> {
+        let cache = Arc::new(Mutex::new(LruCache::new(capacity)));
+        let served = Arc::new(Mutex::new(0));
+        let hints = Arc::new(Mutex::new(LruCache::new(capacity * 4)));
+        group.members.write().insert(
+            client,
+            Member {
+                cache: cache.clone(),
+                hints: hints.clone(),
+                served: served.clone(),
+            },
+        );
+        Arc::new(CoopCache {
+            client,
+            log,
+            group,
+            cache,
+            served,
+            hints,
+            stats: Mutex::new(CoopStats::default()),
+        })
+    }
+
+    /// Leaves the group (on client shutdown).
+    pub fn leave(&self) {
+        self.group.members.write().remove(&self.client);
+    }
+
+    /// Plants a hint: "peer probably caches `addr`". Hints arrive from
+    /// peers' caching announcements or out-of-band knowledge; they are
+    /// never verified eagerly.
+    pub fn hint(&self, addr: BlockAddr, peer: ClientId) {
+        if peer != self.client {
+            self.hints.lock().insert(addr, peer);
+        }
+    }
+
+    /// Reads a block: own cache → hinted peer → storage servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server errors when both cache tiers miss.
+    pub fn read(&self, addr: BlockAddr) -> Result<Arc<Vec<u8>>> {
+        if let Some(hit) = self.cache.lock().get(&addr).cloned() {
+            self.stats.lock().local_hits += 1;
+            return Ok(hit);
+        }
+        // Hint path: one probe, no retries (the cited design keeps the
+        // miss penalty bounded).
+        let hinted = self.hints.lock().get(&addr).copied();
+        if let Some(peer) = hinted {
+            if let Some(block) = self.group.probe(peer, addr) {
+                self.stats.lock().peer_hits += 1;
+                self.cache.lock().insert(addr, block.clone());
+                return Ok(block);
+            }
+            self.stats.lock().stale_hints += 1;
+            self.hints.lock().remove(&addr);
+        }
+        let block = Arc::new(self.log.read(addr)?);
+        self.stats.lock().server_fetches += 1;
+        self.cache.lock().insert(addr, block.clone());
+        // Tell peers where this block now lives (hint propagation).
+        self.group.announce(self.client, addr);
+        Ok(block)
+    }
+
+    /// Inserts locally-written data and announces it to peers.
+    pub fn put(&self, addr: BlockAddr, data: Arc<Vec<u8>>) {
+        self.cache.lock().insert(addr, data);
+        self.group.announce(self.client, addr);
+    }
+
+    /// Statistics snapshot (including blocks served to peers).
+    pub fn stats(&self) -> CoopStats {
+        let mut s = *self.stats.lock();
+        s.served_to_peers = *self.served.lock();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_log::LogConfig;
+    use swarm_net::MemTransport;
+    use swarm_server::{MemStore, StorageServer};
+    use swarm_types::{ServerId, ServiceId};
+
+    const SVC: ServiceId = ServiceId::new(1);
+
+    type Setup = (
+        Arc<MemTransport>,
+        Vec<Arc<StorageServer<MemStore>>>,
+        Arc<Log>,
+        Arc<Log>,
+    );
+
+    fn setup() -> Setup {
+        let transport = Arc::new(MemTransport::new());
+        let mut servers = Vec::new();
+        for i in 0..2 {
+            let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            transport.register(ServerId::new(i), srv.clone());
+            servers.push(srv);
+        }
+        let cfg = |c: u32| {
+            LogConfig::new(ClientId::new(c), vec![ServerId::new(0), ServerId::new(1)])
+                .unwrap()
+                .fragment_size(8 * 1024)
+                .cache_fragments(0) // isolate the coop cache tier
+        };
+        let log1 = Arc::new(Log::create(transport.clone(), cfg(1)).unwrap());
+        let log2 = Arc::new(Log::create(transport.clone(), cfg(2)).unwrap());
+        (transport, servers, log1, log2)
+    }
+
+    #[test]
+    fn peer_hit_avoids_the_server() {
+        let (_t, servers, log1, log2) = setup();
+        let addr = log1.append_block(SVC, b"", b"shared hot block").unwrap();
+        log1.flush().unwrap();
+
+        let group = CoopCacheGroup::new();
+        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
+        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+
+        // Client 1 reads from the servers; the announce plants a hint at
+        // client 2.
+        assert_eq!(&*c1.read(addr).unwrap(), b"shared hot block");
+        let reads_before: u64 = servers.iter().map(|s| s.stats().reads).sum();
+
+        // Client 2's read is served by client 1's cache — zero server I/O.
+        assert_eq!(&*c2.read(addr).unwrap(), b"shared hot block");
+        let reads_after: u64 = servers.iter().map(|s| s.stats().reads).sum();
+        assert_eq!(reads_after, reads_before, "peer hit must not touch servers");
+        assert_eq!(c2.stats().peer_hits, 1);
+        assert_eq!(c1.stats().served_to_peers, 1);
+    }
+
+    #[test]
+    fn stale_hints_fall_through_to_servers() {
+        let (_t, _servers, log1, log2) = setup();
+        let addr = log1.append_block(SVC, b"", b"evictable").unwrap();
+        log1.flush().unwrap();
+
+        let group = CoopCacheGroup::new();
+        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 1);
+        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        c1.read(addr).unwrap(); // hint planted at c2
+
+        // Evict it from c1 by filling its 1-slot cache with another block.
+        let other = c1.log.append_block(SVC, b"", b"evictor").unwrap();
+        c1.log.flush().unwrap();
+        c1.read(other).unwrap();
+
+        // c2 follows the stale hint, misses, and falls through.
+        assert_eq!(&*c2.read(addr).unwrap(), b"evictable");
+        let s = c2.stats();
+        assert_eq!(s.stale_hints, 1);
+        assert_eq!(s.server_fetches, 1);
+    }
+
+    #[test]
+    fn own_cache_beats_peers_and_servers() {
+        let (_t, _servers, log1, log2) = setup();
+        let addr = log1.append_block(SVC, b"", b"mine").unwrap();
+        log1.flush().unwrap();
+        let group = CoopCacheGroup::new();
+        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
+        let _c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        c1.read(addr).unwrap();
+        c1.read(addr).unwrap();
+        let s = c1.stats();
+        assert_eq!(s.local_hits, 1);
+        assert_eq!(s.server_fetches, 1);
+    }
+
+    #[test]
+    fn put_announces_written_data() {
+        let (_t, servers, log1, log2) = setup();
+        let addr = log1.append_block(SVC, b"", b"fresh write").unwrap();
+        log1.flush().unwrap();
+        let group = CoopCacheGroup::new();
+        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
+        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        // The writer seeds its cache directly (no server read at all).
+        c1.put(addr, Arc::new(b"fresh write".to_vec()));
+        let reads_before: u64 = servers.iter().map(|s| s.stats().reads).sum();
+        assert_eq!(&*c2.read(addr).unwrap(), b"fresh write");
+        let reads_after: u64 = servers.iter().map(|s| s.stats().reads).sum();
+        assert_eq!(reads_after, reads_before);
+    }
+
+    #[test]
+    fn leaving_the_group_stops_serving() {
+        let (_t, _servers, log1, log2) = setup();
+        let addr = log1.append_block(SVC, b"", b"going away").unwrap();
+        log1.flush().unwrap();
+        let group = CoopCacheGroup::new();
+        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
+        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        c1.read(addr).unwrap();
+        c1.leave();
+        // The hint now points at a departed member: clean fall-through.
+        assert_eq!(&*c2.read(addr).unwrap(), b"going away");
+        assert_eq!(c2.stats().peer_hits, 0);
+        assert_eq!(c2.stats().server_fetches, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! A small LZSS codec backing the compression service (§2.2 lists "a
+//! compression service" among the services layered on the log).
+//!
+//! Implemented in-repo (no external compression crates): greedy LZSS with
+//! a 4 KiB sliding window and 3-byte hash-chain match finder. Format:
+//!
+//! ```text
+//! output := flag-group*
+//! flag-group := flags:u8 then 8 items (LSB first)
+//! item (flag 0) := literal byte
+//! item (flag 1) := u16 le: offset:12 bits | (len-MIN_MATCH):4 bits
+//! ```
+//!
+//! A leading `u32` holds the decompressed length so decode can
+//! preallocate and validate.
+
+const WINDOW: usize = 1 << 12; // 4 KiB, offsets fit in 12 bits
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 15; // 4-bit length field
+
+use swarm_types::{Result, SwarmError};
+
+/// Compresses `input`. Output is self-describing (see module docs);
+/// incompressible data grows by ~12.5% plus 4 bytes, so callers that care
+/// should keep the original when `compress` does not help (the
+/// [`crate::CompressTransform`] does exactly that).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // Hash chains over 3-byte prefixes.
+    let mut head = vec![usize::MAX; 1 << 13];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) ^ ((b as usize) << 4) ^ ((c as usize) << 8)) & ((1 << 13) - 1)
+    };
+
+    let mut i = 0;
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    let emit = |out: &mut Vec<u8>, flags_pos: &mut usize, flag_bit: &mut u8, is_match: bool| {
+        if *flag_bit == 8 {
+            *flags_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flags_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input[i], input[i + 1], input[i + 2]);
+            let mut cand = head[h];
+            let mut tries = 32;
+            while cand != usize::MAX && tries > 0 {
+                if i - cand < WINDOW {
+                    let limit = (input.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < limit && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == limit {
+                            break;
+                        }
+                    }
+                } else {
+                    break; // chain entries only get older
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            emit(&mut out, &mut flags_pos, &mut flag_bit, true);
+            let token = ((best_off as u16) & 0x0fff)
+                | (((best_len - MIN_MATCH) as u16) << 12);
+            out.extend_from_slice(&token.to_le_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash(input[i], input[i + 1], input[i + 2]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            emit(&mut out, &mut flags_pos, &mut flag_bit, false);
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(input[i], input[i + 1], input[i + 2]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses data produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`SwarmError::Corrupt`] on truncated input, invalid
+/// back-references, or a length mismatch.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    if input.len() < 4 {
+        return Err(SwarmError::corrupt("lzss input shorter than length prefix"));
+    }
+    let want = u32::from_le_bytes(input[0..4].try_into().unwrap()) as usize;
+    if want > lzss_limits::MAX_DECOMPRESSED {
+        return Err(SwarmError::corrupt("lzss declared length too large"));
+    }
+    let mut out = Vec::with_capacity(want);
+    let mut pos = 4;
+    while out.len() < want {
+        if pos >= input.len() {
+            return Err(SwarmError::corrupt("lzss truncated before flags"));
+        }
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= want {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if pos + 2 > input.len() {
+                    return Err(SwarmError::corrupt("lzss truncated match token"));
+                }
+                let token = u16::from_le_bytes(input[pos..pos + 2].try_into().unwrap());
+                pos += 2;
+                let off = (token & 0x0fff) as usize;
+                let len = ((token >> 12) as usize) + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return Err(SwarmError::corrupt("lzss back-reference out of range"));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                if pos >= input.len() {
+                    return Err(SwarmError::corrupt("lzss truncated literal"));
+                }
+                out.push(input[pos]);
+                pos += 1;
+            }
+        }
+    }
+    if out.len() != want {
+        return Err(SwarmError::corrupt(format!(
+            "lzss length mismatch: declared {want}, produced {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Guard rails for decode allocation.
+pub(crate) mod lzss_limits {
+    /// Upper bound on declared decompressed size (64 MiB).
+    pub const MAX_DECOMPRESSED: usize = 64 << 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(50);
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 3,
+            "{} !< {}",
+            packed.len(),
+            data.len() / 3
+        );
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn zeros_shrink_dramatically() {
+        let data = vec![0u8; 100_000];
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 6); // max match 18B per 2.1B token ≈ 8.5×
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_roundtrips_even_if_larger() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn text_like_data_roundtrips() {
+        let data = include_str!("lzss.rs").as_bytes();
+        let packed = compress(data);
+        assert!(packed.len() < data.len(), "source code should compress");
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let data = b"hello hello hello hello".repeat(20);
+        let packed = compress(&data);
+        for cut in [0, 3, 5, packed.len() / 2, packed.len() - 1] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_input_never_panics() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let garbage: Vec<u8> = (0..rng.gen_range(0..200)).map(|_| rng.gen()).collect();
+            let _ = decompress(&garbage); // must not panic
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_structured(
+            words in proptest::collection::vec(0u8..4, 0..2000)
+        ) {
+            // Low-entropy input: exercises the match path heavily.
+            let data: Vec<u8> = words.iter().map(|w| b"abcd"[*w as usize]).collect();
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+}

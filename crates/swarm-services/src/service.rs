@@ -1,0 +1,340 @@
+//! The service stacking framework (§2.2).
+//!
+//! A *service* is anything that stores blocks and records in the log and
+//! can rebuild its state after a crash: a file system, a logical disk, an
+//! ARU layer, the cleaner itself. The [`ServiceStack`] routes three kinds
+//! of traffic to the right service:
+//!
+//! 1. **Recovery** — after a crash, each service gets its newest
+//!    checkpoint payload and the records it wrote after that checkpoint,
+//!    in log order.
+//! 2. **Cleaning** — when the cleaner moves a live block, the owning
+//!    service is told the old address, the new address, and the block's
+//!    creation record so it can patch its metadata (§2.1.4).
+//! 3. **Demand checkpoints** — the log layer may require services to
+//!    checkpoint so the cleaner can make progress (§2.1.4: "we mitigate
+//!    this problem by forcing services to write out checkpoints on
+//!    demand").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_log::{Log, Replay, ReplayEntry};
+use swarm_types::{BlockAddr, Result, ServiceId, SwarmError};
+
+/// A log-layer service: owns blocks and records, survives crashes.
+pub trait Service: Send {
+    /// The service's stable identity (routes records and notifications).
+    fn id(&self) -> ServiceId;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Restores state from this service's newest checkpoint payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the payload does not parse.
+    fn restore_checkpoint(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Replays one post-checkpoint entry (record, block creation, or
+    /// deletion) during rollforward. Entries arrive in log order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] for records the service cannot
+    /// interpret.
+    fn replay(&mut self, entry: &ReplayEntry) -> Result<()>;
+
+    /// The cleaner moved one of this service's blocks: `old` → `new`,
+    /// with the block's creation record to locate it in service metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the service does not recognize the block (a
+    /// bug — the cleaner only moves blocks whose creation records name
+    /// this service).
+    fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()>;
+
+    /// Writes a checkpoint now (demand checkpoint, §2.1.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append/flush failures.
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()>;
+}
+
+/// A shared, lockable service handle.
+pub type SharedService = Arc<Mutex<dyn Service>>;
+
+/// The registry of services stacked on one client's log.
+#[derive(Default)]
+pub struct ServiceStack {
+    services: BTreeMap<ServiceId, SharedService>,
+}
+
+impl std::fmt::Debug for ServiceStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self
+            .services
+            .iter()
+            .map(|(id, s)| format!("{id}:{}", s.lock().name()))
+            .collect();
+        f.debug_struct("ServiceStack").field("services", &names).finish()
+    }
+}
+
+impl ServiceStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        ServiceStack {
+            services: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if the id is taken.
+    pub fn register(&mut self, service: SharedService) -> Result<()> {
+        let id = service.lock().id();
+        if self.services.contains_key(&id) {
+            return Err(SwarmError::invalid(format!(
+                "service id {id} already registered"
+            )));
+        }
+        self.services.insert(id, service);
+        Ok(())
+    }
+
+    /// Looks up a service.
+    pub fn get(&self, id: ServiceId) -> Option<&SharedService> {
+        self.services.get(&id)
+    }
+
+    /// Is a service with this id registered?
+    pub fn contains(&self, id: ServiceId) -> bool {
+        self.services.contains_key(&id)
+    }
+
+    /// Registered service ids, ascending.
+    pub fn ids(&self) -> Vec<ServiceId> {
+        self.services.keys().copied().collect()
+    }
+
+    /// Drives recovery: for every registered service, restore its
+    /// checkpoint (if any) and replay its post-checkpoint records in log
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first service error; recovery is all-or-nothing per
+    /// client.
+    pub fn recover(&self, replay: &Replay) -> Result<()> {
+        for (id, service) in &self.services {
+            let mut svc = service.lock();
+            if let Some(data) = replay.checkpoint_data(*id) {
+                svc.restore_checkpoint(data)?;
+            }
+            for entry in replay.records_for(*id) {
+                svc.replay(entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes a cleaner block-move notification to the owning service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] for an unknown service and
+    /// propagates service errors.
+    pub fn notify_block_moved(
+        &self,
+        id: ServiceId,
+        old: BlockAddr,
+        new: BlockAddr,
+        create: &[u8],
+    ) -> Result<()> {
+        let service = self
+            .services
+            .get(&id)
+            .ok_or_else(|| SwarmError::invalid(format!("no service {id} registered")))?;
+        service.lock().block_moved(old, new, create)
+    }
+
+    /// Demands a checkpoint from every registered service (cleaner
+    /// pressure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first checkpoint failure.
+    pub fn checkpoint_all(&self, log: &Log) -> Result<()> {
+        for service in self.services.values() {
+            service.lock().write_checkpoint(log)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+    use swarm_log::Entry;
+
+    /// A service that records everything that happens to it.
+    #[derive(Debug, Default)]
+    pub struct Recorder {
+        pub id_raw: u16,
+        pub restored: Option<Vec<u8>>,
+        pub replayed: Vec<ReplayEntry>,
+        pub moves: Vec<(BlockAddr, BlockAddr, Vec<u8>)>,
+        pub checkpoints_written: u32,
+    }
+
+    impl Recorder {
+        pub fn new(id_raw: u16) -> Self {
+            Recorder {
+                id_raw,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Service for Recorder {
+        fn id(&self) -> ServiceId {
+            ServiceId::new(self.id_raw)
+        }
+
+        fn name(&self) -> &str {
+            "recorder"
+        }
+
+        fn restore_checkpoint(&mut self, data: &[u8]) -> Result<()> {
+            self.restored = Some(data.to_vec());
+            Ok(())
+        }
+
+        fn replay(&mut self, entry: &ReplayEntry) -> Result<()> {
+            // Reject checkpoints (the stack must filter those out via
+            // records_for).
+            if matches!(entry.entry, Entry::Checkpoint { .. }) {
+                return Err(SwarmError::corrupt("checkpoint passed to replay"));
+            }
+            self.replayed.push(entry.clone());
+            Ok(())
+        }
+
+        fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()> {
+            self.moves.push((old, new, create.to_vec()));
+            Ok(())
+        }
+
+        fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+            self.checkpoints_written += 1;
+            log.checkpoint(self.id(), b"recorder-ckpt")?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::Recorder;
+    use super::*;
+    use std::sync::Arc;
+    use swarm_log::{recover, Log, LogConfig};
+    use swarm_net::MemTransport;
+    use swarm_server::{MemStore, StorageServer};
+    use swarm_types::{ClientId, ServerId};
+
+    fn cluster(n: u32) -> Arc<MemTransport> {
+        let transport = Arc::new(MemTransport::new());
+        for i in 0..n {
+            let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            transport.register(ServerId::new(i), srv);
+        }
+        transport
+    }
+
+    fn config(servers: u32) -> LogConfig {
+        LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())
+            .unwrap()
+            .fragment_size(4096)
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut stack = ServiceStack::new();
+        stack
+            .register(Arc::new(Mutex::new(Recorder::new(1))))
+            .unwrap();
+        let err = stack
+            .register(Arc::new(Mutex::new(Recorder::new(1))))
+            .unwrap_err();
+        assert!(matches!(err, SwarmError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn stack_recovery_routes_per_service() {
+        let transport = cluster(2);
+        let svc_a = ServiceId::new(1);
+        let svc_b = ServiceId::new(2);
+        {
+            let log = Log::create(transport.clone(), config(2)).unwrap();
+            log.checkpoint(svc_a, b"a-state").unwrap();
+            log.append_record(svc_a, 1, b"a1").unwrap();
+            log.append_record(svc_b, 9, b"b1").unwrap();
+            log.flush().unwrap();
+        }
+        let (_log, replay) = recover(transport, config(2), &[svc_a, svc_b]).unwrap();
+
+        let a = Arc::new(Mutex::new(Recorder::new(1)));
+        let b = Arc::new(Mutex::new(Recorder::new(2)));
+        let mut stack = ServiceStack::new();
+        stack.register(a.clone()).unwrap();
+        stack.register(b.clone()).unwrap();
+        stack.recover(&replay).unwrap();
+
+        assert_eq!(a.lock().restored.as_deref(), Some(&b"a-state"[..]));
+        assert_eq!(a.lock().replayed.len(), 1);
+        assert!(b.lock().restored.is_none());
+        assert_eq!(b.lock().replayed.len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_all_touches_every_service() {
+        let transport = cluster(2);
+        let log = Log::create(transport, config(2)).unwrap();
+        let a = Arc::new(Mutex::new(Recorder::new(1)));
+        let b = Arc::new(Mutex::new(Recorder::new(2)));
+        let mut stack = ServiceStack::new();
+        stack.register(a.clone()).unwrap();
+        stack.register(b.clone()).unwrap();
+        stack.checkpoint_all(&log).unwrap();
+        assert_eq!(a.lock().checkpoints_written, 1);
+        assert_eq!(b.lock().checkpoints_written, 1);
+        assert!(log.last_checkpoint(ServiceId::new(1)).is_some());
+        assert!(log.last_checkpoint(ServiceId::new(2)).is_some());
+    }
+
+    #[test]
+    fn block_move_notification_routed() {
+        use swarm_types::{BlockAddr, FragmentId};
+        let a = Arc::new(Mutex::new(Recorder::new(1)));
+        let mut stack = ServiceStack::new();
+        stack.register(a.clone()).unwrap();
+        let old = BlockAddr::new(FragmentId::new(ClientId::new(1), 0), 10, 4);
+        let new = BlockAddr::new(FragmentId::new(ClientId::new(1), 8), 64, 4);
+        stack
+            .notify_block_moved(ServiceId::new(1), old, new, b"create-info")
+            .unwrap();
+        assert_eq!(a.lock().moves.len(), 1);
+        let err = stack
+            .notify_block_moved(ServiceId::new(9), old, new, b"")
+            .unwrap_err();
+        assert!(matches!(err, SwarmError::InvalidArgument(_)), "{err}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Calibration constants for the 1999 testbed, each anchored to a number
+//! the paper states.
+//!
+//! | constant | value | provenance |
+//! |----------|-------|------------|
+//! | network link | 12.5 MB/s | "100 Mb/s switched Ethernet" (§3.3) |
+//! | fragment size | 1 MB | §3.3 |
+//! | client CPU, per raw byte | 0.158 µs | "raw write bandwidth of a single client is 6.1 MB/s … nearly saturates the client" (§3.4): 1/6.1 minus the per-fragment share |
+//! | client CPU, per fragment | 6 ms | amortized fragment formation/RPC cost; with the per-byte cost reproduces the flat 6.1–6.4 MB/s client ceiling |
+//! | server service rate | 7.7 MB/s | "a single server is capable of sustaining 7.7 MB/s" (§3.4); the disk itself does 10.3 (see [`crate::disk`]) — the gap is server-side per-fragment processing |
+//! | uncached 4 KB read | 1.7 MB/s | "a Swarm client can read 4 KB blocks from the servers at only 1.7 MB/s" (§3.4) |
+
+use crate::disk::SimDisk;
+
+/// The testbed model handed to every simulation.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Fragment size in bytes.
+    pub fragment_size: u64,
+    /// Per-link network bandwidth, MB/s (full duplex, switched).
+    pub net_mb_per_s: f64,
+    /// Client CPU cost per byte pushed through the log layer (data or
+    /// parity — copying and XOR cost alike on a 200 MHz P6), µs/byte.
+    pub client_cpu_per_byte: f64,
+    /// Client CPU cost per fragment (formation, checksums, RPC), µs.
+    pub client_cpu_per_fragment: u64,
+    /// Server fragment service rate (network processing + disk), MB/s.
+    pub server_mb_per_s: f64,
+    /// Per-server outstanding-fragment window per client (the paper's
+    /// depth-2 pipelining / flow control, §2.1.2).
+    pub flow_window: usize,
+    /// Fixed latency of one small read RPC (request processing + disk
+    /// positioning on the server), µs.
+    pub read_rpc_us: u64,
+    /// Client CPU per byte on the read path, µs/byte.
+    pub read_cpu_per_byte: f64,
+    /// The server disk model (for Figure 5 and the in-text bound).
+    pub disk: SimDisk,
+}
+
+impl Calibration {
+    /// The paper's testbed (§3.3).
+    pub fn testbed_1999() -> Calibration {
+        Calibration {
+            fragment_size: 1 << 20,
+            net_mb_per_s: 12.5,
+            // 1/6.35 µs/B total at saturation; split so that the ceiling
+            // sits at ~6.1 MB/s for 1 MB fragments.
+            client_cpu_per_byte: 0.1582,
+            client_cpu_per_fragment: 6_000,
+            server_mb_per_s: 7.7,
+            flow_window: 2,
+            // 4 KB at 1.7 MB/s = 2.41 ms/block; transfer (0.33 ms) and
+            // client copy leave ~1.9 ms of RPC + server positioning.
+            read_rpc_us: 1_900,
+            read_cpu_per_byte: 0.04,
+            disk: SimDisk::viking_ii(),
+        }
+    }
+
+    /// Client CPU time to process one fragment of `bytes`, µs.
+    pub fn client_fragment_us(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.client_cpu_per_byte).round() as u64 + self.client_cpu_per_fragment
+    }
+
+    /// Server time to ingest one fragment of `bytes`, µs.
+    pub fn server_fragment_us(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.server_mb_per_s).round() as u64
+    }
+
+    /// Network time for `bytes` on one link, µs.
+    pub fn link_us(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.net_mb_per_s).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_ceiling_matches_paper() {
+        // One client pushing 1 MB fragments flat out: ~6.1 MB/s.
+        let cal = Calibration::testbed_1999();
+        let us_per_fragment = cal.client_fragment_us(cal.fragment_size);
+        let rate = cal.fragment_size as f64 / us_per_fragment as f64;
+        assert!(
+            (rate - 6.1).abs() < 0.2,
+            "client ceiling {rate:.2} MB/s, paper says ~6.1"
+        );
+    }
+
+    #[test]
+    fn server_rate_matches_paper() {
+        let cal = Calibration::testbed_1999();
+        let rate = cal.fragment_size as f64 / cal.server_fragment_us(cal.fragment_size) as f64;
+        assert!((rate - 7.7).abs() < 0.1, "server {rate:.2} MB/s, paper says 7.7");
+    }
+
+    #[test]
+    fn network_is_not_the_single_client_bottleneck() {
+        let cal = Calibration::testbed_1999();
+        assert!(cal.net_mb_per_s > 6.4, "100 Mb/s > client ceiling");
+        assert!(cal.net_mb_per_s > cal.server_mb_per_s, "link outruns a server");
+    }
+}

@@ -1,0 +1,616 @@
+//! Binary codec for Swarm on-wire and on-disk structures.
+//!
+//! Swarm defines its own fragment format and server protocol, so every
+//! structure that crosses a machine or disk boundary is encoded with this
+//! little-endian, length-prefixed codec. It is deliberately boring: fixed
+//! integer widths, `u32` length prefixes for variable data, and hard bounds
+//! checks on decode so that a corrupt fragment or malicious peer can never
+//! cause a panic or an over-read — only a [`SwarmError::Corrupt`] error.
+//!
+//! # Example
+//!
+//! ```
+//! use swarm_types::{ByteReader, ByteWriter, Decode, Encode};
+//!
+//! let mut w = ByteWriter::new();
+//! w.put_u32(7);
+//! w.put_bytes(b"swarm");
+//! let buf = w.into_bytes();
+//!
+//! let mut r = ByteReader::new(&buf);
+//! assert_eq!(r.get_u32().unwrap(), 7);
+//! assert_eq!(r.get_bytes().unwrap(), b"swarm");
+//! assert!(r.is_empty());
+//! ```
+//!
+//! [`SwarmError::Corrupt`]: crate::error::SwarmError::Corrupt
+
+use crate::error::{Result, SwarmError};
+
+/// Maximum length accepted for a length-prefixed field (64 MiB).
+///
+/// Decoding rejects anything larger; this bounds allocation from untrusted
+/// input. Fragments themselves are at most a few MiB.
+pub const MAX_FIELD_LEN: usize = 64 << 20;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// Unsigned integer types the codec can write generically.
+///
+/// This trait is sealed; it exists only so newtype identifiers of different
+/// widths can share one `Encode` implementation.
+pub trait UInt: sealed::Sealed + Copy {
+    /// Width of the integer in bytes.
+    const WIDTH: usize;
+    /// Widens to u64.
+    fn widen(self) -> u64;
+    /// Narrows from u64; the caller guarantees the value fits.
+    fn narrow(v: u64) -> Self;
+}
+
+impl UInt for u16 {
+    const WIDTH: usize = 2;
+    fn widen(self) -> u64 {
+        self as u64
+    }
+    fn narrow(v: u64) -> Self {
+        v as u16
+    }
+}
+
+impl UInt for u32 {
+    const WIDTH: usize = 4;
+    fn widen(self) -> u64 {
+        self as u64
+    }
+    fn narrow(v: u64) -> Self {
+        v as u32
+    }
+}
+
+impl UInt for u64 {
+    const WIDTH: usize = 8;
+    fn widen(self) -> u64 {
+        self
+    }
+    fn narrow(v: u64) -> Self {
+        v
+    }
+}
+
+/// Growable little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends any sealed unsigned integer at its natural width.
+    pub fn put_uint<T: UInt>(&mut self, v: u64) {
+        match T::WIDTH {
+            2 => self.put_u16(v as u16),
+            4 => self.put_u32(v as u32),
+            _ => self.put_u64(v),
+        }
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends raw bytes with **no** length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` exceeds `u32::MAX`.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("field too long"));
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Returns the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian byte source.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SwarmError::corrupt(format!(
+                "truncated input: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads any sealed unsigned integer at its natural width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted.
+    pub fn get_uint<T: UInt>(&mut self) -> Result<u64> {
+        match T::WIDTH {
+            2 => Ok(self.get_u16()? as u64),
+            4 => Ok(self.get_u32()? as u64),
+            _ => self.get_u64(),
+        }
+    }
+
+    /// Reads a boolean written by [`ByteWriter::put_bool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the input is exhausted or the
+    /// byte is neither 0 nor 1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SwarmError::corrupt(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Returns the raw bytes between two positions (for checksumming
+    /// exactly what was consumed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Result<&'a [u8]> {
+        if start > end || end > self.buf.len() {
+            return Err(SwarmError::corrupt(format!(
+                "slice {start}..{end} out of bounds (len {})",
+                self.buf.len()
+            )));
+        }
+        Ok(&self.buf[start..end])
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if fewer than `n` bytes remain.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the prefix or payload is truncated
+    /// or the length exceeds [`MAX_FIELD_LEN`].
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(SwarmError::corrupt(format!(
+                "field length {len} exceeds limit {MAX_FIELD_LEN}"
+            )));
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SwarmError::corrupt("invalid utf-8 in string field"))
+    }
+}
+
+/// Types that can be written to the Swarm binary format.
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Types that can be read back from the Swarm binary format.
+pub trait Decode: Sized {
+    /// Decodes one value from `r`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] on truncated or malformed input.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self>;
+
+    /// Convenience: decodes a value that occupies the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] on malformed input or trailing bytes.
+    fn decode_all(buf: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(SwarmError::corrupt(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_prim {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.$put(*self);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                r.$get()
+            }
+        }
+    };
+}
+
+impl_codec_prim!(u8, put_u8, get_u8);
+impl_codec_prim!(u16, put_u16, get_u16);
+impl_codec_prim!(u32, put_u32, get_u32);
+impl_codec_prim!(u64, put_u64, get_u64);
+impl_codec_prim!(i64, put_i64, get_i64);
+impl_codec_prim!(bool, put_bool, get_bool);
+
+impl Encode for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        r.get_str()
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        if r.get_bool()? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Vectors of non-byte items: `u32` count followed by each element.
+///
+/// (`Vec<u8>` has its own denser impl above, so this is a macro-generated
+/// set of impls for the element types Swarm actually stores.)
+macro_rules! impl_codec_vec {
+    ($($elem:ty),*) => {$(
+        impl Encode for Vec<$elem> {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.put_u32(u32::try_from(self.len()).expect("vec too long"));
+                for item in self {
+                    item.encode(w);
+                }
+            }
+        }
+        impl Decode for Vec<$elem> {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                let n = r.get_u32()? as usize;
+                if n > MAX_FIELD_LEN {
+                    return Err(SwarmError::corrupt("vec length exceeds limit"));
+                }
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(<$elem>::decode(r)?);
+                }
+                Ok(v)
+            }
+        }
+    )*};
+}
+
+impl_codec_vec!(
+    u32,
+    u64,
+    crate::id::ServerId,
+    crate::id::ClientId,
+    crate::id::FragmentId,
+    crate::id::BlockAddr
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_i64(-42);
+        w.put_bool(true);
+        w.put_bytes(b"hello");
+        w.put_str("world");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "world");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let buf = [1u8, 2];
+        let mut r = ByteReader::new(&buf);
+        assert!(r.get_u32().is_err());
+        // Position is unchanged semantics aren't promised, but no panic and
+        // a clean error is.
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let err = r.get_bytes().unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"));
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let buf = [7u8];
+        let mut r = ByteReader::new(&buf);
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::decode_all(&some.encode_to_vec()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u32>::decode_all(&none.encode_to_vec()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn decode_all_rejects_trailing_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let buf = w.into_bytes();
+        assert!(u32::decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn vec_of_ids_roundtrip() {
+        use crate::id::ServerId;
+        let v = vec![ServerId::new(1), ServerId::new(2), ServerId::new(3)];
+        let buf = v.encode_to_vec();
+        assert_eq!(Vec::<ServerId>::decode_all(&buf).unwrap(), v);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut w = ByteWriter::new();
+            w.put_bytes(&data);
+            let buf = w.into_bytes();
+            let mut r = ByteReader::new(&buf);
+            prop_assert_eq!(r.get_bytes().unwrap(), &data[..]);
+            prop_assert!(r.is_empty());
+        }
+
+        #[test]
+        fn prop_u64_roundtrip(v in any::<u64>()) {
+            let buf = v.encode_to_vec();
+            prop_assert_eq!(u64::decode_all(&buf).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_reader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Interpret arbitrary bytes as a sequence of fields; must never panic.
+            let mut r = ByteReader::new(&data);
+            let _ = r.get_u16();
+            let _ = r.get_bytes();
+            let _ = r.get_bool();
+            let _ = r.get_u64();
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            let buf = s.clone().encode_to_vec();
+            prop_assert_eq!(String::decode_all(&buf).unwrap(), s);
+        }
+    }
+}

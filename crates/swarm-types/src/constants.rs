@@ -1,0 +1,43 @@
+//! Workspace-wide constants.
+//!
+//! Defaults follow the paper's prototype: 1 MB log fragments stored on
+//! servers that divide their disks into fragment-sized slots (§3.2), and
+//! 4 KB blocks for the write benchmarks (§3.4).
+
+/// Default size of a log fragment in bytes (the paper's prototype used
+/// 1 MB fragments, §3.3).
+pub const DEFAULT_FRAGMENT_SIZE: usize = 1 << 20;
+
+/// Default block size used by services such as Sting and the benchmarks
+/// (4 KB, §3.4).
+pub const DEFAULT_BLOCK_SIZE: usize = 4 << 10;
+
+/// Upper bound on stripe width (data + parity fragments). The paper's
+/// prototype ran up to 8 servers; we allow wider stripes but bound them so
+/// fragment headers stay small.
+pub const MAX_STRIPE_WIDTH: usize = 64;
+
+/// Magic number identifying a Swarm fragment header on disk or on the wire.
+pub const FRAGMENT_MAGIC: u32 = 0x5357_4D46; // "SWMF"
+
+/// Magic number identifying a Swarm network frame.
+pub const FRAME_MAGIC: u32 = 0x5357_4D4E; // "SWMN"
+
+/// On-disk format version; bumped on incompatible layout changes.
+pub const FORMAT_VERSION: u16 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_holds_many_blocks() {
+        const { assert!(DEFAULT_FRAGMENT_SIZE.is_multiple_of(DEFAULT_BLOCK_SIZE)) };
+        const { assert!(DEFAULT_FRAGMENT_SIZE / DEFAULT_BLOCK_SIZE >= 256) };
+    }
+
+    #[test]
+    fn magics_differ() {
+        assert_ne!(FRAGMENT_MAGIC, FRAME_MAGIC);
+    }
+}

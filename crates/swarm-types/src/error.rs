@@ -1,0 +1,171 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+use std::io;
+
+use crate::id::{Aid, BlockAddr, FragmentId, ServerId};
+
+/// Convenient result alias used across the Swarm workspace.
+pub type Result<T> = std::result::Result<T, SwarmError>;
+
+/// Errors produced anywhere in the Swarm storage system.
+///
+/// The variants mirror the failure domains of the paper's architecture:
+/// I/O on a storage server's disk, the network between client and servers,
+/// corrupt or truncated on-disk/on-wire data, protocol violations, access
+/// control denials, and unavailability that the striping layer may be able
+/// to mask via reconstruction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SwarmError {
+    /// Underlying disk or file I/O failed.
+    Io(io::Error),
+    /// Data failed validation (bad checksum, truncated structure, bad magic).
+    Corrupt(String),
+    /// A peer spoke the protocol incorrectly.
+    Protocol(String),
+    /// The requested fragment does not exist on the contacted server.
+    FragmentNotFound(FragmentId),
+    /// A read extended past the end of the stored fragment data.
+    RangeOutOfBounds {
+        /// The offending address.
+        addr: BlockAddr,
+        /// Bytes actually stored for that fragment.
+        stored: u32,
+    },
+    /// A fragment with this id has already been stored (fragments are
+    /// immutable once written; §2.1.1).
+    FragmentExists(FragmentId),
+    /// The client is not a member of the ACL protecting the byte range.
+    AccessDenied {
+        /// ACL that denied the request.
+        aid: Aid,
+        /// What the client attempted.
+        op: &'static str,
+    },
+    /// No ACL with this id exists on the server.
+    AclNotFound(Aid),
+    /// The server is unreachable or has crashed.
+    ServerUnavailable(ServerId),
+    /// Not enough surviving fragments in the stripe to reconstruct.
+    ReconstructionFailed {
+        /// Fragment we tried to rebuild.
+        fid: FragmentId,
+        /// Human-readable reason (which peers were missing, …).
+        reason: String,
+    },
+    /// The log has run out of free stripes and the cleaner cannot free any
+    /// (e.g. a service refuses to checkpoint; §2.1.4).
+    OutOfSpace(String),
+    /// An operation was attempted on a closed or shut-down component.
+    Closed(&'static str),
+    /// Invalid argument or configuration supplied by the caller.
+    InvalidArgument(String),
+    /// Anything that does not fit the categories above.
+    Other(String),
+}
+
+impl SwarmError {
+    /// Builds a [`SwarmError::Corrupt`] from anything displayable.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        SwarmError::Corrupt(msg.into())
+    }
+
+    /// Builds a [`SwarmError::Protocol`] from anything displayable.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        SwarmError::Protocol(msg.into())
+    }
+
+    /// Builds a [`SwarmError::InvalidArgument`] from anything displayable.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        SwarmError::InvalidArgument(msg.into())
+    }
+
+    /// Builds a [`SwarmError::Other`] from anything displayable.
+    pub fn other(msg: impl Into<String>) -> Self {
+        SwarmError::Other(msg.into())
+    }
+
+    /// `true` if retrying against a different replica/server could succeed
+    /// (used by the read path to decide whether to attempt reconstruction).
+    pub fn is_unavailability(&self) -> bool {
+        matches!(
+            self,
+            SwarmError::ServerUnavailable(_) | SwarmError::FragmentNotFound(_) | SwarmError::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for SwarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwarmError::Io(e) => write!(f, "i/o error: {e}"),
+            SwarmError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            SwarmError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            SwarmError::FragmentNotFound(fid) => write!(f, "fragment {fid} not found"),
+            SwarmError::RangeOutOfBounds { addr, stored } => {
+                write!(f, "range {addr} out of bounds (fragment holds {stored} bytes)")
+            }
+            SwarmError::FragmentExists(fid) => write!(f, "fragment {fid} already stored"),
+            SwarmError::AccessDenied { aid, op } => {
+                write!(f, "access denied by {aid} for {op}")
+            }
+            SwarmError::AclNotFound(aid) => write!(f, "no such acl {aid}"),
+            SwarmError::ServerUnavailable(s) => write!(f, "server {s} unavailable"),
+            SwarmError::ReconstructionFailed { fid, reason } => {
+                write!(f, "cannot reconstruct fragment {fid}: {reason}")
+            }
+            SwarmError::OutOfSpace(m) => write!(f, "out of log space: {m}"),
+            SwarmError::Closed(what) => write!(f, "{what} is closed"),
+            SwarmError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SwarmError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SwarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwarmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SwarmError {
+    fn from(e: io::Error) -> Self {
+        SwarmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ClientId;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SwarmError>();
+    }
+
+    #[test]
+    fn display_mentions_the_fragment() {
+        let fid = FragmentId::new(ClientId::new(1), 9);
+        let msg = SwarmError::FragmentNotFound(fid).to_string();
+        assert!(msg.contains("c1/9"), "{msg}");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: SwarmError = io::Error::new(io::ErrorKind::NotFound, "x").into();
+        assert!(matches!(e, SwarmError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn unavailability_classification() {
+        assert!(SwarmError::ServerUnavailable(ServerId::new(0)).is_unavailability());
+        assert!(!SwarmError::corrupt("x").is_unavailability());
+    }
+}

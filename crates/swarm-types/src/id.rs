@@ -1,0 +1,409 @@
+//! Identifiers for Swarm entities.
+//!
+//! All identifiers are small `Copy` newtypes ([C-NEWTYPE]) so that a
+//! [`FragmentId`] can never be confused with a [`StripeSeq`] or a raw
+//! integer. Every identifier round-trips through the binary codec defined in
+//! [`crate::codec`].
+
+use std::fmt;
+
+use crate::codec::{ByteReader, ByteWriter, Decode, Encode};
+use crate::error::Result;
+
+/// Identifies a Swarm client (log owner).
+///
+/// Each client writes its own private log; the client id is embedded in the
+/// upper bits of every [`FragmentId`] the client creates, which makes
+/// fragment ids globally unique without any coordination between clients —
+/// one of the paper's core design goals (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Number of bits of a [`FragmentId`] devoted to the client id.
+    pub const BITS: u32 = 24;
+    /// Largest representable client id.
+    pub const MAX: u32 = (1 << Self::BITS) - 1;
+
+    /// Creates a client id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds [`ClientId::MAX`] (it must fit in the upper
+    /// 24 bits of a fragment id).
+    pub const fn new(raw: u32) -> Self {
+        assert!(raw <= Self::MAX, "client id exceeds 24 bits");
+        ClientId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies a storage server within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server id.
+    pub const fn new(raw: u32) -> Self {
+        ServerId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns this id as a `usize`, convenient for indexing server tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifies a service layered on the log (file system, cleaner, ARU, …).
+///
+/// The log layer routes recovery records and block-move notifications to the
+/// service that created them using this id (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServiceId(u16);
+
+impl ServiceId {
+    /// Service id reserved for the log layer's own records.
+    pub const LOG_LAYER: ServiceId = ServiceId(0);
+
+    /// Creates a service id.
+    pub const fn new(raw: u16) -> Self {
+        ServiceId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// Identifies an access control list on a storage server (§2.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Aid(u32);
+
+impl Aid {
+    /// The "world" ACL: every client is a member.
+    pub const WORLD: Aid = Aid(0);
+
+    /// Creates an ACL id.
+    pub const fn new(raw: u32) -> Self {
+        Aid(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Aid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aid{}", self.0)
+    }
+}
+
+/// A 64-bit fragment identifier (FID, §2.1.1).
+///
+/// The paper stores the log in fixed-size *fragments*, each identified by a
+/// 64-bit integer. We partition the 64 bits as `client:24 | seq:40` so that
+/// each client can mint fragment ids without coordinating with anyone else,
+/// and so that consecutive fragments of one client's log have consecutive
+/// ids — the property fragment reconstruction relies on to locate stripe
+/// neighbours (§2.3.3: "numbering the fragments in the same stripe
+/// consecutively").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FragmentId(u64);
+
+impl FragmentId {
+    /// Number of bits devoted to the per-client sequence number.
+    pub const SEQ_BITS: u32 = 64 - ClientId::BITS;
+    /// Largest representable sequence number.
+    pub const MAX_SEQ: u64 = (1 << Self::SEQ_BITS) - 1;
+
+    /// Creates a fragment id from its client and per-client sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds [`FragmentId::MAX_SEQ`].
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        assert!(seq <= Self::MAX_SEQ, "fragment seq {seq} exceeds 40 bits");
+        FragmentId(((client.raw() as u64) << Self::SEQ_BITS) | seq)
+    }
+
+    /// Reconstructs a fragment id from its raw 64-bit representation.
+    pub fn from_raw(raw: u64) -> Self {
+        FragmentId(raw)
+    }
+
+    /// Returns the raw 64-bit representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the client that created this fragment.
+    pub fn client(self) -> ClientId {
+        ClientId::new((self.0 >> Self::SEQ_BITS) as u32)
+    }
+
+    /// Returns the position of this fragment in its client's log.
+    pub fn seq(self) -> u64 {
+        self.0 & Self::MAX_SEQ
+    }
+
+    /// The id of the fragment immediately after this one in the same log,
+    /// or `None` at the sequence-space limit.
+    pub fn next(self) -> Option<FragmentId> {
+        let seq = self.seq();
+        (seq < Self::MAX_SEQ).then(|| FragmentId::new(self.client(), seq + 1))
+    }
+
+    /// The id of the fragment immediately before this one in the same log,
+    /// or `None` for the first fragment.
+    pub fn prev(self) -> Option<FragmentId> {
+        let seq = self.seq();
+        (seq > 0).then(|| FragmentId::new(self.client(), seq - 1))
+    }
+}
+
+impl fmt::Debug for FragmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FragmentId({}:{})", self.client(), self.seq())
+    }
+}
+
+impl fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.client(), self.seq())
+    }
+}
+
+/// The position of a stripe within a client's log.
+///
+/// Stripe `k` of a client's log contains the fragments with sequence
+/// numbers `k*w .. (k+1)*w` where `w` is the stripe width at the time the
+/// stripe was written. Parity placement is rotated by this sequence number
+/// (§2.1.2: "the parity fragment of successive stripes is rotated across
+/// the servers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StripeSeq(u64);
+
+impl StripeSeq {
+    /// Creates a stripe sequence number.
+    pub const fn new(raw: u64) -> Self {
+        StripeSeq(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The sequence number of the following stripe.
+    pub fn next(self) -> StripeSeq {
+        StripeSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for StripeSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe{}", self.0)
+    }
+}
+
+/// The address of a byte range (usually a block) in the log (§2.1.1).
+///
+/// "Blocks within a fragment are addressed by an FID and an offset within
+/// the fragment." We also carry the length so that a `BlockAddr` is
+/// sufficient to issue a read without consulting any metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr {
+    /// Fragment holding the block.
+    pub fid: FragmentId,
+    /// Byte offset of the block within the fragment.
+    pub offset: u32,
+    /// Length of the block in bytes.
+    pub len: u32,
+}
+
+impl BlockAddr {
+    /// Creates a block address.
+    pub fn new(fid: FragmentId, offset: u32, len: u32) -> Self {
+        BlockAddr { fid, offset, len }
+    }
+
+    /// First byte past the end of the block within its fragment.
+    pub fn end(self) -> u32 {
+        self.offset + self.len
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}+{}", self.fid, self.offset, self.len)
+    }
+}
+
+macro_rules! impl_codec_newtype {
+    ($ty:ty, $inner:ty, $ctor:expr) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.put_uint::<$inner>(self.raw() as u64);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                Ok($ctor(r.get_uint::<$inner>()? as $inner))
+            }
+        }
+    };
+}
+
+impl_codec_newtype!(ServerId, u32, ServerId::new);
+impl_codec_newtype!(ServiceId, u16, ServiceId::new);
+impl_codec_newtype!(Aid, u32, Aid::new);
+impl_codec_newtype!(FragmentId, u64, FragmentId::from_raw);
+impl_codec_newtype!(StripeSeq, u64, StripeSeq::new);
+
+impl Encode for ClientId {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for ClientId {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let raw = r.get_u32()?;
+        if raw > ClientId::MAX {
+            return Err(crate::error::SwarmError::corrupt(format!(
+                "client id {raw} exceeds 24 bits"
+            )));
+        }
+        Ok(ClientId(raw))
+    }
+}
+
+impl Encode for BlockAddr {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.fid.encode(w);
+        w.put_u32(self.offset);
+        w.put_u32(self.len);
+    }
+}
+
+impl Decode for BlockAddr {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(BlockAddr {
+            fid: FragmentId::decode(r)?,
+            offset: r.get_u32()?,
+            len: r.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_id_packs_client_and_seq() {
+        let fid = FragmentId::new(ClientId::new(3), 99);
+        assert_eq!(fid.client(), ClientId::new(3));
+        assert_eq!(fid.seq(), 99);
+    }
+
+    #[test]
+    fn fragment_id_roundtrips_raw() {
+        let fid = FragmentId::new(ClientId::new(ClientId::MAX), FragmentId::MAX_SEQ);
+        assert_eq!(FragmentId::from_raw(fid.raw()), fid);
+        assert_eq!(fid.client().raw(), ClientId::MAX);
+        assert_eq!(fid.seq(), FragmentId::MAX_SEQ);
+    }
+
+    #[test]
+    fn fragment_id_neighbours() {
+        let fid = FragmentId::new(ClientId::new(1), 5);
+        assert_eq!(fid.next().unwrap().seq(), 6);
+        assert_eq!(fid.prev().unwrap().seq(), 4);
+        let first = FragmentId::new(ClientId::new(1), 0);
+        assert_eq!(first.prev(), None);
+        let last = FragmentId::new(ClientId::new(1), FragmentId::MAX_SEQ);
+        assert_eq!(last.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 24 bits")]
+    fn client_id_rejects_overflow() {
+        ClientId::new(ClientId::MAX + 1);
+    }
+
+    #[test]
+    fn fragment_ids_of_one_client_are_ordered_by_seq() {
+        let a = FragmentId::new(ClientId::new(2), 1);
+        let b = FragmentId::new(ClientId::new(2), 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn block_addr_end() {
+        let addr = BlockAddr::new(FragmentId::new(ClientId::new(0), 0), 100, 28);
+        assert_eq!(addr.end(), 128);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let fid = FragmentId::new(ClientId::new(4), 17);
+        assert_eq!(fid.to_string(), "c4/17");
+        let addr = BlockAddr::new(fid, 8, 4);
+        assert_eq!(addr.to_string(), "c4/17@8+4");
+    }
+
+    #[test]
+    fn codec_roundtrip_all_ids() {
+        let mut w = ByteWriter::new();
+        let fid = FragmentId::new(ClientId::new(9), 1234);
+        let addr = BlockAddr::new(fid, 77, 88);
+        ClientId::new(12).encode(&mut w);
+        ServerId::new(34).encode(&mut w);
+        ServiceId::new(56).encode(&mut w);
+        Aid::new(78).encode(&mut w);
+        fid.encode(&mut w);
+        StripeSeq::new(90).encode(&mut w);
+        addr.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(ClientId::decode(&mut r).unwrap(), ClientId::new(12));
+        assert_eq!(ServerId::decode(&mut r).unwrap(), ServerId::new(34));
+        assert_eq!(ServiceId::decode(&mut r).unwrap(), ServiceId::new(56));
+        assert_eq!(Aid::decode(&mut r).unwrap(), Aid::new(78));
+        assert_eq!(FragmentId::decode(&mut r).unwrap(), fid);
+        assert_eq!(StripeSeq::decode(&mut r).unwrap(), StripeSeq::new(90));
+        assert_eq!(BlockAddr::decode(&mut r).unwrap(), addr);
+        assert!(r.is_empty());
+    }
+}

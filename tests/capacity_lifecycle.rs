@@ -1,0 +1,149 @@
+//! The full space lifecycle of §2.1.4: servers with fixed fragment
+//! slots fill up, writes fail with OutOfSpace, the cleaner (after demand
+//! checkpoints) reclaims dead stripes, preallocation reserves room, and
+//! writing resumes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{Log, LogConfig, ReplayEntry};
+use swarm_net::MemTransport;
+use swarm_server::{MemStore, StorageServer};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+
+const SVC: ServiceId = ServiceId::new(1);
+
+/// Minimal block-owning service so the cleaner can move live blocks.
+#[derive(Default)]
+struct Owner {
+    blocks: std::collections::HashMap<Vec<u8>, BlockAddr>,
+}
+
+impl Service for Owner {
+    fn id(&self) -> ServiceId {
+        SVC
+    }
+    fn name(&self) -> &str {
+        "owner"
+    }
+    fn restore_checkpoint(&mut self, _d: &[u8]) -> Result<()> {
+        Ok(())
+    }
+    fn replay(&mut self, _e: &ReplayEntry) -> Result<()> {
+        Ok(())
+    }
+    fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()> {
+        if let Some(slot) = self.blocks.get_mut(create) {
+            if *slot == old {
+                *slot = new;
+            }
+        }
+        Ok(())
+    }
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+        log.checkpoint(SVC, b"owner-ckpt")?;
+        Ok(())
+    }
+}
+
+#[test]
+fn fill_fail_clean_resume() {
+    // 3 servers × 12 slots each; 2 KiB fragments.
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..3 {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::with_capacity(12)).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    let config = LogConfig::new(ClientId::new(1), (0..3).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(2048)
+        .cache_fragments(0);
+    let log = Arc::new(Log::create(transport.clone(), config).unwrap());
+    let owner = Arc::new(Mutex::new(Owner::default()));
+    let mut stack = ServiceStack::new();
+    let svc_dyn: Arc<Mutex<dyn Service>> = owner.clone();
+    stack.register(svc_dyn).unwrap();
+    let stack = Arc::new(stack);
+
+    // Fill until the servers run out of slots. Delete every block as we
+    // go so everything is garbage (but the stripes still hold slots).
+    let mut wrote = 0u32;
+    let out_of_space = loop {
+        let tag = vec![wrote as u8, (wrote >> 8) as u8];
+        match log.append_block(SVC, &tag, &[wrote as u8; 1500]) {
+            Ok(addr) => {
+                log.delete_block(SVC, addr).unwrap();
+                match log.flush() {
+                    Ok(()) => {}
+                    Err(e) => break e,
+                }
+                wrote += 1;
+                if wrote > 100 {
+                    panic!("capacity never exhausted");
+                }
+            }
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(out_of_space, SwarmError::OutOfSpace(_)),
+        "{out_of_space}"
+    );
+    assert!(wrote >= 8, "should have written a fair amount first: {wrote}");
+
+    // The cleaner demands checkpoints (nothing ever checkpointed) and
+    // reclaims the dead stripes.
+    //
+    // NOTE: the checkpoint itself needs a free slot — the cleaner's
+    // demand-checkpoint can only work if the system wasn't driven 100%
+    // full. Real deployments keep reserve slots; we emulate by manually
+    // releasing the oldest (fully dead) stripe first.
+    for seq in 0..3u64 {
+        let fid = swarm_types::FragmentId::new(ClientId::new(1), seq);
+        log.delete_fragment(fid).unwrap();
+    }
+    let cleaner = Cleaner::new(log.clone(), stack, CleanPolicy::Greedy);
+    let stats = cleaner.clean_pass(100).unwrap();
+    assert!(stats.forced_checkpoints >= 1, "{stats:?}");
+    assert!(stats.stripes_cleaned >= 2, "{stats:?}");
+
+    // Preallocate the next stripe, then writing works again.
+    log.preallocate_stripes(1).unwrap();
+    let addr = log.append_block(SVC, b"fresh", b"after cleaning").unwrap();
+    log.flush().unwrap();
+    assert_eq!(log.read(addr).unwrap(), b"after cleaning");
+}
+
+#[test]
+fn preallocation_reserves_slots_against_competitors() {
+    // One server with 4 slots shared by two clients. Client 1
+    // preallocates a stripe; client 2 then cannot squat on those slots.
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..2 {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::with_capacity(2)).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    let config = |c: u32| {
+        LogConfig::new(ClientId::new(c), (0..2).map(ServerId::new).collect())
+            .unwrap()
+            .fragment_size(2048)
+    };
+    let log1 = Log::create(transport.clone(), config(1)).unwrap();
+    let log2 = Log::create(transport.clone(), config(2)).unwrap();
+
+    log1.preallocate_stripes(1).unwrap(); // takes 1 slot on each server
+
+    // Client 2 can fill the remaining slot per server…
+    log2.append_block(SVC, b"", &[2u8; 1000]).unwrap();
+    log2.flush().unwrap();
+    // …but a second stripe must fail: the reserved slots are not for it.
+    log2.append_block(SVC, b"", &[2u8; 1000]).unwrap();
+    let err = log2.flush().unwrap_err();
+    assert!(matches!(err, SwarmError::OutOfSpace(_)), "{err}");
+
+    // Client 1's reservation still guarantees its write.
+    log1.append_block(SVC, b"", &[1u8; 1000]).unwrap();
+    log1.flush().unwrap();
+}

@@ -1,0 +1,141 @@
+//! Long-running lifecycle test: sustained churn, periodic checkpoints,
+//! cleaning passes, repeated crash/recovery cycles, and server failures —
+//! all while a reference model tracks what the file system must contain.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sting::{StingConfig, StingFs, StingService};
+use swarm::local::LocalCluster;
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{recover, Log};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::ServiceId;
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+fn sting_config() -> StingConfig {
+    StingConfig {
+        service: STING_SVC,
+        block_size: 4096,
+        cache_blocks: 32,
+    }
+}
+
+fn recover_fs(cluster: &LocalCluster) -> (Arc<Log>, Arc<StingFs>) {
+    let config = cluster.log_config(1).unwrap().fragment_size(32 * 1024);
+    let (log, replay) = recover(cluster.transport(), config, &[STING_SVC]).unwrap();
+    let log = Arc::new(log);
+    let fs = StingFs::bare(log.clone(), sting_config());
+    let mut svc = StingService::new(fs.clone());
+    if let Some(c) = replay.checkpoint_data(STING_SVC) {
+        svc.restore_checkpoint(c).unwrap();
+    }
+    for e in replay.records_for(STING_SVC) {
+        svc.replay(e).unwrap();
+    }
+    (log, fs)
+}
+
+#[test]
+fn churn_clean_crash_repeat() {
+    let cluster = LocalCluster::new(4).unwrap();
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let paths: Vec<String> = (0..12).map(|i| format!("/f{i}")).collect();
+
+    // Epoch 0: format.
+    {
+        let config = cluster.log_config(1).unwrap().fragment_size(32 * 1024);
+        let log = Arc::new(Log::create(cluster.transport(), config).unwrap());
+        let fs = StingFs::format(log, sting_config()).unwrap();
+        fs.unmount().unwrap();
+    }
+
+    for epoch in 0..5 {
+        let (log, fs) = recover_fs(&cluster);
+
+        // Verify the model after recovery.
+        for (path, want) in &model {
+            let got = fs.read_to_end(path).unwrap_or_else(|e| panic!("epoch {epoch}: read {path}: {e}"));
+            assert_eq!(&got, want, "epoch {epoch}: {path} after recovery");
+        }
+
+        // Churn.
+        for _ in 0..60 {
+            let path = paths[rng.gen_range(0..paths.len())].clone();
+            match rng.gen_range(0..6) {
+                0..=3 => {
+                    let len = rng.gen_range(100..12_000);
+                    let byte = rng.gen::<u8>();
+                    // Full rewrite keeps the model simple.
+                    if model.contains_key(&path) {
+                        fs.truncate(&path, 0).unwrap();
+                    }
+                    fs.write_file(&path, 0, &vec![byte; len]).unwrap();
+                    model.insert(path, vec![byte; len]);
+                }
+                4 => {
+                    if model.remove(&path).is_some() {
+                        fs.unlink(&path).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(content) = model.get_mut(&path) {
+                        let add = rng.gen_range(1..4000);
+                        let byte = rng.gen::<u8>();
+                        let offset = content.len() as u64;
+                        fs.write_file(&path, offset, &vec![byte; add]).unwrap();
+                        content.extend(std::iter::repeat_n(byte, add));
+                    }
+                }
+            }
+        }
+        fs.unmount().unwrap();
+
+        // Every other epoch: run the cleaner, then kill a server and
+        // verify reads still work.
+        if epoch % 2 == 0 {
+            let mut stack = ServiceStack::new();
+            let svc: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(StingService::new(fs.clone())));
+            stack.register(svc).unwrap();
+            let cleaner = Cleaner::new(log.clone(), Arc::new(stack), CleanPolicy::CostBenefit);
+            let stats = cleaner.clean_pass(50).unwrap();
+            // After cleaning, re-checkpoint so the moved addresses are
+            // anchored for the next crash.
+            fs.unmount().unwrap();
+
+            let down = (epoch % 4) as u32;
+            cluster.set_down(down, true);
+            for (path, want) in &model {
+                assert_eq!(
+                    &fs.read_to_end(path).unwrap(),
+                    want,
+                    "epoch {epoch}: {path} with server {down} down (cleaned {} stripes)",
+                    stats.stripes_cleaned
+                );
+            }
+            cluster.set_down(down, false);
+        }
+        // Crash (drop fs + log) and loop to recovery.
+    }
+
+    // Final verification pass.
+    let (_log, fs) = recover_fs(&cluster);
+    for (path, want) in &model {
+        assert_eq!(&fs.read_to_end(path).unwrap(), want, "final: {path}");
+    }
+    // And the namespace contains exactly the model's files.
+    let listed: Vec<String> = fs
+        .readdir("/")
+        .unwrap()
+        .into_iter()
+        .map(|e| format!("/{}", e.name))
+        .collect();
+    for path in &listed {
+        assert!(model.contains_key(path), "unexpected file {path}");
+    }
+    assert_eq!(listed.len(), model.len());
+}

@@ -1,0 +1,79 @@
+//! Replays the Figure 5 MAB op stream against the *real* Sting file
+//! system (not the performance model), then crashes and recovers —
+//! keeping the modelled workload and the implementation honest with each
+//! other.
+
+use std::sync::Arc;
+
+use sting::{StingConfig, StingFs, StingService};
+use swarm::local::LocalCluster;
+use swarm_log::{recover, Log};
+use swarm_sim::{mab_workload, FsOp, MabConfig};
+use swarm_types::ServiceId;
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+#[test]
+fn mab_runs_on_real_sting_and_survives_a_crash() {
+    let cluster = LocalCluster::new(2).unwrap();
+    // A smaller MAB keeps the test quick while covering all five phases.
+    let cfg = MabConfig {
+        dirs: 8,
+        files: 20,
+        mean_file_size: 6 * 1024,
+        ..MabConfig::default()
+    };
+    let ops = mab_workload(&cfg);
+
+    let mut files: Vec<(String, u64)> = Vec::new();
+    {
+        let log = Arc::new(Log::create(cluster.transport(), cluster.log_config(1).unwrap()).unwrap());
+        let fs = StingFs::format(log, StingConfig::default()).unwrap();
+        for op in &ops {
+            match op {
+                FsOp::Mkdir(p) => {
+                    fs.mkdir(p).unwrap();
+                }
+                FsOp::WriteFile { path, bytes } => {
+                    // Deterministic content derived from the path.
+                    let byte = path.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+                    fs.write_file(path, 0, &vec![byte; *bytes as usize]).unwrap();
+                    files.retain(|(p, _)| p != path);
+                    files.push((path.clone(), *bytes));
+                }
+                FsOp::Stat(p) => {
+                    fs.stat(p).unwrap();
+                }
+                FsOp::ReadFile { path, bytes } => {
+                    assert_eq!(fs.read_to_end(path).unwrap().len() as u64, *bytes);
+                }
+                FsOp::Compute { .. } => {}
+            }
+        }
+        fs.unmount().unwrap(); // the benchmark's unmount
+    }
+
+    // Crash + recover: the whole MAB result set must be intact.
+    let (log, replay) = recover(cluster.transport(), cluster.log_config(1).unwrap(), &[STING_SVC]).unwrap();
+    let fs = StingFs::bare(Arc::new(log), StingConfig::default());
+    let mut svc = StingService::new(fs.clone());
+    {
+        use swarm_services::Service;
+        if let Some(d) = replay.checkpoint_data(STING_SVC) {
+            svc.restore_checkpoint(d).unwrap();
+        }
+        for e in replay.records_for(STING_SVC) {
+            svc.replay(e).unwrap();
+        }
+    }
+    for (path, bytes) in &files {
+        let byte = path.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+        let got = fs.read_to_end(path).unwrap();
+        assert_eq!(got.len() as u64, *bytes, "{path}");
+        assert!(got.iter().all(|&b| b == byte), "{path} content");
+    }
+    // Sources + objects + linked binary all present.
+    assert!(files.iter().any(|(p, _)| p.ends_with(".c")));
+    assert!(files.iter().any(|(p, _)| p.ends_with(".o")));
+    assert!(files.iter().any(|(p, _)| p.ends_with("a.out")));
+}

@@ -1,0 +1,88 @@
+//! Regression test for multi-service recovery across cleaned regions
+//! (needs the cleaner, so it lives at the workspace level).
+
+use swarm_log::{recover, Entry, Log, LogConfig};
+use swarm_net::MemTransport;
+use swarm_server::{MemStore, StorageServer};
+use swarm_types::{ClientId, ServerId, ServiceId};
+use std::sync::Arc;
+
+fn cluster(n: u32) -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..n {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+fn config(servers: u32) -> LogConfig {
+    LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(4096)
+        .cache_fragments(0)
+}
+
+#[test]
+fn recovery_survives_cleaned_holes_between_service_checkpoints() {
+    // Service B checkpoints early; service A churns (creating cleanable
+    // stripes *between* B's checkpoint and A's much later checkpoint);
+    // the cleaner reclaims that middle region. Recovery must still find
+    // B's checkpoint and B's post-checkpoint records on the far side of
+    // the hole — via the anchor fragment's checkpoint directory.
+    let svc_a = ServiceId::new(1);
+    let svc_b = ServiceId::new(2);
+    let transport = cluster(3);
+    {
+        let log = Log::create(transport.clone(), config(3)).unwrap();
+        log.checkpoint(svc_b, b"b-state").unwrap();
+        log.append_record(svc_b, 77, b"b must replay").unwrap();
+        log.flush().unwrap();
+
+        // Middle churn: A-owned blocks, then deleted → fully dead stripes.
+        let mut doomed = Vec::new();
+        for i in 0..24u32 {
+            doomed.push(log.append_block(svc_a, b"", &vec![i as u8; 1500]).unwrap());
+        }
+        log.flush().unwrap();
+        for addr in doomed {
+            log.delete_block(svc_a, addr).unwrap();
+        }
+        // A's (much later) checkpoint — the future anchor.
+        log.checkpoint(svc_a, b"a-state").unwrap();
+
+        // Clean the dead middle. Both services have checkpoints newer
+        // than the dead stripes' records, so they are reclaimable.
+        use swarm_services::ServiceStack;
+        let log = std::sync::Arc::new(log);
+        let stack = std::sync::Arc::new(ServiceStack::new());
+        let cleaner = swarm_cleaner::Cleaner::new(
+            log.clone(),
+            stack,
+            swarm_cleaner::CleanPolicy::Greedy,
+        );
+        let stats = cleaner.clean_pass(100).unwrap();
+        assert!(
+            stats.stripes_cleaned >= 3,
+            "need a real hole in the middle: {stats:?}"
+        );
+    }
+
+    // Crash + recover.
+    let (_log, replay) = recover(transport, config(3), &[svc_a, svc_b]).unwrap();
+    assert_eq!(
+        replay.checkpoint_data(svc_b).unwrap(),
+        b"b-state",
+        "B's checkpoint lies on the near side of the cleaned hole"
+    );
+    assert_eq!(replay.checkpoint_data(svc_a).unwrap(), b"a-state");
+    let b_records: Vec<&[u8]> = replay
+        .records_for(svc_b)
+        .iter()
+        .filter_map(|e| match &e.entry {
+            Entry::Record { data, .. } => Some(data.as_slice()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(b_records, vec![&b"b must replay"[..]]);
+}

@@ -1,0 +1,138 @@
+//! Soak test: sustained mixed workload with a live background cleaner,
+//! rolling single-server outages during read phases, periodic crash +
+//! recovery, and a reference model checking every byte.
+//!
+//! Ignored by default (it runs for a while); run with:
+//! `cargo test --test soak -- --ignored --nocapture`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sting::{StingConfig, StingFs, StingService};
+use swarm::local::LocalCluster;
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{recover, Log};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::ServiceId;
+
+const STING_SVC: ServiceId = ServiceId::new(2);
+
+fn sting_config() -> StingConfig {
+    StingConfig {
+        service: STING_SVC,
+        block_size: 4096,
+        cache_blocks: 16,
+    }
+}
+
+#[test]
+#[ignore = "long-running soak; run explicitly with --ignored"]
+fn soak_churn_outages_cleaning_recovery() {
+    let cluster = Arc::new(LocalCluster::new(4).unwrap());
+    let config = || cluster.log_config(1).unwrap().fragment_size(32 * 1024);
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0x50AC);
+
+    {
+        let log = Arc::new(Log::create(cluster.transport(), config()).unwrap());
+        let fs = StingFs::format(log, sting_config()).unwrap();
+        fs.unmount().unwrap();
+    }
+
+    for epoch in 0..12 {
+        // Recover.
+        let (log, replay) = recover(cluster.transport(), config(), &[STING_SVC]).unwrap();
+        let log = Arc::new(log);
+        let fs = StingFs::bare(log.clone(), sting_config());
+        let mut adapter = StingService::new(fs.clone());
+        if let Some(c) = replay.checkpoint_data(STING_SVC) {
+            adapter.restore_checkpoint(c).unwrap();
+        }
+        for e in replay.records_for(STING_SVC) {
+            adapter.replay(e).unwrap();
+        }
+
+        // Background cleaner for this epoch.
+        let mut stack = ServiceStack::new();
+        let svc: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(StingService::new(fs.clone())));
+        stack.register(svc).unwrap();
+        let cleaner = Arc::new(Cleaner::new(
+            log.clone(),
+            Arc::new(stack),
+            CleanPolicy::CostBenefit,
+        ));
+        let mut handle = cleaner
+            .clone()
+            .spawn_periodic(std::time::Duration::from_millis(20), 8);
+
+        // Write churn (servers all up: writes need the full group).
+        for _ in 0..150 {
+            let f = rng.gen_range(0..16);
+            let path = format!("/soak{f}");
+            match rng.gen_range(0..8) {
+                0..=4 => {
+                    let len = rng.gen_range(100..20_000);
+                    let byte = rng.gen::<u8>();
+                    if model.contains_key(&path) {
+                        fs.truncate(&path, 0).unwrap();
+                    }
+                    fs.write_file(&path, 0, &vec![byte; len]).unwrap();
+                    model.insert(path, vec![byte; len]);
+                }
+                5 => {
+                    if model.remove(&path).is_some() {
+                        fs.unlink(&path).unwrap();
+                    }
+                }
+                6 => {
+                    if let Some(content) = model.get_mut(&path) {
+                        let add = rng.gen_range(1..5000);
+                        let byte = rng.gen::<u8>();
+                        fs.write_file(&path, content.len() as u64, &vec![byte; add])
+                            .unwrap();
+                        content.extend(std::iter::repeat_n(byte, add));
+                    }
+                }
+                _ => fs.checkpoint().unwrap(),
+            }
+        }
+        fs.unmount().unwrap();
+
+        // Read phase under a rolling outage.
+        let down = rng.gen_range(0..4u32);
+        cluster.set_down(down, true);
+        for (path, want) in &model {
+            let got = fs
+                .read_to_end(path)
+                .unwrap_or_else(|e| panic!("epoch {epoch}, server {down} down: {path}: {e}"));
+            assert_eq!(&got, want, "epoch {epoch}: {path}");
+        }
+        cluster.set_down(down, false);
+
+        handle.stop();
+        let totals = handle.totals();
+        println!(
+            "epoch {epoch}: {} files, cleaner {:?}",
+            model.len(),
+            totals
+        );
+        // Crash at epoch end (drop everything).
+    }
+
+    // Final recovery must still match the model exactly.
+    let (log, replay) = recover(cluster.transport(), config(), &[STING_SVC]).unwrap();
+    let fs = StingFs::bare(Arc::new(log), sting_config());
+    let mut adapter = StingService::new(fs.clone());
+    if let Some(c) = replay.checkpoint_data(STING_SVC) {
+        adapter.restore_checkpoint(c).unwrap();
+    }
+    for e in replay.records_for(STING_SVC) {
+        adapter.replay(e).unwrap();
+    }
+    for (path, want) in &model {
+        assert_eq!(&fs.read_to_end(path).unwrap(), want, "final: {path}");
+    }
+    println!("soak complete: {} files verified", model.len());
+}
