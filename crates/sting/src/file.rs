@@ -82,11 +82,7 @@ pub enum Whence {
 }
 
 impl File {
-    pub(crate) fn open_at(
-        fs: Arc<StingFs>,
-        path: &str,
-        options: OpenOptions,
-    ) -> StingResult<File> {
+    pub(crate) fn open_at(fs: Arc<StingFs>, path: &str, options: OpenOptions) -> StingResult<File> {
         if options.create && !fs.exists(path) {
             fs.create(path)?;
         }
@@ -217,8 +213,7 @@ impl File {
 
 impl std::io::Read for File {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let data = File::read(self, buf.len())
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let data = File::read(self, buf.len()).map_err(|e| std::io::Error::other(e.to_string()))?;
         buf[..data.len()].copy_from_slice(&data);
         Ok(data.len())
     }
@@ -226,8 +221,7 @@ impl std::io::Read for File {
 
 impl std::io::Write for File {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        File::write(self, buf)
-            .map_err(|e| std::io::Error::other(e.to_string()))
+        File::write(self, buf).map_err(|e| std::io::Error::other(e.to_string()))
     }
 
     fn flush(&mut self) -> std::io::Result<()> {

@@ -322,8 +322,7 @@ impl StingFs {
     // ------------------------------------------------------------------
 
     fn append_record(&self, kind: u16, payload: &[u8]) -> StingResult<()> {
-        self.log
-            .append_record(self.config.service, kind, payload)?;
+        self.log.append_record(self.config.service, kind, payload)?;
         Ok(())
     }
 
@@ -553,7 +552,9 @@ impl StingFs {
                 }
             }
         }
-        apply_rename(&mut inner, sparent, sname, dparent, dname, ino, replaced, mtime);
+        apply_rename(
+            &mut inner, sparent, sname, dparent, dname, ino, replaced, mtime,
+        );
         Ok(())
     }
 
@@ -607,15 +608,8 @@ impl StingFs {
             // I/O, then commit the mapping under the lock again.
             let (old_addr, mut content) = {
                 let inner = self.inner.lock();
-                let node = inner
-                    .inodes
-                    .get(&ino)
-                    .ok_or(StingError::BadHandle)?;
-                let old = node
-                    .blocks()
-                    .get(idx as usize)
-                    .copied()
-                    .flatten();
+                let node = inner.inodes.get(&ino).ok_or(StingError::BadHandle)?;
+                let old = node.blocks().get(idx as usize).copied().flatten();
                 let full_cover = within_start == 0 && within_end == bs;
                 let needs_old = !full_cover && old.is_some();
                 (if needs_old { old } else { None }, {

@@ -172,11 +172,7 @@ impl Decode for Inode {
                 }
                 InodeKind::Dir { entries }
             }
-            other => {
-                return Err(SwarmError::corrupt(format!(
-                    "unknown inode kind {other}"
-                )))
-            }
+            other => return Err(SwarmError::corrupt(format!("unknown inode kind {other}"))),
         };
         Ok(Inode {
             ino,

@@ -40,10 +40,23 @@ fn sting_config() -> StingConfig {
 
 #[derive(Debug, Clone)]
 enum FsAction {
-    Write { file: u8, offset: u16, byte: u8, len: u16 },
-    Truncate { file: u8, size: u16 },
-    Unlink { file: u8 },
-    Rename { from: u8, to: u8 },
+    Write {
+        file: u8,
+        offset: u16,
+        byte: u8,
+        len: u16,
+    },
+    Truncate {
+        file: u8,
+        size: u16,
+    },
+    Unlink {
+        file: u8,
+    },
+    Rename {
+        from: u8,
+        to: u8,
+    },
     Checkpoint,
 }
 
@@ -64,7 +77,12 @@ fn path(file: u8) -> String {
 
 fn apply_model(model: &mut BTreeMap<String, Vec<u8>>, action: &FsAction) {
     match action {
-        FsAction::Write { file, offset, byte, len } => {
+        FsAction::Write {
+            file,
+            offset,
+            byte,
+            len,
+        } => {
             let f = model.entry(path(*file)).or_default();
             let end = *offset as usize + *len as usize;
             if f.len() < end {
@@ -93,7 +111,12 @@ fn apply_model(model: &mut BTreeMap<String, Vec<u8>>, action: &FsAction) {
 
 fn apply_fs(fs: &StingFs, model: &BTreeMap<String, Vec<u8>>, action: &FsAction) {
     match action {
-        FsAction::Write { file, offset, byte, len } => {
+        FsAction::Write {
+            file,
+            offset,
+            byte,
+            len,
+        } => {
             fs.write_file(&path(*file), *offset as u64, &vec![*byte; *len as usize])
                 .unwrap();
         }

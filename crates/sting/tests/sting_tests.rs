@@ -107,7 +107,11 @@ fn sparse_files_read_zeros_in_holes() {
     assert_eq!(fs.read_file("/sparse", 50_000, 16).unwrap(), vec![0u8; 16]);
     assert_eq!(fs.read_file("/sparse", 100_000, 7).unwrap(), b"far out");
     // Far fewer blocks mapped than the size implies.
-    assert!(st.blocks < 5, "sparse file materialized {} blocks", st.blocks);
+    assert!(
+        st.blocks < 5,
+        "sparse file materialized {} blocks",
+        st.blocks
+    );
 }
 
 #[test]
@@ -117,7 +121,12 @@ fn directories_nest_and_list() {
     fs.mkdir("/a/b").unwrap();
     fs.write_file("/a/b/c.txt", 0, b"x").unwrap();
     fs.write_file("/a/top.txt", 0, b"y").unwrap();
-    let mut names: Vec<String> = fs.readdir("/a").unwrap().into_iter().map(|e| e.name).collect();
+    let mut names: Vec<String> = fs
+        .readdir("/a")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     names.sort();
     assert_eq!(names, vec!["b", "top.txt"]);
     let entries = fs.readdir("/a/b").unwrap();
@@ -135,14 +144,29 @@ fn error_paths() {
     assert!(matches!(fs.stat("/nope"), Err(StingError::NotFound(_))));
     assert!(matches!(fs.mkdir("/d"), Err(StingError::AlreadyExists(_))));
     assert!(matches!(fs.create("/f"), Err(StingError::AlreadyExists(_))));
-    assert!(matches!(fs.readdir("/f"), Err(StingError::NotADirectory(_))));
-    assert!(matches!(fs.read_file("/d", 0, 1), Err(StingError::IsADirectory(_))));
+    assert!(matches!(
+        fs.readdir("/f"),
+        Err(StingError::NotADirectory(_))
+    ));
+    assert!(matches!(
+        fs.read_file("/d", 0, 1),
+        Err(StingError::IsADirectory(_))
+    ));
     assert!(matches!(fs.unlink("/d"), Err(StingError::IsADirectory(_))));
     assert!(matches!(fs.rmdir("/f"), Err(StingError::NotADirectory(_))));
-    assert!(matches!(fs.stat("relative"), Err(StingError::InvalidPath(_))));
-    assert!(matches!(fs.stat("/a/../b"), Err(StingError::InvalidPath(_))));
+    assert!(matches!(
+        fs.stat("relative"),
+        Err(StingError::InvalidPath(_))
+    ));
+    assert!(matches!(
+        fs.stat("/a/../b"),
+        Err(StingError::InvalidPath(_))
+    ));
     fs.write_file("/d/x", 0, b"1").unwrap();
-    assert!(matches!(fs.rmdir("/d"), Err(StingError::DirectoryNotEmpty(_))));
+    assert!(matches!(
+        fs.rmdir("/d"),
+        Err(StingError::DirectoryNotEmpty(_))
+    ));
 }
 
 #[test]
@@ -164,7 +188,10 @@ fn hard_links_share_content_and_nlink() {
     fs.write_file("/orig", 0, b"shared bytes").unwrap();
     fs.link("/orig", "/alias").unwrap();
     assert_eq!(fs.stat("/orig").unwrap().nlink, 2);
-    assert_eq!(fs.stat("/orig").unwrap().ino, fs.stat("/alias").unwrap().ino);
+    assert_eq!(
+        fs.stat("/orig").unwrap().ino,
+        fs.stat("/alias").unwrap().ino
+    );
     assert_eq!(fs.read_to_end("/alias").unwrap(), b"shared bytes");
     // Writing through one name is visible through the other.
     fs.write_file("/alias", 0, b"SHARED").unwrap();
@@ -219,7 +246,10 @@ fn truncate_shrinks_and_extends() {
     fs.truncate("/t", 9000).unwrap();
     let got = fs.read_to_end("/t").unwrap();
     assert_eq!(&got[..6000], &data[..6000]);
-    assert!(got[6000..].iter().all(|&b| b == 0), "re-extended tail must be zeros");
+    assert!(
+        got[6000..].iter().all(|&b| b == 0),
+        "re-extended tail must be zeros"
+    );
     // Truncate to zero drops all blocks.
     fs.truncate("/t", 0).unwrap();
     assert_eq!(fs.stat("/t").unwrap().blocks, 0);
@@ -285,7 +315,8 @@ fn recovery_with_a_failed_server_reconstructs_file_data() {
     let transport = cluster(4);
     {
         let fs = fresh_fs(transport.clone(), 4);
-        fs.write_file("/precious", 0, &vec![0xabu8; 30_000]).unwrap();
+        fs.write_file("/precious", 0, &vec![0xabu8; 30_000])
+            .unwrap();
         fs.unmount().unwrap();
     }
     transport.set_down(ServerId::new(2), true);
@@ -309,7 +340,8 @@ fn repeated_crash_recovery_cycles_converge() {
         let fs = recover_fs(transport.clone(), 3);
         let content = fs.read_to_end("/f").unwrap();
         assert_eq!(content, format!("v{}", i + 1).as_bytes());
-        fs.write_file("/f", 1, format!("{}", i + 2).as_bytes()).unwrap();
+        fs.write_file("/f", 1, format!("{}", i + 2).as_bytes())
+            .unwrap();
         if i % 2 == 0 {
             fs.checkpoint().unwrap();
         }
@@ -363,7 +395,10 @@ fn cleaning_under_a_live_file_system_preserves_contents() {
     stack.register(svc).unwrap();
     let cleaner = Cleaner::new(log.clone(), Arc::new(stack), CleanPolicy::CostBenefit);
     let stats = cleaner.clean_pass(1000).unwrap();
-    assert!(stats.stripes_cleaned > 0, "churn must leave cleanable stripes: {stats:?}");
+    assert!(
+        stats.stripes_cleaned > 0,
+        "churn must leave cleanable stripes: {stats:?}"
+    );
 
     // Every surviving file reads back correctly after cleaning.
     for i in 0..30 {
@@ -471,5 +506,8 @@ fn cache_serves_repeated_reads() {
         fs.read_to_end("/hot").unwrap();
     }
     let (hits, misses) = fs.cache_stats();
-    assert!(hits > misses * 10, "cache must absorb re-reads: {hits} hits / {misses} misses");
+    assert!(
+        hits > misses * 10,
+        "cache must absorb re-reads: {hits} hits / {misses} misses"
+    );
 }

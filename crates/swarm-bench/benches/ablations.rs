@@ -69,7 +69,8 @@ fn ablation_checkpoint_interval(c: &mut Criterion) {
             let log = Log::create(transport.clone(), log_config(1, 3)).unwrap();
             log.checkpoint(STING_SVC, b"anchor").unwrap();
             for k in 0..records_after {
-                log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64]).unwrap();
+                log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64])
+                    .unwrap();
             }
             log.flush().unwrap();
         }
@@ -87,7 +88,8 @@ fn ablation_checkpoint_interval(c: &mut Criterion) {
                     let log = Log::create(transport.clone(), log_config(1, 3)).unwrap();
                     log.checkpoint(STING_SVC, b"anchor").unwrap();
                     for k in 0..1000u32 {
-                        log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64]).unwrap();
+                        log.append_record(STING_SVC, (k % 7) as u16, &[0u8; 64])
+                            .unwrap();
                     }
                     log.flush().unwrap();
                 }
@@ -98,7 +100,9 @@ fn ablation_checkpoint_interval(c: &mut Criterion) {
     });
 }
 
-fn churned_fs(transport: Arc<swarm_net::MemTransport>) -> (Arc<Log>, Arc<StingFs>, Arc<ServiceStack>) {
+fn churned_fs(
+    transport: Arc<swarm_net::MemTransport>,
+) -> (Arc<Log>, Arc<StingFs>, Arc<ServiceStack>) {
     let log = Arc::new(Log::create(transport, log_config(1, 3).fragment_size(16 * 1024)).unwrap());
     let fs = StingFs::format(
         log.clone(),
@@ -111,11 +115,13 @@ fn churned_fs(transport: Arc<swarm_net::MemTransport>) -> (Arc<Log>, Arc<StingFs
     .unwrap();
     // Skewed churn: small hot files rewritten often, big cold files once.
     for i in 0..20 {
-        fs.write_file(&format!("/cold{i}"), 0, &vec![1u8; 12_000]).unwrap();
+        fs.write_file(&format!("/cold{i}"), 0, &vec![1u8; 12_000])
+            .unwrap();
     }
     for round in 0..10 {
         for i in 0..5 {
-            fs.write_file(&format!("/hot{i}"), 0, &vec![round as u8; 4_000]).unwrap();
+            fs.write_file(&format!("/hot{i}"), 0, &vec![round as u8; 4_000])
+                .unwrap();
         }
         if round % 3 == 0 {
             fs.checkpoint().unwrap();
@@ -169,7 +175,10 @@ fn ablation_fragment_size(c: &mut Criterion) {
         let mut cal = Calibration::testbed_1999();
         cal.fragment_size = frag_kb * 1024;
         let p = simulate_write(&cal, 1, 4, 20_000, 4096);
-        println!("{:>6}KB  {:>8.2}  {:>11.2}", frag_kb, p.raw_mb_per_s, p.useful_mb_per_s);
+        println!(
+            "{:>6}KB  {:>8.2}  {:>11.2}",
+            frag_kb, p.raw_mb_per_s, p.useful_mb_per_s
+        );
     }
     let cal = Calibration::testbed_1999();
     c.bench_function("ablation_fragment_size_1mb_model", |b| {

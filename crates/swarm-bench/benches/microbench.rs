@@ -64,11 +64,8 @@ fn make_log(servers: u32) -> Log {
     // the log layer, not the test harness.
     let fast = Arc::new(MemTransport::new_fast());
     for s in 0..servers {
-        let srv = swarm_server::StorageServer::new(
-            ServerId::new(s),
-            swarm_server::MemStore::new(),
-        )
-        .into_shared();
+        let srv = swarm_server::StorageServer::new(ServerId::new(s), swarm_server::MemStore::new())
+            .into_shared();
         fast.register(ServerId::new(s), srv);
     }
     Log::create(fast, log_config(1, servers)).unwrap()
@@ -99,11 +96,9 @@ fn bench_reconstruction(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(1 << 20));
         g.bench_function(format!("rebuild_1MiB_fragment_width_{servers}"), |b| {
             let transport = mem_cluster(servers);
-            let config = LogConfig::new(
-                ClientId::new(1),
-                (0..servers).map(ServerId::new).collect(),
-            )
-            .unwrap();
+            let config =
+                LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())
+                    .unwrap();
             let log = Log::create(transport.clone(), config).unwrap();
             let mut addr = None;
             for _ in 0..(servers as usize) * 300 {
@@ -111,12 +106,9 @@ fn bench_reconstruction(c: &mut Criterion) {
             }
             log.flush().unwrap();
             let addr = addr.unwrap();
-            let (victim, _) = swarm_log::reconstruct::locate_fragment(
-                &*transport,
-                ClientId::new(1),
-                addr.fid,
-            )
-            .expect("fragment stored");
+            let (victim, _) =
+                swarm_log::reconstruct::locate_fragment(&*transport, ClientId::new(1), addr.fid)
+                    .expect("fragment stored");
             transport.set_down(victim, true);
             b.iter(|| {
                 swarm_log::reconstruct::reconstruct_fragment(

@@ -38,7 +38,10 @@ fn main() {
     print_table(
         "Figure 5: Modified Andrew Benchmark",
         &["system", "elapsed (s)", "cpu (s)", "io (s)", "cpu util"],
-        &[row("Sting (1 client, 1 server)", &sting), row("ext2fs (local disk)", &ext2)],
+        &[
+            row("Sting (1 client, 1 server)", &sting),
+            row("ext2fs (local disk)", &ext2),
+        ],
     );
     println!(
         "\npaper anchors: Sting 9.4 s @ 93% util; ext2fs 17.9 s @ 57% util; speedup ~1.9× \
@@ -57,7 +60,8 @@ fn main() {
                 fs.mkdir(p).expect("mkdir");
             }
             FsOp::WriteFile { path, bytes } => {
-                fs.write_file(path, 0, &vec![0xa5u8; *bytes as usize]).expect("write");
+                fs.write_file(path, 0, &vec![0xa5u8; *bytes as usize])
+                    .expect("write");
                 verified_bytes += bytes;
             }
             FsOp::Stat(p) => {
@@ -76,4 +80,22 @@ fn main() {
         ops.len(),
         verified_bytes as f64 / 1e6
     );
+
+    // Live metrics from the real run: store latency distribution plus the
+    // client-side counters the cross-check exercised.
+    let snap = swarm_metrics::snapshot();
+    if let Some(h) = snap.histogram("log.store_us") {
+        println!(
+            "store latency: {} stores, p50 {} us, p99 {} us, max {} us",
+            h.count, h.p50_us, h.p99_us, h.max_us
+        );
+    }
+    println!(
+        "retries {}  reconnects {}  bytes out {}  bytes in {}",
+        snap.counter("log.store_retries"),
+        snap.counter("log.reconnects"),
+        snap.counter("net.mem.bytes_out"),
+        snap.counter("net.mem.bytes_in"),
+    );
+    println!("metrics snapshot: {}", snap.to_json());
 }

@@ -12,6 +12,29 @@ use swarm_types::{FragmentId, Result, ServiceId};
 use crate::policy::CleanPolicy;
 use crate::usage::{StripeUsage, UsageTable};
 
+struct CleanerMetrics {
+    passes: swarm_metrics::Counter,
+    stripes_cleaned: swarm_metrics::Counter,
+    blocks_moved: swarm_metrics::Counter,
+    bytes_reclaimed: swarm_metrics::Counter,
+    forced_checkpoints: swarm_metrics::Counter,
+    pass_us: swarm_metrics::Histogram,
+    select_us: swarm_metrics::Histogram,
+}
+
+fn metrics() -> &'static CleanerMetrics {
+    static M: std::sync::OnceLock<CleanerMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| CleanerMetrics {
+        passes: swarm_metrics::counter("cleaner.passes"),
+        stripes_cleaned: swarm_metrics::counter("cleaner.stripes_cleaned"),
+        blocks_moved: swarm_metrics::counter("cleaner.blocks_moved"),
+        bytes_reclaimed: swarm_metrics::counter("cleaner.bytes_reclaimed"),
+        forced_checkpoints: swarm_metrics::counter("cleaner.forced_checkpoints"),
+        pass_us: swarm_metrics::histogram("cleaner.pass_us"),
+        select_us: swarm_metrics::histogram("cleaner.select_us"),
+    })
+}
+
 /// What one cleaning pass accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CleanStats {
@@ -79,18 +102,21 @@ impl Cleaner {
     /// service's latest checkpoint, or if it contains any service's
     /// *latest* checkpoint (replay anchors there).
     fn blocked_by_records(&self, usage: &StripeUsage) -> bool {
-        usage.record_services.iter().any(|(service, newest_record)| {
-            // The log layer's own records (checkpoint directories) never
-            // gate cleaning: the newest one lives in the anchor fragment,
-            // which `is_anchor` already protects; older ones are obsolete.
-            if *service == ServiceId::LOG_LAYER {
-                return false;
-            }
-            match self.log.last_checkpoint(*service) {
-                None => true, // service never checkpointed
-                Some(ckpt) => ckpt <= *newest_record,
-            }
-        })
+        usage
+            .record_services
+            .iter()
+            .any(|(service, newest_record)| {
+                // The log layer's own records (checkpoint directories) never
+                // gate cleaning: the newest one lives in the anchor fragment,
+                // which `is_anchor` already protects; older ones are obsolete.
+                if *service == ServiceId::LOG_LAYER {
+                    return false;
+                }
+                match self.log.last_checkpoint(*service) {
+                    None => true, // service never checkpointed
+                    Some(ckpt) => ckpt <= *newest_record,
+                }
+            })
     }
 
     fn is_anchor(&self, usage: &StripeUsage) -> bool {
@@ -124,9 +150,13 @@ impl Cleaner {
     /// already-moved blocks remain valid (moves are idempotent from the
     /// services' perspective).
     pub fn clean_pass(&self, max_stripes: usize) -> Result<CleanStats> {
+        let m = metrics();
+        m.passes.inc();
+        let _pass_span = m.pass_us.span("cleaner.pass");
         let mut stats = CleanStats::default();
         let mut attempt = 0;
         loop {
+            let select_span = m.select_us.span("cleaner.select");
             let table = UsageTable::scan(&self.log, 0)?;
             let newest = table.stripes.keys().next_back().copied().unwrap_or(0);
             let cleaned_set: HashSet<u64> = self.cleaned.lock().clone();
@@ -138,6 +168,7 @@ impl Cleaner {
                 .filter(|s| s.first_seq + table.width as u64 <= self.log.next_seq())
                 .filter(|s| self.cleanable(s))
                 .collect();
+            drop(select_span);
             if candidates.is_empty() {
                 // Force checkpoints only when a stripe is actually held
                 // hostage by stale records — not when the only blocked
@@ -149,8 +180,10 @@ impl Cleaner {
                     .filter(|s| !cleaned_set.contains(&s.first_seq))
                     .any(|s| self.blocked_by_records(s));
                 if attempt == 0 && starved {
+                    swarm_metrics::trace!("cleaner", "no cleanable stripes; forcing checkpoints");
                     self.stack.checkpoint_all(&self.log)?;
                     stats.forced_checkpoints += 1;
+                    m.forced_checkpoints.inc();
                     attempt += 1;
                     continue;
                 }
@@ -164,12 +197,7 @@ impl Cleaner {
         }
     }
 
-    fn clean_stripe(
-        &self,
-        usage: &StripeUsage,
-        width: u8,
-        stats: &mut CleanStats,
-    ) -> Result<()> {
+    fn clean_stripe(&self, usage: &StripeUsage, width: u8, stats: &mut CleanStats) -> Result<()> {
         // 1. Move live blocks: read old copy, append under the owning
         //    service with the original creation record, notify the
         //    service (old addr, new addr, creation record — §2.1.4).
@@ -178,6 +206,7 @@ impl Cleaner {
             let new_addr = self.log.append_block(lb.service, &lb.create, &data)?;
             stats.blocks_moved += 1;
             stats.bytes_moved += data.len() as u64;
+            metrics().blocks_moved.inc();
             self.stack
                 .notify_block_moved(lb.service, lb.addr, new_addr, &lb.create)?;
         }
@@ -195,6 +224,15 @@ impl Cleaner {
         }
         stats.stripes_cleaned += 1;
         stats.bytes_reclaimed += usage.stored_bytes;
+        let m = metrics();
+        m.stripes_cleaned.inc();
+        m.bytes_reclaimed.add(usage.stored_bytes);
+        swarm_metrics::trace!(
+            "cleaner",
+            "reclaimed stripe at seq {} ({} bytes)",
+            usage.first_seq,
+            usage.stored_bytes
+        );
         self.cleaned.lock().insert(usage.first_seq);
         Ok(())
     }
@@ -240,9 +278,7 @@ impl Cleaner {
                     }
                     // Sleep in small steps so stop() is responsive.
                     let mut slept = std::time::Duration::ZERO;
-                    while slept < interval
-                        && !stop2.load(std::sync::atomic::Ordering::SeqCst)
-                    {
+                    while slept < interval && !stop2.load(std::sync::atomic::Ordering::SeqCst) {
                         let step = std::time::Duration::from_millis(10).min(interval - slept);
                         std::thread::sleep(step);
                         slept += step;
@@ -493,7 +529,9 @@ mod tests {
         // abort the pass.
         let f = fixture(3);
         let orphan_svc = ServiceId::new(42);
-        f.log.append_block(orphan_svc, b"tag", &[9u8; 1500]).unwrap();
+        f.log
+            .append_block(orphan_svc, b"tag", &[9u8; 1500])
+            .unwrap();
         f.log.flush().unwrap(); // stripe 0: orphan's live block
         let a = write_block(&f, b"a", 1500);
         f.log.flush().unwrap(); // stripe 1: owned, soon dead
@@ -510,10 +548,7 @@ mod tests {
         );
         // The orphan's data is still there.
         let table = UsageTable::scan(&f.log, 0).unwrap();
-        assert!(table
-            .stripes
-            .get(&0)
-            .is_some_and(|s| s.live_bytes == 1500));
+        assert!(table.stripes.get(&0).is_some_and(|s| s.live_bytes == 1500));
     }
 
     #[test]
@@ -528,7 +563,8 @@ mod tests {
         let s2 = cleaner.clean_pass(16).unwrap();
         assert!(s1.stripes_cleaned >= 1);
         assert_eq!(
-            s2.stripes_cleaned, 0,
+            s2.stripes_cleaned,
+            0,
             "nothing new to clean: {s2:?} (cleaned: {:?})",
             cleaner.cleaned_stripes()
         );

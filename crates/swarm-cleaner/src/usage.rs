@@ -88,10 +88,8 @@ impl UsageTable {
         let mut seq = floor;
         while seq < end_seq {
             let stripe_first = (seq / width as u64) * width as u64;
-            let Some(view) = log.fetch_fragment_view(swarm_types::FragmentId::new(
-                log.client(),
-                seq,
-            ))?
+            let Some(view) =
+                log.fetch_fragment_view(swarm_types::FragmentId::new(log.client(), seq))?
             else {
                 seq += 1;
                 continue; // reclaimed (or padding of a torn tail)
@@ -104,8 +102,7 @@ impl UsageTable {
                     ..StripeUsage::default()
                 });
             usage.fragments_found += 1;
-            usage.stored_bytes +=
-                view.header.encoded_len() as u64 + view.header.body_len as u64;
+            usage.stored_bytes += view.header.encoded_len() as u64 + view.header.body_len as u64;
             for le in &view.entries {
                 let pos = LogPosition {
                     seq,

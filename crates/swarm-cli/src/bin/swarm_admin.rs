@@ -3,6 +3,7 @@
 //! ```text
 //! swarm-admin ping   --servers 0=host:port,1=host:port
 //! swarm-admin stat   --servers …
+//! swarm-admin stats  --servers …   # live metrics snapshot (JSON) per server
 //!
 //! # Self-hosting file system (no local state — every invocation
 //! # recovers the client's log from the cluster, works, checkpoints):
@@ -49,6 +50,7 @@ fn run() -> Result<()> {
     match command {
         "ping" => ping(&args),
         "stat" => stat(&args),
+        "stats" => stats(&args),
         "fs" => fs_command(&args),
         "clean" => clean(&args),
         "log" => log_command(&args),
@@ -106,6 +108,25 @@ fn stat(args: &Args) -> Result<()> {
     Ok(())
 }
 
+/// Dumps every server's live metrics registry as JSON (the Metrics RPC
+/// returns the snapshot serialized by `swarm_metrics::Snapshot::to_json`).
+fn stats(args: &Args) -> Result<()> {
+    let transport = transport_for(args.require("servers")?)?;
+    let client = client_id(args)?;
+    for server in transport.servers() {
+        match transport
+            .connect(server, client)
+            .and_then(|mut c| c.call(&Request::Metrics))
+            .and_then(Response::into_result)
+        {
+            Ok(Response::Metrics(json)) => println!("{server}: {json}"),
+            Ok(r) => println!("{server}: unexpected reply {r:?}"),
+            Err(e) => println!("{server}: DOWN ({e})"),
+        }
+    }
+    Ok(())
+}
+
 /// Recovers the client's Sting instance from the cluster — the
 /// self-hosting trick: the cluster itself is the only state.
 fn mount(args: &Args) -> Result<(Arc<Log>, Arc<StingFs>)> {
@@ -132,11 +153,9 @@ fn fs_err(e: sting::StingError) -> SwarmError {
 }
 
 fn fs_command(args: &Args) -> Result<()> {
-    let sub = args
-        .positional
-        .get(1)
-        .map(|s| s.as_str())
-        .ok_or_else(|| SwarmError::invalid("usage: swarm-admin fs <mkdir|write|read|ls|rm|stat> <path>"))?;
+    let sub = args.positional.get(1).map(|s| s.as_str()).ok_or_else(|| {
+        SwarmError::invalid("usage: swarm-admin fs <mkdir|write|read|ls|rm|stat> <path>")
+    })?;
     let path = args
         .positional
         .get(2)
@@ -218,11 +237,18 @@ fn log_command(args: &Args) -> Result<()> {
         use swarm_log::Entry;
         let desc = match &entry.entry {
             Entry::Block { service, data, .. } => {
-                format!("{service} BLOCK {} bytes @ {:?}", data.len(), entry.block_addr)
+                format!(
+                    "{service} BLOCK {} bytes @ {:?}",
+                    data.len(),
+                    entry.block_addr
+                )
             }
-            Entry::Record { service, kind, data }
-                if *service == swarm_types::ServiceId::LOG_LAYER
-                    && *kind == swarm_log::log::log_record::CHECKPOINT_DIR =>
+            Entry::Record {
+                service,
+                kind,
+                data,
+            } if *service == swarm_types::ServiceId::LOG_LAYER
+                && *kind == swarm_log::log::log_record::CHECKPOINT_DIR =>
             {
                 match swarm_log::log::decode_checkpoint_dir(data) {
                     Ok(dir) => format!(
@@ -235,7 +261,11 @@ fn log_command(args: &Args) -> Result<()> {
                     Err(_) => "LOG CHECKPOINT-DIRECTORY (unreadable)".into(),
                 }
             }
-            Entry::Record { service, kind, data } => {
+            Entry::Record {
+                service,
+                kind,
+                data,
+            } => {
                 format!("{service} RECORD kind={kind} {} bytes", data.len())
             }
             Entry::Delete { service, addr } => format!("{service} DELETE {addr}"),
@@ -243,7 +273,10 @@ fn log_command(args: &Args) -> Result<()> {
                 format!("{service} CHECKPOINT {} bytes", data.len())
             }
         };
-        println!("seq {:>6} off {:>8}  {desc}", entry.pos.seq, entry.pos.offset);
+        println!(
+            "seq {:>6} off {:>8}  {desc}",
+            entry.pos.seq, entry.pos.offset
+        );
     }
     Ok(())
 }

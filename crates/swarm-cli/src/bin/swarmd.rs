@@ -40,12 +40,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             MemStore::new()
         };
-        spawn(id, &listen, StorageServer::new(id, store).with_read_cache(cache))?
+        spawn(
+            id,
+            &listen,
+            StorageServer::new(id, store).with_read_cache(cache),
+        )?
     } else {
         let dir = args.require("dir")?;
         let durable = args.get_or("no-fsync", "false") != "true";
         let store = FileStore::open_with(dir, capacity, durable)?;
-        spawn(id, &listen, StorageServer::new(id, store).with_read_cache(cache))?
+        spawn(
+            id,
+            &listen,
+            StorageServer::new(id, store).with_read_cache(cache),
+        )?
     };
 
     println!("swarmd {} listening on {}", id.raw(), server.addr());

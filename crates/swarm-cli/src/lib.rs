@@ -93,9 +93,9 @@ impl Args {
 pub fn parse_servers(spec: &str) -> Result<Vec<(ServerId, SocketAddr)>> {
     let mut out = Vec::new();
     for part in spec.split(',').filter(|p| !p.is_empty()) {
-        let (id, addr) = part
-            .split_once('=')
-            .ok_or_else(|| SwarmError::invalid(format!("bad server entry {part:?} (want id=host:port)")))?;
+        let (id, addr) = part.split_once('=').ok_or_else(|| {
+            SwarmError::invalid(format!("bad server entry {part:?} (want id=host:port)"))
+        })?;
         let id: u32 = id
             .parse()
             .map_err(|_| SwarmError::invalid(format!("bad server id {id:?}")))?;
@@ -130,7 +130,15 @@ mod tests {
 
     #[test]
     fn positional_and_options_mix() {
-        let a = parse(&["fs", "write", "--servers", "0=1.2.3.4:5", "/path", "--client", "7"]);
+        let a = parse(&[
+            "fs",
+            "write",
+            "--servers",
+            "0=1.2.3.4:5",
+            "/path",
+            "--client",
+            "7",
+        ]);
         assert_eq!(a.positional, vec!["fs", "write", "/path"]);
         assert_eq!(a.require("servers").unwrap(), "0=1.2.3.4:5");
         assert_eq!(a.get_u64("client", 1).unwrap(), 7);

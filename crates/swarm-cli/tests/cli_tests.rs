@@ -56,7 +56,9 @@ fn start_daemon(id: u32, dir: &std::path::Path) -> Daemon {
     // First stdout line: "swarmd N listening on ADDR".
     let stdout = child.stdout.take().expect("stdout piped");
     let mut line = String::new();
-    BufReader::new(stdout).read_line(&mut line).expect("read banner");
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read banner");
     let addr = line
         .rsplit(' ')
         .next()
@@ -183,7 +185,11 @@ fn fs_survives_daemon_restart() {
             daemons: vec![d0, d1],
             _dirs: vec![],
         };
-        let (_o, e, ok) = admin(&cluster, &["fs", "write", "/durable.txt"], Some(b"on real disks"));
+        let (_o, e, ok) = admin(
+            &cluster,
+            &["fs", "write", "/durable.txt"],
+            Some(b"on real disks"),
+        );
         assert!(ok, "{e}");
         spec = cluster.servers_spec();
         let _ = spec;
@@ -237,7 +243,10 @@ fn log_dump_shows_the_recovered_log() {
     admin(&cluster, &["fs", "write", "/d/f"], Some(b"dump me"));
     let (out, e, ok) = admin(&cluster, &["log", "dump"], None);
     assert!(ok, "{e}");
-    assert!(out.contains("CHECKPOINT") || out.contains("checkpoint"), "{out}");
+    assert!(
+        out.contains("CHECKPOINT") || out.contains("checkpoint"),
+        "{out}"
+    );
     assert!(out.contains("BLOCK"), "{out}");
     assert!(out.contains("RECORD"), "{out}");
 }

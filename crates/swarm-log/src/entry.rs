@@ -20,7 +20,9 @@
 //! the `data bytes` of a Block entry, so reads hit the storage server
 //! without any entry parsing.
 
-use swarm_types::{BlockAddr, ByteReader, ByteWriter, Decode, Encode, Result, ServiceId, SwarmError};
+use swarm_types::{
+    BlockAddr, ByteReader, ByteWriter, Decode, Encode, Result, ServiceId, SwarmError,
+};
 
 /// Entry type tags (on-disk stable).
 pub mod tag {

@@ -507,7 +507,9 @@ mod tests {
     #[test]
     fn locate_header_len_covers_max_header() {
         let h = FragmentHeader {
-            group: (0..crate::stripe::MAX_WIDTH as u32).map(ServerId::new).collect(),
+            group: (0..crate::stripe::MAX_WIDTH as u32)
+                .map(ServerId::new)
+                .collect(),
             member_lens: vec![0; crate::stripe::MAX_WIDTH],
             member_count: crate::stripe::MAX_WIDTH as u8,
             ..header(0)

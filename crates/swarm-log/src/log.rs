@@ -27,6 +27,29 @@ use crate::reconstruct;
 use crate::stripe::{StripeGroup, StripePlan};
 use crate::writer::WritePool;
 
+struct LogMetrics {
+    fragments_sealed: swarm_metrics::Counter,
+    reads: swarm_metrics::Counter,
+    reconstructions: swarm_metrics::Counter,
+    seal_us: swarm_metrics::Histogram,
+    submit_us: swarm_metrics::Histogram,
+    flush_us: swarm_metrics::Histogram,
+    reconstruct_us: swarm_metrics::Histogram,
+}
+
+fn metrics() -> &'static LogMetrics {
+    static M: std::sync::OnceLock<LogMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| LogMetrics {
+        fragments_sealed: swarm_metrics::counter("log.fragments_sealed"),
+        reads: swarm_metrics::counter("log.reads"),
+        reconstructions: swarm_metrics::counter("log.reconstructions"),
+        seal_us: swarm_metrics::histogram("log.seal_us"),
+        submit_us: swarm_metrics::histogram("log.submit_us"),
+        flush_us: swarm_metrics::histogram("log.flush_us"),
+        reconstruct_us: swarm_metrics::histogram("log.reconstruct_us"),
+    })
+}
+
 /// Record kinds written by the log layer itself (under
 /// [`ServiceId::LOG_LAYER`]).
 pub mod log_record {
@@ -359,7 +382,10 @@ impl Log {
 
     /// Seeds the fragment→server map (used after recovery so reads skip
     /// the broadcast).
-    pub(crate) fn seed_fragment_map(&self, entries: impl IntoIterator<Item = (FragmentId, ServerId)>) {
+    pub(crate) fn seed_fragment_map(
+        &self,
+        entries: impl IntoIterator<Item = (FragmentId, ServerId)>,
+    ) {
         let mut state = self.state.lock();
         state.fragment_map.extend(entries);
     }
@@ -421,6 +447,8 @@ impl Log {
         let Some(builder) = state.builder.take() else {
             return Ok(());
         };
+        let m = metrics();
+        let _seal_span = m.seal_us.span("log.seal");
         let sealed = builder.seal();
         let (server, stripe_done) = {
             let stripe = state.stripe.as_mut().expect("builder implies stripe");
@@ -438,7 +466,17 @@ impl Log {
         state
             .cache
             .insert(sealed.fid(), Arc::new(sealed.bytes.clone()));
-        self.pool.submit(server, sealed)?;
+        m.fragments_sealed.inc();
+        swarm_metrics::trace!(
+            "log.seal",
+            "sealed fragment seq={} for server {}",
+            state.next_seq - 1,
+            server
+        );
+        {
+            let _submit_span = m.submit_us.span("log.submit");
+            self.pool.submit(server, sealed)?;
+        }
         if stripe_done {
             self.close_stripe(state)?;
         }
@@ -549,12 +587,7 @@ impl Log {
     /// # Errors
     ///
     /// As for [`Log::append_block`].
-    pub fn append_record(
-        &self,
-        service: ServiceId,
-        kind: u16,
-        data: &[u8],
-    ) -> Result<LogPosition> {
+    pub fn append_record(&self, service: ServiceId, kind: u16, data: &[u8]) -> Result<LogPosition> {
         if service == ServiceId::LOG_LAYER {
             return Err(SwarmError::invalid(
                 "service id 0 is reserved for the log layer",
@@ -628,11 +661,7 @@ impl Log {
             let seq = builder.fid().seq();
             let pos = LogPosition { seq, offset };
             let dir = encode_checkpoint_dir(&checkpoints_snapshot, Some((service, pos)));
-            builder.append_record(
-                ServiceId::LOG_LAYER,
-                log_record::CHECKPOINT_DIR,
-                &dir,
-            );
+            builder.append_record(ServiceId::LOG_LAYER, log_record::CHECKPOINT_DIR, &dir);
             state.appended_bytes += need as u64;
             state.stats.checkpoints += 1;
             state.checkpoints.insert(service, pos);
@@ -657,6 +686,7 @@ impl Log {
     /// [`SwarmError::ServerUnavailable`] if a stripe-group member is
     /// down).
     pub fn flush(&self) -> Result<()> {
+        let _span = metrics().flush_us.span("log.flush");
         {
             let mut state = self.state.lock();
             if let Some(b) = &state.builder {
@@ -698,6 +728,7 @@ impl Log {
         // Unflushed data may still be in the open builder: entries are
         // immutable once appended, so serve such reads straight from the
         // build buffer.
+        metrics().reads.inc();
         {
             let mut state = self.state.lock();
             state.stats.reads += 1;
@@ -726,11 +757,9 @@ impl Log {
         // on a miss, so sequential block reads become cache hits (the
         // optimization §3.4 names but the prototype lacked).
         if self.config.prefetch {
-            if let Some(bytes) = reconstruct::read_fragment_anywhere(
-                &*self.transport,
-                self.config.client,
-                addr.fid,
-            )? {
+            if let Some(bytes) =
+                reconstruct::read_fragment_anywhere(&*self.transport, self.config.client, addr.fid)?
+            {
                 let bytes = Arc::new(bytes);
                 let data = slice_fragment(&bytes, addr);
                 self.state.lock().cache.insert(addr.fid, bytes);
@@ -742,19 +771,20 @@ impl Log {
         // Fast path: direct range read from the fragment's home server.
         let home = self.state.lock().fragment_map.get(&addr.fid).copied();
         if let Some(server) = home {
-            match self.call_server(server, &Request::Read {
-                fid: addr.fid,
-                offset: addr.offset,
-                len: addr.len,
-            }) {
+            match self.call_server(
+                server,
+                &Request::Read {
+                    fid: addr.fid,
+                    offset: addr.offset,
+                    len: addr.len,
+                },
+            ) {
                 Ok(Response::Data(data)) => return Ok(data),
                 Ok(other) => match other.into_result() {
                     Err(e) if e.is_unavailability() => {}
                     Err(e) => return Err(e),
                     Ok(r) => {
-                        return Err(SwarmError::protocol(format!(
-                            "unexpected read reply {r:?}"
-                        )))
+                        return Err(SwarmError::protocol(format!("unexpected read reply {r:?}")))
                     }
                 },
                 Err(e) if e.is_unavailability() => {}
@@ -767,11 +797,14 @@ impl Log {
             reconstruct::locate_fragment(&*self.transport, self.config.client, addr.fid)
         {
             self.state.lock().fragment_map.insert(addr.fid, server);
-            match self.call_server(server, &Request::Read {
-                fid: addr.fid,
-                offset: addr.offset,
-                len: addr.len,
-            }) {
+            match self.call_server(
+                server,
+                &Request::Read {
+                    fid: addr.fid,
+                    offset: addr.offset,
+                    len: addr.len,
+                },
+            ) {
                 Ok(Response::Data(data)) => return Ok(data),
                 Ok(other) => {
                     other.into_result()?;
@@ -781,11 +814,17 @@ impl Log {
             }
         }
 
-        let bytes = Arc::new(reconstruct::reconstruct_fragment(
-            &*self.transport,
-            self.config.client,
-            addr.fid,
-        )?);
+        let m = metrics();
+        swarm_metrics::trace!("log.read", "reconstructing fragment {}", addr.fid);
+        let bytes = {
+            let _span = m.reconstruct_us.span("log.reconstruct");
+            Arc::new(reconstruct::reconstruct_fragment(
+                &*self.transport,
+                self.config.client,
+                addr.fid,
+            )?)
+        };
+        m.reconstructions.inc();
         let data = slice_fragment(&bytes, addr)?;
         {
             let mut state = self.state.lock();
@@ -850,6 +889,8 @@ impl Log {
             Err(_) => {
                 // One reconnect attempt (the server may have restarted).
                 state.conns.remove(&server);
+                crate::writer::metrics().reconnects.inc();
+                swarm_metrics::trace!("log.call", "reconnecting to server {}", server);
                 let mut conn = self.transport.connect(server, self.config.client)?;
                 let resp = conn.call(request)?;
                 state.conns.insert(server, conn);

@@ -172,11 +172,8 @@ mod tests {
                 .filter(|(i, _)| *i != lost)
                 .map(|(_, f)| f.bytes.clone())
                 .collect();
-            let rebuilt = ParityAccumulator::reconstruct(
-                parity_body,
-                surviving,
-                lens[lost] as usize,
-            );
+            let rebuilt =
+                ParityAccumulator::reconstruct(parity_body, surviving, lens[lost] as usize);
             assert_eq!(rebuilt, frags[lost].bytes, "member {lost}");
             // Rebuilt bytes parse as a valid fragment.
             crate::fragment::FragmentView::parse(&rebuilt).unwrap();

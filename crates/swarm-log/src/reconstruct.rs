@@ -166,9 +166,8 @@ pub fn reconstruct_fragment(
         parity_header.member_lens = lens;
         parity_header.body_len = acc_buf.len() as u32;
         parity_header.body_crc = swarm_types::crc32(&acc_buf);
-        let mut w = swarm_types::ByteWriter::with_capacity(
-            parity_header.encoded_len() + acc_buf.len(),
-        );
+        let mut w =
+            swarm_types::ByteWriter::with_capacity(parity_header.encoded_len() + acc_buf.len());
         use swarm_types::Encode;
         parity_header.encode(&mut w);
         w.put_raw(&acc_buf);

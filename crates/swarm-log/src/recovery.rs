@@ -41,6 +41,25 @@ use crate::entry::Entry;
 use crate::log::{Log, LogConfig, LogPosition};
 use crate::reconstruct;
 
+struct RecoveryMetrics {
+    recoveries: swarm_metrics::Counter,
+    fragments_scanned: swarm_metrics::Counter,
+    reconstructions: swarm_metrics::Counter,
+    torn_tails: swarm_metrics::Counter,
+    recover_us: swarm_metrics::Histogram,
+}
+
+fn metrics() -> &'static RecoveryMetrics {
+    static M: std::sync::OnceLock<RecoveryMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| RecoveryMetrics {
+        recoveries: swarm_metrics::counter("recovery.recoveries"),
+        fragments_scanned: swarm_metrics::counter("recovery.fragments_scanned"),
+        reconstructions: swarm_metrics::counter("recovery.reconstructions"),
+        torn_tails: swarm_metrics::counter("recovery.torn_tails"),
+        recover_us: swarm_metrics::histogram("recovery.recover_us"),
+    })
+}
+
 /// One replayed log entry with its position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplayEntry {
@@ -87,13 +106,7 @@ impl Replay {
         self.entries
             .iter()
             .filter(|e| e.entry.service() == service)
-            .filter(|e| {
-                if has_ckpt {
-                    e.pos > after
-                } else {
-                    true
-                }
-            })
+            .filter(|e| if has_ckpt { e.pos > after } else { true })
             .filter(|e| !matches!(e.entry, Entry::Checkpoint { .. }))
             .collect()
     }
@@ -116,10 +129,14 @@ pub fn recover(
     config: LogConfig,
     expected_services: &[ServiceId],
 ) -> Result<(Log, Replay)> {
+    let m = metrics();
+    m.recoveries.inc();
+    let _span = m.recover_us.span("recovery.recover");
     let client = config.client;
     let width = config.group.width() as u64;
 
     let anchor = find_anchor(&*transport, client);
+    swarm_metrics::trace!("recovery", "client {} anchor={:?}", client, anchor);
     let mut replay = Replay::default();
 
     let scan_start = match anchor {
@@ -176,6 +193,7 @@ pub fn recover(
         if let Some((server, _)) = located {
             replay.fragment_homes.push((fid, server));
         }
+        m.fragments_scanned.inc();
         replay.last_seq = Some(seq);
         let view = crate::fragment::FragmentView::parse(&bytes)?;
         if view.header.member_count as u32 != width as u32 {
@@ -200,9 +218,7 @@ pub fn recover(
                         .map(|(p, _)| pos > *p)
                         .unwrap_or(true);
                     if newer {
-                        replay
-                            .checkpoints
-                            .insert(*service, (pos, data.clone()));
+                        replay.checkpoints.insert(*service, (pos, data.clone()));
                     }
                 }
                 replay.entries.push(ReplayEntry {
@@ -220,7 +236,9 @@ pub fn recover(
     // best-effort delete its surviving fragments so they don't linger as
     // unprotected, unaccounted data.
     if !seq.is_multiple_of(width) {
+        m.torn_tails.inc();
         let torn_first = (seq / width) * width;
+        swarm_metrics::trace!("recovery", "discarding torn tail from seq {}", torn_first);
         replay.entries.retain(|e| e.pos.seq < torn_first);
         replay
             .checkpoints
@@ -264,7 +282,10 @@ fn try_reconstruct(
     fid: FragmentId,
 ) -> Result<Option<Vec<u8>>> {
     match reconstruct::reconstruct_fragment(transport, client, fid) {
-        Ok(bytes) => Ok(Some(bytes)),
+        Ok(bytes) => {
+            metrics().reconstructions.inc();
+            Ok(Some(bytes))
+        }
         // Unreconstructible during a rollforward scan = end of log or a
         // torn tail; both mean "stop scanning", not "fail recovery".
         Err(SwarmError::ReconstructionFailed { .. }) => Ok(None),
@@ -305,9 +326,7 @@ fn read_checkpoint_dir(
             data,
         } = &le.entry
         {
-            if *service == ServiceId::LOG_LAYER
-                && *kind == crate::log::log_record::CHECKPOINT_DIR
-            {
+            if *service == ServiceId::LOG_LAYER && *kind == crate::log::log_record::CHECKPOINT_DIR {
                 return Ok(Some(crate::log::decode_checkpoint_dir(data)?));
             }
         }
@@ -342,9 +361,7 @@ fn discover_from_directory(
             if le.entry_offset == pos.offset {
                 if let Entry::Checkpoint { service: s, data } = &le.entry {
                     if s == service {
-                        replay
-                            .checkpoints
-                            .insert(*service, (*pos, data.clone()));
+                        replay.checkpoints.insert(*service, (*pos, data.clone()));
                     }
                 }
             }
@@ -379,14 +396,13 @@ fn discover_checkpoints(
             break;
         }
         let fid = FragmentId::new(client, seq as u64);
-        let bytes =
-            match reconstruct::read_fragment_anywhere(transport, client, fid) {
-                Ok(Some(b)) => b,
-                // A cleaned region (or a second failure): stop walking.
-                Ok(None) => break,
-                Err(e) if e.is_unavailability() => break,
-                Err(e) => return Err(e),
-            };
+        let bytes = match reconstruct::read_fragment_anywhere(transport, client, fid) {
+            Ok(Some(b)) => b,
+            // A cleaned region (or a second failure): stop walking.
+            Ok(None) => break,
+            Err(e) if e.is_unavailability() => break,
+            Err(e) => return Err(e),
+        };
         let view = crate::fragment::FragmentView::parse(&bytes)?;
         if !view.header.is_parity() {
             // Within one fragment, later entries are newer: iterate in
@@ -406,9 +422,7 @@ fn discover_checkpoints(
             }
         }
         scan_start = seq as u64;
-        let all_found = expected
-            .iter()
-            .all(|s| replay.checkpoints.contains_key(s));
+        let all_found = expected.iter().all(|s| replay.checkpoints.contains_key(s));
         if all_found && !expected.is_empty() {
             break;
         }

@@ -29,6 +29,25 @@ const STORE_RETRIES: usize = 5;
 /// come back, short enough not to stall the pipeline noticeably.
 const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
 
+pub(crate) struct WriterMetrics {
+    pub(crate) store_us: swarm_metrics::Histogram,
+    pub(crate) store_retries: swarm_metrics::Counter,
+    pub(crate) reconnects: swarm_metrics::Counter,
+    pub(crate) write_errors: swarm_metrics::Counter,
+    pub(crate) flush_dropped_errors: swarm_metrics::Counter,
+}
+
+pub(crate) fn metrics() -> &'static WriterMetrics {
+    static M: std::sync::OnceLock<WriterMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| WriterMetrics {
+        store_us: swarm_metrics::histogram("log.store_us"),
+        store_retries: swarm_metrics::counter("log.store_retries"),
+        reconnects: swarm_metrics::counter("log.reconnects"),
+        write_errors: swarm_metrics::counter("log.write_errors"),
+        flush_dropped_errors: swarm_metrics::counter("log.flush_dropped_errors"),
+    })
+}
+
 struct Job {
     fragment: SealedFragment,
 }
@@ -36,7 +55,7 @@ struct Job {
 #[derive(Default)]
 struct PoolState {
     in_flight: usize,
-    errors: Vec<SwarmError>,
+    errors: Vec<(ServerId, SwarmError)>,
 }
 
 struct Shared {
@@ -91,7 +110,13 @@ impl WritePool {
                         let mut state = shared.state.lock();
                         state.in_flight -= 1;
                         if let Err(e) = result {
-                            state.errors.push(e);
+                            metrics().write_errors.inc();
+                            swarm_metrics::trace!(
+                                "log.write",
+                                "store of {} on server {server} failed: {e}",
+                                job.fragment.fid()
+                            );
+                            state.errors.push((server, e));
                         }
                         shared.done.notify_all();
                     }
@@ -133,10 +158,34 @@ impl WritePool {
     ///
     /// # Errors
     ///
-    /// Returns the first error any writer hit since the last `flush`
-    /// (further errors are dropped; the log treats any store failure as
-    /// fatal for the affected stripe).
+    /// Returns the first error any writer hit since the last `flush`. The
+    /// remaining errors are no longer silently dropped: each one is traced
+    /// with its server id and counted in `log.flush_dropped_errors` before
+    /// being discarded (the log treats any store failure as fatal for the
+    /// affected stripe, so one error is enough to fail the flush). Use
+    /// [`WritePool::flush_all`] to receive every per-server error.
     pub fn flush(&self) -> Result<()> {
+        self.flush_all().map_err(|mut errors| {
+            let (_, first) = errors.remove(0);
+            for (server, e) in errors {
+                metrics().flush_dropped_errors.inc();
+                swarm_metrics::trace!(
+                    "log.flush",
+                    "additional flush error on server {server}: {e}"
+                );
+            }
+            first
+        })
+    }
+
+    /// Waits for every queued fragment to be durably stored, reporting
+    /// *all* errors accumulated since the last flush, each with the server
+    /// that produced it.
+    ///
+    /// # Errors
+    ///
+    /// The error value is the non-empty list of `(server, error)` pairs.
+    pub fn flush_all(&self) -> std::result::Result<(), Vec<(ServerId, SwarmError)>> {
         let mut state = self.shared.state.lock();
         while state.in_flight > 0 {
             self.shared.done.wait(&mut state);
@@ -144,7 +193,7 @@ impl WritePool {
         if state.errors.is_empty() {
             Ok(())
         } else {
-            Err(state.errors.drain(..).next().expect("nonempty"))
+            Err(state.errors.drain(..).collect())
         }
     }
 
@@ -177,12 +226,22 @@ fn store_with_retry(
         ranges: vec![],
         data: job.fragment.bytes.clone(),
     };
+    let m = metrics();
+    let _span = m.store_us.span("log.store");
     let mut last_err = SwarmError::ServerUnavailable(server);
     for attempt in 0..STORE_RETRIES {
         if attempt > 0 {
+            m.store_retries.inc();
             std::thread::sleep(RETRY_BACKOFF);
         }
         if conn.is_none() {
+            if attempt > 0 {
+                m.reconnects.inc();
+                swarm_metrics::trace!(
+                    "log.reconnect",
+                    "reconnecting to server {server} (attempt {attempt})"
+                );
+            }
             match transport.connect(server, client) {
                 Ok(c) => *conn = Some(c),
                 Err(e) => {
@@ -279,12 +338,48 @@ mod tests {
         );
         transport.set_down(ServerId::new(1), true);
         pool.submit(ServerId::new(0), fragment(0, b"ok")).unwrap();
-        pool.submit(ServerId::new(1), fragment(1, b"doomed")).unwrap();
+        pool.submit(ServerId::new(1), fragment(1, b"doomed"))
+            .unwrap();
         let err = pool.flush().unwrap_err();
         assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
         // After the error is taken, the pool is usable again.
         pool.submit(ServerId::new(0), fragment(2, b"ok2")).unwrap();
         pool.flush().unwrap();
+    }
+
+    /// Regression test: flush used to drop all but the first error on the
+    /// floor with no record of which server failed. `flush_all` reports
+    /// one error per failing server, and the pool stays usable afterward.
+    #[test]
+    fn flush_all_reports_every_failing_server_and_pool_recovers() {
+        let (transport, servers) = cluster(3);
+        let ids = [ServerId::new(0), ServerId::new(1), ServerId::new(2)];
+        let pool = WritePool::new(transport.clone(), ClientId::new(1), &ids, 2);
+        transport.set_down(ServerId::new(1), true);
+        transport.set_down(ServerId::new(2), true);
+        pool.submit(ServerId::new(0), fragment(0, b"ok")).unwrap();
+        pool.submit(ServerId::new(1), fragment(1, b"doomed"))
+            .unwrap();
+        pool.submit(ServerId::new(2), fragment(2, b"doomed"))
+            .unwrap();
+        let errors = pool.flush_all().unwrap_err();
+        let mut failed: Vec<u32> = errors.iter().map(|(s, _)| s.raw()).collect();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![1, 2]);
+        for (_, e) in &errors {
+            assert!(matches!(e, SwarmError::ServerUnavailable(_)), "{e}");
+        }
+        // The errors were taken; the pool keeps working once the servers
+        // come back.
+        transport.set_down(ServerId::new(1), false);
+        transport.set_down(ServerId::new(2), false);
+        pool.submit(ServerId::new(1), fragment(3, b"retry"))
+            .unwrap();
+        pool.submit(ServerId::new(2), fragment(4, b"retry"))
+            .unwrap();
+        pool.flush().unwrap();
+        assert_eq!(servers[1].store().fragment_count(), 1);
+        assert_eq!(servers[2].store().fragment_count(), 1);
     }
 
     #[test]

@@ -43,7 +43,8 @@ fn transient_server_outage_is_absorbed_by_retry() {
         std::thread::sleep(Duration::from_millis(40));
         t2.set_down(ServerId::new(1), false);
     });
-    log.flush().expect("transient outage should be retried away");
+    log.flush()
+        .expect("transient outage should be retried away");
     reviver.join().unwrap();
     let total: u64 = servers.iter().map(|s| s.store().fragment_count()).sum();
     assert!(total > 0);
@@ -87,13 +88,17 @@ fn torn_tail_is_discarded_but_durable_prefix_survives() {
     let width = 3u64;
     let mut max_seq = 0;
     for s in 0..3u32 {
-        let mut conn = transport.connect(ServerId::new(s), ClientId::new(1)).unwrap();
+        let mut conn = transport
+            .connect(ServerId::new(s), ClientId::new(1))
+            .unwrap();
         // Find this server's fragments through the protocol.
         for seq in 0..100u64 {
             let fid = swarm_types::FragmentId::new(ClientId::new(1), seq);
-            if let Ok(swarm_net::Response::Located(Some(_))) = conn
-                .call(&Request::Locate { fid, header_len: 8 })
-                .map(|r| r.into_result().unwrap_or(swarm_net::Response::Located(None)))
+            if let Ok(swarm_net::Response::Located(Some(_))) =
+                conn.call(&Request::Locate { fid, header_len: 8 }).map(|r| {
+                    r.into_result()
+                        .unwrap_or(swarm_net::Response::Located(None))
+                })
             {
                 max_seq = max_seq.max(seq);
             }
@@ -107,7 +112,9 @@ fn torn_tail_is_discarded_but_durable_prefix_survives() {
             break;
         }
         for s in 0..3u32 {
-            let mut conn = transport.connect(ServerId::new(s), ClientId::new(1)).unwrap();
+            let mut conn = transport
+                .connect(ServerId::new(s), ClientId::new(1))
+                .unwrap();
             let fid = swarm_types::FragmentId::new(ClientId::new(1), seq);
             if conn
                 .call(&Request::Delete { fid })
@@ -217,9 +224,10 @@ fn recovery_when_the_anchor_servers_are_down() {
     // Find which server holds the marked fragment and kill it.
     let marked_holder = servers
         .iter()
-        .position(|s| s.store().last_marked(ClientId::new(1)) == Some(
-            swarm_types::FragmentId::new(ClientId::new(1), ckpt_pos.seq)
-        ))
+        .position(|s| {
+            s.store().last_marked(ClientId::new(1))
+                == Some(swarm_types::FragmentId::new(ClientId::new(1), ckpt_pos.seq))
+        })
         .expect("someone holds the anchor");
     transport.set_down(ServerId::new(marked_holder as u32), true);
 
@@ -283,4 +291,3 @@ fn unacknowledged_mid_stripe_writes_are_discarded_at_recovery() {
     log.append_record(SVC, 9, b"new era").unwrap();
     log.flush().unwrap();
 }
-

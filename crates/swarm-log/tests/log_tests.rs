@@ -38,7 +38,10 @@ fn write_flush_read_roundtrip() {
     let mut addrs = Vec::new();
     for i in 0..100u32 {
         let data = vec![i as u8; 512];
-        addrs.push((log.append_block(SVC, &i.to_le_bytes(), &data).unwrap(), data));
+        addrs.push((
+            log.append_block(SVC, &i.to_le_bytes(), &data).unwrap(),
+            data,
+        ));
     }
     log.flush().unwrap();
     for (addr, data) in &addrs {
@@ -51,7 +54,8 @@ fn blocks_span_many_fragments_and_stripes() {
     let (transport, servers) = cluster(3);
     let log = small_log(transport, 1, 3);
     for i in 0..200u32 {
-        log.append_block(SVC, b"", &vec![(i % 251) as u8; 700]).unwrap();
+        log.append_block(SVC, b"", &vec![(i % 251) as u8; 700])
+            .unwrap();
     }
     log.flush().unwrap();
     // 200 * ~700B blocks in 4 KiB fragments: many stripes; every server
@@ -105,9 +109,9 @@ fn read_with_one_server_down_reconstructs() {
     for down in 0..4u32 {
         transport.set_down(ServerId::new(down), true);
         for (addr, data) in &addrs {
-            let got = log.read(*addr).unwrap_or_else(|e| {
-                panic!("read {addr} with server {down} down: {e}")
-            });
+            let got = log
+                .read(*addr)
+                .unwrap_or_else(|e| panic!("read {addr} with server {down} down: {e}"));
             assert_eq!(&got, data);
         }
         transport.set_down(ServerId::new(down), false);
@@ -277,7 +281,8 @@ fn recovery_without_checkpoint_replays_everything() {
     {
         let log = Log::create(transport.clone(), config(1, 2)).unwrap();
         for k in 0..5u16 {
-            log.append_record(SVC, k, format!("r{k}").as_bytes()).unwrap();
+            log.append_record(SVC, k, format!("r{k}").as_bytes())
+                .unwrap();
         }
         log.flush().unwrap();
     }
@@ -378,7 +383,11 @@ fn multiple_checkpoints_newest_wins() {
             _ => None,
         })
         .collect();
-    assert_eq!(kinds, vec![2], "records before the newest checkpoint are obsolete");
+    assert_eq!(
+        kinds,
+        vec![2],
+        "records before the newest checkpoint are obsolete"
+    );
 }
 
 #[test]
@@ -441,12 +450,8 @@ fn log_stats_track_the_pipeline() {
     transport.set_down(ServerId::new(1), false);
     transport.set_down(ServerId::new(2), false);
     // Kill just the holder so reconstruction succeeds.
-    let (holder, _) = swarm_log::reconstruct::locate_fragment(
-        &*transport,
-        ClientId::new(1),
-        addr.fid,
-    )
-    .unwrap();
+    let (holder, _) =
+        swarm_log::reconstruct::locate_fragment(&*transport, ClientId::new(1), addr.fid).unwrap();
     log.forget_fragment(addr.fid);
     transport.set_down(holder, true);
     assert_eq!(log.read(addr).unwrap(), b"probe");

@@ -32,7 +32,14 @@ impl FaultPlan {
 
     /// Marks the server down (or back up).
     pub fn set_down(&self, down: bool) {
-        self.down.store(down, Ordering::SeqCst);
+        let was = self.down.swap(down, Ordering::SeqCst);
+        if down && !was {
+            static DOWNS: std::sync::OnceLock<swarm_metrics::Counter> = std::sync::OnceLock::new();
+            DOWNS
+                .get_or_init(|| swarm_metrics::counter("net.fault.down_transitions"))
+                .inc();
+            swarm_metrics::trace!("net.fault", "server marked down");
+        }
     }
 
     /// Is the server currently down?
@@ -44,7 +51,8 @@ impl FaultPlan {
     /// (counting from now).
     pub fn fail_after(&self, n: u64) {
         let served = self.served.load(Ordering::SeqCst);
-        self.fail_after.store(served.saturating_add(n), Ordering::SeqCst);
+        self.fail_after
+            .store(served.saturating_add(n), Ordering::SeqCst);
     }
 
     /// Clears any scheduled failure.

@@ -23,6 +23,25 @@ struct Member {
     faults: Arc<FaultPlan>,
 }
 
+struct MemMetrics {
+    requests: swarm_metrics::Counter,
+    injected_faults: swarm_metrics::Counter,
+    bytes_out: swarm_metrics::Counter,
+    bytes_in: swarm_metrics::Counter,
+    call_us: swarm_metrics::Histogram,
+}
+
+fn mem_metrics() -> &'static MemMetrics {
+    static M: std::sync::OnceLock<MemMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| MemMetrics {
+        requests: swarm_metrics::counter("net.mem.requests"),
+        injected_faults: swarm_metrics::counter("net.mem.injected_faults"),
+        bytes_out: swarm_metrics::counter("net.mem.bytes_out"),
+        bytes_in: swarm_metrics::counter("net.mem.bytes_in"),
+        call_us: swarm_metrics::histogram("net.mem.call_us"),
+    })
+}
+
 /// An in-process cluster of storage servers.
 ///
 /// # Example
@@ -129,18 +148,31 @@ struct MemConnection {
 
 impl Connection for MemConnection {
     fn call(&mut self, request: &Request) -> Result<Response> {
+        let m = mem_metrics();
+        m.requests.inc();
         if self.faults.on_call() {
+            m.injected_faults.inc();
+            swarm_metrics::trace!(
+                "net.mem.fault",
+                "injected failure calling server {}",
+                self.server
+            );
             return Err(SwarmError::ServerUnavailable(self.server));
         }
+        let span = m.call_us.span("net.mem.call");
         let response = if self.verify_codec {
             // Round-trip through the exact bytes a socket would carry.
             let wire = request.encode_to_vec();
+            m.bytes_out.add(wire.len() as u64);
             let decoded = Request::decode_all(&wire)?;
             let response = self.handler.handle(self.client, decoded);
-            Response::decode_all(&response.encode_to_vec())?
+            let wire = response.encode_to_vec();
+            m.bytes_in.add(wire.len() as u64);
+            Response::decode_all(&wire)?
         } else {
             self.handler.handle(self.client, request.clone())
         };
+        drop(span);
         Ok(response)
     }
 

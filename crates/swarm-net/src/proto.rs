@@ -164,6 +164,11 @@ pub enum Request {
     Stat,
     /// Liveness probe.
     Ping,
+    /// Fetch the server process's full metrics snapshot (counters, gauges,
+    /// latency histograms) as JSON. Richer than [`Request::Stat`]: covers
+    /// every subsystem registered with `swarm-metrics`, not just the
+    /// fragment-store counters.
+    Metrics,
 }
 
 /// A reply from a storage server.
@@ -182,6 +187,8 @@ pub enum Response {
     AclCreated(Aid),
     /// `Stat` result.
     Stats(ServerStats),
+    /// `Metrics` result: a JSON metrics snapshot (see `swarm-metrics`).
+    Metrics(String),
     /// The operation failed; see [`wire_error`].
     Err {
         /// Error category code (see `wire_error` mapping).
@@ -251,7 +258,9 @@ pub mod wire_error {
     /// Encodes `err` as a `(code, datum, detail)` triple.
     pub fn to_wire(err: &SwarmError) -> (u16, u64, String) {
         match err {
-            SwarmError::FragmentNotFound(fid) => (code::FRAGMENT_NOT_FOUND, fid.raw(), String::new()),
+            SwarmError::FragmentNotFound(fid) => {
+                (code::FRAGMENT_NOT_FOUND, fid.raw(), String::new())
+            }
             SwarmError::FragmentExists(fid) => (code::FRAGMENT_EXISTS, fid.raw(), String::new()),
             SwarmError::RangeOutOfBounds { addr, stored } => (
                 code::RANGE,
@@ -305,6 +314,7 @@ mod tag {
     pub const ACL_DELETE: u8 = 9;
     pub const STAT: u8 = 10;
     pub const PING: u8 = 11;
+    pub const METRICS: u8 = 12;
 
     pub const R_OK: u8 = 128;
     pub const R_DATA: u8 = 129;
@@ -312,6 +322,7 @@ mod tag {
     pub const R_LOCATED: u8 = 131;
     pub const R_ACL_CREATED: u8 = 132;
     pub const R_STATS: u8 = 133;
+    pub const R_METRICS: u8 = 134;
     pub const R_ERR: u8 = 255;
 }
 
@@ -370,6 +381,7 @@ impl Encode for Request {
             }
             Request::Stat => w.put_u8(tag::STAT),
             Request::Ping => w.put_u8(tag::PING),
+            Request::Metrics => w.put_u8(tag::METRICS),
         }
     }
 }
@@ -427,11 +439,8 @@ impl Decode for Request {
             },
             tag::STAT => Request::Stat,
             tag::PING => Request::Ping,
-            other => {
-                return Err(SwarmError::protocol(format!(
-                    "unknown request tag {other}"
-                )))
-            }
+            tag::METRICS => Request::Metrics,
+            other => return Err(SwarmError::protocol(format!("unknown request tag {other}"))),
         })
     }
 }
@@ -466,6 +475,10 @@ impl Encode for Response {
                 w.put_u8(tag::R_STATS);
                 s.encode(w);
             }
+            Response::Metrics(json) => {
+                w.put_u8(tag::R_METRICS);
+                w.put_str(json);
+            }
             Response::Err {
                 code,
                 datum,
@@ -496,6 +509,7 @@ impl Decode for Response {
             }
             tag::R_ACL_CREATED => Response::AclCreated(Aid::decode(r)?),
             tag::R_STATS => Response::Stats(ServerStats::decode(r)?),
+            tag::R_METRICS => Response::Metrics(r.get_str()?),
             tag::R_ERR => Response::Err {
                 code: r.get_u16()?,
                 datum: r.get_u64()?,
@@ -567,6 +581,7 @@ mod tests {
         roundtrip_req(Request::AclDelete { aid: Aid::new(9) });
         roundtrip_req(Request::Stat);
         roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Metrics);
     }
 
     #[test]
@@ -586,6 +601,7 @@ mod tests {
             deletes: 5,
             capacity_fragments: 6,
         }));
+        roundtrip_resp(Response::Metrics("{\"counters\": {}}".into()));
         roundtrip_resp(Response::Err {
             code: 4,
             datum: 2,
@@ -622,7 +638,10 @@ mod tests {
         for err in cases {
             let resp = Response::from_error(&err);
             let buf = resp.encode_to_vec();
-            let back = Response::decode_all(&buf).unwrap().into_result().unwrap_err();
+            let back = Response::decode_all(&buf)
+                .unwrap()
+                .into_result()
+                .unwrap_err();
             // Same variant family (FragmentNotFound stays FragmentNotFound, etc.)
             match (&err, &back) {
                 (SwarmError::FragmentNotFound(a), SwarmError::FragmentNotFound(b)) => {
@@ -630,7 +649,10 @@ mod tests {
                 }
                 (SwarmError::FragmentExists(a), SwarmError::FragmentExists(b)) => assert_eq!(a, b),
                 (SwarmError::RangeOutOfBounds { .. }, SwarmError::Corrupt(_)) => {}
-                (SwarmError::AccessDenied { aid: a, .. }, SwarmError::AccessDenied { aid: b, .. }) => {
+                (
+                    SwarmError::AccessDenied { aid: a, .. },
+                    SwarmError::AccessDenied { aid: b, .. },
+                ) => {
                     assert_eq!(a, b)
                 }
                 (SwarmError::AclNotFound(a), SwarmError::AclNotFound(b)) => assert_eq!(a, b),

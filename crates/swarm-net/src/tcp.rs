@@ -12,16 +12,63 @@ use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
+use swarm_metrics::{Counter, Histogram};
 use swarm_types::{ByteWriter, ClientId, Decode, Encode, Result, ServerId, SwarmError};
 
 use crate::frame::{read_frame, write_frame};
 use crate::handler::RequestHandler;
 use crate::proto::{Request, Response};
 use crate::transport::{Connection, Transport};
+
+/// How long the accept loop sleeps after a failed `accept()` before trying
+/// again, so a persistent error (fd exhaustion, dead listener) cannot spin
+/// a core at 100%.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Consecutive `accept()` failures after which the accept loop concludes
+/// the listener is dead and exits. A successful accept resets the count.
+const ACCEPT_ERROR_LIMIT: u32 = 100;
+
+/// Default read/write timeout for client connections; long enough for a
+/// slow disk on the far side, short enough that a hung server surfaces as
+/// [`SwarmError::ServerUnavailable`] and the writer's retry path engages.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct NetMetrics {
+    accept_errors: Counter,
+    server_connections: Counter,
+    server_requests: Counter,
+    server_bytes_in: Counter,
+    server_bytes_out: Counter,
+    server_request_us: Histogram,
+    client_connects: Counter,
+    client_call_errors: Counter,
+    client_bytes_out: Counter,
+    client_bytes_in: Counter,
+    client_call_us: Histogram,
+}
+
+fn metrics() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| NetMetrics {
+        accept_errors: swarm_metrics::counter("net.server.accept_errors"),
+        server_connections: swarm_metrics::counter("net.server.connections"),
+        server_requests: swarm_metrics::counter("net.server.requests"),
+        server_bytes_in: swarm_metrics::counter("net.server.bytes_in"),
+        server_bytes_out: swarm_metrics::counter("net.server.bytes_out"),
+        server_request_us: swarm_metrics::histogram("net.server.request_us"),
+        client_connects: swarm_metrics::counter("net.client.connects"),
+        client_call_errors: swarm_metrics::counter("net.client.call_errors"),
+        client_bytes_out: swarm_metrics::counter("net.client.bytes_out"),
+        client_bytes_in: swarm_metrics::counter("net.client.bytes_in"),
+        client_call_us: swarm_metrics::histogram("net.client.call_us"),
+    })
+}
 
 /// A running TCP storage-server endpoint.
 ///
@@ -107,16 +154,42 @@ fn accept_loop(
     handler: Arc<dyn RequestHandler>,
     stop: Arc<AtomicBool>,
 ) {
+    let mut consecutive_errors = 0u32;
     loop {
-        let Ok((stream, _peer)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
-                return;
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(err) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Back off instead of spinning: a persistent accept failure
+                // (fd exhaustion, listener torn down) would otherwise loop
+                // at 100% CPU. Past the limit the listener is considered
+                // dead and the loop exits cleanly.
+                metrics().accept_errors.inc();
+                consecutive_errors += 1;
+                swarm_metrics::trace!(
+                    "net.accept",
+                    "server {} accept error ({consecutive_errors} consecutive): {err}",
+                    id.raw()
+                );
+                if consecutive_errors >= ACCEPT_ERROR_LIMIT {
+                    swarm_metrics::trace!(
+                        "net.accept",
+                        "server {} giving up on dead listener",
+                        id.raw()
+                    );
+                    return;
+                }
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                continue;
             }
-            continue;
         };
+        consecutive_errors = 0;
         if stop.load(Ordering::SeqCst) {
             return;
         }
+        metrics().server_connections.inc();
         let handler = handler.clone();
         let _ = std::thread::Builder::new()
             .name(format!("swarm-conn-{}", id.raw()))
@@ -127,11 +200,7 @@ fn accept_loop(
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    id: ServerId,
-    handler: &dyn RequestHandler,
-) -> Result<()> {
+fn serve_connection(stream: TcpStream, id: ServerId, handler: &dyn RequestHandler) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -149,11 +218,18 @@ fn serve_connection(
             Err(SwarmError::Io(_)) => return Ok(()), // peer hung up
             Err(e) => return Err(e),
         };
+        let m = metrics();
+        m.server_requests.inc();
+        m.server_bytes_in.add(frame.len() as u64);
+        let span = m.server_request_us.span("net.server.request");
         let response = match Request::decode_all(&frame) {
             Ok(request) => handler.handle(client, request),
             Err(e) => Response::from_error(&e),
         };
-        write_frame(&mut writer, &response.encode_to_vec())?;
+        drop(span);
+        let encoded = response.encode_to_vec();
+        m.server_bytes_out.add(encoded.len() as u64);
+        write_frame(&mut writer, &encoded)?;
     }
 }
 
@@ -163,9 +239,21 @@ fn serve_connection(
 /// handshake. The server set is fixed at construction (plus
 /// [`TcpTransport::add_server`]), mirroring the prototype where clients
 /// know the cluster membership.
-#[derive(Debug, Default)]
+///
+/// Connections carry read/write socket timeouts
+/// ([`DEFAULT_CALL_TIMEOUT`] unless overridden with
+/// [`TcpTransport::set_call_timeout`]), so a hung server surfaces as
+/// [`SwarmError::ServerUnavailable`] instead of wedging the caller forever.
+#[derive(Debug)]
 pub struct TcpTransport {
     servers: Mutex<BTreeMap<ServerId, SocketAddr>>,
+    call_timeout: Mutex<Option<Duration>>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TcpTransport {
@@ -173,6 +261,7 @@ impl TcpTransport {
     pub fn new() -> Self {
         TcpTransport {
             servers: Mutex::new(BTreeMap::new()),
+            call_timeout: Mutex::new(Some(DEFAULT_CALL_TIMEOUT)),
         }
     }
 
@@ -180,7 +269,19 @@ impl TcpTransport {
     pub fn with_servers(servers: impl IntoIterator<Item = (ServerId, SocketAddr)>) -> Self {
         TcpTransport {
             servers: Mutex::new(servers.into_iter().collect()),
+            call_timeout: Mutex::new(Some(DEFAULT_CALL_TIMEOUT)),
         }
+    }
+
+    /// Sets the per-call socket timeout for connections opened after this
+    /// call (`None` = block forever, the pre-timeout behaviour).
+    pub fn set_call_timeout(&self, timeout: Option<Duration>) {
+        *self.call_timeout.lock() = timeout;
+    }
+
+    /// The currently configured per-call socket timeout.
+    pub fn call_timeout(&self) -> Option<Duration> {
+        *self.call_timeout.lock()
     }
 
     /// Adds (or re-addresses) a server.
@@ -201,16 +302,24 @@ impl Transport for TcpTransport {
             .lock()
             .get(&server)
             .ok_or(SwarmError::ServerUnavailable(server))?;
-        let stream =
-            TcpStream::connect(addr).map_err(|_| SwarmError::ServerUnavailable(server))?;
+        let stream = TcpStream::connect(addr).map_err(|_| SwarmError::ServerUnavailable(server))?;
         stream.set_nodelay(true)?;
+        let timeout = self.call_timeout();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        metrics().client_connects.inc();
+        swarm_metrics::trace!("net.connect", "client {client} -> server {server}");
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
 
+        // A server that stalls mid-handshake is indistinguishable from a
+        // down one: surface frame I/O failures (including the socket
+        // timeouts set above) as ServerUnavailable so retry engages.
         let mut w = ByteWriter::new();
         client.encode(&mut w);
-        write_frame(&mut writer, w.as_slice())?;
-        let ack = read_frame(&mut reader)?;
+        write_frame(&mut writer, w.as_slice())
+            .map_err(|_| SwarmError::ServerUnavailable(server))?;
+        let ack = read_frame(&mut reader).map_err(|_| SwarmError::ServerUnavailable(server))?;
         let got = ServerId::decode_all(&ack)?;
         if got != server {
             return Err(SwarmError::protocol(format!(
@@ -238,10 +347,21 @@ struct TcpConnection {
 
 impl Connection for TcpConnection {
     fn call(&mut self, request: &Request) -> Result<Response> {
-        write_frame(&mut self.writer, &request.encode_to_vec())
-            .map_err(|_| SwarmError::ServerUnavailable(self.server))?;
-        let frame =
-            read_frame(&mut self.reader).map_err(|_| SwarmError::ServerUnavailable(self.server))?;
+        let m = metrics();
+        let span = m.client_call_us.span("net.client.call");
+        let encoded = request.encode_to_vec();
+        // Any socket-level failure — including a read/write timeout on a
+        // hung server — becomes ServerUnavailable so the log layer's retry
+        // and reconnect machinery engages.
+        let unavailable = |server| {
+            metrics().client_call_errors.inc();
+            SwarmError::ServerUnavailable(server)
+        };
+        write_frame(&mut self.writer, &encoded).map_err(|_| unavailable(self.server))?;
+        m.client_bytes_out.add(encoded.len() as u64);
+        let frame = read_frame(&mut self.reader).map_err(|_| unavailable(self.server))?;
+        m.client_bytes_in.add(frame.len() as u64);
+        drop(span);
         Response::decode_all(&frame)
     }
 
@@ -264,8 +384,7 @@ mod tests {
             Arc::new(EchoStore::default()),
         )
         .unwrap();
-        let transport =
-            TcpTransport::with_servers([(ServerId::new(0), server.addr())]);
+        let transport = TcpTransport::with_servers([(ServerId::new(0), server.addr())]);
         let mut conn = transport
             .connect(ServerId::new(0), ClientId::new(5))
             .unwrap();
@@ -351,5 +470,55 @@ mod tests {
         assert!(transport
             .connect(ServerId::new(1), ClientId::new(0))
             .is_err());
+    }
+
+    /// Regression test: a server that accepts the handshake but never
+    /// answers a request used to wedge the client forever; with socket
+    /// timeouts the call fails as ServerUnavailable within the timeout.
+    #[test]
+    fn call_times_out_on_hung_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stall = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            let _hello = read_frame(&mut reader).unwrap();
+            let mut w = ByteWriter::new();
+            ServerId::new(9).encode(&mut w);
+            write_frame(&mut writer, w.as_slice()).unwrap();
+            // Swallow the request and never reply; exit when the client
+            // hangs up (the read fails once the connection is dropped).
+            let _req = read_frame(&mut reader);
+            let _ = read_frame(&mut reader);
+        });
+
+        let transport = TcpTransport::with_servers([(ServerId::new(9), addr)]);
+        transport.set_call_timeout(Some(Duration::from_millis(200)));
+        let mut conn = transport
+            .connect(ServerId::new(9), ClientId::new(1))
+            .unwrap();
+        let start = std::time::Instant::now();
+        let err = conn.call(&Request::Ping).unwrap_err();
+        assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "hung for {:?} instead of timing out",
+            start.elapsed()
+        );
+        drop(conn);
+        stall.join().unwrap();
+    }
+
+    /// The configured timeout is observable and `None` restores blocking
+    /// semantics for newly opened connections.
+    #[test]
+    fn call_timeout_is_configurable() {
+        let transport = TcpTransport::new();
+        assert_eq!(transport.call_timeout(), Some(DEFAULT_CALL_TIMEOUT));
+        transport.set_call_timeout(Some(Duration::from_secs(1)));
+        assert_eq!(transport.call_timeout(), Some(Duration::from_secs(1)));
+        transport.set_call_timeout(None);
+        assert_eq!(transport.call_timeout(), None);
     }
 }

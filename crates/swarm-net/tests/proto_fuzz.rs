@@ -15,21 +15,33 @@ fn arb_request() -> impl Strategy<Value = Request> {
             arb_fid(),
             any::<bool>(),
             proptest::collection::vec(
-                (any::<u32>(), any::<u32>(), any::<u32>())
-                    .prop_map(|(o, l, a)| StoreRange { offset: o, len: l, aid: Aid::new(a) }),
+                (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(o, l, a)| StoreRange {
+                    offset: o,
+                    len: l,
+                    aid: Aid::new(a)
+                }),
                 0..4
             ),
             proptest::collection::vec(any::<u8>(), 0..512),
         )
-            .prop_map(|(fid, marked, ranges, data)| Request::Store { fid, marked, ranges, data }),
-        (arb_fid(), any::<u32>(), any::<u32>())
-            .prop_map(|(fid, offset, len)| Request::Read { fid, offset, len }),
+            .prop_map(|(fid, marked, ranges, data)| Request::Store {
+                fid,
+                marked,
+                ranges,
+                data
+            }),
+        (arb_fid(), any::<u32>(), any::<u32>()).prop_map(|(fid, offset, len)| Request::Read {
+            fid,
+            offset,
+            len
+        }),
         arb_fid().prop_map(|fid| Request::Delete { fid }),
         (arb_fid(), any::<u32>()).prop_map(|(fid, len)| Request::Preallocate { fid, len }),
         Just(Request::LastMarked),
         (arb_fid(), any::<u32>()).prop_map(|(fid, header_len)| Request::Locate { fid, header_len }),
-        proptest::collection::vec(0u32..1000, 0..6)
-            .prop_map(|m| Request::AclCreate { members: m.into_iter().map(ClientId::new).collect() }),
+        proptest::collection::vec(0u32..1000, 0..6).prop_map(|m| Request::AclCreate {
+            members: m.into_iter().map(ClientId::new).collect()
+        }),
         Just(Request::Stat),
         Just(Request::Ping),
     ]

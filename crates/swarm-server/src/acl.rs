@@ -68,7 +68,10 @@ impl AclDb {
             return Err(SwarmError::invalid("the world ACL is immutable"));
         }
         let mut inner = self.inner.write();
-        let members = inner.acls.get_mut(&aid).ok_or(SwarmError::AclNotFound(aid))?;
+        let members = inner
+            .acls
+            .get_mut(&aid)
+            .ok_or(SwarmError::AclNotFound(aid))?;
         for c in add {
             members.insert(c);
         }
@@ -175,10 +178,7 @@ impl AclDb {
             if !overlaps || r.aid == Aid::WORLD {
                 continue;
             }
-            let admitted = inner
-                .acls
-                .get(&r.aid)
-                .is_some_and(|m| m.contains(&client));
+            let admitted = inner.acls.get(&r.aid).is_some_and(|m| m.contains(&client));
             if !admitted {
                 return Err(SwarmError::AccessDenied { aid: r.aid, op });
             }

@@ -135,8 +135,7 @@ impl FileStore {
                         FragmentId::from_raw(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
                     let len = u32::from_le_bytes(payload[9..13].try_into().unwrap());
                     let marked = payload[13] != 0;
-                    if let Some((old_len, old_marked)) =
-                        inner.fragments.insert(fid, (len, marked))
+                    if let Some((old_len, old_marked)) = inner.fragments.insert(fid, (len, marked))
                     {
                         // Duplicate store entries can only come from
                         // compaction races; keep accounting consistent.
@@ -164,11 +163,7 @@ impl FileStore {
                         }
                     }
                 }
-                other => {
-                    return Err(SwarmError::corrupt(format!(
-                        "unknown journal op {other}"
-                    )))
-                }
+                other => return Err(SwarmError::corrupt(format!("unknown journal op {other}"))),
             }
         }
         Ok(())
@@ -211,7 +206,10 @@ impl FileStore {
     }
 
     fn append_journal(&self, inner: &mut Inner, payload: &[u8]) -> Result<()> {
-        let journal = inner.journal.as_mut().ok_or(SwarmError::Closed("journal"))?;
+        let journal = inner
+            .journal
+            .as_mut()
+            .ok_or(SwarmError::Closed("journal"))?;
         let mut rec = Vec::with_capacity(8 + payload.len());
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -383,13 +381,10 @@ impl FragmentStore for FileStore {
 
     fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
         let inner = self.inner.lock();
-        inner
-            .fragments
-            .get(&fid)
-            .map(|(len, marked)| FragmentMeta {
-                len: *len,
-                marked: *marked,
-            })
+        inner.fragments.get(&fid).map(|(len, marked)| FragmentMeta {
+            len: *len,
+            marked: *marked,
+        })
     }
 
     fn last_marked(&self, client: ClientId) -> Option<FragmentId> {

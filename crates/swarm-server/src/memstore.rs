@@ -123,10 +123,13 @@ impl FragmentStore for MemStore {
 
     fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
         let inner = self.inner.lock();
-        inner.fragments.get(&fid).map(|(data, marked)| FragmentMeta {
-            len: data.len() as u32,
-            marked: *marked,
-        })
+        inner
+            .fragments
+            .get(&fid)
+            .map(|(data, marked)| FragmentMeta {
+                len: data.len() as u32,
+                marked: *marked,
+            })
     }
 
     fn last_marked(&self, client: ClientId) -> Option<FragmentId> {

@@ -12,6 +12,31 @@ use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
 use crate::acl::AclDb;
 use crate::store::FragmentStore;
 
+struct ServerMetrics {
+    stores: swarm_metrics::Counter,
+    store_bytes: swarm_metrics::Counter,
+    reads: swarm_metrics::Counter,
+    deletes: swarm_metrics::Counter,
+    cache_hits: swarm_metrics::Counter,
+    errors: swarm_metrics::Counter,
+    store_us: swarm_metrics::Histogram,
+    read_us: swarm_metrics::Histogram,
+}
+
+fn metrics() -> &'static ServerMetrics {
+    static M: std::sync::OnceLock<ServerMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| ServerMetrics {
+        stores: swarm_metrics::counter("server.stores"),
+        store_bytes: swarm_metrics::counter("server.store_bytes"),
+        reads: swarm_metrics::counter("server.reads"),
+        deletes: swarm_metrics::counter("server.deletes"),
+        cache_hits: swarm_metrics::counter("server.cache_hits"),
+        errors: swarm_metrics::counter("server.errors"),
+        store_us: swarm_metrics::histogram("server.store_us"),
+        read_us: swarm_metrics::histogram("server.read_us"),
+    })
+}
+
 /// A complete Swarm storage server.
 ///
 /// Generic over its [`FragmentStore`] so the identical request-handling
@@ -155,6 +180,10 @@ impl<S: FragmentStore> StorageServer<S> {
                 data,
             } => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
+                let m = metrics();
+                m.stores.inc();
+                m.store_bytes.add(data.len() as u64);
+                let _span = m.store_us.span("server.store");
                 // Validate ranges (and record them) before committing the
                 // bytes so a bad request stores nothing.
                 self.acls.attach_ranges(fid, ranges)?;
@@ -169,12 +198,16 @@ impl<S: FragmentStore> StorageServer<S> {
             }
             Request::Read { fid, offset, len } => {
                 self.reads.fetch_add(1, Ordering::Relaxed);
+                let m = metrics();
+                m.reads.inc();
+                let _span = m.read_us.span("server.read");
                 self.acls.check(fid, offset, len, client, "read")?;
                 if let Some(cache) = &self.cache {
                     if let Some(bytes) = cache.lock().get(fid) {
                         let end = offset as usize + len as usize;
                         if end <= bytes.len() {
                             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            m.cache_hits.inc();
                             return Ok(Response::Data(bytes[offset as usize..end].to_vec()));
                         }
                     }
@@ -184,6 +217,7 @@ impl<S: FragmentStore> StorageServer<S> {
             }
             Request::Delete { fid } => {
                 self.deletes.fetch_add(1, Ordering::Relaxed);
+                metrics().deletes.inc();
                 self.acls.check(fid, 0, u32::MAX, client, "delete")?;
                 self.store.delete(fid)?;
                 self.acls.detach_ranges(fid);
@@ -217,6 +251,7 @@ impl<S: FragmentStore> StorageServer<S> {
             }
             Request::Stat => Ok(Response::Stats(self.stats())),
             Request::Ping => Ok(Response::Ok),
+            Request::Metrics => Ok(Response::Metrics(swarm_metrics::snapshot().to_json())),
             other => Err(SwarmError::protocol(format!(
                 "unsupported request {other:?}"
             ))),
@@ -228,7 +263,15 @@ impl<S: FragmentStore> RequestHandler for StorageServer<S> {
     fn handle(&self, client: ClientId, request: Request) -> Response {
         match self.dispatch(client, request) {
             Ok(resp) => resp,
-            Err(e) => Response::from_error(&e),
+            Err(e) => {
+                metrics().errors.inc();
+                swarm_metrics::trace!(
+                    "server.error",
+                    "server {} request from {client} failed: {e}",
+                    self.id.raw()
+                );
+                Response::from_error(&e)
+            }
         }
     }
 }

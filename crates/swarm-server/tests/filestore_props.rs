@@ -14,8 +14,7 @@ impl TempDir {
             .duration_since(std::time::UNIX_EPOCH)
             .unwrap()
             .as_nanos();
-        let path =
-            std::env::temp_dir().join(format!("swarm-fsprop-{}-{n}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("swarm-fsprop-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).unwrap();
         TempDir(path)
     }

@@ -140,7 +140,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Looks up without touching recency or stats (for tests/diagnostics).
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map.get(key).and_then(|&idx| self.slots[idx].value.as_ref())
+        self.map
+            .get(key)
+            .and_then(|&idx| self.slots[idx].value.as_ref())
     }
 
     /// Inserts (or replaces) an entry, evicting the coldest if full.

@@ -195,7 +195,9 @@ impl LogicalDisk {
             map.insert(lba, addr);
         }
         if !r.is_empty() {
-            return Err(SwarmError::corrupt("trailing bytes in logical disk checkpoint"));
+            return Err(SwarmError::corrupt(
+                "trailing bytes in logical disk checkpoint",
+            ));
         }
         self.state.lock().map = map;
         Ok(())
@@ -383,7 +385,9 @@ mod tests {
         disk.write(4, b"payload").unwrap();
         disk.flush().unwrap();
         let old = *disk.state.lock().map.get(&4).unwrap();
-        let new_addr = log.append_block(DISK_SVC, &create_info(4), b"payload").unwrap();
+        let new_addr = log
+            .append_block(DISK_SVC, &create_info(4), b"payload")
+            .unwrap();
         log.flush().unwrap();
         let mut svc = LogicalDiskService::new(disk.clone());
         svc.block_moved(old, new_addr, &create_info(4)).unwrap();

@@ -83,8 +83,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
         if best_len >= MIN_MATCH {
             emit(&mut out, &mut flags_pos, &mut flag_bit, true);
-            let token = ((best_off as u16) & 0x0fff)
-                | (((best_len - MIN_MATCH) as u16) << 12);
+            let token = ((best_off as u16) & 0x0fff) | (((best_len - MIN_MATCH) as u16) << 12);
             out.extend_from_slice(&token.to_le_bytes());
             // Insert hash entries for every covered position.
             let end = i + best_len;

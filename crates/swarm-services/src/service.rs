@@ -81,7 +81,9 @@ impl std::fmt::Debug for ServiceStack {
             .iter()
             .map(|(id, s)| format!("{id}:{}", s.lock().name()))
             .collect();
-        f.debug_struct("ServiceStack").field("services", &names).finish()
+        f.debug_struct("ServiceStack")
+            .field("services", &names)
+            .finish()
     }
 }
 

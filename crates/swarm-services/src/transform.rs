@@ -162,7 +162,9 @@ pub struct TransformStack {
 impl std::fmt::Debug for TransformStack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.transforms.iter().map(|t| t.name()).collect();
-        f.debug_struct("TransformStack").field("layers", &names).finish()
+        f.debug_struct("TransformStack")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -273,7 +275,10 @@ mod tests {
         let mut encoded = stack.encode(data.clone(), 99);
         assert_eq!(stack.decode(encoded.clone(), 99).unwrap(), data);
         encoded[0] ^= 1;
-        assert!(stack.decode(encoded, 99).is_err(), "outer checksum catches tampering");
+        assert!(
+            stack.decode(encoded, 99).is_err(),
+            "outer checksum catches tampering"
+        );
     }
 
     #[test]

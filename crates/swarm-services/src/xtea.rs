@@ -44,7 +44,8 @@ pub fn encrypt_block(key: &Key, block: u64) -> u64 {
     let mut sum = 0u32;
     for _ in 0..ROUNDS {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key.0[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key.0[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -67,7 +68,8 @@ pub fn decrypt_block(key: &Key, block: u64) -> u64 {
         );
         sum = sum.wrapping_sub(DELTA);
         v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key.0[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key.0[(sum & 3) as usize])),
         );
     }
     ((v0 as u64) << 32) | v1 as u64

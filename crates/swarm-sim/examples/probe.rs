@@ -3,7 +3,10 @@ fn main() {
     for clients in [1u32, 2, 4] {
         for servers in [1u32, 2, 3, 4, 5, 6, 7, 8] {
             let p = swarm_sim::simulate_write(&cal, clients, servers, 50_000, 4096);
-            println!("c={clients} s={servers} raw={:.2} useful={:.2}", p.raw_mb_per_s, p.useful_mb_per_s);
+            println!(
+                "c={clients} s={servers} raw={:.2} useful={:.2}",
+                p.raw_mb_per_s, p.useful_mb_per_s
+            );
         }
     }
     let r = swarm_sim::simulate_read(&cal, 50_000, 4096);

@@ -94,13 +94,19 @@ mod tests {
     fn server_rate_matches_paper() {
         let cal = Calibration::testbed_1999();
         let rate = cal.fragment_size as f64 / cal.server_fragment_us(cal.fragment_size) as f64;
-        assert!((rate - 7.7).abs() < 0.1, "server {rate:.2} MB/s, paper says 7.7");
+        assert!(
+            (rate - 7.7).abs() < 0.1,
+            "server {rate:.2} MB/s, paper says 7.7"
+        );
     }
 
     #[test]
     fn network_is_not_the_single_client_bottleneck() {
         let cal = Calibration::testbed_1999();
         assert!(cal.net_mb_per_s > 6.4, "100 Mb/s > client ceiling");
-        assert!(cal.net_mb_per_s > cal.server_mb_per_s, "link outruns a server");
+        assert!(
+            cal.net_mb_per_s > cal.server_mb_per_s,
+            "link outruns a server"
+        );
     }
 }

@@ -236,11 +236,7 @@ pub fn simulate_read_prefetch(cal: &Calibration, blocks: u64, block_size: u64) -
 /// a width-2 group degrades gracefully (the "reconstruction" is just a
 /// mirror read), and wider groups pay more per lost fragment while
 /// losing fewer fragments — the product levels off near 2× amplification.
-pub fn simulate_degraded_read(
-    cal: &Calibration,
-    width: u32,
-    fragments: u64,
-) -> (f64, f64) {
+pub fn simulate_degraded_read(cal: &Calibration, width: u32, fragments: u64) -> (f64, f64) {
     assert!(width >= 2);
     let per_fragment_us = |fetches: u64| -> u64 {
         // Each fetch: RPC + link transfer + sequential disk read; fetches
@@ -256,8 +252,7 @@ pub fn simulate_degraded_read(
     // rebuild, plus XORing those width-2 members into the parity on the
     // client CPU (at width 2 the parity IS the data — a free mirror).
     let lost = fragments / width as u64;
-    let xor_us =
-        (cal.fragment_size as f64 * cal.client_cpu_per_byte * (width as f64 - 2.0)) as u64;
+    let xor_us = (cal.fragment_size as f64 * cal.client_cpu_per_byte * (width as f64 - 2.0)) as u64;
     let degraded_us = (fragments - lost) * per_fragment_us(1)
         + lost * (per_fragment_us((width - 1) as u64) + xor_us);
     let bytes = (fragments * cal.fragment_size) as f64;
@@ -385,8 +380,10 @@ mod tests {
         // §2.1.2: with a 2-wide group the "reconstruction" is reading the
         // parity mirror — no amplification at all.
         let (healthy, degraded) = simulate_degraded_read(&cal(), 2, 200);
-        assert!((healthy - degraded).abs() / healthy < 0.02,
-            "w=2: healthy {healthy:.2} vs degraded {degraded:.2}");
+        assert!(
+            (healthy - degraded).abs() / healthy < 0.02,
+            "w=2: healthy {healthy:.2} vs degraded {degraded:.2}"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl SimDisk {
         SimDisk {
             avg_seek_us: 8_000,
             short_seek_us: 1_500,
-            avg_rot_us: 4_170, // half of 8.33 ms at 7200 RPM
+            avg_rot_us: 4_170,  // half of 8.33 ms at 7200 RPM
             seq_mb_per_s: 10.8, // media rate; 1 MB incl. one seek+rot ≈ 10.3 MB/s
         }
     }

@@ -92,9 +92,13 @@ impl Ext2Sim {
         self.dirty_metadata_blocks = 0;
         // Data: one positioning per extent, then sequential streaming.
         for bytes in self.dirty_data_extents.drain(..) {
-            us += self.disk.access_us(bytes.min(self.block_size), Locality::Nearby);
+            us += self
+                .disk
+                .access_us(bytes.min(self.block_size), Locality::Nearby);
             if bytes > self.block_size {
-                us += self.disk.access_us(bytes - self.block_size, Locality::Sequential);
+                us += self
+                    .disk
+                    .access_us(bytes - self.block_size, Locality::Sequential);
             }
         }
         self.disk_us += us;

@@ -34,11 +34,11 @@ pub mod mab;
 pub mod timeline;
 
 pub use calib::Calibration;
-pub use ext2sim::Ext2Sim;
-pub use mab::{mab_workload, run_ext2_model, run_sting_model, FsOp, MabConfig, MabResult};
 pub use cluster::{
-    simulate_degraded_read, simulate_read, simulate_read_prefetch, simulate_write,
-    BandwidthPoint, ReadPoint,
+    simulate_degraded_read, simulate_read, simulate_read_prefetch, simulate_write, BandwidthPoint,
+    ReadPoint,
 };
 pub use disk::SimDisk;
+pub use ext2sim::Ext2Sim;
+pub use mab::{mab_workload, run_ext2_model, run_sting_model, FsOp, MabConfig, MabResult};
 pub use timeline::Timeline;

@@ -293,11 +293,20 @@ mod tests {
     #[test]
     fn workload_has_five_phases_worth_of_ops() {
         let ops = mab_workload(&MabConfig::default());
-        let writes = ops.iter().filter(|o| matches!(o, FsOp::WriteFile { .. })).count();
-        let reads = ops.iter().filter(|o| matches!(o, FsOp::ReadFile { .. })).count();
+        let writes = ops
+            .iter()
+            .filter(|o| matches!(o, FsOp::WriteFile { .. }))
+            .count();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, FsOp::ReadFile { .. }))
+            .count();
         let stats = ops.iter().filter(|o| matches!(o, FsOp::Stat(_))).count();
         let mkdirs = ops.iter().filter(|o| matches!(o, FsOp::Mkdir(_))).count();
-        let computes = ops.iter().filter(|o| matches!(o, FsOp::Compute { .. })).count();
+        let computes = ops
+            .iter()
+            .filter(|o| matches!(o, FsOp::Compute { .. }))
+            .count();
         assert_eq!(mkdirs, 26);
         assert_eq!(writes, 70 + 70 + 1); // sources + objects + binary
         assert_eq!(reads, 70 * 2 + 70); // grep×2 + compile reads
@@ -374,6 +383,11 @@ mod tests {
     #[test]
     fn ext2_is_disk_bound_sting_is_not() {
         let (sting, ext2) = results();
-        assert!(ext2.io_us > 4 * sting.io_us, "ext2 io {} vs sting io {}", ext2.io_us, sting.io_us);
+        assert!(
+            ext2.io_us > 4 * sting.io_us,
+            "ext2 io {} vs sting io {}",
+            ext2.io_us,
+            sting.io_us
+        );
     }
 }

@@ -18,7 +18,10 @@ pub struct Timeline {
 impl Timeline {
     /// A resource that is free at time zero.
     pub fn new() -> Timeline {
-        Timeline { free_at: 0, busy: 0 }
+        Timeline {
+            free_at: 0,
+            busy: 0,
+        }
     }
 
     /// Acquires the resource for `duration` µs, no earlier than `ready`.

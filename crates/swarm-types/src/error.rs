@@ -104,7 +104,10 @@ impl fmt::Display for SwarmError {
             SwarmError::Protocol(m) => write!(f, "protocol violation: {m}"),
             SwarmError::FragmentNotFound(fid) => write!(f, "fragment {fid} not found"),
             SwarmError::RangeOutOfBounds { addr, stored } => {
-                write!(f, "range {addr} out of bounds (fragment holds {stored} bytes)")
+                write!(
+                    f,
+                    "range {addr} out of bounds (fragment holds {stored} bytes)"
+                )
             }
             SwarmError::FragmentExists(fid) => write!(f, "fragment {fid} already stored"),
             SwarmError::AccessDenied { aid, op } => {

@@ -41,20 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut threads = Vec::new();
     for c in 0..CLIENTS {
         let transport = transport.clone();
-        threads.push(std::thread::spawn(move || -> Result<u64, swarm_types::SwarmError> {
-            let config = LogConfig::new(
-                ClientId::new(c + 1),
-                (0..SERVERS).map(ServerId::new).collect(),
-            )?;
-            let log = Log::create(transport, config)?;
-            let svc = ServiceId::new(1);
-            let block = vec![c as u8; BLOCK_SIZE];
-            for i in 0..BLOCKS_PER_CLIENT {
-                log.append_block(svc, &i.to_le_bytes(), &block)?;
-            }
-            log.flush()?;
-            Ok(BLOCKS_PER_CLIENT as u64 * BLOCK_SIZE as u64)
-        }));
+        threads.push(std::thread::spawn(
+            move || -> Result<u64, swarm_types::SwarmError> {
+                let config = LogConfig::new(
+                    ClientId::new(c + 1),
+                    (0..SERVERS).map(ServerId::new).collect(),
+                )?;
+                let log = Log::create(transport, config)?;
+                let svc = ServiceId::new(1);
+                let block = vec![c as u8; BLOCK_SIZE];
+                for i in 0..BLOCKS_PER_CLIENT {
+                    log.append_block(svc, &i.to_le_bytes(), &block)?;
+                }
+                log.flush()?;
+                Ok(BLOCKS_PER_CLIENT as u64 * BLOCK_SIZE as u64)
+            },
+        ));
     }
     let mut useful_bytes = 0u64;
     for t in threads {
@@ -64,9 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Report ---------------------------------------------------------
     let raw_bytes: u64 = handlers.iter().map(|h| h.store().byte_count()).sum();
-    println!(
-        "\n{CLIENTS} clients × {BLOCKS_PER_CLIENT} × {BLOCK_SIZE} B blocks over real TCP:"
-    );
+    println!("\n{CLIENTS} clients × {BLOCKS_PER_CLIENT} × {BLOCK_SIZE} B blocks over real TCP:");
     println!(
         "  useful: {:.1} MB in {:.2?}  →  {:.1} MB/s aggregate",
         useful_bytes as f64 / 1e6,

@@ -13,7 +13,10 @@ use swarm_types::ServiceId;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svc = ServiceId::new(1);
     let cluster = LocalCluster::new(4)?;
-    println!("cluster: {} storage servers, stripe width 4 (3 data + 1 parity)", cluster.len());
+    println!(
+        "cluster: {} storage servers, stripe width 4 (3 data + 1 parity)",
+        cluster.len()
+    );
 
     // --- Write a striped log ------------------------------------------
     let log = cluster.create_log(1)?;
@@ -26,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote 1 MiB of blocks + a checkpoint; log flushed to the servers");
     for i in 0..4 {
         let s = cluster.server_stats(i);
-        println!("  server {i}: {} fragments, {} KiB", s.fragments, s.bytes / 1024);
+        println!(
+            "  server {i}: {} fragments, {} KiB",
+            s.fragments,
+            s.bytes / 1024
+        );
     }
 
     // --- Survive a server failure -------------------------------------
@@ -62,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = recovered.append_block(svc, b"", b"life goes on")?;
     recovered.flush()?;
     assert_eq!(recovered.read(addr)?, b"life goes on");
-    println!("  new appends continue at fragment seq {}", recovered.next_seq());
+    println!(
+        "  new appends continue at fragment seq {}",
+        recovered.next_seq()
+    );
     Ok(())
 }

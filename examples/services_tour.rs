@@ -13,9 +13,8 @@ use swarm::local::LocalCluster;
 use swarm_cleaner::{CleanPolicy, Cleaner};
 use swarm_log::{recover, Log};
 use swarm_services::{
-    AruService, AruServiceAdapter, ChecksumTransform, CompressTransform, CoopCache,
-    CoopCacheGroup, EncryptTransform, LogicalDisk, LogicalDiskService, Service, ServiceStack,
-    TransformStack,
+    AruService, AruServiceAdapter, ChecksumTransform, CompressTransform, CoopCache, CoopCacheGroup,
+    EncryptTransform, LogicalDisk, LogicalDiskService, Service, ServiceStack, TransformStack,
 };
 use swarm_types::{ClientId, ServiceId};
 
@@ -117,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stack2 = ServiceStack::new();
     let s: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(LogicalDiskService::new(disk.clone())));
     stack2.register(s)?;
-    let cleaner = Arc::new(Cleaner::new(log, Arc::new(stack2), CleanPolicy::CostBenefit));
+    let cleaner = Arc::new(Cleaner::new(
+        log,
+        Arc::new(stack2),
+        CleanPolicy::CostBenefit,
+    ));
     let mut handle = cleaner.spawn_periodic(std::time::Duration::from_millis(10), 16);
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     while handle.totals().stripes_cleaned == 0 && std::time::Instant::now() < deadline {

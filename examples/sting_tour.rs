@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let big: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
     fs.write_file("/data.bin", 0, &big)?;
     let st = fs.stat("/data.bin")?;
-    println!("\n/data.bin: {} bytes in {} blocks (4 KB each)", st.size, st.blocks);
+    println!(
+        "\n/data.bin: {} bytes in {} blocks (4 KB each)",
+        st.size, st.blocks
+    );
 
     // Crash without unmounting — but after a checkpoint + some extra ops.
     fs.checkpoint()?;

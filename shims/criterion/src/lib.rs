@@ -1,0 +1,272 @@
+//! API-compatible subset of the `criterion` crate (no external deps).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the benchmarking surface `swarm-bench` uses is provided here: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! This is a measurement harness, not a statistics suite: each benchmark
+//! gets a short warm-up, then `sample_size` timed samples of an adaptively
+//! chosen batch of iterations. It reports mean ± spread per iteration and
+//! derived throughput. Good enough to compare configurations in-tree;
+//! numbers are not comparable with real criterion output.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (identity function with
+/// an optimization barrier).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How much work one iteration processes, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batching policy for [`Bencher::iter_batched`]. The shim runs one input
+/// per measured call regardless of variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up.
+    SmallInput,
+    /// Inputs are expensive to set up.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last measurement.
+    result: Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample lasts ~1ms.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / warmup_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 100_000);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        self.record(&samples);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        self.record(&samples);
+    }
+
+    /// Upstream's deprecated spelling of per-iteration setup; equivalent
+    /// to `iter_batched` with `BatchSize::PerIteration` here.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, setup: S, routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_batched(setup, routine, BatchSize::PerIteration);
+    }
+
+    fn record(&mut self, samples: &[Duration]) {
+        let total: Duration = samples.iter().sum();
+        self.result = Some(Stats {
+            mean: total / samples.len().max(1) as u32,
+            min: samples.iter().min().copied().unwrap_or_default(),
+            max: samples.iter().max().copied().unwrap_or_default(),
+        });
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_one(&name.into(), self.sample_size, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let rate = tput.map(|t| describe_rate(t, s.mean)).unwrap_or_default();
+            println!(
+                "bench {name:<52} {:>12} (min {:?}, max {:?}){rate}",
+                format!("{:?}", s.mean),
+                s.min,
+                s.max,
+            );
+        }
+        None => println!("bench {name:<52} (no measurement recorded)"),
+    }
+}
+
+fn describe_rate(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Bytes(n) => format!("  {:>9.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        Throughput::Elements(n) => format!("  {:>11.0} elem/s", n as f64 / secs),
+    }
+}
+
+/// Declares a benchmark group entry point, in either the simple or the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(64));
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(
+        name = shim_group;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    );
+    criterion_group!(simple_group, quick);
+
+    #[test]
+    fn groups_run_to_completion() {
+        shim_group();
+        simple_group();
+    }
+}

@@ -1,0 +1,512 @@
+//! API-compatible subset of the `proptest` crate (no external deps).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the property-testing surface the test suite uses is provided here:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, [`any`], [`Just`],
+//! ranges and tuples as strategies, `collection::vec`, `sample::Index`,
+//! weighted [`prop_oneof!`], and the [`proptest!`] macro with
+//! `#![proptest_config(..)]`.
+//!
+//! Differences from upstream, deliberate for this workspace:
+//!
+//! * **No shrinking.** A failing case prints its fully generated inputs
+//!   (everything is `Debug`) and the deterministic per-case seed instead.
+//! * **Deterministic by default.** Case `i` of test `t` derives its RNG
+//!   from `hash(module_path::t, i)`, so failures reproduce exactly across
+//!   runs and machines. Set `PROPTEST_SEED` to explore other streams.
+//! * String "regex" strategies support only the `".*"` pattern (arbitrary
+//!   Unicode strings), which is all the suite uses.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies during generation.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Creates a generator for one test case from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: zero bound");
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform draw over the full `u64` range.
+    pub fn bits(&mut self) -> u64 {
+        self.0.gen()
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Bias toward ASCII (common case for codecs) but cover all planes.
+        if rng.below(4) > 0 {
+            (rng.below(0x7f - 0x20) as u8 + 0x20) as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical arbitrary-value strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `".*"` (and only `".*"`): arbitrary Unicode strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        assert_eq!(
+            *self, ".*",
+            "only the \".*\" string strategy is supported by the proptest shim"
+        );
+        let len = rng.below(48) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+ ))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `elem` and a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "vec size range is empty");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.bits())
+        }
+    }
+}
+
+/// A weighted union of type-erased strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof: zero total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives the deterministic seed for case `case` of test `name`,
+/// honouring a `PROPTEST_SEED` environment override.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case number.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    h.wrapping_add(base)
+        .wrapping_add((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// An explicit test-case failure, usable as `return Err(TestCaseError::
+/// fail(..))` inside a property body (which implicitly returns
+/// `Result<(), TestCaseError>`, as in upstream proptest).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a property (plain `assert!` semantics here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let full_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let seed = $crate::case_seed(full_name, case);
+                    let mut rng = $crate::TestRng::from_seed(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let repr = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg),+
+                    );
+                    // The body implicitly returns Result<(), TestCaseError>
+                    // (as in upstream proptest), so `return Ok(())` and
+                    // `Err(TestCaseError::fail(..))` work inside it.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body;
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(err)) => {
+                            panic!(
+                                "proptest {full_name}: case {case}/{} failed (seed {seed}): {err}\ninputs:\n{repr}",
+                                config.cases,
+                            );
+                        }
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest {full_name}: case {case}/{} failed (seed {seed})\ninputs:\n{repr}",
+                                config.cases,
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        let strat = prop::collection::vec(3u8..9, 2..5);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| (3..9).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let mut rng = crate::TestRng::from_seed(2);
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000)
+            .filter(|_| crate::Strategy::generate(&strat, &mut rng))
+            .count();
+        assert!(trues > 800, "trues = {trues}");
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let strat = (0u32..10, any::<bool>()).prop_map(|(n, b)| if b { n + 100 } else { n });
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!(v < 10 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(4);
+        for _ in 0..100 {
+            let idx = crate::Strategy::generate(&any::<prop::sample::Index>(), &mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(crate::case_seed("a::b", 3), crate::case_seed("a::b", 3));
+        assert_ne!(crate::case_seed("a::b", 3), crate::case_seed("a::b", 4));
+        assert_ne!(crate::case_seed("a::b", 0), crate::case_seed("a::c", 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn the_macro_itself_works(xs in prop::collection::vec(any::<u8>(), 0..16), n in 1u8..5) {
+            prop_assert!(xs.len() < 16);
+            prop_assert_ne!(n, 0);
+            prop_assert_eq!(n as usize * xs.len() / n as usize, xs.len());
+        }
+    }
+}

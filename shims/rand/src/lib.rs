@@ -1,0 +1,253 @@
+//! API-compatible subset of the `rand` crate (no external deps).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the small slice of `rand` 0.8 the codebase uses is provided here:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_range`, `gen_bool`, and `fill_bytes`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast, well
+//! distributed, and deterministic for a given seed (the only properties the
+//! test suite and simulator rely on). It is NOT the same stream as the real
+//! `rand::rngs::StdRng` (ChaCha12), so seeds produce different sequences
+//! than upstream — fine for this workspace, which never pins exact values.
+
+#![forbid(unsafe_code)]
+
+/// A type that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete random number generators.
+pub mod rngs {
+    /// The workspace's standard RNG (xoshiro256**; see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut StdRng) -> Self {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn draw(rng: &mut StdRng) -> Self {
+        ((rng.next_u64_impl() as u128) << 64) | rng.next_u64_impl() as u128
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]; `T` is the element type, so the
+/// compiler can infer integer literal types from the call site the same way
+/// upstream `rand` does.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::draw(rng) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = u128::draw(rng) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + <$t>::draw(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Random-value methods available on any supported generator.
+pub trait Rng {
+    /// Returns the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64_impl().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let f = rng.gen_range(0.2..2.0);
+            assert!((0.2..2.0).contains(&f));
+            let n = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        // 37 zero bytes after filling would be astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

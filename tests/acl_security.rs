@@ -68,7 +68,10 @@ fn byte_range_protection_through_the_wire() {
             len: 6,
         },
     );
-    assert!(matches!(denied, Err(SwarmError::AccessDenied { .. })), "{denied:?}");
+    assert!(
+        matches!(denied, Err(SwarmError::AccessDenied { .. })),
+        "{denied:?}"
+    );
     let public = must(call(
         &cluster,
         0,
@@ -210,7 +213,10 @@ fn locate_respects_acls() {
             header_len: 64,
         },
     );
-    assert!(matches!(leak, Err(SwarmError::AccessDenied { .. })), "{leak:?}");
+    assert!(
+        matches!(leak, Err(SwarmError::AccessDenied { .. })),
+        "{leak:?}"
+    );
     // The owner can still locate.
     must(call(
         &cluster,

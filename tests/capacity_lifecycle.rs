@@ -91,7 +91,10 @@ fn fill_fail_clean_resume() {
         matches!(out_of_space, SwarmError::OutOfSpace(_)),
         "{out_of_space}"
     );
-    assert!(wrote >= 8, "should have written a fair amount first: {wrote}");
+    assert!(
+        wrote >= 8,
+        "should have written a fair amount first: {wrote}"
+    );
 
     // The cleaner demands checkpoints (nothing ever checkpointed) and
     // reclaims the dead stripes.

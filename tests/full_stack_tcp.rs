@@ -21,7 +21,8 @@ impl TempDir {
             .duration_since(std::time::UNIX_EPOCH)
             .unwrap()
             .as_nanos();
-        let path = std::env::temp_dir().join(format!("swarm-itest-{tag}-{}-{n}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("swarm-itest-{tag}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).unwrap();
         TempDir(path)
     }
@@ -76,7 +77,8 @@ fn sting_over_tcp_with_disk_backed_servers() {
     fs.mkdir("/data").unwrap();
     let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 241) as u8).collect();
     fs.write_file("/data/blob", 0, &payload).unwrap();
-    fs.write_file("/data/note", 0, b"over real sockets onto real files").unwrap();
+    fs.write_file("/data/note", 0, b"over real sockets onto real files")
+        .unwrap();
     fs.unmount().unwrap();
 
     assert_eq!(fs.read_to_end("/data/blob").unwrap(), payload);
@@ -92,7 +94,8 @@ fn recovery_over_tcp_after_client_crash() {
     {
         let log = Arc::new(Log::create(cluster.transport.clone(), config(3)).unwrap());
         let fs = StingFs::format(log, StingConfig::default()).unwrap();
-        fs.write_file("/persist.txt", 0, b"checkpointed state").unwrap();
+        fs.write_file("/persist.txt", 0, b"checkpointed state")
+            .unwrap();
         fs.checkpoint().unwrap();
         fs.write_file("/tail.txt", 0, b"rolled forward").unwrap();
         fs.flush().unwrap();
@@ -107,7 +110,10 @@ fn recovery_over_tcp_after_client_crash() {
     for e in replay.records_for(STING_SVC) {
         svc.replay(e).unwrap();
     }
-    assert_eq!(fs.read_to_end("/persist.txt").unwrap(), b"checkpointed state");
+    assert_eq!(
+        fs.read_to_end("/persist.txt").unwrap(),
+        b"checkpointed state"
+    );
     assert_eq!(fs.read_to_end("/tail.txt").unwrap(), b"rolled forward");
 }
 
@@ -142,8 +148,8 @@ fn server_restart_preserves_fragments_on_disk() {
     {
         let store = FileStore::open_with(&dir.0, 0, false).unwrap();
         let handler = StorageServer::new(ServerId::new(0), store).into_shared();
-        let handler2 = StorageServer::new(ServerId::new(1), swarm_server::MemStore::new())
-            .into_shared();
+        let handler2 =
+            StorageServer::new(ServerId::new(1), swarm_server::MemStore::new()).into_shared();
         let s0 = TcpServer::spawn(ServerId::new(0), "127.0.0.1:0", handler).unwrap();
         let s1 = TcpServer::spawn(ServerId::new(1), "127.0.0.1:0", handler2).unwrap();
         transport.add_server(ServerId::new(0), s0.addr());
@@ -173,8 +179,7 @@ fn server_restart_preserves_fragments_on_disk() {
         swarm_log::reconstruct::fetch_fragment(&*transport2, ClientId::new(1), server, addr.fid)
             .unwrap();
     let view = swarm_log::FragmentView::parse(&bytes).unwrap();
-    assert!(view
-        .entries
-        .iter()
-        .any(|e| matches!(&e.entry, swarm_log::Entry::Block { data, .. } if data == b"durable bytes")));
+    assert!(view.entries.iter().any(
+        |e| matches!(&e.entry, swarm_log::Entry::Block { data, .. } if data == b"durable bytes")
+    ));
 }

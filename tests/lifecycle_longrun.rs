@@ -59,7 +59,9 @@ fn churn_clean_crash_repeat() {
 
         // Verify the model after recovery.
         for (path, want) in &model {
-            let got = fs.read_to_end(path).unwrap_or_else(|e| panic!("epoch {epoch}: read {path}: {e}"));
+            let got = fs
+                .read_to_end(path)
+                .unwrap_or_else(|e| panic!("epoch {epoch}: read {path}: {e}"));
             assert_eq!(&got, want, "epoch {epoch}: {path} after recovery");
         }
 

@@ -27,7 +27,8 @@ fn mab_runs_on_real_sting_and_survives_a_crash() {
 
     let mut files: Vec<(String, u64)> = Vec::new();
     {
-        let log = Arc::new(Log::create(cluster.transport(), cluster.log_config(1).unwrap()).unwrap());
+        let log =
+            Arc::new(Log::create(cluster.transport(), cluster.log_config(1).unwrap()).unwrap());
         let fs = StingFs::format(log, StingConfig::default()).unwrap();
         for op in &ops {
             match op {
@@ -37,7 +38,8 @@ fn mab_runs_on_real_sting_and_survives_a_crash() {
                 FsOp::WriteFile { path, bytes } => {
                     // Deterministic content derived from the path.
                     let byte = path.bytes().fold(0u8, |a, b| a.wrapping_add(b));
-                    fs.write_file(path, 0, &vec![byte; *bytes as usize]).unwrap();
+                    fs.write_file(path, 0, &vec![byte; *bytes as usize])
+                        .unwrap();
                     files.retain(|(p, _)| p != path);
                     files.push((path.clone(), *bytes));
                 }
@@ -54,7 +56,12 @@ fn mab_runs_on_real_sting_and_survives_a_crash() {
     }
 
     // Crash + recover: the whole MAB result set must be intact.
-    let (log, replay) = recover(cluster.transport(), cluster.log_config(1).unwrap(), &[STING_SVC]).unwrap();
+    let (log, replay) = recover(
+        cluster.transport(),
+        cluster.log_config(1).unwrap(),
+        &[STING_SVC],
+    )
+    .unwrap();
     let fs = StingFs::bare(Arc::new(log), StingConfig::default());
     let mut svc = StingService::new(fs.clone());
     {

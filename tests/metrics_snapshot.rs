@@ -1,0 +1,114 @@
+//! Metrics-snapshot sanity over a full write/recover cycle: the global
+//! registry must show store activity, the Metrics RPC must serve a
+//! parseable snapshot, and counters must move monotonically.
+//!
+//! The registry is process-global and tests run in parallel, so every
+//! assertion here compares before/after *deltas*, never absolute values.
+
+use std::sync::Arc;
+
+use swarm_log::{recover, Log, LogConfig};
+use swarm_net::{MemTransport, Request, Response, Transport};
+use swarm_server::{MemStore, StorageServer};
+use swarm_types::{ClientId, ServerId, ServiceId};
+
+fn cluster(n: u32) -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..n {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+fn config(servers: u32) -> LogConfig {
+    LogConfig::new(ClientId::new(7), (0..servers).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(4096)
+        .cache_fragments(0)
+}
+
+#[test]
+fn snapshot_tracks_a_full_write_recover_cycle() {
+    let svc = ServiceId::new(3);
+    let before = swarm_metrics::snapshot();
+    let transport = cluster(3);
+
+    let addr = {
+        let log = Log::create(transport.clone(), config(3)).unwrap();
+        let addr = log.append_block(svc, b"tag", &[42u8; 2000]).unwrap();
+        log.checkpoint(svc, b"ckpt").unwrap();
+        log.flush().unwrap();
+        addr
+    };
+
+    // Crash-recover the client and read the block back.
+    let (log, replay) = recover(transport.clone(), config(3), &[svc]).unwrap();
+    assert_eq!(replay.checkpoint_data(svc), Some(&b"ckpt"[..]));
+    assert_eq!(log.read(addr).unwrap(), vec![42u8; 2000]);
+
+    let after = swarm_metrics::snapshot();
+
+    // Write path: fragments were sealed and stored, and the store
+    // latency histogram accumulated samples.
+    assert!(
+        after.counter("log.fragments_sealed") > before.counter("log.fragments_sealed"),
+        "seal counter did not move"
+    );
+    assert!(
+        after.counter("server.stores") > before.counter("server.stores"),
+        "server store counter did not move"
+    );
+    let stores_before = before.histogram("log.store_us").map_or(0, |h| h.count);
+    let stores_after = after.histogram("log.store_us").map_or(0, |h| h.count);
+    assert!(
+        stores_after > stores_before,
+        "store latency histogram gained no samples"
+    );
+
+    // Recovery path: the pass was counted and fragments were scanned.
+    assert!(after.counter("recovery.recoveries") > before.counter("recovery.recoveries"));
+    assert!(
+        after.counter("recovery.fragments_scanned") > before.counter("recovery.fragments_scanned")
+    );
+
+    // Read path.
+    assert!(after.counter("log.reads") > before.counter("log.reads"));
+
+    // The snapshot JSON roundtrips and carries the histogram rollup.
+    let parsed = swarm_metrics::Snapshot::from_json(&after.to_json()).unwrap();
+    assert_eq!(
+        parsed.counter("log.fragments_sealed"),
+        after.counter("log.fragments_sealed")
+    );
+    let h = parsed.histogram("log.store_us").expect("store histogram");
+    assert!(h.count >= stores_after - stores_before);
+    // Quantiles are bucket upper bounds, so only their ordering (not a
+    // relation to the exact max) is guaranteed.
+    assert!(h.p50_us <= h.p99_us);
+}
+
+#[test]
+fn metrics_rpc_serves_a_parseable_snapshot() {
+    let transport = cluster(2);
+    let mut conn = transport
+        .connect(ServerId::new(0), ClientId::new(9))
+        .unwrap();
+
+    // Generate some server-side activity first.
+    let log = Log::create(transport.clone(), config(2)).unwrap();
+    log.append_block(ServiceId::new(1), b"", &[7u8; 512])
+        .unwrap();
+    log.flush().unwrap();
+
+    match conn.call(&Request::Metrics).unwrap() {
+        Response::Metrics(json) => {
+            let snap = swarm_metrics::Snapshot::from_json(&json).unwrap();
+            assert!(
+                snap.counter("server.stores") > 0,
+                "RPC snapshot missing store count: {json}"
+            );
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}

@@ -15,9 +15,12 @@ use swarm_types::{ClientId, ServerId, ServiceId};
 const STING_SVC: ServiceId = ServiceId::new(2);
 
 fn config(client: u32, servers: u32) -> LogConfig {
-    LogConfig::new(ClientId::new(client), (0..servers).map(ServerId::new).collect())
-        .unwrap()
-        .fragment_size(32 * 1024)
+    LogConfig::new(
+        ClientId::new(client),
+        (0..servers).map(ServerId::new).collect(),
+    )
+    .unwrap()
+    .fragment_size(32 * 1024)
 }
 
 #[test]
@@ -30,8 +33,12 @@ fn four_clients_write_concurrently_without_interference() {
             let log = Arc::new(Log::create(cluster.transport(), config(c, 4)).unwrap());
             let fs = StingFs::format(log, StingConfig::default()).unwrap();
             for i in 0..25 {
-                fs.write_file(&format!("/c{c}-f{i}"), 0, &vec![(c * 10 + i % 7) as u8; 3000])
-                    .unwrap();
+                fs.write_file(
+                    &format!("/c{c}-f{i}"),
+                    0,
+                    &vec![(c * 10 + i % 7) as u8; 3000],
+                )
+                .unwrap();
             }
             fs.unmount().unwrap();
             // Verify own data.
@@ -79,7 +86,8 @@ fn one_client_cleans_while_another_writes() {
     let log1 = Arc::new(Log::create(cluster.transport(), config(1, 3)).unwrap());
     let fs1 = StingFs::format(log1.clone(), StingConfig::default()).unwrap();
     for i in 0..20 {
-        fs1.write_file(&format!("/f{i}"), 0, &vec![i as u8; 8000]).unwrap();
+        fs1.write_file(&format!("/f{i}"), 0, &vec![i as u8; 8000])
+            .unwrap();
     }
     for i in 0..20 {
         if i % 2 == 0 {
@@ -94,11 +102,15 @@ fn one_client_cleans_while_another_writes() {
         let log2 = Arc::new(Log::create(cluster2.transport(), config(2, 3)).unwrap());
         let fs2 = StingFs::format(log2, StingConfig::default()).unwrap();
         for i in 0..40 {
-            fs2.write_file(&format!("/w{i}"), 0, &vec![0xbb; 4000]).unwrap();
+            fs2.write_file(&format!("/w{i}"), 0, &vec![0xbb; 4000])
+                .unwrap();
         }
         fs2.unmount().unwrap();
         for i in 0..40 {
-            assert_eq!(fs2.read_to_end(&format!("/w{i}")).unwrap(), vec![0xbb; 4000]);
+            assert_eq!(
+                fs2.read_to_end(&format!("/w{i}")).unwrap(),
+                vec![0xbb; 4000]
+            );
         }
     });
 

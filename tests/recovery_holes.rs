@@ -1,11 +1,11 @@
 //! Regression test for multi-service recovery across cleaned regions
 //! (needs the cleaner, so it lives at the workspace level).
 
+use std::sync::Arc;
 use swarm_log::{recover, Entry, Log, LogConfig};
 use swarm_net::MemTransport;
 use swarm_server::{MemStore, StorageServer};
 use swarm_types::{ClientId, ServerId, ServiceId};
-use std::sync::Arc;
 
 fn cluster(n: u32) -> Arc<MemTransport> {
     let transport = Arc::new(MemTransport::new());
@@ -56,11 +56,8 @@ fn recovery_survives_cleaned_holes_between_service_checkpoints() {
         use swarm_services::ServiceStack;
         let log = std::sync::Arc::new(log);
         let stack = std::sync::Arc::new(ServiceStack::new());
-        let cleaner = swarm_cleaner::Cleaner::new(
-            log.clone(),
-            stack,
-            swarm_cleaner::CleanPolicy::Greedy,
-        );
+        let cleaner =
+            swarm_cleaner::Cleaner::new(log.clone(), stack, swarm_cleaner::CleanPolicy::Greedy);
         let stats = cleaner.clean_pass(100).unwrap();
         assert!(
             stats.stripes_cleaned >= 3,

@@ -25,7 +25,8 @@ fn three_services_share_one_log_and_recover_together() {
 
     // --- Before the crash: all three services do work -------------------
     {
-        let log = Arc::new(Log::create(cluster.transport(), cluster.log_config(1).unwrap()).unwrap());
+        let log =
+            Arc::new(Log::create(cluster.transport(), cluster.log_config(1).unwrap()).unwrap());
         let fs = StingFs::format(
             log.clone(),
             StingConfig {
@@ -84,10 +85,7 @@ fn three_services_share_one_log_and_recover_together() {
     // Sting state.
     assert_eq!(fs.read_to_end("/shared-log.txt").unwrap(), b"sting data");
     // Logical disk state, across its own checkpoint.
-    assert_eq!(
-        disk.read(42).unwrap().unwrap(),
-        b"logical block forty-two"
-    );
+    assert_eq!(disk.read(42).unwrap().unwrap(), b"logical block forty-two");
     assert_eq!(disk.read(43).unwrap().unwrap(), b"written after disk ckpt");
     // ARU: committed unit survives, uncommitted one is gone.
     let committed = aru.committed_units();

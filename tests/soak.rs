@@ -113,11 +113,7 @@ fn soak_churn_outages_cleaning_recovery() {
 
         handle.stop();
         let totals = handle.totals();
-        println!(
-            "epoch {epoch}: {} files, cleaner {:?}",
-            model.len(),
-            totals
-        );
+        println!("epoch {epoch}: {} files, cleaner {:?}", model.len(), totals);
         // Crash at epoch end (drop everything).
     }
 
