@@ -1,0 +1,71 @@
+//! Word-wide kernel benchmarks: the slice-by-8 CRC32 and the u64-wide
+//! parity XOR against their byte-at-a-time baselines, plus end-to-end
+//! store throughput over the zero-copy request path.
+//!
+//! The baselines (`crc32_baseline`, `xor_into_baseline`) are the exact
+//! scalar loops the optimized kernels replaced; the ratio between the two
+//! rows of each group is the kernel speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swarm_bench::mem_cluster;
+use swarm_net::{PreparedRequest, Request, Transport};
+use swarm_types::{ClientId, FragmentId, ServerId};
+
+const MB: usize = 1_000_000;
+const MIB: usize = 1 << 20;
+
+fn bench_crc32(c: &mut Criterion) {
+    use swarm_types::{crc::crc32_baseline, crc32};
+    let buf: Vec<u8> = (0..MB).map(|i| (i % 251) as u8).collect();
+    assert_eq!(crc32(&buf), crc32_baseline(&buf));
+    let mut g = c.benchmark_group("crc32_1MB");
+    g.throughput(Throughput::Bytes(MB as u64));
+    g.bench_function("slice_by_8", |b| b.iter(|| crc32(&buf)));
+    g.bench_function("baseline_bytewise", |b| b.iter(|| crc32_baseline(&buf)));
+    g.finish();
+}
+
+fn bench_xor_into(c: &mut Criterion) {
+    use swarm_log::parity::{xor_into, xor_into_baseline};
+    let src: Vec<u8> = (0..MIB).map(|i| (i % 253) as u8).collect();
+    let mut g = c.benchmark_group("xor_into_1MiB");
+    g.throughput(Throughput::Bytes(MIB as u64));
+    g.bench_function("word_wide", |b| {
+        let mut dst = vec![0x5au8; MIB];
+        b.iter(|| xor_into(&mut dst, &src));
+    });
+    g.bench_function("baseline_bytewise", |b| {
+        let mut dst = vec![0x5au8; MIB];
+        b.iter(|| xor_into_baseline(&mut dst, &src));
+    });
+    g.finish();
+}
+
+fn bench_store_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(MIB as u64));
+    // One prepared 1 MiB store per iteration: header encoded once up
+    // front, the payload shared (refcount bump) into every request.
+    g.bench_function("prepared_1MiB_store", |b| {
+        let transport = mem_cluster(1);
+        let client = ClientId::new(1);
+        let payload = swarm_types::Bytes::from(vec![0xa5u8; MIB]);
+        let mut conn = transport.connect(ServerId::new(0), client).unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let prepared = PreparedRequest::new(Request::Store {
+                fid: FragmentId::new(client, seq),
+                marked: false,
+                ranges: vec![],
+                data: payload.share(),
+            });
+            seq += 1;
+            conn.call_prepared(&prepared).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(kernels, bench_crc32, bench_xor_into, bench_store_throughput);
+criterion_main!(kernels);

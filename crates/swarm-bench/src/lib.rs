@@ -81,4 +81,29 @@ mod tests {
         let t = mem_cluster(3);
         assert_eq!(t.servers().len(), 3);
     }
+
+    /// Quick-mode sanity for the kernels `benches/kernels.rs` measures:
+    /// the optimized CRC and XOR must agree with their byte-at-a-time
+    /// baselines on unaligned, odd-length data. Runs under `cargo test`
+    /// so CI catches a broken kernel without running the benches.
+    #[test]
+    fn crc_kernel_matches_baseline() {
+        use swarm_types::{crc::crc32_baseline, crc32};
+        let buf: Vec<u8> = (0..4099u32).map(|i| (i * 31 % 256) as u8).collect();
+        for start in [0usize, 1, 3, 7] {
+            assert_eq!(crc32(&buf[start..]), crc32_baseline(&buf[start..]));
+        }
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn xor_kernel_matches_baseline() {
+        use swarm_log::parity::{xor_into, xor_into_baseline};
+        let src: Vec<u8> = (0..4097u32).map(|i| (i * 17 % 256) as u8).collect();
+        let mut fast = vec![0x5au8; 129];
+        let mut slow = fast.clone();
+        xor_into(&mut fast, &src);
+        xor_into_baseline(&mut slow, &src);
+        assert_eq!(fast, slow);
+    }
 }

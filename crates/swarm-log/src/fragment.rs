@@ -16,7 +16,7 @@
 
 use swarm_types::constants::{FORMAT_VERSION, FRAGMENT_MAGIC};
 use swarm_types::{
-    crc32, BlockAddr, ByteReader, ByteWriter, Decode, Encode, FragmentId, Result, ServerId,
+    crc32, BlockAddr, ByteReader, ByteWriter, Bytes, Decode, Encode, FragmentId, Result, ServerId,
     ServiceId, StripeSeq, SwarmError,
 };
 
@@ -201,8 +201,10 @@ pub struct SealedFragment {
     /// Parsed copy of the header (identical to the encoded prefix of
     /// `bytes`).
     pub header: FragmentHeader,
-    /// Complete fragment bytes (header || body).
-    pub bytes: Vec<u8>,
+    /// Complete fragment bytes (header || body), shared so the write
+    /// pipeline, parity accumulator, and fragment cache can all hold the
+    /// sealed buffer without copying it.
+    pub bytes: Bytes,
     /// Store this fragment marked (contains a checkpoint).
     pub marked: bool,
 }
@@ -392,7 +394,7 @@ impl FragmentBuilder {
         self.buf[..self.header_len].copy_from_slice(w.as_slice());
         SealedFragment {
             header: self.header,
-            bytes: self.buf,
+            bytes: self.buf.into(),
             marked: self.marked,
         }
     }
@@ -578,10 +580,11 @@ mod tests {
     fn corrupt_body_detected() {
         let mut b = FragmentBuilder::new(header(0), 4096);
         b.append_block(ServiceId::new(1), b"", b"data");
-        let mut sealed = b.seal();
-        let last = sealed.bytes.len() - 1;
-        sealed.bytes[last] ^= 0xff;
-        assert!(FragmentView::parse(&sealed.bytes).is_err());
+        let sealed = b.seal();
+        let mut bytes = sealed.bytes.to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(FragmentView::parse(&bytes).is_err());
     }
 
     #[test]

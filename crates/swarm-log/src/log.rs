@@ -16,7 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use swarm_net::{Connection, Request, Response, Transport};
 use swarm_types::{
-    BlockAddr, ClientId, FragmentId, Result, ServerId, ServiceId, StripeSeq, SwarmError,
+    BlockAddr, Bytes, ClientId, FragmentId, Result, ServerId, ServiceId, StripeSeq, SwarmError,
     DEFAULT_FRAGMENT_SIZE,
 };
 
@@ -186,10 +186,12 @@ struct OpenStripe {
     next_member: u8,
 }
 
-/// Tiny FIFO-ish fragment cache for the read path.
+/// Tiny FIFO-ish fragment cache for the read path. Entries are [`Bytes`]
+/// views, so caching a sealed fragment shares its buffer with the write
+/// pipeline instead of copying it.
 struct FragCache {
     capacity: usize,
-    map: HashMap<FragmentId, Arc<Vec<u8>>>,
+    map: HashMap<FragmentId, Bytes>,
     order: std::collections::VecDeque<FragmentId>,
 }
 
@@ -202,11 +204,11 @@ impl FragCache {
         }
     }
 
-    fn get(&self, fid: FragmentId) -> Option<Arc<Vec<u8>>> {
-        self.map.get(&fid).cloned()
+    fn get(&self, fid: FragmentId) -> Option<Bytes> {
+        self.map.get(&fid).map(Bytes::share)
     }
 
-    fn insert(&mut self, fid: FragmentId, bytes: Arc<Vec<u8>>) {
+    fn insert(&mut self, fid: FragmentId, bytes: Bytes) {
         if self.capacity == 0 {
             return;
         }
@@ -462,10 +464,9 @@ impl Log {
         state.stats.data_fragments += 1;
         state.stats.bytes_shipped += sealed.bytes.len() as u64;
         // Cache the sealed bytes so reads never race the write pipeline
-        // (the fragment may still be in a writer queue).
-        state
-            .cache
-            .insert(sealed.fid(), Arc::new(sealed.bytes.clone()));
+        // (the fragment may still be in a writer queue). `share` aliases
+        // the sealed buffer; no copy is made.
+        state.cache.insert(sealed.fid(), sealed.bytes.share());
         m.fragments_sealed.inc();
         swarm_metrics::trace!(
             "log.seal",
@@ -760,7 +761,7 @@ impl Log {
             if let Some(bytes) =
                 reconstruct::read_fragment_anywhere(&*self.transport, self.config.client, addr.fid)?
             {
-                let bytes = Arc::new(bytes);
+                let bytes = Bytes::from(bytes);
                 let data = slice_fragment(&bytes, addr);
                 self.state.lock().cache.insert(addr.fid, bytes);
                 return data;
@@ -779,7 +780,7 @@ impl Log {
                     len: addr.len,
                 },
             ) {
-                Ok(Response::Data(data)) => return Ok(data),
+                Ok(Response::Data(data)) => return Ok(data.to_vec()),
                 Ok(other) => match other.into_result() {
                     Err(e) if e.is_unavailability() => {}
                     Err(e) => return Err(e),
@@ -805,7 +806,7 @@ impl Log {
                     len: addr.len,
                 },
             ) {
-                Ok(Response::Data(data)) => return Ok(data),
+                Ok(Response::Data(data)) => return Ok(data.to_vec()),
                 Ok(other) => {
                     other.into_result()?;
                 }
@@ -818,7 +819,7 @@ impl Log {
         swarm_metrics::trace!("log.read", "reconstructing fragment {}", addr.fid);
         let bytes = {
             let _span = m.reconstruct_us.span("log.reconstruct");
-            Arc::new(reconstruct::reconstruct_fragment(
+            Bytes::from(reconstruct::reconstruct_fragment(
                 &*self.transport,
                 self.config.client,
                 addr.fid,
@@ -854,7 +855,7 @@ impl Log {
             None => Ok(None),
             Some(bytes) => {
                 let view = FragmentView::parse(&bytes)?;
-                self.state.lock().cache.insert(fid, Arc::new(bytes));
+                self.state.lock().cache.insert(fid, bytes.into());
                 Ok(Some(view))
             }
         }

@@ -80,7 +80,7 @@ pub fn fetch_fragment(
         })?
         .into_result()?;
     match resp {
-        swarm_net::Response::Data(bytes) => Ok(bytes),
+        swarm_net::Response::Data(bytes) => Ok(bytes.to_vec()),
         other => Err(SwarmError::protocol(format!(
             "unexpected read reply {other:?}"
         ))),

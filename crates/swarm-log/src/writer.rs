@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
-use swarm_net::{Connection, Request, Transport};
+use swarm_net::{Connection, PreparedRequest, Request, Transport};
 use swarm_types::{ClientId, Result, ServerId, SwarmError};
 
 use crate::fragment::SealedFragment;
@@ -220,12 +220,15 @@ fn store_with_retry(
     conn: &mut Option<Box<dyn Connection>>,
     job: &Job,
 ) -> Result<()> {
-    let request = Request::Store {
+    // Encode the request once up front. `share()` hands the prepared
+    // request a view of the sealed fragment's buffer (no byte copy), and
+    // every retry below replays the same header + payload.
+    let prepared = PreparedRequest::new(Request::Store {
         fid: job.fragment.fid(),
         marked: job.fragment.marked,
         ranges: vec![],
-        data: job.fragment.bytes.clone(),
-    };
+        data: job.fragment.bytes.share(),
+    });
     let m = metrics();
     let _span = m.store_us.span("log.store");
     let mut last_err = SwarmError::ServerUnavailable(server);
@@ -251,7 +254,7 @@ fn store_with_retry(
             }
         }
         let c = conn.as_mut().expect("connection present");
-        match c.call(&request) {
+        match c.call_prepared(&prepared) {
             Ok(resp) => {
                 return match resp.into_result() {
                     Ok(_) => Ok(()),
@@ -412,6 +415,108 @@ mod tests {
         }
         pool.flush().unwrap();
         assert_eq!(servers[0].store().fragment_count(), 50);
+    }
+
+    /// A store that fails and is retried must replay the *same* prepared
+    /// buffers — no re-encode, no payload clone — and still land intact.
+    #[test]
+    fn retried_store_reuses_prepared_payload_without_copying() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct FlakyShared {
+            fail_remaining: AtomicUsize,
+            payload_ptrs: Mutex<Vec<usize>>,
+        }
+
+        struct Flaky {
+            inner: Arc<MemTransport>,
+            shared: Arc<FlakyShared>,
+        }
+
+        struct FlakyConn {
+            shared: Arc<FlakyShared>,
+            inner: Box<dyn Connection>,
+        }
+
+        impl Connection for FlakyConn {
+            fn call(&mut self, request: &Request) -> swarm_types::Result<swarm_net::Response> {
+                self.inner.call(request)
+            }
+
+            fn call_prepared(
+                &mut self,
+                prepared: &PreparedRequest,
+            ) -> swarm_types::Result<swarm_net::Response> {
+                self.shared
+                    .payload_ptrs
+                    .lock()
+                    .push(prepared.payload().as_ptr() as usize);
+                if self
+                    .shared
+                    .fail_remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(SwarmError::ServerUnavailable(self.inner.server()));
+                }
+                self.inner.call_prepared(prepared)
+            }
+
+            fn server(&self) -> ServerId {
+                self.inner.server()
+            }
+        }
+
+        impl Transport for Flaky {
+            fn connect(
+                &self,
+                server: ServerId,
+                client: ClientId,
+            ) -> swarm_types::Result<Box<dyn Connection>> {
+                Ok(Box::new(FlakyConn {
+                    shared: self.shared.clone(),
+                    inner: self.inner.connect(server, client)?,
+                }))
+            }
+
+            fn servers(&self) -> Vec<ServerId> {
+                self.inner.servers()
+            }
+        }
+
+        let (mem, servers) = cluster(1);
+        let shared = Arc::new(FlakyShared {
+            fail_remaining: AtomicUsize::new(2),
+            payload_ptrs: Mutex::new(Vec::new()),
+        });
+        let flaky = Flaky {
+            inner: mem,
+            shared: shared.clone(),
+        };
+        let pool = WritePool::new(Arc::new(flaky), ClientId::new(1), &[ServerId::new(0)], 1);
+        let sealed = fragment(0, b"retry me without copying");
+        let fid = sealed.fid();
+        let expected = sealed.bytes.to_vec();
+        let sealed_ptr = sealed.bytes.as_ptr() as usize;
+        pool.submit(ServerId::new(0), sealed).unwrap();
+        pool.flush().unwrap();
+
+        // Two failures + the success: three attempts, every one carrying
+        // the sealed fragment's own buffer (pointer identity ⇒ the payload
+        // was neither re-encoded nor cloned between attempts).
+        let ptrs = shared.payload_ptrs.lock().clone();
+        assert_eq!(ptrs.len(), 3, "expected 2 failed attempts + 1 success");
+        assert!(
+            ptrs.iter().all(|&p| p == sealed_ptr),
+            "payload buffer changed across retries: {ptrs:?} vs {sealed_ptr:#x}"
+        );
+        assert_eq!(
+            servers[0]
+                .store()
+                .read(fid, 0, expected.len() as u32)
+                .unwrap(),
+            expected
+        );
     }
 
     #[test]

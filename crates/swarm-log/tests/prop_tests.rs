@@ -183,7 +183,7 @@ proptest! {
         let mut b = FragmentBuilder::new(plan.header(0), 1 << 16);
         b.append_block(ServiceId::new(1), b"tag", &payload);
         let sealed = b.seal();
-        let mut bytes = sealed.bytes.clone();
+        let mut bytes = sealed.bytes.to_vec();
         let i = flip_at.index(bytes.len());
         bytes[i] ^= 1 << flip_bit;
         match swarm_log::FragmentView::parse(&bytes) {

@@ -17,7 +17,8 @@
 use std::io::{Read, Write};
 
 use swarm_types::constants::FRAME_MAGIC;
-use swarm_types::{crc32, Result, SwarmError};
+use swarm_types::crc::Crc32;
+use swarm_types::{Result, SwarmError};
 
 /// Maximum frame payload (16 MiB): a fragment plus protocol overhead.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
@@ -28,19 +29,42 @@ pub const MAX_FRAME_LEN: usize = 16 << 20;
 ///
 /// Returns [`SwarmError::Io`] if the underlying writer fails, or
 /// [`SwarmError::InvalidArgument`] if the payload exceeds [`MAX_FRAME_LEN`].
-pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<()> {
-    if payload.len() > MAX_FRAME_LEN {
+pub fn write_frame<W: Write>(w: W, payload: &[u8]) -> Result<()> {
+    write_frame_vectored(w, payload, &[])
+}
+
+/// Writes one frame whose payload is the concatenation `head ++ tail`,
+/// without assembling it contiguously.
+///
+/// This is the zero-copy store path: `head` is the few-dozen-byte message
+/// header encoded by the codec, `tail` is the (possibly megabyte-sized)
+/// fragment payload borrowed from its shared buffer. The frame on the
+/// wire is byte-identical to `write_frame(w, [head, tail].concat())`.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::Io`] if the underlying writer fails, or
+/// [`SwarmError::InvalidArgument`] if the combined payload exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame_vectored<W: Write>(mut w: W, head: &[u8], tail: &[u8]) -> Result<()> {
+    let len = head.len() + tail.len();
+    if len > MAX_FRAME_LEN {
         return Err(SwarmError::invalid(format!(
-            "frame payload {} exceeds {MAX_FRAME_LEN}",
-            payload.len()
+            "frame payload {len} exceeds {MAX_FRAME_LEN}"
         )));
     }
+    let mut crc = Crc32::new();
+    crc.update(head);
+    crc.update(tail);
     let mut header = [0u8; 12];
     header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
-    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    header[4..8].copy_from_slice(&(len as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc.finish().to_le_bytes());
     w.write_all(&header)?;
-    w.write_all(payload)?;
+    w.write_all(head)?;
+    if !tail.is_empty() {
+        w.write_all(tail)?;
+    }
     w.flush()?;
     Ok(())
 }
@@ -68,9 +92,20 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
         )));
     }
     let want_crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let got_crc = crc32(&payload);
+    // Reserve + read_to_end instead of a zero-filled Vec: `read_exact`
+    // into `vec![0u8; len]` would scrub up to 16 MiB per frame before
+    // overwriting every byte. `take` bounds the read at `len`.
+    let mut payload = Vec::with_capacity(len);
+    (&mut r).take(len as u64).read_to_end(&mut payload)?;
+    if payload.len() != len {
+        return Err(SwarmError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("frame truncated: wanted {len} bytes, got {}", payload.len()),
+        )));
+    }
+    let mut got_crc = Crc32::new();
+    got_crc.update(&payload);
+    let got_crc = got_crc.finish();
     if got_crc != want_crc {
         return Err(SwarmError::corrupt(format!(
             "frame checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
@@ -145,5 +180,36 @@ mod tests {
         let mut cur = Cursor::new(&buf);
         assert_eq!(read_frame(&mut cur).unwrap(), b"one");
         assert_eq!(read_frame(&mut cur).unwrap(), b"two");
+    }
+
+    #[test]
+    fn vectored_matches_contiguous_on_the_wire() {
+        let head = b"header bytes";
+        let tail = b"and a payload that follows";
+        let mut contiguous = Vec::new();
+        write_frame(&mut contiguous, &[&head[..], &tail[..]].concat()).unwrap();
+        let mut vectored = Vec::new();
+        write_frame_vectored(&mut vectored, head, tail).unwrap();
+        assert_eq!(contiguous, vectored);
+        let got = read_frame(Cursor::new(&vectored)).unwrap();
+        assert_eq!(got, [&head[..], &tail[..]].concat());
+    }
+
+    #[test]
+    fn vectored_with_empty_tail_is_plain_frame() {
+        let mut a = Vec::new();
+        write_frame(&mut a, b"solo").unwrap();
+        let mut b = Vec::new();
+        write_frame_vectored(&mut b, b"solo", b"").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vectored_oversize_is_rejected() {
+        let tail = vec![0u8; MAX_FRAME_LEN];
+        let mut sink = Vec::new();
+        let err = write_frame_vectored(&mut sink, b"x", &tail).unwrap_err();
+        assert!(matches!(err, SwarmError::InvalidArgument(_)), "{err}");
+        assert!(sink.is_empty(), "nothing written on reject");
     }
 }

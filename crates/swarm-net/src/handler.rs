@@ -33,14 +33,14 @@ pub(crate) mod testing {
     use super::*;
     use parking_lot::Mutex;
     use std::collections::HashMap;
-    use swarm_types::{FragmentId, SwarmError};
+    use swarm_types::{Bytes, FragmentId, SwarmError};
 
     /// Minimal in-memory handler used by transport tests (the real storage
     /// server lives in `swarm-server`; tests here only need the protocol
     /// plumbing).
     #[derive(Default)]
     pub struct EchoStore {
-        pub fragments: Mutex<HashMap<FragmentId, Vec<u8>>>,
+        pub fragments: Mutex<HashMap<FragmentId, Bytes>>,
     }
 
     impl RequestHandler for EchoStore {
@@ -61,7 +61,7 @@ pub(crate) mod testing {
                             if end > data.len() {
                                 Response::from_error(&SwarmError::corrupt("short"))
                             } else {
-                                Response::Data(data[start..end].to_vec())
+                                Response::Data(data.slice(start..end))
                             }
                         }
                     }

@@ -32,8 +32,8 @@ pub mod tcp;
 pub mod transport;
 
 pub use fault::FaultPlan;
-pub use frame::{read_frame, write_frame};
+pub use frame::{read_frame, write_frame, write_frame_vectored};
 pub use handler::RequestHandler;
 pub use mem::MemTransport;
-pub use proto::{Request, Response, ServerStats, StoreRange};
+pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
 pub use transport::{broadcast, Connection, Transport};

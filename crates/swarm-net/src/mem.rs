@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use swarm_types::{ClientId, Decode, Encode, Result, ServerId, SwarmError};
+use swarm_types::{Bytes, ClientId, Decode, Encode, Result, ServerId, SwarmError};
 
 use crate::fault::FaultPlan;
 use crate::handler::RequestHandler;
@@ -161,14 +161,15 @@ impl Connection for MemConnection {
         }
         let span = m.call_us.span("net.mem.call");
         let response = if self.verify_codec {
-            // Round-trip through the exact bytes a socket would carry.
-            let wire = request.encode_to_vec();
+            // Round-trip through the exact bytes a socket would carry,
+            // decoding them shared just like the TCP path does.
+            let wire = Bytes::from(request.encode_to_vec());
             m.bytes_out.add(wire.len() as u64);
-            let decoded = Request::decode_all(&wire)?;
+            let decoded = Request::decode_all_shared(&wire)?;
             let response = self.handler.handle(self.client, decoded);
-            let wire = response.encode_to_vec();
+            let wire = Bytes::from(response.encode_to_vec());
             m.bytes_in.add(wire.len() as u64);
-            Response::decode_all(&wire)?
+            Response::decode_all_shared(&wire)?
         } else {
             self.handler.handle(self.client, request.clone())
         };
@@ -241,7 +242,7 @@ mod tests {
             fid,
             marked: false,
             ranges: vec![],
-            data: data.clone(),
+            data: data.clone().into(),
         })
         .unwrap()
         .into_result()
@@ -253,7 +254,7 @@ mod tests {
                 len: 24,
             })
             .unwrap();
-        assert_eq!(resp, Response::Data(data[100..124].to_vec()));
+        assert_eq!(resp, Response::Data(data[100..124].to_vec().into()));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! self-identifying stripe-group header at the front of every fragment.
 
 use swarm_types::{
-    Aid, ByteReader, ByteWriter, ClientId, Decode, Encode, FragmentId, Result, SwarmError,
+    Aid, ByteReader, ByteWriter, Bytes, ClientId, Decode, Encode, FragmentId, Result, SwarmError,
 };
 
 /// An access-controlled byte range within a stored fragment (§2.3.2).
@@ -104,8 +104,10 @@ pub enum Request {
         marked: bool,
         /// Access-controlled byte ranges (may be empty = world access).
         ranges: Vec<StoreRange>,
-        /// Opaque fragment bytes assembled by the log layer.
-        data: Vec<u8>,
+        /// Opaque fragment bytes assembled by the log layer. A shared
+        /// [`Bytes`] view: the writer, retry loop, and parity accumulator
+        /// all alias the sealed fragment's single allocation.
+        data: Bytes,
     },
     /// Read `len` bytes at `offset` within fragment `fid`.
     Read {
@@ -177,12 +179,13 @@ pub enum Request {
 pub enum Response {
     /// Operation succeeded with nothing to return.
     Ok,
-    /// `Read` succeeded.
-    Data(Vec<u8>),
+    /// `Read` succeeded. On the receive path the [`Bytes`] aliases the
+    /// decoded network frame, so the data is not copied again.
+    Data(Bytes),
     /// `LastMarked` result (None = this client has no marked fragment here).
     LastMarked(Option<FragmentId>),
     /// `Locate` result (None = fragment not stored here).
-    Located(Option<Vec<u8>>),
+    Located(Option<Bytes>),
     /// `AclCreate` result.
     AclCreated(Aid),
     /// `Stat` result.
@@ -326,8 +329,19 @@ mod tag {
     pub const R_ERR: u8 = 255;
 }
 
-impl Encode for Request {
-    fn encode(&self, w: &mut ByteWriter) {
+impl Request {
+    /// Encodes this request into `w`, stopping short of the bulk payload
+    /// bytes; if the variant carries a payload, its length prefix is
+    /// written and the raw bytes are returned for the caller to append.
+    ///
+    /// `header ++ returned-payload` is byte-identical to
+    /// [`Encode::encode`] output — `Encode` is implemented in terms of
+    /// this method — so a peer cannot tell which path produced a frame.
+    /// The framing layer sends the two pieces with
+    /// [`crate::frame::write_frame_vectored`], which is how a 1 MB store
+    /// reaches the socket without ever being copied into a contiguous
+    /// message buffer.
+    pub fn encode_split<'a>(&'a self, w: &mut ByteWriter) -> Option<&'a [u8]> {
         match self {
             Request::Store {
                 fid,
@@ -342,7 +356,8 @@ impl Encode for Request {
                 for r in ranges {
                     r.encode(w);
                 }
-                w.put_bytes(data);
+                w.put_u32(u32::try_from(data.len()).expect("field too long"));
+                return Some(data);
             }
             Request::Read { fid, offset, len } => {
                 w.put_u8(tag::READ);
@@ -383,6 +398,15 @@ impl Encode for Request {
             Request::Ping => w.put_u8(tag::PING),
             Request::Metrics => w.put_u8(tag::METRICS),
         }
+        None
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut ByteWriter) {
+        if let Some(payload) = self.encode_split(w) {
+            w.put_raw(payload);
+        }
     }
 }
 
@@ -401,7 +425,7 @@ impl Decode for Request {
                 for _ in 0..n {
                     ranges.push(StoreRange::decode(r)?);
                 }
-                let data = r.get_bytes()?.to_vec();
+                let data = r.get_shared_bytes()?;
                 Request::Store {
                     fid,
                     marked,
@@ -445,13 +469,18 @@ impl Decode for Request {
     }
 }
 
-impl Encode for Response {
-    fn encode(&self, w: &mut ByteWriter) {
+impl Response {
+    /// The response-side twin of [`Request::encode_split`]: encodes up to
+    /// (and including) the payload length prefix, returning the raw
+    /// payload bytes — if any — for the caller to append or send
+    /// vectored.
+    pub fn encode_split<'a>(&'a self, w: &mut ByteWriter) -> Option<&'a [u8]> {
         match self {
             Response::Ok => w.put_u8(tag::R_OK),
             Response::Data(data) => {
                 w.put_u8(tag::R_DATA);
-                w.put_bytes(data);
+                w.put_u32(u32::try_from(data.len()).expect("field too long"));
+                return Some(data);
             }
             Response::LastMarked(fid) => {
                 w.put_u8(tag::R_LAST_MARKED);
@@ -463,7 +492,8 @@ impl Encode for Response {
                     None => w.put_bool(false),
                     Some(h) => {
                         w.put_bool(true);
-                        w.put_bytes(h);
+                        w.put_u32(u32::try_from(h.len()).expect("field too long"));
+                        return Some(h);
                     }
                 }
             }
@@ -490,6 +520,15 @@ impl Encode for Response {
                 w.put_str(detail);
             }
         }
+        None
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut ByteWriter) {
+        if let Some(payload) = self.encode_split(w) {
+            w.put_raw(payload);
+        }
     }
 }
 
@@ -498,11 +537,11 @@ impl Decode for Response {
         let t = r.get_u8()?;
         Ok(match t {
             tag::R_OK => Response::Ok,
-            tag::R_DATA => Response::Data(r.get_bytes()?.to_vec()),
+            tag::R_DATA => Response::Data(r.get_shared_bytes()?),
             tag::R_LAST_MARKED => Response::LastMarked(Option::<FragmentId>::decode(r)?),
             tag::R_LOCATED => {
                 if r.get_bool()? {
-                    Response::Located(Some(r.get_bytes()?.to_vec()))
+                    Response::Located(Some(r.get_shared_bytes()?))
                 } else {
                     Response::Located(None)
                 }
@@ -521,6 +560,55 @@ impl Decode for Response {
                 )))
             }
         })
+    }
+}
+
+/// A request encoded once, up front, so retries reuse both the header
+/// bytes and the shared payload buffer.
+///
+/// The write pool prepares each `Store` exactly once before entering its
+/// retry loop; every attempt (and every reconnect) then ships the same
+/// header slice and the same [`Bytes`] payload. Nothing is re-encoded
+/// and nothing is re-cloned, no matter how many times the send is
+/// retried.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    request: Request,
+    header: Vec<u8>,
+    payload: Bytes,
+}
+
+impl PreparedRequest {
+    /// Encodes `request`'s header and captures its payload view.
+    pub fn new(request: Request) -> PreparedRequest {
+        let mut w = ByteWriter::new();
+        let _ = request.encode_split(&mut w);
+        let payload = match &request {
+            Request::Store { data, .. } => data.share(),
+            _ => Bytes::new(),
+        };
+        PreparedRequest {
+            request,
+            header: w.into_bytes(),
+            payload,
+        }
+    }
+
+    /// The original request (for transports that dispatch in-process).
+    pub fn request(&self) -> &Request {
+        &self.request
+    }
+
+    /// The pre-encoded message header, including the payload length
+    /// prefix. `header() ++ payload()` is the full encoded request.
+    pub fn header(&self) -> &[u8] {
+        &self.header
+    }
+
+    /// The bulk payload (empty for payload-free requests), aliasing the
+    /// buffer the request was built from.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
     }
 }
 
@@ -553,7 +641,7 @@ mod tests {
                 len: 128,
                 aid: Aid::new(5),
             }],
-            data: vec![1, 2, 3, 4],
+            data: vec![1, 2, 3, 4].into(),
         });
         roundtrip_req(Request::Read {
             fid: fid(2),
@@ -587,10 +675,10 @@ mod tests {
     #[test]
     fn all_responses_roundtrip() {
         roundtrip_resp(Response::Ok);
-        roundtrip_resp(Response::Data(vec![9; 100]));
+        roundtrip_resp(Response::Data(vec![9; 100].into()));
         roundtrip_resp(Response::LastMarked(Some(fid(8))));
         roundtrip_resp(Response::LastMarked(None));
-        roundtrip_resp(Response::Located(Some(vec![1, 2])));
+        roundtrip_resp(Response::Located(Some(vec![1, 2].into())));
         roundtrip_resp(Response::Located(None));
         roundtrip_resp(Response::AclCreated(Aid::new(44)));
         roundtrip_resp(Response::Stats(ServerStats {
@@ -667,5 +755,89 @@ mod tests {
     #[test]
     fn ok_response_into_result_is_ok() {
         assert!(Response::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn encode_split_concat_equals_encode_for_payload_variants() {
+        let store = Request::Store {
+            fid: fid(1),
+            marked: true,
+            ranges: vec![StoreRange {
+                offset: 4,
+                len: 9,
+                aid: Aid::new(2),
+            }],
+            data: vec![0xaau8; 300].into(),
+        };
+        let mut w = ByteWriter::new();
+        let payload = store.encode_split(&mut w).expect("store has a payload");
+        let mut joined = w.as_slice().to_vec();
+        joined.extend_from_slice(payload);
+        assert_eq!(joined, store.encode_to_vec());
+
+        for resp in [
+            Response::Data(vec![7u8; 64].into()),
+            Response::Located(Some(b"prefix".into())),
+        ] {
+            let mut w = ByteWriter::new();
+            let payload = resp.encode_split(&mut w).expect("has a payload");
+            let mut joined = w.as_slice().to_vec();
+            joined.extend_from_slice(payload);
+            assert_eq!(joined, resp.encode_to_vec());
+        }
+    }
+
+    #[test]
+    fn encode_split_is_full_encoding_for_payload_free_variants() {
+        for req in [Request::Ping, Request::Stat, Request::LastMarked] {
+            let mut w = ByteWriter::new();
+            assert!(req.encode_split(&mut w).is_none());
+            assert_eq!(w.as_slice(), req.encode_to_vec());
+        }
+        for resp in [Response::Ok, Response::Located(None)] {
+            let mut w = ByteWriter::new();
+            assert!(resp.encode_split(&mut w).is_none());
+            assert_eq!(w.as_slice(), resp.encode_to_vec());
+        }
+    }
+
+    #[test]
+    fn prepared_request_reuses_header_and_payload() {
+        let data = Bytes::from(vec![3u8; 1024]);
+        let data_ptr = data.as_ptr();
+        let prepared = PreparedRequest::new(Request::Store {
+            fid: fid(9),
+            marked: false,
+            ranges: vec![],
+            data,
+        });
+        // The payload aliases the original buffer — no clone happened.
+        assert_eq!(prepared.payload().as_ptr(), data_ptr);
+        // header ++ payload is the canonical encoding.
+        let mut joined = prepared.header().to_vec();
+        joined.extend_from_slice(prepared.payload());
+        assert_eq!(joined, prepared.request().encode_to_vec());
+        // Payload-free requests have an empty payload and full header.
+        let ping = PreparedRequest::new(Request::Ping);
+        assert!(ping.payload().is_empty());
+        assert_eq!(ping.header(), Request::Ping.encode_to_vec());
+    }
+
+    #[test]
+    fn shared_decode_aliases_the_frame_buffer() {
+        let req = Request::Store {
+            fid: fid(4),
+            marked: false,
+            ranges: vec![],
+            data: vec![0x5au8; 256].into(),
+        };
+        let wire = Bytes::from(req.encode_to_vec());
+        let decoded = Request::decode_all_shared(&wire).unwrap();
+        let Request::Store { data, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(data, vec![0x5au8; 256]);
+        // Zero-copy: the decoded payload points into the wire buffer.
+        assert_eq!(data.as_ptr(), wire[wire.len() - 256..].as_ptr());
     }
 }

@@ -18,11 +18,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use swarm_metrics::{Counter, Histogram};
-use swarm_types::{ByteWriter, ClientId, Decode, Encode, Result, ServerId, SwarmError};
+use swarm_types::{ByteWriter, Bytes, ClientId, Decode, Encode, Result, ServerId, SwarmError};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, write_frame_vectored};
 use crate::handler::RequestHandler;
-use crate::proto::{Request, Response};
+use crate::proto::{PreparedRequest, Request, Response};
 use crate::transport::{Connection, Transport};
 
 /// How long the accept loop sleeps after a failed `accept()` before trying
@@ -218,18 +218,23 @@ fn serve_connection(stream: TcpStream, id: ServerId, handler: &dyn RequestHandle
             Err(SwarmError::Io(_)) => return Ok(()), // peer hung up
             Err(e) => return Err(e),
         };
+        // Shared decode: a Store's payload stays a view of this frame
+        // allocation all the way into the fragment store.
+        let frame = Bytes::from(frame);
         let m = metrics();
         m.server_requests.inc();
         m.server_bytes_in.add(frame.len() as u64);
         let span = m.server_request_us.span("net.server.request");
-        let response = match Request::decode_all(&frame) {
+        let response = match Request::decode_all_shared(&frame) {
             Ok(request) => handler.handle(client, request),
             Err(e) => Response::from_error(&e),
         };
         drop(span);
-        let encoded = response.encode_to_vec();
-        m.server_bytes_out.add(encoded.len() as u64);
-        write_frame(&mut writer, &encoded)?;
+        let mut header = ByteWriter::new();
+        let payload = response.encode_split(&mut header).unwrap_or(&[]);
+        m.server_bytes_out
+            .add((header.len() + payload.len()) as u64);
+        write_frame_vectored(&mut writer, header.as_slice(), payload)?;
     }
 }
 
@@ -302,14 +307,19 @@ impl Transport for TcpTransport {
             .lock()
             .get(&server)
             .ok_or(SwarmError::ServerUnavailable(server))?;
-        let stream = TcpStream::connect(addr).map_err(|_| SwarmError::ServerUnavailable(server))?;
-        stream.set_nodelay(true)?;
+        // Every connection-setup failure — dial, socket options, stream
+        // clone, or a garbled handshake reply — maps to ServerUnavailable
+        // so the writer's retry path always engages; only a *successful*
+        // handshake with the wrong identity is a protocol error.
+        let unavailable = |_| SwarmError::ServerUnavailable(server);
+        let stream = TcpStream::connect(addr).map_err(unavailable)?;
+        stream.set_nodelay(true).map_err(unavailable)?;
         let timeout = self.call_timeout();
-        stream.set_read_timeout(timeout)?;
-        stream.set_write_timeout(timeout)?;
+        stream.set_read_timeout(timeout).map_err(unavailable)?;
+        stream.set_write_timeout(timeout).map_err(unavailable)?;
         metrics().client_connects.inc();
         swarm_metrics::trace!("net.connect", "client {client} -> server {server}");
-        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream.try_clone().map_err(unavailable)?);
         let mut writer = BufWriter::new(stream);
 
         // A server that stalls mid-handshake is indistinguishable from a
@@ -320,7 +330,7 @@ impl Transport for TcpTransport {
         write_frame(&mut writer, w.as_slice())
             .map_err(|_| SwarmError::ServerUnavailable(server))?;
         let ack = read_frame(&mut reader).map_err(|_| SwarmError::ServerUnavailable(server))?;
-        let got = ServerId::decode_all(&ack)?;
+        let got = ServerId::decode_all(&ack).map_err(|_| SwarmError::ServerUnavailable(server))?;
         if got != server {
             return Err(SwarmError::protocol(format!(
                 "handshake: expected server {server}, got {got}"
@@ -345,11 +355,13 @@ struct TcpConnection {
     writer: BufWriter<TcpStream>,
 }
 
-impl Connection for TcpConnection {
-    fn call(&mut self, request: &Request) -> Result<Response> {
+impl TcpConnection {
+    /// Ships one `header ++ payload` request frame and reads the reply.
+    /// The payload is borrowed all the way to the socket — this function
+    /// never copies it.
+    fn exchange(&mut self, header: &[u8], payload: &[u8]) -> Result<Response> {
         let m = metrics();
         let span = m.client_call_us.span("net.client.call");
-        let encoded = request.encode_to_vec();
         // Any socket-level failure — including a read/write timeout on a
         // hung server — becomes ServerUnavailable so the log layer's retry
         // and reconnect machinery engages.
@@ -357,12 +369,29 @@ impl Connection for TcpConnection {
             metrics().client_call_errors.inc();
             SwarmError::ServerUnavailable(server)
         };
-        write_frame(&mut self.writer, &encoded).map_err(|_| unavailable(self.server))?;
-        m.client_bytes_out.add(encoded.len() as u64);
+        write_frame_vectored(&mut self.writer, header, payload)
+            .map_err(|_| unavailable(self.server))?;
+        m.client_bytes_out
+            .add((header.len() + payload.len()) as u64);
         let frame = read_frame(&mut self.reader).map_err(|_| unavailable(self.server))?;
         m.client_bytes_in.add(frame.len() as u64);
         drop(span);
-        Response::decode_all(&frame)
+        // Shared decode: Data/Located payloads alias the reply frame.
+        Response::decode_all_shared(&Bytes::from(frame))
+    }
+}
+
+impl Connection for TcpConnection {
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        let mut header = ByteWriter::new();
+        let payload = request.encode_split(&mut header);
+        self.exchange(header.as_slice(), payload.unwrap_or(&[]))
+    }
+
+    fn call_prepared(&mut self, prepared: &PreparedRequest) -> Result<Response> {
+        // The header was encoded when the request was prepared; retries
+        // reuse it and the shared payload byte-for-byte.
+        self.exchange(prepared.header(), prepared.payload())
     }
 
     fn server(&self) -> ServerId {
@@ -396,7 +425,7 @@ mod tests {
             fid,
             marked: true,
             ranges: vec![],
-            data: data.clone(),
+            data: data.clone().into(),
         })
         .unwrap();
         let resp = conn
@@ -406,7 +435,7 @@ mod tests {
                 len: 5,
             })
             .unwrap();
-        assert_eq!(resp, Response::Data(data[10..15].to_vec()));
+        assert_eq!(resp, Response::Data(data[10..15].to_vec().into()));
     }
 
     #[test]
@@ -430,7 +459,7 @@ mod tests {
                         fid,
                         marked: false,
                         ranges: vec![],
-                        data: vec![c as u8; 64],
+                        data: vec![c as u8; 64].into(),
                     })
                     .unwrap();
                 }
@@ -508,6 +537,64 @@ mod tests {
         );
         drop(conn);
         stall.join().unwrap();
+    }
+
+    /// A peer that completes the dial but sends a garbled handshake ack
+    /// must surface as ServerUnavailable (so retry engages), not as a raw
+    /// decode error.
+    #[test]
+    fn garbled_handshake_is_unavailable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let imposter = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            let _hello = read_frame(&mut reader).unwrap();
+            // Reply with a frame that is not a ServerId encoding.
+            write_frame(&mut writer, b"not a server id").unwrap();
+        });
+        let transport = TcpTransport::with_servers([(ServerId::new(2), addr)]);
+        let err = match transport.connect(ServerId::new(2), ClientId::new(1)) {
+            Ok(_) => panic!("garbled handshake should fail to connect"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+        imposter.join().unwrap();
+    }
+
+    /// Large stores arrive intact through the vectored write path and a
+    /// prepared request can be replayed on a fresh connection without
+    /// re-encoding.
+    #[test]
+    fn vectored_store_and_prepared_call_roundtrip() {
+        let server = TcpServer::spawn(
+            ServerId::new(0),
+            "127.0.0.1:0",
+            Arc::new(EchoStore::default()),
+        )
+        .unwrap();
+        let transport = TcpTransport::with_servers([(ServerId::new(0), server.addr())]);
+        let mut conn = transport
+            .connect(ServerId::new(0), ClientId::new(5))
+            .unwrap();
+        let data: Vec<u8> = (0..(256 * 1024u32)).map(|i| (i % 251) as u8).collect();
+        let fid = FragmentId::new(ClientId::new(5), 7);
+        let prepared = PreparedRequest::new(Request::Store {
+            fid,
+            marked: false,
+            ranges: vec![],
+            data: data.clone().into(),
+        });
+        assert_eq!(conn.call_prepared(&prepared).unwrap(), Response::Ok);
+        let resp = conn
+            .call(&Request::Read {
+                fid,
+                offset: 0,
+                len: data.len() as u32,
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Data(data.into()));
     }
 
     /// The configured timeout is observable and `None` restores blocking

@@ -2,7 +2,7 @@
 
 use swarm_types::{ClientId, Result, ServerId};
 
-use crate::proto::{Request, Response};
+use crate::proto::{PreparedRequest, Request, Response};
 
 /// A live connection from a client to one storage server.
 pub trait Connection: Send {
@@ -15,6 +15,20 @@ pub trait Connection: Send {
     /// returned inside the [`Response`] (`Response::Err`) so callers can
     /// distinguish "server said no" from "server gone".
     fn call(&mut self, request: &Request) -> Result<Response>;
+
+    /// Sends a pre-encoded request (see [`PreparedRequest`]).
+    ///
+    /// Retry loops prepare a request once and call this on every attempt;
+    /// wire transports override it to reuse the prepared header and
+    /// payload without re-encoding. The default delegates to
+    /// [`Connection::call`] for transports that dispatch in-process.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::call`].
+    fn call_prepared(&mut self, prepared: &PreparedRequest) -> Result<Response> {
+        self.call(prepared.request())
+    }
 
     /// The server this connection talks to.
     fn server(&self) -> ServerId;

@@ -2,8 +2,10 @@
 //! and valid messages must survive frame + codec round trips bit-exactly.
 
 use proptest::prelude::*;
-use swarm_net::{read_frame, write_frame, Request, Response, StoreRange};
-use swarm_types::{Aid, ClientId, Decode, Encode, FragmentId};
+use swarm_net::{
+    read_frame, write_frame, write_frame_vectored, Request, Response, ServerStats, StoreRange,
+};
+use swarm_types::{Aid, ByteWriter, ClientId, Decode, Encode, FragmentId};
 
 fn arb_fid() -> impl Strategy<Value = FragmentId> {
     (0u32..100, 0u64..1_000_000).prop_map(|(c, s)| FragmentId::new(ClientId::new(c), s))
@@ -28,7 +30,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 fid,
                 marked,
                 ranges,
-                data
+                data: data.into()
             }),
         (arb_fid(), any::<u32>(), any::<u32>()).prop_map(|(fid, offset, len)| Request::Read {
             fid,
@@ -47,7 +49,79 @@ fn arb_request() -> impl Strategy<Value = Request> {
     ]
 }
 
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(|d| Response::Data(d.into())),
+        (any::<bool>(), arb_fid())
+            .prop_map(|(some, fid)| Response::LastMarked(some.then_some(fid))),
+        (
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(some, h)| Response::Located(some.then(|| h.into()))),
+        any::<u32>().prop_map(|a| Response::AclCreated(Aid::new(a))),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(fragments, bytes, stores, reads, deletes, capacity_fragments)| {
+                    Response::Stats(ServerStats {
+                        fragments,
+                        bytes,
+                        stores,
+                        reads,
+                        deletes,
+                        capacity_fragments,
+                    })
+                }
+            ),
+        ".*".prop_map(Response::Metrics),
+        (any::<u16>(), any::<u64>(), ".*").prop_map(|(code, datum, detail)| Response::Err {
+            code,
+            datum,
+            detail,
+        }),
+    ]
+}
+
+/// Frames `msg` both ways — the contiguous path (`write_frame` over
+/// `encode_to_vec`) and the vectored path (`encode_split` header + payload
+/// through `write_frame_vectored`) — and asserts identical wire bytes.
+fn assert_vectored_framing_identical(header: &[u8], payload: &[u8], contiguous: &[u8]) {
+    let mut old_wire = Vec::new();
+    write_frame(&mut old_wire, contiguous).unwrap();
+    let mut new_wire = Vec::new();
+    write_frame_vectored(&mut new_wire, header, payload).unwrap();
+    assert_eq!(old_wire, new_wire);
+}
+
 proptest! {
+    #[test]
+    fn vectored_framing_matches_contiguous_for_requests(req in arb_request()) {
+        let mut w = ByteWriter::new();
+        let payload = req.encode_split(&mut w).unwrap_or(&[]);
+        let mut concat = w.as_slice().to_vec();
+        concat.extend_from_slice(payload);
+        prop_assert_eq!(&concat, &req.encode_to_vec());
+        assert_vectored_framing_identical(w.as_slice(), payload, &concat);
+    }
+
+    #[test]
+    fn vectored_framing_matches_contiguous_for_responses(resp in arb_response()) {
+        let mut w = ByteWriter::new();
+        let payload = resp.encode_split(&mut w).unwrap_or(&[]);
+        let mut concat = w.as_slice().to_vec();
+        concat.extend_from_slice(payload);
+        prop_assert_eq!(&concat, &resp.encode_to_vec());
+        assert_vectored_framing_identical(w.as_slice(), payload, &concat);
+    }
+
     #[test]
     fn decode_of_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = Request::decode_all(&data);

@@ -21,7 +21,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
-use swarm_types::{crc32, BlockAddr, ClientId, FragmentId, Result, SwarmError};
+use swarm_types::{crc32, BlockAddr, Bytes, ClientId, FragmentId, Result, SwarmError};
 
 use crate::store::{FragmentMeta, FragmentStore};
 
@@ -276,7 +276,7 @@ impl FileStore {
 }
 
 impl FragmentStore for FileStore {
-    fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+    fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.fragments.contains_key(&fid) {
             return Err(SwarmError::FragmentExists(fid));
@@ -293,7 +293,7 @@ impl FragmentStore for FileStore {
         let tmp_path = self.dir.join(TMP).join(format!("{:016x}", fid.raw()));
         {
             let mut f = File::create(&tmp_path)?;
-            f.write_all(data)?;
+            f.write_all(&data)?;
             if self.durable {
                 f.sync_all()?;
             }
@@ -317,7 +317,7 @@ impl FragmentStore for FileStore {
         Ok(())
     }
 
-    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes> {
         let stored = {
             let inner = self.inner.lock();
             let (stored, _) = inner
@@ -337,7 +337,7 @@ impl FragmentStore for FileStore {
         f.seek(SeekFrom::Start(offset as u64))?;
         let mut buf = vec![0u8; len as usize];
         f.read_exact(&mut buf)?;
-        Ok(buf)
+        Ok(buf.into())
     }
 
     fn delete(&self, fid: FragmentId) -> Result<()> {
@@ -475,9 +475,9 @@ mod tests {
         let d = TempDir::new("reopen");
         {
             let s = FileStore::open_with(&d.0, 0, false).unwrap();
-            s.store(fid(1, 0), b"alpha", false).unwrap();
-            s.store(fid(1, 1), b"beta", true).unwrap();
-            s.store(fid(1, 2), b"gamma", false).unwrap();
+            s.store(fid(1, 0), b"alpha".into(), false).unwrap();
+            s.store(fid(1, 1), b"beta".into(), true).unwrap();
+            s.store(fid(1, 2), b"gamma".into(), false).unwrap();
             s.delete(fid(1, 0)).unwrap();
         }
         let s = FileStore::open_with(&d.0, 0, false).unwrap();
@@ -495,7 +495,7 @@ mod tests {
         let d = TempDir::new("orphan");
         {
             let s = FileStore::open_with(&d.0, 0, false).unwrap();
-            s.store(fid(1, 0), b"committed", false).unwrap();
+            s.store(fid(1, 0), b"committed".into(), false).unwrap();
         }
         let orphan = FileStore::slot_path(&d.0, fid(1, 99));
         fs::write(&orphan, b"never committed").unwrap();
@@ -510,7 +510,7 @@ mod tests {
         let d = TempDir::new("torn");
         {
             let s = FileStore::open_with(&d.0, 0, false).unwrap();
-            s.store(fid(1, 0), b"good", false).unwrap();
+            s.store(fid(1, 0), b"good".into(), false).unwrap();
         }
         // Append garbage (a torn record) to the journal.
         let mut f = OpenOptions::new()
@@ -523,7 +523,7 @@ mod tests {
         assert_eq!(s.fragment_count(), 1);
         assert_eq!(s.read(fid(1, 0), 0, 4).unwrap(), b"good");
         // And the store remains writable afterwards.
-        s.store(fid(1, 1), b"more", false).unwrap();
+        s.store(fid(1, 1), b"more".into(), false).unwrap();
     }
 
     #[test]
@@ -531,7 +531,7 @@ mod tests {
         let d = TempDir::new("missing");
         {
             let s = FileStore::open_with(&d.0, 0, false).unwrap();
-            s.store(fid(1, 0), b"data", false).unwrap();
+            s.store(fid(1, 0), b"data".into(), false).unwrap();
         }
         fs::remove_file(FileStore::slot_path(&d.0, fid(1, 0))).unwrap();
         let err = FileStore::open_with(&d.0, 0, false).unwrap_err();
@@ -543,8 +543,12 @@ mod tests {
         let d = TempDir::new("compact");
         let s = FileStore::open_with(&d.0, 0, false).unwrap();
         for i in 0..50 {
-            s.store(fid(2, i), format!("frag{i}").as_bytes(), i % 7 == 0)
-                .unwrap();
+            s.store(
+                fid(2, i),
+                format!("frag{i}").into_bytes().into(),
+                i % 7 == 0,
+            )
+            .unwrap();
         }
         for i in 0..25 {
             s.delete(fid(2, i * 2)).unwrap();

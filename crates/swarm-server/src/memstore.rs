@@ -7,13 +7,13 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use parking_lot::Mutex;
-use swarm_types::{BlockAddr, ClientId, FragmentId, Result, SwarmError};
+use swarm_types::{BlockAddr, Bytes, ClientId, FragmentId, Result, SwarmError};
 
 use crate::store::{FragmentMeta, FragmentStore};
 
 #[derive(Default)]
 struct Inner {
-    fragments: BTreeMap<FragmentId, (Vec<u8>, bool)>,
+    fragments: BTreeMap<FragmentId, (Bytes, bool)>,
     prealloc: HashSet<FragmentId>,
     marked: HashMap<ClientId, BTreeSet<FragmentId>>,
     bytes: u64,
@@ -55,7 +55,7 @@ impl MemStore {
 }
 
 impl FragmentStore for MemStore {
-    fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+    fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.fragments.contains_key(&fid) {
             return Err(SwarmError::FragmentExists(fid));
@@ -67,15 +67,17 @@ impl FragmentStore for MemStore {
                 self.capacity
             )));
         }
+        // Keep the shared view as-is: on the TCP path this aliases the
+        // network frame the fragment arrived in (no copy).
         inner.bytes += data.len() as u64;
-        inner.fragments.insert(fid, (data.to_vec(), marked));
+        inner.fragments.insert(fid, (data, marked));
         if marked {
             inner.marked.entry(fid.client()).or_default().insert(fid);
         }
         Ok(())
     }
 
-    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes> {
         let inner = self.inner.lock();
         let (data, _) = inner
             .fragments
@@ -88,7 +90,7 @@ impl FragmentStore for MemStore {
                 stored: data.len() as u32,
             });
         }
-        Ok(data[offset as usize..end].to_vec())
+        Ok(data.slice(offset as usize..end))
     }
 
     fn delete(&self, fid: FragmentId) -> Result<()> {
@@ -208,7 +210,7 @@ mod tests {
         let fid = FragmentId::new(ClientId::new(0), 0);
         s.preallocate(fid, 10).unwrap();
         s.preallocate(fid, 10).unwrap();
-        s.store(fid, b"x", false).unwrap();
+        s.store(fid, b"x".into(), false).unwrap();
         s.preallocate(fid, 10).unwrap(); // already stored: no-op
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use swarm_net::{Request, RequestHandler, Response, ServerStats};
-use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
+use swarm_types::{Bytes, ClientId, FragmentId, Result, ServerId, SwarmError};
 
 use crate::acl::AclDb;
 use crate::store::FragmentStore;
@@ -54,7 +54,7 @@ fn metrics() -> &'static ServerMetrics {
 /// let server = StorageServer::new(ServerId::new(0), MemStore::new());
 /// let fid = FragmentId::new(ClientId::new(1), 0);
 /// let resp = server.handle(ClientId::new(1), Request::Store {
-///     fid, marked: false, ranges: vec![], data: vec![1, 2, 3],
+///     fid, marked: false, ranges: vec![], data: vec![1, 2, 3].into(),
 /// });
 /// assert_eq!(resp, Response::Ok);
 /// ```
@@ -74,7 +74,7 @@ pub struct StorageServer<S> {
 
 struct FragmentCache {
     capacity: usize,
-    map: HashMap<FragmentId, Arc<Vec<u8>>>,
+    map: HashMap<FragmentId, Bytes>,
     order: VecDeque<FragmentId>,
 }
 
@@ -87,11 +87,11 @@ impl FragmentCache {
         }
     }
 
-    fn get(&self, fid: FragmentId) -> Option<Arc<Vec<u8>>> {
-        self.map.get(&fid).cloned()
+    fn get(&self, fid: FragmentId) -> Option<Bytes> {
+        self.map.get(&fid).map(Bytes::share)
     }
 
-    fn insert(&mut self, fid: FragmentId, bytes: Arc<Vec<u8>>) {
+    fn insert(&mut self, fid: FragmentId, bytes: Bytes) {
         if self.map.insert(fid, bytes).is_none() {
             self.order.push_back(fid);
             while self.order.len() > self.capacity {
@@ -187,12 +187,14 @@ impl<S: FragmentStore> StorageServer<S> {
                 // Validate ranges (and record them) before committing the
                 // bytes so a bad request stores nothing.
                 self.acls.attach_ranges(fid, ranges)?;
-                if let Err(e) = self.store.store(fid, &data, marked) {
+                // `share()` is an O(1) refcount bump; the store and the
+                // cache alias the same buffer (on TCP, the network frame).
+                if let Err(e) = self.store.store(fid, data.share(), marked) {
                     self.acls.detach_ranges(fid);
                     return Err(e);
                 }
                 if let Some(cache) = &self.cache {
-                    cache.lock().insert(fid, Arc::new(data));
+                    cache.lock().insert(fid, data);
                 }
                 Ok(Response::Ok)
             }
@@ -208,7 +210,7 @@ impl<S: FragmentStore> StorageServer<S> {
                         if end <= bytes.len() {
                             self.cache_hits.fetch_add(1, Ordering::Relaxed);
                             m.cache_hits.inc();
-                            return Ok(Response::Data(bytes[offset as usize..end].to_vec()));
+                            return Ok(Response::Data(bytes.slice(offset as usize..end)));
                         }
                     }
                 }
@@ -305,7 +307,7 @@ mod tests {
                 fid: fid(1, 0),
                 marked: false,
                 ranges: vec![],
-                data: b"hello".to_vec(),
+                data: b"hello".into(),
             },
         ));
         let resp = ok(srv.handle(
@@ -316,7 +318,7 @@ mod tests {
                 len: 3,
             },
         ));
-        assert_eq!(resp, Response::Data(b"ell".to_vec()));
+        assert_eq!(resp, Response::Data(b"ell".into()));
         ok(srv.handle(me, Request::Delete { fid: fid(1, 0) }));
         let resp = srv.handle(
             me,
@@ -339,7 +341,7 @@ mod tests {
                     fid: fid(c, s),
                     marked: m,
                     ranges: vec![],
-                    data: vec![0],
+                    data: vec![0].into(),
                 },
             ));
         }
@@ -367,7 +369,7 @@ mod tests {
                 fid: fid(1, 3),
                 marked: false,
                 ranges: vec![],
-                data: b"headerbody".to_vec(),
+                data: b"headerbody".into(),
             },
         ));
         let resp = ok(srv.handle(
@@ -377,7 +379,7 @@ mod tests {
                 header_len: 6,
             },
         ));
-        assert_eq!(resp, Response::Located(Some(b"header".to_vec())));
+        assert_eq!(resp, Response::Located(Some(b"header".into())));
         // header_len longer than the fragment is clamped, not an error.
         let resp = ok(srv.handle(
             me,
@@ -386,7 +388,7 @@ mod tests {
                 header_len: 1000,
             },
         ));
-        assert_eq!(resp, Response::Located(Some(b"headerbody".to_vec())));
+        assert_eq!(resp, Response::Located(Some(b"headerbody".into())));
         let resp = ok(srv.handle(
             me,
             Request::Locate {
@@ -421,7 +423,7 @@ mod tests {
                     len: 5,
                     aid,
                 }],
-                data: b"secret+public".to_vec(),
+                data: b"secret+public".into(),
             },
         ));
         // Non-member denied on protected bytes…
@@ -446,7 +448,7 @@ mod tests {
                 len: 6,
             },
         ));
-        assert_eq!(resp, Response::Data(b"public".to_vec()));
+        assert_eq!(resp, Response::Data(b"public".into()));
         // Granting membership opens the protected range.
         ok(srv.handle(
             owner,
@@ -476,7 +478,7 @@ mod tests {
                 fid: fid(1, 0),
                 marked: false,
                 ranges: vec![],
-                data: vec![1],
+                data: vec![1].into(),
             },
         ));
         // Second store of same fid fails; its ranges must not take effect.
@@ -494,7 +496,7 @@ mod tests {
                     len: 1,
                     aid,
                 }],
-                data: vec![2],
+                data: vec![2].into(),
             },
         );
         assert!(resp.into_result().is_err());
@@ -519,7 +521,7 @@ mod tests {
                 fid: fid(1, 0),
                 marked: false,
                 ranges: vec![],
-                data: vec![0; 64],
+                data: vec![0; 64].into(),
             },
         ));
         ok(srv.handle(
@@ -581,10 +583,10 @@ mod cache_tests {
     }
 
     impl FragmentStore for CountingStore {
-        fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()> {
+        fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()> {
             self.inner.store(fid, data, marked)
         }
-        fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes> {
             self.reads.fetch_add(1, Ordering::Relaxed);
             self.inner.read(fid, offset, len)
         }
@@ -640,7 +642,7 @@ mod cache_tests {
                 fid: fid(seq),
                 marked: false,
                 ranges: vec![],
-                data: data.to_vec(),
+                data: data.into(),
             },
         )
         .into_result()
@@ -663,7 +665,10 @@ mod cache_tests {
         let srv = counting_server(4);
         store_frag(&srv, 0, &[7u8; 1024]);
         for _ in 0..10 {
-            assert_eq!(read_frag(&srv, 0, 100, 16), Response::Data(vec![7u8; 16]));
+            assert_eq!(
+                read_frag(&srv, 0, 100, 16),
+                Response::Data(vec![7u8; 16].into())
+            );
         }
         assert_eq!(srv.store().reads.load(Ordering::Relaxed), 0);
         assert_eq!(srv.cache_hits(), 10);
@@ -687,7 +692,10 @@ mod cache_tests {
             store_frag(&srv, seq, &[seq as u8; 64]);
         }
         // Fragment 0 was evicted by 2; reading it hits the store.
-        assert_eq!(read_frag(&srv, 0, 0, 4), Response::Data(vec![0u8; 4]));
+        assert_eq!(
+            read_frag(&srv, 0, 0, 4),
+            Response::Data(vec![0u8; 4].into())
+        );
         assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
         // Fragments 1 and 2 still cached.
         read_frag(&srv, 1, 0, 4);
@@ -706,7 +714,10 @@ mod cache_tests {
         // bytes (it re-populates, so the store is never read, but the
         // data must be the NEW data).
         store_frag(&srv, 0, &[2u8; 64]);
-        assert_eq!(read_frag(&srv, 0, 0, 4), Response::Data(vec![2u8; 4]));
+        assert_eq!(
+            read_frag(&srv, 0, 0, 4),
+            Response::Data(vec![2u8; 4].into())
+        );
     }
 
     #[test]

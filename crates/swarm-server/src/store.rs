@@ -7,7 +7,7 @@
 //! the same server runs on memory ([`crate::MemStore`]) or disk
 //! ([`crate::FileStore`]).
 
-use swarm_types::{ClientId, FragmentId, Result};
+use swarm_types::{Bytes, ClientId, FragmentId, Result};
 
 /// Metadata the store keeps per fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,20 +34,27 @@ pub struct FragmentMeta {
 pub trait FragmentStore: Send + Sync {
     /// Persists a fragment atomically.
     ///
+    /// `data` is a shared buffer view: on the hot path it aliases the
+    /// network frame the fragment arrived in, so in-memory stores can keep
+    /// it without copying.
+    ///
     /// # Errors
     ///
     /// * `FragmentExists` if `fid` is already stored.
     /// * `OutOfSpace` if every slot is full.
     /// * `Io` on disk failure.
-    fn store(&self, fid: FragmentId, data: &[u8], marked: bool) -> Result<()>;
+    fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()>;
 
     /// Reads `len` bytes at `offset` from fragment `fid`.
+    ///
+    /// The returned [`Bytes`] may alias the stored fragment (in-memory
+    /// stores return a zero-copy sub-view).
     ///
     /// # Errors
     ///
     /// * `FragmentNotFound` if `fid` is not stored.
     /// * `RangeOutOfBounds` if the range extends past the stored length.
-    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Vec<u8>>;
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes>;
 
     /// Deletes a fragment, freeing its slot. Idempotent-by-error: deleting
     /// a missing fragment returns `FragmentNotFound`.
@@ -99,15 +106,15 @@ pub(crate) mod conformance {
 
     pub fn store_read_roundtrip(s: &dyn FragmentStore) {
         let data: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
-        s.store(fid(1, 0), &data, false).unwrap();
+        s.store(fid(1, 0), data.clone().into(), false).unwrap();
         assert_eq!(s.read(fid(1, 0), 0, 2048).unwrap(), data);
         assert_eq!(s.read(fid(1, 0), 100, 32).unwrap(), &data[100..132]);
         assert_eq!(s.read(fid(1, 0), 2048, 0).unwrap(), Vec::<u8>::new());
     }
 
     pub fn double_store_rejected(s: &dyn FragmentStore) {
-        s.store(fid(1, 1), b"aaa", false).unwrap();
-        let err = s.store(fid(1, 1), b"bbb", false).unwrap_err();
+        s.store(fid(1, 1), b"aaa".into(), false).unwrap();
+        let err = s.store(fid(1, 1), b"bbb".into(), false).unwrap_err();
         assert!(matches!(err, SwarmError::FragmentExists(_)), "{err}");
         // Original data untouched.
         assert_eq!(s.read(fid(1, 1), 0, 3).unwrap(), b"aaa");
@@ -121,7 +128,7 @@ pub(crate) mod conformance {
     }
 
     pub fn out_of_range_read_errors(s: &dyn FragmentStore) {
-        s.store(fid(1, 2), b"0123456789", false).unwrap();
+        s.store(fid(1, 2), b"0123456789".into(), false).unwrap();
         let err = s.read(fid(1, 2), 5, 6).unwrap_err();
         assert!(matches!(err, SwarmError::RangeOutOfBounds { .. }), "{err}");
         let err = s.read(fid(1, 2), 11, 0).unwrap_err();
@@ -129,21 +136,21 @@ pub(crate) mod conformance {
     }
 
     pub fn delete_frees_fragment(s: &dyn FragmentStore) {
-        s.store(fid(1, 3), b"gone", false).unwrap();
+        s.store(fid(1, 3), b"gone".into(), false).unwrap();
         s.delete(fid(1, 3)).unwrap();
         assert!(s.read(fid(1, 3), 0, 1).is_err());
         assert!(s.meta(fid(1, 3)).is_none());
         // Slot is reusable.
-        s.store(fid(1, 3), b"back", false).unwrap();
+        s.store(fid(1, 3), b"back".into(), false).unwrap();
         assert_eq!(s.read(fid(1, 3), 0, 4).unwrap(), b"back");
     }
 
     pub fn marked_tracking(s: &dyn FragmentStore) {
         assert_eq!(s.last_marked(ClientId::new(2)), None);
-        s.store(fid(2, 0), b"a", true).unwrap();
-        s.store(fid(2, 1), b"b", false).unwrap();
-        s.store(fid(2, 2), b"c", true).unwrap();
-        s.store(fid(3, 7), b"d", true).unwrap();
+        s.store(fid(2, 0), b"a".into(), true).unwrap();
+        s.store(fid(2, 1), b"b".into(), false).unwrap();
+        s.store(fid(2, 2), b"c".into(), true).unwrap();
+        s.store(fid(3, 7), b"d".into(), true).unwrap();
         assert_eq!(s.last_marked(ClientId::new(2)), Some(fid(2, 2)));
         assert_eq!(s.last_marked(ClientId::new(3)), Some(fid(3, 7)));
         // Deleting the newest marked fragment falls back to the previous.
@@ -153,22 +160,22 @@ pub(crate) mod conformance {
 
     pub fn capacity_enforced(s: &dyn FragmentStore) {
         assert_eq!(s.capacity(), 2);
-        s.store(fid(4, 0), b"x", false).unwrap();
+        s.store(fid(4, 0), b"x".into(), false).unwrap();
         s.preallocate(fid(4, 1), 1).unwrap();
-        let err = s.store(fid(4, 2), b"z", false).unwrap_err();
+        let err = s.store(fid(4, 2), b"z".into(), false).unwrap_err();
         assert!(matches!(err, SwarmError::OutOfSpace(_)), "{err}");
         // The preallocated slot still accepts its fragment.
-        s.store(fid(4, 1), b"y", false).unwrap();
+        s.store(fid(4, 1), b"y".into(), false).unwrap();
         // Deleting frees a slot.
         s.delete(fid(4, 0)).unwrap();
-        s.store(fid(4, 2), b"z", false).unwrap();
+        s.store(fid(4, 2), b"z".into(), false).unwrap();
     }
 
     pub fn accounting(s: &dyn FragmentStore) {
         assert_eq!(s.fragment_count(), 0);
         assert_eq!(s.byte_count(), 0);
-        s.store(fid(5, 0), &[0u8; 100], false).unwrap();
-        s.store(fid(5, 1), &[0u8; 28], false).unwrap();
+        s.store(fid(5, 0), vec![0u8; 100].into(), false).unwrap();
+        s.store(fid(5, 1), vec![0u8; 28].into(), false).unwrap();
         assert_eq!(s.fragment_count(), 2);
         assert_eq!(s.byte_count(), 128);
         assert_eq!(s.list(), vec![fid(5, 0), fid(5, 1)]);

@@ -63,7 +63,7 @@ proptest! {
                 match op {
                     StoreOp::Store { seq, marked, len } => {
                         let data = vec![*seq; *len as usize];
-                        match store.store(fid(*seq), &data, *marked) {
+                        match store.store(fid(*seq), data.clone().into(), *marked) {
                             Ok(()) => {
                                 model.insert(*seq, (data, *marked));
                             }

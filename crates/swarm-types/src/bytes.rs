@@ -1,0 +1,284 @@
+//! Cheaply-shareable immutable byte buffers.
+//!
+//! The store path moves 1 MB fragments from the log writer through the
+//! codec, the framing layer, and into the server stores. Before this type
+//! existed each hop cloned the payload; [`Bytes`] is an `Arc<Vec<u8>>`
+//! plus a byte range, so every layer holds a view of the *same*
+//! allocation. Slicing ([`Bytes::slice`]) and sharing ([`Bytes::share`])
+//! are O(1) and never copy.
+//!
+//! The buffer is immutable once wrapped: mutation requires [`Bytes::to_vec`]
+//! (an explicit copy), which keeps aliasing sound without `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use swarm_types::Bytes;
+//!
+//! let b = Bytes::from(vec![1u8, 2, 3, 4]);
+//! let tail = b.slice(2..);
+//! assert_eq!(&tail[..], &[3, 4]);
+//! // `tail` views the same allocation as `b`:
+//! assert_eq!(tail.as_ptr(), b[2..].as_ptr());
+//! ```
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with O(1) slicing.
+///
+/// `Clone` (and its named alias [`Bytes::share`]) copies only the
+/// refcount and range, never the bytes. Dereferences to `[u8]`, so all
+/// slice methods (`len`, indexing, `as_ptr`, iteration) work directly.
+#[derive(Clone)]
+pub struct Bytes {
+    arc: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared, but none is needed).
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Returns another handle to the same underlying allocation.
+    ///
+    /// Identical to `clone()`, but named so hot paths read as what they
+    /// are: sharing a buffer, not copying one.
+    pub fn share(&self) -> Bytes {
+        self.clone()
+    }
+
+    /// Number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if this view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of this buffer without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            start <= end && end <= len,
+            "slice {start}..{end} out of range for Bytes of len {len}"
+        );
+        Bytes {
+            arc: Arc::clone(&self.arc),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// The bytes as a plain slice (also available via `Deref`).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.arc[self.start..self.end]
+    }
+
+    /// Copies this view into an owned `Vec<u8>`.
+    ///
+    /// The only way to get mutable bytes back out — copies are explicit.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Wraps an owned vector without copying it.
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            arc: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    /// Copies a borrowed slice into a fresh buffer.
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    /// Copies a borrowed array into a fresh buffer (handy for literals).
+    fn from(s: &[u8; N]) -> Bytes {
+        Bytes::from(s.as_slice().to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes", self.len())?;
+        if self.len() <= 16 {
+            write!(f, ": {:02x?}", self.as_slice())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<Bytes> for [u8; N] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_and_slice_alias_one_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.share();
+        assert_eq!(b.as_ptr(), s.as_ptr());
+        let mid = b.slice(2..6);
+        assert_eq!(mid, [2u8, 3, 4, 5]);
+        assert_eq!(mid.as_ptr(), b[2..].as_ptr());
+        let inner = mid.slice(1..=2);
+        assert_eq!(inner, [3u8, 4]);
+        assert_eq!(inner.as_ptr(), b[3..].as_ptr());
+    }
+
+    #[test]
+    fn equality_across_shapes() {
+        let b = Bytes::from(b"hello");
+        assert_eq!(b, *b"hello");
+        assert_eq!(b, b"hello");
+        assert_eq!(b, b"hello".to_vec());
+        assert_eq!(b"hello".to_vec(), b);
+        assert_eq!(b, &b"hello"[..]);
+        assert_eq!(b, Bytes::from(b"hello".to_vec()));
+        assert_ne!(b, Bytes::from(b"world".to_vec()));
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().len(), 0);
+        let b = Bytes::from(vec![1u8]);
+        let empty = b.slice(1..1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..8);
+    }
+
+    #[test]
+    fn to_vec_copies() {
+        let b = Bytes::from(vec![9u8; 32]);
+        let v = b.to_vec();
+        assert_eq!(v, b);
+        assert_ne!(v.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let short = format!("{:?}", Bytes::from(b"ab"));
+        assert!(short.contains("2 bytes"), "{short}");
+        let long = format!("{:?}", Bytes::from(vec![0u8; 1024]));
+        assert!(long.contains("1024 bytes"), "{long}");
+        assert!(long.len() < 64, "{long}");
+    }
+}

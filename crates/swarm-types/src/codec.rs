@@ -25,6 +25,7 @@
 //!
 //! [`SwarmError::Corrupt`]: crate::error::SwarmError::Corrupt
 
+use crate::bytes::Bytes;
 use crate::error::{Result, SwarmError};
 
 /// Maximum length accepted for a length-prefixed field (64 MiB).
@@ -183,16 +184,39 @@ impl ByteWriter {
 }
 
 /// Bounds-checked little-endian byte source.
+///
+/// A reader constructed with [`ByteReader::shared`] additionally carries
+/// a handle to the shared allocation it is reading from, which lets
+/// [`ByteReader::get_shared_bytes`] return zero-copy [`Bytes`] views of
+/// payload fields instead of copying them out.
 #[derive(Debug, Clone)]
 pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Set when `buf` is exactly `source[..]`; enables zero-copy field
+    /// extraction.
+    source: Option<&'a Bytes>,
 }
 
 impl<'a> ByteReader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        ByteReader { buf, pos: 0 }
+        ByteReader {
+            buf,
+            pos: 0,
+            source: None,
+        }
+    }
+
+    /// Creates a reader over a shared buffer; byte fields read with
+    /// [`ByteReader::get_shared_bytes`] will alias `source` instead of
+    /// being copied.
+    pub fn shared(source: &'a Bytes) -> Self {
+        ByteReader {
+            buf: source,
+            pos: 0,
+            source: Some(source),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -335,6 +359,26 @@ impl<'a> ByteReader<'a> {
         self.take(len)
     }
 
+    /// Reads a `u32`-length-prefixed byte field as a shared [`Bytes`]
+    /// view.
+    ///
+    /// For readers built with [`ByteReader::shared`] this is zero-copy:
+    /// the returned value aliases the source allocation. For plain
+    /// readers it copies, like `get_bytes().to_vec()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] if the prefix or payload is truncated
+    /// or the length exceeds [`MAX_FIELD_LEN`].
+    pub fn get_shared_bytes(&mut self) -> Result<Bytes> {
+        let slice = self.get_bytes()?;
+        let end = self.pos;
+        match self.source {
+            Some(src) => Ok(src.slice(end - slice.len()..end)),
+            None => Ok(Bytes::from(slice)),
+        }
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     ///
     /// # Errors
@@ -376,6 +420,26 @@ pub trait Decode: Sized {
     /// Returns [`SwarmError::Corrupt`] on malformed input or trailing bytes.
     fn decode_all(buf: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(SwarmError::corrupt(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Like [`Decode::decode_all`], but over a shared buffer: byte fields
+    /// decoded via [`ByteReader::get_shared_bytes`] alias `buf` instead of
+    /// being copied. This is how a received network frame becomes a stored
+    /// fragment without another allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] on malformed input or trailing bytes.
+    fn decode_all_shared(buf: &Bytes) -> Result<Self> {
+        let mut r = ByteReader::shared(buf);
         let v = Self::decode(&mut r)?;
         if !r.is_empty() {
             return Err(SwarmError::corrupt(format!(
@@ -430,6 +494,20 @@ impl Encode for Vec<u8> {
 impl Decode for Vec<u8> {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+/// `Bytes` encodes exactly like `Vec<u8>` (u32 length prefix + raw
+/// bytes); the wire format cannot tell them apart.
+impl Encode for Bytes {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        r.get_shared_bytes()
     }
 }
 
@@ -578,6 +656,47 @@ mod tests {
         let v = vec![ServerId::new(1), ServerId::new(2), ServerId::new(3)];
         let buf = v.encode_to_vec();
         assert_eq!(Vec::<ServerId>::decode_all(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn shared_reader_fields_alias_the_source() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        w.put_bytes(b"payload");
+        w.put_bytes(b"tail");
+        let src = Bytes::from(w.into_bytes());
+        let mut r = ByteReader::shared(&src);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        let payload = r.get_shared_bytes().unwrap();
+        let tail = r.get_shared_bytes().unwrap();
+        assert!(r.is_empty());
+        assert_eq!(payload, b"payload");
+        assert_eq!(tail, b"tail");
+        // Zero-copy: both views point into `src`'s allocation.
+        assert_eq!(payload.as_ptr(), src[8..].as_ptr());
+        assert_eq!(tail.as_ptr(), src[8 + 7 + 4..].as_ptr());
+    }
+
+    #[test]
+    fn unshared_reader_copies_shared_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"copied");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let field = r.get_shared_bytes().unwrap();
+        assert_eq!(field, b"copied");
+        assert_ne!(field.as_ptr(), buf[4..].as_ptr());
+    }
+
+    #[test]
+    fn bytes_codec_matches_vec_codec() {
+        let v = b"wire format parity".to_vec();
+        let b = Bytes::from(v.clone());
+        assert_eq!(v.encode_to_vec(), b.encode_to_vec());
+        let decoded = Bytes::decode_all(&v.encode_to_vec()).unwrap();
+        assert_eq!(decoded, v);
+        let shared = Bytes::decode_all_shared(&Bytes::from(v.encode_to_vec())).unwrap();
+        assert_eq!(shared, v);
     }
 
     proptest! {

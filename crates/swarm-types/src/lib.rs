@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod codec;
 pub mod constants;
 pub mod crc;
 pub mod error;
 pub mod id;
 
+pub use bytes::Bytes;
 pub use codec::{ByteReader, ByteWriter, Decode, Encode};
 pub use constants::{DEFAULT_BLOCK_SIZE, DEFAULT_FRAGMENT_SIZE, MAX_STRIPE_WIDTH};
 pub use crc::crc32;

@@ -53,7 +53,7 @@ fn byte_range_protection_through_the_wire() {
                 len: 6,
                 aid,
             }],
-            data: b"secretPUBLIC".to_vec(),
+            data: b"secretPUBLIC".into(),
         },
     ));
 
@@ -82,7 +82,7 @@ fn byte_range_protection_through_the_wire() {
             len: 6,
         },
     ));
-    assert_eq!(public, Response::Data(b"PUBLIC".to_vec()));
+    assert_eq!(public, Response::Data(b"PUBLIC".into()));
 
     // Owner reads everything.
     let all = must(call(
@@ -95,7 +95,7 @@ fn byte_range_protection_through_the_wire() {
             len: 12,
         },
     ));
-    assert_eq!(all, Response::Data(b"secretPUBLIC".to_vec()));
+    assert_eq!(all, Response::Data(b"secretPUBLIC".into()));
 }
 
 #[test]
@@ -130,7 +130,7 @@ fn adding_a_member_opens_all_existing_data() {
                     len: 4,
                     aid,
                 }],
-                data: format!("data{seq}").into_bytes(),
+                data: format!("data{seq}").into_bytes().into(),
             },
         ));
     }
@@ -201,7 +201,7 @@ fn locate_respects_acls() {
                 len: 100,
                 aid,
             }],
-            data: vec![0xaa; 100],
+            data: vec![0xaa; 100].into(),
         },
     ));
     let leak = call(
@@ -245,7 +245,7 @@ fn world_acl_and_unprotected_stores_stay_open() {
                 len: 4,
                 aid: Aid::WORLD,
             }],
-            data: b"open".to_vec(),
+            data: b"open".into(),
         },
     ));
     must(call(
