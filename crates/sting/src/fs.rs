@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use swarm_log::Log;
 use swarm_services::CachingReader;
-use swarm_types::{BlockAddr, ByteReader, ByteWriter, Decode, Encode, ServiceId};
+use swarm_types::{BlockAddr, ByteReader, ByteWriter, Bytes, Decode, Encode, ServiceId};
 
 use crate::error::{StingError, StingResult};
 use crate::inode::{Inode, InodeKind};
@@ -629,8 +629,7 @@ impl StingFs {
                 })
             };
             if let Some(old) = old_addr {
-                let old_data = self.reader.read(old)?;
-                content = old_data.as_ref().clone();
+                content = self.reader.read(old)?.to_vec();
             }
             if content.len() < within_end as usize {
                 content.resize(within_end as usize, 0);
@@ -645,7 +644,7 @@ impl StingFs {
                 &block_create_info(ino, idx),
                 &content,
             )?;
-            self.reader.put(new_addr, Arc::new(content));
+            self.reader.put(new_addr, Bytes::from(content));
 
             // Commit mapping; the delete record marks the old copy dead.
             let prior = {
@@ -789,15 +788,14 @@ impl StingFs {
                         .flatten()
                 };
                 if let Some(old_addr) = old_tail {
-                    let old_data = self.reader.read(old_addr)?;
-                    let mut content = old_data.as_ref().clone();
+                    let mut content = self.reader.read(old_addr)?.to_vec();
                     content.truncate(tail_len);
                     let new_addr = self.log.append_block(
                         self.config.service,
                         &block_create_info(ino, tail_idx),
                         &content,
                     )?;
-                    self.reader.put(new_addr, Arc::new(content));
+                    self.reader.put(new_addr, Bytes::from(content));
                     {
                         let mut inner = self.inner.lock();
                         let blocks = inner

@@ -106,18 +106,11 @@ fn bench_reconstruction(c: &mut Criterion) {
             }
             log.flush().unwrap();
             let addr = addr.unwrap();
-            let (victim, _) =
-                swarm_log::reconstruct::locate_fragment(&*transport, ClientId::new(1), addr.fid)
-                    .expect("fragment stored");
+            let engine = log.engine();
+            let (victim, _) = swarm_log::reconstruct::locate_fragment(engine, addr.fid)
+                .expect("fragment stored");
             transport.set_down(victim, true);
-            b.iter(|| {
-                swarm_log::reconstruct::reconstruct_fragment(
-                    &*transport,
-                    ClientId::new(1),
-                    addr.fid,
-                )
-                .unwrap()
-            });
+            b.iter(|| swarm_log::reconstruct::reconstruct_fragment(engine, addr.fid).unwrap());
         });
     }
     g.finish();

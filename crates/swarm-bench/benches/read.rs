@@ -1,0 +1,107 @@
+//! Read-path benchmarks over the parallel read engine: sequential read
+//! bandwidth through the home fast path, degraded (reconstructing) reads
+//! with a server down, and the recovery rollforward scan with read-ahead.
+//!
+//! Each group measures the pooled, fan-out engine against the serial
+//! baseline (`set_fanout(false)`, `read_ahead(0)`) — the ratio between
+//! rows is the parallel-engine speedup on the same cluster.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swarm_bench::{log_config, mem_cluster};
+use swarm_log::{recover, Log};
+use swarm_types::{BlockAddr, ServiceId};
+
+const SVC: ServiceId = ServiceId::new(1);
+const BLOCK: usize = 8 * 1024;
+const BLOCKS: usize = 64;
+
+/// A flushed log plus the addresses of its blocks, cache disabled so every
+/// read exercises the engine.
+fn seeded_log(servers: u32, fanout: bool) -> (Arc<swarm_net::MemTransport>, Log, Vec<BlockAddr>) {
+    let transport = mem_cluster(servers);
+    let config = log_config(1, servers)
+        .fragment_size(32 * 1024)
+        .cache_fragments(0);
+    let log = Log::create(transport.clone(), config).unwrap();
+    log.engine().set_fanout(fanout);
+    let mut addrs = Vec::with_capacity(BLOCKS);
+    for i in 0..BLOCKS {
+        addrs.push(
+            log.append_block(SVC, b"", &vec![(i % 251) as u8; BLOCK])
+                .unwrap(),
+        );
+    }
+    log.flush().unwrap();
+    (transport, log, addrs)
+}
+
+fn bench_sequential_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_read");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes((BLOCKS * BLOCK) as u64));
+    for (name, fanout) in [("pooled_fanout", true), ("serial_baseline", false)] {
+        let (_t, log, addrs) = seeded_log(4, fanout);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for addr in &addrs {
+                    criterion::black_box(log.read(*addr).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_degraded_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degraded_read");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((BLOCKS * BLOCK) as u64));
+    for (name, fanout) in [("pooled_fanout", true), ("serial_baseline", false)] {
+        let (transport, log, addrs) = seeded_log(4, fanout);
+        // One server down: reads of its fragments reconstruct from the
+        // surviving stripe members on every iteration (cache is off and
+        // the fragment map entry is forgotten each round).
+        transport.set_down(swarm_types::ServerId::new(0), true);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for addr in &addrs {
+                    log.forget_fragment(addr.fid);
+                    criterion::black_box(log.read(*addr).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((BLOCKS * BLOCK) as u64));
+    for (name, read_ahead) in [("read_ahead_4", 4usize), ("no_read_ahead", 0)] {
+        let (transport, log, _addrs) = seeded_log(4, read_ahead > 0);
+        drop(log); // client crash: rollforward scans the whole log
+        let config = log_config(1, 4)
+            .fragment_size(32 * 1024)
+            .cache_fragments(0)
+            .read_ahead(read_ahead);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (log, replay) =
+                    recover(transport.clone() as Arc<dyn swarm_net::Transport>, config.clone(), &[SVC]).unwrap();
+                criterion::black_box((log, replay.records_for(SVC).len()));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_read,
+    bench_degraded_read,
+    bench_recovery_scan
+);
+criterion_main!(benches);

@@ -8,8 +8,15 @@
 //! testbed model: sequential fragment-read bandwidth with one group
 //! member down, by stripe width.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use swarm_bench::print_table;
+use swarm_log::{Log, LogConfig};
+use swarm_net::tcp::{TcpServer, TcpTransport};
+use swarm_server::{MemStore, StorageServer};
 use swarm_sim::{simulate_degraded_read, Calibration};
+use swarm_types::{ClientId, ServerId, ServiceId};
 
 fn main() {
     let cal = Calibration::testbed_1999();
@@ -31,4 +38,71 @@ fn main() {
     println!("\nwidth 2 degrades for free (parity is a mirror); wider groups approach a");
     println!("bounded ~2× worst case — and smaller stripe groups involve fewer servers in");
     println!("each rebuild, the paper's argument for groups smaller than the cluster.");
+
+    measure_real_stack();
+}
+
+/// Degraded reads on the real stack over TCP loopback: the serial read
+/// engine (`set_fanout(false)`, one member fetch at a time) against the
+/// parallel fan-out. The sim above models the 1999 testbed; this measures
+/// this implementation.
+fn measure_real_stack() {
+    const BLOCK: usize = 8 * 1024;
+    const BLOCKS: usize = 64;
+    const ROUNDS: usize = 10;
+
+    let mut rows = Vec::new();
+    for (name, fanout) in [("serial baseline", false), ("parallel fan-out", true)] {
+        let transport = Arc::new(TcpTransport::new());
+        let mut servers = Vec::new();
+        for i in 0..4u32 {
+            let handler = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            let server = TcpServer::spawn(ServerId::new(i), "127.0.0.1:0", handler).unwrap();
+            transport.add_server(ServerId::new(i), server.addr());
+            servers.push(server);
+        }
+        let config = LogConfig::new(ClientId::new(1), (0..4).map(ServerId::new).collect())
+            .unwrap()
+            .fragment_size(32 * 1024)
+            .cache_fragments(0);
+        let log = Log::create(
+            transport.clone() as Arc<dyn swarm_net::Transport>,
+            config,
+        )
+        .unwrap();
+        log.engine().set_fanout(fanout);
+        let svc = ServiceId::new(1);
+        let mut addrs = Vec::new();
+        for i in 0..BLOCKS {
+            addrs.push(
+                log.append_block(svc, b"", &vec![(i % 251) as u8; BLOCK])
+                    .unwrap(),
+            );
+        }
+        log.flush().unwrap();
+
+        // Kill one server process: every read of its fragments must
+        // reconstruct. Forgetting the fragment each round forces the
+        // locate + rebuild path instead of the home fast path.
+        let mut dead = servers.remove(0);
+        dead.shutdown();
+        drop(dead);
+
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            for addr in &addrs {
+                log.forget_fragment(addr.fid);
+                let data = log.read(*addr).unwrap();
+                assert_eq!(data.len(), BLOCK);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mb_s = (ROUNDS * BLOCKS * BLOCK) as f64 / 1e6 / secs;
+        rows.push(vec![name.to_string(), format!("{mb_s:.2}")]);
+    }
+    print_table(
+        "Real stack (TCP loopback, width 4, one server down): degraded reads",
+        &["read engine", "MB/s"],
+        &rows,
+    );
 }

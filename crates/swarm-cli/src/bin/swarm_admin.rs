@@ -294,7 +294,8 @@ fn frag_command(args: &Args) -> Result<()> {
     let transport = transport_for(args.require("servers")?)?;
     let client = client_id(args)?;
     let fid = swarm_types::FragmentId::new(client, seq);
-    match swarm_log::reconstruct::locate_fragment(&*transport, client, fid) {
+    let pool = Arc::new(swarm_net::ConnectionPool::new(transport, client));
+    match swarm_log::reconstruct::locate_fragment(&pool, fid) {
         Some((server, header)) => {
             println!(
                 "{fid}: on {server}; stripe {} (members seq {}..{}), index {}, parity index {},                  {} body bytes{}",
@@ -318,7 +319,7 @@ fn frag_command(args: &Args) -> Result<()> {
         }
         None => {
             // Not directly present: can it be reconstructed?
-            match swarm_log::reconstruct::reconstruct_fragment(&*transport, client, fid) {
+            match swarm_log::reconstruct::reconstruct_fragment(&pool, fid) {
                 Ok(bytes) => println!(
                     "{fid}: NOT stored on any reachable server, but reconstructible                      from parity ({} bytes)",
                     bytes.len()

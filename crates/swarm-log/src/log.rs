@@ -10,11 +10,12 @@
 //! deleted; records drive crash recovery (see [`crate::recovery`]); the
 //! cleaner (crate `swarm-cleaner`) reclaims dead stripes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use swarm_net::{Connection, Request, Response, Transport};
+use parking_lot::{Condvar, Mutex};
+use swarm_net::{ConnectionPool, Request, Response, Transport};
 use swarm_types::{
     BlockAddr, Bytes, ClientId, FragmentId, Result, ServerId, ServiceId, StripeSeq, SwarmError,
     DEFAULT_FRAGMENT_SIZE,
@@ -35,6 +36,11 @@ struct LogMetrics {
     submit_us: swarm_metrics::Histogram,
     flush_us: swarm_metrics::Histogram,
     reconstruct_us: swarm_metrics::Histogram,
+    /// Read latency split by the source that served the read.
+    read_builder_us: swarm_metrics::Histogram,
+    read_cache_us: swarm_metrics::Histogram,
+    read_home_us: swarm_metrics::Histogram,
+    read_reconstruct_us: swarm_metrics::Histogram,
 }
 
 fn metrics() -> &'static LogMetrics {
@@ -47,6 +53,10 @@ fn metrics() -> &'static LogMetrics {
         submit_us: swarm_metrics::histogram("log.submit_us"),
         flush_us: swarm_metrics::histogram("log.flush_us"),
         reconstruct_us: swarm_metrics::histogram("log.reconstruct_us"),
+        read_builder_us: swarm_metrics::histogram("log.read_us.builder"),
+        read_cache_us: swarm_metrics::histogram("log.read_us.cache"),
+        read_home_us: swarm_metrics::histogram("log.read_us.home"),
+        read_reconstruct_us: swarm_metrics::histogram("log.read_us.reconstruct"),
     })
 }
 
@@ -135,6 +145,11 @@ pub struct LogConfig {
     /// optimization the paper says "would greatly improve the
     /// performance of reads that miss in the client cache").
     pub prefetch: bool,
+    /// Fragments to read ahead of a miss when `prefetch` is on (and
+    /// during recovery rollforward): while fragment `seq` is being
+    /// parsed, fragments `seq+1..=seq+read_ahead` are fetched in the
+    /// background. Default 2.
+    pub read_ahead: usize,
 }
 
 impl LogConfig {
@@ -152,6 +167,7 @@ impl LogConfig {
             queue_depth: 2,
             cache_fragments: 16,
             prefetch: false,
+            read_ahead: 2,
         })
     }
 
@@ -178,6 +194,12 @@ impl LogConfig {
         self.prefetch = on;
         self
     }
+
+    /// Sets the read-ahead depth for prefetch mode and recovery scans.
+    pub fn read_ahead(mut self, fragments: usize) -> LogConfig {
+        self.read_ahead = fragments;
+        self
+    }
 }
 
 struct OpenStripe {
@@ -186,9 +208,34 @@ struct OpenStripe {
     next_member: u8,
 }
 
-/// Tiny FIFO-ish fragment cache for the read path. Entries are [`Bytes`]
+/// Which layer served a read — keys the `log.read_us.*` histograms.
+#[derive(Clone, Copy)]
+enum ReadSource {
+    Builder,
+    Cache,
+    Home,
+    Reconstruct,
+}
+
+impl ReadSource {
+    fn record(self, elapsed: std::time::Duration) {
+        let m = metrics();
+        let h = match self {
+            ReadSource::Builder => &m.read_builder_us,
+            ReadSource::Cache => &m.read_cache_us,
+            ReadSource::Home => &m.read_home_us,
+            ReadSource::Reconstruct => &m.read_reconstruct_us,
+        };
+        h.record(elapsed);
+    }
+}
+
+/// Tiny LRU fragment cache for the read path. Entries are [`Bytes`]
 /// views, so caching a sealed fragment shares its buffer with the write
-/// pipeline instead of copying it.
+/// pipeline instead of copying it. A hit refreshes the entry's position
+/// so hot fragments survive eviction (the order deque is short — the
+/// cache holds at most `cache_fragments` entries — so the linear refresh
+/// is cheaper than a linked structure would be).
 struct FragCache {
     capacity: usize,
     map: HashMap<FragmentId, Bytes>,
@@ -204,8 +251,21 @@ impl FragCache {
         }
     }
 
-    fn get(&self, fid: FragmentId) -> Option<Bytes> {
-        self.map.get(&fid).map(Bytes::share)
+    fn get(&mut self, fid: FragmentId) -> Option<Bytes> {
+        let bytes = self.map.get(&fid).map(Bytes::share)?;
+        if self.order.back() != Some(&fid) {
+            if let Some(pos) = self.order.iter().position(|f| *f == fid) {
+                self.order.remove(pos);
+                self.order.push_back(fid);
+            }
+        }
+        Some(bytes)
+    }
+
+    /// Peeks without refreshing recency (prefetch probes use this so a
+    /// speculative lookup does not compete with real reads).
+    fn contains(&self, fid: FragmentId) -> bool {
+        self.map.contains_key(&fid)
     }
 
     fn insert(&mut self, fid: FragmentId, bytes: Bytes) {
@@ -228,6 +288,16 @@ impl FragCache {
     }
 }
 
+/// Registry of whole-fragment fetches in flight. When the foreground
+/// read misses a fragment the read-ahead thread is already pulling, it
+/// waits for that fetch and serves the result from the cache instead of
+/// issuing a duplicate pair of RPCs for the same 64 KB.
+#[derive(Default)]
+struct Inflight {
+    fetching: Mutex<HashSet<FragmentId>>,
+    done: Condvar,
+}
+
 struct LogState {
     next_seq: u64,
     stripe: Option<OpenStripe>,
@@ -236,9 +306,6 @@ struct LogState {
     fragment_map: HashMap<FragmentId, ServerId>,
     /// Per-service newest checkpoint position.
     checkpoints: HashMap<ServiceId, LogPosition>,
-    cache: FragCache,
-    /// Reusable read connections, one per server.
-    conns: HashMap<ServerId, Box<dyn Connection>>,
     /// Bytes of entries appended since creation (statistics).
     appended_bytes: u64,
     stats: LogStats,
@@ -275,6 +342,18 @@ pub struct Log {
     config: LogConfig,
     transport: Arc<dyn Transport>,
     pool: WritePool,
+    /// Pooled read connections shared with reconstruction, recovery, and
+    /// the cleaner (the read engine).
+    engine: Arc<ConnectionPool>,
+    /// Client fragment cache. Outside `state` so background prefetch can
+    /// fill it without contending with appends.
+    cache: Arc<Mutex<FragCache>>,
+    /// One background prefetch run at a time.
+    prefetch_busy: Arc<AtomicBool>,
+    /// Whole-fragment fetches in flight (prefetch mode), so the
+    /// foreground read and the read-ahead thread never fetch the same
+    /// fragment twice.
+    inflight: Arc<Inflight>,
     state: Mutex<LogState>,
 }
 
@@ -306,6 +385,19 @@ impl Log {
         config: LogConfig,
         next_seq: u64,
     ) -> Result<Log> {
+        let engine = Arc::new(ConnectionPool::new(transport.clone(), config.client));
+        Self::with_engine(transport, config, next_seq, engine)
+    }
+
+    /// Creates a log reusing an existing connection pool (recovery hands
+    /// its warmed-up pool over so the new log starts with live
+    /// connections).
+    pub(crate) fn with_engine(
+        transport: Arc<dyn Transport>,
+        config: LogConfig,
+        next_seq: u64,
+        engine: Arc<ConnectionPool>,
+    ) -> Result<Log> {
         let probe_plan = config.group.plan(config.client, StripeSeq::new(0));
         let header_len = probe_plan.header(0).encoded_len();
         if config.fragment_size < header_len + 64 {
@@ -323,18 +415,20 @@ impl Log {
             config.group.servers(),
             config.queue_depth,
         );
-        let cache = FragCache::new(config.cache_fragments);
+        let cache = Arc::new(Mutex::new(FragCache::new(config.cache_fragments)));
         Ok(Log {
             pool,
             transport,
+            engine,
+            cache,
+            prefetch_busy: Arc::new(AtomicBool::new(false)),
+            inflight: Arc::new(Inflight::default()),
             state: Mutex::new(LogState {
                 next_seq,
                 stripe: None,
                 builder: None,
                 fragment_map: HashMap::new(),
                 checkpoints: HashMap::new(),
-                cache,
-                conns: HashMap::new(),
                 appended_bytes: 0,
                 stats: LogStats::default(),
                 closed: false,
@@ -380,6 +474,12 @@ impl Log {
     /// The transport this log talks through.
     pub fn transport(&self) -> &Arc<dyn Transport> {
         &self.transport
+    }
+
+    /// The shared read engine (pooled connections + parallel broadcast)
+    /// this log reads through.
+    pub fn engine(&self) -> &Arc<ConnectionPool> {
+        &self.engine
     }
 
     /// Seeds the fragment→server map (used after recovery so reads skip
@@ -466,7 +566,7 @@ impl Log {
         // Cache the sealed bytes so reads never race the write pipeline
         // (the fragment may still be in a writer queue). `share` aliases
         // the sealed buffer; no copy is made.
-        state.cache.insert(sealed.fid(), sealed.bytes.share());
+        self.cache.lock().insert(sealed.fid(), sealed.bytes.share());
         m.fragments_sealed.inc();
         swarm_metrics::trace!(
             "log.seal",
@@ -718,14 +818,23 @@ impl Log {
     // ------------------------------------------------------------------
 
     /// Reads the bytes at `addr`, transparently reconstructing the
-    /// enclosing fragment if its server is unavailable (§2.3.3).
+    /// enclosing fragment if its server is unavailable (§2.3.3). The
+    /// returned [`Bytes`] aliases the fragment's buffer (cache entry or
+    /// decoded wire frame) — no copy is made.
     ///
     /// # Errors
     ///
     /// Returns [`SwarmError::ReconstructionFailed`] when more than one
     /// member of the fragment's stripe is gone, or the underlying
     /// transport/server errors otherwise.
-    pub fn read(&self, addr: BlockAddr) -> Result<Vec<u8>> {
+    pub fn read(&self, addr: BlockAddr) -> Result<Bytes> {
+        let start = std::time::Instant::now();
+        let (source, result) = self.read_inner(addr);
+        source.record(start.elapsed());
+        result
+    }
+
+    fn read_inner(&self, addr: BlockAddr) -> (ReadSource, Result<Bytes>) {
         // Unflushed data may still be in the open builder: entries are
         // immutable once appended, so serve such reads straight from the
         // build buffer.
@@ -736,7 +845,7 @@ impl Log {
             if let Some(b) = &state.builder {
                 if b.fid() == addr.fid {
                     let result = match b.read_range(addr.offset, addr.len) {
-                        Some(bytes) => Ok(bytes.to_vec()),
+                        Some(bytes) => Ok(Bytes::from(bytes.to_vec())),
                         None => Err(SwarmError::RangeOutOfBounds {
                             addr,
                             stored: b.len() as u32,
@@ -745,34 +854,39 @@ impl Log {
                     if result.is_ok() {
                         state.stats.cache_hits += 1;
                     }
-                    return result;
+                    return (ReadSource::Builder, result);
                 }
             }
-            if let Some(bytes) = state.cache.get(addr.fid) {
+            if let Some(bytes) = self.cache.lock().get(addr.fid) {
                 state.stats.cache_hits += 1;
-                return slice_fragment(&bytes, addr);
+                return (ReadSource::Cache, slice_fragment(&bytes, addr));
             }
         }
 
-        // Prefetch mode: pull the whole fragment into the client cache
-        // on a miss, so sequential block reads become cache hits (the
+        // Prefetch mode: pull the whole fragment into the client cache on
+        // a miss — and read the next `read_ahead` fragments in the
+        // background — so sequential block reads become cache hits (the
         // optimization §3.4 names but the prototype lacked).
         if self.config.prefetch {
-            if let Some(bytes) =
-                reconstruct::read_fragment_anywhere(&*self.transport, self.config.client, addr.fid)?
-            {
-                let bytes = Bytes::from(bytes);
-                let data = slice_fragment(&bytes, addr);
-                self.state.lock().cache.insert(addr.fid, bytes);
-                return data;
-            }
-            return Err(SwarmError::FragmentNotFound(addr.fid));
+            let home = self.state.lock().fragment_map.get(&addr.fid).copied();
+            let result =
+                match fetch_into_cache(&self.engine, &self.cache, &self.inflight, home, addr.fid) {
+                    Ok(Some(bytes)) => {
+                        let data = slice_fragment(&bytes, addr);
+                        self.spawn_read_ahead(addr.fid);
+                        data
+                    }
+                    Ok(None) => Err(SwarmError::FragmentNotFound(addr.fid)),
+                    Err(e) => Err(e),
+                };
+            return (ReadSource::Home, result);
         }
 
-        // Fast path: direct range read from the fragment's home server.
+        // Fast path: direct range read from the fragment's home server
+        // over a pooled connection.
         let home = self.state.lock().fragment_map.get(&addr.fid).copied();
         if let Some(server) = home {
-            match self.call_server(
+            match self.engine.call(
                 server,
                 &Request::Read {
                     fid: addr.fid,
@@ -780,25 +894,26 @@ impl Log {
                     len: addr.len,
                 },
             ) {
-                Ok(Response::Data(data)) => return Ok(data.to_vec()),
+                Ok(Response::Data(data)) => return (ReadSource::Home, Ok(data)),
                 Ok(other) => match other.into_result() {
                     Err(e) if e.is_unavailability() => {}
-                    Err(e) => return Err(e),
+                    Err(e) => return (ReadSource::Home, Err(e)),
                     Ok(r) => {
-                        return Err(SwarmError::protocol(format!("unexpected read reply {r:?}")))
+                        return (
+                            ReadSource::Home,
+                            Err(SwarmError::protocol(format!("unexpected read reply {r:?}"))),
+                        )
                     }
                 },
                 Err(e) if e.is_unavailability() => {}
-                Err(e) => return Err(e),
+                Err(e) => return (ReadSource::Home, Err(e)),
             }
         }
 
         // Slow path: locate (the map may be stale) or reconstruct.
-        if let Some((server, _)) =
-            reconstruct::locate_fragment(&*self.transport, self.config.client, addr.fid)
-        {
+        if let Some((server, _)) = reconstruct::locate_fragment(&self.engine, addr.fid) {
             self.state.lock().fragment_map.insert(addr.fid, server);
-            match self.call_server(
+            match self.engine.call(
                 server,
                 &Request::Read {
                     fid: addr.fid,
@@ -806,12 +921,16 @@ impl Log {
                     len: addr.len,
                 },
             ) {
-                Ok(Response::Data(data)) => return Ok(data.to_vec()),
+                Ok(Response::Data(data)) => return (ReadSource::Home, Ok(data)),
                 Ok(other) => {
-                    other.into_result()?;
+                    if let Err(e) = other.into_result() {
+                        if !e.is_unavailability() {
+                            return (ReadSource::Home, Err(e));
+                        }
+                    }
                 }
                 Err(e) if e.is_unavailability() => {}
-                Err(e) => return Err(e),
+                Err(e) => return (ReadSource::Home, Err(e)),
             }
         }
 
@@ -819,20 +938,65 @@ impl Log {
         swarm_metrics::trace!("log.read", "reconstructing fragment {}", addr.fid);
         let bytes = {
             let _span = m.reconstruct_us.span("log.reconstruct");
-            Bytes::from(reconstruct::reconstruct_fragment(
-                &*self.transport,
-                self.config.client,
-                addr.fid,
-            )?)
+            match reconstruct::reconstruct_fragment(&self.engine, addr.fid) {
+                Ok(b) => b,
+                Err(e) => return (ReadSource::Reconstruct, Err(e)),
+            }
         };
         m.reconstructions.inc();
-        let data = slice_fragment(&bytes, addr)?;
+        let data = slice_fragment(&bytes, addr);
         {
             let mut state = self.state.lock();
             state.stats.reconstructions += 1;
-            state.cache.insert(addr.fid, bytes);
+            self.cache.lock().insert(addr.fid, bytes);
         }
-        Ok(data)
+        (ReadSource::Reconstruct, data)
+    }
+
+    /// Kicks off a background read-ahead of the fragments after `fid`
+    /// (prefetch mode). At most one read-ahead runs at a time; fragments
+    /// already cached are skipped without touching their recency.
+    fn spawn_read_ahead(&self, fid: FragmentId) {
+        let k = self.config.read_ahead as u64;
+        if k == 0 {
+            return;
+        }
+        if self.prefetch_busy.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let engine = Arc::clone(&self.engine);
+        let cache = Arc::clone(&self.cache);
+        let busy = Arc::clone(&self.prefetch_busy);
+        let inflight = Arc::clone(&self.inflight);
+        let client = self.config.client;
+        // Snapshot the known homes up front: the thread must not hold
+        // (or race on) the log state lock, and a direct home fetch avoids
+        // a cluster-wide locate broadcast per prefetched fragment.
+        let homes: Vec<Option<ServerId>> = {
+            let state = self.state.lock();
+            (fid.seq() + 1..=fid.seq() + k)
+                .map(|seq| {
+                    state
+                        .fragment_map
+                        .get(&FragmentId::new(client, seq))
+                        .copied()
+                })
+                .collect()
+        };
+        std::thread::spawn(move || {
+            for (i, home) in homes.into_iter().enumerate() {
+                let next = FragmentId::new(client, fid.seq() + 1 + i as u64);
+                if cache.lock().contains(next) {
+                    continue;
+                }
+                match fetch_into_cache(&engine, &cache, &inflight, home, next) {
+                    Ok(Some(_)) => {}
+                    // End of log or a failure: stop reading ahead.
+                    _ => break,
+                }
+            }
+            busy.store(false, Ordering::Release);
+        });
     }
 
     /// Client-side operation counters.
@@ -848,14 +1012,14 @@ impl Log {
     ///
     /// Propagates transport errors and corruption.
     pub fn fetch_fragment_view(&self, fid: FragmentId) -> Result<Option<FragmentView>> {
-        if let Some(bytes) = self.state.lock().cache.get(fid) {
+        if let Some(bytes) = self.cache.lock().get(fid) {
             return Ok(Some(FragmentView::parse(&bytes)?));
         }
-        match reconstruct::read_fragment_anywhere(&*self.transport, self.config.client, fid)? {
+        match reconstruct::read_fragment_anywhere(&self.engine, fid)? {
             None => Ok(None),
             Some(bytes) => {
                 let view = FragmentView::parse(&bytes)?;
-                self.state.lock().cache.insert(fid, bytes.into());
+                self.cache.lock().insert(fid, bytes);
                 Ok(Some(view))
             }
         }
@@ -864,40 +1028,23 @@ impl Log {
     /// Drops a fragment from the client cache (cleaner calls this after
     /// deleting a stripe).
     pub fn evict_cached(&self, fid: FragmentId) {
-        self.state.lock().cache.remove(fid);
+        self.cache.lock().remove(fid);
     }
 
     /// Forgets the home-server mapping of a deleted fragment.
     pub fn forget_fragment(&self, fid: FragmentId) {
-        let mut state = self.state.lock();
-        state.cache.remove(fid);
-        state.fragment_map.remove(&fid);
+        self.cache.lock().remove(fid);
+        self.state.lock().fragment_map.remove(&fid);
     }
 
-    /// Sends one request to `server`, reusing a cached connection.
+    /// Sends one request to `server` over the read engine's pooled
+    /// connections (a stale connection is transparently redialed).
     ///
     /// # Errors
     ///
     /// Propagates transport errors after one reconnect attempt.
     pub fn call_server(&self, server: ServerId, request: &Request) -> Result<Response> {
-        let mut state = self.state.lock();
-        if let std::collections::hash_map::Entry::Vacant(slot) = state.conns.entry(server) {
-            slot.insert(self.transport.connect(server, self.config.client)?);
-        }
-        let conn = state.conns.get_mut(&server).expect("just inserted");
-        match conn.call(request) {
-            Ok(resp) => Ok(resp),
-            Err(_) => {
-                // One reconnect attempt (the server may have restarted).
-                state.conns.remove(&server);
-                crate::writer::metrics().reconnects.inc();
-                swarm_metrics::trace!("log.call", "reconnecting to server {}", server);
-                let mut conn = self.transport.connect(server, self.config.client)?;
-                let resp = conn.call(request)?;
-                state.conns.insert(server, conn);
-                Ok(resp)
-            }
-        }
+        self.engine.call(server, request)
     }
 
     /// Deletes fragment `fid` on its home server (cleaner use).
@@ -913,7 +1060,7 @@ impl Log {
         };
         let server = match server {
             Some(s) => s,
-            None => reconstruct::locate_fragment(&*self.transport, self.config.client, fid)
+            None => reconstruct::locate_fragment(&self.engine, fid)
                 .map(|(s, _)| s)
                 .ok_or(SwarmError::FragmentNotFound(fid))?,
         };
@@ -1013,7 +1160,61 @@ pub fn decode_checkpoint_dir(data: &[u8]) -> Result<Vec<(ServiceId, LogPosition)
     Ok(out)
 }
 
-fn slice_fragment(bytes: &[u8], addr: BlockAddr) -> Result<Vec<u8>> {
+/// Whole-fragment fetch into the cache, deduplicated against concurrent
+/// fetches of the same fragment: the second caller blocks until the
+/// first finishes and takes the cached result. An errored fetch wakes
+/// the waiters, who miss the cache and retry themselves.
+fn fetch_into_cache(
+    engine: &Arc<ConnectionPool>,
+    cache: &Mutex<FragCache>,
+    inflight: &Inflight,
+    home: Option<ServerId>,
+    fid: FragmentId,
+) -> Result<Option<Bytes>> {
+    loop {
+        if let Some(bytes) = cache.lock().get(fid) {
+            return Ok(Some(bytes));
+        }
+        let mut fetching = inflight.fetching.lock();
+        if !fetching.contains(&fid) {
+            fetching.insert(fid);
+            break;
+        }
+        inflight.done.wait(&mut fetching);
+    }
+    let result = fetch_whole_fragment(engine, home, fid);
+    if let Ok(Some(bytes)) = &result {
+        cache.lock().insert(fid, bytes.share());
+    }
+    inflight.fetching.lock().remove(&fid);
+    inflight.done.notify_all();
+    result
+}
+
+/// Whole-fragment fetch for the prefetch path. Goes straight to the
+/// known home server when the fragment map has one — two pooled RPCs,
+/// no cluster-wide locate broadcast — and falls back to the
+/// locate/reconstruct path when the map is cold or the home is gone.
+fn fetch_whole_fragment(
+    engine: &Arc<ConnectionPool>,
+    home: Option<ServerId>,
+    fid: FragmentId,
+) -> Result<Option<Bytes>> {
+    if let Some(server) = home {
+        match reconstruct::fetch_fragment(engine, server, fid) {
+            Ok(bytes) => return Ok(Some(bytes)),
+            // Home down or the map entry is stale: locate will find it.
+            Err(e) if e.is_unavailability() => {}
+            Err(SwarmError::FragmentNotFound(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    reconstruct::read_fragment_anywhere(engine, fid)
+}
+
+/// Cuts the addressed range out of a whole-fragment buffer as a shared
+/// view — no copy.
+fn slice_fragment(bytes: &Bytes, addr: BlockAddr) -> Result<Bytes> {
     let start = addr.offset as usize;
     let end = addr.end() as usize;
     if end > bytes.len() {
@@ -1022,5 +1223,51 @@ fn slice_fragment(bytes: &[u8], addr: BlockAddr) -> Result<Vec<u8>> {
             stored: bytes.len() as u32,
         });
     }
-    Ok(bytes[start..end].to_vec())
+    Ok(bytes.slice(start..end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FragCache;
+    use swarm_types::{Bytes, ClientId, FragmentId};
+
+    fn fid(seq: u64) -> FragmentId {
+        FragmentId::new(ClientId::new(1), seq)
+    }
+
+    /// Regression test for the FIFO→LRU switch: a `get` must refresh the
+    /// entry so the least-*recently*-used fragment is evicted, not the
+    /// least-recently-*inserted* one.
+    #[test]
+    fn frag_cache_evicts_least_recently_used_not_oldest_insert() {
+        let mut cache = FragCache::new(2);
+        cache.insert(fid(1), Bytes::from(vec![1]));
+        cache.insert(fid(2), Bytes::from(vec![2]));
+        // Touch fid(1): under FIFO it would still be evicted next; under
+        // LRU the untouched fid(2) goes first.
+        assert!(cache.get(fid(1)).is_some());
+        cache.insert(fid(3), Bytes::from(vec![3]));
+        assert!(cache.get(fid(1)).is_some(), "recently-used entry evicted");
+        assert!(cache.get(fid(2)).is_none(), "stale entry survived");
+        assert!(cache.get(fid(3)).is_some());
+    }
+
+    #[test]
+    fn frag_cache_contains_does_not_refresh_recency() {
+        let mut cache = FragCache::new(2);
+        cache.insert(fid(1), Bytes::from(vec![1]));
+        cache.insert(fid(2), Bytes::from(vec![2]));
+        // A prefetch probe on fid(1) must NOT save it from eviction.
+        assert!(cache.contains(fid(1)));
+        cache.insert(fid(3), Bytes::from(vec![3]));
+        assert!(cache.get(fid(1)).is_none());
+        assert!(cache.get(fid(2)).is_some());
+    }
+
+    #[test]
+    fn frag_cache_zero_capacity_caches_nothing() {
+        let mut cache = FragCache::new(0);
+        cache.insert(fid(1), Bytes::from(vec![1]));
+        assert!(cache.get(fid(1)).is_none());
+    }
 }

@@ -9,30 +9,43 @@
 //!
 //! Reconstruction is entirely client-side; servers only answer `Locate`
 //! and `Read` and never learn that a reconstruction is happening.
+//!
+//! All functions here run over a shared [`ConnectionPool`]: locates use
+//! the pool's first-positive-wins broadcast, and stripe members — which by
+//! construction live on *different* servers — are fetched in parallel and
+//! XORed into the accumulator in arrival order (XOR is commutative, so
+//! arrival order does not affect the result).
 
-use swarm_net::{broadcast, Request, Transport};
-use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
+use std::sync::Arc;
+
+use swarm_net::{ConnectionPool, Request, Response};
+use swarm_types::{Bytes, FragmentId, Result, ServerId, SwarmError};
 
 use crate::fragment::{parse_header, FragmentHeader, LOCATE_HEADER_LEN};
-use crate::parity::{xor_into, ParityAccumulator};
+use crate::parity::xor_into;
 
 /// Broadcasts a `Locate` for `fid`, returning the first server that holds
-/// it plus its parsed header.
+/// it plus its parsed header. First positive reply wins; a hit on one
+/// server does not wait for the rest of the cluster.
 pub fn locate_fragment(
-    transport: &dyn Transport,
-    client: ClientId,
+    pool: &Arc<ConnectionPool>,
     fid: FragmentId,
 ) -> Option<(ServerId, FragmentHeader)> {
-    let replies = broadcast(
-        transport,
-        client,
-        &Request::Locate {
-            fid,
-            header_len: LOCATE_HEADER_LEN,
-        },
-    );
-    for (server, resp) in replies {
-        if let Ok(swarm_net::Response::Located(Some(prefix))) = resp.into_result() {
+    let request = Request::Locate {
+        fid,
+        header_len: LOCATE_HEADER_LEN,
+    };
+    let (server, resp) =
+        pool.broadcast_first(&request, |r| matches!(r, Response::Located(Some(_))))?;
+    if let Response::Located(Some(prefix)) = resp {
+        if let Ok(header) = parse_header(&prefix) {
+            return Some((server, header));
+        }
+    }
+    // The winning prefix failed to parse (corrupt header): fall back to a
+    // full broadcast and accept any server whose copy parses.
+    for (server, resp) in pool.broadcast(&request) {
+        if let Ok(Response::Located(Some(prefix))) = resp.into_result() {
             if let Ok(header) = parse_header(&prefix) {
                 return Some((server, header));
             }
@@ -41,29 +54,28 @@ pub fn locate_fragment(
     None
 }
 
-/// Fetches the complete bytes of a fragment from a specific server.
+/// Fetches the complete bytes of a fragment from a specific server over a
+/// pooled connection. Zero-copy: the returned [`Bytes`] is the decoded
+/// wire frame's payload, shared, not copied.
 ///
 /// # Errors
 ///
 /// Propagates transport and server errors ([`SwarmError::FragmentNotFound`],
 /// [`SwarmError::ServerUnavailable`], …) and validates the header.
-pub fn fetch_fragment(
-    transport: &dyn Transport,
-    client: ClientId,
-    server: ServerId,
-    fid: FragmentId,
-) -> Result<Vec<u8>> {
-    let mut conn = transport.connect(server, client)?;
+pub fn fetch_fragment(pool: &ConnectionPool, server: ServerId, fid: FragmentId) -> Result<Bytes> {
     // First get the header to learn the total length.
-    let resp = conn
-        .call(&Request::Locate {
-            fid,
-            header_len: LOCATE_HEADER_LEN,
-        })?
+    let resp = pool
+        .call(
+            server,
+            &Request::Locate {
+                fid,
+                header_len: LOCATE_HEADER_LEN,
+            },
+        )?
         .into_result()?;
     let prefix = match resp {
-        swarm_net::Response::Located(Some(p)) => p,
-        swarm_net::Response::Located(None) => return Err(SwarmError::FragmentNotFound(fid)),
+        Response::Located(Some(p)) => p,
+        Response::Located(None) => return Err(SwarmError::FragmentNotFound(fid)),
         other => {
             return Err(SwarmError::protocol(format!(
                 "unexpected locate reply {other:?}"
@@ -72,15 +84,18 @@ pub fn fetch_fragment(
     };
     let header = parse_header(&prefix)?;
     let total = header.encoded_len() as u32 + header.body_len;
-    let resp = conn
-        .call(&Request::Read {
-            fid,
-            offset: 0,
-            len: total,
-        })?
+    let resp = pool
+        .call(
+            server,
+            &Request::Read {
+                fid,
+                offset: 0,
+                len: total,
+            },
+        )?
         .into_result()?;
     match resp {
-        swarm_net::Response::Data(bytes) => Ok(bytes.to_vec()),
+        Response::Data(bytes) => Ok(bytes),
         other => Err(SwarmError::protocol(format!(
             "unexpected read reply {other:?}"
         ))),
@@ -89,11 +104,7 @@ pub fn fetch_fragment(
 
 /// Finds a surviving stripe-mate's header for `fid` by probing `fid ± 1`
 /// (and, transitively, every member the first discovered header names).
-fn find_stripe_header(
-    transport: &dyn Transport,
-    client: ClientId,
-    fid: FragmentId,
-) -> Option<FragmentHeader> {
+fn find_stripe_header(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Option<FragmentHeader> {
     let mut candidates = Vec::new();
     if let Some(prev) = fid.prev() {
         candidates.push(prev);
@@ -102,7 +113,7 @@ fn find_stripe_header(
         candidates.push(next);
     }
     for candidate in candidates {
-        if let Some((_, header)) = locate_fragment(transport, client, candidate) {
+        if let Some((_, header)) = locate_fragment(pool, candidate) {
             let first = header.stripe_first_seq;
             let count = header.member_count as u64;
             if (first..first + count).contains(&fid.seq()) {
@@ -113,8 +124,45 @@ fn find_stripe_header(
     None
 }
 
+/// Fetches the stripe members named by `indices` and feeds each to
+/// `on_member` as it arrives. Members live on different servers, so the
+/// fetches fan out across threads; `on_member` runs on the calling thread
+/// in arrival order. The first fetch error (or `on_member` error) aborts,
+/// after the in-flight fetches drain.
+fn fetch_members<F>(
+    pool: &Arc<ConnectionPool>,
+    header: &FragmentHeader,
+    indices: &[u8],
+    mut on_member: F,
+) -> Result<()>
+where
+    F: FnMut(u8, Bytes) -> Result<()>,
+{
+    if indices.len() <= 1 || !pool.fanout_enabled() {
+        for &i in indices {
+            let bytes = fetch_member(pool, header, i)?;
+            on_member(i, bytes)?;
+        }
+        return Ok(());
+    }
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for &i in indices {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let _ = tx.send((i, fetch_member(pool, header, i)));
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            on_member(i, result?)?;
+        }
+        Ok(())
+    })
+}
+
 /// Reconstructs the complete bytes of fragment `fid` from the surviving
-/// members of its stripe.
+/// members of its stripe, fetching them in parallel.
 ///
 /// # Errors
 ///
@@ -122,33 +170,30 @@ fn find_stripe_header(
 /// located (e.g. the fragment never existed, or more than one member of
 /// the stripe is unavailable), and [`SwarmError::Corrupt`] if the rebuilt
 /// bytes fail validation.
-pub fn reconstruct_fragment(
-    transport: &dyn Transport,
-    client: ClientId,
-    fid: FragmentId,
-) -> Result<Vec<u8>> {
-    let header = find_stripe_header(transport, client, fid).ok_or_else(|| {
-        SwarmError::ReconstructionFailed {
+pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Bytes> {
+    let header =
+        find_stripe_header(pool, fid).ok_or_else(|| SwarmError::ReconstructionFailed {
             fid,
             reason: "no surviving stripe-mate located via broadcast".into(),
-        }
-    })?;
+        })?;
 
     let my_index = (fid.seq() - header.stripe_first_seq) as u8;
     let parity_index = header.parity_index;
 
     if my_index == parity_index {
         // Rebuild the parity fragment by re-XOR-ing all data members.
+        // XOR is commutative: fold each member in as it arrives.
+        let indices: Vec<u8> = (0..header.member_count)
+            .filter(|i| *i != parity_index)
+            .collect();
         let mut acc_buf: Vec<u8> = Vec::new();
-        let mut lens = Vec::new();
-        for i in 0..header.member_count {
-            if i == parity_index {
-                continue;
-            }
-            let bytes = fetch_member(transport, client, &header, i)?;
-            lens.push(bytes.len() as u32);
+        let mut lens = vec![0u32; header.member_count as usize];
+        fetch_members(pool, &header, &indices, |i, bytes| {
+            lens[i as usize] = bytes.len() as u32;
             xor_into(&mut acc_buf, &bytes);
-        }
+            Ok(())
+        })?;
+        let lens: Vec<u32> = indices.iter().map(|i| lens[*i as usize]).collect();
         let mut parity_header = FragmentHeader {
             flags: 0,
             fid,
@@ -171,32 +216,42 @@ pub fn reconstruct_fragment(
         use swarm_types::Encode;
         parity_header.encode(&mut w);
         w.put_raw(&acc_buf);
-        return Ok(w.into_bytes());
+        return Ok(Bytes::from(w.into_bytes()));
     }
 
-    // Rebuild a data member: parity body XOR all other data members.
-    let parity_bytes = fetch_member(transport, client, &header, parity_index)?;
-    let parity_header = parse_header(&parity_bytes)?;
-    if !parity_header.is_parity() {
-        return Err(SwarmError::corrupt(format!(
-            "member {parity_index} of {} is not a parity fragment",
-            header.stripe
-        )));
-    }
-    let true_len = *parity_header
-        .member_lens
-        .get(my_index as usize)
-        .ok_or_else(|| SwarmError::corrupt("parity member_lens table too short"))?;
-    let parity_body = &parity_bytes[parity_header.encoded_len()..];
-
-    let mut surviving = Vec::new();
-    for i in 0..header.member_count {
-        if i == my_index || i == parity_index {
-            continue;
+    // Rebuild a data member: parity body XOR all other data members. The
+    // parity member rides the same fan-out; when it arrives, its header
+    // supplies the rebuilt fragment's true length.
+    let indices: Vec<u8> = (0..header.member_count)
+        .filter(|i| *i != my_index)
+        .collect();
+    let mut acc: Vec<u8> = Vec::new();
+    let mut true_len: Option<usize> = None;
+    fetch_members(pool, &header, &indices, |i, bytes| {
+        if i == parity_index {
+            let parity_header = parse_header(&bytes)?;
+            if !parity_header.is_parity() {
+                return Err(SwarmError::corrupt(format!(
+                    "member {parity_index} of {} is not a parity fragment",
+                    header.stripe
+                )));
+            }
+            true_len = Some(
+                *parity_header
+                    .member_lens
+                    .get(my_index as usize)
+                    .ok_or_else(|| SwarmError::corrupt("parity member_lens table too short"))?
+                    as usize,
+            );
+            xor_into(&mut acc, &bytes[parity_header.encoded_len()..]);
+        } else {
+            xor_into(&mut acc, &bytes);
         }
-        surviving.push(fetch_member(transport, client, &header, i)?);
-    }
-    let rebuilt = ParityAccumulator::reconstruct(parity_body, surviving, true_len as usize);
+        Ok(())
+    })?;
+    let true_len = true_len.ok_or_else(|| SwarmError::corrupt("parity member missing"))?;
+    acc.truncate(true_len);
+    let rebuilt = acc;
 
     // Validate before handing back.
     let view = crate::fragment::FragmentView::parse(&rebuilt).map_err(|e| {
@@ -211,25 +266,20 @@ pub fn reconstruct_fragment(
             reason: format!("rebuilt fragment identifies as {}", view.header.fid),
         });
     }
-    Ok(rebuilt)
+    Ok(Bytes::from(rebuilt))
 }
 
 /// Fetches stripe member `i`, trying its home server first and falling
 /// back to a broadcast locate (the member may have been re-homed or its
 /// header map stale).
-fn fetch_member(
-    transport: &dyn Transport,
-    client: ClientId,
-    header: &FragmentHeader,
-    i: u8,
-) -> Result<Vec<u8>> {
+fn fetch_member(pool: &Arc<ConnectionPool>, header: &FragmentHeader, i: u8) -> Result<Bytes> {
     let fid = header.member_fid(i);
     let home = header.member_server(i);
-    match fetch_fragment(transport, client, home, fid) {
+    match fetch_fragment(pool, home, fid) {
         Ok(bytes) => Ok(bytes),
         Err(e) if e.is_unavailability() => {
-            if let Some((server, _)) = locate_fragment(transport, client, fid) {
-                fetch_fragment(transport, client, server, fid)
+            if let Some((server, _)) = locate_fragment(pool, fid) {
+                fetch_fragment(pool, server, fid)
             } else {
                 Err(SwarmError::ReconstructionFailed {
                     fid,
@@ -244,19 +294,15 @@ fn fetch_member(
 /// Reads the complete bytes of `fid` from wherever they are, falling back
 /// to reconstruction; `Ok(None)` means the fragment does not exist in the
 /// cluster at all (end of log, or a cleaned stripe).
-pub fn read_fragment_anywhere(
-    transport: &dyn Transport,
-    client: ClientId,
-    fid: FragmentId,
-) -> Result<Option<Vec<u8>>> {
-    if let Some((server, _)) = locate_fragment(transport, client, fid) {
-        match fetch_fragment(transport, client, server, fid) {
+pub fn read_fragment_anywhere(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Option<Bytes>> {
+    if let Some((server, _)) = locate_fragment(pool, fid) {
+        match fetch_fragment(pool, server, fid) {
             Ok(bytes) => return Ok(Some(bytes)),
             Err(e) if e.is_unavailability() => {} // fall through to rebuild
             Err(e) => return Err(e),
         }
     }
-    match reconstruct_fragment(transport, client, fid) {
+    match reconstruct_fragment(pool, fid) {
         Ok(bytes) => Ok(Some(bytes)),
         Err(SwarmError::ReconstructionFailed { reason, .. })
             if reason.contains("no surviving stripe-mate") =>

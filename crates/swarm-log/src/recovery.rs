@@ -32,10 +32,10 @@
 //! service.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
-use swarm_net::{broadcast, Request, Response, Transport};
-use swarm_types::{BlockAddr, ClientId, FragmentId, Result, ServerId, ServiceId, SwarmError};
+use swarm_net::{ConnectionPool, Request, Response, Transport};
+use swarm_types::{BlockAddr, Bytes, ClientId, FragmentId, Result, ServerId, ServiceId, SwarmError};
 
 use crate::entry::Entry;
 use crate::log::{Log, LogConfig, LogPosition};
@@ -134,52 +134,37 @@ pub fn recover(
     let _span = m.recover_us.span("recovery.recover");
     let client = config.client;
     let width = config.group.width() as u64;
+    // One pool for the whole recovery; it is handed to the recovered Log
+    // afterwards so new reads start on already-warm connections.
+    let pool = Arc::new(ConnectionPool::new(transport.clone(), client));
 
-    let anchor = find_anchor(&*transport, client);
+    let anchor = find_anchor(&pool);
     swarm_metrics::trace!("recovery", "client {} anchor={:?}", client, anchor);
     let mut replay = Replay::default();
 
     let scan_start = match anchor {
         None => 0,
         Some(anchor_fid) => {
-            match read_checkpoint_dir(&*transport, client, anchor_fid)? {
-                Some(directory) => discover_from_directory(
-                    &*transport,
-                    client,
-                    &directory,
-                    expected_services,
-                    &mut replay,
-                )?,
+            match read_checkpoint_dir(&pool, anchor_fid)? {
+                Some(directory) => {
+                    discover_from_directory(&pool, &directory, expected_services, &mut replay)?
+                }
                 // No directory (e.g. the anchor predates directories, or
                 // its record was unreadable): legacy backward walk.
-                None => discover_checkpoints(
-                    &*transport,
-                    client,
-                    anchor_fid,
-                    expected_services,
-                    &mut replay,
-                )?,
+                None => discover_checkpoints(&pool, anchor_fid, expected_services, &mut replay)?,
             }
         }
     };
     let anchor_seq = anchor.map(|a| a.seq()).unwrap_or(0);
 
-    // Rollforward.
+    // Rollforward, pipelined: while fragment `seq` is parsed, fragments
+    // `seq+1..=seq+K` are already being fetched in the background.
+    let mut ahead = ReadAhead::new(Arc::clone(&pool), config.read_ahead as u64);
     let mut seq = scan_start;
     loop {
         let fid = FragmentId::new(client, seq);
-        let located = reconstruct::locate_fragment(&*transport, client, fid);
-        let bytes = match &located {
-            Some((server, _)) => {
-                match reconstruct::fetch_fragment(&*transport, client, *server, fid) {
-                    Ok(b) => Some(b),
-                    Err(e) if e.is_unavailability() => try_reconstruct(&*transport, client, fid)?,
-                    Err(e) => return Err(e),
-                }
-            }
-            None => try_reconstruct(&*transport, client, fid)?,
-        };
-        let Some(bytes) = bytes else {
+        let fetch = ahead.next(seq, client)?;
+        let Some(bytes) = fetch.bytes else {
             // Below the anchor a missing fragment is a *cleaned* stripe
             // (the cleaner only reclaims regions older than every
             // checkpoint that matters) — skip it. At or beyond the
@@ -190,7 +175,7 @@ pub fn recover(
             }
             break;
         };
-        if let Some((server, _)) = located {
+        if let Some(server) = fetch.home {
             replay.fragment_homes.push((fid, server));
         }
         m.fragments_scanned.inc();
@@ -254,9 +239,7 @@ pub fn recover(
             .retain(|(fid, _)| fid.seq() < torn_first);
         replay.last_seq = torn_first.checked_sub(1);
         for (fid, server) in torn_homes {
-            if let Ok(mut conn) = transport.connect(server, client) {
-                let _ = conn.call(&Request::Delete { fid });
-            }
+            let _ = pool.call(server, &Request::Delete { fid });
         }
     }
 
@@ -268,7 +251,7 @@ pub fn recover(
     } else {
         ((seq - 1) / width + 1) * width
     };
-    let log = Log::with_start_seq(transport, config, next_seq)?;
+    let log = Log::with_engine(transport, config, next_seq, pool)?;
     log.seed_fragment_map(replay.fragment_homes.iter().copied());
     for (service, (pos, _)) in &replay.checkpoints {
         log.seed_checkpoint(*service, *pos);
@@ -276,12 +259,86 @@ pub fn recover(
     Ok((log, replay))
 }
 
-fn try_reconstruct(
-    transport: &dyn Transport,
-    client: ClientId,
-    fid: FragmentId,
-) -> Result<Option<Vec<u8>>> {
-    match reconstruct::reconstruct_fragment(transport, client, fid) {
+/// One fetched (or missing) fragment from the rollforward pipeline.
+struct FragmentFetch {
+    /// The server a broadcast locate found the fragment on, if any.
+    home: Option<ServerId>,
+    /// The fragment bytes; `None` when the fragment neither exists nor
+    /// can be reconstructed (end of log, torn tail, or cleaned stripe).
+    bytes: Option<Bytes>,
+}
+
+/// Locate → fetch → reconstruct for one fragment, exactly the rollforward
+/// semantics: a located-but-unfetchable fragment falls back to rebuild,
+/// and "cannot be reconstructed" is a `None`, not an error.
+fn fetch_anywhere_with_home(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<FragmentFetch> {
+    let located = reconstruct::locate_fragment(pool, fid);
+    match located {
+        Some((server, _)) => match reconstruct::fetch_fragment(pool, server, fid) {
+            Ok(b) => Ok(FragmentFetch {
+                home: Some(server),
+                bytes: Some(b),
+            }),
+            Err(e) if e.is_unavailability() => Ok(FragmentFetch {
+                home: Some(server),
+                bytes: try_reconstruct(pool, fid)?,
+            }),
+            Err(e) => Err(e),
+        },
+        None => Ok(FragmentFetch {
+            home: None,
+            bytes: try_reconstruct(pool, fid)?,
+        }),
+    }
+}
+
+/// The rollforward read-ahead pipeline: keeps fetches for the next `depth`
+/// fragments in flight on background threads while the caller parses the
+/// current one.
+struct ReadAhead {
+    pool: Arc<ConnectionPool>,
+    depth: u64,
+    inflight: HashMap<u64, mpsc::Receiver<Result<FragmentFetch>>>,
+}
+
+impl ReadAhead {
+    fn new(pool: Arc<ConnectionPool>, depth: u64) -> ReadAhead {
+        ReadAhead {
+            pool,
+            depth,
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn spawn(&mut self, seq: u64, client: ClientId) {
+        if self.inflight.contains_key(&seq) {
+            return;
+        }
+        let (tx, rx) = mpsc::channel();
+        let pool = Arc::clone(&self.pool);
+        std::thread::spawn(move || {
+            let _ = tx.send(fetch_anywhere_with_home(&pool, FragmentId::new(client, seq)));
+        });
+        self.inflight.insert(seq, rx);
+    }
+
+    /// Returns fragment `seq`, first queuing background fetches for
+    /// `seq+1..=seq+depth` so the network overlaps with parsing.
+    fn next(&mut self, seq: u64, client: ClientId) -> Result<FragmentFetch> {
+        for s in seq + 1..=seq + self.depth {
+            self.spawn(s, client);
+        }
+        match self.inflight.remove(&seq) {
+            Some(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq))),
+            None => fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq)),
+        }
+    }
+}
+
+fn try_reconstruct(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Option<Bytes>> {
+    match reconstruct::reconstruct_fragment(pool, fid) {
         Ok(bytes) => {
             metrics().reconstructions.inc();
             Ok(Some(bytes))
@@ -294,9 +351,10 @@ fn try_reconstruct(
     }
 }
 
-/// Broadcast `LastMarked`; the newest reply is the recovery anchor.
-fn find_anchor(transport: &dyn Transport, client: ClientId) -> Option<FragmentId> {
-    broadcast(transport, client, &Request::LastMarked)
+/// Broadcast `LastMarked` (in parallel); the newest reply is the recovery
+/// anchor.
+fn find_anchor(pool: &Arc<ConnectionPool>) -> Option<FragmentId> {
+    pool.broadcast(&Request::LastMarked)
         .into_iter()
         .filter_map(|(_, resp)| match resp.into_result() {
             Ok(Response::LastMarked(fid)) => fid,
@@ -308,14 +366,13 @@ fn find_anchor(transport: &dyn Transport, client: ClientId) -> Option<FragmentId
 /// Reads the log layer's checkpoint directory from the anchor fragment,
 /// if present (the newest CHECKPOINT_DIR record wins).
 fn read_checkpoint_dir(
-    transport: &dyn Transport,
-    client: ClientId,
+    pool: &Arc<ConnectionPool>,
     anchor: FragmentId,
 ) -> Result<Option<Vec<(ServiceId, crate::log::LogPosition)>>> {
     if std::env::var("SWARM_DISABLE_CKPT_DIR").is_ok() {
         return Ok(None); // test hook: force the legacy backward walk
     }
-    let Some(bytes) = reconstruct::read_fragment_anywhere(transport, client, anchor)? else {
+    let Some(bytes) = reconstruct::read_fragment_anywhere(pool, anchor)? else {
         return Ok(None);
     };
     let view = crate::fragment::FragmentView::parse(&bytes)?;
@@ -338,8 +395,7 @@ fn read_checkpoint_dir(
 /// directory; returns the forward-scan start (the oldest position that
 /// still matters).
 fn discover_from_directory(
-    transport: &dyn Transport,
-    client: ClientId,
+    pool: &Arc<ConnectionPool>,
     directory: &[(ServiceId, LogPosition)],
     expected: &[ServiceId],
     replay: &mut Replay,
@@ -349,8 +405,8 @@ fn discover_from_directory(
         if !expected.contains(service) {
             continue;
         }
-        let fid = FragmentId::new(client, pos.seq);
-        let Some(bytes) = reconstruct::read_fragment_anywhere(transport, client, fid)? else {
+        let fid = FragmentId::new(pool.client(), pos.seq);
+        let Some(bytes) = reconstruct::read_fragment_anywhere(pool, fid)? else {
             // The directory references a fragment that is gone — fall
             // back to scanning from the beginning for safety.
             scan_start = 0;
@@ -383,8 +439,7 @@ fn discover_from_directory(
 /// Walks backward from the anchor collecting the newest checkpoint per
 /// service; returns the sequence number the forward scan should start at.
 fn discover_checkpoints(
-    transport: &dyn Transport,
-    client: ClientId,
+    pool: &Arc<ConnectionPool>,
     anchor: FragmentId,
     expected: &[ServiceId],
     replay: &mut Replay,
@@ -395,8 +450,8 @@ fn discover_checkpoints(
         if seq < 0 {
             break;
         }
-        let fid = FragmentId::new(client, seq as u64);
-        let bytes = match reconstruct::read_fragment_anywhere(transport, client, fid) {
+        let fid = FragmentId::new(pool.client(), seq as u64);
+        let bytes = match reconstruct::read_fragment_anywhere(pool, fid) {
             Ok(Some(b)) => b,
             // A cleaned region (or a second failure): stop walking.
             Ok(None) => break,

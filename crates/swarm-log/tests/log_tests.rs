@@ -451,9 +451,72 @@ fn log_stats_track_the_pipeline() {
     transport.set_down(ServerId::new(2), false);
     // Kill just the holder so reconstruction succeeds.
     let (holder, _) =
-        swarm_log::reconstruct::locate_fragment(&*transport, ClientId::new(1), addr.fid).unwrap();
+        swarm_log::reconstruct::locate_fragment(log.engine(), addr.fid).unwrap();
     log.forget_fragment(addr.fid);
     transport.set_down(holder, true);
     assert_eq!(log.read(addr).unwrap(), b"probe");
     assert_eq!(log.stats().reconstructions, 1);
+}
+
+#[test]
+fn reconstruction_with_member_dying_mid_fetch_falls_back_to_locate() {
+    use swarm_net::Request;
+
+    // Stripe group = servers 0..3; server 3 is outside the group and acts
+    // as the "re-homed copy" target the locate fallback must discover.
+    let (transport, _servers) = cluster(4);
+    let log = small_log(transport.clone(), 1, 3);
+    let mut addrs = Vec::new();
+    for i in 0..30u32 {
+        addrs.push(
+            log.append_block(SVC, b"", &vec![(i % 251) as u8; 700])
+                .unwrap(),
+        );
+    }
+    log.flush().unwrap();
+    let addr = addrs[5];
+    let expected = vec![5u8; 700];
+    let engine = log.engine().clone();
+
+    // Mirror every fragment EXCEPT the victim's own onto server 3, so the
+    // victim can only come back via reconstruction, but every stripe
+    // member survives somewhere even after two group servers fail.
+    let extra = ServerId::new(3);
+    for seq in 0..1000u64 {
+        let fid = swarm_types::FragmentId::new(ClientId::new(1), seq);
+        let Some((holder, _)) = swarm_log::reconstruct::locate_fragment(&engine, fid) else {
+            break;
+        };
+        if fid == addr.fid {
+            continue;
+        }
+        let bytes = swarm_log::reconstruct::fetch_fragment(&engine, holder, fid).unwrap();
+        engine
+            .call(
+                extra,
+                &Request::Store {
+                    fid,
+                    marked: false,
+                    ranges: vec![],
+                    data: bytes,
+                },
+            )
+            .unwrap()
+            .into_result()
+            .unwrap();
+    }
+
+    // Kill the victim's home outright, and arm a surviving member's home
+    // to die a couple of RPCs into the reconstruction — i.e. mid-fetch,
+    // while the parallel member fan-out is in flight.
+    let (home, _) = swarm_log::reconstruct::locate_fragment(&engine, addr.fid).unwrap();
+    log.forget_fragment(addr.fid);
+    transport.set_down(home, true);
+    let dying = ServerId::new((0..3).find(|i| ServerId::new(*i) != home).unwrap());
+    transport.faults(dying).unwrap().fail_after(2);
+
+    // The fan-out must notice the mid-fetch death, fall back to a locate
+    // broadcast, find the mirror on server 3, and finish — not deadlock.
+    assert_eq!(log.read(addr).unwrap(), expected);
+    assert!(log.stats().reconstructions >= 1);
 }

@@ -27,6 +27,7 @@ pub mod fault;
 pub mod frame;
 pub mod handler;
 pub mod mem;
+pub mod pool;
 pub mod proto;
 pub mod tcp;
 pub mod transport;
@@ -35,5 +36,6 @@ pub use fault::FaultPlan;
 pub use frame::{read_frame, write_frame, write_frame_vectored};
 pub use handler::RequestHandler;
 pub use mem::MemTransport;
+pub use pool::ConnectionPool;
 pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
 pub use transport::{broadcast, Connection, Transport};

@@ -1,0 +1,495 @@
+//! Per-client connection pool and parallel broadcast: the transport half
+//! of the read engine.
+//!
+//! The paper's client talks to every server in its stripe group, and
+//! reconstruction additionally contacts the whole cluster (§2.3.3). Doing
+//! that over a fresh connection per call wastes a dial per request and
+//! serializes the broadcast; [`ConnectionPool`] keeps a small stack of
+//! idle connections per server, tracks per-server health, and fans
+//! broadcasts out across threads so a locate costs one round-trip to the
+//! slowest *relevant* server, not the sum over the cluster.
+//!
+//! Pool lifecycle:
+//!
+//! * [`ConnectionPool::call`] checks a connection out (reusing an idle one
+//!   when available), issues the request, and checks the connection back
+//!   in on success. A failed call drops the connection and redials once —
+//!   a pooled connection may be stale because the server restarted, and
+//!   that must be invisible to the caller.
+//! * Failed dials put the server in a short backoff window; the next dial
+//!   to that server waits out the remainder of the window first. Backoff
+//!   rate-limits connection attempts to an unhealthy server without ever
+//!   *skipping* one, so a server that comes back is observed immediately
+//!   — semantics identical to dial-per-call, just cheaper.
+//! * [`ConnectionPool::broadcast`] queries every server in parallel and
+//!   returns the replies in server-id order. Servers that fail are
+//!   counted (`net.broadcast_errors`) and traced, never silently absent.
+//! * [`ConnectionPool::broadcast_first`] is the first-positive-wins mode
+//!   used by `Locate`: it returns as soon as any server's reply satisfies
+//!   the acceptance predicate, leaving the stragglers to finish (and
+//!   check their connections back in) in the background.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use swarm_types::{ClientId, Result, ServerId, SwarmError};
+
+use crate::proto::{Request, Response};
+use crate::transport::{Connection, Transport};
+
+/// Idle connections kept per server; more are simply dropped on check-in.
+const MAX_IDLE_PER_SERVER: usize = 4;
+/// First-failure backoff; doubles per consecutive failure up to the cap.
+const BACKOFF_BASE: Duration = Duration::from_micros(500);
+/// Backoff cap. Deliberately small: the pool never refuses to dial, it
+/// only spaces dials out, so the cap bounds the latency a recovered
+/// server can add to the first request after it comes back.
+const BACKOFF_CAP: Duration = Duration::from_millis(4);
+
+struct PoolMetrics {
+    hits: swarm_metrics::Counter,
+    connects: swarm_metrics::Counter,
+    reconnects: swarm_metrics::Counter,
+    broadcast_errors: swarm_metrics::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        hits: swarm_metrics::counter("net.pool_hits"),
+        connects: swarm_metrics::counter("net.pool_connects"),
+        reconnects: swarm_metrics::counter("net.pool_reconnects"),
+        broadcast_errors: swarm_metrics::counter("net.broadcast_errors"),
+    })
+}
+
+/// Records a broadcast leg failure: counted so a half-deaf cluster shows
+/// up in `swarm-admin stats`, traced so the culprit server is named.
+pub(crate) fn note_broadcast_error(server: ServerId, err: &SwarmError) {
+    pool_metrics().broadcast_errors.inc();
+    swarm_metrics::trace!("net.broadcast", "server {} dropped from broadcast: {}", server, err);
+}
+
+#[derive(Default)]
+struct Slot {
+    idle: Vec<Box<dyn Connection>>,
+    consecutive_failures: u32,
+    retry_at: Option<Instant>,
+}
+
+/// A per-client pool of cached server connections with health tracking.
+///
+/// Shared (`Arc<ConnectionPool>`) between the log's read path,
+/// reconstruction, recovery, and the cleaner, so they all reuse the same
+/// warm connections instead of dialing per call.
+pub struct ConnectionPool {
+    transport: Arc<dyn Transport>,
+    client: ClientId,
+    slots: Mutex<HashMap<ServerId, Slot>>,
+    /// When false, `broadcast`/`broadcast_first` run serially in server-id
+    /// order (benchmark baseline mode; the observable results are the
+    /// same).
+    fanout: AtomicBool,
+}
+
+impl std::fmt::Debug for ConnectionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectionPool")
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
+impl ConnectionPool {
+    /// Creates an empty pool for `client` over `transport`.
+    pub fn new(transport: Arc<dyn Transport>, client: ClientId) -> ConnectionPool {
+        ConnectionPool {
+            transport,
+            client,
+            slots: Mutex::new(HashMap::new()),
+            fanout: AtomicBool::new(true),
+        }
+    }
+
+    /// The transport this pool dials through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// The client this pool authenticates as.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Enables or disables parallel fan-out for broadcasts (on by
+    /// default). Serial mode exists so benchmarks can measure the fan-out
+    /// win in isolation.
+    pub fn set_fanout(&self, on: bool) {
+        self.fanout.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether parallel fan-out is enabled (see
+    /// [`ConnectionPool::set_fanout`]).
+    pub fn fanout_enabled(&self) -> bool {
+        self.fanout.load(Ordering::Relaxed)
+    }
+
+    /// Checks a connection to `server` out of the pool, dialing a fresh
+    /// one if no idle connection is cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's connect error (after waiting out any
+    /// backoff window from earlier failed dials).
+    pub fn checkout(&self, server: ServerId) -> Result<Box<dyn Connection>> {
+        let wait = {
+            let mut slots = self.slots.lock();
+            let slot = slots.entry(server).or_default();
+            if let Some(conn) = slot.idle.pop() {
+                pool_metrics().hits.inc();
+                return Ok(conn);
+            }
+            slot.retry_at
+                .map(|t| t.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::ZERO)
+        };
+        if !wait.is_zero() {
+            // Rate-limit dials to an unhealthy server — but always dial,
+            // so a recovered server is never spuriously reported down.
+            std::thread::sleep(wait);
+        }
+        self.dial(server)
+    }
+
+    fn dial(&self, server: ServerId) -> Result<Box<dyn Connection>> {
+        match self.transport.connect(server, self.client) {
+            Ok(conn) => {
+                pool_metrics().connects.inc();
+                let mut slots = self.slots.lock();
+                let slot = slots.entry(server).or_default();
+                slot.consecutive_failures = 0;
+                slot.retry_at = None;
+                Ok(conn)
+            }
+            Err(e) => {
+                let mut slots = self.slots.lock();
+                let slot = slots.entry(server).or_default();
+                slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+                let exp = slot.consecutive_failures.min(4);
+                let backoff = BACKOFF_BASE.saturating_mul(1 << exp).min(BACKOFF_CAP);
+                slot.retry_at = Some(Instant::now() + backoff);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns a connection to the pool for reuse. Connections that
+    /// errored should be dropped instead.
+    pub fn checkin(&self, conn: Box<dyn Connection>) {
+        let server = conn.server();
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(server).or_default();
+        if slot.idle.len() < MAX_IDLE_PER_SERVER {
+            slot.idle.push(conn);
+        }
+    }
+
+    /// Sends one request to `server` over a pooled connection.
+    ///
+    /// A stale pooled connection (the server restarted since it was
+    /// cached) is detected by the call failing; the pool transparently
+    /// redials once and retries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors after the one reconnect attempt.
+    pub fn call(&self, server: ServerId, request: &Request) -> Result<Response> {
+        let mut conn = self.checkout(server)?;
+        match conn.call(request) {
+            Ok(resp) => {
+                self.checkin(conn);
+                Ok(resp)
+            }
+            Err(_) => {
+                // The cached connection may be stale (server restart):
+                // drop it and retry once on a fresh dial.
+                drop(conn);
+                pool_metrics().reconnects.inc();
+                swarm_metrics::trace!("net.pool", "reconnecting to server {}", server);
+                let mut conn = self.dial(server)?;
+                let resp = conn.call(request)?;
+                self.checkin(conn);
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Sends `request` to every server in parallel, returning the replies
+    /// that arrived in server-id order (the paper's broadcast, §2.3.3).
+    /// Unreachable servers are counted in `net.broadcast_errors` and
+    /// traced.
+    pub fn broadcast(&self, request: &Request) -> Vec<(ServerId, Response)> {
+        let servers = self.transport.servers();
+        if !self.fanout.load(Ordering::Relaxed) {
+            let mut replies = Vec::new();
+            for server in servers {
+                match self.call(server, request) {
+                    Ok(resp) => replies.push((server, resp)),
+                    Err(e) => note_broadcast_error(server, &e),
+                }
+            }
+            return replies;
+        }
+        let mut replies: Vec<(ServerId, Response)> = std::thread::scope(|s| {
+            let handles: Vec<_> = servers
+                .into_iter()
+                .map(|server| s.spawn(move || (server, self.call(server, request))))
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| {
+                    let (server, result) = h.join().expect("broadcast worker panicked");
+                    match result {
+                        Ok(resp) => Some((server, resp)),
+                        Err(e) => {
+                            note_broadcast_error(server, &e);
+                            None
+                        }
+                    }
+                })
+                .collect()
+        });
+        replies.sort_by_key(|(s, _)| *s);
+        replies
+    }
+
+    /// First-positive-wins broadcast: sends `request` to every server in
+    /// parallel and returns the first reply for which `accept` is true,
+    /// without waiting for the remaining servers (a locate hit on server 1
+    /// must not wait out server N's timeout). Stragglers finish in the
+    /// background and check their connections back in.
+    ///
+    /// Returns `None` when no server's reply is accepted.
+    pub fn broadcast_first(
+        self: &Arc<Self>,
+        request: &Request,
+        accept: fn(&Response) -> bool,
+    ) -> Option<(ServerId, Response)> {
+        let servers = self.transport.servers();
+        if !self.fanout.load(Ordering::Relaxed) {
+            for server in servers {
+                match self.call(server, request) {
+                    Ok(resp) if accept(&resp) => return Some((server, resp)),
+                    Ok(_) => {}
+                    Err(e) => note_broadcast_error(server, &e),
+                }
+            }
+            return None;
+        }
+        let total = servers.len();
+        if total == 0 {
+            return None;
+        }
+        let cancel = Arc::new(AtomicBool::new(false));
+        let req = Arc::new(request.clone());
+        let (tx, rx) = mpsc::channel::<(ServerId, Option<Response>)>();
+        for server in servers {
+            let pool = Arc::clone(self);
+            let cancel = Arc::clone(&cancel);
+            let req = Arc::clone(&req);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                // A winner may already have been returned; don't dial.
+                if cancel.load(Ordering::Relaxed) {
+                    let _ = tx.send((server, None));
+                    return;
+                }
+                match pool.call(server, &req) {
+                    Ok(resp) => {
+                        let hit = accept(&resp);
+                        if hit {
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        let _ = tx.send((server, hit.then_some(resp)));
+                    }
+                    Err(e) => {
+                        note_broadcast_error(server, &e);
+                        let _ = tx.send((server, None));
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut seen = 0;
+        while let Ok((server, resp)) = rx.recv() {
+            seen += 1;
+            if let Some(resp) = resp {
+                return Some((server, resp));
+            }
+            if seen == total {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::testing::EchoStore;
+    use crate::mem::MemTransport;
+
+    fn cluster(n: u32) -> Arc<MemTransport> {
+        let t = Arc::new(MemTransport::new());
+        for i in 0..n {
+            t.register(ServerId::new(i), Arc::new(EchoStore::default()));
+        }
+        t
+    }
+
+    fn pool(transport: Arc<MemTransport>) -> Arc<ConnectionPool> {
+        Arc::new(ConnectionPool::new(transport, ClientId::new(1)))
+    }
+
+    #[test]
+    fn call_reuses_idle_connections() {
+        let p = pool(cluster(1));
+        let hits = swarm_metrics::counter("net.pool_hits");
+        let before = hits.get();
+        p.call(ServerId::new(0), &Request::Ping).unwrap();
+        p.call(ServerId::new(0), &Request::Ping).unwrap();
+        p.call(ServerId::new(0), &Request::Ping).unwrap();
+        assert!(
+            hits.get() >= before + 2,
+            "second and third calls must reuse the pooled connection"
+        );
+    }
+
+    /// A connection dialed before a "restart" (epoch bump) fails its
+    /// calls, exactly like a pooled socket whose server came back on the
+    /// same address.
+    struct EpochConn {
+        inner: Box<dyn Connection>,
+        born: u64,
+        epoch: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl Connection for EpochConn {
+        fn call(&mut self, request: &Request) -> Result<Response> {
+            if self.born != self.epoch.load(Ordering::SeqCst) {
+                return Err(SwarmError::ServerUnavailable(self.inner.server()));
+            }
+            self.inner.call(request)
+        }
+
+        fn server(&self) -> ServerId {
+            self.inner.server()
+        }
+    }
+
+    #[test]
+    fn stale_pooled_connection_reconnects_transparently() {
+        let t = cluster(1);
+        let epoch = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        struct T {
+            inner: Arc<MemTransport>,
+            epoch: Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl Transport for T {
+            fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
+                Ok(Box::new(EpochConn {
+                    inner: self.inner.connect(server, client)?,
+                    born: self.epoch.load(Ordering::SeqCst),
+                    epoch: self.epoch.clone(),
+                }))
+            }
+            fn servers(&self) -> Vec<ServerId> {
+                self.inner.servers()
+            }
+        }
+        let transport = Arc::new(T {
+            inner: t,
+            epoch: epoch.clone(),
+        });
+        let p = Arc::new(ConnectionPool::new(transport, ClientId::new(1)));
+        let reconnects = swarm_metrics::counter("net.pool_reconnects");
+        p.call(ServerId::new(0), &Request::Ping).unwrap();
+        // "Restart" the server: the pooled connection is now stale.
+        epoch.fetch_add(1, Ordering::SeqCst);
+        let before = reconnects.get();
+        assert_eq!(
+            p.call(ServerId::new(0), &Request::Ping).unwrap(),
+            Response::Ok,
+            "stale pooled connection must reconnect transparently"
+        );
+        assert!(reconnects.get() > before);
+    }
+
+    #[test]
+    fn down_server_fails_with_backoff_then_recovers() {
+        let t = cluster(1);
+        let p = pool(t.clone());
+        t.set_down(ServerId::new(0), true);
+        for _ in 0..3 {
+            assert!(p.call(ServerId::new(0), &Request::Ping).is_err());
+        }
+        // Backoff never refuses a dial: recovery is observed immediately.
+        t.set_down(ServerId::new(0), false);
+        assert_eq!(
+            p.call(ServerId::new(0), &Request::Ping).unwrap(),
+            Response::Ok
+        );
+    }
+
+    #[test]
+    fn broadcast_returns_replies_in_server_order() {
+        let p = pool(cluster(4));
+        let replies = p.broadcast(&Request::Ping);
+        let ids: Vec<u32> = replies.iter().map(|(s, _)| s.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_counts_down_servers() {
+        let t = cluster(3);
+        let p = pool(t.clone());
+        t.set_down(ServerId::new(1), true);
+        let errors = swarm_metrics::counter("net.broadcast_errors");
+        let before = errors.get();
+        let replies = p.broadcast(&Request::Ping);
+        let ids: Vec<u32> = replies.iter().map(|(s, _)| s.raw()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(errors.get() > before, "down server must be counted");
+    }
+
+    #[test]
+    fn broadcast_first_returns_an_accepted_reply() {
+        let p = pool(cluster(4));
+        let (_, resp) = p
+            .broadcast_first(&Request::Ping, |r| matches!(r, Response::Ok))
+            .expect("every server answers Ok");
+        assert_eq!(resp, Response::Ok);
+    }
+
+    #[test]
+    fn broadcast_first_rejects_all_yields_none() {
+        let p = pool(cluster(3));
+        assert!(p.broadcast_first(&Request::Ping, |_| false).is_none());
+    }
+
+    #[test]
+    fn serial_mode_matches_parallel_results() {
+        let t = cluster(3);
+        let p = pool(t.clone());
+        t.set_down(ServerId::new(2), true);
+        p.set_fanout(false);
+        let serial = p.broadcast(&Request::Ping);
+        p.set_fanout(true);
+        let parallel = p.broadcast(&Request::Ping);
+        assert_eq!(serial, parallel);
+    }
+}

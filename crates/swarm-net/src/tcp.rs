@@ -81,6 +81,7 @@ pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl std::fmt::Debug for TcpServer {
@@ -108,15 +109,18 @@ impl TcpServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let conns2 = conns.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("swarm-server-{}", id.raw()))
-            .spawn(move || accept_loop(listener, id, handler, stop2))
+            .spawn(move || accept_loop(listener, id, handler, stop2, conns2))
             .expect("spawn server accept thread");
         Ok(TcpServer {
             id,
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -130,14 +134,18 @@ impl TcpServer {
         self.id
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Existing connections are served until their peers hang up.
+    /// Stops accepting new connections, severs established ones, and joins
+    /// the accept thread. Like a process exit, in-flight peers see their
+    /// sockets close — a client holding a pooled connection must redial.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() call with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -153,6 +161,7 @@ fn accept_loop(
     id: ServerId,
     handler: Arc<dyn RequestHandler>,
     stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 ) {
     let mut consecutive_errors = 0u32;
     loop {
@@ -190,6 +199,12 @@ fn accept_loop(
             return;
         }
         metrics().server_connections.inc();
+        // Keep a handle so shutdown can sever the connection; closed
+        // sockets accumulate only until the next shutdown, and a server's
+        // connection count is small (one per pooled client).
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().push(clone);
+        }
         let handler = handler.clone();
         let _ = std::thread::Builder::new()
             .name(format!("swarm-conn-{}", id.raw()))

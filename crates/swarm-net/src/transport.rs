@@ -63,12 +63,17 @@ impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
 }
 
 /// Sends `request` to every server in the cluster and collects the replies
-/// that arrive, ignoring servers that are down.
+/// that arrive, skipping servers that are down.
 ///
 /// This is the paper's broadcast primitive (§2.3.3): "A client finds
 /// fragment N-1 and N+1 by broadcasting to all storage servers." Servers
-/// that cannot be reached are simply absent from the result — exactly the
-/// failure reconstruction is designed to tolerate.
+/// that cannot be reached are absent from the result — exactly the failure
+/// reconstruction is designed to tolerate — but every skipped server is
+/// counted in `net.broadcast_errors` and traced, so a half-deaf cluster
+/// shows up in stats instead of silently degrading.
+///
+/// This serial, connection-per-call helper is kept for one-shot callers;
+/// the read engine uses the parallel [`crate::ConnectionPool::broadcast`].
 pub fn broadcast<T: Transport + ?Sized>(
     transport: &T,
     client: ClientId,
@@ -76,11 +81,17 @@ pub fn broadcast<T: Transport + ?Sized>(
 ) -> Vec<(ServerId, Response)> {
     let mut replies = Vec::new();
     for server in transport.servers() {
-        let Ok(mut conn) = transport.connect(server, client) else {
-            continue;
+        let conn = match transport.connect(server, client) {
+            Ok(conn) => conn,
+            Err(e) => {
+                crate::pool::note_broadcast_error(server, &e);
+                continue;
+            }
         };
-        if let Ok(resp) = conn.call(request) {
-            replies.push((server, resp));
+        let mut conn = conn;
+        match conn.call(request) {
+            Ok(resp) => replies.push((server, resp)),
+            Err(e) => crate::pool::note_broadcast_error(server, &e),
         }
     }
     replies

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use swarm_log::Log;
-use swarm_types::{BlockAddr, Result};
+use swarm_types::{BlockAddr, Bytes, Result};
 
 const NIL: usize = usize::MAX;
 
@@ -213,9 +213,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 }
 
 /// A read-through block cache over a [`Log`].
+///
+/// Cached blocks are [`Bytes`] — shared slices of the fragments the log
+/// fetched, so a cache hit hands back a refcount bump, not a copy.
 pub struct CachingReader {
     log: Arc<Log>,
-    cache: Mutex<LruCache<BlockAddr, Arc<Vec<u8>>>>,
+    cache: Mutex<LruCache<BlockAddr, Bytes>>,
 }
 
 impl std::fmt::Debug for CachingReader {
@@ -240,17 +243,17 @@ impl CachingReader {
     /// # Errors
     ///
     /// Propagates log read failures on a miss.
-    pub fn read(&self, addr: BlockAddr) -> Result<Arc<Vec<u8>>> {
+    pub fn read(&self, addr: BlockAddr) -> Result<Bytes> {
         if let Some(hit) = self.cache.lock().get(&addr) {
-            return Ok(hit.clone());
+            return Ok(hit.share());
         }
-        let data = Arc::new(self.log.read(addr)?);
-        self.cache.lock().insert(addr, data.clone());
+        let data = self.log.read(addr)?;
+        self.cache.lock().insert(addr, data.share());
         Ok(data)
     }
 
     /// Pre-populates the cache (e.g. with data the caller just wrote).
-    pub fn put(&self, addr: BlockAddr, data: Arc<Vec<u8>>) {
+    pub fn put(&self, addr: BlockAddr, data: Bytes) {
         self.cache.lock().insert(addr, data);
     }
 

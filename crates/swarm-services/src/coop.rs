@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use swarm_log::Log;
-use swarm_types::{BlockAddr, ClientId, Result};
+use swarm_types::{BlockAddr, Bytes, ClientId, Result};
 
 use crate::cache::LruCache;
 
@@ -39,7 +39,7 @@ pub struct CoopStats {
 }
 
 struct Member {
-    cache: Arc<Mutex<LruCache<BlockAddr, Arc<Vec<u8>>>>>,
+    cache: Arc<Mutex<LruCache<BlockAddr, Bytes>>>,
     hints: Arc<Mutex<LruCache<BlockAddr, ClientId>>>,
     served: Arc<Mutex<u64>>,
 }
@@ -69,10 +69,10 @@ impl CoopCacheGroup {
     }
 
     /// Asks `peer` for a block (a peer-cache probe).
-    fn probe(&self, peer: ClientId, addr: BlockAddr) -> Option<Arc<Vec<u8>>> {
+    fn probe(&self, peer: ClientId, addr: BlockAddr) -> Option<Bytes> {
         let members = self.members.read();
         let member = members.get(&peer)?;
-        let hit = member.cache.lock().get(&addr).cloned();
+        let hit = member.cache.lock().get(&addr).map(Bytes::share);
         if hit.is_some() {
             *member.served.lock() += 1;
         }
@@ -97,7 +97,7 @@ pub struct CoopCache {
     client: ClientId,
     log: Arc<Log>,
     group: Arc<CoopCacheGroup>,
-    cache: Arc<Mutex<LruCache<BlockAddr, Arc<Vec<u8>>>>>,
+    cache: Arc<Mutex<LruCache<BlockAddr, Bytes>>>,
     served: Arc<Mutex<u64>>,
     /// Hints: block → peer believed to cache it. Possibly stale by
     /// design; never synchronized.
@@ -163,8 +163,8 @@ impl CoopCache {
     /// # Errors
     ///
     /// Propagates server errors when both cache tiers miss.
-    pub fn read(&self, addr: BlockAddr) -> Result<Arc<Vec<u8>>> {
-        if let Some(hit) = self.cache.lock().get(&addr).cloned() {
+    pub fn read(&self, addr: BlockAddr) -> Result<Bytes> {
+        if let Some(hit) = self.cache.lock().get(&addr).map(Bytes::share) {
             self.stats.lock().local_hits += 1;
             return Ok(hit);
         }
@@ -174,22 +174,22 @@ impl CoopCache {
         if let Some(peer) = hinted {
             if let Some(block) = self.group.probe(peer, addr) {
                 self.stats.lock().peer_hits += 1;
-                self.cache.lock().insert(addr, block.clone());
+                self.cache.lock().insert(addr, block.share());
                 return Ok(block);
             }
             self.stats.lock().stale_hints += 1;
             self.hints.lock().remove(&addr);
         }
-        let block = Arc::new(self.log.read(addr)?);
+        let block = self.log.read(addr)?;
         self.stats.lock().server_fetches += 1;
-        self.cache.lock().insert(addr, block.clone());
+        self.cache.lock().insert(addr, block.share());
         // Tell peers where this block now lives (hint propagation).
         self.group.announce(self.client, addr);
         Ok(block)
     }
 
     /// Inserts locally-written data and announces it to peers.
-    pub fn put(&self, addr: BlockAddr, data: Arc<Vec<u8>>) {
+    pub fn put(&self, addr: BlockAddr, data: Bytes) {
         self.cache.lock().insert(addr, data);
         self.group.announce(self.client, addr);
     }
@@ -308,7 +308,7 @@ mod tests {
         let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
         let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
         // The writer seeds its cache directly (no server read at all).
-        c1.put(addr, Arc::new(b"fresh write".to_vec()));
+        c1.put(addr, Bytes::from(b"fresh write".to_vec()));
         let reads_before: u64 = servers.iter().map(|s| s.stats().reads).sum();
         assert_eq!(&*c2.read(addr).unwrap(), b"fresh write");
         let reads_after: u64 = servers.iter().map(|s| s.stats().reads).sum();

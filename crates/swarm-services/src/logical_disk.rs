@@ -16,7 +16,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use swarm_log::{Entry, Log, ReplayEntry};
 use swarm_types::{
-    BlockAddr, ByteReader, ByteWriter, Decode, Encode, FragmentId, Result, ServiceId, SwarmError,
+    BlockAddr, ByteReader, ByteWriter, Bytes, Decode, Encode, FragmentId, Result, ServiceId,
+    SwarmError,
 };
 
 use crate::service::Service;
@@ -44,7 +45,7 @@ struct DiskState {
 /// disk.write(0, b"first block")?;
 /// disk.write(0, b"overwritten")?;  // same logical block
 /// disk.flush()?;
-/// assert_eq!(disk.read(0)?, Some(b"overwritten".to_vec()));
+/// assert_eq!(disk.read(0)?.as_deref(), Some(b"overwritten".as_slice()));
 /// # Ok::<(), swarm_types::SwarmError>(())
 /// ```
 pub struct LogicalDisk {
@@ -124,7 +125,7 @@ impl LogicalDisk {
     ///
     /// Propagates log read failures (the mapped block should always be
     /// readable, via reconstruction if needed).
-    pub fn read(&self, lba: u64) -> Result<Option<Vec<u8>>> {
+    pub fn read(&self, lba: u64) -> Result<Option<Bytes>> {
         let addr = { self.state.lock().map.get(&lba).copied() };
         match addr {
             None => Ok(None),
@@ -433,7 +434,7 @@ mod tests {
         disk.flush().unwrap();
         for lba in 0..20 {
             assert_eq!(
-                disk.read(lba).unwrap(),
+                disk.read(lba).unwrap().map(|b| b.to_vec()),
                 model.get(&lba).cloned(),
                 "lba {lba}"
             );

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plaintext.len(),
         stored.len()
     );
-    assert_eq!(transforms.decode(stored, 7)?, plaintext);
+    assert_eq!(transforms.decode(stored.to_vec(), 7)?, plaintext);
 
     // ------------------------------------------------------------------
     // Atomic recovery units
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stack.recover(&replay)?;
 
     let recovered = disk.read(7)?.expect("block survived");
-    assert_eq!(transforms.decode(recovered, 7)?, plaintext);
+    assert_eq!(transforms.decode(recovered.to_vec(), 7)?, plaintext);
     let units = aru.committed_units();
     assert_eq!(units.len(), 1, "only the committed unit survives");
     println!(

@@ -172,14 +172,65 @@ fn server_restart_preserves_fragments_on_disk() {
     transport2.add_server(ServerId::new(0), s0.addr());
 
     // The fragment (or its mirror) is still on disk: read it directly.
-    let (server, _) =
-        swarm_log::reconstruct::locate_fragment(&*transport2, ClientId::new(1), addr.fid)
-            .expect("fragment survived restart");
-    let bytes =
-        swarm_log::reconstruct::fetch_fragment(&*transport2, ClientId::new(1), server, addr.fid)
-            .unwrap();
+    let pool = Arc::new(swarm_net::ConnectionPool::new(
+        transport2.clone() as Arc<dyn swarm_net::Transport>,
+        ClientId::new(1),
+    ));
+    let (server, _) = swarm_log::reconstruct::locate_fragment(&pool, addr.fid)
+        .expect("fragment survived restart");
+    let bytes = swarm_log::reconstruct::fetch_fragment(&pool, server, addr.fid).unwrap();
     let view = swarm_log::FragmentView::parse(&bytes).unwrap();
     assert!(view.entries.iter().any(
         |e| matches!(&e.entry, swarm_log::Entry::Block { data, .. } if data == b"durable bytes")
     ));
+}
+
+#[test]
+fn pooled_connections_reconnect_across_server_restart() {
+    let transport = Arc::new(TcpTransport::new());
+    let mut dirs = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..2u32 {
+        let dir = TempDir::new(&format!("poolrestart-{i}"));
+        let store = FileStore::open_with(&dir.0, 0, false).unwrap();
+        let handler = StorageServer::new(ServerId::new(i), store).into_shared();
+        let server = TcpServer::spawn(ServerId::new(i), "127.0.0.1:0", handler).unwrap();
+        transport.add_server(ServerId::new(i), server.addr());
+        servers.push(server);
+        dirs.push(dir);
+    }
+    // No client cache: both reads must cross the wire.
+    let log = Log::create(
+        transport.clone() as Arc<dyn swarm_net::Transport>,
+        config(2).cache_fragments(0),
+    )
+    .unwrap();
+    let svc = ServiceId::new(1);
+    let addr = log.append_block(svc, b"", &vec![5u8; 4000]).unwrap();
+    log.flush().unwrap();
+    assert_eq!(log.read(addr).unwrap(), vec![5u8; 4000]); // warms the pool
+
+    let before = swarm_metrics::snapshot();
+    // Restart both server processes from the same directories. Every
+    // socket the read engine pooled is now stale.
+    for i in 0..2u32 {
+        let mut old = servers.remove(0);
+        old.shutdown();
+        drop(old);
+        let store = FileStore::open_with(&dirs[i as usize].0, 0, false).unwrap();
+        let handler = StorageServer::new(ServerId::new(i), store).into_shared();
+        let server = TcpServer::spawn(ServerId::new(i), "127.0.0.1:0", handler).unwrap();
+        transport.remove_server(ServerId::new(i));
+        transport.add_server(ServerId::new(i), server.addr());
+        servers.push(server);
+    }
+
+    // The stale pooled connection must be detected and transparently
+    // redialed — the read succeeds without the caller seeing an error.
+    assert_eq!(log.read(addr).unwrap(), vec![5u8; 4000]);
+    let after = swarm_metrics::snapshot();
+    assert!(
+        after.counter("net.pool_reconnects") > before.counter("net.pool_reconnects"),
+        "restart did not register as a pool reconnect"
+    );
 }

@@ -89,6 +89,55 @@ fn snapshot_tracks_a_full_write_recover_cycle() {
 }
 
 #[test]
+fn read_engine_metrics_track_pool_and_read_sources() {
+    let svc = ServiceId::new(5);
+    let before = swarm_metrics::snapshot();
+    let transport = cluster(3);
+
+    // cache_fragments(0): every read goes to the servers, exercising the
+    // connection pool.
+    let log = Log::create(transport.clone(), config(3)).unwrap();
+    let addr = log.append_block(svc, b"", &[9u8; 3000]).unwrap();
+    log.flush().unwrap();
+
+    // Two home reads: the second reuses the pooled connection.
+    assert_eq!(log.read(addr).unwrap(), vec![9u8; 3000]);
+    assert_eq!(log.read(addr).unwrap(), vec![9u8; 3000]);
+
+    // Kill the holder and read again: locate broadcast sees a down server
+    // (broadcast_errors) and the read is served by reconstruction.
+    let (holder, _) = swarm_log::reconstruct::locate_fragment(log.engine(), addr.fid).unwrap();
+    log.forget_fragment(addr.fid);
+    transport.set_down(holder, true);
+    assert_eq!(log.read(addr).unwrap(), vec![9u8; 3000]);
+
+    let after = swarm_metrics::snapshot();
+    assert!(
+        after.counter("net.pool_connects") > before.counter("net.pool_connects"),
+        "pool never dialed"
+    );
+    assert!(
+        after.counter("net.pool_hits") > before.counter("net.pool_hits"),
+        "repeat read did not reuse a pooled connection"
+    );
+    assert!(
+        after.counter("net.broadcast_errors") > before.counter("net.broadcast_errors"),
+        "down server not counted in broadcast_errors"
+    );
+    let count = |snap: &swarm_metrics::Snapshot, name: &str| {
+        snap.histogram(name).map_or(0, |h| h.count)
+    };
+    assert!(
+        count(&after, "log.read_us.home") > count(&before, "log.read_us.home"),
+        "home-path read latency not recorded"
+    );
+    assert!(
+        count(&after, "log.read_us.reconstruct") > count(&before, "log.read_us.reconstruct"),
+        "reconstruct-path read latency not recorded"
+    );
+}
+
+#[test]
 fn metrics_rpc_serves_a_parseable_snapshot() {
     let transport = cluster(2);
     let mut conn = transport

@@ -117,7 +117,7 @@ fn transformed_blocks_on_a_logical_disk() {
     disk.flush().unwrap();
 
     let fetched = disk.read(42).unwrap().unwrap();
-    assert_eq!(stack.decode(fetched.clone(), 42).unwrap(), plaintext);
+    assert_eq!(stack.decode(fetched.to_vec(), 42).unwrap(), plaintext);
     // The stored bytes are actually ciphertext.
     assert_ne!(fetched, plaintext);
     assert!(!fetched
