@@ -89,8 +89,12 @@ fn bench_recovery_scan(c: &mut Criterion) {
             .read_ahead(read_ahead);
         g.bench_function(name, |b| {
             b.iter(|| {
-                let (log, replay) =
-                    recover(transport.clone() as Arc<dyn swarm_net::Transport>, config.clone(), &[SVC]).unwrap();
+                let (log, replay) = recover(
+                    transport.clone() as Arc<dyn swarm_net::Transport>,
+                    config.clone(),
+                    &[SVC],
+                )
+                .unwrap();
                 criterion::black_box((log, replay.records_for(SVC).len()));
             });
         });

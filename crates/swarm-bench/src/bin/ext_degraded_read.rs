@@ -65,11 +65,7 @@ fn measure_real_stack() {
             .unwrap()
             .fragment_size(32 * 1024)
             .cache_fragments(0);
-        let log = Log::create(
-            transport.clone() as Arc<dyn swarm_net::Transport>,
-            config,
-        )
-        .unwrap();
+        let log = Log::create(transport.clone() as Arc<dyn swarm_net::Transport>, config).unwrap();
         log.engine().set_fanout(fanout);
         let svc = ServiceId::new(1);
         let mut addrs = Vec::new();

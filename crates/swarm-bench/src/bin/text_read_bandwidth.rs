@@ -80,11 +80,7 @@ fn measure_real_stack() {
             .cache_fragments(if prefetch { 8 } else { 0 })
             .prefetch(prefetch)
             .read_ahead(if prefetch { 4 } else { 0 });
-        let log = Log::create(
-            transport.clone() as Arc<dyn swarm_net::Transport>,
-            config,
-        )
-        .unwrap();
+        let log = Log::create(transport.clone() as Arc<dyn swarm_net::Transport>, config).unwrap();
         log.engine().set_fanout(fanout);
         let svc = ServiceId::new(1);
         let mut addrs = Vec::new();

@@ -1,0 +1,260 @@
+//! Transport-agnostic chaos cluster.
+//!
+//! The same schedule must replay on the in-process transport and over
+//! real sockets, so this module hides the difference behind one type:
+//! a [`Cluster`] owns N storage servers (each a
+//! [`swarm_server::StorageServer`] over a [`swarm_server::MemStore`],
+//! standing in for the server's disk — it survives kill/restart cycles
+//! the way a disk survives a process crash) and a shared
+//! [`FaultTransport`] whose per-server [`FaultPlan`]s are consulted on
+//! both sides of the wire.
+//!
+//! Kill/restart semantics differ by transport in mechanism but not in
+//! effect: on mem, down is a plan flag; on TCP, kill additionally tears
+//! down the listening socket (severing live connections like a process
+//! exit) and restart respawns on a **fresh ephemeral port** — re-binding
+//! the old port would race with TIME_WAIT — and re-addresses the
+//! transport, exactly how a restarted server would re-register.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use swarm_net::tcp::{TcpServer, TcpTransport};
+use swarm_net::{FaultHandler, FaultPlan, FaultTransport, MemTransport, RequestHandler, Transport};
+use swarm_server::{FragmentStore, MemStore, StorageServer};
+use swarm_types::{Result, ServerId};
+
+/// Which transport a chaos run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process dispatch ([`MemTransport`]).
+    Mem,
+    /// Real sockets ([`TcpTransport`] + one [`TcpServer`] per member).
+    Tcp,
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportKind::Mem => write!(f, "mem"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "mem" => Ok(TransportKind::Mem),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (want mem|tcp)")),
+        }
+    }
+}
+
+struct Slot {
+    id: ServerId,
+    storage: Arc<StorageServer<MemStore>>,
+    plan: Arc<FaultPlan>,
+    tcp_server: Option<TcpServer>,
+}
+
+/// A running chaos cluster: N fault-wrapped storage servers behind one
+/// [`FaultTransport`].
+pub struct Cluster {
+    kind: TransportKind,
+    faults: Arc<FaultTransport>,
+    tcp: Option<Arc<TcpTransport>>,
+    slots: Vec<Slot>,
+}
+
+impl Cluster {
+    /// Stands up `servers` storage servers over the chosen transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::Io`] if a TCP listener cannot
+    /// bind.
+    pub fn new(kind: TransportKind, servers: u32) -> Result<Cluster> {
+        match kind {
+            TransportKind::Mem => {
+                let mem = Arc::new(MemTransport::new());
+                let faults = Arc::new(FaultTransport::new(mem.clone()));
+                let mut slots = Vec::new();
+                for i in 0..servers {
+                    let id = ServerId::new(i);
+                    let storage = StorageServer::new(id, MemStore::new()).into_shared();
+                    let plan = faults.plan(id);
+                    mem.register(
+                        id,
+                        Arc::new(FaultHandler::new(storage.clone(), plan.clone())),
+                    );
+                    slots.push(Slot {
+                        id,
+                        storage,
+                        plan,
+                        tcp_server: None,
+                    });
+                }
+                Ok(Cluster {
+                    kind,
+                    faults,
+                    tcp: None,
+                    slots,
+                })
+            }
+            TransportKind::Tcp => {
+                let tcp = Arc::new(TcpTransport::new());
+                // Chaos schedules sever connections on purpose; a short
+                // timeout keeps a lost ack from stalling the run.
+                tcp.set_call_timeout(Some(Duration::from_secs(2)));
+                let faults = Arc::new(FaultTransport::new(tcp.clone()));
+                // Truncations cross the wire for real (see TcpServer::
+                // spawn_with_faults) instead of being simulated client-side.
+                faults.set_client_truncation(false);
+                let mut slots = Vec::new();
+                for i in 0..servers {
+                    let id = ServerId::new(i);
+                    let storage = StorageServer::new(id, MemStore::new()).into_shared();
+                    let plan = faults.plan(id);
+                    let handler: Arc<dyn RequestHandler> =
+                        Arc::new(FaultHandler::new(storage.clone(), plan.clone()));
+                    let srv = TcpServer::spawn_with_faults(
+                        id,
+                        "127.0.0.1:0",
+                        handler,
+                        Some(plan.clone()),
+                    )?;
+                    tcp.add_server(id, srv.addr());
+                    slots.push(Slot {
+                        id,
+                        storage,
+                        plan,
+                        tcp_server: Some(srv),
+                    });
+                }
+                Ok(Cluster {
+                    kind,
+                    faults,
+                    tcp: Some(tcp),
+                    slots,
+                })
+            }
+        }
+    }
+
+    /// Which transport this cluster runs on.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The fault-wrapped transport the client log should use.
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        self.faults.clone()
+    }
+
+    /// The fault plan for server `index`.
+    pub fn plan(&self, index: u32) -> Arc<FaultPlan> {
+        self.slots[index as usize].plan.clone()
+    }
+
+    /// Takes server `index` down. The plan flag makes new connects fail
+    /// fast on both transports; on TCP the listener is also shut down,
+    /// severing established connections like a process exit.
+    pub fn kill(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        slot.plan.set_down(true);
+        if let Some(mut srv) = slot.tcp_server.take() {
+            srv.shutdown();
+        }
+    }
+
+    /// Brings server `index` back up. Its fragment store (the "disk")
+    /// kept everything stored before the kill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::Io`] if the TCP respawn cannot
+    /// bind a fresh port.
+    pub fn restart(&mut self, index: u32) -> Result<()> {
+        let slot = &mut self.slots[index as usize];
+        if let Some(tcp) = &self.tcp {
+            let handler: Arc<dyn RequestHandler> =
+                Arc::new(FaultHandler::new(slot.storage.clone(), slot.plan.clone()));
+            let srv = TcpServer::spawn_with_faults(
+                slot.id,
+                "127.0.0.1:0",
+                handler,
+                Some(slot.plan.clone()),
+            )?;
+            tcp.add_server(slot.id, srv.addr());
+            slot.tcp_server = Some(srv);
+        }
+        slot.plan.set_down(false);
+        Ok(())
+    }
+
+    /// Clears pending one-shot injections (resets, delays, truncations)
+    /// on every server, leaving down / disk-full state alone. Called at
+    /// quiesce points so an unconsumed transient cannot fail verification.
+    pub fn clear_transients(&self) {
+        for slot in &self.slots {
+            slot.plan.clear_transients();
+        }
+    }
+
+    /// Total fragments currently held across all servers (diagnostics).
+    pub fn total_fragments(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.storage.store().fragment_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_net::{ConnectionPool, Request, Response};
+    use swarm_types::ClientId;
+
+    fn ping_all(cluster: &Cluster) -> Vec<bool> {
+        let pool = ConnectionPool::new(cluster.transport(), ClientId::new(1));
+        (0..cluster.servers())
+            .map(|i| {
+                pool.call(ServerId::new(i), &Request::Ping)
+                    .map(|r| r == Response::Ok)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mem_kill_restart_cycle() {
+        let mut c = Cluster::new(TransportKind::Mem, 3).unwrap();
+        assert_eq!(ping_all(&c), vec![true, true, true]);
+        c.kill(1);
+        assert_eq!(ping_all(&c), vec![true, false, true]);
+        c.restart(1).unwrap();
+        assert_eq!(ping_all(&c), vec![true, true, true]);
+    }
+
+    #[test]
+    fn tcp_kill_restart_cycle_reuses_the_store() {
+        let mut c = Cluster::new(TransportKind::Tcp, 3).unwrap();
+        assert_eq!(ping_all(&c), vec![true, true, true]);
+        c.kill(2);
+        assert_eq!(ping_all(&c), vec![true, true, false]);
+        c.restart(2).unwrap();
+        assert_eq!(ping_all(&c), vec![true, true, true]);
+    }
+}

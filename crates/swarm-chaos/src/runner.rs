@@ -1,0 +1,499 @@
+//! Schedule execution and crash-consistency checking.
+//!
+//! The runner's oracle is a **model of acked writes**: a map from block
+//! id to `(address, length, fill byte)` that a block enters only when a
+//! flush or checkpoint covering it *succeeded*. Everything the harness
+//! asserts follows from the paper's durability contract — data the
+//! client was told is durable must stay readable (possibly via parity
+//! reconstruction); data whose ack was lost may or may not survive and
+//! is simply never verified.
+//!
+//! The model is shared with a [`ChaosService`] registered on the service
+//! stack, so when the cleaner moves a block the model's address moves
+//! with it. Moves of *unknown* ids are ignored: a block whose flush
+//! failed client-side can still be durable server-side ("limbo"), and
+//! the cleaner is entitled to move it.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use swarm_cleaner::{CleanPolicy, Cleaner};
+use swarm_log::{recover, Log, LogConfig, ReplayEntry};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+
+use crate::cluster::{Cluster, TransportKind};
+use crate::schedule::{ChaosEvent, Schedule};
+
+/// The service id the harness writes blocks under.
+pub const CHAOS_SERVICE: ServiceId = ServiceId::new(7);
+
+/// What the harness believes about one acked block.
+#[derive(Debug, Clone, Copy)]
+struct BlockState {
+    addr: BlockAddr,
+    len: usize,
+    fill: u8,
+}
+
+/// Shared harness-side view of every block the client has appended.
+///
+/// `pending` matters for correctness of the oracle itself: the cleaner
+/// flushes the open stripe during a pass, which can make a
+/// not-yet-acked block movable. The move notification arrives before
+/// the runner acks the block, so unless pending addresses live behind
+/// the same lock the ack would promote a stale (deleted) address into
+/// the model.
+#[derive(Default)]
+struct ModelInner {
+    /// Blocks covered by a successful flush, keyed by harness id.
+    acked: BTreeMap<u64, BlockState>,
+    /// Appended but not yet covered by a successful flush.
+    pending: Vec<(u64, BlockState)>,
+}
+
+type Model = Arc<Mutex<ModelInner>>;
+
+/// The model-maintaining service: tracks cleaner moves, checkpoints on
+/// demand, and treats replay as a no-op (the model lives harness-side).
+struct ChaosService {
+    model: Model,
+}
+
+impl Service for ChaosService {
+    fn id(&self) -> ServiceId {
+        CHAOS_SERVICE
+    }
+
+    fn name(&self) -> &str {
+        "chaos-model"
+    }
+
+    fn restore_checkpoint(&mut self, _data: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn replay(&mut self, _entry: &ReplayEntry) -> Result<()> {
+        Ok(())
+    }
+
+    fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()> {
+        let Ok(raw) = <[u8; 8]>::try_from(create) else {
+            return Err(SwarmError::invalid("chaos creation record is 8 bytes"));
+        };
+        let id = u64::from_le_bytes(raw);
+        let mut model = self.model.lock();
+        if let Some(state) = model.acked.get_mut(&id) {
+            if state.addr == old {
+                state.addr = new;
+            }
+        }
+        for (pid, state) in &mut model.pending {
+            if *pid == id && state.addr == old {
+                state.addr = new;
+            }
+        }
+        // Unknown id: a limbo block (durable but never acked to the
+        // harness). The cleaner may move it; nothing to track.
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+        log.checkpoint(CHAOS_SERVICE, b"chaos-ckpt")?;
+        Ok(())
+    }
+}
+
+/// The outcome of replaying one schedule on one transport.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Seed the schedule came from.
+    pub seed: u64,
+    /// Transport the run used.
+    pub transport: TransportKind,
+    /// Schedule hash (transport-independent for a given seed).
+    pub hash: u64,
+    /// Events executed.
+    pub events: usize,
+    /// Individual block reads that verified successfully.
+    pub verified_reads: u64,
+    /// Blocks acked over the whole run.
+    pub acked_blocks: u64,
+    /// Invariant violations, each tagged with the offending event index.
+    pub failures: Vec<String>,
+}
+
+impl RunReport {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The one-liner that replays this exact run.
+    pub fn replay_command(&self, events: usize, servers: u32) -> String {
+        format!(
+            "swarm-chaos --seed {} --transport {} --events {} --servers {}",
+            self.seed, self.transport, events, servers
+        )
+    }
+}
+
+fn make_config(servers: u32) -> Result<LogConfig> {
+    Ok(
+        LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())?
+            .fragment_size(4096)
+            // Every verification read must hit the servers, not a client
+            // cache — the whole point is checking what survived.
+            .cache_fragments(0)
+            // Chaos connections drop on purpose; more retries with a
+            // short backoff ride out injected transients without turning
+            // a deliberate down-window into a minutes-long stall.
+            .store_retries(8)
+            .retry_backoff(Duration::from_millis(5)),
+    )
+}
+
+/// Replays one [`Schedule`] against a live cluster, checking invariants
+/// at every quiesce point.
+pub struct Runner {
+    cluster: Cluster,
+    model: Model,
+    stack: Arc<ServiceStack>,
+    log: Option<Arc<Log>>,
+    cleaner: Option<Cleaner>,
+    next_id: u64,
+    verified_reads: u64,
+    acked_blocks: u64,
+    failures: Vec<String>,
+}
+
+/// Stop collecting after this many failures — a broken run would
+/// otherwise report every remaining block at every remaining check.
+const MAX_FAILURES: usize = 24;
+
+impl Runner {
+    /// Stands up a fresh cluster + log + cleaner for `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster construction and log creation failures.
+    pub fn new(schedule: &Schedule, kind: TransportKind) -> Result<Runner> {
+        let cluster = Cluster::new(kind, schedule.servers)?;
+        let model: Model = Arc::new(Mutex::new(ModelInner::default()));
+        let mut stack = ServiceStack::new();
+        let service: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(ChaosService {
+            model: model.clone(),
+        }));
+        stack.register(service)?;
+        let stack = Arc::new(stack);
+        let log = Arc::new(Log::create(
+            cluster.transport(),
+            make_config(schedule.servers)?,
+        )?);
+        let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
+        Ok(Runner {
+            cluster,
+            model,
+            stack,
+            log: Some(log),
+            cleaner: Some(cleaner),
+            next_id: 0,
+            verified_reads: 0,
+            acked_blocks: 0,
+            failures: Vec::new(),
+        })
+    }
+
+    /// Runs `schedule` to completion and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns setup errors only; invariant violations are collected in
+    /// the report, not returned.
+    pub fn run(schedule: &Schedule, kind: TransportKind) -> Result<RunReport> {
+        let mut runner = Runner::new(schedule, kind)?;
+        for (i, event) in schedule.events.iter().enumerate() {
+            if runner.failures.len() >= MAX_FAILURES {
+                runner
+                    .failures
+                    .push(format!("[{i}] aborting: too many failures"));
+                break;
+            }
+            if runner.log.is_none() {
+                break; // unrecoverable (crash recovery itself failed)
+            }
+            runner.step(i, event);
+        }
+        Ok(RunReport {
+            seed: schedule.seed,
+            transport: kind,
+            hash: schedule.hash(),
+            events: schedule.events.len(),
+            verified_reads: runner.verified_reads,
+            acked_blocks: runner.acked_blocks,
+            failures: runner.failures,
+        })
+    }
+
+    fn log(&self) -> &Arc<Log> {
+        self.log.as_ref().expect("log present while stepping")
+    }
+
+    fn step(&mut self, i: usize, event: &ChaosEvent) {
+        match *event {
+            ChaosEvent::Append { size, fill } => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let data = vec![fill; size];
+                match self
+                    .log()
+                    .append_block(CHAOS_SERVICE, &id.to_le_bytes(), &data)
+                {
+                    Ok(addr) => self.model.lock().pending.push((
+                        id,
+                        BlockState {
+                            addr,
+                            len: size,
+                            fill,
+                        },
+                    )),
+                    // Append can fail when a sealed fragment's store
+                    // cascades; the block was never acked, so the model
+                    // simply never learns about it.
+                    Err(e) => {
+                        swarm_metrics::trace!("chaos", "append {id} failed: {e}");
+                    }
+                }
+            }
+            ChaosEvent::Flush => match self.log().flush() {
+                Ok(()) => self.ack_pending(),
+                Err(e) => {
+                    swarm_metrics::trace!("chaos", "flush failed (acks dropped): {e}");
+                    self.drop_pending();
+                }
+            },
+            ChaosEvent::Checkpoint => match self.log().checkpoint(CHAOS_SERVICE, b"chaos-ckpt") {
+                Ok(_) => self.ack_pending(),
+                Err(e) => {
+                    swarm_metrics::trace!("chaos", "checkpoint failed (acks dropped): {e}");
+                    self.drop_pending();
+                }
+            },
+            ChaosEvent::DeleteOldest => {
+                let oldest = self
+                    .model
+                    .lock()
+                    .acked
+                    .iter()
+                    .next()
+                    .map(|(&id, state)| (id, state.addr));
+                if let Some((id, addr)) = oldest {
+                    match self.log().delete_block(CHAOS_SERVICE, addr) {
+                        // The record may still be unflushed, but dropping
+                        // the block from the model is safe either way: we
+                        // just stop verifying it.
+                        Ok(_) => {
+                            self.model.lock().acked.remove(&id);
+                        }
+                        Err(e) => {
+                            swarm_metrics::trace!("chaos", "delete of {id} failed: {e}");
+                        }
+                    }
+                }
+            }
+            ChaosEvent::ConnReset { server } => self.cluster.plan(server).inject_reset(1),
+            ChaosEvent::Delay { server, micros } => {
+                self.cluster.plan(server).inject_delay_us(micros);
+            }
+            ChaosEvent::TruncateNext { server } => self.cluster.plan(server).inject_truncate(1),
+            ChaosEvent::KillServer { server } => self.cluster.kill(server),
+            ChaosEvent::RestartServer { server } => {
+                if let Err(e) = self.cluster.restart(server) {
+                    self.failures
+                        .push(format!("[{i}] restart of server {server} failed: {e}"));
+                }
+            }
+            ChaosEvent::DiskFull { server } => self.cluster.plan(server).set_disk_full(true),
+            ChaosEvent::DiskFree { server } => self.cluster.plan(server).set_disk_full(false),
+            ChaosEvent::CleanPass => {
+                if let Some(cleaner) = &self.cleaner {
+                    // The generator restored the cluster first, so a
+                    // cleaning error here is a real bug, not bad luck.
+                    match cleaner.clean_pass(4) {
+                        Ok(stats) => {
+                            swarm_metrics::trace!(
+                                "chaos",
+                                "clean pass: {} stripes, {} blocks moved",
+                                stats.stripes_cleaned,
+                                stats.blocks_moved
+                            );
+                        }
+                        Err(e) => self.failures.push(format!("[{i}] clean pass failed: {e}")),
+                    }
+                }
+                self.verify(i, "after clean pass");
+            }
+            ChaosEvent::Quiesce { verify_down } => self.quiesce(i, verify_down),
+            ChaosEvent::CrashRecover => self.crash_recover(i),
+        }
+    }
+
+    /// A successful flush acked everything pending.
+    fn ack_pending(&mut self) {
+        let mut model = self.model.lock();
+        let pending = std::mem::take(&mut model.pending);
+        for (id, state) in pending {
+            self.acked_blocks += 1;
+            model.acked.insert(id, state);
+        }
+    }
+
+    /// A failed flush leaves pending blocks unacked. They may or may not
+    /// be durable ("limbo"); the harness never verifies them.
+    fn drop_pending(&mut self) {
+        self.model.lock().pending.clear();
+    }
+
+    fn quiesce(&mut self, i: usize, verify_down: Option<u32>) {
+        // Unconsumed one-shot injections must not leak into verification
+        // traffic.
+        self.cluster.clear_transients();
+        // First flush drains any store errors accumulated during fault
+        // windows; on a restored cluster the retry then succeeds.
+        let flushed = match self.log().flush() {
+            Ok(()) => true,
+            Err(e) => {
+                swarm_metrics::trace!("chaos", "quiesce flush drained errors: {e}");
+                self.drop_pending();
+                match self.log().flush() {
+                    Ok(()) => true,
+                    Err(e) => {
+                        self.failures
+                            .push(format!("[{i}] flush failed on a healthy cluster: {e}"));
+                        false
+                    }
+                }
+            }
+        };
+        if flushed {
+            self.ack_pending();
+            self.check_recovery_head(i);
+        }
+        self.verify(i, "at quiesce");
+        if let Some(server) = verify_down {
+            // Hold one server down and verify again: every read touching
+            // it must come back via parity reconstruction.
+            self.cluster.plan(server).set_down(true);
+            self.verify(i, "with one server held down");
+            self.cluster.plan(server).set_down(false);
+        }
+    }
+
+    /// Invariant: recovery rollforward reaches the live (flushed) log
+    /// head — same next sequence number, nothing silently dropped.
+    fn check_recovery_head(&mut self, i: usize) {
+        let config = match make_config(self.cluster.servers()) {
+            Ok(c) => c,
+            Err(e) => {
+                self.failures
+                    .push(format!("[{i}] config rebuild failed: {e}"));
+                return;
+            }
+        };
+        match recover(self.cluster.transport(), config, &[CHAOS_SERVICE]) {
+            Ok((recovered, _replay)) => {
+                let live = self.log().next_seq();
+                let got = recovered.next_seq();
+                if got != live {
+                    self.failures.push(format!(
+                        "[{i}] recovery stopped short of the log head: \
+                         recovered next_seq {got}, live next_seq {live}"
+                    ));
+                }
+            }
+            Err(e) => self
+                .failures
+                .push(format!("[{i}] recovery of a flushed log failed: {e}")),
+        }
+    }
+
+    /// Invariant: every acked block reads back with its exact bytes.
+    fn verify(&mut self, i: usize, context: &str) {
+        let snapshot: Vec<(u64, BlockState)> = self
+            .model
+            .lock()
+            .acked
+            .iter()
+            .map(|(&id, &state)| (id, state))
+            .collect();
+        for (id, state) in snapshot {
+            if self.failures.len() >= MAX_FAILURES {
+                return;
+            }
+            match self.log().read(state.addr) {
+                Ok(bytes) => {
+                    if bytes.len() != state.len || bytes.as_slice().iter().any(|&b| b != state.fill)
+                    {
+                        self.failures.push(format!(
+                            "[{i}] block {id} corrupt {context}: \
+                             want {} x {:#04x}, got {} bytes",
+                            state.len,
+                            state.fill,
+                            bytes.len()
+                        ));
+                    } else {
+                        self.verified_reads += 1;
+                    }
+                }
+                Err(e) => self.failures.push(format!(
+                    "[{i}] acked block {id} unreadable {context} (addr {:?}): {e}",
+                    state.addr
+                )),
+            }
+        }
+    }
+
+    /// Drops the client without flushing (a crash), recovers, and
+    /// verifies through the recovered log.
+    fn crash_recover(&mut self, i: usize) {
+        // Unflushed appends die with the client; they were never acked.
+        self.drop_pending();
+        self.cluster.clear_transients();
+        // The cleaner holds the only other reference to the log; dropping
+        // both simulates the client process dying. The open fragment is
+        // lost — exactly the torn tail recovery must discard.
+        self.cleaner = None;
+        self.log = None;
+        let config = match make_config(self.cluster.servers()) {
+            Ok(c) => c,
+            Err(e) => {
+                self.failures
+                    .push(format!("[{i}] config rebuild failed: {e}"));
+                return;
+            }
+        };
+        match recover(self.cluster.transport(), config, &[CHAOS_SERVICE]) {
+            Ok((log, replay)) => {
+                if let Err(e) = self.stack.recover(&replay) {
+                    self.failures
+                        .push(format!("[{i}] service replay failed: {e}"));
+                }
+                let log = Arc::new(log);
+                self.cleaner = Some(Cleaner::new(
+                    log.clone(),
+                    self.stack.clone(),
+                    CleanPolicy::CostBenefit,
+                ));
+                self.log = Some(log);
+                self.verify(i, "after crash recovery");
+            }
+            Err(e) => {
+                // Leaves the runner log-less; the step loop stops.
+                self.failures
+                    .push(format!("[{i}] crash recovery failed: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Seeded fault-schedule generation.
+//!
+//! A schedule is a flat list of [`ChaosEvent`]s expanded from a 64-bit
+//! seed by a deterministic RNG. The generator enforces one structural
+//! rule — **at most one impaired server (down or disk-full) at any
+//! time, with a flush barrier between impairment windows** — which is
+//! exactly the paper's single-parity fault model: every stripe's write
+//! window sees at most one failed member, so every acked stripe is
+//! either complete or reconstructible.
+//!
+//! Schedules canonicalize to text (one event per line) and hash with
+//! FNV-1a 64; the hash covers the seed, the cluster shape, and every
+//! event, so "same seed ⇒ same schedule" is checkable across transports
+//! and across machines.
+
+use std::fmt;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Shape parameters for schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleConfig {
+    /// Number of storage servers (= stripe width). At least 3, so the
+    /// cluster survives one held-down server during verification.
+    pub servers: u32,
+    /// Number of body events to generate (restores and the verification
+    /// tail are appended on top).
+    pub events: usize,
+}
+
+impl ScheduleConfig {
+    /// Creates a config; panics if `servers < 3` or `events == 0`.
+    pub fn new(servers: u32, events: usize) -> ScheduleConfig {
+        assert!(servers >= 3, "chaos needs >= 3 servers for reconstruction");
+        assert!(events > 0, "chaos needs at least one event");
+        ScheduleConfig { servers, events }
+    }
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig::new(4, 64)
+    }
+}
+
+/// One step of a chaos schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Append one block of `size` bytes, each byte `fill`.
+    Append {
+        /// Block length in bytes.
+        size: usize,
+        /// Fill byte (verification recomputes the expected contents).
+        fill: u8,
+    },
+    /// Flush the log; on success every pending append becomes *acked*.
+    Flush,
+    /// Write a service checkpoint (implies a flush; creates a recovery
+    /// anchor and makes older stripes cleanable).
+    Checkpoint,
+    /// Append a deletion record for the oldest acked block.
+    DeleteOldest,
+    /// Sever the next connection to `server` before the request lands.
+    ConnReset {
+        /// Target server index.
+        server: u32,
+    },
+    /// Delay the next call to `server` by `micros` microseconds.
+    Delay {
+        /// Target server index.
+        server: u32,
+        /// One-shot delay in microseconds.
+        micros: u64,
+    },
+    /// Truncate the next reply from `server`: the request is processed
+    /// but the ack is lost (the duplicate-store path).
+    TruncateNext {
+        /// Target server index.
+        server: u32,
+    },
+    /// Take `server` down (refuses connections; TCP also closes the
+    /// listening socket).
+    KillServer {
+        /// Target server index.
+        server: u32,
+    },
+    /// Bring `server` back (TCP respawns on a fresh port).
+    RestartServer {
+        /// Target server index.
+        server: u32,
+    },
+    /// `server` starts rejecting stores with `OutOfSpace`.
+    DiskFull {
+        /// Target server index.
+        server: u32,
+    },
+    /// `server` accepts stores again.
+    DiskFree {
+        /// Target server index.
+        server: u32,
+    },
+    /// Run one cleaner pass (up to 4 stripes), then verify the model.
+    CleanPass,
+    /// Settle the cluster: clear transient faults, flush, check that
+    /// recovery reaches the log head, and verify every acked block —
+    /// optionally once more with one server held down to force parity
+    /// reconstruction.
+    Quiesce {
+        /// Server to hold down during a second verification pass.
+        verify_down: Option<u32>,
+    },
+    /// Drop the client (log + cleaner) *without* flushing, run crash
+    /// recovery, and verify every acked block through the recovered log.
+    CrashRecover,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChaosEvent::Append { size, fill } => write!(f, "append size={size} fill={fill:02x}"),
+            ChaosEvent::Flush => write!(f, "flush"),
+            ChaosEvent::Checkpoint => write!(f, "checkpoint"),
+            ChaosEvent::DeleteOldest => write!(f, "delete-oldest"),
+            ChaosEvent::ConnReset { server } => write!(f, "conn-reset server={server}"),
+            ChaosEvent::Delay { server, micros } => {
+                write!(f, "delay server={server} micros={micros}")
+            }
+            ChaosEvent::TruncateNext { server } => write!(f, "truncate server={server}"),
+            ChaosEvent::KillServer { server } => write!(f, "kill server={server}"),
+            ChaosEvent::RestartServer { server } => write!(f, "restart server={server}"),
+            ChaosEvent::DiskFull { server } => write!(f, "disk-full server={server}"),
+            ChaosEvent::DiskFree { server } => write!(f, "disk-free server={server}"),
+            ChaosEvent::CleanPass => write!(f, "clean-pass"),
+            ChaosEvent::Quiesce { verify_down: None } => write!(f, "quiesce"),
+            ChaosEvent::Quiesce {
+                verify_down: Some(s),
+            } => write!(f, "quiesce verify-down={s}"),
+            ChaosEvent::CrashRecover => write!(f, "crash-recover"),
+        }
+    }
+}
+
+/// A fully expanded, replayable fault schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// Cluster width the schedule was generated for.
+    pub servers: u32,
+    /// The event list, in execution order.
+    pub events: Vec<ChaosEvent>,
+}
+
+/// Generator-side impairment tracking: who is down / full right now.
+#[derive(Default)]
+struct Impairment {
+    down: Option<u32>,
+    full: Option<u32>,
+}
+
+impl Impairment {
+    fn any(&self) -> bool {
+        self.down.is_some() || self.full.is_some()
+    }
+
+    /// Emits the restore events (plus the flush barrier that closes any
+    /// stripes written during the impairment window) needed to return the
+    /// cluster to full health.
+    fn restore(&mut self, events: &mut Vec<ChaosEvent>) {
+        let mut restored = false;
+        if let Some(s) = self.down.take() {
+            events.push(ChaosEvent::RestartServer { server: s });
+            restored = true;
+        }
+        if let Some(s) = self.full.take() {
+            events.push(ChaosEvent::DiskFree { server: s });
+            restored = true;
+        }
+        if restored {
+            events.push(ChaosEvent::Flush);
+        }
+    }
+}
+
+impl Schedule {
+    /// Expands `seed` into a schedule. Pure function of `(seed, cfg)`:
+    /// no wall clock, no global RNG.
+    pub fn generate(seed: u64, cfg: &ScheduleConfig) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(cfg.events + 16);
+        let mut imp = Impairment::default();
+
+        for _ in 0..cfg.events {
+            let roll = rng.gen_range(0u32..100);
+            match roll {
+                // Ordinary work: the majority of events, so faults always
+                // have traffic to bite.
+                0..=31 => events.push(ChaosEvent::Append {
+                    size: rng.gen_range(64usize..1800),
+                    fill: rng.gen::<u8>(),
+                }),
+                32..=43 => events.push(ChaosEvent::Flush),
+                44..=49 => {
+                    imp.restore(&mut events);
+                    events.push(ChaosEvent::Checkpoint);
+                }
+                50..=55 => events.push(ChaosEvent::DeleteOldest),
+                // Transient wire faults: safe at any time (retries absorb
+                // them; unconsumed ones are cleared at quiesce points).
+                56..=62 => events.push(ChaosEvent::ConnReset {
+                    server: rng.gen_range(0..cfg.servers),
+                }),
+                63..=67 => events.push(ChaosEvent::Delay {
+                    server: rng.gen_range(0..cfg.servers),
+                    micros: rng.gen_range(500u64..15_000),
+                }),
+                68..=73 => events.push(ChaosEvent::TruncateNext {
+                    server: rng.gen_range(0..cfg.servers),
+                }),
+                // Server impairments: one at a time, ended by a restore +
+                // flush barrier so no stripe ever sees two failed members.
+                74..=81 => {
+                    if let Some(s) = imp.down.take() {
+                        events.push(ChaosEvent::RestartServer { server: s });
+                        events.push(ChaosEvent::Flush);
+                    } else if !imp.any() {
+                        let s = rng.gen_range(0..cfg.servers);
+                        imp.down = Some(s);
+                        events.push(ChaosEvent::KillServer { server: s });
+                    }
+                }
+                82..=87 => {
+                    if let Some(s) = imp.full.take() {
+                        events.push(ChaosEvent::DiskFree { server: s });
+                        events.push(ChaosEvent::Flush);
+                    } else if !imp.any() {
+                        let s = rng.gen_range(0..cfg.servers);
+                        imp.full = Some(s);
+                        events.push(ChaosEvent::DiskFull { server: s });
+                    }
+                }
+                // Whole-cluster checks: always on a restored cluster.
+                88..=91 => {
+                    imp.restore(&mut events);
+                    events.push(ChaosEvent::CleanPass);
+                }
+                92..=95 => {
+                    imp.restore(&mut events);
+                    let verify_down = rng.gen_bool(0.5).then(|| rng.gen_range(0..cfg.servers));
+                    events.push(ChaosEvent::Quiesce { verify_down });
+                }
+                _ => {
+                    imp.restore(&mut events);
+                    events.push(ChaosEvent::CrashRecover);
+                }
+            }
+        }
+
+        // Verification tail: every schedule ends with a settled check, a
+        // crash/recover cycle, and a reconstruction-forcing check.
+        imp.restore(&mut events);
+        events.push(ChaosEvent::Quiesce { verify_down: None });
+        events.push(ChaosEvent::CrashRecover);
+        events.push(ChaosEvent::Quiesce {
+            verify_down: Some(rng.gen_range(0..cfg.servers)),
+        });
+
+        Schedule {
+            seed,
+            servers: cfg.servers,
+            events,
+        }
+    }
+
+    /// FNV-1a 64 over the canonical text form (seed, shape, every event).
+    pub fn hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |line: &str| {
+            for b in line.bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h = (h ^ b'\n' as u64).wrapping_mul(PRIME);
+        };
+        eat(&format!("seed={} servers={}", self.seed, self.servers));
+        for e in &self.events {
+            eat(&e.to_string());
+        }
+        h
+    }
+
+    /// The canonical text form: a header line plus one numbered line per
+    /// event. Suitable for CI artifacts and eyeballing failing seeds.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "# seed={} servers={} events={} hash={:#018x}\n",
+            self.seed,
+            self.servers,
+            self.events.len(),
+            self.hash()
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = writeln!(out, "{i:4}  {e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule_and_hash() {
+        let cfg = ScheduleConfig::new(4, 64);
+        let a = Schedule::generate(42, &cfg);
+        let b = Schedule::generate(42, &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.hash(), b.hash());
+        let c = Schedule::generate(43, &cfg);
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn at_most_one_impaired_server_with_flush_barriers() {
+        let cfg = ScheduleConfig::new(4, 256);
+        for seed in 0..64 {
+            let s = Schedule::generate(seed, &cfg);
+            let mut down: Option<u32> = None;
+            let mut full: Option<u32> = None;
+            // A new impairment may only begin after the previous window
+            // was closed by a flush.
+            let mut flushed_since_restore = true;
+            for (i, e) in s.events.iter().enumerate() {
+                match *e {
+                    ChaosEvent::KillServer { server } => {
+                        assert!(down.is_none() && full.is_none(), "seed {seed} event {i}");
+                        assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
+                        down = Some(server);
+                    }
+                    ChaosEvent::RestartServer { server } => {
+                        assert_eq!(down, Some(server), "seed {seed} event {i}");
+                        down = None;
+                        flushed_since_restore = false;
+                    }
+                    ChaosEvent::DiskFull { server } => {
+                        assert!(down.is_none() && full.is_none(), "seed {seed} event {i}");
+                        assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
+                        full = Some(server);
+                    }
+                    ChaosEvent::DiskFree { server } => {
+                        assert_eq!(full, Some(server), "seed {seed} event {i}");
+                        full = None;
+                        flushed_since_restore = false;
+                    }
+                    ChaosEvent::Flush | ChaosEvent::Checkpoint => flushed_since_restore = true,
+                    ChaosEvent::CleanPass
+                    | ChaosEvent::Quiesce { .. }
+                    | ChaosEvent::CrashRecover => {
+                        assert!(
+                            down.is_none() && full.is_none(),
+                            "seed {seed} event {i}: cluster check while impaired"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                down.is_none() && full.is_none(),
+                "seed {seed}: unrestored tail"
+            );
+            // Every schedule ends with the verification tail.
+            let n = s.events.len();
+            assert!(matches!(
+                s.events[n - 1],
+                ChaosEvent::Quiesce {
+                    verify_down: Some(_)
+                }
+            ));
+            assert!(matches!(s.events[n - 2], ChaosEvent::CrashRecover));
+        }
+    }
+
+    #[test]
+    fn dump_roundtrips_the_event_count() {
+        let s = Schedule::generate(7, &ScheduleConfig::new(4, 32));
+        let dump = s.dump();
+        // Header + one line per event.
+        assert_eq!(dump.lines().count(), s.events.len() + 1);
+        assert!(dump.starts_with("# seed=7 "));
+    }
+}

@@ -126,15 +126,36 @@ impl Cleaner {
             .any(|(service, pos)| self.log.last_checkpoint(*service) == Some(*pos))
     }
 
-    fn cleanable(&self, usage: &StripeUsage) -> bool {
-        // Live blocks can only move if their owning service is running to
-        // receive the move notification (§2.1.4); a stripe with orphaned
-        // live blocks waits until that service is registered again.
-        let owners_present = usage
+    /// Is `stripe` entirely below the recovery anchor (the newest marked
+    /// fragment)?
+    ///
+    /// Recovery's rollforward scan skips missing stripes *below* the
+    /// anchor but treats a missing stripe at or beyond it as the end of
+    /// the log. Reclaiming above the anchor would therefore truncate the
+    /// next recovery at the freed stripe, silently dropping every
+    /// acknowledged write beyond it. Stripes up there stay untouchable
+    /// until a checkpoint advances the anchor past them.
+    fn below_anchor(&self, usage: &StripeUsage, width: u8) -> bool {
+        self.log
+            .anchor_seq()
+            .is_some_and(|a| usage.first_seq + width as u64 <= a)
+    }
+
+    /// Are the owning services of every live block in `stripe` running?
+    /// Live blocks can only move if their owner is registered to receive
+    /// the move notification (§2.1.4).
+    fn owners_present(&self, usage: &StripeUsage) -> bool {
+        usage
             .live_blocks
             .iter()
-            .all(|lb| self.stack.contains(lb.service));
-        owners_present && !self.blocked_by_records(usage) && !self.is_anchor(usage)
+            .all(|lb| self.stack.contains(lb.service))
+    }
+
+    fn cleanable(&self, usage: &StripeUsage, width: u8) -> bool {
+        self.owners_present(usage)
+            && self.below_anchor(usage, width)
+            && !self.blocked_by_records(usage)
+            && !self.is_anchor(usage)
     }
 
     /// Runs one cleaning pass, reclaiming at most `max_stripes` stripes.
@@ -166,19 +187,30 @@ impl Cleaner {
                 .filter(|s| !cleaned_set.contains(&s.first_seq))
                 // Never clean the stripe currently being appended to.
                 .filter(|s| s.first_seq + table.width as u64 <= self.log.next_seq())
-                .filter(|s| self.cleanable(s))
+                .filter(|s| self.cleanable(s, table.width))
                 .collect();
             drop(select_span);
             if candidates.is_empty() {
-                // Force checkpoints only when a stripe is actually held
-                // hostage by stale records — not when the only blocked
-                // stripe is the live checkpoint anchor (forcing there
-                // would churn a fresh anchor stripe every pass).
+                // Force checkpoints when a stripe is held hostage by
+                // stale records (the paper's starvation countermeasure)
+                // or is only waiting for the anchor to advance past it —
+                // but not when the only blocked stripe is the live
+                // checkpoint anchor (forcing there would churn a fresh
+                // anchor stripe every pass).
                 let starved = table
                     .stripes
                     .values()
                     .filter(|s| !cleaned_set.contains(&s.first_seq))
-                    .any(|s| self.blocked_by_records(s));
+                    .any(|s| {
+                        if self.blocked_by_records(s) {
+                            return true;
+                        }
+                        let complete = s.first_seq + table.width as u64 <= self.log.next_seq();
+                        complete
+                            && self.owners_present(s)
+                            && !self.is_anchor(s)
+                            && !self.below_anchor(s, table.width)
+                    });
                 if attempt == 0 && starved {
                     swarm_metrics::trace!("cleaner", "no cleanable stripes; forcing checkpoints");
                     self.stack.checkpoint_all(&self.log)?;
@@ -549,6 +581,42 @@ mod tests {
         // The orphan's data is still there.
         let table = UsageTable::scan(&f.log, 0).unwrap();
         assert!(table.stripes.get(&0).is_some_and(|s| s.live_bytes == 1500));
+    }
+
+    #[test]
+    fn stripes_above_the_anchor_need_a_forced_checkpoint_first() {
+        let f = fixture(3);
+        // Anchor early: the checkpoint lands in stripe 0, so everything
+        // written afterwards sits *above* the recovery anchor.
+        f.log.checkpoint(SVC, b"early").unwrap();
+        let anchor_before = f.log.anchor_seq().unwrap();
+        // A stripe of pure blocks (no records), fully dead once both are
+        // deleted. Without the anchor gate the cleaner would reclaim it
+        // immediately — and the next recovery's rollforward scan would
+        // stop at the hole, dropping everything past it.
+        let a = write_block(&f, b"a", 1500);
+        let b = write_block(&f, b"b", 1500);
+        f.log.flush().unwrap();
+        f.log.delete_block(SVC, a).unwrap();
+        f.log.delete_block(SVC, b).unwrap();
+        f.log.flush().unwrap();
+
+        let cleaner = Cleaner::new(f.log.clone(), f.stack.clone(), CleanPolicy::Greedy);
+        let stats = cleaner.clean_pass(16).unwrap();
+        // The dead stripe was held up only by the anchor: the pass must
+        // advance the anchor (forced checkpoint) before reclaiming, and
+        // must never reclaim a stripe at or above it.
+        assert_eq!(stats.forced_checkpoints, 1, "{stats:?}");
+        assert!(stats.stripes_cleaned >= 1, "{stats:?}");
+        let anchor_after = f.log.anchor_seq().unwrap();
+        assert!(anchor_after > anchor_before);
+        let width = f.log.group().width() as u64;
+        for s in cleaner.cleaned_stripes() {
+            assert!(
+                s + width <= anchor_after,
+                "stripe {s} reclaimed at/above anchor {anchor_after}"
+            );
+        }
     }
 
     #[test]

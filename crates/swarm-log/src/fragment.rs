@@ -379,6 +379,13 @@ impl FragmentBuilder {
         self.append_entry(&entry)
     }
 
+    /// Forces the fragment to be stored *marked* even without a checkpoint
+    /// entry. Recovery uses this to write an anchor fragment (checkpoint
+    /// directory only) past a torn-tail gap.
+    pub fn mark(&mut self) {
+        self.marked = true;
+    }
+
     /// Finalizes the fragment: fills in body length/CRC and the header
     /// checksum.
     pub fn seal(mut self) -> SealedFragment {

@@ -150,6 +150,13 @@ pub struct LogConfig {
     /// parsed, fragments `seq+1..=seq+read_ahead` are fetched in the
     /// background. Default 2.
     pub read_ahead: usize,
+    /// Attempts per fragment store before the writer reports the server
+    /// lost (default [`crate::writer::STORE_RETRIES`]).
+    pub store_retries: usize,
+    /// Pause between store retry attempts (default
+    /// [`crate::writer::RETRY_BACKOFF`]). Chaos runs shorten this so
+    /// injected kill/restart cycles resolve within a flush.
+    pub retry_backoff: std::time::Duration,
 }
 
 impl LogConfig {
@@ -168,6 +175,8 @@ impl LogConfig {
             cache_fragments: 16,
             prefetch: false,
             read_ahead: 2,
+            store_retries: crate::writer::STORE_RETRIES,
+            retry_backoff: crate::writer::RETRY_BACKOFF,
         })
     }
 
@@ -198,6 +207,18 @@ impl LogConfig {
     /// Sets the read-ahead depth for prefetch mode and recovery scans.
     pub fn read_ahead(mut self, fragments: usize) -> LogConfig {
         self.read_ahead = fragments;
+        self
+    }
+
+    /// Sets the writer's store retry count.
+    pub fn store_retries(mut self, retries: usize) -> LogConfig {
+        self.store_retries = retries;
+        self
+    }
+
+    /// Sets the pause between store retry attempts.
+    pub fn retry_backoff(mut self, backoff: std::time::Duration) -> LogConfig {
+        self.retry_backoff = backoff;
         self
     }
 }
@@ -306,6 +327,9 @@ struct LogState {
     fragment_map: HashMap<FragmentId, ServerId>,
     /// Per-service newest checkpoint position.
     checkpoints: HashMap<ServiceId, LogPosition>,
+    /// Sequence of the newest *marked* fragment this log knows to be
+    /// durable (a lower bound — see [`Log::anchor_seq`]).
+    anchor_seq: Option<u64>,
     /// Bytes of entries appended since creation (statistics).
     appended_bytes: u64,
     stats: LogStats,
@@ -409,11 +433,13 @@ impl Log {
         if !next_seq.is_multiple_of(config.group.width() as u64) {
             return Err(SwarmError::invalid("start sequence not stripe-aligned"));
         }
-        let pool = WritePool::new(
+        let pool = WritePool::with_retry(
             transport.clone(),
             config.client,
             config.group.servers(),
             config.queue_depth,
+            config.store_retries,
+            config.retry_backoff,
         );
         let cache = Arc::new(Mutex::new(FragCache::new(config.cache_fragments)));
         Ok(Log {
@@ -429,6 +455,7 @@ impl Log {
                 builder: None,
                 fragment_map: HashMap::new(),
                 checkpoints: HashMap::new(),
+                anchor_seq: None,
                 appended_bytes: 0,
                 stats: LogStats::default(),
                 closed: false,
@@ -494,7 +521,27 @@ impl Log {
 
     /// Records a service's checkpoint position (used by recovery).
     pub(crate) fn seed_checkpoint(&self, service: ServiceId, pos: LogPosition) {
-        self.state.lock().checkpoints.insert(service, pos);
+        let mut state = self.state.lock();
+        state.anchor_seq = state.anchor_seq.max(Some(pos.seq));
+        state.checkpoints.insert(service, pos);
+    }
+
+    /// Records the recovery anchor (newest marked fragment found by the
+    /// `LastMarked` broadcast) on a recovered log.
+    pub(crate) fn seed_anchor(&self, seq: u64) {
+        let mut state = self.state.lock();
+        state.anchor_seq = state.anchor_seq.max(Some(seq));
+    }
+
+    /// Sequence of the newest marked fragment this log knows to be
+    /// durable, if any — a lower bound on the recovery anchor the next
+    /// `LastMarked` broadcast would find.
+    ///
+    /// The rollforward scan treats a missing fragment at or beyond the
+    /// anchor as the end of the log, so anything that removes fragments
+    /// (the cleaner) must stay strictly below this sequence.
+    pub fn anchor_seq(&self) -> Option<u64> {
+        self.state.lock().anchor_seq
     }
 
     // ------------------------------------------------------------------
@@ -769,6 +816,39 @@ impl Log {
             pos
         };
         self.flush()?;
+        // Only a flushed marked fragment moves the anchor: recovery's
+        // `LastMarked` broadcast can't see an unstored fragment.
+        let mut state = self.state.lock();
+        state.anchor_seq = state.anchor_seq.max(Some(pos.seq));
+        Ok(pos)
+    }
+
+    /// Writes a *marked* fragment carrying only the log layer's checkpoint
+    /// directory, and flushes. This re-establishes the recovery anchor at
+    /// the current head without touching any service's checkpoint:
+    /// recovery writes one after discarding a torn tail, so the resulting
+    /// hole in the sequence space falls *below* the anchor, where the
+    /// rollforward scan knows to skip missing stripes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Log::flush`].
+    pub(crate) fn write_anchor(&self) -> Result<LogPosition> {
+        let pos = {
+            let mut state = self.state.lock();
+            let dir = encode_checkpoint_dir(&state.checkpoints, None);
+            let need = dir.len() + 16;
+            let builder = self.ensure_builder(&mut state, need)?;
+            let offset =
+                builder.append_record(ServiceId::LOG_LAYER, log_record::CHECKPOINT_DIR, &dir);
+            builder.mark();
+            let seq = builder.fid().seq();
+            state.appended_bytes += need as u64;
+            LogPosition { seq, offset }
+        };
+        self.flush()?;
+        let mut state = self.state.lock();
+        state.anchor_seq = state.anchor_seq.max(Some(pos.seq));
         Ok(pos)
     }
 

@@ -171,11 +171,10 @@ where
 /// the stripe is unavailable), and [`SwarmError::Corrupt`] if the rebuilt
 /// bytes fail validation.
 pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Bytes> {
-    let header =
-        find_stripe_header(pool, fid).ok_or_else(|| SwarmError::ReconstructionFailed {
-            fid,
-            reason: "no surviving stripe-mate located via broadcast".into(),
-        })?;
+    let header = find_stripe_header(pool, fid).ok_or_else(|| SwarmError::ReconstructionFailed {
+        fid,
+        reason: "no surviving stripe-mate located via broadcast".into(),
+    })?;
 
     let my_index = (fid.seq() - header.stripe_first_seq) as u8;
     let parity_index = header.parity_index;
@@ -294,7 +293,10 @@ fn fetch_member(pool: &Arc<ConnectionPool>, header: &FragmentHeader, i: u8) -> R
 /// Reads the complete bytes of `fid` from wherever they are, falling back
 /// to reconstruction; `Ok(None)` means the fragment does not exist in the
 /// cluster at all (end of log, or a cleaned stripe).
-pub fn read_fragment_anywhere(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Option<Bytes>> {
+pub fn read_fragment_anywhere(
+    pool: &Arc<ConnectionPool>,
+    fid: FragmentId,
+) -> Result<Option<Bytes>> {
     if let Some((server, _)) = locate_fragment(pool, fid) {
         match fetch_fragment(pool, server, fid) {
             Ok(bytes) => return Ok(Some(bytes)),

@@ -1,7 +1,7 @@
 //! Client crash recovery: checkpoint discovery and log rollforward
 //! (§2.1.3, §2.3.1).
 //!
-//! After a client crash, recovery proceeds in three steps:
+//! After a client crash, recovery proceeds in stages:
 //!
 //! 1. **Anchor** — broadcast `LastMarked` to every server; the newest
 //!    marked fragment holds the client's most recent checkpoint *and* the
@@ -26,6 +26,12 @@
 //!    with no parity protection. (Like a torn journal record: the
 //!    servers' atomic stores guarantee entries never tear *within* a
 //!    fragment; stripes can still tear *across* fragments.)
+//! 5. **Re-anchor** — a discarded stripe's sequence numbers are never
+//!    reused, so the discard leaves a permanent hole in the log. Recovery
+//!    writes a *marked* fragment (checkpoint directory only) at the new
+//!    head so the hole falls below the anchor, where the rollforward scan
+//!    skips missing stripes; without it, the *next* recovery would stop
+//!    at the hole and lose every acknowledged write beyond it.
 //!
 //! The caller (usually the service stack) then feeds
 //! [`Replay::checkpoint_data`] and [`Replay::records_for`] to each
@@ -35,7 +41,9 @@ use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
 
 use swarm_net::{ConnectionPool, Request, Response, Transport};
-use swarm_types::{BlockAddr, Bytes, ClientId, FragmentId, Result, ServerId, ServiceId, SwarmError};
+use swarm_types::{
+    BlockAddr, Bytes, ClientId, FragmentId, Result, ServerId, ServiceId, SwarmError,
+};
 
 use crate::entry::Entry;
 use crate::log::{Log, LogConfig, LogPosition};
@@ -220,7 +228,8 @@ pub fn recover(
     // the final stripe never completed (no parity): drop its entries and
     // best-effort delete its surviving fragments so they don't linger as
     // unprotected, unaccounted data.
-    if !seq.is_multiple_of(width) {
+    let torn = !seq.is_multiple_of(width);
+    if torn {
         m.torn_tails.inc();
         let torn_first = (seq / width) * width;
         swarm_metrics::trace!("recovery", "discarding torn tail from seq {}", torn_first);
@@ -255,6 +264,30 @@ pub fn recover(
     log.seed_fragment_map(replay.fragment_homes.iter().copied());
     for (service, (pos, _)) in &replay.checkpoints {
         log.seed_checkpoint(*service, *pos);
+    }
+    if let Some(a) = anchor {
+        log.seed_anchor(a.seq());
+    }
+    // A discarded stripe leaves a permanent hole in the sequence space
+    // (its ids are never reused), and the rollforward scan above only
+    // skips missing stripes *below* the anchor. Re-anchor past the hole
+    // by writing a marked directory fragment at the new head; otherwise
+    // a second crash would truncate recovery at the hole, losing every
+    // acknowledged write beyond it. Best-effort: if the cluster is too
+    // degraded to store a stripe right now, the recovered log still
+    // works, and the next successful checkpoint closes the window.
+    if torn {
+        match log.write_anchor() {
+            Ok(pos) => {
+                swarm_metrics::trace!("recovery", "re-anchored past torn tail at seq {}", pos.seq);
+            }
+            Err(e) => {
+                swarm_metrics::trace!(
+                    "recovery",
+                    "re-anchor after torn tail failed (gap stays above anchor): {e}"
+                );
+            }
+        }
     }
     Ok((log, replay))
 }
@@ -317,7 +350,10 @@ impl ReadAhead {
         let (tx, rx) = mpsc::channel();
         let pool = Arc::clone(&self.pool);
         std::thread::spawn(move || {
-            let _ = tx.send(fetch_anywhere_with_home(&pool, FragmentId::new(client, seq)));
+            let _ = tx.send(fetch_anywhere_with_home(
+                &pool,
+                FragmentId::new(client, seq),
+            ));
         });
         self.inflight.insert(seq, rx);
     }
@@ -329,9 +365,9 @@ impl ReadAhead {
             self.spawn(s, client);
         }
         match self.inflight.remove(&seq) {
-            Some(rx) => rx
-                .recv()
-                .unwrap_or_else(|_| fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq))),
+            Some(rx) => rx.recv().unwrap_or_else(|_| {
+                fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq))
+            }),
             None => fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq)),
         }
     }

@@ -22,12 +22,13 @@ use swarm_types::{ClientId, Result, ServerId, SwarmError};
 use crate::fragment::SealedFragment;
 
 /// How many times a writer retries a failed store before reporting the
-/// server lost.
-const STORE_RETRIES: usize = 5;
+/// server lost (default; see [`WritePool::with_retry`]).
+pub const STORE_RETRIES: usize = 5;
 
 /// Pause between retries: long enough for a rebooting server process to
-/// come back, short enough not to stall the pipeline noticeably.
-const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
+/// come back, short enough not to stall the pipeline noticeably
+/// (default; see [`WritePool::with_retry`]).
+pub const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
 
 pub(crate) struct WriterMetrics {
     pub(crate) store_us: swarm_metrics::Histogram,
@@ -35,6 +36,7 @@ pub(crate) struct WriterMetrics {
     pub(crate) reconnects: swarm_metrics::Counter,
     pub(crate) write_errors: swarm_metrics::Counter,
     pub(crate) flush_dropped_errors: swarm_metrics::Counter,
+    pub(crate) store_requeues: swarm_metrics::Counter,
 }
 
 pub(crate) fn metrics() -> &'static WriterMetrics {
@@ -45,6 +47,7 @@ pub(crate) fn metrics() -> &'static WriterMetrics {
         reconnects: swarm_metrics::counter("log.reconnects"),
         write_errors: swarm_metrics::counter("log.write_errors"),
         flush_dropped_errors: swarm_metrics::counter("log.flush_dropped_errors"),
+        store_requeues: swarm_metrics::counter("log.store_requeues"),
     })
 }
 
@@ -56,6 +59,11 @@ struct Job {
 struct PoolState {
     in_flight: usize,
     errors: Vec<(ServerId, SwarmError)>,
+    /// Sealed fragments whose store failed. They are *not* abandoned:
+    /// the next flush re-queues them, so a stripe that lost a member to
+    /// a down server heals once the server is back, and a flush that
+    /// returns `Ok` really means every sealed fragment is durable.
+    failed: Vec<(ServerId, SealedFragment)>,
 }
 
 struct Shared {
@@ -91,6 +99,29 @@ impl WritePool {
         servers: &[ServerId],
         depth: usize,
     ) -> WritePool {
+        Self::with_retry(
+            transport,
+            client,
+            servers,
+            depth,
+            STORE_RETRIES,
+            RETRY_BACKOFF,
+        )
+    }
+
+    /// Like [`WritePool::new`], with an explicit retry policy: each failed
+    /// store is retried up to `retries` times total, sleeping `backoff`
+    /// between attempts. Chaos runs shorten the backoff so injected
+    /// kill/restart cycles resolve quickly; production callers keep the
+    /// defaults.
+    pub fn with_retry(
+        transport: Arc<dyn Transport>,
+        client: ClientId,
+        servers: &[ServerId],
+        depth: usize,
+        retries: usize,
+        backoff: std::time::Duration,
+    ) -> WritePool {
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState::default()),
             done: Condvar::new(),
@@ -106,7 +137,15 @@ impl WritePool {
                 .spawn(move || {
                     let mut conn: Option<Box<dyn Connection>> = None;
                     while let Ok(job) = rx.recv() {
-                        let result = store_with_retry(&*transport, client, server, &mut conn, &job);
+                        let result = store_with_retry(
+                            &*transport,
+                            client,
+                            server,
+                            &mut conn,
+                            &job,
+                            retries,
+                            backoff,
+                        );
                         let mut state = shared.state.lock();
                         state.in_flight -= 1;
                         if let Err(e) = result {
@@ -117,6 +156,7 @@ impl WritePool {
                                 job.fragment.fid()
                             );
                             state.errors.push((server, e));
+                            state.failed.push((server, job.fragment));
                         }
                         shared.done.notify_all();
                     }
@@ -182,23 +222,52 @@ impl WritePool {
     /// *all* errors accumulated since the last flush, each with the server
     /// that produced it.
     ///
+    /// Fragments whose store failed earlier are re-queued here first: a
+    /// flush only returns `Ok` once every sealed fragment — including ones
+    /// a previous flush reported as failed — is actually on its server.
+    /// (Duplicate stores after a lost ack are absorbed by the servers'
+    /// idempotent `FragmentExists` reply.)
+    ///
     /// # Errors
     ///
     /// The error value is the non-empty list of `(server, error)` pairs.
+    /// Fragments that failed again stay queued for the next flush.
     pub fn flush_all(&self) -> std::result::Result<(), Vec<(ServerId, SwarmError)>> {
-        let mut state = self.shared.state.lock();
-        while state.in_flight > 0 {
-            self.shared.done.wait(&mut state);
-        }
-        if state.errors.is_empty() {
-            Ok(())
-        } else {
-            Err(state.errors.drain(..).collect())
+        loop {
+            let retry = {
+                let mut state = self.shared.state.lock();
+                while state.in_flight > 0 {
+                    self.shared.done.wait(&mut state);
+                }
+                if !state.errors.is_empty() {
+                    return Err(state.errors.drain(..).collect());
+                }
+                std::mem::take(&mut state.failed)
+            };
+            if retry.is_empty() {
+                return Ok(());
+            }
+            // Re-queue outside the lock: submit blocks on a full queue,
+            // and the writer threads need the lock to drain it.
+            for (server, fragment) in retry {
+                metrics().store_requeues.inc();
+                swarm_metrics::trace!(
+                    "log.write",
+                    "re-queueing {} for server {server} after earlier store failure",
+                    fragment.fid()
+                );
+                if let Err(e) = self.submit(server, fragment) {
+                    let mut state = self.shared.state.lock();
+                    state.errors.push((server, e));
+                }
+            }
         }
     }
 
     /// Shuts the pool down, joining all writer threads. Queued work is
-    /// completed first.
+    /// completed first; fragments whose store already failed are dropped
+    /// (flush never reported them durable, so nothing acknowledged is
+    /// lost).
     pub fn shutdown(&mut self) {
         self.senders.clear(); // closes channels; threads drain and exit
         for t in self.threads.drain(..) {
@@ -219,6 +288,8 @@ fn store_with_retry(
     server: ServerId,
     conn: &mut Option<Box<dyn Connection>>,
     job: &Job,
+    retries: usize,
+    backoff: std::time::Duration,
 ) -> Result<()> {
     // Encode the request once up front. `share()` hands the prepared
     // request a view of the sealed fragment's buffer (no byte copy), and
@@ -232,10 +303,10 @@ fn store_with_retry(
     let m = metrics();
     let _span = m.store_us.span("log.store");
     let mut last_err = SwarmError::ServerUnavailable(server);
-    for attempt in 0..STORE_RETRIES {
+    for attempt in 0..retries.max(1) {
         if attempt > 0 {
             m.store_retries.inc();
-            std::thread::sleep(RETRY_BACKOFF);
+            std::thread::sleep(backoff);
         }
         if conn.is_none() {
             if attempt > 0 {
@@ -332,7 +403,7 @@ mod tests {
 
     #[test]
     fn flush_reports_down_server() {
-        let (transport, _servers) = cluster(2);
+        let (transport, servers) = cluster(2);
         let pool = WritePool::new(
             transport.clone(),
             ClientId::new(1),
@@ -341,13 +412,38 @@ mod tests {
         );
         transport.set_down(ServerId::new(1), true);
         pool.submit(ServerId::new(0), fragment(0, b"ok")).unwrap();
-        pool.submit(ServerId::new(1), fragment(1, b"doomed"))
+        pool.submit(ServerId::new(1), fragment(1, b"delayed"))
             .unwrap();
         let err = pool.flush().unwrap_err();
         assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
-        // After the error is taken, the pool is usable again.
+        // The failed fragment is not abandoned: once the server is back,
+        // the next flush re-queues it and only then reports clean.
+        transport.set_down(ServerId::new(1), false);
         pool.submit(ServerId::new(0), fragment(2, b"ok2")).unwrap();
         pool.flush().unwrap();
+        assert_eq!(servers[1].store().fragment_count(), 1);
+    }
+
+    /// While the server stays down, every flush keeps failing — the
+    /// fragment is never silently dropped just because its error was
+    /// reported once.
+    #[test]
+    fn flush_keeps_failing_until_the_fragment_lands() {
+        let (transport, servers) = cluster(2);
+        let pool = WritePool::new(
+            transport.clone(),
+            ClientId::new(1),
+            &[ServerId::new(0), ServerId::new(1)],
+            2,
+        );
+        transport.set_down(ServerId::new(1), true);
+        pool.submit(ServerId::new(1), fragment(0, b"stuck"))
+            .unwrap();
+        pool.flush().unwrap_err();
+        pool.flush().unwrap_err(); // re-queued and failed again
+        transport.set_down(ServerId::new(1), false);
+        pool.flush().unwrap(); // healed
+        assert_eq!(servers[1].store().fragment_count(), 1);
     }
 
     /// Regression test: flush used to drop all but the first error on the
@@ -372,8 +468,8 @@ mod tests {
         for (_, e) in &errors {
             assert!(matches!(e, SwarmError::ServerUnavailable(_)), "{e}");
         }
-        // The errors were taken; the pool keeps working once the servers
-        // come back.
+        // The errors were taken; once the servers come back the next
+        // flush stores the new fragments *and* heals the failed ones.
         transport.set_down(ServerId::new(1), false);
         transport.set_down(ServerId::new(2), false);
         pool.submit(ServerId::new(1), fragment(3, b"retry"))
@@ -381,8 +477,8 @@ mod tests {
         pool.submit(ServerId::new(2), fragment(4, b"retry"))
             .unwrap();
         pool.flush().unwrap();
-        assert_eq!(servers[1].store().fragment_count(), 1);
-        assert_eq!(servers[2].store().fragment_count(), 1);
+        assert_eq!(servers[1].store().fragment_count(), 2);
+        assert_eq!(servers[2].store().fragment_count(), 2);
     }
 
     #[test]

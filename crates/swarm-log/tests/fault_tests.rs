@@ -155,6 +155,61 @@ fn torn_tail_is_discarded_but_durable_prefix_survives() {
 }
 
 #[test]
+fn double_crash_after_torn_tail_loses_no_acknowledged_writes() {
+    // Crash #1 leaves a torn stripe; recovery discards it and resumes
+    // appending past the gap, so the gap is permanent. Recovery must
+    // re-anchor past the hole — otherwise the *next* recovery's
+    // rollforward scan stops at the gap and every write acknowledged
+    // after crash #1 silently vanishes.
+    let (transport, _servers) = cluster(3);
+    {
+        let log = Log::create(transport.clone(), config(3)).unwrap();
+        log.checkpoint(SVC, b"anchor").unwrap();
+        log.append_record(SVC, 1, &[0u8; 500]).unwrap();
+        log.flush().unwrap(); // acknowledged
+
+        // Torn stripe: one member seals and ships as the appends roll
+        // fragments, then the client dies before the rest.
+        log.append_record(SVC, 2, &[0u8; 2000]).unwrap();
+        log.append_record(SVC, 3, &[0u8; 2000]).unwrap();
+        for i in 0..3 {
+            transport.set_down(ServerId::new(i), true);
+        }
+        let _ = log.flush(); // fails — crash #1
+    }
+    for i in 0..3 {
+        transport.set_down(ServerId::new(i), false);
+    }
+
+    // Recovery #1 discards the torn stripe; the client writes on and the
+    // new data is acknowledged.
+    {
+        let (log, _replay) = recover(transport.clone(), config(3), &[SVC]).unwrap();
+        log.append_record(SVC, 4, b"after first crash").unwrap();
+        log.flush().unwrap(); // acknowledged
+    } // crash #2: drop without a checkpoint
+
+    // Recovery #2 must reach the live head across the discarded stripe.
+    let (log, replay) = recover(transport, config(3), &[SVC]).unwrap();
+    let kinds: Vec<u16> = replay
+        .records_for(SVC)
+        .iter()
+        .filter_map(|e| match &e.entry {
+            Entry::Record { kind, .. } => Some(*kind),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![1, 4],
+        "acknowledged writes from both sides of the gap survive"
+    );
+    // And appends keep working with no fid collisions.
+    log.append_record(SVC, 9, b"after second crash").unwrap();
+    log.flush().unwrap();
+}
+
+#[test]
 fn prefetch_turns_sequential_reads_into_one_fetch_per_fragment() {
     let (transport, servers) = cluster(3);
     // ~64 KiB fragments, 4 KiB blocks → many blocks per fragment.

@@ -450,8 +450,7 @@ fn log_stats_track_the_pipeline() {
     transport.set_down(ServerId::new(1), false);
     transport.set_down(ServerId::new(2), false);
     // Kill just the holder so reconstruction succeeds.
-    let (holder, _) =
-        swarm_log::reconstruct::locate_fragment(log.engine(), addr.fid).unwrap();
+    let (holder, _) = swarm_log::reconstruct::locate_fragment(log.engine(), addr.fid).unwrap();
     log.forget_fragment(addr.fid);
     transport.set_down(holder, true);
     assert_eq!(log.read(addr).unwrap(), b"probe");

@@ -32,7 +32,7 @@ pub mod proto;
 pub mod tcp;
 pub mod transport;
 
-pub use fault::FaultPlan;
+pub use fault::{FaultHandler, FaultPlan, FaultTransport};
 pub use frame::{read_frame, write_frame, write_frame_vectored};
 pub use handler::RequestHandler;
 pub use mem::MemTransport;

@@ -70,7 +70,12 @@ fn pool_metrics() -> &'static PoolMetrics {
 /// up in `swarm-admin stats`, traced so the culprit server is named.
 pub(crate) fn note_broadcast_error(server: ServerId, err: &SwarmError) {
     pool_metrics().broadcast_errors.inc();
-    swarm_metrics::trace!("net.broadcast", "server {} dropped from broadcast: {}", server, err);
+    swarm_metrics::trace!(
+        "net.broadcast",
+        "server {} dropped from broadcast: {}",
+        server,
+        err
+    );
 }
 
 #[derive(Default)]
@@ -184,6 +189,16 @@ impl ConnectionPool {
                 Err(e)
             }
         }
+    }
+
+    /// Number of idle connections currently cached for `server`. A
+    /// diagnostic hook: chaos and leak tests assert the count stays
+    /// bounded after injected connection failures.
+    pub fn idle_count(&self, server: ServerId) -> usize {
+        self.slots
+            .lock()
+            .get(&server)
+            .map_or(0, |slot| slot.idle.len())
     }
 
     /// Returns a connection to the pool for reuse. Connections that

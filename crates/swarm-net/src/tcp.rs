@@ -105,6 +105,26 @@ impl TcpServer {
         bind_addr: &str,
         handler: Arc<dyn RequestHandler>,
     ) -> Result<TcpServer> {
+        Self::spawn_with_faults(id, bind_addr, handler, None)
+    }
+
+    /// Like [`TcpServer::spawn`], but with a server-side [`FaultPlan`]
+    /// hook: when the plan has a pending truncation
+    /// ([`FaultPlan::inject_truncate`]), the server processes the request,
+    /// writes only a *prefix* of the response frame, and severs the
+    /// connection — a genuinely torn frame on a real socket. The client
+    /// observes [`SwarmError::ServerUnavailable`] with the ack lost, so a
+    /// retried store hits the duplicate-store path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Io`] if the address cannot be bound.
+    pub fn spawn_with_faults(
+        id: ServerId,
+        bind_addr: &str,
+        handler: Arc<dyn RequestHandler>,
+        faults: Option<Arc<crate::fault::FaultPlan>>,
+    ) -> Result<TcpServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -113,7 +133,7 @@ impl TcpServer {
         let conns2 = conns.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("swarm-server-{}", id.raw()))
-            .spawn(move || accept_loop(listener, id, handler, stop2, conns2))
+            .spawn(move || accept_loop(listener, id, handler, stop2, conns2, faults))
             .expect("spawn server accept thread");
         Ok(TcpServer {
             id,
@@ -162,6 +182,7 @@ fn accept_loop(
     handler: Arc<dyn RequestHandler>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    faults: Option<Arc<crate::fault::FaultPlan>>,
 ) {
     let mut consecutive_errors = 0u32;
     loop {
@@ -206,16 +227,22 @@ fn accept_loop(
             conns.lock().push(clone);
         }
         let handler = handler.clone();
+        let faults = faults.clone();
         let _ = std::thread::Builder::new()
             .name(format!("swarm-conn-{}", id.raw()))
             .spawn(move || {
                 // A failed connection only loses that connection.
-                let _ = serve_connection(stream, id, &*handler);
+                let _ = serve_connection(stream, id, &*handler, faults.as_deref());
             });
     }
 }
 
-fn serve_connection(stream: TcpStream, id: ServerId, handler: &dyn RequestHandler) -> Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    id: ServerId,
+    handler: &dyn RequestHandler,
+    faults: Option<&crate::fault::FaultPlan>,
+) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -249,6 +276,25 @@ fn serve_connection(stream: TcpStream, id: ServerId, handler: &dyn RequestHandle
         let payload = response.encode_split(&mut header).unwrap_or(&[]);
         m.server_bytes_out
             .add((header.len() + payload.len()) as u64);
+        if faults.is_some_and(|p| p.take_truncate()) {
+            // Injected truncation: the request was processed, but only a
+            // prefix of the response frame goes out before the connection
+            // closes. The client's read fails mid-frame — the ack is lost
+            // and a retried store must survive the duplicate.
+            let mut full = Vec::new();
+            write_frame_vectored(&mut full, header.as_slice(), payload)?;
+            use std::io::Write;
+            writer.write_all(&full[..full.len() / 2])?;
+            writer.flush()?;
+            swarm_metrics::trace!(
+                "net.fault",
+                "server {} truncating response frame ({} of {} bytes)",
+                id.raw(),
+                full.len() / 2,
+                full.len()
+            );
+            return Ok(());
+        }
         write_frame_vectored(&mut writer, header.as_slice(), payload)?;
     }
 }

@@ -32,6 +32,19 @@ const TMP: &str = "tmp";
 const OP_STORE: u8 = 1;
 const OP_DELETE: u8 = 2;
 
+/// Bounds-checked little-endian reads for journal replay: a short or
+/// corrupt buffer yields `None` (treated as a torn tail), never a panic —
+/// a damaged journal must degrade, not kill the server on open.
+fn read_u32_le(buf: &[u8], pos: usize) -> Option<u32> {
+    let bytes = buf.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn read_u64_le(buf: &[u8], pos: usize) -> Option<u64> {
+    let bytes = buf.get(pos..pos.checked_add(8)?)?;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
 #[derive(Default)]
 struct Inner {
     fragments: BTreeMap<FragmentId, (u32, bool)>, // len, marked
@@ -118,10 +131,16 @@ impl FileStore {
         f.read_to_end(&mut buf)?;
         let mut pos = 0usize;
         while buf.len() - pos >= 8 {
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-            if len > 64 || buf.len() - pos - 8 < len {
+            let (Some(len), Some(crc)) = (read_u32_le(&buf, pos), read_u32_le(&buf, pos + 4))
+            else {
                 break; // torn tail
+            };
+            let len = len as usize;
+            if len == 0 || len > 64 || buf.len() - pos - 8 < len {
+                // A zero-length entry can carry a valid CRC (crc32 of
+                // nothing) but has no opcode to dispatch on — corrupt,
+                // treated like a torn tail rather than a panic.
+                break;
             }
             let payload = &buf[pos + 8..pos + 8 + len];
             if crc32(payload) != crc {
@@ -131,9 +150,11 @@ impl FileStore {
             inner.journal_entries += 1;
             match payload[0] {
                 OP_STORE if payload.len() == 1 + 8 + 4 + 1 => {
-                    let fid =
-                        FragmentId::from_raw(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
-                    let len = u32::from_le_bytes(payload[9..13].try_into().unwrap());
+                    let (Some(raw), Some(len)) = (read_u64_le(payload, 1), read_u32_le(payload, 9))
+                    else {
+                        break;
+                    };
+                    let fid = FragmentId::from_raw(raw);
                     let marked = payload[13] != 0;
                     if let Some((old_len, old_marked)) = inner.fragments.insert(fid, (len, marked))
                     {
@@ -152,8 +173,10 @@ impl FileStore {
                     }
                 }
                 OP_DELETE if payload.len() == 1 + 8 => {
-                    let fid =
-                        FragmentId::from_raw(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+                    let Some(raw) = read_u64_le(payload, 1) else {
+                        break;
+                    };
+                    let fid = FragmentId::from_raw(raw);
                     if let Some((len, marked)) = inner.fragments.remove(&fid) {
                         inner.bytes -= len as u64;
                         if marked {
@@ -342,9 +365,9 @@ impl FragmentStore for FileStore {
 
     fn delete(&self, fid: FragmentId) -> Result<()> {
         let mut inner = self.inner.lock();
-        if !inner.fragments.contains_key(&fid) {
+        let Some(&(len, marked)) = inner.fragments.get(&fid) else {
             return Err(SwarmError::FragmentNotFound(fid));
-        }
+        };
         // Journal first: a crash after this point replays as deleted, and
         // the sweep removes the then-orphaned slot file.
         let mut payload = Vec::with_capacity(9);
@@ -352,7 +375,7 @@ impl FragmentStore for FileStore {
         payload.extend_from_slice(&fid.raw().to_le_bytes());
         self.append_journal(&mut inner, &payload)?;
 
-        let (len, marked) = inner.fragments.remove(&fid).expect("checked above");
+        inner.fragments.remove(&fid);
         inner.bytes -= len as u64;
         if marked {
             if let Some(s) = inner.marked.get_mut(&fid.client()) {
@@ -503,6 +526,29 @@ mod tests {
         assert!(!orphan.exists(), "orphan should be swept");
         assert!(s.read(fid(1, 99), 0, 1).is_err());
         assert_eq!(s.read(fid(1, 0), 0, 9).unwrap(), b"committed");
+    }
+
+    /// Regression test: a zero-length journal entry carries a valid CRC
+    /// (crc32 of the empty string) but no opcode; replay used to index
+    /// `payload[0]` and panic on open. It must be treated as a torn tail:
+    /// entries before it survive, the store opens fine.
+    #[test]
+    fn zero_length_journal_entry_does_not_panic_open() {
+        let d = TempDir::new("zerolen");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"good".into(), false).unwrap();
+        }
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(d.0.join(JOURNAL))
+            .unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap(); // len = 0
+        f.write_all(&crc32(b"").to_le_bytes()).unwrap(); // valid CRC
+        drop(f);
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.read(fid(1, 0), 0, 4).unwrap(), b"good");
+        assert_eq!(s.fragment_count(), 1);
     }
 
     #[test]

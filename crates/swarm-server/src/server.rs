@@ -263,9 +263,17 @@ impl<S: FragmentStore> StorageServer<S> {
 
 impl<S: FragmentStore> RequestHandler for StorageServer<S> {
     fn handle(&self, client: ClientId, request: Request) -> Response {
-        match self.dispatch(client, request) {
-            Ok(resp) => resp,
-            Err(e) => {
+        // A panic anywhere in request handling must degrade to an error
+        // response, not kill the serving thread: one malformed or hostile
+        // request may cost its sender an error, never the server. The
+        // stores use parking_lot locks (no poisoning), so catching here
+        // cannot wedge later requests.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(client, request)
+        }));
+        match result {
+            Ok(Ok(resp)) => resp,
+            Ok(Err(e)) => {
                 metrics().errors.inc();
                 swarm_metrics::trace!(
                     "server.error",
@@ -273,6 +281,20 @@ impl<S: FragmentStore> RequestHandler for StorageServer<S> {
                     self.id.raw()
                 );
                 Response::from_error(&e)
+            }
+            Err(panic) => {
+                metrics().errors.inc();
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                swarm_metrics::trace!(
+                    "server.error",
+                    "server {} PANIC serving request from {client}: {msg}",
+                    self.id.raw()
+                );
+                Response::from_error(&SwarmError::other(format!("internal server error: {msg}")))
             }
         }
     }
@@ -291,6 +313,67 @@ mod tests {
 
     fn fid(c: u32, s: u64) -> FragmentId {
         FragmentId::new(ClientId::new(c), s)
+    }
+
+    /// A store whose every operation panics — stands in for any internal
+    /// bug reached through request handling.
+    struct PanicStore;
+
+    impl crate::store::FragmentStore for PanicStore {
+        fn store(&self, _: FragmentId, _: swarm_types::Bytes, _: bool) -> Result<()> {
+            panic!("injected store panic")
+        }
+        fn read(&self, _: FragmentId, _: u32, _: u32) -> Result<swarm_types::Bytes> {
+            panic!("injected read panic")
+        }
+        fn delete(&self, _: FragmentId) -> Result<()> {
+            panic!("injected delete panic")
+        }
+        fn preallocate(&self, _: FragmentId, _: u32) -> Result<()> {
+            panic!("injected preallocate panic")
+        }
+        fn meta(&self, _: FragmentId) -> Option<crate::store::FragmentMeta> {
+            None
+        }
+        fn last_marked(&self, _: ClientId) -> Option<FragmentId> {
+            None
+        }
+        fn list(&self) -> Vec<FragmentId> {
+            Vec::new()
+        }
+        fn fragment_count(&self) -> u64 {
+            0
+        }
+        fn byte_count(&self) -> u64 {
+            0
+        }
+        fn capacity(&self) -> u64 {
+            0
+        }
+    }
+
+    /// A panic inside request handling must come back as an error
+    /// response — never kill the serving thread — and the server must
+    /// keep answering afterwards.
+    #[test]
+    fn panic_in_dispatch_becomes_error_response() {
+        let s = StorageServer::new(ServerId::new(0), PanicStore);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let resp = s.handle(
+            ClientId::new(1),
+            Request::Store {
+                fid: fid(1, 0),
+                marked: false,
+                ranges: vec![],
+                data: b"boom".to_vec().into(),
+            },
+        );
+        std::panic::set_hook(prev);
+        let err = resp.into_result().unwrap_err();
+        assert!(matches!(err, SwarmError::Other(_)), "{err}");
+        // Still serving.
+        assert_eq!(s.handle(ClientId::new(1), Request::Ping), Response::Ok);
     }
 
     fn ok(resp: Response) -> Response {

@@ -99,11 +99,14 @@ fn fill_fail_clean_resume() {
     // The cleaner demands checkpoints (nothing ever checkpointed) and
     // reclaims the dead stripes.
     //
-    // NOTE: the checkpoint itself needs a free slot — the cleaner's
+    // NOTE: the checkpoint itself needs free slots — the cleaner's
     // demand-checkpoint can only work if the system wasn't driven 100%
-    // full. Real deployments keep reserve slots; we emulate by manually
-    // releasing the oldest (fully dead) stripe first.
-    for seq in 0..3u64 {
+    // full. The write pool also still owes the servers the stripe whose
+    // store hit OutOfSpace (failed stores are re-queued, not abandoned),
+    // so the reserve must cover that stripe too. Real deployments keep
+    // reserve slots; we emulate by manually releasing the two oldest
+    // (fully dead) stripes first.
+    for seq in 0..6u64 {
         let fid = swarm_types::FragmentId::new(ClientId::new(1), seq);
         log.delete_fragment(fid).unwrap();
     }

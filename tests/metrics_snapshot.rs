@@ -124,9 +124,8 @@ fn read_engine_metrics_track_pool_and_read_sources() {
         after.counter("net.broadcast_errors") > before.counter("net.broadcast_errors"),
         "down server not counted in broadcast_errors"
     );
-    let count = |snap: &swarm_metrics::Snapshot, name: &str| {
-        snap.histogram(name).map_or(0, |h| h.count)
-    };
+    let count =
+        |snap: &swarm_metrics::Snapshot, name: &str| snap.histogram(name).map_or(0, |h| h.count);
     assert!(
         count(&after, "log.read_us.home") > count(&before, "log.read_us.home"),
         "home-path read latency not recorded"
