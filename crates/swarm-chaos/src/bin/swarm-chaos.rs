@@ -3,6 +3,7 @@
 //! ```text
 //! swarm-chaos --seed 42                      # one seed, both transports
 //! swarm-chaos --seeds 0..16 --transport mem  # a CI shard
+//! swarm-chaos --seeds 0..16 --store file     # durable FileStore backing
 //! swarm-chaos --seed 42 --dump               # print the schedule
 //! swarm-chaos --seeds 0..256 --dump-failures target/chaos
 //! ```
@@ -13,11 +14,12 @@
 
 use std::process::ExitCode;
 
-use swarm_chaos::{RunReport, Runner, Schedule, ScheduleConfig, TransportKind};
+use swarm_chaos::{RunReport, Runner, Schedule, ScheduleConfig, StoreKind, TransportKind};
 
 struct Args {
     seeds: Vec<u64>,
     transports: Vec<TransportKind>,
+    stores: Vec<StoreKind>,
     events: usize,
     servers: u32,
     dump: bool,
@@ -25,13 +27,14 @@ struct Args {
 }
 
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
-[--transport mem|tcp|both] [--events N] [--servers N] [--dump] \
-[--dump-failures DIR]";
+[--transport mem|tcp|both] [--store mem|file|both] [--events N] \
+[--servers N] [--dump] [--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seeds: vec![0],
         transports: vec![TransportKind::Mem, TransportKind::Tcp],
+        stores: vec![StoreKind::Mem],
         events: 64,
         servers: 4,
         dump: false,
@@ -67,6 +70,13 @@ fn parse_args() -> Result<Args, String> {
                     one => vec![one.parse()?],
                 };
             }
+            "--store" => {
+                let v = value("--store")?;
+                args.stores = match v.as_str() {
+                    "both" => vec![StoreKind::Mem, StoreKind::File],
+                    one => vec![one.parse()?],
+                };
+            }
             "--events" => {
                 let v = value("--events")?;
                 args.events = v.parse().map_err(|e| format!("--events {v}: {e}"))?;
@@ -89,9 +99,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn report_line(report: &RunReport) -> String {
     format!(
-        "seed {:>6} transport={} hash={:#018x} events={} acked={} reads={} {}",
+        "seed {:>6} transport={} store={} hash={:#018x} events={} acked={} reads={} {}",
         report.seed,
         report.transport,
+        report.store,
         report.hash,
         report.events,
         report.acked_blocks,
@@ -119,40 +130,42 @@ fn main() -> ExitCode {
         }
         let mut hashes = Vec::new();
         for &kind in &args.transports {
-            ran += 1;
-            let report = match Runner::run(&schedule, kind) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("seed {seed} transport={kind}: setup failed: {e}");
+            for &store in &args.stores {
+                ran += 1;
+                let report = match Runner::run_with_store(&schedule, kind, store) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("seed {seed} transport={kind} store={store}: setup failed: {e}");
+                        failed += 1;
+                        continue;
+                    }
+                };
+                println!("{}", report_line(&report));
+                hashes.push(report.hash);
+                if !report.passed() {
                     failed += 1;
-                    continue;
-                }
-            };
-            println!("{}", report_line(&report));
-            hashes.push(report.hash);
-            if !report.passed() {
-                failed += 1;
-                for f in &report.failures {
-                    eprintln!("  {f}");
-                }
-                eprintln!(
-                    "  replay: {}",
-                    report.replay_command(args.events, args.servers)
-                );
-                if let Some(dir) = &args.dump_failures {
-                    let path = format!("{dir}/seed-{seed}-{kind}.schedule");
-                    if std::fs::create_dir_all(dir)
-                        .and_then(|_| {
-                            let mut dump = schedule.dump();
-                            dump.push_str("\n# failures:\n");
-                            for f in &report.failures {
-                                dump.push_str(&format!("# {f}\n"));
-                            }
-                            std::fs::write(&path, dump)
-                        })
-                        .is_ok()
-                    {
-                        eprintln!("  schedule dumped to {path}");
+                    for f in &report.failures {
+                        eprintln!("  {f}");
+                    }
+                    eprintln!(
+                        "  replay: {}",
+                        report.replay_command(args.events, args.servers)
+                    );
+                    if let Some(dir) = &args.dump_failures {
+                        let path = format!("{dir}/seed-{seed}-{kind}-{store}.schedule");
+                        if std::fs::create_dir_all(dir)
+                            .and_then(|_| {
+                                let mut dump = schedule.dump();
+                                dump.push_str("\n# failures:\n");
+                                for f in &report.failures {
+                                    dump.push_str(&format!("# {f}\n"));
+                                }
+                                std::fs::write(&path, dump)
+                            })
+                            .is_ok()
+                        {
+                            eprintln!("  schedule dumped to {path}");
+                        }
                     }
                 }
             }

@@ -17,13 +17,15 @@
 //! transport, exactly how a restarted server would re-register.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use swarm_net::tcp::{TcpServer, TcpTransport};
 use swarm_net::{FaultHandler, FaultPlan, FaultTransport, MemTransport, RequestHandler, Transport};
-use swarm_server::{FragmentStore, MemStore, StorageServer};
+use swarm_server::{Durability, FileStore, FragmentStore, MemStore, StorageServer};
 use swarm_types::{Result, ServerId};
 
 /// Which transport a chaos run drives.
@@ -56,9 +58,66 @@ impl FromStr for TransportKind {
     }
 }
 
+/// Which fragment store backs each chaos server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Heap-backed [`MemStore`] (the original chaos configuration).
+    Mem,
+    /// Durable [`FileStore`] in a per-run temp directory, opened with
+    /// `durability=group` so the journal group-commit path is on the
+    /// chaos critical path.
+    File,
+}
+
+impl fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreKind::Mem => write!(f, "mem"),
+            StoreKind::File => write!(f, "file"),
+        }
+    }
+}
+
+impl FromStr for StoreKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "mem" => Ok(StoreKind::Mem),
+            "file" => Ok(StoreKind::File),
+            other => Err(format!("unknown store {other:?} (want mem|file)")),
+        }
+    }
+}
+
+/// Group-commit window the file-backed chaos store runs with: short, so
+/// batching happens without visibly slowing single-threaded schedules.
+const CHAOS_GROUP_WINDOW: Duration = Duration::from_millis(1);
+
+/// Owns the on-disk root of a file-backed chaos cluster; removed on drop.
+struct StoreDir(PathBuf);
+
+impl StoreDir {
+    fn fresh() -> StoreDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "swarm-chaos-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        StoreDir(path)
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 struct Slot {
     id: ServerId,
-    storage: Arc<StorageServer<MemStore>>,
+    storage: Arc<StorageServer<Box<dyn FragmentStore>>>,
     plan: Arc<FaultPlan>,
     tcp_server: Option<TcpServer>,
 }
@@ -67,19 +126,54 @@ struct Slot {
 /// [`FaultTransport`].
 pub struct Cluster {
     kind: TransportKind,
+    store_kind: StoreKind,
     faults: Arc<FaultTransport>,
     tcp: Option<Arc<TcpTransport>>,
     slots: Vec<Slot>,
+    /// Present for file-backed clusters; removes the store root on drop.
+    _store_dir: Option<StoreDir>,
 }
 
 impl Cluster {
-    /// Stands up `servers` storage servers over the chosen transport.
+    /// Stands up `servers` storage servers over the chosen transport,
+    /// backed by [`StoreKind::Mem`].
     ///
     /// # Errors
     ///
     /// Returns [`swarm_types::SwarmError::Io`] if a TCP listener cannot
     /// bind.
     pub fn new(kind: TransportKind, servers: u32) -> Result<Cluster> {
+        Self::new_with_store(kind, servers, StoreKind::Mem)
+    }
+
+    /// Stands up `servers` storage servers over the chosen transport and
+    /// fragment store. File-backed servers live in a fresh temp directory
+    /// that is removed when the cluster drops; the [`FileStore`] instance
+    /// (like a disk) survives kill/restart cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::Io`] if a TCP listener cannot
+    /// bind or a file store cannot be created.
+    pub fn new_with_store(
+        kind: TransportKind,
+        servers: u32,
+        store_kind: StoreKind,
+    ) -> Result<Cluster> {
+        let store_dir = match store_kind {
+            StoreKind::Mem => None,
+            StoreKind::File => Some(StoreDir::fresh()),
+        };
+        let make_store = |i: u32| -> Result<Box<dyn FragmentStore>> {
+            match (&store_dir, store_kind) {
+                (Some(root), StoreKind::File) => Ok(Box::new(FileStore::open_with_durability(
+                    root.0.join(format!("server-{i}")),
+                    0,
+                    Durability::Group(CHAOS_GROUP_WINDOW),
+                )?)),
+                _ => Ok(Box::new(MemStore::new())),
+            }
+        };
         match kind {
             TransportKind::Mem => {
                 let mem = Arc::new(MemTransport::new());
@@ -87,7 +181,7 @@ impl Cluster {
                 let mut slots = Vec::new();
                 for i in 0..servers {
                     let id = ServerId::new(i);
-                    let storage = StorageServer::new(id, MemStore::new()).into_shared();
+                    let storage = StorageServer::new(id, make_store(i)?).into_shared();
                     let plan = faults.plan(id);
                     mem.register(
                         id,
@@ -102,9 +196,11 @@ impl Cluster {
                 }
                 Ok(Cluster {
                     kind,
+                    store_kind,
                     faults,
                     tcp: None,
                     slots,
+                    _store_dir: store_dir,
                 })
             }
             TransportKind::Tcp => {
@@ -119,7 +215,7 @@ impl Cluster {
                 let mut slots = Vec::new();
                 for i in 0..servers {
                     let id = ServerId::new(i);
-                    let storage = StorageServer::new(id, MemStore::new()).into_shared();
+                    let storage = StorageServer::new(id, make_store(i)?).into_shared();
                     let plan = faults.plan(id);
                     let handler: Arc<dyn RequestHandler> =
                         Arc::new(FaultHandler::new(storage.clone(), plan.clone()));
@@ -139,9 +235,11 @@ impl Cluster {
                 }
                 Ok(Cluster {
                     kind,
+                    store_kind,
                     faults,
                     tcp: Some(tcp),
                     slots,
+                    _store_dir: store_dir,
                 })
             }
         }
@@ -150,6 +248,11 @@ impl Cluster {
     /// Which transport this cluster runs on.
     pub fn kind(&self) -> TransportKind {
         self.kind
+    }
+
+    /// Which fragment store backs the servers.
+    pub fn store_kind(&self) -> StoreKind {
+        self.store_kind
     }
 
     /// Number of servers.
@@ -256,5 +359,39 @@ mod tests {
         assert_eq!(ping_all(&c), vec![true, true, false]);
         c.restart(2).unwrap();
         assert_eq!(ping_all(&c), vec![true, true, true]);
+    }
+
+    #[test]
+    fn file_backed_cluster_survives_kill_restart() {
+        use swarm_types::FragmentId;
+        let mut c = Cluster::new_with_store(TransportKind::Mem, 3, StoreKind::File).unwrap();
+        assert_eq!(c.store_kind(), StoreKind::File);
+        let pool = ConnectionPool::new(c.transport(), ClientId::new(1));
+        let fid = FragmentId::new(ClientId::new(1), 0);
+        let resp = pool
+            .call(
+                ServerId::new(0),
+                &Request::Store {
+                    fid,
+                    marked: false,
+                    ranges: vec![],
+                    data: b"on disk".to_vec().into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        c.kill(0);
+        c.restart(0).unwrap();
+        let resp = pool
+            .call(
+                ServerId::new(0),
+                &Request::Read {
+                    fid,
+                    offset: 0,
+                    len: 7,
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Data(b"on disk".to_vec().into()));
     }
 }

@@ -38,6 +38,6 @@ pub mod cluster;
 pub mod runner;
 pub mod schedule;
 
-pub use cluster::{Cluster, TransportKind};
+pub use cluster::{Cluster, StoreKind, TransportKind};
 pub use runner::{RunReport, Runner};
 pub use schedule::{ChaosEvent, Schedule, ScheduleConfig};

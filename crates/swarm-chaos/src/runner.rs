@@ -24,7 +24,7 @@ use swarm_log::{recover, Log, LogConfig, ReplayEntry};
 use swarm_services::{Service, ServiceStack};
 use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
 
-use crate::cluster::{Cluster, TransportKind};
+use crate::cluster::{Cluster, StoreKind, TransportKind};
 use crate::schedule::{ChaosEvent, Schedule};
 
 /// The service id the harness writes blocks under.
@@ -113,6 +113,8 @@ pub struct RunReport {
     pub seed: u64,
     /// Transport the run used.
     pub transport: TransportKind,
+    /// Fragment store backing the servers during the run.
+    pub store: StoreKind,
     /// Schedule hash (transport-independent for a given seed).
     pub hash: u64,
     /// Events executed.
@@ -134,8 +136,8 @@ impl RunReport {
     /// The one-liner that replays this exact run.
     pub fn replay_command(&self, events: usize, servers: u32) -> String {
         format!(
-            "swarm-chaos --seed {} --transport {} --events {} --servers {}",
-            self.seed, self.transport, events, servers
+            "swarm-chaos --seed {} --transport {} --store {} --events {} --servers {}",
+            self.seed, self.transport, self.store, events, servers
         )
     }
 }
@@ -174,13 +176,28 @@ pub struct Runner {
 const MAX_FAILURES: usize = 24;
 
 impl Runner {
-    /// Stands up a fresh cluster + log + cleaner for `schedule`.
+    /// Stands up a fresh cluster + log + cleaner for `schedule`, backed
+    /// by [`StoreKind::Mem`].
     ///
     /// # Errors
     ///
     /// Propagates cluster construction and log creation failures.
     pub fn new(schedule: &Schedule, kind: TransportKind) -> Result<Runner> {
-        let cluster = Cluster::new(kind, schedule.servers)?;
+        Self::new_with_store(schedule, kind, StoreKind::Mem)
+    }
+
+    /// Stands up a fresh cluster + log + cleaner for `schedule` with an
+    /// explicit fragment-store backing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster construction and log creation failures.
+    pub fn new_with_store(
+        schedule: &Schedule,
+        kind: TransportKind,
+        store: StoreKind,
+    ) -> Result<Runner> {
+        let cluster = Cluster::new_with_store(kind, schedule.servers, store)?;
         let model: Model = Arc::new(Mutex::new(ModelInner::default()));
         let mut stack = ServiceStack::new();
         let service: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(ChaosService {
@@ -206,14 +223,31 @@ impl Runner {
         })
     }
 
-    /// Runs `schedule` to completion and reports.
+    /// Runs `schedule` to completion and reports, backed by
+    /// [`StoreKind::Mem`].
     ///
     /// # Errors
     ///
     /// Returns setup errors only; invariant violations are collected in
     /// the report, not returned.
     pub fn run(schedule: &Schedule, kind: TransportKind) -> Result<RunReport> {
-        let mut runner = Runner::new(schedule, kind)?;
+        Self::run_with_store(schedule, kind, StoreKind::Mem)
+    }
+
+    /// Runs `schedule` to completion with an explicit store backing —
+    /// [`StoreKind::File`] puts the `FileStore` journal group-commit
+    /// path on the chaos critical path.
+    ///
+    /// # Errors
+    ///
+    /// Returns setup errors only; invariant violations are collected in
+    /// the report, not returned.
+    pub fn run_with_store(
+        schedule: &Schedule,
+        kind: TransportKind,
+        store: StoreKind,
+    ) -> Result<RunReport> {
+        let mut runner = Runner::new_with_store(schedule, kind, store)?;
         for (i, event) in schedule.events.iter().enumerate() {
             if runner.failures.len() >= MAX_FAILURES {
                 runner
@@ -229,6 +263,7 @@ impl Runner {
         Ok(RunReport {
             seed: schedule.seed,
             transport: kind,
+            store,
             hash: schedule.hash(),
             events: schedule.events.len(),
             verified_reads: runner.verified_reads,
@@ -308,6 +343,9 @@ impl Runner {
                 self.cluster.plan(server).inject_delay_us(micros);
             }
             ChaosEvent::TruncateNext { server } => self.cluster.plan(server).inject_truncate(1),
+            ChaosEvent::ServerStall { server, millis } => {
+                self.cluster.plan(server).inject_stall_ms(millis);
+            }
             ChaosEvent::KillServer { server } => self.cluster.kill(server),
             ChaosEvent::RestartServer { server } => {
                 if let Err(e) = self.cluster.restart(server) {

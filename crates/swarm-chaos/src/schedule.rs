@@ -78,6 +78,15 @@ pub enum ChaosEvent {
         /// Target server index.
         server: u32,
     },
+    /// Hold `server`'s next store for `millis` milliseconds server-side —
+    /// the journal committer wedged mid-commit. Stores queued behind it
+    /// (group commit batches them) must land late, not lost.
+    ServerStall {
+        /// Target server index.
+        server: u32,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
     /// Take `server` down (refuses connections; TCP also closes the
     /// listening socket).
     KillServer {
@@ -126,6 +135,9 @@ impl fmt::Display for ChaosEvent {
                 write!(f, "delay server={server} micros={micros}")
             }
             ChaosEvent::TruncateNext { server } => write!(f, "truncate server={server}"),
+            ChaosEvent::ServerStall { server, millis } => {
+                write!(f, "server-stall server={server} millis={millis}")
+            }
             ChaosEvent::KillServer { server } => write!(f, "kill server={server}"),
             ChaosEvent::RestartServer { server } => write!(f, "restart server={server}"),
             ChaosEvent::DiskFull { server } => write!(f, "disk-full server={server}"),
@@ -210,9 +222,13 @@ impl Schedule {
                 56..=62 => events.push(ChaosEvent::ConnReset {
                     server: rng.gen_range(0..cfg.servers),
                 }),
-                63..=67 => events.push(ChaosEvent::Delay {
+                63..=65 => events.push(ChaosEvent::Delay {
                     server: rng.gen_range(0..cfg.servers),
                     micros: rng.gen_range(500u64..15_000),
+                }),
+                66..=67 => events.push(ChaosEvent::ServerStall {
+                    server: rng.gen_range(0..cfg.servers),
+                    millis: rng.gen_range(1u64..40),
                 }),
                 68..=73 => events.push(ChaosEvent::TruncateNext {
                     server: rng.gen_range(0..cfg.servers),

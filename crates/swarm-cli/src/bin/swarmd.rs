@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! swarmd --id 0 --listen 127.0.0.1:7700 --dir /var/lib/swarm/0
-//!        [--capacity N]   # fragment slots (0 = unbounded)
-//!        [--cache N]      # in-memory fragment read cache
-//!        [--mem]          # memory-backed store (testing)
-//!        [--no-fsync]     # skip fsync (testing)
+//!        [--capacity N]        # fragment slots (0 = unbounded)
+//!        [--cache N]           # in-memory fragment read cache
+//!        [--mem]               # memory-backed store (testing)
+//!        [--durability MODE]   # strict | group[:millis] | none
+//!        [--no-fsync]          # legacy alias for --durability none
 //! ```
 //!
 //! The server is exactly the paper's §2.3 component: a fragment
@@ -17,7 +18,7 @@ use std::sync::Arc;
 
 use swarm_cli::Args;
 use swarm_net::tcp::TcpServer;
-use swarm_server::{FileStore, MemStore, StorageServer};
+use swarm_server::{Durability, FileStore, MemStore, StorageServer};
 use swarm_types::ServerId;
 
 fn main() {
@@ -47,8 +48,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         )?
     } else {
         let dir = args.require("dir")?;
-        let durable = args.get_or("no-fsync", "false") != "true";
-        let store = FileStore::open_with(dir, capacity, durable)?;
+        let durability = if args.get_or("no-fsync", "false") == "true" {
+            Durability::None
+        } else {
+            args.get_or("durability", "strict").parse::<Durability>()?
+        };
+        let store = FileStore::open_with_durability(dir, capacity, durability)?;
         spawn(
             id,
             &listen,

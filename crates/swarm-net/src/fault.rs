@@ -66,6 +66,9 @@ pub struct FaultPlan {
     /// Pending truncations: the request is processed but the response
     /// frame is cut short and the connection severed (ack lost).
     truncate_next: AtomicU64,
+    /// One-shot server-side stall (milliseconds) applied to the next
+    /// store: models a wedged disk / journal committer held mid-commit.
+    stall_next_ms: AtomicU64,
     /// While set, stores and preallocations fail with `OutOfSpace`.
     disk_full: AtomicBool,
 }
@@ -86,6 +89,7 @@ impl FaultPlan {
             reset_next: AtomicU64::new(0),
             delay_next_us: AtomicU64::new(0),
             truncate_next: AtomicU64::new(0),
+            stall_next_ms: AtomicU64::new(0),
             disk_full: AtomicBool::new(false),
         }
     }
@@ -148,6 +152,20 @@ impl FaultPlan {
         take_one(&self.truncate_next)
     }
 
+    /// Stalls the next store for `millis` milliseconds server-side
+    /// (one-shot): [`FaultHandler`] sleeps *before* delegating, modelling
+    /// a journal committer held mid-commit. With group commit, stores
+    /// queued behind the stalled one must still commit exactly once —
+    /// late, not lost.
+    pub fn inject_stall_ms(&self, millis: u64) {
+        self.stall_next_ms.store(millis, Ordering::SeqCst);
+    }
+
+    /// Consumes the pending server-side stall, returning it (0 = none).
+    pub fn take_stall_ms(&self) -> u64 {
+        self.stall_next_ms.swap(0, Ordering::SeqCst)
+    }
+
     /// Simulates a full (or freed) disk: while set, [`FaultHandler`]
     /// rejects stores and preallocations with [`SwarmError::OutOfSpace`].
     pub fn set_disk_full(&self, full: bool) {
@@ -167,6 +185,7 @@ impl FaultPlan {
         self.reset_next.store(0, Ordering::SeqCst);
         self.delay_next_us.store(0, Ordering::SeqCst);
         self.truncate_next.store(0, Ordering::SeqCst);
+        self.stall_next_ms.store(0, Ordering::SeqCst);
     }
 
     /// Clears every fault: scheduled failures, transients, and disk-full.
@@ -366,6 +385,13 @@ impl RequestHandler for FaultHandler {
         {
             return Response::from_error(&SwarmError::OutOfSpace("injected disk-full".to_string()));
         }
+        if matches!(request, Request::Store { .. }) {
+            let stall = self.plan.take_stall_ms();
+            if stall > 0 {
+                swarm_metrics::trace!("net.fault", "injected store stall of {stall}ms");
+                std::thread::sleep(Duration::from_millis(stall));
+            }
+        }
         self.inner.handle(client, request)
     }
 }
@@ -429,6 +455,10 @@ mod tests {
         plan.inject_delay_us(500);
         assert_eq!(plan.take_delay_us(), 500);
         assert_eq!(plan.take_delay_us(), 0);
+
+        plan.inject_stall_ms(25);
+        assert_eq!(plan.take_stall_ms(), 25);
+        assert_eq!(plan.take_stall_ms(), 0);
     }
 
     #[test]
@@ -437,11 +467,13 @@ mod tests {
         plan.inject_reset(3);
         plan.inject_truncate(3);
         plan.inject_delay_us(1000);
+        plan.inject_stall_ms(40);
         plan.set_disk_full(true);
         plan.clear_transients();
         assert!(!plan.take_reset());
         assert!(!plan.take_truncate());
         assert_eq!(plan.take_delay_us(), 0);
+        assert_eq!(plan.take_stall_ms(), 0);
         assert!(plan.is_disk_full(), "disk-full is not a transient");
         plan.clear();
         assert!(!plan.is_disk_full());

@@ -12,8 +12,8 @@
 //!   the moral equivalent of the paper's switched Ethernet for functional
 //!   purposes.
 //! * [`tcp::TcpTransport`] / [`tcp::TcpServer`] — real sockets via
-//!   `std::net`, one thread per connection, matching the prototype's
-//!   user-level server processes.
+//!   `std::net`, served through a bounded [`WorkerPool`], matching the
+//!   prototype's user-level server processes.
 //!
 //! The paper locates stripe neighbours by *broadcast* (§2.3.3). Both
 //! transports expose the member set, and the [`broadcast`] helper simply
@@ -31,6 +31,7 @@ pub mod pool;
 pub mod proto;
 pub mod tcp;
 pub mod transport;
+pub mod workpool;
 
 pub use fault::{FaultHandler, FaultPlan, FaultTransport};
 pub use frame::{read_frame, write_frame, write_frame_vectored};
@@ -39,3 +40,4 @@ pub use mem::MemTransport;
 pub use pool::ConnectionPool;
 pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
 pub use transport::{broadcast, Connection, Transport};
+pub use workpool::WorkerPool;

@@ -24,6 +24,7 @@ use crate::frame::{read_frame, write_frame, write_frame_vectored};
 use crate::handler::RequestHandler;
 use crate::proto::{PreparedRequest, Request, Response};
 use crate::transport::{Connection, Transport};
+use crate::workpool::{WorkerPool, DEFAULT_WORKERS};
 
 /// How long the accept loop sleeps after a failed `accept()` before trying
 /// again, so a persistent error (fd exhaustion, dead listener) cannot spin
@@ -72,16 +73,21 @@ fn metrics() -> &'static NetMetrics {
 
 /// A running TCP storage-server endpoint.
 ///
-/// Wraps a [`RequestHandler`] and serves it on a listening socket, one
-/// thread per connection. Dropping the server (or calling
-/// [`TcpServer::shutdown`]) stops the accept loop; connection threads exit
-/// when their peers disconnect.
+/// Wraps a [`RequestHandler`] and serves it on a listening socket through
+/// a bounded [`WorkerPool`] ([`DEFAULT_WORKERS`] wide unless overridden
+/// via [`TcpServer::spawn_with_opts`]): accepted connections queue for a
+/// free worker instead of each spawning an unbounded thread, so a
+/// connection flood degrades to queueing, not resource exhaustion.
+/// Dropping the server (or calling [`TcpServer::shutdown`]) stops the
+/// accept loop, severs established connections (unblocking their
+/// workers), and joins the pool.
 pub struct TcpServer {
     id: ServerId,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for TcpServer {
@@ -125,15 +131,37 @@ impl TcpServer {
         handler: Arc<dyn RequestHandler>,
         faults: Option<Arc<crate::fault::FaultPlan>>,
     ) -> Result<TcpServer> {
+        Self::spawn_with_opts(id, bind_addr, handler, faults, DEFAULT_WORKERS)
+    }
+
+    /// Like [`TcpServer::spawn_with_faults`], but with an explicit worker
+    /// pool width — the maximum number of connections served concurrently
+    /// (further connections queue for a free worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Io`] if the address cannot be bound.
+    pub fn spawn_with_opts(
+        id: ServerId,
+        bind_addr: &str,
+        handler: Arc<dyn RequestHandler>,
+        faults: Option<Arc<crate::fault::FaultPlan>>,
+        workers: usize,
+    ) -> Result<TcpServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let conns = Arc::new(Mutex::new(Vec::new()));
         let conns2 = conns.clone();
+        let pool = Arc::new(WorkerPool::new(
+            &format!("swarm-conn-{}", id.raw()),
+            workers,
+        ));
+        let pool2 = pool.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("swarm-server-{}", id.raw()))
-            .spawn(move || accept_loop(listener, id, handler, stop2, conns2, faults))
+            .spawn(move || accept_loop(listener, id, handler, stop2, conns2, faults, &pool2))
             .expect("spawn server accept thread");
         Ok(TcpServer {
             id,
@@ -141,6 +169,7 @@ impl TcpServer {
             stop,
             accept_thread: Some(accept_thread),
             conns,
+            pool: Some(pool),
         })
     }
 
@@ -167,6 +196,11 @@ impl TcpServer {
         for stream in self.conns.lock().drain(..) {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
+        // The accept thread is joined and its pool reference released, so
+        // this drop is the last one: it closes the job queue and joins the
+        // workers (severing the connections above unblocked any worker
+        // parked in a socket read).
+        self.pool.take();
     }
 }
 
@@ -183,6 +217,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     faults: Option<Arc<crate::fault::FaultPlan>>,
+    pool: &WorkerPool,
 ) {
     let mut consecutive_errors = 0u32;
     loop {
@@ -220,20 +255,22 @@ fn accept_loop(
             return;
         }
         metrics().server_connections.inc();
-        // Keep a handle so shutdown can sever the connection; closed
-        // sockets accumulate only until the next shutdown, and a server's
-        // connection count is small (one per pooled client).
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().push(clone);
-        }
+        // Keep a handle so shutdown can sever the connection (which also
+        // unblocks the worker serving it); closed sockets accumulate only
+        // until the next shutdown, and a server's connection count is
+        // small (one per pooled client). A connection that cannot be
+        // cloned is dropped rather than served unseverable — shutdown
+        // must be able to unwedge every worker.
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        conns.lock().push(clone);
         let handler = handler.clone();
         let faults = faults.clone();
-        let _ = std::thread::Builder::new()
-            .name(format!("swarm-conn-{}", id.raw()))
-            .spawn(move || {
-                // A failed connection only loses that connection.
-                let _ = serve_connection(stream, id, &*handler, faults.as_deref());
-            });
+        pool.submit(move || {
+            // A failed connection only loses that connection.
+            let _ = serve_connection(stream, id, &*handler, faults.as_deref());
+        });
     }
 }
 

@@ -1,0 +1,163 @@
+//! Bounded worker pool for serving connections.
+//!
+//! The original server spawned one OS thread per accepted connection —
+//! unbounded: a burst of clients (or a misbehaving one redialing in a
+//! loop) could exhaust threads and memory. [`WorkerPool`] caps server-side
+//! concurrency at a fixed number of eagerly spawned workers; accepted
+//! connections become jobs on an unbounded queue and wait for a free
+//! worker. Requests from different connections execute truly concurrently
+//! up to the pool width — which is what the sharded store and journal
+//! group commit in `swarm-server` are built to exploit.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default number of workers when the caller does not specify one.
+pub const DEFAULT_WORKERS: usize = 16;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-width pool of job-running threads.
+///
+/// Jobs are queued unbounded and executed FIFO by the first free worker.
+/// Dropping the pool closes the queue and joins every worker after it
+/// finishes its current job — callers that need prompt shutdown must
+/// arrange for in-flight jobs to terminate (the TCP server severs its
+/// connections first, which unblocks workers parked in socket reads).
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least 1) named
+    /// `{name}-{i}`.
+    pub fn new(name: &str, workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = std::sync::mpsc::channel::<Job>();
+        // std's Receiver is single-consumer; sharing it behind a mutex
+        // gives the multi-consumer queue (a worker holds the lock only to
+        // dequeue, never while running a job).
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job; the first free worker runs it. Returns `false` if
+    /// the pool is already shut down (the job is dropped).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(s) => s.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn width(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Holding the queue lock only across recv keeps dequeue FIFO and
+        // lets other workers pull the next job while this one runs.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a worker panicked holding the lock
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // queue closed: pool shut down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every idle worker with Err; busy ones
+        // exit after their current job.
+        drop(self.sender.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new("test-pool", 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = done.clone();
+            assert!(pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers, so all jobs have run
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_beyond_width_queue_instead_of_spawning() {
+        let pool = WorkerPool::new("test-queue", 2);
+        assert_eq!(pool.width(), 2);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let running = running.clone();
+            let peak = peak.clone();
+            pool.submit(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(10));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "ran {} jobs at once on a width-2 pool",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn zero_width_is_clamped_to_one() {
+        let pool = WorkerPool::new("test-clamp", 0);
+        assert_eq!(pool.width(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -12,13 +12,47 @@
 //! A crash before (3) leaves an orphan slot file with no journal entry;
 //! `open` deletes orphans, so the fragment was never stored. A crash
 //! mid-(3) leaves a torn journal tail; replay stops at the first bad
-//! frame, discarding only the torn entry. Either way the fragment exists
-//! in full or not at all.
+//! frame and `open` truncates the tail away, discarding only the torn
+//! entry. Either way the fragment exists in full or not at all.
+//!
+//! ## Concurrency
+//!
+//! The store is sharded for concurrent writers: a global mutex protects
+//! only the in-memory index (fragment map, prealloc/in-flight claims,
+//! marked sets), and is held for microseconds per operation. All fragment
+//! data I/O — tmp write, fsync, rename, slot reads — runs outside any
+//! lock. Double-store exclusion uses an *in-flight claim table*: a store
+//! claims its FID under the index lock before touching the disk, so two
+//! concurrent stores of the same FID cannot interleave, and claimed FIDs
+//! count toward the slot capacity.
+//!
+//! ## Journal group commit
+//!
+//! Journal appends from concurrent operations are batched: the first
+//! appender becomes the *leader*, writes every queued record with one
+//! `write` + one `sync_data`, and wakes all waiters — N concurrent stores
+//! cost ~1 journal fsync. [`Durability`] selects the mode: `Strict` syncs
+//! each batch immediately, `Group(window)` lets the leader wait up to
+//! `window` so more appends join the batch, and `None` never syncs
+//! (tests/benchmarks only). In every syncing mode an `Ok` return means
+//! the operation's journal record is on disk.
+//!
+//! ## Crash points
+//!
+//! [`CrashPoint`] names each durability step of a store; tests inject one
+//! with [`FileStore::inject_crash`] and the next store "crashes" there —
+//! the step's on-disk effect is left half-done exactly as a power cut
+//! would, no cleanup runs, and the operation returns an error. Reopening
+//! the directory must then uphold the atomicity contract.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use swarm_types::{crc32, BlockAddr, Bytes, ClientId, FragmentId, Result, SwarmError};
@@ -31,6 +65,110 @@ const TMP: &str = "tmp";
 
 const OP_STORE: u8 = 1;
 const OP_DELETE: u8 = 2;
+
+struct StoreMetrics {
+    journal_fsync: swarm_metrics::Counter,
+    journal_batch: swarm_metrics::Histogram,
+}
+
+fn metrics() -> &'static StoreMetrics {
+    static M: std::sync::OnceLock<StoreMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| StoreMetrics {
+        journal_fsync: swarm_metrics::counter("server.journal_fsync"),
+        journal_batch: swarm_metrics::histogram("server.journal_batch"),
+    })
+}
+
+/// When (and how) the store syncs data and journal writes to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Every operation's journal batch is fsync'd before it returns.
+    /// Concurrent operations still share a batch (group commit), so this
+    /// is the safe *and* fast default.
+    Strict,
+    /// Like `Strict`, but the commit leader waits up to the window for
+    /// more appends to join the batch before syncing — bigger batches,
+    /// slightly higher latency. An `Ok` ack still means durable.
+    Group(Duration),
+    /// Never fsync (data or journal). For tests and benchmarks that
+    /// measure something other than the disk.
+    None,
+}
+
+impl Durability {
+    /// Default batching window for [`Durability::Group`].
+    pub const DEFAULT_GROUP_WINDOW: Duration = Duration::from_millis(2);
+
+    fn syncs(self) -> bool {
+        !matches!(self, Durability::None)
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Durability::Strict => write!(f, "strict"),
+            Durability::Group(w) => write!(f, "group:{}", w.as_millis()),
+            Durability::None => write!(f, "none"),
+        }
+    }
+}
+
+impl FromStr for Durability {
+    type Err = String;
+
+    /// Parses the config-knob syntax: `strict`, `none`, `group`, or
+    /// `group:<millis>`.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(Durability::Strict),
+            "none" => Ok(Durability::None),
+            "group" => Ok(Durability::Group(Self::DEFAULT_GROUP_WINDOW)),
+            other => match other.strip_prefix("group:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| Durability::Group(Duration::from_millis(ms)))
+                    .map_err(|e| format!("durability {other:?}: {e}")),
+                None => Err(format!(
+                    "unknown durability {other:?} (want strict|group[:millis]|none)"
+                )),
+            },
+        }
+    }
+}
+
+/// A durability step of `store` where a simulated crash can be injected
+/// (see [`FileStore::inject_crash`]). Each variant leaves the disk exactly
+/// as a power cut at that step would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash mid-way through writing the fragment bytes to `tmp/`: a
+    /// partial tmp file survives.
+    TmpWrite,
+    /// Crash after writing `tmp/` but before its fsync: the full tmp file
+    /// is visible (this process never lost page cache) but was never
+    /// renamed.
+    TmpSync,
+    /// Crash after the tmp fsync, before the rename into `slots/`.
+    Rename,
+    /// Crash mid-way through the journal append: the slot file exists and
+    /// a torn half-record sits at the journal tail.
+    JournalAppend,
+    /// Crash after the journal append but before its fsync: the record is
+    /// fully written (and, within this process, visible on replay).
+    JournalSync,
+}
+
+impl CrashPoint {
+    /// Every crash point, in durability-step order.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::TmpWrite,
+        CrashPoint::TmpSync,
+        CrashPoint::Rename,
+        CrashPoint::JournalAppend,
+        CrashPoint::JournalSync,
+    ];
+}
 
 /// Bounds-checked little-endian reads for journal replay: a short or
 /// corrupt buffer yields `None` (treated as a torn tail), never a panic —
@@ -45,25 +183,287 @@ fn read_u64_le(buf: &[u8], pos: usize) -> Option<u64> {
     Some(u64::from_le_bytes(bytes.try_into().ok()?))
 }
 
-#[derive(Default)]
-struct Inner {
-    fragments: BTreeMap<FragmentId, (u32, bool)>, // len, marked
-    prealloc: HashSet<FragmentId>,
-    marked: HashMap<ClientId, BTreeSet<FragmentId>>,
-    bytes: u64,
-    journal: Option<File>,
-    journal_entries: u64,
+fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
 }
 
-/// A directory-backed fragment store with atomic stores and journaled
-/// fragment map.
+fn store_payload(fid: FragmentId, len: u32, marked: bool) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(14);
+    payload.push(OP_STORE);
+    payload.extend_from_slice(&fid.raw().to_le_bytes());
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.push(marked as u8);
+    payload
+}
+
+fn delete_payload(fid: FragmentId) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(OP_DELETE);
+    payload.extend_from_slice(&fid.raw().to_le_bytes());
+    payload
+}
+
+/// The in-memory fragment index. Guarded by one mutex held only for map
+/// lookups and bookkeeping — never across disk I/O.
+#[derive(Default)]
+struct Index {
+    fragments: BTreeMap<FragmentId, (u32, bool)>, // len, marked
+    prealloc: HashSet<FragmentId>,
+    /// FIDs claimed by a store that has not committed yet. Claims give
+    /// double-store exclusion without holding the index lock across the
+    /// data write, and count toward capacity.
+    inflight: HashSet<FragmentId>,
+    /// FIDs mid-delete: removed from `fragments`, journal record not yet
+    /// committed (or slot file not yet unlinked). A store may not reuse
+    /// the FID until the delete finishes.
+    deleting: HashSet<FragmentId>,
+    marked: HashMap<ClientId, BTreeSet<FragmentId>>,
+    bytes: u64,
+}
+
+impl Index {
+    fn slots_used(&self) -> u64 {
+        (self.fragments.len() + self.prealloc.len() + self.inflight.len() + self.deleting.len())
+            as u64
+    }
+
+    fn insert_fragment(&mut self, fid: FragmentId, len: u32, marked: bool) {
+        self.bytes += len as u64;
+        self.fragments.insert(fid, (len, marked));
+        if marked {
+            self.marked.entry(fid.client()).or_default().insert(fid);
+        }
+    }
+
+    fn remove_fragment(&mut self, fid: FragmentId) -> Option<(u32, bool)> {
+        let (len, marked) = self.fragments.remove(&fid)?;
+        self.bytes -= len as u64;
+        if marked {
+            if let Some(s) = self.marked.get_mut(&fid.client()) {
+                s.remove(&fid);
+            }
+        }
+        Some((len, marked))
+    }
+}
+
+/// Group-commit journal writer.
+///
+/// Appenders enqueue encoded records under the state lock and take a
+/// ticket; the first appender with no active leader becomes the leader,
+/// writes the whole queue with one `write_all` + one `sync_data`, and
+/// wakes everyone whose ticket the batch covered. A failed batch is
+/// truncated back out of the file (so it cannot become a torn tail that
+/// hides later, successfully committed records) and its tickets observe
+/// the error.
+struct Journal {
+    dir: PathBuf,
+    durability: Durability,
+    file: StdMutex<JournalFile>,
+    state: StdMutex<CommitState>,
+    done: Condvar,
+    /// Records in the on-disk journal (live + dead), for compaction.
+    entries: AtomicU64,
+    /// `sync_data` calls issued by batch commits.
+    fsyncs: AtomicU64,
+    /// Batches written (equals fsyncs when the mode syncs).
+    batches: AtomicU64,
+}
+
+#[derive(Default)]
+struct CommitState {
+    /// Encoded records waiting for the next batch.
+    buf: Vec<u8>,
+    buf_records: u64,
+    /// Tickets issued / durable / failed. `failed_upto` is checked before
+    /// `committed` so a ticket dropped by a failed batch can never be
+    /// claimed by a later successful one.
+    queued: u64,
+    committed: u64,
+    failed_upto: u64,
+    fail_msg: String,
+    leader: bool,
+}
+
+struct JournalFile {
+    file: File,
+    /// Physical length, tracked so a failed batch can be truncated away.
+    len: u64,
+}
+
+impl Journal {
+    fn open(dir: &Path, durability: Durability, entries: u64) -> Result<Journal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(JOURNAL))?;
+        let len = file.metadata()?.len();
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            durability,
+            file: StdMutex::new(JournalFile { file, len }),
+            state: StdMutex::new(CommitState::default()),
+            done: Condvar::new(),
+            entries: AtomicU64::new(entries),
+            fsyncs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one record and waits until the batch containing it is
+    /// durable (per the configured [`Durability`]).
+    fn append(&self, payload: &[u8]) -> Result<()> {
+        let rec = encode_record(payload);
+        let mut st = self.state.lock().expect("journal state lock");
+        st.buf.extend_from_slice(&rec);
+        st.buf_records += 1;
+        st.queued += 1;
+        let ticket = st.queued;
+        loop {
+            if st.failed_upto >= ticket {
+                return Err(SwarmError::other(format!(
+                    "journal append failed: {}",
+                    st.fail_msg
+                )));
+            }
+            if st.committed >= ticket {
+                return Ok(());
+            }
+            if st.leader {
+                st = self.done.wait(st).expect("journal state lock");
+                continue;
+            }
+            st.leader = true;
+            if let Durability::Group(window) = self.durability {
+                // Hold leadership through the window so concurrent
+                // appends pile into this batch. Waking early (another
+                // append's notify) is fine — the timeout only bounds it.
+                let (g, _) = self
+                    .done
+                    .wait_timeout(st, window)
+                    .expect("journal state lock");
+                st = g;
+            }
+            let batch = std::mem::take(&mut st.buf);
+            let records = std::mem::take(&mut st.buf_records);
+            let hi = st.queued;
+            drop(st);
+            let res = if records == 0 {
+                Ok(())
+            } else {
+                self.write_batch(&batch, records)
+            };
+            st = self.state.lock().expect("journal state lock");
+            st.leader = false;
+            match res {
+                Ok(()) => st.committed = st.committed.max(hi),
+                Err(e) => {
+                    st.failed_upto = st.failed_upto.max(hi);
+                    st.fail_msg = e.to_string();
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+
+    fn write_batch(&self, batch: &[u8], records: u64) -> Result<()> {
+        let mut jf = self.file.lock().expect("journal file lock");
+        let start = jf.len;
+        let res = jf.file.write_all(batch).and_then(|()| {
+            if self.durability.syncs() {
+                jf.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match res {
+            Ok(()) => {
+                jf.len = start + batch.len() as u64;
+                self.entries.fetch_add(records, Ordering::Relaxed);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                if self.durability.syncs() {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    let m = metrics();
+                    m.journal_fsync.inc();
+                    m.journal_batch.record_us(records);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the partial batch back out: leaving it would plant
+                // a torn record in the *middle* of the journal, hiding
+                // every later (successful) append from replay.
+                let _ = jf.file.set_len(start);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Raw file append for injected crashes: bypasses batching, writes
+    /// `rec` (halved when `torn`), never syncs, reports nothing.
+    fn crash_append(&self, rec: &[u8], torn: bool) {
+        let mut jf = self.file.lock().expect("journal file lock");
+        let cut = if torn { rec.len() / 2 } else { rec.len() };
+        if jf.file.write_all(&rec[..cut]).is_ok() {
+            jf.len += cut as u64;
+        }
+    }
+
+    /// Atomically replaces the journal contents with `records` (the
+    /// compacted live set). The caller holds the index lock, so no new
+    /// operation can commit index changes mid-snapshot; this routine
+    /// additionally quiesces the committer so no batch is in flight.
+    fn rewrite(&self, records: &[u8], live: u64) -> Result<()> {
+        let mut st = self.state.lock().expect("journal state lock");
+        while st.leader || !st.buf.is_empty() {
+            st = self.done.wait(st).expect("journal state lock");
+        }
+        st.leader = true; // parks appenders while the file is swapped
+        drop(st);
+
+        let res = (|| {
+            let new_path = self.dir.join("journal.new");
+            let mut jf = self.file.lock().expect("journal file lock");
+            {
+                let mut f = File::create(&new_path)?;
+                f.write_all(records)?;
+                f.sync_all()?;
+            }
+            fs::rename(&new_path, self.dir.join(JOURNAL))?;
+            let file = OpenOptions::new()
+                .append(true)
+                .open(self.dir.join(JOURNAL))?;
+            jf.len = file.metadata()?.len();
+            jf.file = file;
+            self.entries.store(live, Ordering::Relaxed);
+            Ok(())
+        })();
+
+        let mut st = self.state.lock().expect("journal state lock");
+        st.leader = false;
+        drop(st);
+        self.done.notify_all();
+        res
+    }
+}
+
+/// A directory-backed fragment store with atomic stores, a journaled
+/// fragment map, sharded locking, and journal group commit.
 pub struct FileStore {
     dir: PathBuf,
-    inner: Mutex<Inner>,
+    index: Mutex<Index>,
+    journal: Journal,
     capacity: u64,
-    /// fsync data and journal on every operation (disable only in tests
-    /// and benchmarks that measure other things).
-    durable: bool,
+    durability: Durability,
+    /// Per-attempt tmp-name nonce: retries and concurrent stores never
+    /// collide on a tmp path.
+    tmp_seq: AtomicU64,
+    /// One-shot injected crash (test harness; see [`CrashPoint`]).
+    crash: Mutex<Option<CrashPoint>>,
 }
 
 impl std::fmt::Debug for FileStore {
@@ -71,14 +471,14 @@ impl std::fmt::Debug for FileStore {
         f.debug_struct("FileStore")
             .field("dir", &self.dir)
             .field("capacity", &self.capacity)
-            .field("durable", &self.durable)
+            .field("durability", &self.durability)
             .finish()
     }
 }
 
 impl FileStore {
     /// Opens (creating if necessary) a store rooted at `dir` with no slot
-    /// limit.
+    /// limit and strict durability.
     ///
     /// # Errors
     ///
@@ -89,114 +489,187 @@ impl FileStore {
         Self::open_with(dir, 0, true)
     }
 
-    /// Opens a store with a slot capacity (0 = unbounded) and explicit
-    /// durability mode.
+    /// Opens a store with a slot capacity (0 = unbounded) and a boolean
+    /// durability switch: `true` = [`Durability::Strict`], `false` =
+    /// [`Durability::None`].
     ///
     /// # Errors
     ///
     /// See [`FileStore::open`].
     pub fn open_with(dir: impl AsRef<Path>, capacity: u64, durable: bool) -> Result<FileStore> {
+        let durability = if durable {
+            Durability::Strict
+        } else {
+            Durability::None
+        };
+        Self::open_with_durability(dir, capacity, durability)
+    }
+
+    /// Opens a store with a slot capacity (0 = unbounded) and an explicit
+    /// [`Durability`] mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`FileStore::open`].
+    pub fn open_with_durability(
+        dir: impl AsRef<Path>,
+        capacity: u64,
+        durability: Durability,
+    ) -> Result<FileStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(dir.join(SLOTS))?;
         fs::create_dir_all(dir.join(TMP))?;
 
-        let mut inner = Inner::default();
-        Self::replay_journal(&dir, &mut inner)?;
-        Self::sweep(&dir, &mut inner)?;
-
-        let journal = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join(JOURNAL))?;
-        inner.journal = Some(journal);
+        let mut index = Index::default();
+        let entries = Self::replay_journal(&dir, &mut index)?;
+        Self::sweep(&dir, &index)?;
 
         Ok(FileStore {
+            journal: Journal::open(&dir, durability, entries)?,
             dir,
-            inner: Mutex::new(inner),
+            index: Mutex::new(index),
             capacity,
-            durable,
+            durability,
+            tmp_seq: AtomicU64::new(0),
+            crash: Mutex::new(None),
         })
+    }
+
+    /// The configured durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Journal `sync_data` calls issued so far (one per committed batch
+    /// in syncing modes). With group commit, N concurrent stores advance
+    /// this by far less than N.
+    pub fn journal_fsyncs(&self) -> u64 {
+        self.journal.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Journal batches committed so far.
+    pub fn journal_batches(&self) -> u64 {
+        self.journal.batches.load(Ordering::Relaxed)
+    }
+
+    /// Arms a one-shot simulated crash at `point`: the next store that
+    /// reaches that durability step leaves the disk exactly as a power
+    /// cut there would (no cleanup runs) and returns an error. Reopen the
+    /// directory to run recovery. Test harness API.
+    pub fn inject_crash(&self, point: CrashPoint) {
+        *self.crash.lock() = Some(point);
+    }
+
+    fn take_crash(&self, point: CrashPoint) -> bool {
+        let mut g = self.crash.lock();
+        if *g == Some(point) {
+            *g = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn crash_err(point: CrashPoint) -> SwarmError {
+        SwarmError::other(format!("injected crash at {point:?}"))
     }
 
     fn slot_path(dir: &Path, fid: FragmentId) -> PathBuf {
         dir.join(SLOTS).join(format!("{:016x}.frag", fid.raw()))
     }
 
-    fn replay_journal(dir: &Path, inner: &mut Inner) -> Result<()> {
+    /// Replays the journal into `index`, returning the number of valid
+    /// records, and truncates any torn tail off the file so later appends
+    /// can never hide behind it.
+    fn replay_journal(dir: &Path, index: &mut Index) -> Result<u64> {
         let path = dir.join(JOURNAL);
         let Ok(mut f) = File::open(&path) else {
-            return Ok(()); // fresh store
+            return Ok(0); // fresh store
         };
         let mut buf = Vec::new();
         f.read_to_end(&mut buf)?;
+        drop(f);
         let mut pos = 0usize;
+        let mut entries = 0u64;
+        let mut torn = false;
         while buf.len() - pos >= 8 {
             let (Some(len), Some(crc)) = (read_u32_le(&buf, pos), read_u32_le(&buf, pos + 4))
             else {
-                break; // torn tail
+                torn = true;
+                break;
             };
             let len = len as usize;
             if len == 0 || len > 64 || buf.len() - pos - 8 < len {
                 // A zero-length entry can carry a valid CRC (crc32 of
                 // nothing) but has no opcode to dispatch on — corrupt,
                 // treated like a torn tail rather than a panic.
+                torn = true;
                 break;
             }
             let payload = &buf[pos + 8..pos + 8 + len];
             if crc32(payload) != crc {
-                break; // torn tail
+                torn = true;
+                break;
             }
             pos += 8 + len;
-            inner.journal_entries += 1;
+            entries += 1;
             match payload[0] {
                 OP_STORE if payload.len() == 1 + 8 + 4 + 1 => {
                     let (Some(raw), Some(len)) = (read_u64_le(payload, 1), read_u32_le(payload, 9))
                     else {
+                        torn = true;
                         break;
                     };
                     let fid = FragmentId::from_raw(raw);
                     let marked = payload[13] != 0;
-                    if let Some((old_len, old_marked)) = inner.fragments.insert(fid, (len, marked))
+                    if let Some((old_len, old_marked)) = index.fragments.insert(fid, (len, marked))
                     {
-                        // Duplicate store entries can only come from
-                        // compaction races; keep accounting consistent.
-                        inner.bytes -= old_len as u64;
+                        // Duplicate store entries come from the
+                        // compaction/append race; keep accounting
+                        // consistent.
+                        index.bytes -= old_len as u64;
                         if old_marked {
-                            if let Some(s) = inner.marked.get_mut(&fid.client()) {
+                            if let Some(s) = index.marked.get_mut(&fid.client()) {
                                 s.remove(&fid);
                             }
                         }
                     }
-                    inner.bytes += len as u64;
+                    index.bytes += len as u64;
                     if marked {
-                        inner.marked.entry(fid.client()).or_default().insert(fid);
+                        index.marked.entry(fid.client()).or_default().insert(fid);
                     }
                 }
                 OP_DELETE if payload.len() == 1 + 8 => {
                     let Some(raw) = read_u64_le(payload, 1) else {
+                        torn = true;
                         break;
                     };
                     let fid = FragmentId::from_raw(raw);
-                    if let Some((len, marked)) = inner.fragments.remove(&fid) {
-                        inner.bytes -= len as u64;
-                        if marked {
-                            if let Some(s) = inner.marked.get_mut(&fid.client()) {
-                                s.remove(&fid);
-                            }
-                        }
-                    }
+                    index.remove_fragment(fid);
                 }
                 other => return Err(SwarmError::corrupt(format!("unknown journal op {other}"))),
             }
         }
-        Ok(())
+        if torn || pos < buf.len() {
+            // Discard the torn tail physically: appends land directly
+            // after the last valid record, so a record stored *after*
+            // this recovery can never be hidden behind garbage at the
+            // next replay.
+            if let Ok(f) = OpenOptions::new().write(true).open(&path) {
+                let _ = f.set_len(pos as u64);
+            }
+        }
+        Ok(entries)
     }
 
     /// Deletes orphan slot files (crash between rename and journal append)
-    /// and tmp leftovers; verifies every mapped fragment's file exists.
-    fn sweep(dir: &Path, inner: &mut Inner) -> Result<()> {
+    /// and stale `tmp/` leftovers from crashed mid-store attempts;
+    /// verifies every mapped fragment's file exists.
+    fn sweep(dir: &Path, index: &Index) -> Result<()> {
         for entry in fs::read_dir(dir.join(TMP))? {
             let entry = entry?;
+            // Every tmp entry is stale by definition at open: a store in
+            // progress when the process died never committed.
             let _ = fs::remove_file(entry.path());
         }
         let mut present = HashSet::new();
@@ -211,14 +684,14 @@ impl FileStore {
                 continue;
             };
             let fid = FragmentId::from_raw(raw);
-            if inner.fragments.contains_key(&fid) {
+            if index.fragments.contains_key(&fid) {
                 present.insert(fid);
             } else {
                 // Orphan: store never committed (or delete never finished).
                 let _ = fs::remove_file(entry.path());
             }
         }
-        for fid in inner.fragments.keys() {
+        for fid in index.fragments.keys() {
             if !present.contains(fid) {
                 return Err(SwarmError::corrupt(format!(
                     "fragment map references missing slot file for {fid}"
@@ -226,27 +699,6 @@ impl FileStore {
             }
         }
         Ok(())
-    }
-
-    fn append_journal(&self, inner: &mut Inner, payload: &[u8]) -> Result<()> {
-        let journal = inner
-            .journal
-            .as_mut()
-            .ok_or(SwarmError::Closed("journal"))?;
-        let mut rec = Vec::with_capacity(8 + payload.len());
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&crc32(payload).to_le_bytes());
-        rec.extend_from_slice(payload);
-        journal.write_all(&rec)?;
-        if self.durable {
-            journal.sync_data()?;
-        }
-        inner.journal_entries += 1;
-        Ok(())
-    }
-
-    fn slots_used(inner: &Inner) -> u64 {
-        inner.fragments.len() as u64 + inner.prealloc.len() as u64
     }
 
     /// Rewrites the journal to contain only live fragments. Called
@@ -258,92 +710,140 @@ impl FileStore {
     /// Returns [`SwarmError::Io`] on disk failure; on error the original
     /// journal remains authoritative.
     pub fn compact_journal(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.compact_journal_locked(&mut inner)
-    }
-
-    fn compact_journal_locked(&self, inner: &mut Inner) -> Result<()> {
-        let new_path = self.dir.join("journal.new");
-        {
-            let mut f = File::create(&new_path)?;
-            let mut buf = Vec::new();
-            for (fid, (len, marked)) in &inner.fragments {
-                let mut payload = Vec::with_capacity(14);
-                payload.push(OP_STORE);
-                payload.extend_from_slice(&fid.raw().to_le_bytes());
-                payload.extend_from_slice(&len.to_le_bytes());
-                payload.push(*marked as u8);
-                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-                buf.extend_from_slice(&payload);
-            }
-            f.write_all(&buf)?;
-            f.sync_all()?;
+        // Holding the index lock for the duration pins the snapshot: no
+        // store/delete can commit an index change while the journal is
+        // being swapped, so the compacted file covers exactly the live
+        // set. An append already in flight re-lands in the new file (its
+        // record becomes a benign duplicate that replay de-dups).
+        let index = self.index.lock();
+        let mut buf = Vec::new();
+        for (fid, (len, marked)) in &index.fragments {
+            buf.extend_from_slice(&encode_record(&store_payload(*fid, *len, *marked)));
         }
-        fs::rename(&new_path, self.dir.join(JOURNAL))?;
-        let journal = OpenOptions::new()
-            .append(true)
-            .open(self.dir.join(JOURNAL))?;
-        inner.journal = Some(journal);
-        inner.journal_entries = inner.fragments.len() as u64;
-        Ok(())
+        self.journal.rewrite(&buf, index.fragments.len() as u64)
     }
 
-    fn maybe_compact(&self, inner: &mut Inner) {
-        let live = inner.fragments.len() as u64;
-        if inner.journal_entries > 1024 && inner.journal_entries > live.saturating_mul(4) {
+    fn maybe_compact(&self) {
+        let entries = self.journal.entries.load(Ordering::Relaxed);
+        let live = self.index.lock().fragments.len() as u64;
+        if entries > 1024 && entries > live.saturating_mul(4) {
             // Compaction failure is non-fatal: the journal stays valid.
-            let _ = self.compact_journal_locked(inner);
+            let _ = self.compact_journal();
         }
+    }
+
+    /// Releases a store claim after a failure.
+    fn abort_claim(&self, fid: FragmentId) {
+        self.index.lock().inflight.remove(&fid);
+    }
+
+    /// The data phase of a store: tmp write, tmp fsync, rename. Runs
+    /// outside every lock. On an ordinary I/O error the tmp file is
+    /// removed; on an injected crash it is left as the crash would leave
+    /// it.
+    fn write_data(&self, tmp: &Path, slot: &Path, data: &[u8]) -> Result<()> {
+        let cleanup_err = |e: std::io::Error, tmp: &Path| -> SwarmError {
+            let _ = fs::remove_file(tmp);
+            e.into()
+        };
+        let mut f = File::create(tmp)?;
+        if self.take_crash(CrashPoint::TmpWrite) {
+            let _ = f.write_all(&data[..data.len() / 2]);
+            return Err(Self::crash_err(CrashPoint::TmpWrite));
+        }
+        if let Err(e) = f.write_all(data) {
+            return Err(cleanup_err(e, tmp));
+        }
+        if self.take_crash(CrashPoint::TmpSync) {
+            return Err(Self::crash_err(CrashPoint::TmpSync));
+        }
+        if self.durability.syncs() {
+            if let Err(e) = f.sync_all() {
+                return Err(cleanup_err(e, tmp));
+            }
+        }
+        drop(f);
+        if self.take_crash(CrashPoint::Rename) {
+            return Err(Self::crash_err(CrashPoint::Rename));
+        }
+        if let Err(e) = fs::rename(tmp, slot) {
+            return Err(cleanup_err(e, tmp));
+        }
+        Ok(())
     }
 }
 
 impl FragmentStore for FileStore {
     fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.fragments.contains_key(&fid) {
-            return Err(SwarmError::FragmentExists(fid));
-        }
-        let had_slot = inner.prealloc.contains(&fid);
-        if !had_slot && self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
-            return Err(SwarmError::OutOfSpace(format!(
-                "all {} slots in use",
-                self.capacity
-            )));
-        }
-
-        // (1) bytes to tmp, fsync'd
-        let tmp_path = self.dir.join(TMP).join(format!("{:016x}", fid.raw()));
+        // Claim the FID under the index lock; everything after runs
+        // without it until commit.
         {
-            let mut f = File::create(&tmp_path)?;
-            f.write_all(&data)?;
-            if self.durable {
-                f.sync_all()?;
+            let mut index = self.index.lock();
+            if index.fragments.contains_key(&fid)
+                || index.inflight.contains(&fid)
+                || index.deleting.contains(&fid)
+            {
+                return Err(SwarmError::FragmentExists(fid));
             }
+            let had_slot = index.prealloc.contains(&fid);
+            if !had_slot && self.capacity != 0 && index.slots_used() >= self.capacity {
+                return Err(SwarmError::OutOfSpace(format!(
+                    "all {} slots in use",
+                    self.capacity
+                )));
+            }
+            index.inflight.insert(fid);
         }
-        // (2) atomic rename into the slot
-        fs::rename(&tmp_path, Self::slot_path(&self.dir, fid))?;
-        // (3) journal entry
-        let mut payload = Vec::with_capacity(14);
-        payload.push(OP_STORE);
-        payload.extend_from_slice(&fid.raw().to_le_bytes());
-        payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        payload.push(marked as u8);
-        self.append_journal(&mut inner, &payload)?;
 
-        inner.prealloc.remove(&fid);
-        inner.bytes += data.len() as u64;
-        inner.fragments.insert(fid, (data.len() as u32, marked));
-        if marked {
-            inner.marked.entry(fid.client()).or_default().insert(fid);
+        // (1)+(2): bytes to a per-attempt tmp file, fsync, atomic rename.
+        let tmp_path = self.dir.join(TMP).join(format!(
+            "{:016x}.{}",
+            fid.raw(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let slot_path = Self::slot_path(&self.dir, fid);
+        if let Err(e) = self.write_data(&tmp_path, &slot_path, &data) {
+            self.abort_claim(fid);
+            return Err(e);
+        }
+
+        // (3): journal record through the group committer.
+        let payload = store_payload(fid, data.len() as u32, marked);
+        if self.take_crash(CrashPoint::JournalAppend) {
+            self.journal.crash_append(&encode_record(&payload), true);
+            self.abort_claim(fid);
+            return Err(Self::crash_err(CrashPoint::JournalAppend));
+        }
+        if self.take_crash(CrashPoint::JournalSync) {
+            self.journal.crash_append(&encode_record(&payload), false);
+            self.abort_claim(fid);
+            return Err(Self::crash_err(CrashPoint::JournalSync));
+        }
+
+        // Commit to the index *before* the journal append so a concurrent
+        // compaction snapshot can only duplicate the record (replay
+        // de-dups), never lose it.
+        {
+            let mut index = self.index.lock();
+            index.inflight.remove(&fid);
+            index.prealloc.remove(&fid);
+            index.insert_fragment(fid, data.len() as u32, marked);
+        }
+        if let Err(e) = self.journal.append(&payload) {
+            // Never became durable: undo the index entry and the slot
+            // file (an in-process failure can clean up; a real crash here
+            // leaves an orphan for the open-time sweep).
+            self.index.lock().remove_fragment(fid);
+            let _ = fs::remove_file(&slot_path);
+            return Err(e);
         }
         Ok(())
     }
 
     fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes> {
         let stored = {
-            let inner = self.inner.lock();
-            let (stored, _) = inner
+            let index = self.index.lock();
+            let (stored, _) = index
                 .fragments
                 .get(&fid)
                 .ok_or(SwarmError::FragmentNotFound(fid))?;
@@ -355,7 +855,16 @@ impl FragmentStore for FileStore {
                 stored,
             });
         }
-        let mut f = File::open(Self::slot_path(&self.dir, fid))?;
+        // The file I/O runs without the index lock; a concurrent delete
+        // may unlink the slot file under us, which must surface as
+        // not-found, not a raw I/O error.
+        let mut f = match File::open(Self::slot_path(&self.dir, fid)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SwarmError::FragmentNotFound(fid));
+            }
+            Err(e) => return Err(e.into()),
+        };
         use std::io::{Seek, SeekFrom};
         f.seek(SeekFrom::Start(offset as u64))?;
         let mut buf = vec![0u8; len as usize];
@@ -364,70 +873,78 @@ impl FragmentStore for FileStore {
     }
 
     fn delete(&self, fid: FragmentId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let Some(&(len, marked)) = inner.fragments.get(&fid) else {
-            return Err(SwarmError::FragmentNotFound(fid));
+        // Remove from the index first (claiming the FID in `deleting`),
+        // then journal. The order matters for the compaction race: once
+        // the fragment is out of the index a compaction snapshot cannot
+        // resurrect it, and the OP_DELETE lands after the compacted
+        // records either way.
+        let (len, marked) = {
+            let mut index = self.index.lock();
+            let Some((len, marked)) = index.remove_fragment(fid) else {
+                return Err(SwarmError::FragmentNotFound(fid));
+            };
+            index.deleting.insert(fid);
+            (len, marked)
         };
-        // Journal first: a crash after this point replays as deleted, and
-        // the sweep removes the then-orphaned slot file.
-        let mut payload = Vec::with_capacity(9);
-        payload.push(OP_DELETE);
-        payload.extend_from_slice(&fid.raw().to_le_bytes());
-        self.append_journal(&mut inner, &payload)?;
-
-        inner.fragments.remove(&fid);
-        inner.bytes -= len as u64;
-        if marked {
-            if let Some(s) = inner.marked.get_mut(&fid.client()) {
-                s.remove(&fid);
+        match self.journal.append(&delete_payload(fid)) {
+            Ok(()) => {
+                let _ = fs::remove_file(Self::slot_path(&self.dir, fid));
+                self.index.lock().deleting.remove(&fid);
+                self.maybe_compact();
+                Ok(())
+            }
+            Err(e) => {
+                // The delete never became durable; the fragment is still
+                // fully present on disk. Restore the index entry.
+                let mut index = self.index.lock();
+                index.deleting.remove(&fid);
+                index.insert_fragment(fid, len, marked);
+                Err(e)
             }
         }
-        let _ = fs::remove_file(Self::slot_path(&self.dir, fid));
-        self.maybe_compact(&mut inner);
-        Ok(())
     }
 
     fn preallocate(&self, fid: FragmentId, _len: u32) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.fragments.contains_key(&fid) || inner.prealloc.contains(&fid) {
+        let mut index = self.index.lock();
+        if index.fragments.contains_key(&fid) || index.prealloc.contains(&fid) {
             return Ok(());
         }
-        if self.capacity != 0 && Self::slots_used(&inner) >= self.capacity {
+        if self.capacity != 0 && index.slots_used() >= self.capacity {
             return Err(SwarmError::OutOfSpace(format!(
                 "all {} slots in use",
                 self.capacity
             )));
         }
-        inner.prealloc.insert(fid);
+        index.prealloc.insert(fid);
         Ok(())
     }
 
     fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
-        let inner = self.inner.lock();
-        inner.fragments.get(&fid).map(|(len, marked)| FragmentMeta {
+        let index = self.index.lock();
+        index.fragments.get(&fid).map(|(len, marked)| FragmentMeta {
             len: *len,
             marked: *marked,
         })
     }
 
     fn last_marked(&self, client: ClientId) -> Option<FragmentId> {
-        let inner = self.inner.lock();
-        inner
+        let index = self.index.lock();
+        index
             .marked
             .get(&client)
             .and_then(|set| set.iter().next_back().copied())
     }
 
     fn list(&self) -> Vec<FragmentId> {
-        self.inner.lock().fragments.keys().copied().collect()
+        self.index.lock().fragments.keys().copied().collect()
     }
 
     fn fragment_count(&self) -> u64 {
-        self.inner.lock().fragments.len() as u64
+        self.index.lock().fragments.len() as u64
     }
 
     fn byte_count(&self) -> u64 {
-        self.inner.lock().bytes
+        self.index.lock().bytes
     }
 
     fn capacity(&self) -> u64 {
@@ -478,6 +995,7 @@ mod tests {
             ("delete", conformance::delete_frees_fragment),
             ("marked", conformance::marked_tracking),
             ("accounting", conformance::accounting),
+            ("concurrent", conformance::concurrent_store_read_delete),
         ];
         for (tag, case) in cases {
             let d = TempDir::new(tag);
@@ -491,6 +1009,37 @@ mod tests {
         let d = TempDir::new("cap");
         let s = FileStore::open_with(&d.0, 2, false).unwrap();
         conformance::capacity_enforced(&s);
+    }
+
+    #[test]
+    fn conformance_group_commit_mode() {
+        // The same semantics hold when acks ride the group committer.
+        let d = TempDir::new("group");
+        let s =
+            FileStore::open_with_durability(&d.0, 0, Durability::Group(Duration::from_millis(1)))
+                .unwrap();
+        conformance::store_read_roundtrip(&s);
+        conformance::concurrent_store_read_delete(&s);
+    }
+
+    #[test]
+    fn durability_knob_parses() {
+        assert_eq!("strict".parse::<Durability>().unwrap(), Durability::Strict);
+        assert_eq!("none".parse::<Durability>().unwrap(), Durability::None);
+        assert_eq!(
+            "group".parse::<Durability>().unwrap(),
+            Durability::Group(Durability::DEFAULT_GROUP_WINDOW)
+        );
+        assert_eq!(
+            "group:7".parse::<Durability>().unwrap(),
+            Durability::Group(Duration::from_millis(7))
+        );
+        assert!("fast".parse::<Durability>().is_err());
+        assert!("group:x".parse::<Durability>().is_err());
+        assert_eq!(
+            Durability::Group(Duration::from_millis(7)).to_string(),
+            "group:7"
+        );
     }
 
     #[test]
@@ -572,6 +1121,32 @@ mod tests {
         s.store(fid(1, 1), b"more".into(), false).unwrap();
     }
 
+    /// The torn tail must be *physically* truncated at open: a fragment
+    /// stored after recovery lands directly after the last valid record
+    /// and survives a second reopen (it used to be appended after the
+    /// garbage and silently lost).
+    #[test]
+    fn store_after_torn_tail_survives_second_reopen() {
+        let d = TempDir::new("torn2");
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"good".into(), false).unwrap();
+        }
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(d.0.join(JOURNAL))
+            .unwrap();
+        f.write_all(&[14, 0, 0, 0, 0xde, 0xad]).unwrap();
+        drop(f);
+        {
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 1), b"after-recovery".into(), false).unwrap();
+        }
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.fragment_count(), 2);
+        assert_eq!(s.read(fid(1, 1), 0, 14).unwrap(), b"after-recovery");
+    }
+
     #[test]
     fn missing_slot_file_for_mapped_fragment_is_corruption() {
         let d = TempDir::new("missing");
@@ -613,14 +1188,81 @@ mod tests {
         assert_eq!(s.last_marked(ClientId::new(2)), Some(fid(2, 49)));
     }
 
+    /// Regression test (tmp-sweep fix): stale `tmp/` entries planted by a
+    /// crash mid-store — whatever their name, including the per-attempt
+    /// `<fid>.<nonce>` form of a committed fragment — are deleted at open
+    /// and never disturb the committed data.
     #[test]
     fn tmp_leftovers_are_cleaned() {
         let d = TempDir::new("tmp");
         {
-            let _s = FileStore::open_with(&d.0, 0, false).unwrap();
+            let s = FileStore::open_with(&d.0, 0, false).unwrap();
+            s.store(fid(1, 0), b"kept".into(), false).unwrap();
         }
-        fs::write(d.0.join(TMP).join("deadbeef"), b"junk").unwrap();
-        let _s = FileStore::open_with(&d.0, 0, false).unwrap();
-        assert!(!d.0.join(TMP).join("deadbeef").exists());
+        let junk = d.0.join(TMP).join("deadbeef");
+        let staged = d.0.join(TMP).join(format!("{:016x}.3", fid(1, 0).raw()));
+        fs::write(&junk, b"junk").unwrap();
+        fs::write(&staged, b"half-written").unwrap();
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert!(!junk.exists());
+        assert!(!staged.exists());
+        assert_eq!(s.read(fid(1, 0), 0, 4).unwrap(), b"kept");
+    }
+
+    /// Group commit batches concurrent appends: far fewer journal fsyncs
+    /// than stores, and every acked store survives reopen.
+    #[test]
+    fn group_commit_batches_concurrent_stores() {
+        let d = TempDir::new("batch");
+        let s = std::sync::Arc::new(
+            FileStore::open_with_durability(&d.0, 0, Durability::Group(Duration::from_millis(5)))
+                .unwrap(),
+        );
+        let threads: u32 = 8;
+        let per: u64 = 4;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads as usize));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let s = s.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per {
+                    s.store(fid(t, i), vec![t as u8; 128].into(), false)
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stores = threads as u64 * per;
+        assert!(
+            s.journal_fsyncs() < stores,
+            "expected batching: {} fsyncs for {stores} stores",
+            s.journal_fsyncs()
+        );
+        assert_eq!(s.journal_batches(), s.journal_fsyncs());
+        drop(s);
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        assert_eq!(s.fragment_count(), stores);
+    }
+
+    /// A store serialized against a concurrent delete of the same FID
+    /// must either land after the delete or be refused — never have its
+    /// freshly renamed slot file unlinked by the delete's tail.
+    #[test]
+    fn store_during_delete_of_same_fid_is_refused() {
+        let d = TempDir::new("storedel");
+        let s = FileStore::open_with(&d.0, 0, false).unwrap();
+        s.store(fid(1, 0), b"old".into(), false).unwrap();
+        {
+            // Pin the FID in `deleting` as the journal append would.
+            s.index.lock().deleting.insert(fid(1, 0));
+            s.index.lock().remove_fragment(fid(1, 0));
+            let err = s.store(fid(1, 0), b"new".into(), false).unwrap_err();
+            assert!(matches!(err, SwarmError::FragmentExists(_)), "{err}");
+            s.index.lock().deleting.remove(&fid(1, 0));
+        }
     }
 }

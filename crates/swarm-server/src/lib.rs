@@ -29,7 +29,7 @@ pub mod server;
 pub mod store;
 
 pub use acl::AclDb;
-pub use filestore::FileStore;
+pub use filestore::{CrashPoint, Durability, FileStore};
 pub use memstore::MemStore;
 pub use server::StorageServer;
 pub use store::{FragmentMeta, FragmentStore};

@@ -205,6 +205,11 @@ mod tests {
     }
 
     #[test]
+    fn conformance_concurrent_store_read_delete() {
+        conformance::concurrent_store_read_delete(&MemStore::new());
+    }
+
+    #[test]
     fn preallocate_is_idempotent() {
         let s = MemStore::with_capacity(1);
         let fid = FragmentId::new(ClientId::new(0), 0);

@@ -93,6 +93,39 @@ pub trait FragmentStore: Send + Sync {
     fn capacity(&self) -> u64;
 }
 
+impl FragmentStore for Box<dyn FragmentStore> {
+    fn store(&self, fid: FragmentId, data: Bytes, marked: bool) -> Result<()> {
+        (**self).store(fid, data, marked)
+    }
+    fn read(&self, fid: FragmentId, offset: u32, len: u32) -> Result<Bytes> {
+        (**self).read(fid, offset, len)
+    }
+    fn delete(&self, fid: FragmentId) -> Result<()> {
+        (**self).delete(fid)
+    }
+    fn preallocate(&self, fid: FragmentId, len: u32) -> Result<()> {
+        (**self).preallocate(fid, len)
+    }
+    fn meta(&self, fid: FragmentId) -> Option<FragmentMeta> {
+        (**self).meta(fid)
+    }
+    fn last_marked(&self, client: ClientId) -> Option<FragmentId> {
+        (**self).last_marked(client)
+    }
+    fn list(&self) -> Vec<FragmentId> {
+        (**self).list()
+    }
+    fn fragment_count(&self) -> u64 {
+        (**self).fragment_count()
+    }
+    fn byte_count(&self) -> u64 {
+        (**self).byte_count()
+    }
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+}
+
 /// Shared conformance tests run against every [`FragmentStore`]
 /// implementation (called from `memstore` and `filestore` test modules).
 #[cfg(test)]
@@ -169,6 +202,57 @@ pub(crate) mod conformance {
         // Deleting frees a slot.
         s.delete(fid(4, 0)).unwrap();
         s.store(fid(4, 2), b"z".into(), false).unwrap();
+    }
+
+    /// Concurrent stores, reads, and deletes across distinct FIDs must
+    /// never tear: a read observes either the full fragment (byte-exact,
+    /// derived from the FID) or `FragmentNotFound` — nothing in between.
+    pub fn concurrent_store_read_delete(s: &dyn FragmentStore) {
+        fn content(t: u32, i: u64) -> Vec<u8> {
+            (0..256u32).map(|j| (t + i as u32 * 31 + j) as u8).collect()
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        let f = fid(10 + t, i);
+                        s.store(f, content(t, i).into(), false).unwrap();
+                        match s.read(f, 0, 256) {
+                            Ok(got) => assert_eq!(&got[..], &content(t, i)[..]),
+                            Err(SwarmError::FragmentNotFound(_)) => {}
+                            Err(e) => panic!("unexpected read error: {e}"),
+                        }
+                        if i % 3 == 0 {
+                            s.delete(f).unwrap();
+                        }
+                    }
+                });
+                // A reader thread racing over every other thread's FIDs.
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        for rt in 0..4u32 {
+                            match s.read(fid(10 + rt, i), 0, 256) {
+                                Ok(got) => assert_eq!(&got[..], &content(rt, i)[..]),
+                                Err(SwarmError::FragmentNotFound(_)) => {}
+                                Err(e) => panic!("unexpected read error: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every surviving fragment is byte-exact.
+        for t in 0..4u32 {
+            for i in 0..25u64 {
+                let f = fid(10 + t, i);
+                if i % 3 == 0 {
+                    assert!(s.meta(f).is_none());
+                } else {
+                    assert_eq!(&s.read(f, 0, 256).unwrap()[..], &content(t, i)[..]);
+                }
+            }
+        }
     }
 
     pub fn accounting(s: &dyn FragmentStore) {

@@ -1,0 +1,153 @@
+//! Model-based property test: random interleavings of store / delete /
+//! restart against a `HashMap` reference model, in both `strict` and
+//! `group` durability. Every acked operation must be reflected exactly
+//! after every reopen — group commit may batch the journal writes, but it
+//! must never change what an `Ok` return means.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use swarm_server::{Durability, FileStore, FragmentStore};
+use swarm_types::{ClientId, FragmentId};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let n = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let path = std::env::temp_dir().join(format!("swarm-fsmodel-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store {
+        seq: u8,
+        marked: bool,
+        len: u16,
+    },
+    Delete {
+        seq: u8,
+    },
+    /// Drop the store cleanly and reopen the directory — every acked
+    /// operation before the restart must be visible after it.
+    Restart,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..16, any::<bool>(), 1u16..1500)
+            .prop_map(|(seq, marked, len)| Op::Store { seq, marked, len }),
+        3 => (0u8..16).prop_map(|seq| Op::Delete { seq }),
+        1 => Just(Op::Restart),
+    ]
+}
+
+fn fid(seq: u8) -> FragmentId {
+    FragmentId::new(ClientId::new(1), seq as u64)
+}
+
+/// The store must agree with the model on every observable: fragment
+/// set, lengths, contents, marked flags, byte accounting, marked index.
+fn assert_matches_model(
+    store: &FileStore,
+    model: &HashMap<u8, (Vec<u8>, bool)>,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let mut listed: Vec<u8> = store.list().iter().map(|f| f.seq() as u8).collect();
+    listed.sort_unstable();
+    let mut expect: Vec<u8> = model.keys().copied().collect();
+    expect.sort_unstable();
+    prop_assert_eq!(listed, expect, "fragment set diverged {}", context);
+    prop_assert_eq!(
+        store.byte_count(),
+        model.values().map(|(d, _)| d.len() as u64).sum::<u64>(),
+        "byte accounting diverged {}",
+        context
+    );
+    for (seq, (data, marked)) in model {
+        let meta = store.meta(fid(*seq)).unwrap();
+        prop_assert_eq!(meta.len as usize, data.len(), "len of {} {}", seq, context);
+        prop_assert_eq!(meta.marked, *marked, "marked of {} {}", seq, context);
+        prop_assert_eq!(
+            &store.read(fid(*seq), 0, meta.len).unwrap(),
+            data,
+            "contents of {} {}",
+            seq,
+            context
+        );
+    }
+    let newest_marked = model.iter().filter(|(_, (_, m))| *m).map(|(s, _)| *s).max();
+    prop_assert_eq!(
+        store.last_marked(ClientId::new(1)).map(|f| f.seq() as u8),
+        newest_marked,
+        "marked index diverged {}",
+        context
+    );
+    Ok(())
+}
+
+fn run_ops(ops: &[Op], durability: Durability) -> Result<(), TestCaseError> {
+    let dir = TempDir::new();
+    let mut model: HashMap<u8, (Vec<u8>, bool)> = HashMap::new();
+    let mut store = FileStore::open_with_durability(&dir.0, 0, durability).unwrap();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Store { seq, marked, len } => {
+                // Content is a function of (seq, generation) so stale data
+                // from a delete+restore cycle cannot masquerade as fresh.
+                let generation = i as u8;
+                let data: Vec<u8> = (0..*len)
+                    .map(|j| seq.wrapping_mul(31) ^ generation ^ (j as u8))
+                    .collect();
+                match store.store(fid(*seq), data.clone().into(), *marked) {
+                    Ok(()) => {
+                        prop_assert!(!model.contains_key(seq), "double-store acked at op {i}");
+                        model.insert(*seq, (data, *marked));
+                    }
+                    Err(_) => prop_assert!(model.contains_key(seq), "spurious reject at op {i}"),
+                }
+            }
+            Op::Delete { seq } => {
+                let deleted = store.delete(fid(*seq)).is_ok();
+                prop_assert_eq!(deleted, model.remove(seq).is_some(), "delete at op {}", i);
+            }
+            Op::Restart => {
+                drop(store);
+                store = FileStore::open_with_durability(&dir.0, 0, durability).unwrap();
+                assert_matches_model(&store, &model, &format!("after restart at op {i}"))?;
+            }
+        }
+    }
+    // Final restart: the full history must be replayable.
+    drop(store);
+    let store = FileStore::open_with_durability(&dir.0, 0, durability).unwrap();
+    assert_matches_model(&store, &model, "at end of run")?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_model_agreement_strict(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        run_ops(&ops, Durability::Strict)?;
+    }
+
+    #[test]
+    fn prop_model_agreement_group(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        run_ops(&ops, Durability::Group(Duration::from_millis(1)))?;
+    }
+}

@@ -1,0 +1,115 @@
+//! Group commit accounting: N concurrent stores must complete with fewer
+//! journal fsyncs than stores (batching actually happened), and the
+//! `server.journal_fsync` / `server.journal_batch` metrics must agree
+//! with the store's own instance counters.
+//!
+//! Kept in its own integration binary so the global metrics registry is
+//! not perturbed by unrelated tests running in the same process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use swarm_server::{Durability, FileStore, FragmentStore};
+use swarm_types::{ClientId, FragmentId};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let n = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let path = std::env::temp_dir().join(format!("swarm-gc-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn group_commit_issues_at_most_one_fsync_per_batch() {
+    let threads: u64 = 16;
+    let per: u64 = 4;
+    let stores = threads * per;
+
+    let dir = TempDir::new();
+    let store =
+        FileStore::open_with_durability(&dir.0, 0, Durability::Group(Duration::from_millis(5)))
+            .unwrap();
+
+    let before = swarm_metrics::snapshot();
+    let fsyncs_before = before.counter("server.journal_fsync");
+    let batches_before = before
+        .histogram("server.journal_batch")
+        .map(|h| (h.count, h.sum_us))
+        .unwrap_or((0, 0));
+
+    let barrier = Barrier::new(threads as usize);
+    let next = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let store = &store;
+            let barrier = &barrier;
+            let next = &next;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..per {
+                    let seq = next.fetch_add(1, Ordering::Relaxed);
+                    let fid = FragmentId::new(ClientId::new(9), seq);
+                    store
+                        .store(fid, vec![seq as u8; 256].into(), false)
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    // Batching happened: strictly fewer fsyncs than acked stores. The
+    // barrier makes all 16 threads contend, so in practice the ratio is
+    // far below 1; the assertion only pins the contract.
+    let fsyncs = store.journal_fsyncs();
+    let batches = store.journal_batches();
+    assert!(
+        fsyncs < stores,
+        "no batching: {fsyncs} fsyncs for {stores} stores"
+    );
+    assert_eq!(
+        fsyncs, batches,
+        "every journal fsync must correspond to exactly one batch"
+    );
+
+    // The global metrics agree with the instance counters: one
+    // `server.journal_fsync` tick and one `server.journal_batch` sample
+    // per batch, and the batch sizes sum to the number of stores.
+    let after = swarm_metrics::snapshot();
+    assert_eq!(
+        after.counter("server.journal_fsync") - fsyncs_before,
+        fsyncs,
+        "global fsync counter diverged from instance counter"
+    );
+    let hist = after
+        .histogram("server.journal_batch")
+        .expect("batch histogram must exist after stores");
+    assert_eq!(
+        hist.count - batches_before.0,
+        batches,
+        "batch histogram count diverged"
+    );
+    assert_eq!(
+        hist.sum_us - batches_before.1,
+        stores,
+        "batch sizes must sum to the number of acked stores"
+    );
+
+    // Nothing was lost to batching: all fragments durable after reopen.
+    drop(store);
+    let reopened = FileStore::open_with(&dir.0, 0, true).unwrap();
+    assert_eq!(reopened.fragment_count(), stores);
+}
