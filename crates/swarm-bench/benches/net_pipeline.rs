@@ -1,0 +1,95 @@
+//! Client pipelining benchmark: N concurrent callers against one TCP
+//! server, blocking runtime (one socket + one in-flight call per caller)
+//! versus the epoll/mux runtime (all callers multiplexed on one socket,
+//! N calls in flight). Rows:
+//!
+//! * `blocking/1_caller`, `blocking/8_callers` — thread-per-connection
+//!   stack; 8 callers cost 8 sockets and 8 parked server workers;
+//! * `mux/1_caller`, `mux/8_callers` — request-id pipelining; 8 callers
+//!   share one socket, and throughput comes from overlapping requests on
+//!   it rather than from more connections.
+//!
+//! The interesting comparison is `8_callers`: mux keeps per-connection
+//! server state constant while the blocking rows scale it linearly.
+//! Linux-only rows are skipped elsewhere (the reactor needs epoll).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swarm_net::tcp::{ServerConfig, TcpServer, TcpTransport};
+use swarm_net::{Request, RequestHandler, Response, Runtime, Transport};
+use swarm_types::{ClientId, ServerId};
+
+const CALLS_PER_CALLER: usize = 64;
+const PAYLOAD: usize = 4 << 10;
+
+/// Answers every request with a fixed 4 KiB payload — network cost with
+/// no storage behind it.
+struct FixedData(swarm_types::Bytes);
+
+impl RequestHandler for FixedData {
+    fn handle(&self, _client: ClientId, _request: Request) -> Response {
+        Response::Data(self.0.share())
+    }
+}
+
+fn spawn_server(runtime: Runtime) -> TcpServer {
+    TcpServer::spawn_with_config(
+        ServerId::new(0),
+        "127.0.0.1:0",
+        Arc::new(FixedData(vec![7u8; PAYLOAD].into())),
+        ServerConfig {
+            runtime,
+            workers: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn bench server")
+}
+
+/// `callers` threads issue `CALLS_PER_CALLER` pings each and join.
+fn drive(transport: &Arc<TcpTransport>, callers: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..callers {
+            let transport = transport.clone();
+            s.spawn(move || {
+                let mut conn = transport
+                    .connect(ServerId::new(0), ClientId::new(1))
+                    .expect("connect");
+                for _ in 0..CALLS_PER_CALLER {
+                    match conn.call(&Request::Ping).expect("call") {
+                        Response::Data(_) => {}
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_pipelining(c: &mut Criterion) {
+    let mut rows: Vec<(&str, Runtime)> = vec![("blocking", Runtime::Blocking)];
+    if cfg!(target_os = "linux") {
+        rows.push(("mux", Runtime::Epoll));
+    }
+    for (label, runtime) in rows {
+        let server = spawn_server(runtime);
+        let transport = Arc::new(TcpTransport::with_servers([(
+            ServerId::new(0),
+            server.addr(),
+        )]));
+        transport.set_runtime(runtime);
+        let mut group = c.benchmark_group(format!("net_pipeline/{label}"));
+        for callers in [1usize, 8] {
+            group.throughput(Throughput::Elements((callers * CALLS_PER_CALLER) as u64));
+            group.sample_size(10);
+            group.bench_function(format!("{callers}_callers"), |b| {
+                b.iter(|| drive(&transport, callers));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipelining);
+criterion_main!(benches);

@@ -27,13 +27,13 @@ struct Args {
 }
 
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
-[--transport mem|tcp|both] [--store mem|file|both] [--events N] \
+[--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] [--events N] \
 [--servers N] [--dump] [--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seeds: vec![0],
-        transports: vec![TransportKind::Mem, TransportKind::Tcp],
+        transports: TransportKind::all(),
         stores: vec![StoreKind::Mem],
         events: 64,
         servers: 4,
@@ -66,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--transport" => {
                 let v = value("--transport")?;
                 args.transports = match v.as_str() {
-                    "both" => vec![TransportKind::Mem, TransportKind::Tcp],
+                    "both" | "all" => TransportKind::all(),
                     one => vec![one.parse()?],
                 };
             }

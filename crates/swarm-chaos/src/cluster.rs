@@ -23,8 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use swarm_net::tcp::{TcpServer, TcpTransport};
-use swarm_net::{FaultHandler, FaultPlan, FaultTransport, MemTransport, RequestHandler, Transport};
+use swarm_net::tcp::{ServerConfig, TcpServer, TcpTransport};
+use swarm_net::{
+    FaultHandler, FaultPlan, FaultTransport, MemTransport, RequestHandler, Runtime, Transport,
+};
 use swarm_server::{Durability, FileStore, FragmentStore, MemStore, StorageServer};
 use swarm_types::{Result, ServerId};
 
@@ -33,15 +35,33 @@ use swarm_types::{Result, ServerId};
 pub enum TransportKind {
     /// In-process dispatch ([`MemTransport`]).
     Mem,
-    /// Real sockets ([`TcpTransport`] + one [`TcpServer`] per member).
-    Tcp,
+    /// Real sockets ([`TcpTransport`] + one [`TcpServer`] per member),
+    /// with both server and client on the given runtime — so the chaos
+    /// matrix covers the blocking and epoll stacks independently.
+    Tcp(Runtime),
+}
+
+impl TransportKind {
+    /// Real sockets on the platform-default runtime.
+    pub fn tcp() -> TransportKind {
+        TransportKind::Tcp(Runtime::default_for_platform())
+    }
+
+    /// Every kind worth running on this platform (the CI matrix).
+    pub fn all() -> Vec<TransportKind> {
+        let mut kinds = vec![TransportKind::Mem, TransportKind::Tcp(Runtime::Blocking)];
+        if cfg!(target_os = "linux") {
+            kinds.push(TransportKind::Tcp(Runtime::Epoll));
+        }
+        kinds
+    }
 }
 
 impl fmt::Display for TransportKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransportKind::Mem => write!(f, "mem"),
-            TransportKind::Tcp => write!(f, "tcp"),
+            TransportKind::Tcp(runtime) => write!(f, "tcp-{runtime}"),
         }
     }
 }
@@ -52,8 +72,12 @@ impl FromStr for TransportKind {
     fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
         match s {
             "mem" => Ok(TransportKind::Mem),
-            "tcp" => Ok(TransportKind::Tcp),
-            other => Err(format!("unknown transport {other:?} (want mem|tcp)")),
+            "tcp" => Ok(TransportKind::tcp()),
+            "tcp-blocking" => Ok(TransportKind::Tcp(Runtime::Blocking)),
+            "tcp-epoll" => Ok(TransportKind::Tcp(Runtime::Epoll)),
+            other => Err(format!(
+                "unknown transport {other:?} (want mem|tcp|tcp-blocking|tcp-epoll)"
+            )),
         }
     }
 }
@@ -203,11 +227,13 @@ impl Cluster {
                     _store_dir: store_dir,
                 })
             }
-            TransportKind::Tcp => {
+            TransportKind::Tcp(runtime) => {
                 let tcp = Arc::new(TcpTransport::new());
                 // Chaos schedules sever connections on purpose; a short
                 // timeout keeps a lost ack from stalling the run.
                 tcp.set_call_timeout(Some(Duration::from_secs(2)));
+                // Client and server both run the kind's runtime.
+                tcp.set_runtime(runtime);
                 let faults = Arc::new(FaultTransport::new(tcp.clone()));
                 // Truncations cross the wire for real (see TcpServer::
                 // spawn_with_faults) instead of being simulated client-side.
@@ -219,11 +245,15 @@ impl Cluster {
                     let plan = faults.plan(id);
                     let handler: Arc<dyn RequestHandler> =
                         Arc::new(FaultHandler::new(storage.clone(), plan.clone()));
-                    let srv = TcpServer::spawn_with_faults(
+                    let srv = TcpServer::spawn_with_config(
                         id,
                         "127.0.0.1:0",
                         handler,
-                        Some(plan.clone()),
+                        ServerConfig {
+                            runtime,
+                            faults: Some(plan.clone()),
+                            ..ServerConfig::default()
+                        },
                     )?;
                     tcp.add_server(id, srv.addr());
                     slots.push(Slot {
@@ -291,13 +321,20 @@ impl Cluster {
     pub fn restart(&mut self, index: u32) -> Result<()> {
         let slot = &mut self.slots[index as usize];
         if let Some(tcp) = &self.tcp {
+            let TransportKind::Tcp(runtime) = self.kind else {
+                unreachable!("tcp transport implies a Tcp kind");
+            };
             let handler: Arc<dyn RequestHandler> =
                 Arc::new(FaultHandler::new(slot.storage.clone(), slot.plan.clone()));
-            let srv = TcpServer::spawn_with_faults(
+            let srv = TcpServer::spawn_with_config(
                 slot.id,
                 "127.0.0.1:0",
                 handler,
-                Some(slot.plan.clone()),
+                ServerConfig {
+                    runtime,
+                    faults: Some(slot.plan.clone()),
+                    ..ServerConfig::default()
+                },
             )?;
             tcp.add_server(slot.id, srv.addr());
             slot.tcp_server = Some(srv);
@@ -353,12 +390,17 @@ mod tests {
 
     #[test]
     fn tcp_kill_restart_cycle_reuses_the_store() {
-        let mut c = Cluster::new(TransportKind::Tcp, 3).unwrap();
-        assert_eq!(ping_all(&c), vec![true, true, true]);
-        c.kill(2);
-        assert_eq!(ping_all(&c), vec![true, true, false]);
-        c.restart(2).unwrap();
-        assert_eq!(ping_all(&c), vec![true, true, true]);
+        for kind in TransportKind::all() {
+            if kind == TransportKind::Mem {
+                continue;
+            }
+            let mut c = Cluster::new(kind, 3).unwrap();
+            assert_eq!(ping_all(&c), vec![true, true, true], "{kind}");
+            c.kill(2);
+            assert_eq!(ping_all(&c), vec![true, true, false], "{kind}");
+            c.restart(2).unwrap();
+            assert_eq!(ping_all(&c), vec![true, true, true], "{kind}");
+        }
     }
 
     #[test]

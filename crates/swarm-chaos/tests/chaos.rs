@@ -35,23 +35,32 @@ fn mem_runs_pass_and_replay_identically() {
 }
 
 #[test]
-fn tcp_run_matches_mem_verdict_and_stats() {
+fn tcp_runs_match_mem_verdict_and_stats() {
     let schedule = Schedule::generate(11, &cfg());
     let mem = Runner::run(&schedule, TransportKind::Mem).unwrap();
-    let tcp = Runner::run(&schedule, TransportKind::Tcp).unwrap();
     assert!(
         mem.passed(),
         "seed 11 lost acked data on mem: {:?}",
         mem.failures
     );
-    assert!(
-        tcp.passed(),
-        "seed 11 lost acked data on tcp: {:?}",
-        tcp.failures
-    );
-    assert_eq!(mem.hash, tcp.hash, "schedule must be transport-independent");
-    assert_eq!(mem.acked_blocks, tcp.acked_blocks);
-    assert_eq!(mem.verified_reads, tcp.verified_reads);
+    // Both socket runtimes must agree with the in-process baseline.
+    for kind in TransportKind::all() {
+        if kind == TransportKind::Mem {
+            continue;
+        }
+        let tcp = Runner::run(&schedule, kind).unwrap();
+        assert!(
+            tcp.passed(),
+            "seed 11 lost acked data on {kind}: {:?}",
+            tcp.failures
+        );
+        assert_eq!(
+            mem.hash, tcp.hash,
+            "schedule must be transport-independent ({kind})"
+        );
+        assert_eq!(mem.acked_blocks, tcp.acked_blocks, "{kind}");
+        assert_eq!(mem.verified_reads, tcp.verified_reads, "{kind}");
+    }
 }
 
 #[test]

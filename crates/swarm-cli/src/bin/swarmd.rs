@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! swarmd --id 0 --listen 127.0.0.1:7700 --dir /var/lib/swarm/0
-//!        [--capacity N]        # fragment slots (0 = unbounded)
-//!        [--cache N]           # in-memory fragment read cache
-//!        [--mem]               # memory-backed store (testing)
-//!        [--durability MODE]   # strict | group[:millis] | none
-//!        [--no-fsync]          # legacy alias for --durability none
+//!        [--capacity N]          # fragment slots (0 = unbounded)
+//!        [--cache N]             # in-memory fragment read cache
+//!        [--mem]                 # memory-backed store (testing)
+//!        [--durability MODE]     # strict | group[:millis] | none
+//!        [--no-fsync]            # legacy alias for --durability none
+//!        [--runtime R]           # blocking | epoll (default: epoll on linux)
+//!        [--read-deadline-ms N]  # reap silent connections after N ms
+//!                                # (0 = never; default 30000)
 //! ```
 //!
 //! The server is exactly the paper's §2.3 component: a fragment
@@ -15,9 +18,11 @@
 //! recovers its fragment map from the journal on restart.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use swarm_cli::Args;
-use swarm_net::tcp::TcpServer;
+use swarm_net::tcp::{ServerConfig, TcpServer, DEFAULT_READ_DEADLINE};
+use swarm_net::Runtime;
 use swarm_server::{Durability, FileStore, MemStore, StorageServer};
 use swarm_types::ServerId;
 
@@ -35,6 +40,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let capacity = args.get_u64("capacity", 0)?;
     let cache = args.get_u64("cache", 0)? as usize;
 
+    let mut config = ServerConfig::default();
+    let runtime = args.get_or("runtime", "");
+    if !runtime.is_empty() {
+        config.runtime = runtime.parse::<Runtime>()?;
+    }
+    let deadline_ms = args.get_u64("read-deadline-ms", DEFAULT_READ_DEADLINE.as_millis() as u64)?;
+    config.read_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+
     let server = if args.get_or("mem", "false") == "true" {
         let store = if capacity > 0 {
             MemStore::with_capacity(capacity)
@@ -45,6 +58,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             id,
             &listen,
             StorageServer::new(id, store).with_read_cache(cache),
+            config,
         )?
     } else {
         let dir = args.require("dir")?;
@@ -58,10 +72,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             id,
             &listen,
             StorageServer::new(id, store).with_read_cache(cache),
+            config,
         )?
     };
 
-    println!("swarmd {} listening on {}", id.raw(), server.addr());
+    // The bound address must stay the final token: wrappers (and the
+    // integration tests) parse it off the end of this line.
+    println!(
+        "swarmd {} ({} runtime) listening on {}",
+        id.raw(),
+        server.runtime(),
+        server.addr()
+    );
     // Flush stdout so wrappers (and the integration tests) can read the
     // bound address immediately.
     use std::io::Write;
@@ -77,7 +99,8 @@ fn spawn<S: swarm_server::FragmentStore + 'static>(
     id: ServerId,
     listen: &str,
     server: StorageServer<S>,
+    config: ServerConfig,
 ) -> Result<TcpServer, Box<dyn std::error::Error>> {
     let handler: Arc<StorageServer<S>> = server.into_shared();
-    Ok(TcpServer::spawn(id, listen, handler)?)
+    Ok(TcpServer::spawn_with_config(id, listen, handler, config)?)
 }

@@ -69,6 +69,159 @@ pub fn write_frame_vectored<W: Write>(mut w: W, head: &[u8], tail: &[u8]) -> Res
     Ok(())
 }
 
+/// Builds the 12-byte frame header for a payload given as scattered
+/// `parts`, without concatenating them.
+///
+/// The epoll paths queue frames as segment lists (header `Vec` + shared
+/// payload `Bytes`) and write them with plain non-blocking `write` calls;
+/// this helper produces the exact header `write_frame_vectored` would
+/// have emitted for the same bytes.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidArgument`] if the combined payload
+/// exceeds [`MAX_FRAME_LEN`].
+pub fn frame_header_for(parts: &[&[u8]]) -> Result<[u8; 12]> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    if len > MAX_FRAME_LEN {
+        return Err(SwarmError::invalid(format!(
+            "frame payload {len} exceeds {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut crc = Crc32::new();
+    for p in parts {
+        crc.update(p);
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&(len as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc.finish().to_le_bytes());
+    Ok(header)
+}
+
+/// Outcome of one [`FrameReader::read_from`] pump.
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// A whole frame arrived; payload verified against its checksum.
+    Frame(Vec<u8>),
+    /// The reader would block; try again on the next readiness event.
+    Blocked,
+    /// Clean end-of-stream on a frame boundary.
+    Eof,
+}
+
+/// Incremental frame decoder for non-blocking streams.
+///
+/// Where [`read_frame`] parks the thread until a whole frame arrives, a
+/// `FrameReader` consumes whatever bytes the socket has and parks the
+/// *state* instead: header-so-far, then payload-so-far, resuming exactly
+/// where it stopped on the next readiness event. One instance per
+/// connection; it carries at most one partial frame.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 12],
+    header_filled: usize,
+    /// Payload length/CRC parsed from the header (`None` until complete).
+    want: Option<(usize, u32)>,
+    payload: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A fresh decoder at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when mid-frame (a reaped connection with `in_frame` lost data).
+    pub fn in_frame(&self) -> bool {
+        self.header_filled > 0 || self.want.is_some()
+    }
+
+    /// Pumps bytes from `r` until a frame completes, the reader would
+    /// block, or the stream ends. Returns at most one frame per call;
+    /// callers drain by looping until [`FrameProgress::Blocked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::Corrupt`] on bad magic, oversized length, or
+    /// checksum mismatch, and [`SwarmError::Io`] on reader failure —
+    /// including EOF mid-frame, which surfaces as `UnexpectedEof`.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> Result<FrameProgress> {
+        loop {
+            if self.want.is_none() {
+                match r.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) => {
+                        if self.header_filled == 0 {
+                            return Ok(FrameProgress::Eof);
+                        }
+                        return Err(eof_mid_frame(self.header_filled, 12));
+                    }
+                    Ok(n) => self.header_filled += n,
+                    Err(e) => match e.kind() {
+                        std::io::ErrorKind::WouldBlock => return Ok(FrameProgress::Blocked),
+                        std::io::ErrorKind::Interrupted => continue,
+                        _ => return Err(SwarmError::Io(e)),
+                    },
+                }
+                if self.header_filled < 12 {
+                    continue;
+                }
+                let magic = u32::from_le_bytes(self.header[0..4].try_into().unwrap());
+                if magic != FRAME_MAGIC {
+                    return Err(SwarmError::corrupt(format!(
+                        "bad frame magic {magic:#010x}"
+                    )));
+                }
+                let len = u32::from_le_bytes(self.header[4..8].try_into().unwrap()) as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(SwarmError::corrupt(format!(
+                        "frame length {len} exceeds {MAX_FRAME_LEN}"
+                    )));
+                }
+                let crc = u32::from_le_bytes(self.header[8..12].try_into().unwrap());
+                self.want = Some((len, crc));
+                self.payload = Vec::with_capacity(len.min(MAX_FRAME_LEN));
+            }
+
+            let (len, want_crc) = self.want.unwrap();
+            while self.payload.len() < len {
+                // Bounded stack buffer: appends without pre-zeroing the
+                // whole (up to 16 MiB) payload allocation.
+                let mut chunk = [0u8; 16 * 1024];
+                let room = (len - self.payload.len()).min(chunk.len());
+                match r.read(&mut chunk[..room]) {
+                    Ok(0) => return Err(eof_mid_frame(self.payload.len(), len)),
+                    Ok(n) => self.payload.extend_from_slice(&chunk[..n]),
+                    Err(e) => match e.kind() {
+                        std::io::ErrorKind::WouldBlock => return Ok(FrameProgress::Blocked),
+                        std::io::ErrorKind::Interrupted => continue,
+                        _ => return Err(SwarmError::Io(e)),
+                    },
+                }
+            }
+
+            let mut got_crc = Crc32::new();
+            got_crc.update(&self.payload);
+            let got_crc = got_crc.finish();
+            if got_crc != want_crc {
+                return Err(SwarmError::corrupt(format!(
+                    "frame checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+                )));
+            }
+            self.header_filled = 0;
+            self.want = None;
+            return Ok(FrameProgress::Frame(std::mem::take(&mut self.payload)));
+        }
+    }
+}
+
+fn eof_mid_frame(got: usize, want: usize) -> SwarmError {
+    SwarmError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        format!("frame truncated: wanted {want} bytes, got {got}"),
+    ))
+}
+
 /// Reads one frame from `r`, verifying magic and checksum.
 ///
 /// # Errors
@@ -202,6 +355,96 @@ mod tests {
         let mut b = Vec::new();
         write_frame_vectored(&mut b, b"solo", b"").unwrap();
         assert_eq!(a, b);
+    }
+
+    /// A reader that yields its input in `chunk`-byte dribbles with a
+    /// `WouldBlock` between each, like a slow non-blocking socket.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_header_for_matches_write_frame() {
+        let head = b"header";
+        let tail = b"payload bytes";
+        let mut wire = Vec::new();
+        write_frame_vectored(&mut wire, head, tail).unwrap();
+        let header = frame_header_for(&[head, tail]).unwrap();
+        assert_eq!(&wire[..12], &header);
+        assert!(frame_header_for(&[&[0u8; MAX_FRAME_LEN], b"x"]).is_err());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_across_would_blocks() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first frame payload").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut r = Dribble {
+            data: wire,
+            pos: 0,
+            chunk: 3,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_from(&mut r).unwrap() {
+                FrameProgress::Frame(f) => frames.push(f),
+                FrameProgress::Blocked => continue,
+                FrameProgress::Eof => break,
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], b"first frame payload");
+        assert_eq!(frames[1], b"second");
+        assert!(!reader.in_frame());
+    }
+
+    #[test]
+    fn frame_reader_rejects_corruption_and_mid_frame_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff;
+        let mut reader = FrameReader::new();
+        let err = reader.read_from(&mut Cursor::new(&wire)).unwrap_err();
+        assert!(matches!(err, SwarmError::Corrupt(_)), "{err}");
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut reader = FrameReader::new();
+        let mut cur = Cursor::new(&wire);
+        let err = loop {
+            match reader.read_from(&mut cur) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SwarmError::Io(_)), "{err}");
+        let mut empty = Cursor::new(Vec::new());
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_from(&mut empty).unwrap(),
+            FrameProgress::Eof
+        ));
     }
 
     #[test]

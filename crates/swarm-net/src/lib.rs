@@ -27,8 +27,10 @@ pub mod fault;
 pub mod frame;
 pub mod handler;
 pub mod mem;
+mod mux;
 pub mod pool;
 pub mod proto;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 pub mod workpool;
@@ -39,5 +41,6 @@ pub use handler::RequestHandler;
 pub use mem::MemTransport;
 pub use pool::ConnectionPool;
 pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
+pub use reactor::Runtime;
 pub use transport::{broadcast, Connection, Transport};
 pub use workpool::WorkerPool;

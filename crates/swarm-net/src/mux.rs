@@ -1,0 +1,429 @@
+//! Request-ID multiplexing: many in-flight RPCs on one connection.
+//!
+//! The blocking client dedicates a socket (and a parked thread) to each
+//! in-flight call, which is why the connection pool and the parallel read
+//! engine need several sockets per server. A multiplexed channel carries
+//! any number of concurrent calls on a single socket: each request frame
+//! is prefixed with a 64-bit request id, the server echoes the id on the
+//! response frame, and the channel matches responses to waiting callers
+//! by id — order on the wire no longer matters.
+//!
+//! Negotiation happens in the handshake. A classic hello frame is exactly
+//! the 4-byte [`ClientId`] encoding; a mux hello is [`MUX_HELLO_MAGIC`]
+//! followed by the client id (8 bytes), which a classic frame can never
+//! be. Servers answer both with the plain [`ServerId`] frame, so either
+//! side can run either runtime.
+//!
+//! A mux frame payload is `id:u64le ++ message` in both directions.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use swarm_types::{Bytes, ClientId, Decode, Encode, Result, ServerId, SwarmError};
+
+use crate::frame::{frame_header_for, FrameProgress, FrameReader};
+use crate::reactor::{Ctx, Handle, Ready, Source};
+
+/// First four bytes of a multiplexed hello frame: `"MUX1"` little-endian.
+/// A classic hello is a bare 4-byte client id, so an 8-byte frame opening
+/// with this magic is unambiguous.
+pub(crate) const MUX_HELLO_MAGIC: [u8; 4] = *b"MUX1";
+
+/// Length of the request-id prefix on every mux frame payload.
+const MUX_ID_PREFIX: usize = 8;
+
+/// Builds the hello frame payload announcing a multiplexed session.
+pub(crate) fn encode_mux_hello(client: ClientId) -> Vec<u8> {
+    let mut hello = Vec::with_capacity(8);
+    hello.extend_from_slice(&MUX_HELLO_MAGIC);
+    let mut w = swarm_types::ByteWriter::new();
+    client.encode(&mut w);
+    hello.extend_from_slice(w.as_slice());
+    hello
+}
+
+/// Decodes a hello frame payload: `(client, is_mux)`.
+///
+/// # Errors
+///
+/// Returns a decode error if the frame is neither a classic client-id
+/// hello nor a well-formed mux hello.
+pub(crate) fn parse_hello(frame: &[u8]) -> Result<(ClientId, bool)> {
+    if frame.len() >= 8 && frame[..4] == MUX_HELLO_MAGIC {
+        let client = ClientId::decode_all(&frame[4..])?;
+        return Ok((client, true));
+    }
+    Ok((ClientId::decode_all(frame)?, false))
+}
+
+/// One segment of queued output: either an owned header or a shared
+/// payload view (a `Store`'s fragment bytes travel to the socket without
+/// ever being copied into a contiguous message).
+pub(crate) enum Seg {
+    /// Owned bytes (frame header + message header).
+    Owned(Vec<u8>),
+    /// Shared payload view.
+    Shared(Bytes),
+}
+
+impl Seg {
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(b) => b,
+        }
+    }
+}
+
+/// A waiting caller's slot: `None` until the response (or failure) lands.
+type PendingSlot = Option<Result<Bytes>>;
+
+struct MuxState {
+    next_id: u64,
+    outbox: VecDeque<Seg>,
+    pending: HashMap<u64, PendingSlot>,
+    /// Set when the socket died; every call fails fast afterwards.
+    dead: bool,
+    /// High-water mark of concurrently pending calls (diagnostic).
+    inflight_peak: usize,
+}
+
+/// The caller-facing half of a multiplexed connection: assign an id,
+/// queue the frame, wake the reactor, wait on the condvar for the
+/// response with that id.
+pub(crate) struct MuxChannel {
+    server: ServerId,
+    state: Mutex<MuxState>,
+    cv: Condvar,
+    handle: OnceLock<Handle>,
+}
+
+impl MuxChannel {
+    pub(crate) fn new(server: ServerId) -> Arc<MuxChannel> {
+        Arc::new(MuxChannel {
+            server,
+            state: Mutex::new(MuxState {
+                next_id: 1,
+                outbox: VecDeque::new(),
+                pending: HashMap::new(),
+                dead: false,
+                inflight_peak: 0,
+            }),
+            cv: Condvar::new(),
+            handle: OnceLock::new(),
+        })
+    }
+
+    pub(crate) fn set_handle(&self, handle: Handle) {
+        let _ = self.handle.set(handle);
+    }
+
+    /// True until the underlying socket fails.
+    pub(crate) fn is_alive(&self) -> bool {
+        !self.state.lock().dead
+    }
+
+    /// High-water mark of concurrently in-flight calls on this channel.
+    pub(crate) fn inflight_peak(&self) -> usize {
+        self.state.lock().inflight_peak
+    }
+
+    /// Marks the channel dead and asks the reactor to drop its source,
+    /// closing the socket. Pending calls fail with `ServerUnavailable`.
+    pub(crate) fn shutdown(&self) {
+        self.fail_all();
+        if let Some(h) = self.handle.get() {
+            h.close();
+        }
+    }
+
+    /// Fails every pending call and poisons the channel.
+    pub(crate) fn fail_all(&self) {
+        let mut st = self.state.lock();
+        st.dead = true;
+        st.outbox.clear();
+        for slot in st.pending.values_mut() {
+            if slot.is_none() {
+                *slot = Some(Err(SwarmError::ServerUnavailable(self.server)));
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Ships `header ++ payload` as one request frame and blocks until the
+    /// response with the matching id arrives, the timeout lapses, or the
+    /// channel dies.
+    pub(crate) fn call(
+        &self,
+        header: &[u8],
+        payload: &Bytes,
+        timeout: Option<Duration>,
+    ) -> Result<Bytes> {
+        let id = {
+            let mut st = self.state.lock();
+            if st.dead {
+                return Err(SwarmError::ServerUnavailable(self.server));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            let id_bytes = id.to_le_bytes();
+            let fh = frame_header_for(&[&id_bytes, header, payload])?;
+            let mut head = Vec::with_capacity(12 + MUX_ID_PREFIX + header.len());
+            head.extend_from_slice(&fh);
+            head.extend_from_slice(&id_bytes);
+            head.extend_from_slice(header);
+            st.outbox.push_back(Seg::Owned(head));
+            if !payload.is_empty() {
+                st.outbox.push_back(Seg::Shared(payload.share()));
+            }
+            st.pending.insert(id, None);
+            let inflight = st.pending.len();
+            if inflight > st.inflight_peak {
+                st.inflight_peak = inflight;
+            }
+            id
+        };
+        if let Some(h) = self.handle.get() {
+            h.notify();
+        }
+
+        let mut st = self.state.lock();
+        loop {
+            if let Some(Some(_)) = st.pending.get(&id) {
+                // Response (or failure) landed; take it.
+                return st.pending.remove(&id).flatten().expect("slot filled");
+            }
+            if st.dead {
+                st.pending.remove(&id);
+                return Err(SwarmError::ServerUnavailable(self.server));
+            }
+            match timeout {
+                None => self.cv.wait(&mut st),
+                Some(t) => {
+                    // The shim's wait_for returns true on timeout.
+                    if self.cv.wait_for(&mut st, t) {
+                        if let Some(Some(_)) = st.pending.get(&id) {
+                            return st.pending.remove(&id).flatten().expect("slot filled");
+                        }
+                        // Abandon the call; a late response finds no slot
+                        // and is dropped by the source.
+                        st.pending.remove(&id);
+                        return Err(SwarmError::ServerUnavailable(self.server));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reactor half of a multiplexed connection: drains the channel's
+/// outbox to the socket and routes response frames back by id.
+pub(crate) struct MuxSource {
+    stream: TcpStream,
+    channel: Arc<MuxChannel>,
+    reader: FrameReader,
+    /// Segments taken from the channel outbox, front partially written.
+    local: VecDeque<Seg>,
+    front_off: usize,
+}
+
+impl MuxSource {
+    pub(crate) fn new(stream: TcpStream, channel: Arc<MuxChannel>) -> MuxSource {
+        MuxSource {
+            stream,
+            channel,
+            reader: FrameReader::new(),
+            local: VecDeque::new(),
+            front_off: 0,
+        }
+    }
+
+    /// Moves queued segments from the shared outbox into the local write
+    /// queue (shrinking the time the channel lock is held to a swap).
+    fn take_outbox(&mut self) {
+        let mut st = self.channel.state.lock();
+        while let Some(seg) = st.outbox.pop_front() {
+            self.local.push_back(seg);
+        }
+    }
+
+    /// Writes until the socket would block or the queues drain. Returns
+    /// false on a fatal socket error.
+    fn pump_write(&mut self) -> bool {
+        loop {
+            if self.local.is_empty() {
+                self.take_outbox();
+                if self.local.is_empty() {
+                    return true;
+                }
+            }
+            let front = &self.local[0];
+            let slice = &front.as_slice()[self.front_off..];
+            match (&self.stream).write(slice) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    crate::tcp::metrics().client_bytes_out.add(n as u64);
+                    self.front_off += n;
+                    if self.front_off == front.as_slice().len() {
+                        self.local.pop_front();
+                        self.front_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Reads response frames and completes their pending calls. Returns
+    /// false on EOF, a fatal socket error, or a corrupt stream.
+    fn pump_read(&mut self) -> bool {
+        loop {
+            match self.reader.read_from(&mut &self.stream) {
+                Ok(FrameProgress::Frame(frame)) => {
+                    crate::tcp::metrics()
+                        .client_bytes_in
+                        .add(frame.len() as u64);
+                    if frame.len() < MUX_ID_PREFIX {
+                        return false; // not a mux frame: protocol breach
+                    }
+                    let id = u64::from_le_bytes(frame[..MUX_ID_PREFIX].try_into().unwrap());
+                    let body = Bytes::from(frame).slice(MUX_ID_PREFIX..);
+                    let mut st = self.channel.state.lock();
+                    if let Some(slot) = st.pending.get_mut(&id) {
+                        *slot = Some(Ok(body));
+                        drop(st);
+                        self.channel.cv.notify_all();
+                    }
+                    // No slot: the caller timed out and abandoned the id.
+                }
+                Ok(FrameProgress::Blocked) => return true,
+                Ok(FrameProgress::Eof) | Err(_) => return false,
+            }
+        }
+    }
+}
+
+impl Source for MuxSource {
+    fn fd(&self) -> epoll::RawFd {
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::fd::AsRawFd;
+            self.stream.as_raw_fd()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            -1
+        }
+    }
+
+    fn interest(&self) -> epoll::Interest {
+        let pending_output = !self.local.is_empty() || !self.channel.state.lock().outbox.is_empty();
+        epoll::Interest {
+            readable: true,
+            writable: pending_output,
+        }
+    }
+
+    fn on_ready(&mut self, readable: bool, writable: bool, _ctx: &mut Ctx<'_>) -> Ready {
+        if writable && !self.pump_write() {
+            self.channel.fail_all();
+            return Ready::Close;
+        }
+        if readable && !self.pump_read() {
+            self.channel.fail_all();
+            return Ready::Close;
+        }
+        Ready::Continue
+    }
+
+    fn on_notify(&mut self, _ctx: &mut Ctx<'_>) -> Ready {
+        if !self.pump_write() {
+            self.channel.fail_all();
+            return Ready::Close;
+        }
+        Ready::Continue
+    }
+}
+
+impl Drop for MuxSource {
+    fn drop(&mut self) {
+        // The reactor dropped us (shutdown or Close): callers must not
+        // wait out their full timeout for a response that cannot come.
+        self.channel.fail_all();
+    }
+}
+
+/// Blocking dial + handshake for a multiplexed connection: connect,
+/// announce mux, validate the server's identity, then flip the socket to
+/// non-blocking for the reactor. Uses `timeout` for the handshake I/O.
+pub(crate) fn mux_dial(
+    addr: std::net::SocketAddr,
+    server: ServerId,
+    client: ClientId,
+    timeout: Option<Duration>,
+) -> Result<TcpStream> {
+    let unavailable = |_| SwarmError::ServerUnavailable(server);
+    let stream = TcpStream::connect(addr).map_err(unavailable)?;
+    stream.set_nodelay(true).map_err(unavailable)?;
+    stream.set_read_timeout(timeout).map_err(unavailable)?;
+    stream.set_write_timeout(timeout).map_err(unavailable)?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(unavailable)?);
+    crate::frame::write_frame(&mut writer, &encode_mux_hello(client))
+        .map_err(|_| SwarmError::ServerUnavailable(server))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(unavailable)?);
+    let ack =
+        crate::frame::read_frame(&mut reader).map_err(|_| SwarmError::ServerUnavailable(server))?;
+    let got = ServerId::decode_all(&ack).map_err(|_| SwarmError::ServerUnavailable(server))?;
+    if got != server {
+        return Err(SwarmError::protocol(format!(
+            "handshake: expected server {server}, got {got}"
+        )));
+    }
+    // Anything buffered beyond the ack would be lost here; the server
+    // sends nothing unprompted after its hello, so the buffers are empty.
+    drop(reader);
+    stream.set_read_timeout(None).map_err(unavailable)?;
+    stream.set_write_timeout(None).map_err(unavailable)?;
+    stream.set_nonblocking(true).map_err(unavailable)?;
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_negotiation_roundtrips() {
+        let mux = encode_mux_hello(ClientId::new(42));
+        assert_eq!(mux.len(), 8);
+        let (client, is_mux) = parse_hello(&mux).unwrap();
+        assert_eq!(client, ClientId::new(42));
+        assert!(is_mux);
+
+        let mut w = swarm_types::ByteWriter::new();
+        ClientId::new(7).encode(&mut w);
+        let (client, is_mux) = parse_hello(w.as_slice()).unwrap();
+        assert_eq!(client, ClientId::new(7));
+        assert!(!is_mux, "a bare client id is a classic hello");
+
+        assert!(parse_hello(b"garbage that is long").is_err());
+    }
+
+    #[test]
+    fn dead_channel_fails_calls_fast() {
+        let ch = MuxChannel::new(ServerId::new(3));
+        ch.fail_all();
+        let err = ch
+            .call(b"hdr", &Bytes::new(), Some(Duration::from_secs(5)))
+            .unwrap_err();
+        assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+    }
+}

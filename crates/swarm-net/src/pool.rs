@@ -284,8 +284,15 @@ impl ConnectionPool {
     /// First-positive-wins broadcast: sends `request` to every server in
     /// parallel and returns the first reply for which `accept` is true,
     /// without waiting for the remaining servers (a locate hit on server 1
-    /// must not wait out server N's timeout). Stragglers finish in the
-    /// background and check their connections back in.
+    /// must not wait out server N's timeout).
+    ///
+    /// Straggler legs keep running detached after the early return. Each
+    /// leg goes through [`ConnectionPool::call`], which checks its
+    /// connection back in on success and drops it on failure — so a
+    /// straggler that completes after the winner neither leaks its
+    /// connection nor pools a broken one, and a leg that finds the cancel
+    /// flag already set never dials at all. (Regression-tested:
+    /// `broadcast_first_stragglers_check_connections_back_in`.)
     ///
     /// Returns `None` when no server's reply is accepted.
     pub fn broadcast_first(
@@ -494,6 +501,111 @@ mod tests {
     fn broadcast_first_rejects_all_yields_none() {
         let p = pool(cluster(3));
         assert!(p.broadcast_first(&Request::Ping, |_| false).is_none());
+    }
+
+    /// A handler that parks every request until `n` requests have
+    /// arrived, then answers them all — so a broadcast's legs are
+    /// provably all mid-call before any winner can return.
+    struct GatedEcho {
+        inner: EchoStore,
+        arrived: std::sync::atomic::AtomicUsize,
+        n: usize,
+    }
+
+    impl crate::handler::RequestHandler for GatedEcho {
+        fn handle(&self, client: ClientId, request: Request) -> Response {
+            self.arrived.fetch_add(1, Ordering::SeqCst);
+            while self.arrived.load(Ordering::SeqCst) < self.n {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.inner.handle(client, request)
+        }
+    }
+
+    /// Satellite regression: after `broadcast_first` returns early with a
+    /// winner, straggler legs that already dialed still finish and check
+    /// their connections back into the pool — they are not leaked with
+    /// the abandoned threads. (A leg that observes the cancel flag before
+    /// dialing never opens a connection, so there is nothing to return.)
+    #[test]
+    fn broadcast_first_stragglers_check_connections_back_in() {
+        const N: usize = 3;
+        let gate = Arc::new(GatedEcho {
+            inner: EchoStore::default(),
+            arrived: std::sync::atomic::AtomicUsize::new(0),
+            n: N,
+        });
+        let t = Arc::new(MemTransport::new());
+        for i in 0..N as u32 {
+            t.register(ServerId::new(i), gate.clone());
+        }
+        let p = pool(t);
+        // The gate guarantees all N legs dialed and are in-flight before
+        // the first response exists, so none was cancelled pre-dial.
+        let (_, resp) = p
+            .broadcast_first(&Request::Ping, |r| matches!(r, Response::Ok))
+            .expect("every server answers Ok");
+        assert_eq!(resp, Response::Ok);
+        // Every leg — winner and stragglers — must eventually return its
+        // connection to the pool.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for server in 0..N as u32 {
+            while p.idle_count(ServerId::new(server)) == 0 {
+                assert!(
+                    Instant::now() < deadline,
+                    "server {server}'s broadcast leg never checked its connection back in"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// A handler that parks until the global broadcast-error counter
+    /// passes a threshold: the winner cannot return before the failing
+    /// leg has been counted.
+    struct WaitForErrors {
+        inner: EchoStore,
+        at_least: u64,
+    }
+
+    impl crate::handler::RequestHandler for WaitForErrors {
+        fn handle(&self, client: ClientId, request: Request) -> Response {
+            let errors = swarm_metrics::counter("net.broadcast_errors");
+            while errors.get() < self.at_least {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.inner.handle(client, request)
+        }
+    }
+
+    /// Satellite regression: a leg whose server is down is counted in
+    /// `net.broadcast_errors` and drops its failed connection instead of
+    /// pooling it.
+    #[test]
+    fn broadcast_first_down_straggler_is_counted_not_pooled() {
+        let errors = swarm_metrics::counter("net.broadcast_errors");
+        let before = errors.get();
+        let t = Arc::new(MemTransport::new());
+        t.register(
+            ServerId::new(0),
+            Arc::new(WaitForErrors {
+                inner: EchoStore::default(),
+                at_least: before + 1,
+            }),
+        );
+        t.register(ServerId::new(1), Arc::new(EchoStore::default()));
+        t.set_down(ServerId::new(1), true);
+        let p = pool(t);
+        let (winner, _) = p
+            .broadcast_first(&Request::Ping, |r| matches!(r, Response::Ok))
+            .expect("the healthy server answers Ok");
+        assert_eq!(winner, ServerId::new(0));
+        assert!(errors.get() > before, "down leg must be counted");
+        assert_eq!(
+            p.idle_count(ServerId::new(1)),
+            0,
+            "a failed leg must not pool a connection"
+        );
     }
 
     #[test]

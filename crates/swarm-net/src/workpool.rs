@@ -87,7 +87,16 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Err(_) => return, // a worker panicked holding the lock
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                // A panicking job must not kill the worker: on a width-N
+                // pool, N poisoned connections would silently stop the
+                // server accepting work forever. Contain the unwind, count
+                // it, and move on to the next job.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    swarm_metrics::counter("net.workpool_panics").inc();
+                    swarm_metrics::trace!("net.workpool", "job panicked; worker continues");
+                }
+            }
             Err(_) => return, // queue closed: pool shut down
         }
     }
@@ -146,6 +155,31 @@ mod tests {
             "ran {} jobs at once on a width-2 pool",
             peak.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        // Width 1: if the panic killed the worker, no later job could run.
+        let pool = WorkerPool::new("test-panic", 1);
+        let panics_before = swarm_metrics::snapshot().counter("net.workpool_panics");
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let done = done.clone();
+            pool.submit(move || {
+                if i % 2 == 0 {
+                    panic!("poisoned job {i}");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins the worker, so every job has been attempted
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            3,
+            "jobs after a panic must still run"
+        );
+        let panics_after = swarm_metrics::snapshot().counter("net.workpool_panics");
+        assert_eq!(panics_after - panics_before, 3, "each panic is counted");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workspace-level chaos smoke test: a handful of seeded fault
-//! schedules must complete with zero acked-write loss on both
-//! transports, and each seed's schedule hash must be identical across
+//! schedules must complete with zero acked-write loss on every
+//! transport, and each seed's schedule hash must be identical across
 //! transports (the schedule is derived from the seed alone).
 //!
 //! The CI `chaos` job runs a wider matrix via the `swarm-chaos` binary;
@@ -9,25 +9,30 @@
 use swarm_chaos::{Runner, Schedule, ScheduleConfig, TransportKind};
 
 #[test]
-fn seeded_schedules_keep_every_acked_write_on_both_transports() {
+fn seeded_schedules_keep_every_acked_write_on_all_transports() {
     let cfg = ScheduleConfig::new(4, 40);
     for seed in [0u64, 1, 2] {
         let schedule = Schedule::generate(seed, &cfg);
         let mem = Runner::run(&schedule, TransportKind::Mem).unwrap();
-        let tcp = Runner::run(&schedule, TransportKind::Tcp).unwrap();
         assert!(
             mem.passed(),
             "seed {seed} on mem: {:?}\nreplay: {}",
             mem.failures,
             mem.replay_command(40, 4)
         );
-        assert!(
-            tcp.passed(),
-            "seed {seed} on tcp: {:?}\nreplay: {}",
-            tcp.failures,
-            tcp.replay_command(40, 4)
-        );
-        assert_eq!(mem.hash, tcp.hash, "seed {seed}: schedule hash diverged");
-        assert_eq!(mem.acked_blocks, tcp.acked_blocks, "seed {seed}");
+        for kind in TransportKind::all() {
+            if kind == TransportKind::Mem {
+                continue;
+            }
+            let tcp = Runner::run(&schedule, kind).unwrap();
+            assert!(
+                tcp.passed(),
+                "seed {seed} on {kind}: {:?}\nreplay: {}",
+                tcp.failures,
+                tcp.replay_command(40, 4)
+            );
+            assert_eq!(mem.hash, tcp.hash, "seed {seed}: schedule hash diverged");
+            assert_eq!(mem.acked_blocks, tcp.acked_blocks, "seed {seed} ({kind})");
+        }
     }
 }
