@@ -21,7 +21,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use swarm_types::{Bytes, ClientId, Decode, Encode, Result, ServerId, SwarmError};
@@ -193,6 +193,11 @@ impl MuxChannel {
             h.notify();
         }
 
+        // Fixed deadline, not a fresh `timeout` per wakeup: every response
+        // notify_all()s all waiters, so re-waiting the full duration after
+        // each wakeup would let a busy channel postpone this call's
+        // timeout indefinitely.
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
         loop {
             if let Some(Some(_)) = st.pending.get(&id) {
@@ -203,11 +208,12 @@ impl MuxChannel {
                 st.pending.remove(&id);
                 return Err(SwarmError::ServerUnavailable(self.server));
             }
-            match timeout {
+            match deadline {
                 None => self.cv.wait(&mut st),
-                Some(t) => {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
                     // The shim's wait_for returns true on timeout.
-                    if self.cv.wait_for(&mut st, t) {
+                    if remaining.is_zero() || self.cv.wait_for(&mut st, remaining) {
                         if let Some(Some(_)) = st.pending.get(&id) {
                             return st.pending.remove(&id).flatten().expect("slot filled");
                         }
@@ -371,7 +377,13 @@ pub(crate) fn mux_dial(
     timeout: Option<Duration>,
 ) -> Result<TcpStream> {
     let unavailable = |_| SwarmError::ServerUnavailable(server);
-    let stream = TcpStream::connect(addr).map_err(unavailable)?;
+    // Bound the dial by the call timeout: the OS default connect timeout
+    // can run to minutes, far longer than any caller is willing to wait.
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t),
+        None => TcpStream::connect(addr),
+    }
+    .map_err(unavailable)?;
     stream.set_nodelay(true).map_err(unavailable)?;
     stream.set_read_timeout(timeout).map_err(unavailable)?;
     stream.set_write_timeout(timeout).map_err(unavailable)?;
@@ -425,5 +437,40 @@ mod tests {
             .call(b"hdr", &Bytes::new(), Some(Duration::from_secs(5)))
             .unwrap_err();
         assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+    }
+
+    /// Regression: re-waiting with the full timeout after every wakeup let
+    /// a busy channel (whose responses notify_all every waiter) postpone a
+    /// never-answered call's timeout indefinitely.
+    #[test]
+    fn call_timeout_survives_unrelated_wakeups() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let ch = MuxChannel::new(ServerId::new(9));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ch2, stop2) = (ch.clone(), stop.clone());
+        // Spurious wakeups faster than the call timeout, for ~2 s.
+        let noisy = std::thread::spawn(move || {
+            for _ in 0..400 {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                ch2.cv.notify_all();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let t0 = Instant::now();
+        let err = ch
+            .call(b"hdr", &Bytes::new(), Some(Duration::from_millis(100)))
+            .unwrap_err();
+        assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "timeout was reset by wakeups: took {:?}",
+            t0.elapsed()
+        );
+        stop.store(true, Ordering::SeqCst);
+        noisy.join().unwrap();
     }
 }

@@ -348,7 +348,9 @@ impl TimerWheel {
             }
             tick += 1;
         }
-        let boundary = self.start + TICK * (tick as u32).max(1);
+        // 64-bit math: `TICK * (tick as u32)` would truncate after 2^32
+        // ticks (~795 days) and wrap the boundary.
+        let boundary = self.start + Duration::from_micros(TICK.as_micros() as u64 * tick.max(1));
         Some(
             boundary
                 .saturating_duration_since(now)
@@ -364,6 +366,7 @@ impl TimerWheel {
         while self.next_tick < now_tick {
             let slot = &mut self.slots[(self.next_tick % SLOTS as u64) as usize];
             if !slot.is_empty() {
+                let before = due.len();
                 let mut kept = Vec::new();
                 for (token, when) in slot.drain(..) {
                     if when <= now {
@@ -372,7 +375,10 @@ impl TimerWheel {
                         kept.push((token, when));
                     }
                 }
-                self.armed -= due.len().min(self.armed);
+                // Only this slot's expirations: `due` is cumulative across
+                // the sweep, and over-subtracting would zero `armed` while
+                // deadlines remain, stalling `next_timeout` forever.
+                self.armed -= (due.len() - before).min(self.armed);
                 *slot = kept;
             }
             self.next_tick += 1;
@@ -574,6 +580,27 @@ mod tests {
         assert!(wheel.next_timeout(t0).is_some(), "far entry still armed");
         let due = wheel.expired(t0 + TICK * (SLOTS as u32 + 4));
         assert_eq!(due, vec![3]);
+        assert_eq!(wheel.next_timeout(t0), None, "wheel drained");
+    }
+
+    #[test]
+    fn timer_wheel_armed_survives_multi_slot_sweep() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // Three entries in three different slots, all expired by one
+        // sweep, plus one far in the future.
+        wheel.insert(1, t0 + Duration::from_millis(10));
+        wheel.insert(2, t0 + Duration::from_millis(40));
+        wheel.insert(3, t0 + Duration::from_millis(70));
+        wheel.insert(4, t0 + Duration::from_secs(4));
+
+        let mut due = wheel.expired(t0 + Duration::from_millis(100));
+        due.sort_unstable();
+        assert_eq!(due, vec![1, 2, 3]);
+        // Regression: subtracting the cumulative due count per slot zeroed
+        // `armed` here, so the far deadline never woke epoll again.
+        assert!(wheel.next_timeout(t0).is_some(), "far entry still armed");
+        assert_eq!(wheel.expired(t0 + Duration::from_secs(5)), vec![4]);
         assert_eq!(wheel.next_timeout(t0), None, "wheel drained");
     }
 

@@ -1011,7 +1011,15 @@ pub struct TcpTransport {
     call_timeout: Mutex<Option<Duration>>,
     runtime: Mutex<Runtime>,
     channels: Mutex<HashMap<(ServerId, ClientId), Arc<MuxChannel>>>,
+    /// Per-pair dial locks: concurrent `connect_mux` calls for the same
+    /// `(server, client)` collapse to one socket without holding the
+    /// `channels` map lock across the dial (one unreachable server must
+    /// not stall connects to every other server).
+    dialing: Mutex<HashMap<(ServerId, ClientId), DialLock>>,
 }
+
+/// Lock serializing dials for one `(server, client)` pair.
+type DialLock = Arc<Mutex<()>>;
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -1036,6 +1044,7 @@ impl TcpTransport {
             call_timeout: Mutex::new(Some(DEFAULT_CALL_TIMEOUT)),
             runtime: Mutex::new(Runtime::default_for_platform()),
             channels: Mutex::new(HashMap::new()),
+            dialing: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1116,6 +1125,20 @@ impl TcpTransport {
                 true
             }
         });
+        drop(channels);
+        self.dialing.lock().retain(|(server, _), _| *server != id);
+    }
+
+    /// Returns the live channel for the pair, pruning a dead one.
+    fn live_channel(&self, server: ServerId, client: ClientId) -> Option<Arc<MuxChannel>> {
+        let mut channels = self.channels.lock();
+        if let Some(ch) = channels.get(&(server, client)) {
+            if ch.is_alive() {
+                return Some(ch.clone());
+            }
+            channels.remove(&(server, client));
+        }
+        None
     }
 
     fn connect_mux(
@@ -1126,20 +1149,32 @@ impl TcpTransport {
         client: ClientId,
     ) -> Result<Box<dyn Connection>> {
         let timeout = self.call_timeout();
-        // The lock is held across the dial: concurrent connects to the
-        // same pair would otherwise race to create two sockets. Dials are
-        // rare (channels live until a socket error), so the serialization
-        // is invisible next to the TCP round trip it guards.
-        let mut channels = self.channels.lock();
-        if let Some(ch) = channels.get(&(server, client)) {
-            if ch.is_alive() {
-                return Ok(Box::new(MuxConnection {
-                    server,
-                    channel: ch.clone(),
-                    timeout,
-                }));
-            }
-            channels.remove(&(server, client));
+        if let Some(channel) = self.live_channel(server, client) {
+            return Ok(Box::new(MuxConnection {
+                server,
+                channel,
+                timeout,
+            }));
+        }
+        // Serialize dials per pair, never transport-wide: concurrent
+        // connects to the same pair collapse onto one socket, while a dial
+        // to an unreachable server (bounded by the call timeout inside
+        // `mux_dial`, but still seconds) cannot block connects to healthy
+        // servers — parallel `broadcast_first` legs dial independently.
+        let pair_lock = self
+            .dialing
+            .lock()
+            .entry((server, client))
+            .or_default()
+            .clone();
+        let _dial_guard = pair_lock.lock();
+        if let Some(channel) = self.live_channel(server, client) {
+            // Lost the race; the winner's channel serves this pair.
+            return Ok(Box::new(MuxConnection {
+                server,
+                channel,
+                timeout,
+            }));
         }
         metrics().client_connects.inc();
         swarm_metrics::trace!("net.connect", "client {client} -> server {server} (mux)");
@@ -1150,7 +1185,7 @@ impl TcpTransport {
             ch2.set_handle(h.clone());
             Box::new(MuxSource::new(stream, ch2.clone()))
         });
-        channels.insert((server, client), channel.clone());
+        self.channels.lock().insert((server, client), channel.clone());
         Ok(Box::new(MuxConnection {
             server,
             channel,
