@@ -1,0 +1,434 @@
+//! YCSB-style workload scoreboard over a real TCP cluster.
+//!
+//! ```text
+//! ycsb                                  # workload `write`, full scoreboard
+//! ycsb --workload all                   # A, B, C, and write
+//! ycsb --smoke --out target/bench       # CI configuration
+//! ycsb --workload a --threads 8 --windows 8 --rate 500
+//! ```
+//!
+//! Stands up an in-process cluster of real TCP servers (epoll runtime on
+//! Linux), drives it with [`swarm_bench::ycsb`], and writes one
+//! `BENCH_ycsb_<workload>.json` per workload: throughput and
+//! p50/p99/p999 latency for every `(threads, window)` cell, plus the
+//! window-8-over-window-1 speedup at 8 threads — the number the write
+//! pipelining (DESIGN.md §15) is judged on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use swarm_bench::print_table;
+use swarm_bench::ycsb::{run_workload, RunConfig, RunResult, Workload};
+use swarm_net::tcp::{ServerConfig, TcpServer, TcpTransport};
+use swarm_net::{RequestHandler, Runtime};
+use swarm_server::{Durability, FileStore, FragmentStore, MemStore, StorageServer};
+use swarm_types::{Result, ServerId};
+
+struct Args {
+    workloads: Vec<Workload>,
+    threads: Vec<usize>,
+    windows: Vec<usize>,
+    records: usize,
+    ops: usize,
+    value_bytes: usize,
+    fragment_bytes: usize,
+    flush_every: usize,
+    servers: u32,
+    file_store: bool,
+    /// Group-commit window for file-backed servers: long enough that
+    /// serial stores visibly wait on it, short enough to keep runs quick.
+    group_ms: u64,
+    rate: Option<f64>,
+    out: PathBuf,
+    seed: u64,
+    dump_metrics: bool,
+}
+
+const USAGE: &str = "usage: ycsb [--workload a|b|c|write|all] [--threads N,N,..] \
+[--windows N,N,..] [--records N] [--ops N] [--value BYTES] [--fragment BYTES] \
+[--flush-every N] [--servers N] [--store mem|file] [--group-ms N] \
+[--rate OPS_PER_SEC] [--smoke] [--out DIR] [--seed N]";
+
+fn parse_usize_list(v: &str, flag: &str) -> std::result::Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("{flag} {v}: {e}"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err(format!("{flag} entries must be >= 1"))
+                    } else {
+                        Ok(n)
+                    }
+                })
+        })
+        .collect()
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let mut args = Args {
+        workloads: vec![Workload::named("write").expect("table has write")],
+        threads: vec![1, 8, 64],
+        windows: vec![1, 8],
+        records: 200,
+        ops: 2000,
+        value_bytes: 4096,
+        // One 4 KiB block per fragment: every update is a store, so the
+        // per-server store channel — the thing the write window widens —
+        // is the bottleneck under measurement rather than client CPU.
+        fragment_bytes: 8 * 1024,
+        flush_every: 64,
+        servers: 5,
+        file_store: true,
+        group_ms: 5,
+        rate: None,
+        out: PathBuf::from("."),
+        seed: 42,
+        dump_metrics: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                let v = value("--workload")?;
+                args.workloads = match v.as_str() {
+                    "all" => Workload::all().to_vec(),
+                    name => vec![Workload::named(name).ok_or_else(|| {
+                        format!("unknown workload {name:?} (want a|b|c|write|all)")
+                    })?],
+                };
+            }
+            "--threads" => args.threads = parse_usize_list(&value("--threads")?, "--threads")?,
+            "--windows" => args.windows = parse_usize_list(&value("--windows")?, "--windows")?,
+            "--records" => {
+                let v = value("--records")?;
+                args.records = v.parse().map_err(|e| format!("--records {v}: {e}"))?;
+            }
+            "--ops" => {
+                let v = value("--ops")?;
+                args.ops = v.parse().map_err(|e| format!("--ops {v}: {e}"))?;
+            }
+            "--value" => {
+                let v = value("--value")?;
+                args.value_bytes = v.parse().map_err(|e| format!("--value {v}: {e}"))?;
+            }
+            "--fragment" => {
+                let v = value("--fragment")?;
+                args.fragment_bytes = v.parse().map_err(|e| format!("--fragment {v}: {e}"))?;
+            }
+            "--flush-every" => {
+                let v = value("--flush-every")?;
+                args.flush_every = v.parse().map_err(|e| format!("--flush-every {v}: {e}"))?;
+            }
+            "--servers" => {
+                let v = value("--servers")?;
+                args.servers = v.parse().map_err(|e| format!("--servers {v}: {e}"))?;
+            }
+            "--store" => {
+                let v = value("--store")?;
+                args.file_store = match v.as_str() {
+                    "file" => true,
+                    "mem" => false,
+                    other => return Err(format!("unknown store {other:?} (want mem|file)")),
+                };
+            }
+            "--group-ms" => {
+                let v = value("--group-ms")?;
+                args.group_ms = v.parse().map_err(|e| format!("--group-ms {v}: {e}"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                args.rate = Some(v.parse().map_err(|e| format!("--rate {v}: {e}"))?);
+            }
+            "--dump-metrics" => args.dump_metrics = true,
+            "--smoke" => {
+                // CI shape: small but still exercising 8-way pipelining.
+                args.threads = vec![1, 8];
+                args.records = 64;
+                args.ops = 384;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// An in-process cluster of real TCP servers; the store root (if any) is
+/// removed on drop.
+struct BenchCluster {
+    addrs: Vec<(ServerId, std::net::SocketAddr)>,
+    runtime: Runtime,
+    _servers: Vec<TcpServer>,
+    dir: Option<PathBuf>,
+}
+
+impl BenchCluster {
+    /// Store root for file-backed servers. Prefers tmpfs (`/dev/shm`)
+    /// when `TMPDIR` is unset: the scoreboard's controlled durability
+    /// cost is the group-commit *window*, and a slow or contended host
+    /// disk would swamp it with fsync noise. `TMPDIR` overrides.
+    fn store_root() -> PathBuf {
+        let shm = PathBuf::from("/dev/shm");
+        let base = if std::env::var_os("TMPDIR").is_none() && shm.is_dir() {
+            shm
+        } else {
+            std::env::temp_dir()
+        };
+        base.join(format!("swarm-ycsb-{}", std::process::id()))
+    }
+
+    fn spawn(n: u32, file_store: bool, group_ms: u64, runtime: Runtime) -> Result<BenchCluster> {
+        let dir = file_store.then(Self::store_root);
+        let mut servers = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..n {
+            let id = ServerId::new(i);
+            let store: Box<dyn FragmentStore> = match &dir {
+                Some(root) => Box::new(FileStore::open_with_durability(
+                    root.join(format!("server-{i}")),
+                    0,
+                    Durability::Group(Duration::from_millis(group_ms)),
+                )?),
+                None => Box::new(MemStore::new()),
+            };
+            let handler: Arc<dyn RequestHandler> = StorageServer::new(id, store).into_shared();
+            let srv = TcpServer::spawn_with_config(
+                id,
+                "127.0.0.1:0",
+                handler,
+                ServerConfig {
+                    runtime,
+                    // Store handlers park on the group-commit fsync, so the
+                    // pool must hold a full pipelining window per client —
+                    // otherwise worker starvation, not the wire, sets the
+                    // concurrency and the window can't be observed.
+                    workers: 64,
+                    ..ServerConfig::default()
+                },
+            )?;
+            addrs.push((id, srv.addr()));
+            servers.push(srv);
+        }
+        Ok(BenchCluster {
+            addrs,
+            runtime,
+            _servers: servers,
+            dir,
+        })
+    }
+
+    /// A factory handing each driver thread its own [`TcpTransport`] —
+    /// its own connections and client-side reactor. Sharing one transport
+    /// across 8 driver threads serializes every client on a single mux
+    /// reactor and hides the windowing effect being measured.
+    fn transport_factory(&self) -> Arc<swarm_bench::ycsb::TransportFactory> {
+        let addrs = self.addrs.clone();
+        let runtime = self.runtime;
+        Arc::new(move |_thread| {
+            let transport = Arc::new(TcpTransport::new());
+            transport.set_runtime(runtime);
+            // 64-thread cells queue behind group commits; don't let the
+            // default call timeout turn backlog into failures.
+            transport.set_call_timeout(Some(Duration::from_secs(30)));
+            for &(id, addr) in &addrs {
+                transport.add_server(id, addr);
+            }
+            Ok(transport as Arc<dyn swarm_net::Transport>)
+        })
+    }
+}
+
+impl Drop for BenchCluster {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+struct Row {
+    threads: usize,
+    window: usize,
+    result: RunResult,
+}
+
+fn json_row(row: &Row) -> String {
+    let s = row.result.summary();
+    let mean = s.sum_us.checked_div(s.count).unwrap_or(0);
+    format!(
+        "    {{\"threads\": {}, \"window\": {}, \"ops\": {}, \"elapsed_s\": {:.3}, \
+         \"throughput_ops_per_s\": {:.1}, \"mean_us\": {}, \"p50_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
+        row.threads,
+        row.window,
+        row.result.ops,
+        row.result.elapsed.as_secs_f64(),
+        row.result.throughput(),
+        mean,
+        s.p50_us,
+        s.p99_us,
+        s.p999_us,
+        s.max_us
+    )
+}
+
+/// Window-8-over-window-1 throughput ratio at 8 threads — the scoreboard
+/// number for the pipelined write engine.
+fn speedup_at_8_threads(rows: &[Row]) -> Option<f64> {
+    let at = |window: usize| {
+        rows.iter()
+            .find(|r| r.threads == 8 && r.window == window)
+            .map(|r| r.result.throughput())
+    };
+    match (at(8), at(1)) {
+        (Some(w8), Some(w1)) if w1 > 0.0 => Some(w8 / w1),
+        _ => None,
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let runtime = if cfg!(target_os = "linux") {
+        Runtime::Epoll
+    } else {
+        Runtime::default_for_platform()
+    };
+    let store_name = if args.file_store { "file" } else { "mem" };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+
+    for workload in &args.workloads {
+        let mut rows = Vec::new();
+        let mut table = Vec::new();
+        for &threads in &args.threads {
+            for &window in &args.windows {
+                let cluster = match BenchCluster::spawn(
+                    args.servers,
+                    args.file_store,
+                    args.group_ms,
+                    runtime,
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("cluster setup failed: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                };
+                let cfg = RunConfig {
+                    threads,
+                    window,
+                    records: args.records,
+                    ops: args.ops,
+                    value_bytes: args.value_bytes,
+                    fragment_bytes: args.fragment_bytes,
+                    flush_every: args.flush_every,
+                    rate: args.rate,
+                    servers: args.servers,
+                    seed: args.seed,
+                };
+                let result = match run_workload(cluster.transport_factory(), *workload, cfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!(
+                            "workload {} threads={threads} window={window} failed: {e}",
+                            workload.name
+                        );
+                        return std::process::ExitCode::FAILURE;
+                    }
+                };
+                let s = result.summary();
+                table.push(vec![
+                    threads.to_string(),
+                    window.to_string(),
+                    format!("{:.0}", result.throughput()),
+                    s.p50_us.to_string(),
+                    s.p99_us.to_string(),
+                    s.p999_us.to_string(),
+                ]);
+                rows.push(Row {
+                    threads,
+                    window,
+                    result,
+                });
+                if args.dump_metrics {
+                    eprintln!(
+                        "# metrics threads={threads} window={window}\n{}",
+                        swarm_metrics::snapshot().to_json()
+                    );
+                }
+            }
+        }
+
+        print_table(
+            &format!(
+                "YCSB '{}' over tcp-{runtime} ({store_name} store, {} B values)",
+                workload.name, args.value_bytes
+            ),
+            &["threads", "window", "ops/s", "p50_us", "p99_us", "p999_us"],
+            &table,
+        );
+        let speedup = speedup_at_8_threads(&rows);
+        if let Some(x) = speedup {
+            println!("window 8 over window 1 at 8 threads: {x:.2}x");
+        }
+
+        let json = format!(
+            "{{\n  \"bench\": \"ycsb\",\n  \"workload\": \"{}\",\n  \
+             \"mix\": {{\"read_pct\": {}, \"update_pct\": {}, \"insert_pct\": {}, \
+             \"dist\": \"{}\"}},\n  \
+             \"transport\": \"tcp-{runtime}\",\n  \"store\": \"{store_name}\",\n  \
+             \"servers\": {},\n  \"value_bytes\": {},\n  \"records_per_thread\": {},\n  \
+             \"ops_per_thread\": {},\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
+             \"speedup_w8_over_w1_at_8_threads\": {}\n}}\n",
+            workload.name,
+            workload.read_pct,
+            workload.update_pct,
+            100 - workload.read_pct - workload.update_pct,
+            match workload.dist {
+                swarm_bench::ycsb::KeyDist::Zipfian => "zipfian",
+                swarm_bench::ycsb::KeyDist::Uniform => "uniform",
+            },
+            args.servers,
+            args.value_bytes,
+            args.records,
+            args.ops,
+            if args.rate.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
+            rows.iter().map(json_row).collect::<Vec<_>>().join(",\n"),
+            speedup.map_or("null".to_string(), |x| format!("{x:.3}")),
+        );
+        let path = args.out.join(format!("BENCH_ycsb_{}.json", workload.name));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return std::process::ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ycsb;
+
 use std::sync::Arc;
 
 use swarm_net::MemTransport;

@@ -1,0 +1,490 @@
+//! YCSB-style workload driver (DESIGN.md §15.4).
+//!
+//! Reproduces the shape of the YCSB core workloads against a Swarm log:
+//! zipfian/uniform key choice, read/update/insert mixes, closed-loop or
+//! open-loop arrival, and per-op latency percentiles from
+//! [`swarm_metrics::Histogram`]s. Each driver thread is its own Swarm
+//! client (own `ClientId`, own [`Log`], own transport instance from a
+//! [`TransportFactory`]), so "8 threads" means 8 real clients — eight
+//! workstations multiplexing onto the cluster exactly as the paper's
+//! did, not eight threads queueing on one client-side reactor.
+//!
+//! The update/insert path is a log write: the new version is staged and
+//! only becomes readable once a flush covers it (read-committed), so
+//! reads never chase an address whose fragment is still open
+//! client-side. Latency of a flush is attributed to the operation that
+//! triggered it — the honest accounting for a log-structured client.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use swarm_log::{Log, LogConfig};
+use swarm_metrics::{Histogram, HistogramSummary};
+use swarm_net::Transport;
+use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+
+/// Service id the driver writes blocks under.
+pub const YCSB_SERVICE: ServiceId = ServiceId::new(9);
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+pub struct Rng64(u64);
+
+impl Rng64 {
+    /// A generator seeded from `seed` (0 is remapped; the state must be
+    /// non-zero).
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// YCSB's zipfian generator (theta 0.99) with rank scrambling, so the
+/// hot keys are spread across the keyspace instead of clustered at the
+/// low indices.
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const THETA: f64 = 0.99;
+
+    /// A generator over ranks `0..items`.
+    pub fn new(items: u64) -> Zipfian {
+        let items = items.max(1);
+        let theta = Self::THETA;
+        let zeta = |n: u64| (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum::<f64>();
+        let zetan = zeta(items);
+        let zeta2 = zeta(2.min(items));
+        Zipfian {
+            items,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Next rank in `0..items` (0 is the hottest).
+    pub fn next_rank(&self, rng: &mut Rng64) -> u64 {
+        if self.items == 1 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+
+    /// Next key: the rank scrambled over `0..items` (splitmix-style
+    /// finalizer, as YCSB's `ScrambledZipfian` hashes its ranks).
+    pub fn next_key(&self, rng: &mut Rng64) -> u64 {
+        let mut z = self.next_rank(rng).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % self.items
+    }
+}
+
+/// How keys are drawn from the live keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// YCSB scrambled zipfian, theta 0.99.
+    Zipfian,
+    /// Uniform over the live keys.
+    Uniform,
+}
+
+/// A read/update/insert mix over a key distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Workload name (the `BENCH_ycsb_<name>.json` suffix).
+    pub name: &'static str,
+    /// Percent of operations that read an existing key.
+    pub read_pct: u32,
+    /// Percent that rewrite an existing key (log append + readdress).
+    pub update_pct: u32,
+    /// Remainder: inserts of fresh keys.
+    pub dist: KeyDist,
+}
+
+impl Workload {
+    /// The driver's workload table: YCSB core A/B/C plus the pure-insert
+    /// `write` workload the pipelining scoreboard is judged on.
+    pub fn all() -> &'static [Workload] {
+        &[
+            Workload {
+                name: "a",
+                read_pct: 50,
+                update_pct: 50,
+                dist: KeyDist::Zipfian,
+            },
+            Workload {
+                name: "b",
+                read_pct: 95,
+                update_pct: 5,
+                dist: KeyDist::Zipfian,
+            },
+            Workload {
+                name: "c",
+                read_pct: 100,
+                update_pct: 0,
+                dist: KeyDist::Zipfian,
+            },
+            Workload {
+                name: "write",
+                read_pct: 0,
+                update_pct: 0,
+                dist: KeyDist::Uniform,
+            },
+        ]
+    }
+
+    /// Looks a workload up by name.
+    pub fn named(name: &str) -> Option<Workload> {
+        Self::all().iter().copied().find(|w| w.name == name)
+    }
+}
+
+/// One driver run: thread count, write window, and op counts.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Concurrent clients (each its own `ClientId` + [`Log`]).
+    pub threads: usize,
+    /// Store pipelining window ([`LogConfig::write_window`]).
+    pub window: usize,
+    /// Records preloaded per thread before the timed phase.
+    pub records: usize,
+    /// Timed operations per thread.
+    pub ops: usize,
+    /// Value size in bytes (YCSB default shape: 4 KiB here).
+    pub value_bytes: usize,
+    /// Client fragment size. Small enough that a batch of ops seals
+    /// several stripes, so each server channel has a window's worth of
+    /// stores outstanding between flushes.
+    pub fragment_bytes: usize,
+    /// Flush (group durability point) every this many ops.
+    pub flush_every: usize,
+    /// Open-loop arrival rate per thread in ops/s; `None` = closed loop.
+    pub rate: Option<f64>,
+    /// Stripe group size (servers 0..n).
+    pub servers: u32,
+    /// Base RNG seed; thread `t` runs with `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            threads: 1,
+            window: swarm_log::DEFAULT_WRITE_WINDOW,
+            records: 200,
+            ops: 1000,
+            value_bytes: 4096,
+            fragment_bytes: 16 * 1024,
+            flush_every: 128,
+            rate: None,
+            servers: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one `(workload, threads, window)` cell.
+pub struct RunResult {
+    /// Total timed operations across all threads.
+    pub ops: u64,
+    /// Wall-clock of the timed phase.
+    pub elapsed: Duration,
+    /// Per-op latency, merged across threads.
+    pub latency: Histogram,
+}
+
+impl RunResult {
+    /// Aggregate throughput in operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency percentile rollup.
+    pub fn summary(&self) -> HistogramSummary {
+        self.latency.summarize()
+    }
+}
+
+fn log_config(client: u32, cfg: &RunConfig) -> Result<LogConfig> {
+    Ok(LogConfig::new(
+        ClientId::new(client),
+        (0..cfg.servers).map(ServerId::new).collect(),
+    )?
+    .fragment_size(cfg.fragment_bytes)
+    // Reads must hit the servers, not a client cache.
+    .cache_fragments(0)
+    .write_window(cfg.window)
+    // Enough queue that the window, not the queue, is the limiter.
+    .queue_depth(cfg.window.max(2) * 2))
+}
+
+/// Per-thread key table: `live` keys are readable (covered by a flush),
+/// `staged` versions become live when the next flush commits them.
+struct KeyTable {
+    live: Vec<BlockAddr>,
+    staged: Vec<(usize, BlockAddr)>,
+    staged_inserts: Vec<BlockAddr>,
+}
+
+impl KeyTable {
+    fn commit(&mut self) {
+        for (key, addr) in self.staged.drain(..) {
+            self.live[key] = addr;
+        }
+        self.live.append(&mut self.staged_inserts);
+    }
+}
+
+/// Builds the transport a driver thread runs on. Each thread gets its
+/// own instance so clients do not share a client-side reactor — 8
+/// threads model 8 workstations, not 8 threads of one process.
+pub type TransportFactory = dyn Fn(usize) -> Result<Arc<dyn Transport>> + Send + Sync;
+
+fn run_thread(
+    transport: Arc<dyn Transport>,
+    workload: Workload,
+    cfg: RunConfig,
+    thread: usize,
+    start: Arc<Barrier>,
+    latency: Histogram,
+) -> Result<()> {
+    let log = Log::create(transport, log_config(1000 + thread as u32, &cfg)?)?;
+    let mut rng = Rng64::new(cfg.seed + thread as u64);
+    let value = |k: u64, fill: &mut Vec<u8>| {
+        fill.clear();
+        fill.extend((0..cfg.value_bytes).map(|i| (k as usize ^ i) as u8));
+    };
+    let mut buf = Vec::with_capacity(cfg.value_bytes);
+
+    // Load phase (untimed): the keyspace reads must hit.
+    let mut table = KeyTable {
+        live: Vec::with_capacity(cfg.records),
+        staged: Vec::new(),
+        staged_inserts: Vec::new(),
+    };
+    for k in 0..cfg.records {
+        value(k as u64, &mut buf);
+        table.live.push(log.append_block(YCSB_SERVICE, b"", &buf)?);
+    }
+    log.flush()?;
+
+    let zipf = Zipfian::new(cfg.records.max(1) as u64);
+    let interval = cfg.rate.map(|r| Duration::from_secs_f64(1.0 / r.max(1e-9)));
+
+    start.wait();
+    let t0 = Instant::now();
+    for op in 0..cfg.ops {
+        // Open loop: ops are *scheduled*; latency includes queueing
+        // delay behind a slow predecessor. Closed loop: back-to-back.
+        let scheduled = match interval {
+            Some(step) => {
+                let due = step * op as u32;
+                let now = t0.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                t0 + due
+            }
+            None => Instant::now(),
+        };
+        let key = match workload.dist {
+            KeyDist::Zipfian => zipf.next_key(&mut rng),
+            KeyDist::Uniform => rng.below(table.live.len().max(1) as u64),
+        } as usize;
+        let draw = rng.below(100) as u32;
+        if draw < workload.read_pct {
+            let addr = table.live[key % table.live.len()];
+            let got = log.read(addr)?;
+            assert_eq!(got.len(), cfg.value_bytes, "short read");
+        } else {
+            value(key as u64, &mut buf);
+            let addr = log.append_block(YCSB_SERVICE, b"", &buf)?;
+            if draw < workload.read_pct + workload.update_pct {
+                table.staged.push((key % table.live.len(), addr));
+            } else {
+                table.staged_inserts.push(addr);
+            }
+        }
+        if (op + 1) % cfg.flush_every == 0 {
+            log.flush()?;
+            table.commit();
+        }
+        latency.record(scheduled.elapsed());
+    }
+    log.flush()?;
+    table.commit();
+    Ok(())
+}
+
+/// Runs `workload` at one `(threads, window)` point and returns the
+/// merged result. Each thread is its own client on its own transport
+/// instance (see [`TransportFactory`]). Threads rendezvous on a barrier
+/// after their untimed load phase, so the timed window measures
+/// steady-state traffic only.
+///
+/// # Errors
+///
+/// Propagates the first log/setup error from any driver thread.
+pub fn run_workload(
+    transport_for: Arc<TransportFactory>,
+    workload: Workload,
+    cfg: RunConfig,
+) -> Result<RunResult> {
+    let start = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut parts = Vec::with_capacity(cfg.threads);
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let hist = Histogram::detached();
+        parts.push(hist.clone());
+        let transport = transport_for(t)?;
+        let start = start.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ycsb-{t}"))
+                .spawn(move || run_thread(transport, workload, cfg, t, start, hist))
+                .map_err(|e| SwarmError::protocol(format!("spawn driver thread: {e}")))?,
+        );
+    }
+    start.wait();
+    let t0 = Instant::now();
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or(Some(SwarmError::protocol("ycsb driver thread panicked")));
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let latency = Histogram::detached();
+    for p in &parts {
+        latency.merge(p);
+    }
+    Ok(RunResult {
+        ops: (cfg.threads * cfg.ops) as u64,
+        elapsed,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_cluster;
+
+    #[test]
+    fn rng_is_deterministic_and_nonzero() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert!(a.next_f64() < 1.0);
+            let _ = b.next_f64();
+        }
+        let mut z = Rng64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_bounds() {
+        let n = 1000u64;
+        let zipf = Zipfian::new(n);
+        let mut rng = Rng64::new(1);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..20_000 {
+            let rank = zipf.next_rank(&mut rng);
+            assert!(rank < n);
+            counts[rank as usize] += 1;
+        }
+        // Rank 0 is the hottest by far; the tail is cold.
+        assert!(counts[0] > counts[n as usize / 2] * 10);
+        // Scrambled keys stay in bounds too.
+        for _ in 0..1000 {
+            assert!(zipf.next_key(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_runs_on_a_mem_cluster() {
+        let transport = mem_cluster(3);
+        let cfg = RunConfig {
+            threads: 2,
+            window: 4,
+            records: 20,
+            ops: 60,
+            value_bytes: 512,
+            flush_every: 16,
+            servers: 3,
+            ..RunConfig::default()
+        };
+        let factory: Arc<TransportFactory> =
+            Arc::new(move |_| Ok(transport.clone() as Arc<dyn Transport>));
+        let result = run_workload(factory, Workload::named("a").unwrap(), cfg).expect("workload a");
+        assert_eq!(result.ops, 120);
+        let summary = result.summary();
+        assert_eq!(summary.count, 120);
+        assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_records_every_op() {
+        let transport = mem_cluster(3);
+        let cfg = RunConfig {
+            threads: 1,
+            window: 2,
+            records: 5,
+            ops: 20,
+            value_bytes: 128,
+            flush_every: 8,
+            rate: Some(2000.0),
+            servers: 3,
+            ..RunConfig::default()
+        };
+        let factory: Arc<TransportFactory> =
+            Arc::new(move |_| Ok(transport.clone() as Arc<dyn Transport>));
+        let result =
+            run_workload(factory, Workload::named("write").unwrap(), cfg).expect("open loop");
+        assert_eq!(result.summary().count, 20);
+    }
+}

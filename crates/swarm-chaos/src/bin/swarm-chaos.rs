@@ -20,6 +20,7 @@ struct Args {
     seeds: Vec<u64>,
     transports: Vec<TransportKind>,
     stores: Vec<StoreKind>,
+    windows: Vec<usize>,
     events: usize,
     servers: u32,
     dump: bool,
@@ -27,7 +28,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
-[--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] [--events N] \
+[--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] \
+[--write-window N|both] [--events N] \
 [--servers N] [--dump] [--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: vec![0],
         transports: TransportKind::all(),
         stores: vec![StoreKind::Mem],
+        windows: vec![swarm_log::DEFAULT_WRITE_WINDOW],
         events: 64,
         servers: 4,
         dump: false,
@@ -77,6 +80,22 @@ fn parse_args() -> Result<Args, String> {
                     one => vec![one.parse()?],
                 };
             }
+            "--write-window" => {
+                let v = value("--write-window")?;
+                args.windows = match v.as_str() {
+                    // Serial (paper-faithful) and windowed, the matrix CI runs.
+                    "both" => vec![1, swarm_log::DEFAULT_WRITE_WINDOW],
+                    one => {
+                        let w: usize = one
+                            .parse()
+                            .map_err(|e| format!("--write-window {v}: {e}"))?;
+                        if w == 0 {
+                            return Err("--write-window must be >= 1".into());
+                        }
+                        vec![w]
+                    }
+                };
+            }
             "--events" => {
                 let v = value("--events")?;
                 args.events = v.parse().map_err(|e| format!("--events {v}: {e}"))?;
@@ -99,10 +118,11 @@ fn parse_args() -> Result<Args, String> {
 
 fn report_line(report: &RunReport) -> String {
     format!(
-        "seed {:>6} transport={} store={} hash={:#018x} events={} acked={} reads={} {}",
+        "seed {:>6} transport={} store={} window={} hash={:#018x} events={} acked={} reads={} {}",
         report.seed,
         report.transport,
         report.store,
+        report.write_window,
         report.hash,
         report.events,
         report.acked_blocks,
@@ -131,40 +151,46 @@ fn main() -> ExitCode {
         let mut hashes = Vec::new();
         for &kind in &args.transports {
             for &store in &args.stores {
-                ran += 1;
-                let report = match Runner::run_with_store(&schedule, kind, store) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("seed {seed} transport={kind} store={store}: setup failed: {e}");
+                for &window in &args.windows {
+                    ran += 1;
+                    let report = match Runner::run_with_options(&schedule, kind, store, window) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!(
+                                "seed {seed} transport={kind} store={store} \
+                                 window={window}: setup failed: {e}"
+                            );
+                            failed += 1;
+                            continue;
+                        }
+                    };
+                    println!("{}", report_line(&report));
+                    hashes.push(report.hash);
+                    if !report.passed() {
                         failed += 1;
-                        continue;
-                    }
-                };
-                println!("{}", report_line(&report));
-                hashes.push(report.hash);
-                if !report.passed() {
-                    failed += 1;
-                    for f in &report.failures {
-                        eprintln!("  {f}");
-                    }
-                    eprintln!(
-                        "  replay: {}",
-                        report.replay_command(args.events, args.servers)
-                    );
-                    if let Some(dir) = &args.dump_failures {
-                        let path = format!("{dir}/seed-{seed}-{kind}-{store}.schedule");
-                        if std::fs::create_dir_all(dir)
-                            .and_then(|_| {
-                                let mut dump = schedule.dump();
-                                dump.push_str("\n# failures:\n");
-                                for f in &report.failures {
-                                    dump.push_str(&format!("# {f}\n"));
-                                }
-                                std::fs::write(&path, dump)
-                            })
-                            .is_ok()
-                        {
-                            eprintln!("  schedule dumped to {path}");
+                        for f in &report.failures {
+                            eprintln!("  {f}");
+                        }
+                        eprintln!(
+                            "  replay: {}",
+                            report.replay_command(args.events, args.servers)
+                        );
+                        if let Some(dir) = &args.dump_failures {
+                            let path =
+                                format!("{dir}/seed-{seed}-{kind}-{store}-w{window}.schedule");
+                            if std::fs::create_dir_all(dir)
+                                .and_then(|_| {
+                                    let mut dump = schedule.dump();
+                                    dump.push_str("\n# failures:\n");
+                                    for f in &report.failures {
+                                        dump.push_str(&format!("# {f}\n"));
+                                    }
+                                    std::fs::write(&path, dump)
+                                })
+                                .is_ok()
+                            {
+                                eprintln!("  schedule dumped to {path}");
+                            }
                         }
                     }
                 }

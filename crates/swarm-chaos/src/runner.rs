@@ -123,6 +123,8 @@ pub struct RunReport {
     pub verified_reads: u64,
     /// Blocks acked over the whole run.
     pub acked_blocks: u64,
+    /// Store pipelining window the client wrote with.
+    pub write_window: usize,
     /// Invariant violations, each tagged with the offending event index.
     pub failures: Vec<String>,
 }
@@ -136,19 +138,23 @@ impl RunReport {
     /// The one-liner that replays this exact run.
     pub fn replay_command(&self, events: usize, servers: u32) -> String {
         format!(
-            "swarm-chaos --seed {} --transport {} --store {} --events {} --servers {}",
-            self.seed, self.transport, self.store, events, servers
+            "swarm-chaos --seed {} --transport {} --store {} --events {} --servers {} \
+             --write-window {}",
+            self.seed, self.transport, self.store, events, servers, self.write_window
         )
     }
 }
 
-fn make_config(servers: u32) -> Result<LogConfig> {
+fn make_config(servers: u32, write_window: usize) -> Result<LogConfig> {
     Ok(
         LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())?
             .fragment_size(4096)
             // Every verification read must hit the servers, not a client
             // cache — the whole point is checking what survived.
             .cache_fragments(0)
+            // The windowed write path must uphold the durability contract
+            // at any pipelining depth, so the matrix runs it explicitly.
+            .write_window(write_window)
             // Chaos connections drop on purpose; more retries with a
             // short backoff ride out injected transients without turning
             // a deliberate down-window into a minutes-long stall.
@@ -165,6 +171,7 @@ pub struct Runner {
     stack: Arc<ServiceStack>,
     log: Option<Arc<Log>>,
     cleaner: Option<Cleaner>,
+    write_window: usize,
     next_id: u64,
     verified_reads: u64,
     acked_blocks: u64,
@@ -197,6 +204,21 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
     ) -> Result<Runner> {
+        Self::new_with_options(schedule, kind, store, swarm_log::DEFAULT_WRITE_WINDOW)
+    }
+
+    /// Stands up a fresh cluster + log + cleaner for `schedule` with an
+    /// explicit store backing and client write window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster construction and log creation failures.
+    pub fn new_with_options(
+        schedule: &Schedule,
+        kind: TransportKind,
+        store: StoreKind,
+        write_window: usize,
+    ) -> Result<Runner> {
         let cluster = Cluster::new_with_store(kind, schedule.servers, store)?;
         let model: Model = Arc::new(Mutex::new(ModelInner::default()));
         let mut stack = ServiceStack::new();
@@ -207,7 +229,7 @@ impl Runner {
         let stack = Arc::new(stack);
         let log = Arc::new(Log::create(
             cluster.transport(),
-            make_config(schedule.servers)?,
+            make_config(schedule.servers, write_window)?,
         )?);
         let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
         Ok(Runner {
@@ -216,6 +238,7 @@ impl Runner {
             stack,
             log: Some(log),
             cleaner: Some(cleaner),
+            write_window,
             next_id: 0,
             verified_reads: 0,
             acked_blocks: 0,
@@ -247,7 +270,25 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
     ) -> Result<RunReport> {
-        let mut runner = Runner::new_with_store(schedule, kind, store)?;
+        Self::run_with_options(schedule, kind, store, swarm_log::DEFAULT_WRITE_WINDOW)
+    }
+
+    /// Runs `schedule` to completion with an explicit store backing and
+    /// client write window — the matrix runs `write_window` 1 (the
+    /// paper's serial store pipeline) and 8 (the windowed default) to
+    /// prove the durability contract holds at any pipelining depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns setup errors only; invariant violations are collected in
+    /// the report, not returned.
+    pub fn run_with_options(
+        schedule: &Schedule,
+        kind: TransportKind,
+        store: StoreKind,
+        write_window: usize,
+    ) -> Result<RunReport> {
+        let mut runner = Runner::new_with_options(schedule, kind, store, write_window)?;
         for (i, event) in schedule.events.iter().enumerate() {
             if runner.failures.len() >= MAX_FAILURES {
                 runner
@@ -268,6 +309,7 @@ impl Runner {
             events: schedule.events.len(),
             verified_reads: runner.verified_reads,
             acked_blocks: runner.acked_blocks,
+            write_window,
             failures: runner.failures,
         })
     }
@@ -432,7 +474,7 @@ impl Runner {
     /// Invariant: recovery rollforward reaches the live (flushed) log
     /// head — same next sequence number, nothing silently dropped.
     fn check_recovery_head(&mut self, i: usize) {
-        let config = match make_config(self.cluster.servers()) {
+        let config = match make_config(self.cluster.servers(), self.write_window) {
             Ok(c) => c,
             Err(e) => {
                 self.failures
@@ -504,7 +546,7 @@ impl Runner {
         // lost — exactly the torn tail recovery must discard.
         self.cleaner = None;
         self.log = None;
-        let config = match make_config(self.cluster.servers()) {
+        let config = match make_config(self.cluster.servers(), self.write_window) {
             Ok(c) => c,
             Err(e) => {
                 self.failures

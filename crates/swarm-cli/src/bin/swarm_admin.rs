@@ -16,6 +16,10 @@
 //!
 //! swarm-admin clean  --servers …  [--client N]      # run the cleaner
 //! swarm-admin log dump --servers … [--client N]     # print the recovered log
+//!
+//! Write-path commands accept `--write-window N` (default 8): how many
+//! Store RPCs each server channel keeps in flight (DESIGN.md §15);
+//! `--write-window 1` is the paper-faithful serial write path.
 //! swarm-admin frag locate <seq> --servers … [--client N]   # where is a fragment?
 //! ```
 
@@ -61,6 +65,15 @@ fn run() -> Result<()> {
 
 fn client_id(args: &Args) -> Result<ClientId> {
     Ok(ClientId::new(args.get_u64("client", 1)? as u32))
+}
+
+/// `--write-window N`: per-server store pipelining depth (DESIGN.md §15).
+fn write_window(args: &Args) -> Result<usize> {
+    let w = args.get_u64("write-window", swarm_log::DEFAULT_WRITE_WINDOW as u64)? as usize;
+    if w == 0 {
+        return Err(SwarmError::invalid("--write-window must be >= 1"));
+    }
+    Ok(w)
 }
 
 fn ping(args: &Args) -> Result<()> {
@@ -134,7 +147,8 @@ fn mount(args: &Args) -> Result<(Arc<Log>, Arc<StingFs>)> {
     let transport = transport_for(spec)?;
     let ids: Vec<_> = parse_servers(spec)?.into_iter().map(|(id, _)| id).collect();
     let config = LogConfig::new(client_id(args)?, ids)?
-        .fragment_size(args.get_u64("fragment-size", 1 << 20)? as usize);
+        .fragment_size(args.get_u64("fragment-size", 1 << 20)? as usize)
+        .write_window(write_window(args)?);
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     let log = Arc::new(log);
     let fs = StingFs::bare(log.clone(), StingConfig::default());
@@ -217,7 +231,7 @@ fn log_command(args: &Args) -> Result<()> {
     let spec = args.require("servers")?;
     let transport = transport_for(spec)?;
     let ids: Vec<_> = parse_servers(spec)?.into_iter().map(|(id, _)| id).collect();
-    let config = LogConfig::new(client_id(args)?, ids)?;
+    let config = LogConfig::new(client_id(args)?, ids)?.write_window(write_window(args)?);
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     println!(
         "log of {}: next fragment seq {}, {} entries since the oldest needed checkpoint",

@@ -65,4 +65,4 @@ pub use log::{Log, LogConfig, LogPosition, LogStats};
 pub use parity::ParityAccumulator;
 pub use recovery::{recover, Replay, ReplayEntry};
 pub use stripe::{StripeGroup, StripePlan};
-pub use writer::WritePool;
+pub use writer::{WritePool, DEFAULT_WRITE_WINDOW};

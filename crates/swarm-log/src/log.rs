@@ -137,6 +137,13 @@ pub struct LogConfig {
     /// Per-server write queue depth (default 2: transfer one fragment
     /// while the previous is written to disk, §2.1.2).
     pub queue_depth: usize,
+    /// Outstanding `Store` RPCs each server's writer keeps on the wire
+    /// (default [`crate::writer::DEFAULT_WRITE_WINDOW`]). 1 reproduces
+    /// the paper's one-store-per-server pipeline; larger windows exploit
+    /// the multiplexed transport and let the server's group commit batch
+    /// one client's fsyncs. Clamped to what the connection can pipeline,
+    /// so blocking transports degrade gracefully to 1.
+    pub write_window: usize,
     /// Client-side fragment cache capacity, in fragments (default 16).
     /// Serves re-reads and recovery scans without server round-trips.
     pub cache_fragments: usize,
@@ -172,6 +179,7 @@ impl LogConfig {
             group: StripeGroup::new(servers)?,
             fragment_size: DEFAULT_FRAGMENT_SIZE,
             queue_depth: 2,
+            write_window: crate::writer::DEFAULT_WRITE_WINDOW,
             cache_fragments: 16,
             prefetch: false,
             read_ahead: 2,
@@ -189,6 +197,13 @@ impl LogConfig {
     /// Sets the per-server queue depth.
     pub fn queue_depth(mut self, depth: usize) -> LogConfig {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the per-server store window (1 = the paper's serial
+    /// pipeline; clamped to at least 1).
+    pub fn write_window(mut self, window: usize) -> LogConfig {
+        self.write_window = window.max(1);
         self
     }
 
@@ -433,11 +448,14 @@ impl Log {
         if !next_seq.is_multiple_of(config.group.width() as u64) {
             return Err(SwarmError::invalid("start sequence not stripe-aligned"));
         }
-        let pool = WritePool::with_retry(
-            transport.clone(),
-            config.client,
+        // Writers share the log's connection pool, so the write path rides
+        // the same per-server channels as reads (one mux socket per
+        // server) instead of holding private sockets.
+        let pool = WritePool::with_engine(
+            engine.clone(),
             config.group.servers(),
             config.queue_depth,
+            config.write_window,
             config.store_retries,
             config.retry_backoff,
         );

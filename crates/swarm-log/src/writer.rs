@@ -10,14 +10,28 @@
 //! queue (the paper's "rudimentary form of flow control"): the appending
 //! thread seals fragments and hands them off without blocking until a
 //! server's queue is full, keeping both network and disk busy.
+//!
+//! Each writer additionally keeps a *window* of outstanding `Store` RPCs
+//! on the wire (see [`DEFAULT_WRITE_WINDOW`]): stores are started through
+//! [`Connection::start_prepared`], completion is tracked per fragment
+//! keyed by FID, and acks are consumed as they arrive — out of order on a
+//! multiplexed transport. A window of 1 reproduces the paper's behavior
+//! exactly (one store in flight per server); larger windows let the
+//! server's group-commit batch one client's fsyncs. Transports without
+//! pipelining (blocking sockets, in-process dispatch) complete each store
+//! inside `start_prepared`, so the window transparently degrades to 1.
+//! Connections come from the log's shared [`ConnectionPool`], so the
+//! write path rides the same per-server channels as reads instead of
+//! holding private sockets.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex};
-use swarm_net::{Connection, PreparedRequest, Request, Transport};
-use swarm_types::{ClientId, Result, ServerId, SwarmError};
+use swarm_net::{Connection, ConnectionPool, PendingCall, PreparedRequest, Request, Transport};
+use swarm_types::{ClientId, FragmentId, Result, ServerId, SwarmError};
 
 use crate::fragment::SealedFragment;
 
@@ -30,6 +44,11 @@ pub const STORE_RETRIES: usize = 5;
 /// (default; see [`WritePool::with_retry`]).
 pub const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
 
+/// Outstanding `Store` RPCs each server's writer keeps on the wire
+/// (default; see `LogConfig::write_window`). 1 reproduces the
+/// paper-faithful one-store-at-a-time pipeline.
+pub const DEFAULT_WRITE_WINDOW: usize = 8;
+
 pub(crate) struct WriterMetrics {
     pub(crate) store_us: swarm_metrics::Histogram,
     pub(crate) store_retries: swarm_metrics::Counter,
@@ -37,6 +56,12 @@ pub(crate) struct WriterMetrics {
     pub(crate) write_errors: swarm_metrics::Counter,
     pub(crate) flush_dropped_errors: swarm_metrics::Counter,
     pub(crate) store_requeues: swarm_metrics::Counter,
+    /// Stores currently on the wire across all servers (gauge).
+    pub(crate) store_inflight: swarm_metrics::Gauge,
+    /// Window occupancy sampled after each store is started (histogram
+    /// over counts, not microseconds): how much of the configured window
+    /// the workload actually uses.
+    pub(crate) window_occupancy: swarm_metrics::Histogram,
 }
 
 pub(crate) fn metrics() -> &'static WriterMetrics {
@@ -48,6 +73,8 @@ pub(crate) fn metrics() -> &'static WriterMetrics {
         write_errors: swarm_metrics::counter("log.write_errors"),
         flush_dropped_errors: swarm_metrics::counter("log.flush_dropped_errors"),
         store_requeues: swarm_metrics::counter("log.store_requeues"),
+        store_inflight: swarm_metrics::gauge("log.store_inflight"),
+        window_occupancy: swarm_metrics::histogram("log.store_window_occupancy"),
     })
 }
 
@@ -90,9 +117,10 @@ impl WritePool {
     /// Spawns one writer thread per server with queues of `depth`
     /// fragments each.
     ///
-    /// `depth = 1` serializes each server's pipeline (transfer overlaps
+    /// `depth = 1` serializes each server's hand-off (transfer overlaps
     /// the *previous* disk write, the paper's scheme); larger depths
-    /// admit more outstanding fragments per server.
+    /// admit more outstanding fragments per server. The store window
+    /// defaults to [`DEFAULT_WRITE_WINDOW`].
     pub fn new(
         transport: Arc<dyn Transport>,
         client: ClientId,
@@ -122,6 +150,31 @@ impl WritePool {
         retries: usize,
         backoff: std::time::Duration,
     ) -> WritePool {
+        let engine = Arc::new(ConnectionPool::new(transport, client));
+        Self::with_engine(
+            engine,
+            servers,
+            depth,
+            DEFAULT_WRITE_WINDOW,
+            retries,
+            backoff,
+        )
+    }
+
+    /// Full-control constructor: writers check connections out of
+    /// `engine` — the same pool the log's read path uses, so write and
+    /// read share per-server channels — and each keeps up to `window`
+    /// stores on the wire (clamped to the connection's
+    /// [`Connection::pipeline_width`]; `window = 1` is the paper's serial
+    /// pipeline).
+    pub fn with_engine(
+        engine: Arc<ConnectionPool>,
+        servers: &[ServerId],
+        depth: usize,
+        window: usize,
+        retries: usize,
+        backoff: std::time::Duration,
+    ) -> WritePool {
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState::default()),
             done: Condvar::new(),
@@ -130,37 +183,21 @@ impl WritePool {
         let mut threads = Vec::new();
         for &server in servers {
             let (tx, rx) = bounded::<Job>(depth.max(1));
-            let transport = transport.clone();
-            let shared = shared.clone();
+            let writer = ServerWriter {
+                engine: engine.clone(),
+                server,
+                rx,
+                shared: shared.clone(),
+                window_limit: window.max(1),
+                retries,
+                backoff,
+                conn: None,
+                window: HashMap::new(),
+                order: VecDeque::new(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("swarm-writer-{}", server.raw()))
-                .spawn(move || {
-                    let mut conn: Option<Box<dyn Connection>> = None;
-                    while let Ok(job) = rx.recv() {
-                        let result = store_with_retry(
-                            &*transport,
-                            client,
-                            server,
-                            &mut conn,
-                            &job,
-                            retries,
-                            backoff,
-                        );
-                        let mut state = shared.state.lock();
-                        state.in_flight -= 1;
-                        if let Err(e) = result {
-                            metrics().write_errors.inc();
-                            swarm_metrics::trace!(
-                                "log.write",
-                                "store of {} on server {server} failed: {e}",
-                                job.fragment.fid()
-                            );
-                            state.errors.push((server, e));
-                            state.failed.push((server, job.fragment));
-                        }
-                        shared.done.notify_all();
-                    }
-                })
+                .spawn(move || writer.run())
                 .expect("spawn writer thread");
             senders.insert(server, tx);
             threads.push(handle);
@@ -188,8 +225,14 @@ impl WritePool {
             state.in_flight += 1;
         }
         sender.send(Job { fragment }).map_err(|_| {
-            let mut state = self.shared.state.lock();
-            state.in_flight -= 1;
+            {
+                let mut state = self.shared.state.lock();
+                state.in_flight -= 1;
+            }
+            // Every in_flight decrement must notify: a flush_all waiting
+            // on this job being the last in flight would otherwise sleep
+            // forever (regression: failed_submit_wakes_waiting_flush).
+            self.shared.done.notify_all();
             SwarmError::Closed("write pool")
         })
     }
@@ -264,6 +307,25 @@ impl WritePool {
         }
     }
 
+    /// Swaps in a test-controlled sender for `server`, detaching the real
+    /// writer thread (its receiver drops, so it drains and exits). Lets
+    /// tests stand in for the writer and control exactly when sends fail.
+    #[cfg(test)]
+    fn test_replace_sender(&mut self, server: ServerId, tx: Sender<Job>) {
+        self.senders.insert(server, tx);
+    }
+
+    /// Stands in for a writer thread completing one job: decrements
+    /// `in_flight` and notifies, exactly as `harvest_one` does.
+    #[cfg(test)]
+    fn test_complete_one(&self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.in_flight -= 1;
+        }
+        self.shared.done.notify_all();
+    }
+
     /// Shuts the pool down, joining all writer threads. Queued work is
     /// completed first; fragments whose store already failed are dropped
     /// (flush never reported them durable, so nothing acknowledged is
@@ -282,66 +344,204 @@ impl Drop for WritePool {
     }
 }
 
-fn store_with_retry(
-    transport: &dyn Transport,
-    client: ClientId,
+/// One fragment on the wire: the sealed bytes (kept for re-queueing on
+/// failure), the prepared request (kept so retries replay the same
+/// buffers), and the pending completion.
+struct InFlightStore {
+    fragment: SealedFragment,
+    prepared: PreparedRequest,
+    pending: PendingCall,
+    started: Instant,
+}
+
+/// Per-server writer: pulls jobs off the bounded queue, keeps a window of
+/// stores on the wire, and harvests completions oldest-first.
+struct ServerWriter {
+    engine: Arc<ConnectionPool>,
     server: ServerId,
-    conn: &mut Option<Box<dyn Connection>>,
-    job: &Job,
+    rx: Receiver<Job>,
+    shared: Arc<Shared>,
+    window_limit: usize,
     retries: usize,
-    backoff: std::time::Duration,
-) -> Result<()> {
-    // Encode the request once up front. `share()` hands the prepared
-    // request a view of the sealed fragment's buffer (no byte copy), and
-    // every retry below replays the same header + payload.
-    let prepared = PreparedRequest::new(Request::Store {
-        fid: job.fragment.fid(),
-        marked: job.fragment.marked,
-        ranges: vec![],
-        data: job.fragment.bytes.share(),
-    });
-    let m = metrics();
-    let _span = m.store_us.span("log.store");
-    let mut last_err = SwarmError::ServerUnavailable(server);
-    for attempt in 0..retries.max(1) {
-        if attempt > 0 {
-            m.store_retries.inc();
-            std::thread::sleep(backoff);
+    backoff: Duration,
+    conn: Option<Box<dyn Connection>>,
+    /// Completion tracking keyed by FID; `order` remembers start order
+    /// for oldest-first harvesting.
+    window: HashMap<FragmentId, InFlightStore>,
+    order: VecDeque<FragmentId>,
+}
+
+impl ServerWriter {
+    fn run(mut self) {
+        let mut open = true;
+        while open || !self.order.is_empty() {
+            open = self.fill(open);
+            if !self.order.is_empty() {
+                self.harvest_one();
+            }
         }
-        if conn.is_none() {
-            if attempt > 0 {
+    }
+
+    /// The effective window: the configured limit clamped to what the
+    /// live connection can pipeline (1 on blocking/in-process transports,
+    /// the mux inflight cap on a multiplexed channel).
+    fn width(&self) -> usize {
+        match &self.conn {
+            Some(c) => self.window_limit.min(c.pipeline_width().max(1)),
+            None => self.window_limit,
+        }
+    }
+
+    /// Starts stores until the window is full or no job is immediately
+    /// available. Blocks for work only when nothing is in flight (an
+    /// empty window with a closed queue is the exit condition). Returns
+    /// whether the queue is still open.
+    fn fill(&mut self, mut open: bool) -> bool {
+        while open && self.order.len() < self.width() {
+            let job = if self.order.is_empty() {
+                match self.rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => {
+                        open = false;
+                        break;
+                    }
+                }
+            } else {
+                match self.rx.try_recv() {
+                    Ok(job) => job,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            };
+            // A re-queued fragment can share a FID with a copy already on
+            // the wire (flush re-submitting while a duplicate store is in
+            // flight); drain until the earlier copy completes so the
+            // FID-keyed tracking stays unambiguous.
+            while self.window.contains_key(&job.fragment.fid()) {
+                self.harvest_one();
+            }
+            self.start_store(job);
+        }
+        open
+    }
+
+    /// Puts one store on the wire without waiting for its ack. `share()`
+    /// hands the prepared request a view of the sealed fragment's buffer
+    /// (no byte copy); any retry replays the same header + payload.
+    fn start_store(&mut self, job: Job) {
+        let fid = job.fragment.fid();
+        let prepared = PreparedRequest::new(Request::Store {
+            fid,
+            marked: job.fragment.marked,
+            ranges: vec![],
+            data: job.fragment.bytes.share(),
+        });
+        let pending = match self.ensure_conn() {
+            Ok(conn) => conn.start_prepared(&prepared),
+            // Checkout failed (server down): the failure is harvested —
+            // and retried — like any other store, preserving order.
+            Err(e) => PendingCall::ready(Err(e)),
+        };
+        let m = metrics();
+        m.store_inflight.add(1);
+        self.window.insert(
+            fid,
+            InFlightStore {
+                fragment: job.fragment,
+                prepared,
+                pending,
+                started: Instant::now(),
+            },
+        );
+        self.order.push_back(fid);
+        m.window_occupancy.record_us(self.order.len() as u64);
+    }
+
+    /// Waits out the oldest store on the wire, retrying transport-level
+    /// failures on fresh pooled connections, then reports the result to
+    /// the pool's shared state. Every completion notifies `done`.
+    fn harvest_one(&mut self) {
+        let fid = self.order.pop_front().expect("harvest on empty window");
+        let inflight = self.window.remove(&fid).expect("window entry for fid");
+        let result = self.finish_store(inflight.prepared, inflight.pending);
+        let m = metrics();
+        m.store_inflight.add(-1);
+        m.store_us.record(inflight.started.elapsed());
+        let server = self.server;
+        let mut state = self.shared.state.lock();
+        state.in_flight -= 1;
+        if let Err(e) = result {
+            m.write_errors.inc();
+            swarm_metrics::trace!("log.write", "store of {fid} on server {server} failed: {e}");
+            state.errors.push((server, e));
+            state.failed.push((server, inflight.fragment));
+        }
+        drop(state);
+        self.shared.done.notify_all();
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Box<dyn Connection>> {
+        if self.conn.is_none() {
+            self.conn = Some(self.engine.checkout(self.server)?);
+        }
+        Ok(self.conn.as_mut().expect("connection present"))
+    }
+
+    fn finish_store(&mut self, prepared: PreparedRequest, pending: PendingCall) -> Result<()> {
+        let m = metrics();
+        let mut last_err = match pending.wait() {
+            Ok(resp) => match resp.into_result() {
+                Ok(_) => return Ok(()),
+                // A duplicate store after a retried-but-actually-
+                // successful attempt is fine: the fragment is there.
+                Err(SwarmError::FragmentExists(_)) => return Ok(()),
+                // The server answered: a protocol-level refusal is final,
+                // not a connectivity problem to retry.
+                Err(e) => return Err(e),
+            },
+            Err(e) => e,
+        };
+        // Transport failure: the shared connection (and, on mux, every
+        // sibling store on it) may be dead. Drop it and retry on fresh
+        // pooled connections, replaying the same prepared buffers.
+        self.conn = None;
+        for attempt in 1..self.retries.max(1) {
+            m.store_retries.inc();
+            std::thread::sleep(self.backoff);
+            if self.conn.is_none() {
                 m.reconnects.inc();
                 swarm_metrics::trace!(
                     "log.reconnect",
-                    "reconnecting to server {server} (attempt {attempt})"
+                    "reconnecting to server {} (attempt {attempt})",
+                    self.server
                 );
             }
-            match transport.connect(server, client) {
-                Ok(c) => *conn = Some(c),
+            let conn = match self.ensure_conn() {
+                Ok(conn) => conn,
                 Err(e) => {
                     last_err = e;
                     continue;
                 }
+            };
+            match conn.call_prepared(&prepared) {
+                Ok(resp) => {
+                    return match resp.into_result() {
+                        Ok(_) => Ok(()),
+                        Err(SwarmError::FragmentExists(_)) => Ok(()),
+                        Err(e) => Err(e),
+                    };
+                }
+                Err(e) => {
+                    self.conn = None; // force reconnect
+                    last_err = e;
+                }
             }
         }
-        let c = conn.as_mut().expect("connection present");
-        match c.call_prepared(&prepared) {
-            Ok(resp) => {
-                return match resp.into_result() {
-                    Ok(_) => Ok(()),
-                    // A duplicate store after a retried-but-actually-
-                    // successful attempt is fine: the fragment is there.
-                    Err(SwarmError::FragmentExists(_)) => Ok(()),
-                    Err(e) => Err(e),
-                };
-            }
-            Err(e) => {
-                *conn = None; // force reconnect
-                last_err = e;
-            }
-        }
+        Err(last_err)
     }
-    Err(last_err)
 }
 
 #[cfg(test)]
@@ -613,6 +813,172 @@ mod tests {
                 .unwrap(),
             expected
         );
+    }
+
+    /// Regression: `submit`'s send-failure path used to decrement
+    /// `in_flight` without notifying, so a `flush_all` waiting on that
+    /// last in-flight job slept forever. The test stands in for the
+    /// writer thread so it controls exactly when the channel dies.
+    #[test]
+    fn failed_submit_wakes_waiting_flush() {
+        use std::time::{Duration, Instant};
+
+        let (transport, _servers) = cluster(1);
+        let mut pool = WritePool::new(transport, ClientId::new(1), &[ServerId::new(0)], 1);
+        // Detach the real writer; the test plays its part.
+        let (tx, rx) = bounded::<Job>(1);
+        pool.test_replace_sender(ServerId::new(0), tx);
+        let pool = Arc::new(pool);
+
+        // Job A fills the queue; nothing consumes it.
+        pool.submit(ServerId::new(0), fragment(0, b"parked"))
+            .unwrap();
+        // Job B blocks in send() on the full queue.
+        let p = pool.clone();
+        let blocked =
+            std::thread::spawn(move || p.submit(ServerId::new(0), fragment(1, b"doomed")));
+        std::thread::sleep(Duration::from_millis(50));
+        // The flusher goes to sleep waiting for both in-flight jobs.
+        let p = pool.clone();
+        let flusher = std::thread::spawn(move || p.flush_all());
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Job A "completes"...
+        pool.test_complete_one();
+        // ...and the channel dies under job B's blocked send. That
+        // failure path's decrement is the last one — without its notify,
+        // the flusher never wakes.
+        drop(rx);
+        let err = blocked.join().unwrap().unwrap_err();
+        assert!(matches!(err, SwarmError::Closed(_)), "{err}");
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !flusher.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "flush_all slept through the failed submit's decrement"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        flusher.join().unwrap().expect("no store ever failed");
+    }
+
+    /// The writer genuinely overlaps stores: with a pipelined transport,
+    /// all four submitted fragments are on the wire before any ack is
+    /// consumed. (Completions are gated on all four having started, so a
+    /// serial regression hangs rather than passes — a watchdog turns that
+    /// into a failure.)
+    #[test]
+    fn window_overlaps_stores_on_a_pipelined_transport() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+        use swarm_net::PendingCall;
+
+        const FRAGS: usize = 4;
+
+        struct PipeShared {
+            started: AtomicUsize,
+            dial_open: AtomicBool,
+        }
+
+        struct PipeTransport {
+            inner: Arc<MemTransport>,
+            shared: Arc<PipeShared>,
+        }
+
+        struct PipeConn {
+            inner: Box<dyn Connection>,
+            mem: Arc<MemTransport>,
+            shared: Arc<PipeShared>,
+        }
+
+        impl Connection for PipeConn {
+            fn call(&mut self, request: &Request) -> swarm_types::Result<swarm_net::Response> {
+                self.inner.call(request)
+            }
+
+            fn start_prepared(&mut self, prepared: &PreparedRequest) -> PendingCall {
+                self.shared.started.fetch_add(1, Ordering::SeqCst);
+                let shared = self.shared.clone();
+                let mem = self.mem.clone();
+                let server = self.inner.server();
+                let request = prepared.request().clone();
+                PendingCall::deferred(move || {
+                    // No ack completes until every fragment is in flight.
+                    while shared.started.load(Ordering::SeqCst) < FRAGS {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    mem.connect(server, ClientId::new(1))?.call(&request)
+                })
+            }
+
+            fn pipeline_width(&self) -> usize {
+                8
+            }
+
+            fn server(&self) -> ServerId {
+                self.inner.server()
+            }
+        }
+
+        impl Transport for PipeTransport {
+            fn connect(
+                &self,
+                server: ServerId,
+                client: ClientId,
+            ) -> swarm_types::Result<Box<dyn Connection>> {
+                // Hold the writer's first dial until the test has queued
+                // every fragment, so the fill loop sees them all at once.
+                while !self.shared.dial_open.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Box::new(PipeConn {
+                    inner: self.inner.connect(server, client)?,
+                    mem: self.inner.clone(),
+                    shared: self.shared.clone(),
+                }))
+            }
+
+            fn servers(&self) -> Vec<ServerId> {
+                self.inner.servers()
+            }
+        }
+
+        let (mem, servers) = cluster(1);
+        let shared = Arc::new(PipeShared {
+            started: AtomicUsize::new(0),
+            dial_open: AtomicBool::new(false),
+        });
+        let transport = Arc::new(PipeTransport {
+            inner: mem,
+            shared: shared.clone(),
+        });
+        let pool = Arc::new(WritePool::new(
+            transport,
+            ClientId::new(1),
+            &[ServerId::new(0)],
+            FRAGS,
+        ));
+        for seq in 0..FRAGS as u64 {
+            pool.submit(ServerId::new(0), fragment(seq, &[seq as u8; 64]))
+                .unwrap();
+        }
+        shared.dial_open.store(true, Ordering::SeqCst);
+
+        let p = pool.clone();
+        let flusher = std::thread::spawn(move || p.flush());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !flusher.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "writer never reached {FRAGS} concurrent stores (started {})",
+                shared.started.load(Ordering::SeqCst)
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        flusher.join().unwrap().unwrap();
+        assert_eq!(shared.started.load(Ordering::SeqCst), FRAGS);
+        assert_eq!(servers[0].store().fragment_count(), FRAGS as u64);
     }
 
     #[test]

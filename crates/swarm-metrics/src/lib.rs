@@ -83,6 +83,40 @@ struct HistogramInner {
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
+    /// Creates a histogram that is NOT in the global registry.
+    ///
+    /// Detached histograms are for per-run measurement (e.g. a benchmark
+    /// driver that wants one histogram per worker thread, merged at the
+    /// end) where polluting the process-wide snapshot would be wrong.
+    pub fn detached() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }))
+    }
+
+    /// Folds every observation recorded in `other` into `self`.
+    ///
+    /// Bucket counts are additive and the max is a max, so merging N
+    /// per-thread histograms yields exactly the histogram a single shared
+    /// one would have produced.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .sum_us
+            .fetch_add(other.0.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .max_us
+            .fetch_max(other.0.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     fn bucket_index(us: u64) -> usize {
         // 0 -> 0, 1 -> 1, 2..3 -> 2, ..., clamped to the open-ended top.
         ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
@@ -121,7 +155,8 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
-    fn summarize(&self) -> HistogramSummary {
+    /// Rolls the current bucket counts up into quantile bounds.
+    pub fn summarize(&self) -> HistogramSummary {
         let buckets: Vec<u64> = self
             .0
             .buckets
@@ -151,6 +186,7 @@ impl Histogram {
             max_us: self.0.max_us.load(Ordering::Relaxed),
             p50_us: quantile(0.50),
             p99_us: quantile(0.99),
+            p999_us: quantile(0.999),
         }
     }
 }
@@ -168,6 +204,8 @@ pub struct HistogramSummary {
     pub p50_us: u64,
     /// 99th-percentile upper bound, microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile upper bound, microseconds.
+    pub p999_us: u64,
 }
 
 impl HistogramSummary {
@@ -307,11 +345,12 @@ impl Snapshot {
         out.push_str("},\n  \"histograms\": {");
         push_entries(&mut out, self.histograms.iter(), |out, h| {
             out.push_str(&format!(
-                "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
                 h.count,
                 h.mean_us(),
                 h.p50_us,
                 h.p99_us,
+                h.p999_us,
                 h.max_us
             ))
         });
@@ -488,6 +527,7 @@ impl JsonParser<'_> {
                     max_us: 0,
                     p50_us: 0,
                     p99_us: 0,
+                    p999_us: 0,
                 };
                 let mut mean = 0u64;
                 p.object(|p, field| {
@@ -497,6 +537,7 @@ impl JsonParser<'_> {
                         "mean_us" => mean = v,
                         "p50_us" => h.p50_us = v,
                         "p99_us" => h.p99_us = v,
+                        "p999_us" => h.p999_us = v,
                         "max_us" => h.max_us = v,
                         _ => return None,
                     }
@@ -656,6 +697,47 @@ mod tests {
             Snapshot::from_json("{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}"),
             Some(Snapshot::default())
         );
+    }
+
+    #[test]
+    fn detached_histograms_merge_like_a_shared_one() {
+        let shared = Histogram::detached();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::detached()).collect();
+        for (i, part) in parts.iter().enumerate() {
+            for k in 0..250 {
+                let us = (i as u64 + 1) * 100 + k;
+                part.record_us(us);
+                shared.record_us(us);
+            }
+        }
+        let merged = Histogram::detached();
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_eq!(merged.summarize(), shared.summarize());
+        // Detached histograms must never leak into the global snapshot.
+        assert!(!snapshot().histograms.values().any(|h| h.count == 1000));
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let h = Histogram::detached();
+        for _ in 0..9_980 {
+            h.record_us(100);
+        }
+        for _ in 0..19 {
+            h.record_us(10_000);
+        }
+        h.record_us(1_000_000);
+        let s = h.summarize();
+        assert_eq!(s.count, 10_000);
+        assert!(s.p99_us <= 128, "p99 {}", s.p99_us);
+        assert!(
+            s.p999_us > s.p99_us && s.p999_us <= 16_384,
+            "p999 {} should capture the 10ms stragglers",
+            s.p999_us
+        );
+        assert_eq!(s.max_us, 1_000_000);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use mem::MemTransport;
 pub use pool::ConnectionPool;
 pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
 pub use reactor::Runtime;
-pub use transport::{broadcast, Connection, Transport};
+pub use transport::{broadcast, Connection, PendingCall, Transport};
 pub use workpool::WorkerPool;

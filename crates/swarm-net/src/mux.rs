@@ -156,15 +156,11 @@ impl MuxChannel {
         self.cv.notify_all();
     }
 
-    /// Ships `header ++ payload` as one request frame and blocks until the
-    /// response with the matching id arrives, the timeout lapses, or the
-    /// channel dies.
-    pub(crate) fn call(
-        &self,
-        header: &[u8],
-        payload: &Bytes,
-        timeout: Option<Duration>,
-    ) -> Result<Bytes> {
+    /// Queues `header ++ payload` as one request frame, wakes the reactor,
+    /// and returns the request id without waiting for the response. Pair
+    /// with [`MuxChannel::finish`]; a caller may hold any number of
+    /// outstanding ids, which is what pipelined stores ride on.
+    pub(crate) fn begin(&self, header: &[u8], payload: &Bytes) -> Result<u64> {
         let id = {
             let mut st = self.state.lock();
             if st.dead {
@@ -192,12 +188,17 @@ impl MuxChannel {
         if let Some(h) = self.handle.get() {
             h.notify();
         }
+        Ok(id)
+    }
 
+    /// Blocks until the response for `id` arrives, `deadline` passes, or
+    /// the channel dies. Ids may be finished in any order regardless of
+    /// the order their responses arrive.
+    pub(crate) fn finish(&self, id: u64, deadline: Option<Instant>) -> Result<Bytes> {
         // Fixed deadline, not a fresh `timeout` per wakeup: every response
         // notify_all()s all waiters, so re-waiting the full duration after
         // each wakeup would let a busy channel postpone this call's
         // timeout indefinitely.
-        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
         loop {
             if let Some(Some(_)) = st.pending.get(&id) {
@@ -225,6 +226,19 @@ impl MuxChannel {
                 }
             }
         }
+    }
+
+    /// Ships `header ++ payload` as one request frame and blocks until the
+    /// response with the matching id arrives, the timeout lapses, or the
+    /// channel dies.
+    pub(crate) fn call(
+        &self,
+        header: &[u8],
+        payload: &Bytes,
+        timeout: Option<Duration>,
+    ) -> Result<Bytes> {
+        let id = self.begin(header, payload)?;
+        self.finish(id, timeout.map(|t| Instant::now() + t))
     }
 }
 
@@ -437,6 +451,45 @@ mod tests {
             .call(b"hdr", &Bytes::new(), Some(Duration::from_secs(5)))
             .unwrap_err();
         assert!(matches!(err, SwarmError::ServerUnavailable(_)), "{err}");
+    }
+
+    /// Split begin/finish: a caller holds several outstanding ids and may
+    /// harvest them in submission order even when the responses land in
+    /// reverse — the window the pipelined write path relies on.
+    #[test]
+    fn begin_finish_harvests_out_of_order_completions() {
+        let ch = MuxChannel::new(ServerId::new(5));
+        let ids: Vec<u64> = (0..4)
+            .map(|i| {
+                ch.begin(format!("hdr{i}").as_bytes(), &Bytes::new())
+                    .expect("begin")
+            })
+            .collect();
+        assert_eq!(ch.inflight_peak(), 4, "all four must be pending at once");
+
+        // Responses arrive in reverse order (what pump_read would do).
+        let (ch2, ids2) = (ch.clone(), ids.clone());
+        let responder = std::thread::spawn(move || {
+            for &id in ids2.iter().rev() {
+                std::thread::sleep(Duration::from_millis(5));
+                let mut st = ch2.state.lock();
+                if let Some(slot) = st.pending.get_mut(&id) {
+                    *slot = Some(Ok(Bytes::from(id.to_le_bytes().to_vec())));
+                }
+                drop(st);
+                ch2.cv.notify_all();
+            }
+        });
+
+        // Harvest in submission order; each finish must get its own bytes.
+        for &id in &ids {
+            let body = ch
+                .finish(id, Some(Instant::now() + Duration::from_secs(5)))
+                .expect("finish");
+            assert_eq!(&body[..], id.to_le_bytes());
+        }
+        responder.join().unwrap();
+        assert!(ch.state.lock().pending.is_empty());
     }
 
     /// Regression: re-waiting with the full timeout after every wakeup let

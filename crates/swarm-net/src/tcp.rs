@@ -40,7 +40,7 @@ use crate::handler::RequestHandler;
 use crate::mux::{mux_dial, parse_hello, MuxChannel, MuxSource, Seg};
 use crate::proto::{PreparedRequest, Request, Response};
 use crate::reactor::{Ctx, Handle, Reactor, Ready, Runtime, Source, TimerVerdict};
-use crate::transport::{Connection, Transport};
+use crate::transport::{Connection, PendingCall, Transport};
 use crate::workpool::{WorkerPool, DEFAULT_WORKERS};
 
 /// How long the accept path backs off after a failed `accept()` before
@@ -1185,7 +1185,9 @@ impl TcpTransport {
             ch2.set_handle(h.clone());
             Box::new(MuxSource::new(stream, ch2.clone()))
         });
-        self.channels.lock().insert((server, client), channel.clone());
+        self.channels
+            .lock()
+            .insert((server, client), channel.clone());
         Ok(Box::new(MuxConnection {
             server,
             channel,
@@ -1348,6 +1350,36 @@ impl Connection for MuxConnection {
 
     fn call_prepared(&mut self, prepared: &PreparedRequest) -> Result<Response> {
         self.exchange(prepared.header(), prepared.payload())
+    }
+
+    fn start_prepared(&mut self, prepared: &PreparedRequest) -> PendingCall {
+        // Put the frame on the wire now; hand the caller a completion that
+        // blocks on this request id only. The deadline is fixed at start
+        // time so a windowed caller can't stretch it by harvesting late.
+        let started = Instant::now();
+        let id = match self.channel.begin(prepared.header(), prepared.payload()) {
+            Ok(id) => id,
+            Err(e) => {
+                metrics().client_call_errors.inc();
+                return PendingCall::ready(Err(e));
+            }
+        };
+        let channel = self.channel.clone();
+        let deadline = self.timeout.map(|t| started + t);
+        PendingCall::deferred(move || {
+            let m = metrics();
+            let reply = channel
+                .finish(id, deadline)
+                .inspect_err(|_| m.client_call_errors.inc())?;
+            m.client_call_us.record(started.elapsed());
+            Response::decode_all_shared(&reply)
+        })
+    }
+
+    fn pipeline_width(&self) -> usize {
+        // Matches the server's per-connection inflight cap; going wider
+        // would only park frames in the server's backpressure window.
+        MAX_INFLIGHT_PER_CONN
     }
 
     fn server(&self) -> ServerId {

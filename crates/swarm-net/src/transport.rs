@@ -4,6 +4,45 @@ use swarm_types::{ClientId, Result, ServerId};
 
 use crate::proto::{PreparedRequest, Request, Response};
 
+/// An RPC that has been shipped but whose response has not been consumed.
+///
+/// [`Connection::start_prepared`] returns one of these; pipelined callers
+/// hold a window of them and [`PendingCall::wait`] each when they choose,
+/// in any order. Transports without genuine pipelining complete the call
+/// inside `start_prepared` and hand back a `Ready` — callers get identical
+/// semantics (window degrades to 1 effective slot) with no special-casing.
+pub enum PendingCall {
+    /// The call already completed (blocking transports, or an error at
+    /// submission time).
+    Ready(Result<Response>),
+    /// The call is in flight; the closure blocks until its response lands.
+    Deferred(Box<dyn FnOnce() -> Result<Response> + Send>),
+}
+
+impl PendingCall {
+    /// Wraps an already-completed call.
+    pub fn ready(result: Result<Response>) -> PendingCall {
+        PendingCall::Ready(result)
+    }
+
+    /// Wraps an in-flight call whose completion `wait` will block on.
+    pub fn deferred(wait: impl FnOnce() -> Result<Response> + Send + 'static) -> PendingCall {
+        PendingCall::Deferred(Box::new(wait))
+    }
+
+    /// Blocks until the response is available and returns it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::call`].
+    pub fn wait(self) -> Result<Response> {
+        match self {
+            PendingCall::Ready(r) => r,
+            PendingCall::Deferred(f) => f(),
+        }
+    }
+}
+
 /// A live connection from a client to one storage server.
 pub trait Connection: Send {
     /// Sends a request and waits for its reply.
@@ -28,6 +67,23 @@ pub trait Connection: Send {
     /// As for [`Connection::call`].
     fn call_prepared(&mut self, prepared: &PreparedRequest) -> Result<Response> {
         self.call(prepared.request())
+    }
+
+    /// Ships a pre-encoded request without waiting for the reply.
+    ///
+    /// Pipelined callers keep up to [`Connection::pipeline_width`] of the
+    /// returned [`PendingCall`]s outstanding and harvest them in any
+    /// order. The default completes the call synchronously (one effective
+    /// slot), which is correct for blocking and in-process transports; the
+    /// mux transport overrides it to put many requests on the wire first.
+    fn start_prepared(&mut self, prepared: &PreparedRequest) -> PendingCall {
+        PendingCall::ready(self.call_prepared(prepared))
+    }
+
+    /// How many [`Connection::start_prepared`] calls can usefully be in
+    /// flight at once on this connection (1 = no pipelining).
+    fn pipeline_width(&self) -> usize {
+        1
     }
 
     /// The server this connection talks to.

@@ -132,6 +132,61 @@ proptest! {
     }
 }
 
+/// One caller pipelines a window of stores through `start_prepared` on a
+/// single mux connection, then harvests the completions: every store must
+/// land, readback must be byte-exact, and the channel's inflight peak must
+/// prove the requests genuinely overlapped on the wire.
+#[test]
+fn start_prepared_pipelines_a_window_on_one_connection() {
+    use swarm_net::PreparedRequest;
+
+    const WINDOW: usize = 8;
+    let server = epoll_server(3, 4);
+    let transport = Arc::new(TcpTransport::with_servers([(
+        ServerId::new(3),
+        server.addr(),
+    )]));
+    let mut conn = transport
+        .connect(ServerId::new(3), ClientId::new(11))
+        .expect("connect");
+    assert!(conn.pipeline_width() >= WINDOW);
+
+    let payloads: Vec<Vec<u8>> = (0..WINDOW).map(|i| payload_for(9, i, 2048)).collect();
+    let pending: Vec<_> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, data)| {
+            let prepared = PreparedRequest::new(Request::Store {
+                fid: FragmentId::new(ClientId::new(11), i as u64),
+                marked: false,
+                ranges: vec![],
+                data: data.clone().into(),
+            });
+            conn.start_prepared(&prepared)
+        })
+        .collect();
+    // All WINDOW requests are on the wire before the first harvest.
+    assert!(
+        transport.mux_inflight_peak() >= WINDOW,
+        "inflight peak {} never reached the window",
+        transport.mux_inflight_peak()
+    );
+    for p in pending {
+        assert_eq!(p.wait().expect("store"), Response::Ok);
+    }
+    for (i, data) in payloads.iter().enumerate() {
+        let resp = conn
+            .call(&Request::Read {
+                fid: FragmentId::new(ClientId::new(11), i as u64),
+                offset: 0,
+                len: data.len() as u32,
+            })
+            .expect("read");
+        assert_eq!(resp, Response::Data(data.clone().into()), "fragment {i}");
+    }
+    assert_eq!(transport.mux_channels(), 1, "everything shared one socket");
+}
+
 /// The reactor holds 1000 concurrent connections — far beyond the worker
 /// pool width — and serves every one of them while all are open.
 #[test]

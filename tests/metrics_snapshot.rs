@@ -136,6 +136,43 @@ fn read_engine_metrics_track_pool_and_read_sources() {
     );
 }
 
+/// The pipelined write engine's instruments (DESIGN.md §15) are visible
+/// through the same snapshot `swarm-admin stats` prints: the
+/// `log.store_inflight` gauge exists (and is back to zero once flush
+/// returns — every started store was harvested) and the
+/// `log.store_window_occupancy` histogram gained a sample per store.
+#[test]
+fn write_window_metrics_appear_in_snapshot() {
+    let svc = ServiceId::new(11);
+    let before = swarm_metrics::snapshot();
+    let transport = cluster(3);
+
+    let log = Log::create(transport, config(3).write_window(4).queue_depth(4)).unwrap();
+    for i in 0..12u8 {
+        log.append_block(svc, b"", &[i; 1500]).unwrap();
+    }
+    log.flush().unwrap();
+
+    let after = swarm_metrics::snapshot();
+    let occupancy = |snap: &swarm_metrics::Snapshot| {
+        snap.histogram("log.store_window_occupancy")
+            .map_or(0, |h| h.count)
+    };
+    assert!(
+        occupancy(&after) > occupancy(&before),
+        "window occupancy histogram gained no samples"
+    );
+    assert!(
+        after.gauges.contains_key("log.store_inflight"),
+        "store_inflight gauge not registered"
+    );
+
+    // The JSON `swarm-admin stats` prints carries both instruments.
+    let parsed = swarm_metrics::Snapshot::from_json(&after.to_json()).unwrap();
+    assert!(parsed.gauges.contains_key("log.store_inflight"));
+    assert!(parsed.histogram("log.store_window_occupancy").is_some());
+}
+
 #[test]
 fn metrics_rpc_serves_a_parseable_snapshot() {
     let transport = cluster(2);
