@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! ycsb                                  # workload `write`, full scoreboard
-//! ycsb --workload all                   # A, B, C, and write
+//! ycsb --workload all                   # A, B, C, D, E, and write
 //! ycsb --smoke --out target/bench       # CI configuration
 //! ycsb --workload a --threads 8 --windows 8 --rate 500
+//! ycsb diff --fresh target/bench        # gate fresh results vs committed
 //! ```
 //!
 //! Stands up an in-process cluster of real TCP servers (epoll runtime on
@@ -36,6 +37,8 @@ struct Args {
     flush_every: usize,
     servers: u32,
     file_store: bool,
+    /// Server-side sharded read cache capacity in fragments; 0 disables.
+    cache_fragments: usize,
     /// Group-commit window for file-backed servers: long enough that
     /// serial stores visibly wait on it, short enough to keep runs quick.
     group_ms: u64,
@@ -45,10 +48,11 @@ struct Args {
     dump_metrics: bool,
 }
 
-const USAGE: &str = "usage: ycsb [--workload a|b|c|write|all] [--threads N,N,..] \
+const USAGE: &str = "usage: ycsb [--workload a|b|c|d|e|write|all] [--threads N,N,..] \
 [--windows N,N,..] [--records N] [--ops N] [--value BYTES] [--fragment BYTES] \
-[--flush-every N] [--servers N] [--store mem|file] [--group-ms N] \
-[--rate OPS_PER_SEC] [--smoke] [--out DIR] [--seed N]";
+[--flush-every N] [--servers N] [--store mem|file] [--cache FRAGMENTS] [--group-ms N] \
+[--rate OPS_PER_SEC] [--smoke] [--out DIR] [--seed N]\n       \
+ycsb diff [--baseline DIR] [--fresh DIR] [--threshold PCT]";
 
 fn parse_usize_list(v: &str, flag: &str) -> std::result::Result<Vec<usize>, String> {
     v.split(',')
@@ -82,6 +86,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         flush_every: 64,
         servers: 5,
         file_store: true,
+        cache_fragments: 1024,
         group_ms: 5,
         rate: None,
         out: PathBuf::from("."),
@@ -100,7 +105,7 @@ fn parse_args() -> std::result::Result<Args, String> {
                 args.workloads = match v.as_str() {
                     "all" => Workload::all().to_vec(),
                     name => vec![Workload::named(name).ok_or_else(|| {
-                        format!("unknown workload {name:?} (want a|b|c|write|all)")
+                        format!("unknown workload {name:?} (want a|b|c|d|e|write|all)")
                     })?],
                 };
             }
@@ -137,6 +142,10 @@ fn parse_args() -> std::result::Result<Args, String> {
                     "mem" => false,
                     other => return Err(format!("unknown store {other:?} (want mem|file)")),
                 };
+            }
+            "--cache" => {
+                let v = value("--cache")?;
+                args.cache_fragments = v.parse().map_err(|e| format!("--cache {v}: {e}"))?;
             }
             "--group-ms" => {
                 let v = value("--group-ms")?;
@@ -192,7 +201,13 @@ impl BenchCluster {
         base.join(format!("swarm-ycsb-{}", std::process::id()))
     }
 
-    fn spawn(n: u32, file_store: bool, group_ms: u64, runtime: Runtime) -> Result<BenchCluster> {
+    fn spawn(
+        n: u32,
+        file_store: bool,
+        cache_fragments: usize,
+        group_ms: u64,
+        runtime: Runtime,
+    ) -> Result<BenchCluster> {
         let dir = file_store.then(Self::store_root);
         let mut servers = Vec::new();
         let mut addrs = Vec::new();
@@ -206,7 +221,9 @@ impl BenchCluster {
                 )?),
                 None => Box::new(MemStore::new()),
             };
-            let handler: Arc<dyn RequestHandler> = StorageServer::new(id, store).into_shared();
+            let handler: Arc<dyn RequestHandler> = StorageServer::new(id, store)
+                .with_read_cache(cache_fragments)
+                .into_shared();
             let srv = TcpServer::spawn_with_config(
                 id,
                 "127.0.0.1:0",
@@ -301,7 +318,152 @@ fn speedup_at_8_threads(rows: &[Row]) -> Option<f64> {
     }
 }
 
+struct DiffArgs {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    threshold: f64,
+}
+
+fn parse_diff_args() -> std::result::Result<DiffArgs, String> {
+    let mut args = DiffArgs {
+        baseline: PathBuf::from("."),
+        fresh: PathBuf::from("bench-artifacts"),
+        threshold: 15.0,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--fresh" => args.fresh = PathBuf::from(value("--fresh")?),
+            "--threshold" => {
+                let v = value("--threshold")?;
+                args.threshold = v.parse().map_err(|e| format!("--threshold {v}: {e}"))?;
+                if !(0.0..100.0).contains(&args.threshold) {
+                    return Err("--threshold wants a percentage in [0, 100)".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Pulls `"key": <number>` out of one line of the scoreboard's own JSON.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(threads, window, throughput)` for every row in a scoreboard file.
+fn scoreboard_rows(text: &str) -> Vec<(u64, u64, f64)> {
+    text.lines()
+        .filter_map(|l| {
+            Some((
+                json_num(l, "threads")? as u64,
+                json_num(l, "window")? as u64,
+                json_num(l, "throughput_ops_per_s")?,
+            ))
+        })
+        .collect()
+}
+
+/// `ycsb diff`: compare fresh `BENCH_ycsb_*.json` against the committed
+/// trajectory, cell by cell. Exit non-zero when any shared `(threads,
+/// window)` cell lost more than `--threshold` percent throughput — the
+/// nightly scoreboard's regression gate.
+fn run_diff() -> std::process::ExitCode {
+    let args = match parse_diff_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let mut names: Vec<String> = match std::fs::read_dir(&args.fresh) {
+        Ok(dir) => dir
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_ycsb_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read fresh dir {}: {e}", args.fresh.display());
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for name in &names {
+        let fresh = match std::fs::read_to_string(args.fresh.join(name)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {name}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let Ok(base) = std::fs::read_to_string(args.baseline.join(name)) else {
+            println!("{name}: no committed baseline, skipping");
+            continue;
+        };
+        let fresh_rows = scoreboard_rows(&fresh);
+        for (threads, window, was) in scoreboard_rows(&base) {
+            let Some(&(_, _, now)) = fresh_rows
+                .iter()
+                .find(|&&(t, w, _)| t == threads && w == window)
+            else {
+                // The committed trajectory covers cells (e.g. 64 threads)
+                // the smoke run doesn't produce; only shared cells gate.
+                continue;
+            };
+            compared += 1;
+            let ratio = if was > 0.0 { now / was } else { 1.0 };
+            let regressed = ratio < 1.0 - args.threshold / 100.0;
+            println!(
+                "{name}: threads={threads} window={window} \
+                 {was:.0} -> {now:.0} ops/s ({ratio:.2}x){}",
+                if regressed { "  REGRESSION" } else { "" }
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "ycsb diff: no comparable cells between {} and {}",
+            args.baseline.display(),
+            args.fresh.display()
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    println!(
+        "ycsb diff: {compared} cells compared, {regressions} regressed \
+         (threshold {:.0}%)",
+        args.threshold
+    );
+    if regressions > 0 {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
 fn main() -> std::process::ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("diff") {
+        return run_diff();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -328,6 +490,7 @@ fn main() -> std::process::ExitCode {
                 let cluster = match BenchCluster::spawn(
                     args.servers,
                     args.file_store,
+                    args.cache_fragments,
                     args.group_ms,
                     runtime,
                 ) {
@@ -397,19 +560,21 @@ fn main() -> std::process::ExitCode {
 
         let json = format!(
             "{{\n  \"bench\": \"ycsb\",\n  \"workload\": \"{}\",\n  \
-             \"mix\": {{\"read_pct\": {}, \"update_pct\": {}, \"insert_pct\": {}, \
-             \"dist\": \"{}\"}},\n  \
+             \"mix\": {{\"read_pct\": {}, \"scan_pct\": {}, \"update_pct\": {}, \
+             \"insert_pct\": {}, \"dist\": \"{}\"}},\n  \
              \"transport\": \"tcp-{runtime}\",\n  \"store\": \"{store_name}\",\n  \
              \"servers\": {},\n  \"value_bytes\": {},\n  \"records_per_thread\": {},\n  \
              \"ops_per_thread\": {},\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
              \"speedup_w8_over_w1_at_8_threads\": {}\n}}\n",
             workload.name,
             workload.read_pct,
+            workload.scan_pct,
             workload.update_pct,
-            100 - workload.read_pct - workload.update_pct,
+            100 - workload.read_pct - workload.scan_pct - workload.update_pct,
             match workload.dist {
                 swarm_bench::ycsb::KeyDist::Zipfian => "zipfian",
                 swarm_bench::ycsb::KeyDist::Uniform => "uniform",
+                swarm_bench::ycsb::KeyDist::Latest => "latest",
             },
             args.servers,
             args.value_bytes,

@@ -122,15 +122,24 @@ pub enum KeyDist {
     Zipfian,
     /// Uniform over the live keys.
     Uniform,
+    /// YCSB's "latest" distribution: a zipfian over recency, so the most
+    /// recently inserted keys are the hottest (workload D's read side).
+    Latest,
 }
 
-/// A read/update/insert mix over a key distribution.
+/// Longest scan in records; YCSB core E draws the length uniformly.
+pub const MAX_SCAN_LEN: usize = 16;
+
+/// A read/scan/update/insert mix over a key distribution.
 #[derive(Debug, Clone, Copy)]
 pub struct Workload {
     /// Workload name (the `BENCH_ycsb_<name>.json` suffix).
     pub name: &'static str,
     /// Percent of operations that read an existing key.
     pub read_pct: u32,
+    /// Percent that scan a short run of keys starting at a drawn key
+    /// (`read_many`, batched over the wire).
+    pub scan_pct: u32,
     /// Percent that rewrite an existing key (log append + readdress).
     pub update_pct: u32,
     /// Remainder: inserts of fresh keys.
@@ -138,31 +147,54 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// The driver's workload table: YCSB core A/B/C plus the pure-insert
-    /// `write` workload the pipelining scoreboard is judged on.
+    /// The driver's workload table: YCSB core A/B/C/D/E plus the
+    /// pure-insert `write` workload the pipelining scoreboard is judged
+    /// on.
     pub fn all() -> &'static [Workload] {
         &[
             Workload {
                 name: "a",
                 read_pct: 50,
+                scan_pct: 0,
                 update_pct: 50,
                 dist: KeyDist::Zipfian,
             },
             Workload {
                 name: "b",
                 read_pct: 95,
+                scan_pct: 0,
                 update_pct: 5,
                 dist: KeyDist::Zipfian,
             },
             Workload {
                 name: "c",
                 read_pct: 100,
+                scan_pct: 0,
+                update_pct: 0,
+                dist: KeyDist::Zipfian,
+            },
+            // YCSB D: read latest. 95% reads skewed to recent inserts,
+            // 5% inserts of fresh keys.
+            Workload {
+                name: "d",
+                read_pct: 95,
+                scan_pct: 0,
+                update_pct: 0,
+                dist: KeyDist::Latest,
+            },
+            // YCSB E: short ranges. 95% scans of 1..=MAX_SCAN_LEN records
+            // (served by the batched read path), 5% inserts.
+            Workload {
+                name: "e",
+                read_pct: 0,
+                scan_pct: 95,
                 update_pct: 0,
                 dist: KeyDist::Zipfian,
             },
             Workload {
                 name: "write",
                 read_pct: 0,
+                scan_pct: 0,
                 update_pct: 0,
                 dist: KeyDist::Uniform,
             },
@@ -180,7 +212,9 @@ impl Workload {
 pub struct RunConfig {
     /// Concurrent clients (each its own `ClientId` + [`Log`]).
     pub threads: usize,
-    /// Store pipelining window ([`LogConfig::write_window`]).
+    /// Pipelining window, applied to both sides of the client
+    /// ([`LogConfig::write_window`] and [`LogConfig::read_window`]) so a
+    /// scoreboard cell exercises one depth end to end.
     pub window: usize,
     /// Records preloaded per thread before the timed phase.
     pub records: usize,
@@ -250,6 +284,7 @@ fn log_config(client: u32, cfg: &RunConfig) -> Result<LogConfig> {
     // Reads must hit the servers, not a client cache.
     .cache_fragments(0)
     .write_window(cfg.window)
+    .read_window(cfg.window)
     // Enough queue that the window, not the queue, is the limiter.
     .queue_depth(cfg.window.max(2) * 2))
 }
@@ -326,16 +361,32 @@ fn run_thread(
         let key = match workload.dist {
             KeyDist::Zipfian => zipf.next_key(&mut rng),
             KeyDist::Uniform => rng.below(table.live.len().max(1) as u64),
+            // Hottest key = most recent insert, zipfian over recency.
+            KeyDist::Latest => {
+                let n = table.live.len().max(1) as u64;
+                n - 1 - (zipf.next_rank(&mut rng) % n)
+            }
         } as usize;
         let draw = rng.below(100) as u32;
         if draw < workload.read_pct {
             let addr = table.live[key % table.live.len()];
             let got = log.read(addr)?;
             assert_eq!(got.len(), cfg.value_bytes, "short read");
+        } else if draw < workload.read_pct + workload.scan_pct {
+            // Short range scan: consecutive live keys from the drawn
+            // start, clamped at the keyspace edge, one batched read.
+            let start = key % table.live.len();
+            let len = 1 + rng.below(MAX_SCAN_LEN as u64) as usize;
+            let end = (start + len).min(table.live.len());
+            let got = log.read_many(&table.live[start..end])?;
+            assert_eq!(got.len(), end - start, "short scan");
+            for b in &got {
+                assert_eq!(b.len(), cfg.value_bytes, "short scan read");
+            }
         } else {
             value(key as u64, &mut buf);
             let addr = log.append_block(YCSB_SERVICE, b"", &buf)?;
-            if draw < workload.read_pct + workload.update_pct {
+            if draw < workload.read_pct + workload.scan_pct + workload.update_pct {
                 table.staged.push((key % table.live.len(), addr));
             } else {
                 table.staged_inserts.push(addr);
@@ -465,6 +516,30 @@ mod tests {
         let summary = result.summary();
         assert_eq!(summary.count, 120);
         assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn scan_and_latest_workloads_run_on_a_mem_cluster() {
+        let transport = mem_cluster(3);
+        let cfg = RunConfig {
+            threads: 2,
+            window: 4,
+            records: 30,
+            ops: 60,
+            value_bytes: 256,
+            flush_every: 16,
+            servers: 3,
+            ..RunConfig::default()
+        };
+        for name in ["d", "e"] {
+            let transport = transport.clone();
+            let factory: Arc<TransportFactory> =
+                Arc::new(move |_| Ok(transport.clone() as Arc<dyn Transport>));
+            let result =
+                run_workload(factory, Workload::named(name).unwrap(), cfg).expect("workload");
+            assert_eq!(result.ops, 120, "workload {name}");
+            assert_eq!(result.summary().count, 120, "workload {name}");
+        }
     }
 
     #[test]

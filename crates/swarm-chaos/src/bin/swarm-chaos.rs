@@ -21,6 +21,7 @@ struct Args {
     transports: Vec<TransportKind>,
     stores: Vec<StoreKind>,
     windows: Vec<usize>,
+    read_windows: Vec<usize>,
     events: usize,
     servers: u32,
     dump: bool,
@@ -29,7 +30,7 @@ struct Args {
 
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
 [--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] \
-[--write-window N|both] [--events N] \
+[--write-window N|both] [--read-window N|both] [--events N] \
 [--servers N] [--dump] [--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         transports: TransportKind::all(),
         stores: vec![StoreKind::Mem],
         windows: vec![swarm_log::DEFAULT_WRITE_WINDOW],
+        read_windows: vec![swarm_log::DEFAULT_READ_WINDOW],
         events: 64,
         servers: 4,
         dump: false,
@@ -96,6 +98,21 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--read-window" => {
+                let v = value("--read-window")?;
+                args.read_windows = match v.as_str() {
+                    // Serial reads and the windowed default, as CI runs.
+                    "both" => vec![1, swarm_log::DEFAULT_READ_WINDOW],
+                    one => {
+                        let w: usize =
+                            one.parse().map_err(|e| format!("--read-window {v}: {e}"))?;
+                        if w == 0 {
+                            return Err("--read-window must be >= 1".into());
+                        }
+                        vec![w]
+                    }
+                };
+            }
             "--events" => {
                 let v = value("--events")?;
                 args.events = v.parse().map_err(|e| format!("--events {v}: {e}"))?;
@@ -118,11 +135,13 @@ fn parse_args() -> Result<Args, String> {
 
 fn report_line(report: &RunReport) -> String {
     format!(
-        "seed {:>6} transport={} store={} window={} hash={:#018x} events={} acked={} reads={} {}",
+        "seed {:>6} transport={} store={} window={} rwindow={} hash={:#018x} \
+         events={} acked={} reads={} {}",
         report.seed,
         report.transport,
         report.store,
         report.write_window,
+        report.read_window,
         report.hash,
         report.events,
         report.acked_blocks,
@@ -152,44 +171,54 @@ fn main() -> ExitCode {
         for &kind in &args.transports {
             for &store in &args.stores {
                 for &window in &args.windows {
-                    ran += 1;
-                    let report = match Runner::run_with_options(&schedule, kind, store, window) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            eprintln!(
-                                "seed {seed} transport={kind} store={store} \
-                                 window={window}: setup failed: {e}"
-                            );
+                    for &read_window in &args.read_windows {
+                        ran += 1;
+                        let report = match Runner::run_with_options(
+                            &schedule,
+                            kind,
+                            store,
+                            window,
+                            read_window,
+                        ) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!(
+                                    "seed {seed} transport={kind} store={store} \
+                                     window={window} rwindow={read_window}: setup failed: {e}"
+                                );
+                                failed += 1;
+                                continue;
+                            }
+                        };
+                        println!("{}", report_line(&report));
+                        hashes.push(report.hash);
+                        if !report.passed() {
                             failed += 1;
-                            continue;
-                        }
-                    };
-                    println!("{}", report_line(&report));
-                    hashes.push(report.hash);
-                    if !report.passed() {
-                        failed += 1;
-                        for f in &report.failures {
-                            eprintln!("  {f}");
-                        }
-                        eprintln!(
-                            "  replay: {}",
-                            report.replay_command(args.events, args.servers)
-                        );
-                        if let Some(dir) = &args.dump_failures {
-                            let path =
-                                format!("{dir}/seed-{seed}-{kind}-{store}-w{window}.schedule");
-                            if std::fs::create_dir_all(dir)
-                                .and_then(|_| {
-                                    let mut dump = schedule.dump();
-                                    dump.push_str("\n# failures:\n");
-                                    for f in &report.failures {
-                                        dump.push_str(&format!("# {f}\n"));
-                                    }
-                                    std::fs::write(&path, dump)
-                                })
-                                .is_ok()
-                            {
-                                eprintln!("  schedule dumped to {path}");
+                            for f in &report.failures {
+                                eprintln!("  {f}");
+                            }
+                            eprintln!(
+                                "  replay: {}",
+                                report.replay_command(args.events, args.servers)
+                            );
+                            if let Some(dir) = &args.dump_failures {
+                                let path = format!(
+                                    "{dir}/seed-{seed}-{kind}-{store}-w{window}-r{read_window}\
+                                     .schedule"
+                                );
+                                if std::fs::create_dir_all(dir)
+                                    .and_then(|_| {
+                                        let mut dump = schedule.dump();
+                                        dump.push_str("\n# failures:\n");
+                                        for f in &report.failures {
+                                            dump.push_str(&format!("# {f}\n"));
+                                        }
+                                        std::fs::write(&path, dump)
+                                    })
+                                    .is_ok()
+                                {
+                                    eprintln!("  schedule dumped to {path}");
+                                }
                             }
                         }
                     }

@@ -125,6 +125,8 @@ pub struct RunReport {
     pub acked_blocks: u64,
     /// Store pipelining window the client wrote with.
     pub write_window: usize,
+    /// Read pipelining window the client verified with.
+    pub read_window: usize,
     /// Invariant violations, each tagged with the offending event index.
     pub failures: Vec<String>,
 }
@@ -139,13 +141,19 @@ impl RunReport {
     pub fn replay_command(&self, events: usize, servers: u32) -> String {
         format!(
             "swarm-chaos --seed {} --transport {} --store {} --events {} --servers {} \
-             --write-window {}",
-            self.seed, self.transport, self.store, events, servers, self.write_window
+             --write-window {} --read-window {}",
+            self.seed,
+            self.transport,
+            self.store,
+            events,
+            servers,
+            self.write_window,
+            self.read_window
         )
     }
 }
 
-fn make_config(servers: u32, write_window: usize) -> Result<LogConfig> {
+fn make_config(servers: u32, write_window: usize, read_window: usize) -> Result<LogConfig> {
     Ok(
         LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())?
             .fragment_size(4096)
@@ -155,6 +163,9 @@ fn make_config(servers: u32, write_window: usize) -> Result<LogConfig> {
             // The windowed write path must uphold the durability contract
             // at any pipelining depth, so the matrix runs it explicitly.
             .write_window(write_window)
+            // Same for the windowed read path: verification reads go
+            // through the pipelined engine at the depth under test.
+            .read_window(read_window)
             // Chaos connections drop on purpose; more retries with a
             // short backoff ride out injected transients without turning
             // a deliberate down-window into a minutes-long stall.
@@ -172,6 +183,7 @@ pub struct Runner {
     log: Option<Arc<Log>>,
     cleaner: Option<Cleaner>,
     write_window: usize,
+    read_window: usize,
     next_id: u64,
     verified_reads: u64,
     acked_blocks: u64,
@@ -204,11 +216,17 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
     ) -> Result<Runner> {
-        Self::new_with_options(schedule, kind, store, swarm_log::DEFAULT_WRITE_WINDOW)
+        Self::new_with_options(
+            schedule,
+            kind,
+            store,
+            swarm_log::DEFAULT_WRITE_WINDOW,
+            swarm_log::DEFAULT_READ_WINDOW,
+        )
     }
 
     /// Stands up a fresh cluster + log + cleaner for `schedule` with an
-    /// explicit store backing and client write window.
+    /// explicit store backing and client write/read windows.
     ///
     /// # Errors
     ///
@@ -218,6 +236,7 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
         write_window: usize,
+        read_window: usize,
     ) -> Result<Runner> {
         let cluster = Cluster::new_with_store(kind, schedule.servers, store)?;
         let model: Model = Arc::new(Mutex::new(ModelInner::default()));
@@ -229,7 +248,7 @@ impl Runner {
         let stack = Arc::new(stack);
         let log = Arc::new(Log::create(
             cluster.transport(),
-            make_config(schedule.servers, write_window)?,
+            make_config(schedule.servers, write_window, read_window)?,
         )?);
         let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
         Ok(Runner {
@@ -239,6 +258,7 @@ impl Runner {
             log: Some(log),
             cleaner: Some(cleaner),
             write_window,
+            read_window,
             next_id: 0,
             verified_reads: 0,
             acked_blocks: 0,
@@ -270,13 +290,19 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
     ) -> Result<RunReport> {
-        Self::run_with_options(schedule, kind, store, swarm_log::DEFAULT_WRITE_WINDOW)
+        Self::run_with_options(
+            schedule,
+            kind,
+            store,
+            swarm_log::DEFAULT_WRITE_WINDOW,
+            swarm_log::DEFAULT_READ_WINDOW,
+        )
     }
 
     /// Runs `schedule` to completion with an explicit store backing and
-    /// client write window — the matrix runs `write_window` 1 (the
-    /// paper's serial store pipeline) and 8 (the windowed default) to
-    /// prove the durability contract holds at any pipelining depth.
+    /// client write/read windows — the matrix runs each window at 1 (the
+    /// paper's serial pipelines) and 8 (the windowed defaults) to prove
+    /// the durability contract holds at any pipelining depth.
     ///
     /// # Errors
     ///
@@ -287,8 +313,10 @@ impl Runner {
         kind: TransportKind,
         store: StoreKind,
         write_window: usize,
+        read_window: usize,
     ) -> Result<RunReport> {
-        let mut runner = Runner::new_with_options(schedule, kind, store, write_window)?;
+        let mut runner =
+            Runner::new_with_options(schedule, kind, store, write_window, read_window)?;
         for (i, event) in schedule.events.iter().enumerate() {
             if runner.failures.len() >= MAX_FAILURES {
                 runner
@@ -310,6 +338,7 @@ impl Runner {
             verified_reads: runner.verified_reads,
             acked_blocks: runner.acked_blocks,
             write_window,
+            read_window,
             failures: runner.failures,
         })
     }
@@ -474,7 +503,8 @@ impl Runner {
     /// Invariant: recovery rollforward reaches the live (flushed) log
     /// head — same next sequence number, nothing silently dropped.
     fn check_recovery_head(&mut self, i: usize) {
-        let config = match make_config(self.cluster.servers(), self.write_window) {
+        let config = match make_config(self.cluster.servers(), self.write_window, self.read_window)
+        {
             Ok(c) => c,
             Err(e) => {
                 self.failures
@@ -533,6 +563,49 @@ impl Runner {
                 )),
             }
         }
+        self.verify_scan(i, context);
+    }
+
+    /// Invariant: the batched scan path agrees with the model too —
+    /// `read_many` returns every acked block byte-exact, in order, even
+    /// when a held-down server forces the reconstruction fallback.
+    fn verify_scan(&mut self, i: usize, context: &str) {
+        if self.failures.len() >= MAX_FAILURES {
+            return;
+        }
+        let snapshot: Vec<(u64, BlockState)> = self
+            .model
+            .lock()
+            .acked
+            .iter()
+            .map(|(&id, &state)| (id, state))
+            .collect();
+        if snapshot.is_empty() {
+            return;
+        }
+        let addrs: Vec<BlockAddr> = snapshot.iter().map(|(_, s)| s.addr).collect();
+        match self.log().read_many(&addrs) {
+            Ok(results) => {
+                for ((id, state), bytes) in snapshot.iter().zip(&results) {
+                    if bytes.len() != state.len || bytes.as_slice().iter().any(|&b| b != state.fill)
+                    {
+                        self.failures.push(format!(
+                            "[{i}] block {id} corrupt in scan {context}: \
+                             want {} x {:#04x}, got {} bytes",
+                            state.len,
+                            state.fill,
+                            bytes.len()
+                        ));
+                        if self.failures.len() >= MAX_FAILURES {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) => self
+                .failures
+                .push(format!("[{i}] scan of acked blocks failed {context}: {e}")),
+        }
     }
 
     /// Drops the client without flushing (a crash), recovers, and
@@ -546,7 +619,8 @@ impl Runner {
         // lost — exactly the torn tail recovery must discard.
         self.cleaner = None;
         self.log = None;
-        let config = match make_config(self.cluster.servers(), self.write_window) {
+        let config = match make_config(self.cluster.servers(), self.write_window, self.read_window)
+        {
             Ok(c) => c,
             Err(e) => {
                 self.failures

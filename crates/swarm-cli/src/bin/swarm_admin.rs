@@ -19,7 +19,9 @@
 //!
 //! Write-path commands accept `--write-window N` (default 8): how many
 //! Store RPCs each server channel keeps in flight (DESIGN.md §15);
-//! `--write-window 1` is the paper-faithful serial write path.
+//! `--write-window 1` is the paper-faithful serial write path. Read-path
+//! commands accept `--read-window N` the same way (DESIGN.md §16);
+//! `--read-window 1` is the serial read path.
 //! swarm-admin frag locate <seq> --servers … [--client N]   # where is a fragment?
 //! ```
 
@@ -72,6 +74,15 @@ fn write_window(args: &Args) -> Result<usize> {
     let w = args.get_u64("write-window", swarm_log::DEFAULT_WRITE_WINDOW as u64)? as usize;
     if w == 0 {
         return Err(SwarmError::invalid("--write-window must be >= 1"));
+    }
+    Ok(w)
+}
+
+/// `--read-window N`: per-server read pipelining depth (DESIGN.md §16).
+fn read_window(args: &Args) -> Result<usize> {
+    let w = args.get_u64("read-window", swarm_log::DEFAULT_READ_WINDOW as u64)? as usize;
+    if w == 0 {
+        return Err(SwarmError::invalid("--read-window must be >= 1"));
     }
     Ok(w)
 }
@@ -148,7 +159,8 @@ fn mount(args: &Args) -> Result<(Arc<Log>, Arc<StingFs>)> {
     let ids: Vec<_> = parse_servers(spec)?.into_iter().map(|(id, _)| id).collect();
     let config = LogConfig::new(client_id(args)?, ids)?
         .fragment_size(args.get_u64("fragment-size", 1 << 20)? as usize)
-        .write_window(write_window(args)?);
+        .write_window(write_window(args)?)
+        .read_window(read_window(args)?);
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     let log = Arc::new(log);
     let fs = StingFs::bare(log.clone(), StingConfig::default());
@@ -231,7 +243,9 @@ fn log_command(args: &Args) -> Result<()> {
     let spec = args.require("servers")?;
     let transport = transport_for(spec)?;
     let ids: Vec<_> = parse_servers(spec)?.into_iter().map(|(id, _)| id).collect();
-    let config = LogConfig::new(client_id(args)?, ids)?.write_window(write_window(args)?);
+    let config = LogConfig::new(client_id(args)?, ids)?
+        .write_window(write_window(args)?)
+        .read_window(read_window(args)?);
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     println!(
         "log of {}: next fragment seq {}, {} entries since the oldest needed checkpoint",

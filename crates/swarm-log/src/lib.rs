@@ -23,6 +23,7 @@
 //! | [`parity`] | §2.1.2 | incremental XOR parity, reconstruction math |
 //! | [`writer`] | §2.1.2 | pipelined per-server fragment writers |
 //! | [`log`] | §2.1 | the [`Log`] type: append / read / checkpoint / flush |
+//! | [`reader`] | §2.3 | windowed, batching pipelined read engine |
 //! | [`reconstruct`] | §2.3.3 | broadcast locate + XOR rebuild |
 //! | [`recovery`] | §2.1.3 | anchor, checkpoint discovery, rollforward |
 //!
@@ -54,6 +55,7 @@ pub mod entry;
 pub mod fragment;
 pub mod log;
 pub mod parity;
+pub mod reader;
 pub mod reconstruct;
 pub mod recovery;
 pub mod stripe;
@@ -63,6 +65,7 @@ pub use entry::{Entry, LocatedEntry};
 pub use fragment::{FragmentBuilder, FragmentHeader, FragmentView, SealedFragment};
 pub use log::{Log, LogConfig, LogPosition, LogStats};
 pub use parity::ParityAccumulator;
+pub use reader::{ReadEngine, BATCH_CHUNK, DEFAULT_READ_WINDOW};
 pub use recovery::{recover, Replay, ReplayEntry};
 pub use stripe::{StripeGroup, StripePlan};
 pub use writer::{WritePool, DEFAULT_WRITE_WINDOW};

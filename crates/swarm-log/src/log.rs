@@ -24,6 +24,7 @@ use swarm_types::{
 use crate::entry::Entry;
 use crate::fragment::{FragmentBuilder, FragmentView};
 use crate::parity::ParityAccumulator;
+use crate::reader::ReadEngine;
 use crate::reconstruct;
 use crate::stripe::{StripeGroup, StripePlan};
 use crate::writer::WritePool;
@@ -144,6 +145,14 @@ pub struct LogConfig {
     /// one client's fsyncs. Clamped to what the connection can pipeline,
     /// so blocking transports degrade gracefully to 1.
     pub write_window: usize,
+    /// Outstanding `Read` RPCs the pipelined read engine keeps on the
+    /// wire per server (default
+    /// [`crate::reader::DEFAULT_READ_WINDOW`]). 1 reproduces the paper's
+    /// serial one-read-at-a-time path; larger windows overlap server
+    /// seeks with wire transfer on the multiplexed transport. Clamped to
+    /// what the connection can pipeline, so blocking transports degrade
+    /// gracefully to 1.
+    pub read_window: usize,
     /// Client-side fragment cache capacity, in fragments (default 16).
     /// Serves re-reads and recovery scans without server round-trips.
     pub cache_fragments: usize,
@@ -180,6 +189,7 @@ impl LogConfig {
             fragment_size: DEFAULT_FRAGMENT_SIZE,
             queue_depth: 2,
             write_window: crate::writer::DEFAULT_WRITE_WINDOW,
+            read_window: crate::reader::DEFAULT_READ_WINDOW,
             cache_fragments: 16,
             prefetch: false,
             read_ahead: 2,
@@ -204,6 +214,13 @@ impl LogConfig {
     /// pipeline; clamped to at least 1).
     pub fn write_window(mut self, window: usize) -> LogConfig {
         self.write_window = window.max(1);
+        self
+    }
+
+    /// Sets the per-server read window (1 = the paper's serial read
+    /// path; clamped to at least 1).
+    pub fn read_window(mut self, window: usize) -> LogConfig {
+        self.read_window = window.max(1);
         self
     }
 
@@ -382,8 +399,11 @@ pub struct Log {
     transport: Arc<dyn Transport>,
     pool: WritePool,
     /// Pooled read connections shared with reconstruction, recovery, and
-    /// the cleaner (the read engine).
+    /// the cleaner.
     engine: Arc<ConnectionPool>,
+    /// Windowed, batching read front-end over `engine` — serves the read
+    /// fast path, scans, and prefetch.
+    reader: ReadEngine,
     /// Client fragment cache. Outside `state` so background prefetch can
     /// fill it without contending with appends.
     cache: Arc<Mutex<FragCache>>,
@@ -460,9 +480,11 @@ impl Log {
             config.retry_backoff,
         );
         let cache = Arc::new(Mutex::new(FragCache::new(config.cache_fragments)));
+        let reader = ReadEngine::new(engine.clone(), config.read_window);
         Ok(Log {
             pool,
             transport,
+            reader,
             engine,
             cache,
             prefetch_busy: Arc::new(AtomicBool::new(false)),
@@ -968,7 +990,7 @@ impl Log {
         if self.config.prefetch {
             let home = self.state.lock().fragment_map.get(&addr.fid).copied();
             let result =
-                match fetch_into_cache(&self.engine, &self.cache, &self.inflight, home, addr.fid) {
+                match fetch_into_cache(&self.reader, &self.cache, &self.inflight, home, addr.fid) {
                     Ok(Some(bytes)) => {
                         let data = slice_fragment(&bytes, addr);
                         self.spawn_read_ahead(addr.fid);
@@ -981,28 +1003,14 @@ impl Log {
         }
 
         // Fast path: direct range read from the fragment's home server
-        // over a pooled connection.
+        // through the pipelined read engine.
         let home = self.state.lock().fragment_map.get(&addr.fid).copied();
         if let Some(server) = home {
-            match self.engine.call(
-                server,
-                &Request::Read {
-                    fid: addr.fid,
-                    offset: addr.offset,
-                    len: addr.len,
-                },
-            ) {
-                Ok(Response::Data(data)) => return (ReadSource::Home, Ok(data)),
-                Ok(other) => match other.into_result() {
-                    Err(e) if e.is_unavailability() => {}
-                    Err(e) => return (ReadSource::Home, Err(e)),
-                    Ok(r) => {
-                        return (
-                            ReadSource::Home,
-                            Err(SwarmError::protocol(format!("unexpected read reply {r:?}"))),
-                        )
-                    }
-                },
+            match self
+                .reader
+                .read_one(server, addr.fid, addr.offset, addr.len)
+            {
+                Ok(data) => return (ReadSource::Home, Ok(data)),
                 Err(e) if e.is_unavailability() => {}
                 Err(e) => return (ReadSource::Home, Err(e)),
             }
@@ -1011,22 +1019,11 @@ impl Log {
         // Slow path: locate (the map may be stale) or reconstruct.
         if let Some((server, _)) = reconstruct::locate_fragment(&self.engine, addr.fid) {
             self.state.lock().fragment_map.insert(addr.fid, server);
-            match self.engine.call(
-                server,
-                &Request::Read {
-                    fid: addr.fid,
-                    offset: addr.offset,
-                    len: addr.len,
-                },
-            ) {
-                Ok(Response::Data(data)) => return (ReadSource::Home, Ok(data)),
-                Ok(other) => {
-                    if let Err(e) = other.into_result() {
-                        if !e.is_unavailability() {
-                            return (ReadSource::Home, Err(e));
-                        }
-                    }
-                }
+            match self
+                .reader
+                .read_one(server, addr.fid, addr.offset, addr.len)
+            {
+                Ok(data) => return (ReadSource::Home, Ok(data)),
                 Err(e) if e.is_unavailability() => {}
                 Err(e) => return (ReadSource::Home, Err(e)),
             }
@@ -1036,7 +1033,7 @@ impl Log {
         swarm_metrics::trace!("log.read", "reconstructing fragment {}", addr.fid);
         let bytes = {
             let _span = m.reconstruct_us.span("log.reconstruct");
-            match reconstruct::reconstruct_fragment(&self.engine, addr.fid) {
+            match reconstruct::reconstruct_fragment_with(&self.reader, addr.fid) {
                 Ok(b) => b,
                 Err(e) => return (ReadSource::Reconstruct, Err(e)),
             }
@@ -1051,6 +1048,109 @@ impl Log {
         (ReadSource::Reconstruct, data)
     }
 
+    /// Reads several addresses at once — the scan path. Builder and
+    /// cache hits are served locally; the remaining addresses are
+    /// grouped by home server and fetched through the pipelined read
+    /// engine (runs against one server collapse into `ReadBatch` RPCs,
+    /// servers are queried in parallel), so a scan costs round trips
+    /// proportional to the servers involved, not the blocks. Addresses
+    /// whose fragment is unlocated or whose home is unavailable fall
+    /// back to the one-address path, including reconstruction.
+    ///
+    /// Results are in `addrs` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first non-availability error (a bad range, a failed
+    /// reconstruction); per the single-read path, availability problems
+    /// are masked by locate + reconstruction before they surface.
+    pub fn read_many(&self, addrs: &[BlockAddr]) -> Result<Vec<Bytes>> {
+        let m = metrics();
+        let mut out: Vec<Option<Bytes>> = Vec::new();
+        out.resize_with(addrs.len(), || None);
+        // (server, [(index into addrs/out, addr)]) jobs for the engine.
+        let mut jobs: Vec<(ServerId, Vec<(usize, BlockAddr)>)> = Vec::new();
+        let mut fallback: Vec<usize> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            for (i, &addr) in addrs.iter().enumerate() {
+                if let Some(b) = &state.builder {
+                    if b.fid() == addr.fid {
+                        let served = match b.read_range(addr.offset, addr.len) {
+                            Some(bytes) => Bytes::from(bytes.to_vec()),
+                            None => {
+                                return Err(SwarmError::RangeOutOfBounds {
+                                    addr,
+                                    stored: b.len() as u32,
+                                })
+                            }
+                        };
+                        m.reads.inc();
+                        state.stats.reads += 1;
+                        state.stats.cache_hits += 1;
+                        out[i] = Some(served);
+                        continue;
+                    }
+                }
+                if let Some(bytes) = self.cache.lock().get(addr.fid) {
+                    m.reads.inc();
+                    state.stats.reads += 1;
+                    state.stats.cache_hits += 1;
+                    out[i] = Some(slice_fragment(&bytes, addr)?);
+                    continue;
+                }
+                match state.fragment_map.get(&addr.fid).copied() {
+                    Some(server) => match jobs.iter_mut().find(|(s, _)| *s == server) {
+                        Some((_, list)) => list.push((i, addr)),
+                        None => jobs.push((server, vec![(i, addr)])),
+                    },
+                    None => fallback.push(i),
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let specs: Vec<(ServerId, Vec<swarm_net::ReadSpec>)> = jobs
+                .iter()
+                .map(|(server, list)| {
+                    (
+                        *server,
+                        list.iter()
+                            .map(|(_, addr)| swarm_net::ReadSpec {
+                                fid: addr.fid,
+                                offset: addr.offset,
+                                len: addr.len,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            for ((_, list), results) in jobs.iter().zip(self.reader.fetch_scatter(specs)) {
+                for ((i, _), result) in list.iter().zip(results) {
+                    match result {
+                        Ok(bytes) => {
+                            m.reads.inc();
+                            let mut state = self.state.lock();
+                            state.stats.reads += 1;
+                            out[*i] = Some(bytes);
+                        }
+                        // Home gone or mapping stale: the one-address
+                        // path will locate or reconstruct.
+                        Err(e) if e.is_unavailability() => fallback.push(*i),
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        for i in fallback {
+            // `read` counts its own stats and records its latency source.
+            out[i] = Some(self.read(addrs[i])?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("every address resolved"))
+            .collect())
+    }
+
     /// Kicks off a background read-ahead of the fragments after `fid`
     /// (prefetch mode). At most one read-ahead runs at a time; fragments
     /// already cached are skipped without touching their recency.
@@ -1062,7 +1162,7 @@ impl Log {
         if self.prefetch_busy.swap(true, Ordering::AcqRel) {
             return;
         }
-        let engine = Arc::clone(&self.engine);
+        let reader = self.reader.clone();
         let cache = Arc::clone(&self.cache);
         let busy = Arc::clone(&self.prefetch_busy);
         let inflight = Arc::clone(&self.inflight);
@@ -1081,18 +1181,63 @@ impl Log {
                 })
                 .collect()
         };
+        // One background thread pulls the whole window through the read
+        // engine: fragments sharing a home server ride one windowed,
+        // batched pass instead of the old one-fragment-at-a-time chain
+        // of detached fetches.
         std::thread::spawn(move || {
-            for (i, home) in homes.into_iter().enumerate() {
-                let next = FragmentId::new(client, fid.seq() + 1 + i as u64);
-                if cache.lock().contains(next) {
-                    continue;
-                }
-                match fetch_into_cache(&engine, &cache, &inflight, home, next) {
-                    Ok(Some(_)) => {}
-                    // End of log or a failure: stop reading ahead.
-                    _ => break,
+            // Claim the uncached fragments so the foreground read (and
+            // any later read-ahead) never duplicates a fetch in flight.
+            let mut claimed: Vec<(FragmentId, Option<ServerId>)> = Vec::new();
+            {
+                let cache = cache.lock();
+                let mut fetching = inflight.fetching.lock();
+                for (i, home) in homes.into_iter().enumerate() {
+                    let next = FragmentId::new(client, fid.seq() + 1 + i as u64);
+                    if cache.contains(next) || fetching.contains(&next) {
+                        continue;
+                    }
+                    fetching.insert(next);
+                    claimed.push((next, home));
                 }
             }
+            let mut by_home: Vec<(ServerId, Vec<FragmentId>)> = Vec::new();
+            for (next, home) in &claimed {
+                if let Some(server) = home {
+                    match by_home.iter_mut().find(|(s, _)| s == server) {
+                        Some((_, list)) => list.push(*next),
+                        None => by_home.push((*server, vec![*next])),
+                    }
+                }
+            }
+            let mut fetched: HashMap<FragmentId, Bytes> = HashMap::new();
+            for (server, fids) in by_home {
+                for (f, result) in fids.iter().zip(reader.fetch_whole(server, &fids)) {
+                    if let Ok(Some(bytes)) = result {
+                        fetched.insert(*f, bytes);
+                    }
+                }
+            }
+            // Fill the cache in sequence order; anything the home pass
+            // missed (unknown home, stale map, server down) goes through
+            // locate/reconstruct, and the first fragment that exists
+            // nowhere ends the read-ahead — we ran off the log's tail.
+            for (next, _) in &claimed {
+                match fetched.remove(next) {
+                    Some(bytes) => cache.lock().insert(*next, bytes),
+                    None => match fetch_whole_fragment(&reader, None, *next) {
+                        Ok(Some(bytes)) => cache.lock().insert(*next, bytes),
+                        _ => break,
+                    },
+                }
+            }
+            {
+                let mut fetching = inflight.fetching.lock();
+                for (next, _) in &claimed {
+                    fetching.remove(next);
+                }
+            }
+            inflight.done.notify_all();
             busy.store(false, Ordering::Release);
         });
     }
@@ -1113,7 +1258,7 @@ impl Log {
         if let Some(bytes) = self.cache.lock().get(fid) {
             return Ok(Some(FragmentView::parse(&bytes)?));
         }
-        match reconstruct::read_fragment_anywhere(&self.engine, fid)? {
+        match reconstruct::read_fragment_anywhere_with(&self.reader, fid)? {
             None => Ok(None),
             Some(bytes) => {
                 let view = FragmentView::parse(&bytes)?;
@@ -1263,7 +1408,7 @@ pub fn decode_checkpoint_dir(data: &[u8]) -> Result<Vec<(ServiceId, LogPosition)
 /// first finishes and takes the cached result. An errored fetch wakes
 /// the waiters, who miss the cache and retry themselves.
 fn fetch_into_cache(
-    engine: &Arc<ConnectionPool>,
+    reader: &ReadEngine,
     cache: &Mutex<FragCache>,
     inflight: &Inflight,
     home: Option<ServerId>,
@@ -1280,7 +1425,7 @@ fn fetch_into_cache(
         }
         inflight.done.wait(&mut fetching);
     }
-    let result = fetch_whole_fragment(engine, home, fid);
+    let result = fetch_whole_fragment(reader, home, fid);
     if let Ok(Some(bytes)) = &result {
         cache.lock().insert(fid, bytes.share());
     }
@@ -1294,12 +1439,12 @@ fn fetch_into_cache(
 /// no cluster-wide locate broadcast — and falls back to the
 /// locate/reconstruct path when the map is cold or the home is gone.
 fn fetch_whole_fragment(
-    engine: &Arc<ConnectionPool>,
+    reader: &ReadEngine,
     home: Option<ServerId>,
     fid: FragmentId,
 ) -> Result<Option<Bytes>> {
     if let Some(server) = home {
-        match reconstruct::fetch_fragment(engine, server, fid) {
+        match reconstruct::fetch_fragment_with(reader, server, fid) {
             Ok(bytes) => return Ok(Some(bytes)),
             // Home down or the map entry is stale: locate will find it.
             Err(e) if e.is_unavailability() => {}
@@ -1307,7 +1452,7 @@ fn fetch_whole_fragment(
             Err(e) => return Err(e),
         }
     }
-    reconstruct::read_fragment_anywhere(engine, fid)
+    reconstruct::read_fragment_anywhere_with(reader, fid)
 }
 
 /// Cuts the addressed range out of a whole-fragment buffer as a shared

@@ -23,6 +23,7 @@ use swarm_types::{Bytes, FragmentId, Result, ServerId, SwarmError};
 
 use crate::fragment::{parse_header, FragmentHeader, LOCATE_HEADER_LEN};
 use crate::parity::xor_into;
+use crate::reader::{ReadEngine, DEFAULT_READ_WINDOW};
 
 /// Broadcasts a `Locate` for `fid`, returning the first server that holds
 /// it plus its parsed header. First positive reply wins; a hit on one
@@ -55,50 +56,39 @@ pub fn locate_fragment(
 }
 
 /// Fetches the complete bytes of a fragment from a specific server over a
-/// pooled connection. Zero-copy: the returned [`Bytes`] is the decoded
-/// wire frame's payload, shared, not copied.
+/// pooled connection (a default-window [`ReadEngine`]; callers with a
+/// configured engine use [`fetch_fragment_with`]). Zero-copy: the
+/// returned [`Bytes`] is the decoded wire frame's payload, shared, not
+/// copied.
 ///
 /// # Errors
 ///
 /// Propagates transport and server errors ([`SwarmError::FragmentNotFound`],
 /// [`SwarmError::ServerUnavailable`], …) and validates the header.
-pub fn fetch_fragment(pool: &ConnectionPool, server: ServerId, fid: FragmentId) -> Result<Bytes> {
-    // First get the header to learn the total length.
-    let resp = pool
-        .call(
-            server,
-            &Request::Locate {
-                fid,
-                header_len: LOCATE_HEADER_LEN,
-            },
-        )?
-        .into_result()?;
-    let prefix = match resp {
-        Response::Located(Some(p)) => p,
-        Response::Located(None) => return Err(SwarmError::FragmentNotFound(fid)),
-        other => {
-            return Err(SwarmError::protocol(format!(
-                "unexpected locate reply {other:?}"
-            )))
-        }
-    };
-    let header = parse_header(&prefix)?;
-    let total = header.encoded_len() as u32 + header.body_len;
-    let resp = pool
-        .call(
-            server,
-            &Request::Read {
-                fid,
-                offset: 0,
-                len: total,
-            },
-        )?
-        .into_result()?;
-    match resp {
-        Response::Data(bytes) => Ok(bytes),
-        other => Err(SwarmError::protocol(format!(
-            "unexpected read reply {other:?}"
-        ))),
+pub fn fetch_fragment(
+    pool: &Arc<ConnectionPool>,
+    server: ServerId,
+    fid: FragmentId,
+) -> Result<Bytes> {
+    fetch_fragment_with(
+        &ReadEngine::new(pool.clone(), DEFAULT_READ_WINDOW),
+        server,
+        fid,
+    )
+}
+
+/// [`fetch_fragment`] through an existing [`ReadEngine`] — the locate and
+/// the body read ride the engine's window (and its priority lane on the
+/// mux, so a reconstruction is not stuck behind queued store payloads).
+pub fn fetch_fragment_with(
+    engine: &ReadEngine,
+    server: ServerId,
+    fid: FragmentId,
+) -> Result<Bytes> {
+    match engine.fetch_whole(server, &[fid]).pop().expect("one fid") {
+        Ok(Some(bytes)) => Ok(bytes),
+        Ok(None) => Err(SwarmError::FragmentNotFound(fid)),
+        Err(e) => Err(e),
     }
 }
 
@@ -130,7 +120,7 @@ fn find_stripe_header(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Option<Fra
 /// in arrival order. The first fetch error (or `on_member` error) aborts,
 /// after the in-flight fetches drain.
 fn fetch_members<F>(
-    pool: &Arc<ConnectionPool>,
+    engine: &ReadEngine,
     header: &FragmentHeader,
     indices: &[u8],
     mut on_member: F,
@@ -138,9 +128,9 @@ fn fetch_members<F>(
 where
     F: FnMut(u8, Bytes) -> Result<()>,
 {
-    if indices.len() <= 1 || !pool.fanout_enabled() {
+    if indices.len() <= 1 || !engine.pool().fanout_enabled() {
         for &i in indices {
-            let bytes = fetch_member(pool, header, i)?;
+            let bytes = fetch_member(engine, header, i)?;
             on_member(i, bytes)?;
         }
         return Ok(());
@@ -150,7 +140,7 @@ where
         for &i in indices {
             let tx = tx.clone();
             s.spawn(move || {
-                let _ = tx.send((i, fetch_member(pool, header, i)));
+                let _ = tx.send((i, fetch_member(engine, header, i)));
             });
         }
         drop(tx);
@@ -171,6 +161,13 @@ where
 /// the stripe is unavailable), and [`SwarmError::Corrupt`] if the rebuilt
 /// bytes fail validation.
 pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Bytes> {
+    reconstruct_fragment_with(&ReadEngine::new(pool.clone(), DEFAULT_READ_WINDOW), fid)
+}
+
+/// [`reconstruct_fragment`] through an existing [`ReadEngine`]: member
+/// fetches ride the engine's window and priority lane.
+pub fn reconstruct_fragment_with(engine: &ReadEngine, fid: FragmentId) -> Result<Bytes> {
+    let pool = engine.pool();
     let header = find_stripe_header(pool, fid).ok_or_else(|| SwarmError::ReconstructionFailed {
         fid,
         reason: "no surviving stripe-mate located via broadcast".into(),
@@ -187,7 +184,7 @@ pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Resu
             .collect();
         let mut acc_buf: Vec<u8> = Vec::new();
         let mut lens = vec![0u32; header.member_count as usize];
-        fetch_members(pool, &header, &indices, |i, bytes| {
+        fetch_members(engine, &header, &indices, |i, bytes| {
             lens[i as usize] = bytes.len() as u32;
             xor_into(&mut acc_buf, &bytes);
             Ok(())
@@ -226,7 +223,7 @@ pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Resu
         .collect();
     let mut acc: Vec<u8> = Vec::new();
     let mut true_len: Option<usize> = None;
-    fetch_members(pool, &header, &indices, |i, bytes| {
+    fetch_members(engine, &header, &indices, |i, bytes| {
         if i == parity_index {
             let parity_header = parse_header(&bytes)?;
             if !parity_header.is_parity() {
@@ -271,14 +268,14 @@ pub fn reconstruct_fragment(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Resu
 /// Fetches stripe member `i`, trying its home server first and falling
 /// back to a broadcast locate (the member may have been re-homed or its
 /// header map stale).
-fn fetch_member(pool: &Arc<ConnectionPool>, header: &FragmentHeader, i: u8) -> Result<Bytes> {
+fn fetch_member(engine: &ReadEngine, header: &FragmentHeader, i: u8) -> Result<Bytes> {
     let fid = header.member_fid(i);
     let home = header.member_server(i);
-    match fetch_fragment(pool, home, fid) {
+    match fetch_fragment_with(engine, home, fid) {
         Ok(bytes) => Ok(bytes),
         Err(e) if e.is_unavailability() => {
-            if let Some((server, _)) = locate_fragment(pool, fid) {
-                fetch_fragment(pool, server, fid)
+            if let Some((server, _)) = locate_fragment(engine.pool(), fid) {
+                fetch_fragment_with(engine, server, fid)
             } else {
                 Err(SwarmError::ReconstructionFailed {
                     fid,
@@ -297,14 +294,19 @@ pub fn read_fragment_anywhere(
     pool: &Arc<ConnectionPool>,
     fid: FragmentId,
 ) -> Result<Option<Bytes>> {
-    if let Some((server, _)) = locate_fragment(pool, fid) {
-        match fetch_fragment(pool, server, fid) {
+    read_fragment_anywhere_with(&ReadEngine::new(pool.clone(), DEFAULT_READ_WINDOW), fid)
+}
+
+/// [`read_fragment_anywhere`] through an existing [`ReadEngine`].
+pub fn read_fragment_anywhere_with(engine: &ReadEngine, fid: FragmentId) -> Result<Option<Bytes>> {
+    if let Some((server, _)) = locate_fragment(engine.pool(), fid) {
+        match fetch_fragment_with(engine, server, fid) {
             Ok(bytes) => return Ok(Some(bytes)),
             Err(e) if e.is_unavailability() => {} // fall through to rebuild
             Err(e) => return Err(e),
         }
     }
-    match reconstruct_fragment(pool, fid) {
+    match reconstruct_fragment_with(engine, fid) {
         Ok(bytes) => Ok(Some(bytes)),
         Err(SwarmError::ReconstructionFailed { reason, .. })
             if reason.contains("no surviving stripe-mate") =>

@@ -47,6 +47,7 @@ use swarm_types::{
 
 use crate::entry::Entry;
 use crate::log::{Log, LogConfig, LogPosition};
+use crate::reader::ReadEngine;
 use crate::reconstruct;
 
 struct RecoveryMetrics {
@@ -166,8 +167,12 @@ pub fn recover(
     let anchor_seq = anchor.map(|a| a.seq()).unwrap_or(0);
 
     // Rollforward, pipelined: while fragment `seq` is parsed, fragments
-    // `seq+1..=seq+K` are already being fetched in the background.
-    let mut ahead = ReadAhead::new(Arc::clone(&pool), config.read_ahead as u64);
+    // `seq+1..=seq+K` are already being fetched in the background. The
+    // fetches ride the configured read window, so a larger window deepens
+    // the recovery read-ahead along with it.
+    let engine = ReadEngine::new(Arc::clone(&pool), config.read_window);
+    let depth = config.read_ahead.max(config.read_window) as u64;
+    let mut ahead = ReadAhead::new(engine, depth);
     let mut seq = scan_start;
     loop {
         let fid = FragmentId::new(client, seq);
@@ -304,23 +309,23 @@ struct FragmentFetch {
 /// Locate → fetch → reconstruct for one fragment, exactly the rollforward
 /// semantics: a located-but-unfetchable fragment falls back to rebuild,
 /// and "cannot be reconstructed" is a `None`, not an error.
-fn fetch_anywhere_with_home(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<FragmentFetch> {
-    let located = reconstruct::locate_fragment(pool, fid);
+fn fetch_anywhere_with_home(engine: &ReadEngine, fid: FragmentId) -> Result<FragmentFetch> {
+    let located = reconstruct::locate_fragment(engine.pool(), fid);
     match located {
-        Some((server, _)) => match reconstruct::fetch_fragment(pool, server, fid) {
+        Some((server, _)) => match reconstruct::fetch_fragment_with(engine, server, fid) {
             Ok(b) => Ok(FragmentFetch {
                 home: Some(server),
                 bytes: Some(b),
             }),
             Err(e) if e.is_unavailability() => Ok(FragmentFetch {
                 home: Some(server),
-                bytes: try_reconstruct(pool, fid)?,
+                bytes: try_reconstruct(engine, fid)?,
             }),
             Err(e) => Err(e),
         },
         None => Ok(FragmentFetch {
             home: None,
-            bytes: try_reconstruct(pool, fid)?,
+            bytes: try_reconstruct(engine, fid)?,
         }),
     }
 }
@@ -329,15 +334,15 @@ fn fetch_anywhere_with_home(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Resu
 /// fragments in flight on background threads while the caller parses the
 /// current one.
 struct ReadAhead {
-    pool: Arc<ConnectionPool>,
+    engine: ReadEngine,
     depth: u64,
     inflight: HashMap<u64, mpsc::Receiver<Result<FragmentFetch>>>,
 }
 
 impl ReadAhead {
-    fn new(pool: Arc<ConnectionPool>, depth: u64) -> ReadAhead {
+    fn new(engine: ReadEngine, depth: u64) -> ReadAhead {
         ReadAhead {
-            pool,
+            engine,
             depth,
             inflight: HashMap::new(),
         }
@@ -348,10 +353,10 @@ impl ReadAhead {
             return;
         }
         let (tx, rx) = mpsc::channel();
-        let pool = Arc::clone(&self.pool);
+        let engine = self.engine.clone();
         std::thread::spawn(move || {
             let _ = tx.send(fetch_anywhere_with_home(
-                &pool,
+                &engine,
                 FragmentId::new(client, seq),
             ));
         });
@@ -366,15 +371,15 @@ impl ReadAhead {
         }
         match self.inflight.remove(&seq) {
             Some(rx) => rx.recv().unwrap_or_else(|_| {
-                fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq))
+                fetch_anywhere_with_home(&self.engine, FragmentId::new(client, seq))
             }),
-            None => fetch_anywhere_with_home(&self.pool, FragmentId::new(client, seq)),
+            None => fetch_anywhere_with_home(&self.engine, FragmentId::new(client, seq)),
         }
     }
 }
 
-fn try_reconstruct(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Result<Option<Bytes>> {
-    match reconstruct::reconstruct_fragment(pool, fid) {
+fn try_reconstruct(engine: &ReadEngine, fid: FragmentId) -> Result<Option<Bytes>> {
+    match reconstruct::reconstruct_fragment_with(engine, fid) {
         Ok(bytes) => {
             metrics().reconstructions.inc();
             Ok(Some(bytes))

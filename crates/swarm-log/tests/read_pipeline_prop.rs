@@ -1,0 +1,330 @@
+//! Property tests for the windowed, batched read path (DESIGN.md §16):
+//! random read windows, random scan lengths (exercising `ReadBatch`
+//! chunking), genuinely out-of-order completions (each RPC finishes on
+//! its own thread after a random delay, like responses on a mux channel),
+//! injected transient per-call failures, and a dead server must all
+//! preserve byte-exact readback — single reads and `read_many` scans
+//! alike, through the reconstruction fallback when the home is gone.
+//!
+//! Also pins the YCSB-B head-of-line fix at the log layer: reads complete
+//! while a full window of store RPCs is stalled in flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use swarm_log::{Log, LogConfig};
+use swarm_net::{Connection, MemTransport, PendingCall, PreparedRequest, Request, Transport};
+use swarm_server::{MemStore, StorageServer};
+use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+
+const SVC: ServiceId = ServiceId::new(1);
+
+fn cluster(n: u32) -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..n {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+/// Shared schedule for the decorated transport: transient failure budget
+/// (any pipelined call, reads included) and the completion delay sequence.
+struct ChaosState {
+    /// Pipelined calls left to fail, cluster-wide. Transient: the read
+    /// engine replays a failed call on a fresh dial, which bypasses
+    /// injection, so every failure heals on retry.
+    fail_budget: Mutex<usize>,
+    /// Completion delays in microseconds, consumed round-robin.
+    delays: Vec<u64>,
+    next_delay: AtomicUsize,
+}
+
+/// Wraps `MemTransport` with a pipelining `start_prepared`: every RPC is
+/// dispatched on a detached thread and completes after a drawn delay, so
+/// completions land out of order exactly as they do on a multiplexed
+/// socket.
+struct ReorderTransport {
+    inner: Arc<MemTransport>,
+    state: Arc<ChaosState>,
+}
+
+struct ReorderConn {
+    inner: Box<dyn Connection>,
+    mem: Arc<MemTransport>,
+    client: ClientId,
+    state: Arc<ChaosState>,
+}
+
+impl Connection for ReorderConn {
+    fn call(&mut self, request: &Request) -> Result<swarm_net::Response> {
+        self.inner.call(request)
+    }
+
+    fn start_prepared(&mut self, prepared: &PreparedRequest) -> PendingCall {
+        let server = self.inner.server();
+        let fail = {
+            let mut budget = self.state.fail_budget.lock();
+            if *budget > 0 {
+                *budget -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        let idx = self.state.next_delay.fetch_add(1, Ordering::Relaxed);
+        let delay = self.state.delays[idx % self.state.delays.len()];
+        let mem = self.mem.clone();
+        let client = self.client;
+        let request = prepared.request().clone();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(delay));
+            let result = if fail {
+                Err(SwarmError::ServerUnavailable(server))
+            } else {
+                mem.connect(server, client)
+                    .and_then(|mut c| c.call(&request))
+            };
+            let _ = tx.send(result);
+        });
+        PendingCall::deferred(move || {
+            rx.recv()
+                .unwrap_or(Err(SwarmError::ServerUnavailable(server)))
+        })
+    }
+
+    fn pipeline_width(&self) -> usize {
+        64
+    }
+
+    fn server(&self) -> ServerId {
+        self.inner.server()
+    }
+}
+
+impl Transport for ReorderTransport {
+    fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
+        Ok(Box::new(ReorderConn {
+            inner: self.inner.connect(server, client)?,
+            mem: self.inner.clone(),
+            client,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        self.inner.servers()
+    }
+}
+
+fn read_config(servers: u32, read_window: usize, write_window: usize) -> LogConfig {
+    LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())
+        .unwrap()
+        .fragment_size(2048)
+        .cache_fragments(0) // force reads through the servers
+        .read_window(read_window)
+        .write_window(write_window)
+        .store_retries(4)
+        .retry_backoff(Duration::from_millis(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Windowed, batched reads under reordered completions and transient
+    /// call failures: single reads and scans of every chunk length return
+    /// byte-exact data, in order — then again with a random server dead,
+    /// through locate + reconstruction.
+    #[test]
+    fn prop_windowed_batched_reads_are_byte_exact(
+        read_window in 1usize..12,
+        write_window in 1usize..6,
+        servers in 2u32..5,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..700), 8..32),
+        delays in proptest::collection::vec(0u64..2_000, 16..17),
+        read_failures in 0usize..4,
+        scan in 1usize..20,
+        dead in 0u32..5,
+    ) {
+        let mem = cluster(servers);
+        let state = Arc::new(ChaosState {
+            // Writes land before the budget applies to the read phase:
+            // stores also draw from it, which only adds coverage (their
+            // retry path heals transient failures the same way).
+            fail_budget: Mutex::new(0),
+            delays,
+            next_delay: AtomicUsize::new(0),
+        });
+        let transport = Arc::new(ReorderTransport { inner: mem.clone(), state: state.clone() });
+        let log = Log::create(transport, read_config(servers, read_window, write_window)).unwrap();
+        let mut written: Vec<(BlockAddr, Vec<u8>)> = Vec::new();
+        for p in &payloads {
+            written.push((log.append_block(SVC, b"", p).unwrap(), p.clone()));
+        }
+        log.flush().unwrap();
+        *state.fail_budget.lock() = read_failures;
+
+        // Single-read path.
+        for (addr, data) in &written {
+            prop_assert_eq!(&log.read(*addr).unwrap(), data);
+        }
+        // Scan path: every chunk length, so requests to one server span
+        // the single-Read case, partial batches, and multi-chunk batches.
+        for chunk in written.chunks(scan) {
+            let addrs: Vec<BlockAddr> = chunk.iter().map(|(a, _)| *a).collect();
+            let results = log.read_many(&addrs).unwrap();
+            prop_assert_eq!(results.len(), chunk.len());
+            for ((_, data), got) in chunk.iter().zip(&results) {
+                prop_assert_eq!(got, data);
+            }
+        }
+        // One dead server: scatter failures fall back to locate +
+        // reconstruction, still byte-exact, still in order.
+        mem.set_down(ServerId::new(dead % servers), true);
+        for chunk in written.chunks(scan) {
+            let addrs: Vec<BlockAddr> = chunk.iter().map(|(a, _)| *a).collect();
+            let results = log.read_many(&addrs).unwrap();
+            for ((_, data), got) in chunk.iter().zip(&results) {
+                prop_assert_eq!(got, data);
+            }
+        }
+    }
+}
+
+/// Gate for the head-of-line test: `Store` RPCs stall until released,
+/// everything else passes straight through.
+struct GatedState {
+    gate: Mutex<Option<Vec<mpsc::Sender<()>>>>,
+}
+
+struct GatedTransport {
+    inner: Arc<MemTransport>,
+    state: Arc<GatedState>,
+}
+
+struct GatedConn {
+    inner: Box<dyn Connection>,
+    mem: Arc<MemTransport>,
+    client: ClientId,
+    state: Arc<GatedState>,
+}
+
+impl Connection for GatedConn {
+    fn call(&mut self, request: &Request) -> Result<swarm_net::Response> {
+        self.inner.call(request)
+    }
+
+    fn start_prepared(&mut self, prepared: &PreparedRequest) -> PendingCall {
+        let gated = matches!(prepared.request(), Request::Store { .. });
+        if gated {
+            let mut gate = self.state.gate.lock();
+            if let Some(waiters) = gate.as_mut() {
+                let server = self.inner.server();
+                let mem = self.mem.clone();
+                let client = self.client;
+                let request = prepared.request().clone();
+                let (tx, rx) = mpsc::channel();
+                waiters.push(tx);
+                return PendingCall::deferred(move || {
+                    rx.recv()
+                        .map_err(|_| SwarmError::ServerUnavailable(server))?;
+                    mem.connect(server, client)
+                        .and_then(|mut c| c.call(&request))
+                });
+            }
+        }
+        let result = self.inner.call(prepared.request());
+        PendingCall::ready(result)
+    }
+
+    fn pipeline_width(&self) -> usize {
+        64
+    }
+
+    fn server(&self) -> ServerId {
+        self.inner.server()
+    }
+}
+
+impl Transport for GatedTransport {
+    fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
+        Ok(Box::new(GatedConn {
+            inner: self.inner.connect(server, client)?,
+            mem: self.inner.clone(),
+            client,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        self.inner.servers()
+    }
+}
+
+/// The YCSB-B regression pin (DESIGN.md §16): with a full window of store
+/// RPCs stalled in flight, reads of durable data must still complete —
+/// the read path may not queue behind the write window. If reads shared
+/// the writers' in-order pipeline, this test would deadlock (the gate
+/// only opens after the reads finish).
+#[test]
+fn reads_complete_while_store_window_is_stalled() {
+    let servers = 3u32;
+    let mem = cluster(servers);
+    let state = Arc::new(GatedState {
+        gate: Mutex::new(None),
+    });
+    let transport = Arc::new(GatedTransport {
+        inner: mem.clone(),
+        state: state.clone(),
+    });
+    let log = Log::create(transport, read_config(servers, 8, 8)).unwrap();
+
+    // Phase 1: gate open — make some data durable.
+    let mut written = Vec::new();
+    for i in 0..6u8 {
+        let payload = vec![i; 900];
+        written.push((log.append_block(SVC, b"", &payload).unwrap(), payload));
+    }
+    log.flush().unwrap();
+
+    // Phase 2: close the gate and queue a window of stores behind it.
+    *state.gate.lock() = Some(Vec::new());
+    for i in 0..6u8 {
+        log.append_block(SVC, b"", &vec![0x40 + i; 1600]).unwrap();
+    }
+    // Sealed fragments are now stalled inside the writers' windows. Give
+    // the writer threads a moment to start them.
+    for _ in 0..200 {
+        if state.gate.lock().as_ref().is_some_and(|w| !w.is_empty()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        state.gate.lock().as_ref().is_some_and(|w| !w.is_empty()),
+        "no store reached the gate"
+    );
+
+    // The reads must complete while the stores are still stalled. (The
+    // sealed-fragment cache is disabled, so these cross the wire.)
+    for (addr, data) in &written {
+        assert_eq!(&log.read(*addr).unwrap(), data);
+    }
+    let scan: Vec<BlockAddr> = written.iter().map(|(a, _)| *a).collect();
+    for (got, (_, data)) in log.read_many(&scan).unwrap().iter().zip(&written) {
+        assert_eq!(got, data);
+    }
+
+    // Release the gate; the stalled stores land and flush completes.
+    let waiters = state.gate.lock().take().expect("gate installed");
+    for tx in waiters {
+        let _ = tx.send(());
+    }
+    // Any store that arrives at the gate from here on passes through.
+    log.flush().unwrap();
+}

@@ -20,11 +20,29 @@ pub trait RequestHandler: Send + Sync {
     /// are reported as [`Response::Err`], never panics, so one bad request
     /// cannot take down a server thread.
     fn handle(&self, client: ClientId, request: Request) -> Response;
+
+    /// Services `request` without blocking, if it can.
+    ///
+    /// The epoll runtime's reactor thread offers each read here before
+    /// queueing it for a worker: answering in place skips the two context
+    /// switches of the worker-pool round trip, which dominate the cost of
+    /// a memory-resident read on a loaded machine. An implementation may
+    /// therefore only answer requests it can serve from memory under
+    /// short bookkeeping locks — anything that could touch disk or wait
+    /// on I/O must return `None` and take the worker path. The default
+    /// declines everything.
+    fn try_handle_fast(&self, _client: ClientId, _request: &Request) -> Option<Response> {
+        None
+    }
 }
 
 impl<T: RequestHandler + ?Sized> RequestHandler for std::sync::Arc<T> {
     fn handle(&self, client: ClientId, request: Request) -> Response {
         (**self).handle(client, request)
+    }
+
+    fn try_handle_fast(&self, client: ClientId, request: &Request) -> Option<Response> {
+        (**self).try_handle_fast(client, request)
     }
 }
 

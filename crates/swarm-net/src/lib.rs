@@ -40,7 +40,9 @@ pub use frame::{read_frame, write_frame, write_frame_vectored};
 pub use handler::RequestHandler;
 pub use mem::MemTransport;
 pub use pool::ConnectionPool;
-pub use proto::{PreparedRequest, Request, Response, ServerStats, StoreRange};
+pub use proto::{
+    BatchItem, BatchReply, PreparedRequest, ReadSpec, Request, Response, ServerStats, StoreRange,
+};
 pub use reactor::Runtime;
 pub use transport::{broadcast, Connection, PendingCall, Transport};
 pub use workpool::WorkerPool;

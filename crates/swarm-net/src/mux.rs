@@ -85,7 +85,15 @@ type PendingSlot = Option<Result<Bytes>>;
 
 struct MuxState {
     next_id: u64,
+    /// Bulk frames (requests carrying a payload — stores). Each frame is
+    /// a contiguous run of segments: `Owned(head)` then `Shared(payload)`.
     outbox: VecDeque<Seg>,
+    /// Payload-free frames (reads, locates, pings): drained ahead of the
+    /// bulk lane so a windowed writer's fragment payloads cannot
+    /// head-of-line-block a read on the shared socket. Safe to reorder
+    /// across lanes: responses are matched by request id, and the
+    /// durability contract orders stores via flush, not the wire.
+    priority: VecDeque<Seg>,
     pending: HashMap<u64, PendingSlot>,
     /// Set when the socket died; every call fails fast afterwards.
     dead: bool,
@@ -110,6 +118,7 @@ impl MuxChannel {
             state: Mutex::new(MuxState {
                 next_id: 1,
                 outbox: VecDeque::new(),
+                priority: VecDeque::new(),
                 pending: HashMap::new(),
                 dead: false,
                 inflight_peak: 0,
@@ -147,6 +156,7 @@ impl MuxChannel {
         let mut st = self.state.lock();
         st.dead = true;
         st.outbox.clear();
+        st.priority.clear();
         for slot in st.pending.values_mut() {
             if slot.is_none() {
                 *slot = Some(Err(SwarmError::ServerUnavailable(self.server)));
@@ -174,8 +184,12 @@ impl MuxChannel {
             head.extend_from_slice(&fh);
             head.extend_from_slice(&id_bytes);
             head.extend_from_slice(header);
-            st.outbox.push_back(Seg::Owned(head));
-            if !payload.is_empty() {
+            if payload.is_empty() {
+                // Read/control frame: the priority lane, so it cannot
+                // queue behind a window's worth of store payloads.
+                st.priority.push_back(Seg::Owned(head));
+            } else {
+                st.outbox.push_back(Seg::Owned(head));
                 st.outbox.push_back(Seg::Shared(payload.share()));
             }
             st.pending.insert(id, None);
@@ -266,8 +280,14 @@ impl MuxSource {
 
     /// Moves queued segments from the shared outbox into the local write
     /// queue (shrinking the time the channel lock is held to a swap).
+    /// The priority lane drains first; lanes are concatenated, never
+    /// interleaved, and `local` is only refilled when empty, so every
+    /// frame's head/payload segments stay contiguous on the wire.
     fn take_outbox(&mut self) {
         let mut st = self.channel.state.lock();
+        while let Some(seg) = st.priority.pop_front() {
+            self.local.push_back(seg);
+        }
         while let Some(seg) = st.outbox.pop_front() {
             self.local.push_back(seg);
         }
@@ -345,7 +365,10 @@ impl Source for MuxSource {
     }
 
     fn interest(&self) -> epoll::Interest {
-        let pending_output = !self.local.is_empty() || !self.channel.state.lock().outbox.is_empty();
+        let pending_output = !self.local.is_empty() || {
+            let st = self.channel.state.lock();
+            !st.outbox.is_empty() || !st.priority.is_empty()
+        };
         epoll::Interest {
             readable: true,
             writable: pending_output,
@@ -490,6 +513,55 @@ mod tests {
         }
         responder.join().unwrap();
         assert!(ch.state.lock().pending.is_empty());
+    }
+
+    /// A payload-free frame queued *after* a window of store frames is
+    /// drained to the socket *before* them: the priority lane is the fix
+    /// for reads head-of-line-blocking behind windowed store payloads.
+    /// Frame contiguity must survive — a store's head and payload stay
+    /// adjacent.
+    #[test]
+    fn priority_lane_overtakes_queued_store_payloads() {
+        let ch = MuxChannel::new(ServerId::new(2));
+        // Three "stores": header + 4 KiB payload each.
+        for i in 0..3u8 {
+            ch.begin(&[i], &Bytes::from(vec![i; 4096])).unwrap();
+        }
+        // Then a "read": no payload.
+        let read_id = ch.begin(b"read-hdr", &Bytes::new()).unwrap();
+
+        // What take_outbox would hand the reactor, in order.
+        let mut segs = Vec::new();
+        {
+            let mut st = ch.state.lock();
+            while let Some(s) = st.priority.pop_front() {
+                segs.push(s);
+            }
+            while let Some(s) = st.outbox.pop_front() {
+                segs.push(s);
+            }
+        }
+        assert_eq!(segs.len(), 7, "1 read head + 3 store (head, payload) pairs");
+        // The read frame leads, and its head carries the read's id.
+        let Seg::Owned(head) = &segs[0] else {
+            panic!("read frame must be an owned head");
+        };
+        let id = u64::from_le_bytes(head[12..20].try_into().unwrap());
+        assert_eq!(id, read_id, "priority frame is the read");
+        // Every store's head is immediately followed by its payload.
+        for pair in segs[1..].chunks(2) {
+            assert!(matches!(pair[0], Seg::Owned(_)));
+            assert!(matches!(pair[1], Seg::Shared(_)));
+            let Seg::Owned(head) = &pair[0] else {
+                unreachable!()
+            };
+            let Seg::Shared(payload) = &pair[1] else {
+                unreachable!()
+            };
+            // The store head's first body byte (after the 12-byte frame
+            // header and 8-byte id) names the fill of its own payload.
+            assert_eq!(head[20], payload[0], "store frame torn apart");
+        }
     }
 
     /// Regression: re-waiting with the full timeout after every wakeup let

@@ -242,6 +242,24 @@ impl ConnectionPool {
         }
     }
 
+    /// Sends one request to `server` on a *fresh* dial, for callers that
+    /// just watched a pooled connection fail mid-use (e.g. a pipelined
+    /// call whose channel died): the failure is counted as a pool
+    /// reconnect and the idle list — whose connections are likely just as
+    /// stale — is bypassed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dial or call error; no further retry.
+    pub fn redial_call(&self, server: ServerId, request: &Request) -> Result<Response> {
+        pool_metrics().reconnects.inc();
+        swarm_metrics::trace!("net.pool", "reconnecting to server {}", server);
+        let mut conn = self.dial(server)?;
+        let resp = conn.call(request)?;
+        self.checkin(conn);
+        Ok(resp)
+    }
+
     /// Sends `request` to every server in parallel, returning the replies
     /// that arrived in server-id order (the paper's broadcast, §2.3.3).
     /// Unreachable servers are counted in `net.broadcast_errors` and

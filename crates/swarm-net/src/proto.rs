@@ -49,6 +49,134 @@ impl Decode for StoreRange {
     }
 }
 
+/// One read within a [`Request::ReadBatch`]: the same `(fid, offset,
+/// len)` triple as [`Request::Read`], batched so a scan or stripe fetch
+/// against one server costs a single round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadSpec {
+    /// Fragment to read from.
+    pub fid: FragmentId,
+    /// Starting byte offset.
+    pub offset: u32,
+    /// Number of bytes to return.
+    pub len: u32,
+}
+
+impl Encode for ReadSpec {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.fid.encode(w);
+        w.put_u32(self.offset);
+        w.put_u32(self.len);
+    }
+}
+
+impl Decode for ReadSpec {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(ReadSpec {
+            fid: FragmentId::decode(r)?,
+            offset: r.get_u32()?,
+            len: r.get_u32()?,
+        })
+    }
+}
+
+/// Per-read outcome inside a [`Response::Batch`], in request order.
+///
+/// `Data { len }` claims the next `len` bytes of the reply's single
+/// concatenated payload; `Err` carries the same wire triple as
+/// [`Response::Err`]. Reads fail independently — one missing fragment
+/// does not poison its batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    /// The read succeeded; its bytes are the next `len` of the payload.
+    Data {
+        /// Byte count this read contributes to the shared payload.
+        len: u32,
+    },
+    /// The read failed; see [`wire_error`].
+    Err {
+        /// Error category code (see `wire_error` mapping).
+        code: u16,
+        /// Associated 64-bit datum (usually a fragment id).
+        datum: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// The reply to a [`Request::ReadBatch`]: per-read outcomes plus one
+/// concatenated data payload.
+///
+/// The single-payload shape is deliberate: `encode_split` hands the
+/// framing layer at most one bulk slice, so a batch reply rides the same
+/// vectored zero-copy path as [`Response::Data`], and on the receive
+/// side every successful read is a [`Bytes::slice`] view of the frame
+/// allocation — N reads, one allocation, zero copies client-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Per-read outcomes, in request order.
+    pub items: Vec<BatchItem>,
+    /// Every successful read's bytes, concatenated in request order.
+    pub data: Bytes,
+}
+
+impl BatchReply {
+    /// Builds a reply from per-read results (server side). Successful
+    /// payloads are concatenated here — the one copy a batch costs.
+    pub fn from_results(results: Vec<Result<Bytes>>) -> BatchReply {
+        let total: usize = results
+            .iter()
+            .map(|r| r.as_ref().map_or(0, |b| b.len()))
+            .sum();
+        let mut data = Vec::with_capacity(total);
+        let mut items = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(bytes) => {
+                    items.push(BatchItem::Data {
+                        len: u32::try_from(bytes.len()).expect("field too long"),
+                    });
+                    data.extend_from_slice(&bytes);
+                }
+                Err(e) => {
+                    let (code, datum, detail) = wire_error::to_wire(&e);
+                    items.push(BatchItem::Err {
+                        code,
+                        datum,
+                        detail,
+                    });
+                }
+            }
+        }
+        BatchReply {
+            items,
+            data: data.into(),
+        }
+    }
+
+    /// Splits the reply back into per-read results (client side). Each
+    /// `Ok` is a shared slice of the reply payload — no copy.
+    pub fn into_results(self) -> Vec<Result<Bytes>> {
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut off = 0usize;
+        for item in self.items {
+            match item {
+                BatchItem::Data { len } => {
+                    let len = len as usize;
+                    out.push(Ok(self.data.slice(off..off + len)));
+                    off += len;
+                }
+                BatchItem::Err {
+                    code,
+                    datum,
+                    detail,
+                } => out.push(Err(wire_error::from_wire(code, datum, detail))),
+            }
+        }
+        out
+    }
+}
+
 /// Point-in-time counters describing one storage server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
@@ -118,6 +246,15 @@ pub enum Request {
         /// Number of bytes to return.
         len: u32,
     },
+    /// Execute several reads in one round trip (scan / stripe fetch).
+    /// Served as a single worker job; answered by [`Response::Batch`].
+    /// Reads fail independently, and batch reads bypass the server's
+    /// read-cache *admission* (they still probe it) so a sweep cannot
+    /// evict the hot set.
+    ReadBatch {
+        /// The reads, answered in order.
+        reads: Vec<ReadSpec>,
+    },
     /// Delete a fragment (invoked by the cleaner once a stripe is dead).
     Delete {
         /// Fragment to delete.
@@ -182,6 +319,9 @@ pub enum Response {
     /// `Read` succeeded. On the receive path the [`Bytes`] aliases the
     /// decoded network frame, so the data is not copied again.
     Data(Bytes),
+    /// `ReadBatch` result: per-read outcomes plus one concatenated
+    /// payload (see [`BatchReply`]).
+    Batch(BatchReply),
     /// `LastMarked` result (None = this client has no marked fragment here).
     LastMarked(Option<FragmentId>),
     /// `Locate` result (None = fragment not stored here).
@@ -305,7 +445,7 @@ pub mod wire_error {
     }
 }
 
-mod tag {
+pub(crate) mod tag {
     pub const STORE: u8 = 1;
     pub const READ: u8 = 2;
     pub const DELETE: u8 = 3;
@@ -318,6 +458,7 @@ mod tag {
     pub const STAT: u8 = 10;
     pub const PING: u8 = 11;
     pub const METRICS: u8 = 12;
+    pub const READ_BATCH: u8 = 13;
 
     pub const R_OK: u8 = 128;
     pub const R_DATA: u8 = 129;
@@ -326,6 +467,7 @@ mod tag {
     pub const R_ACL_CREATED: u8 = 132;
     pub const R_STATS: u8 = 133;
     pub const R_METRICS: u8 = 134;
+    pub const R_BATCH: u8 = 135;
     pub const R_ERR: u8 = 255;
 }
 
@@ -364,6 +506,13 @@ impl Request {
                 fid.encode(w);
                 w.put_u32(*offset);
                 w.put_u32(*len);
+            }
+            Request::ReadBatch { reads } => {
+                w.put_u8(tag::READ_BATCH);
+                w.put_u32(reads.len() as u32);
+                for spec in reads {
+                    spec.encode(w);
+                }
             }
             Request::Delete { fid } => {
                 w.put_u8(tag::DELETE);
@@ -438,6 +587,17 @@ impl Decode for Request {
                 offset: r.get_u32()?,
                 len: r.get_u32()?,
             },
+            tag::READ_BATCH => {
+                let n = r.get_u32()? as usize;
+                if n > crate::frame::MAX_FRAME_LEN / 16 {
+                    return Err(SwarmError::corrupt("too many batch reads"));
+                }
+                let mut reads = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    reads.push(ReadSpec::decode(r)?);
+                }
+                Request::ReadBatch { reads }
+            }
             tag::DELETE => Request::Delete {
                 fid: FragmentId::decode(r)?,
             },
@@ -481,6 +641,30 @@ impl Response {
                 w.put_u8(tag::R_DATA);
                 w.put_u32(u32::try_from(data.len()).expect("field too long"));
                 return Some(data);
+            }
+            Response::Batch(reply) => {
+                w.put_u8(tag::R_BATCH);
+                w.put_u32(reply.items.len() as u32);
+                for item in &reply.items {
+                    match item {
+                        BatchItem::Data { len } => {
+                            w.put_bool(true);
+                            w.put_u32(*len);
+                        }
+                        BatchItem::Err {
+                            code,
+                            datum,
+                            detail,
+                        } => {
+                            w.put_bool(false);
+                            w.put_u16(*code);
+                            w.put_u64(*datum);
+                            w.put_str(detail);
+                        }
+                    }
+                }
+                w.put_u32(u32::try_from(reply.data.len()).expect("field too long"));
+                return Some(&reply.data);
             }
             Response::LastMarked(fid) => {
                 w.put_u8(tag::R_LAST_MARKED);
@@ -538,6 +722,35 @@ impl Decode for Response {
         Ok(match t {
             tag::R_OK => Response::Ok,
             tag::R_DATA => Response::Data(r.get_shared_bytes()?),
+            tag::R_BATCH => {
+                let n = r.get_u32()? as usize;
+                if n > crate::frame::MAX_FRAME_LEN / 16 {
+                    return Err(SwarmError::corrupt("too many batch items"));
+                }
+                let mut items = Vec::with_capacity(n.min(1024));
+                let mut claimed = 0u64;
+                for _ in 0..n {
+                    if r.get_bool()? {
+                        let len = r.get_u32()?;
+                        claimed += u64::from(len);
+                        items.push(BatchItem::Data { len });
+                    } else {
+                        items.push(BatchItem::Err {
+                            code: r.get_u16()?,
+                            datum: r.get_u64()?,
+                            detail: r.get_str()?,
+                        });
+                    }
+                }
+                let data = r.get_shared_bytes()?;
+                if claimed != data.len() as u64 {
+                    return Err(SwarmError::corrupt(format!(
+                        "batch items claim {claimed} payload bytes, frame carries {}",
+                        data.len()
+                    )));
+                }
+                Response::Batch(BatchReply { items, data })
+            }
             tag::R_LAST_MARKED => Response::LastMarked(Option::<FragmentId>::decode(r)?),
             tag::R_LOCATED => {
                 if r.get_bool()? {
@@ -670,6 +883,21 @@ mod tests {
         roundtrip_req(Request::Stat);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::ReadBatch {
+            reads: vec![
+                ReadSpec {
+                    fid: fid(6),
+                    offset: 0,
+                    len: 512,
+                },
+                ReadSpec {
+                    fid: fid(7),
+                    offset: 128,
+                    len: 64,
+                },
+            ],
+        });
+        roundtrip_req(Request::ReadBatch { reads: vec![] });
     }
 
     #[test]
@@ -695,6 +923,59 @@ mod tests {
             datum: 2,
             detail: "denied".into(),
         });
+        roundtrip_resp(Response::Batch(BatchReply {
+            items: vec![
+                BatchItem::Data { len: 3 },
+                BatchItem::Err {
+                    code: 1,
+                    datum: 42,
+                    detail: String::new(),
+                },
+                BatchItem::Data { len: 2 },
+            ],
+            data: vec![1, 2, 3, 4, 5].into(),
+        }));
+        roundtrip_resp(Response::Batch(BatchReply {
+            items: vec![],
+            data: Bytes::new(),
+        }));
+    }
+
+    #[test]
+    fn batch_reply_results_roundtrip_without_copying() {
+        let results = vec![
+            Ok(Bytes::from(vec![7u8; 100])),
+            Err(SwarmError::FragmentNotFound(fid(5))),
+            Ok(Bytes::from(vec![9u8; 50])),
+        ];
+        let reply = BatchReply::from_results(results);
+        let wire = Bytes::from(Response::Batch(reply).encode_to_vec());
+        let Response::Batch(back) = Response::decode_all_shared(&wire).unwrap() else {
+            panic!("wrong variant");
+        };
+        // The shared payload aliases the frame; every Ok slice does too.
+        let frame_tail = wire[wire.len() - 150..].as_ptr();
+        assert_eq!(back.data.as_ptr(), frame_tail);
+        let split = back.into_results();
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[0].as_ref().unwrap().as_ptr(), frame_tail);
+        assert_eq!(split[0].as_ref().unwrap().as_slice(), &[7u8; 100][..]);
+        assert!(matches!(
+            split[1],
+            Err(SwarmError::FragmentNotFound(f)) if f == fid(5)
+        ));
+        assert_eq!(split[2].as_ref().unwrap().as_slice(), &[9u8; 50][..]);
+    }
+
+    #[test]
+    fn batch_reply_with_bad_length_table_is_corrupt() {
+        let reply = BatchReply {
+            items: vec![BatchItem::Data { len: 10 }],
+            data: vec![1, 2, 3].into(),
+        };
+        let wire = Response::Batch(reply).encode_to_vec();
+        let err = Response::decode_all(&wire).unwrap_err();
+        assert!(matches!(err, SwarmError::Corrupt(_)), "{err}");
     }
 
     #[test]
@@ -778,6 +1059,10 @@ mod tests {
         for resp in [
             Response::Data(vec![7u8; 64].into()),
             Response::Located(Some(b"prefix".into())),
+            Response::Batch(BatchReply::from_results(vec![
+                Ok(vec![1u8; 32].into()),
+                Ok(vec![2u8; 16].into()),
+            ])),
         ] {
             let mut w = ByteWriter::new();
             let payload = resp.encode_split(&mut w).expect("has a payload");

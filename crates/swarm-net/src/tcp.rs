@@ -71,6 +71,7 @@ pub(crate) struct NetMetrics {
     pub(crate) accept_errors: Counter,
     pub(crate) server_connections: Counter,
     pub(crate) server_requests: Counter,
+    pub(crate) server_fast_reads: Counter,
     pub(crate) server_bytes_in: Counter,
     pub(crate) server_bytes_out: Counter,
     pub(crate) conns_reaped: Counter,
@@ -88,6 +89,7 @@ pub(crate) fn metrics() -> &'static NetMetrics {
         accept_errors: swarm_metrics::counter("net.server.accept_errors"),
         server_connections: swarm_metrics::counter("net.server.connections"),
         server_requests: swarm_metrics::counter("net.server.requests"),
+        server_fast_reads: swarm_metrics::counter("net.server.fast_reads"),
         server_bytes_in: swarm_metrics::counter("net.server.bytes_in"),
         server_bytes_out: swarm_metrics::counter("net.server.bytes_out"),
         conns_reaped: swarm_metrics::counter("net.server.conns_reaped"),
@@ -789,6 +791,24 @@ impl ConnSource {
         self.next_seq += 1;
         self.inflight += 1;
 
+        // Reactor fast path: offer reads to the handler before paying the
+        // worker-pool round trip (two context switches — the dominant
+        // cost of a memory-resident read). Only the Read tag is peeked:
+        // decoding anything heavier on the reactor thread would stall
+        // every other connection. Fault plans disable the shortcut so
+        // injected delays/truncations still cover reads.
+        if self.faults.is_none() && body.first() == Some(&crate::proto::tag::READ) {
+            if let Ok(request) = Request::decode_all_shared(&body) {
+                if let Some(response) = self.handler.try_handle_fast(client, &request) {
+                    m.server_fast_reads.inc();
+                    let completion = encode_completion(self.id, None, mux_id, seq, response);
+                    self.mailbox.lock().push(completion);
+                    self.drain_mailbox();
+                    return true;
+                }
+            }
+        }
+
         let handler = self.handler.clone();
         let faults = self.faults.clone();
         let mailbox = self.mailbox.clone();
@@ -867,7 +887,20 @@ fn run_request(
         Err(e) => Response::from_error(&e),
     };
     drop(span);
+    encode_completion(server, faults, mux_id, seq, response)
+}
 
+/// Encodes a computed response as write-ready segments. Shared by the
+/// worker path ([`run_request`]) and the reactor fast path, so a response
+/// frame is byte-identical regardless of which thread produced it.
+fn encode_completion(
+    server: ServerId,
+    faults: Option<&crate::fault::FaultPlan>,
+    mux_id: Option<u64>,
+    seq: u64,
+    response: Response,
+) -> Completion {
+    let m = metrics();
     let mut header = ByteWriter::new();
     let id_bytes = mux_id.map(u64::to_le_bytes);
     if let Some(b) = &id_bytes {
@@ -879,6 +912,7 @@ fn run_request(
     let payload = match &response {
         Response::Data(b) => b.share(),
         Response::Located(Some(b)) => b.share(),
+        Response::Batch(reply) => reply.data.share(),
         _ => Bytes::new(),
     };
     m.server_bytes_out
@@ -947,6 +981,12 @@ impl Source for ConnSource {
             // that half-closed after its last request still gets replies
             // only if the write side survives — ours is gone with Close,
             // matching the blocking runtime (connection == session).
+            return Ready::Close;
+        }
+        // Reads answered on the fast path during pump_read are sitting in
+        // the outbox now; flush them in this pass rather than waiting for
+        // the next writability event.
+        if !self.outbox.is_empty() && !self.pump_write() {
             return Ready::Close;
         }
         self.verdict(true)

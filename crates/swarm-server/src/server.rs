@@ -1,12 +1,12 @@
 //! The storage server request handler: glues a [`FragmentStore`] and an
 //! [`AclDb`] behind the wire protocol.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use swarm_net::{Request, RequestHandler, Response, ServerStats};
+use swarm_net::{BatchReply, Request, RequestHandler, Response, ServerStats};
 use swarm_types::{Bytes, ClientId, FragmentId, Result, ServerId, SwarmError};
 
 use crate::acl::AclDb;
@@ -18,6 +18,9 @@ struct ServerMetrics {
     reads: swarm_metrics::Counter,
     deletes: swarm_metrics::Counter,
     cache_hits: swarm_metrics::Counter,
+    read_cache_hits: swarm_metrics::Counter,
+    read_cache_misses: swarm_metrics::Counter,
+    read_cache_bypass: swarm_metrics::Counter,
     errors: swarm_metrics::Counter,
     store_us: swarm_metrics::Histogram,
     read_us: swarm_metrics::Histogram,
@@ -31,6 +34,9 @@ fn metrics() -> &'static ServerMetrics {
         reads: swarm_metrics::counter("server.reads"),
         deletes: swarm_metrics::counter("server.deletes"),
         cache_hits: swarm_metrics::counter("server.cache_hits"),
+        read_cache_hits: swarm_metrics::counter("server.read_cache_hits"),
+        read_cache_misses: swarm_metrics::counter("server.read_cache_misses"),
+        read_cache_bypass: swarm_metrics::counter("server.read_cache_bypass"),
         errors: swarm_metrics::counter("server.errors"),
         store_us: swarm_metrics::histogram("server.store_us"),
         read_us: swarm_metrics::histogram("server.read_us"),
@@ -66,45 +72,174 @@ pub struct StorageServer<S> {
     reads: AtomicU64,
     deletes: AtomicU64,
     cache_hits: AtomicU64,
-    /// Optional in-memory fragment cache (FIFO). The paper's prototype
-    /// had none ("the prototype servers do not cache log fragments in
-    /// memory", §3.4) — this is the extension it names.
-    cache: Option<Mutex<FragmentCache>>,
+    /// Optional in-memory fragment cache (sharded LRU). The paper's
+    /// prototype had none ("the prototype servers do not cache log
+    /// fragments in memory", §3.4) — this is the extension it names.
+    cache: Option<ShardedCache>,
 }
 
-struct FragmentCache {
+/// Number of independent LRU shards in the read cache. Each shard has
+/// its own lock, so concurrent reads from the worker pool only contend
+/// when they land on the same shard — the same bookkeeping-only locking
+/// discipline as the FileStore index.
+const CACHE_SHARDS: usize = 8;
+
+/// A fragment cache split into [`CACHE_SHARDS`] independently-locked LRU
+/// shards keyed by a hash of the fragment id. The lock only guards
+/// bookkeeping (map + recency index); the cached payloads are shared
+/// [`Bytes`], so holding a shard lock never copies fragment data.
+struct ShardedCache {
+    shards: Vec<Mutex<CacheShard>>,
+    hits: Vec<AtomicU64>,
+    misses: Vec<AtomicU64>,
+    bypasses: Vec<AtomicU64>,
+}
+
+/// One LRU shard: recency is a monotonic stamp per entry plus a
+/// stamp→fid index, so get-refresh and evict-oldest are both O(log n).
+struct CacheShard {
     capacity: usize,
-    map: HashMap<FragmentId, Bytes>,
-    order: VecDeque<FragmentId>,
+    clock: u64,
+    map: HashMap<FragmentId, (Bytes, u64)>,
+    by_age: BTreeMap<u64, FragmentId>,
 }
 
-impl FragmentCache {
+impl CacheShard {
+    fn touch(&mut self, fid: FragmentId) -> Option<Bytes> {
+        let next = self.clock;
+        let (bytes, stamp) = self.map.get_mut(&fid)?;
+        self.by_age.remove(&*stamp);
+        *stamp = next;
+        let out = bytes.share();
+        self.by_age.insert(next, fid);
+        self.clock += 1;
+        Some(out)
+    }
+}
+
+impl ShardedCache {
     fn new(capacity: usize) -> Self {
-        FragmentCache {
-            capacity,
-            map: HashMap::new(),
-            order: VecDeque::new(),
+        // Distribute the budget across shards, rounding up so every
+        // shard can hold at least one fragment; the effective total is
+        // therefore approximate (within CACHE_SHARDS of the request).
+        let per_shard = capacity.div_ceil(CACHE_SHARDS).max(1);
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        capacity: per_shard,
+                        clock: 0,
+                        map: HashMap::new(),
+                        by_age: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+            hits: (0..CACHE_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            misses: (0..CACHE_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            bypasses: (0..CACHE_SHARDS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn get(&self, fid: FragmentId) -> Option<Bytes> {
-        self.map.get(&fid).map(Bytes::share)
+    /// Which shard a fragment lives in: a Fibonacci-hash mix of the raw
+    /// fid so sequential fragment ids still spread across shards.
+    fn shard_of(fid: FragmentId) -> usize {
+        let mixed = fid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 56) as usize % CACHE_SHARDS
     }
 
-    fn insert(&mut self, fid: FragmentId, bytes: Bytes) {
-        if self.map.insert(fid, bytes).is_none() {
-            self.order.push_back(fid);
-            while self.order.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                }
+    /// LRU probe: a hit refreshes the entry's recency.
+    fn get(&self, fid: FragmentId) -> Option<Bytes> {
+        let shard = Self::shard_of(fid);
+        let got = self.shards[shard].lock().touch(fid);
+        match &got {
+            Some(_) => {
+                self.hits[shard].fetch_add(1, Ordering::Relaxed);
+                metrics().read_cache_hits.inc();
+            }
+            None => {
+                self.misses[shard].fetch_add(1, Ordering::Relaxed);
+                metrics().read_cache_misses.inc();
             }
         }
+        got
     }
 
-    fn remove(&mut self, fid: FragmentId) {
-        self.map.remove(&fid);
-        self.order.retain(|f| *f != fid);
+    /// Probe that records a hit but never a miss: the reactor fast path
+    /// declines on a miss and the worker-path probe that follows records
+    /// it, so one logical read counts at most one miss.
+    fn get_resident(&self, fid: FragmentId) -> Option<Bytes> {
+        let shard = Self::shard_of(fid);
+        let got = self.shards[shard].lock().touch(fid);
+        if got.is_some() {
+            self.hits[shard].fetch_add(1, Ordering::Relaxed);
+            metrics().read_cache_hits.inc();
+        }
+        got
+    }
+
+    /// Like [`get`], but a miss counts against the bypass counter: the
+    /// caller (a `ReadBatch` sweep) will not admit what it fetches.
+    fn get_bypass(&self, fid: FragmentId) -> Option<Bytes> {
+        let shard = Self::shard_of(fid);
+        let got = self.shards[shard].lock().touch(fid);
+        match &got {
+            Some(_) => {
+                self.hits[shard].fetch_add(1, Ordering::Relaxed);
+                metrics().read_cache_hits.inc();
+            }
+            None => {
+                self.bypasses[shard].fetch_add(1, Ordering::Relaxed);
+                metrics().read_cache_bypass.inc();
+            }
+        }
+        got
+    }
+
+    fn insert(&self, fid: FragmentId, bytes: Bytes) {
+        let mut shard = self.shards[Self::shard_of(fid)].lock();
+        if let Some((slot, stamp)) = shard.map.get_mut(&fid) {
+            // Replace in place (re-store of a live fid): new bytes, new
+            // recency.
+            *slot = bytes;
+            let old = *stamp;
+            let next = shard.clock;
+            shard.clock += 1;
+            shard.map.get_mut(&fid).expect("present").1 = next;
+            shard.by_age.remove(&old);
+            shard.by_age.insert(next, fid);
+            return;
+        }
+        while shard.map.len() >= shard.capacity {
+            let Some((&oldest, &victim)) = shard.by_age.iter().next() else {
+                break;
+            };
+            shard.by_age.remove(&oldest);
+            shard.map.remove(&victim);
+        }
+        let next = shard.clock;
+        shard.clock += 1;
+        shard.map.insert(fid, (bytes, next));
+        shard.by_age.insert(next, fid);
+    }
+
+    fn remove(&self, fid: FragmentId) {
+        let mut shard = self.shards[Self::shard_of(fid)].lock();
+        if let Some((_, stamp)) = shard.map.remove(&fid) {
+            shard.by_age.remove(&stamp);
+        }
+    }
+
+    /// Per-shard `(hits, misses, bypasses)` counters.
+    fn shard_stats(&self) -> Vec<(u64, u64, u64)> {
+        (0..CACHE_SHARDS)
+            .map(|i| {
+                (
+                    self.hits[i].load(Ordering::Relaxed),
+                    self.misses[i].load(Ordering::Relaxed),
+                    self.bypasses[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 }
 
@@ -123,12 +258,14 @@ impl<S: FragmentStore> StorageServer<S> {
         }
     }
 
-    /// Enables an in-memory read cache of `fragments` recently stored or
-    /// read fragments — the server-side caching §3.4 names as the
-    /// optimization the prototype lacked.
+    /// Enables an in-memory read cache of roughly `fragments` recently
+    /// stored or read fragments — the server-side caching §3.4 names as
+    /// the optimization the prototype lacked. The budget is spread over
+    /// [`CACHE_SHARDS`] independently-locked LRU shards (each at least
+    /// one fragment deep), so the effective capacity is approximate.
     pub fn with_read_cache(mut self, fragments: usize) -> Self {
         if fragments > 0 {
-            self.cache = Some(Mutex::new(FragmentCache::new(fragments)));
+            self.cache = Some(ShardedCache::new(fragments));
         }
         self
     }
@@ -136,6 +273,15 @@ impl<S: FragmentStore> StorageServer<S> {
     /// Cache hits served so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard read-cache `(hits, misses, bypasses)` counters; empty
+    /// when the cache is disabled.
+    pub fn read_cache_shard_stats(&self) -> Vec<(u64, u64, u64)> {
+        self.cache
+            .as_ref()
+            .map(ShardedCache::shard_stats)
+            .unwrap_or_default()
     }
 
     /// Convenience: wraps the server in an [`Arc`] for sharing with
@@ -194,7 +340,7 @@ impl<S: FragmentStore> StorageServer<S> {
                     return Err(e);
                 }
                 if let Some(cache) = &self.cache {
-                    cache.lock().insert(fid, data);
+                    cache.insert(fid, data);
                 }
                 Ok(Response::Ok)
             }
@@ -205,7 +351,7 @@ impl<S: FragmentStore> StorageServer<S> {
                 let _span = m.read_us.span("server.read");
                 self.acls.check(fid, offset, len, client, "read")?;
                 if let Some(cache) = &self.cache {
-                    if let Some(bytes) = cache.lock().get(fid) {
+                    if let Some(bytes) = cache.get(fid) {
                         let end = offset as usize + len as usize;
                         if end <= bytes.len() {
                             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -213,9 +359,51 @@ impl<S: FragmentStore> StorageServer<S> {
                             return Ok(Response::Data(bytes.slice(offset as usize..end)));
                         }
                     }
+                    let data = self.store.read(fid, offset, len)?;
+                    // Admit whole-fragment reads — the client's normal
+                    // unit — so a re-read working set is served from
+                    // memory. Partial reads are not admitted: the cache
+                    // holds whole fragments only.
+                    if offset == 0
+                        && self
+                            .store
+                            .meta(fid)
+                            .is_some_and(|meta| meta.len as usize == data.len())
+                    {
+                        cache.insert(fid, data.share());
+                    }
+                    return Ok(Response::Data(data));
                 }
                 let data = self.store.read(fid, offset, len)?;
                 Ok(Response::Data(data))
+            }
+            Request::ReadBatch { reads } => {
+                let m = metrics();
+                let _span = m.read_us.span("server.read_batch");
+                self.reads.fetch_add(reads.len() as u64, Ordering::Relaxed);
+                m.reads.add(reads.len() as u64);
+                // One worker job serves the whole sweep. Each read still
+                // probes the cache (hits refresh recency), but misses are
+                // NOT admitted — a scan must not evict the hot set.
+                let results = reads
+                    .into_iter()
+                    .map(|spec| {
+                        self.acls
+                            .check(spec.fid, spec.offset, spec.len, client, "read")?;
+                        if let Some(cache) = &self.cache {
+                            if let Some(bytes) = cache.get_bypass(spec.fid) {
+                                let end = spec.offset as usize + spec.len as usize;
+                                if end <= bytes.len() {
+                                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                                    m.cache_hits.inc();
+                                    return Ok(bytes.slice(spec.offset as usize..end));
+                                }
+                            }
+                        }
+                        self.store.read(spec.fid, spec.offset, spec.len)
+                    })
+                    .collect();
+                Ok(Response::Batch(BatchReply::from_results(results)))
             }
             Request::Delete { fid } => {
                 self.deletes.fetch_add(1, Ordering::Relaxed);
@@ -224,7 +412,7 @@ impl<S: FragmentStore> StorageServer<S> {
                 self.store.delete(fid)?;
                 self.acls.detach_ranges(fid);
                 if let Some(cache) = &self.cache {
-                    cache.lock().remove(fid);
+                    cache.remove(fid);
                 }
                 Ok(Response::Ok)
             }
@@ -297,6 +485,36 @@ impl<S: FragmentStore> RequestHandler for StorageServer<S> {
                 Response::from_error(&SwarmError::other(format!("internal server error: {msg}")))
             }
         }
+    }
+
+    fn try_handle_fast(&self, client: ClientId, request: &Request) -> Option<Response> {
+        // Only a single ranged read of a cache-resident fragment
+        // qualifies: everything below is an ACL map probe plus one shard
+        // lookup — bounded bookkeeping a reactor thread can afford.
+        // Anything else (including a batch, whose misses touch the
+        // store) takes the worker path.
+        let Request::Read { fid, offset, len } = *request else {
+            return None;
+        };
+        let cache = self.cache.as_ref()?;
+        let m = metrics();
+        if let Err(e) = self.acls.check(fid, offset, len, client, "read") {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            m.reads.inc();
+            m.errors.inc();
+            return Some(Response::from_error(&e));
+        }
+        let bytes = cache.get_resident(fid)?;
+        let end = offset as usize + len as usize;
+        if end > bytes.len() {
+            // Short entry for this range: let the store rule on bounds.
+            return None;
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        m.reads.inc();
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.cache_hits.inc();
+        Some(Response::Data(bytes.slice(offset as usize..end)))
     }
 }
 
@@ -758,6 +976,63 @@ mod cache_tests {
     }
 
     #[test]
+    fn fast_path_serves_resident_reads_and_declines_misses() {
+        let srv = counting_server(4);
+        store_frag(&srv, 0, &[9u8; 512]);
+        // Resident: answered in place with the requested slice.
+        let resp = srv
+            .try_handle_fast(
+                ClientId::new(1),
+                &Request::Read {
+                    fid: fid(0),
+                    offset: 8,
+                    len: 16,
+                },
+            )
+            .expect("resident fragment answers fast");
+        assert_eq!(resp, Response::Data(vec![9u8; 16].into()));
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 0);
+        // Not resident: declined, and no miss is charged — the worker
+        // path that follows the decline records it.
+        assert!(srv
+            .try_handle_fast(
+                ClientId::new(1),
+                &Request::Read {
+                    fid: fid(99),
+                    offset: 0,
+                    len: 4,
+                },
+            )
+            .is_none());
+        let (hits, misses, _) = srv
+            .read_cache_shard_stats()
+            .into_iter()
+            .fold((0, 0, 0), |a, s| (a.0 + s.0, a.1 + s.1, a.2 + s.2));
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 0);
+        // Anything but a single Read never qualifies.
+        assert!(srv
+            .try_handle_fast(ClientId::new(1), &Request::LastMarked)
+            .is_none());
+    }
+
+    #[test]
+    fn fast_path_declines_without_a_cache() {
+        let srv = counting_server(0);
+        store_frag(&srv, 0, &[9u8; 64]);
+        assert!(srv
+            .try_handle_fast(
+                ClientId::new(1),
+                &Request::Read {
+                    fid: fid(0),
+                    offset: 0,
+                    len: 8,
+                },
+            )
+            .is_none());
+    }
+
+    #[test]
     fn without_cache_every_read_hits_the_store() {
         let srv = counting_server(0);
         store_frag(&srv, 0, &[7u8; 1024]);
@@ -768,22 +1043,106 @@ mod cache_tests {
         assert_eq!(srv.cache_hits(), 0);
     }
 
-    #[test]
-    fn cache_evicts_fifo_and_falls_back_to_store() {
-        let srv = counting_server(2);
-        for seq in 0..3 {
-            store_frag(&srv, seq, &[seq as u8; 64]);
+    /// First `n` fragment seqs that all land in the same cache shard,
+    /// so eviction order is deterministic regardless of the shard hash.
+    fn same_shard_seqs(n: usize) -> Vec<u64> {
+        let target = ShardedCache::shard_of(fid(0));
+        let mut out = vec![0u64];
+        let mut s = 1u64;
+        while out.len() < n {
+            if ShardedCache::shard_of(fid(s)) == target {
+                out.push(s);
+            }
+            s += 1;
         }
-        // Fragment 0 was evicted by 2; reading it hits the store.
+        out
+    }
+
+    #[test]
+    fn cache_evicts_lru_within_a_shard_and_falls_back_to_store() {
+        // Capacity 16 over 8 shards = 2 entries per shard.
+        let srv = counting_server(16);
+        let seqs = same_shard_seqs(3);
+        let (a, b, c) = (seqs[0], seqs[1], seqs[2]);
+        store_frag(&srv, a, &[1u8; 64]);
+        store_frag(&srv, b, &[2u8; 64]);
+        // Refresh `a`: under LRU the next eviction victim is `b`, even
+        // though `a` entered the shard first (FIFO would evict `a`).
+        read_frag(&srv, a, 0, 4);
+        store_frag(&srv, c, &[3u8; 64]);
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 0);
+        // `a` and `c` still cached; `b` was evicted and hits the store.
+        read_frag(&srv, a, 0, 4);
+        read_frag(&srv, c, 0, 4);
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 0);
         assert_eq!(
-            read_frag(&srv, 0, 0, 4),
-            Response::Data(vec![0u8; 4].into())
+            read_frag(&srv, b, 0, 4),
+            Response::Data(vec![2u8; 4].into())
         );
         assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
-        // Fragments 1 and 2 still cached.
-        read_frag(&srv, 1, 0, 4);
-        read_frag(&srv, 2, 0, 4);
+    }
+
+    #[test]
+    fn single_read_miss_admits_the_whole_fragment() {
+        // Capacity 1 ⇒ one entry per shard; `b` evicts `a`.
+        let srv = counting_server(1);
+        let seqs = same_shard_seqs(2);
+        let (a, b) = (seqs[0], seqs[1]);
+        store_frag(&srv, a, &[1u8; 64]);
+        store_frag(&srv, b, &[2u8; 64]);
+        // Whole-fragment read of the evicted `a` hits the store once and
+        // re-admits it; the re-read is then served from cache.
+        assert_eq!(
+            read_frag(&srv, a, 0, 64),
+            Response::Data(vec![1u8; 64].into())
+        );
         assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
+        read_frag(&srv, a, 0, 16);
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 1);
+        // A *partial* read of the (now evicted) `b` is served from the
+        // store but NOT admitted: partial bytes can't seed the cache.
+        read_frag(&srv, b, 0, 16);
+        read_frag(&srv, b, 0, 16);
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn read_batch_probes_the_cache_but_never_admits() {
+        use swarm_net::ReadSpec;
+        let srv = counting_server(1);
+        let seqs = same_shard_seqs(2);
+        let (a, b) = (seqs[0], seqs[1]);
+        store_frag(&srv, a, &[1u8; 64]);
+        store_frag(&srv, b, &[2u8; 64]); // evicts `a` from its shard
+        let batch = |specs: Vec<ReadSpec>| match srv
+            .handle(ClientId::new(1), Request::ReadBatch { reads: specs })
+        {
+            Response::Batch(reply) => reply.into_results(),
+            r => panic!("{r:?}"),
+        };
+        let spec = |seq: u64| ReadSpec {
+            fid: fid(seq),
+            offset: 0,
+            len: 64,
+        };
+        // `b` is cached (hit), `a` is not (bypass: store read, no
+        // admission), and a missing fid yields a per-item error without
+        // poisoning the batch.
+        for _ in 0..2 {
+            let results = batch(vec![spec(a), spec(b), spec(999)]);
+            assert_eq!(results[0].as_ref().unwrap().as_slice(), &[1u8; 64][..]);
+            assert_eq!(results[1].as_ref().unwrap().as_slice(), &[2u8; 64][..]);
+            assert!(results[2].is_err());
+        }
+        // Both sweeps re-read `a` (and re-attempt the missing fid) from
+        // the store: batches never admit.
+        assert_eq!(srv.store().reads.load(Ordering::Relaxed), 4);
+        let stats = srv.read_cache_shard_stats();
+        let (hits, _misses, bypasses) = stats
+            .iter()
+            .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
+        assert_eq!(bypasses, 4, "bypassed probes of `a` and the missing fid");
+        assert!(hits >= 2, "cached `b` probed twice: {stats:?}");
     }
 
     #[test]

@@ -173,6 +173,73 @@ fn write_window_metrics_appear_in_snapshot() {
     assert!(parsed.histogram("log.store_window_occupancy").is_some());
 }
 
+/// The pipelined read engine's instruments (DESIGN.md §16) are the write
+/// twin's mirror: the `log.read_inflight` gauge exists, the
+/// `log.read_window_occupancy` histogram gains a sample per read RPC, and
+/// the sharded server read cache reports hits, misses, and scan bypasses.
+#[test]
+fn read_window_and_cache_metrics_appear_in_snapshot() {
+    let svc = ServiceId::new(13);
+    let before = swarm_metrics::snapshot();
+    // Servers with a deliberately tiny read cache (one fragment per
+    // shard): stores admit fragments, so writing more fragments per
+    // server than the cache holds guarantees evictions — and therefore
+    // cache misses on single reads and bypasses on batched scans —
+    // while the still-resident fragments guarantee hits.
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..3 {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new())
+            .with_read_cache(1)
+            .into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+
+    let log = Log::create(transport, config(3).read_window(4)).unwrap();
+    let mut addrs = Vec::new();
+    for i in 0..60u32 {
+        addrs.push(log.append_block(svc, b"", &[i as u8; 1500]).unwrap());
+    }
+    log.flush().unwrap();
+
+    // One scan: grouped by home server into ReadBatch RPCs, probing the
+    // cache without admitting (hits on resident fragments, bypasses on
+    // evicted ones).
+    let scanned = log.read_many(&addrs).unwrap();
+    assert_eq!(scanned.len(), addrs.len());
+    // Single windowed reads: evicted fragments count ordinary misses.
+    for (i, addr) in addrs.iter().enumerate() {
+        assert_eq!(log.read(*addr).unwrap(), vec![i as u8; 1500]);
+    }
+
+    let after = swarm_metrics::snapshot();
+    let count =
+        |snap: &swarm_metrics::Snapshot, name: &str| snap.histogram(name).map_or(0, |h| h.count);
+    assert!(
+        count(&after, "log.read_window_occupancy") > count(&before, "log.read_window_occupancy"),
+        "read window occupancy histogram gained no samples"
+    );
+    assert!(
+        after.gauges.contains_key("log.read_inflight"),
+        "read_inflight gauge not registered"
+    );
+    for name in [
+        "server.read_cache_hits",
+        "server.read_cache_misses",
+        "server.read_cache_bypass",
+    ] {
+        assert!(
+            after.counter(name) > before.counter(name),
+            "{name} did not move"
+        );
+    }
+
+    // The JSON `swarm-admin stats` prints carries the read instruments.
+    let parsed = swarm_metrics::Snapshot::from_json(&after.to_json()).unwrap();
+    assert!(parsed.gauges.contains_key("log.read_inflight"));
+    assert!(parsed.histogram("log.read_window_occupancy").is_some());
+    assert!(parsed.counter("server.read_cache_hits") >= after.counter("server.read_cache_hits"));
+}
+
 #[test]
 fn metrics_rpc_serves_a_parseable_snapshot() {
     let transport = cluster(2);
