@@ -40,6 +40,7 @@ fn main() {
     println!("each rebuild, the paper's argument for groups smaller than the cluster.");
 
     measure_real_stack();
+    measure_rs_two_down();
 }
 
 /// Degraded reads on the real stack over TCP loopback: the serial read
@@ -99,6 +100,77 @@ fn measure_real_stack() {
     print_table(
         "Real stack (TCP loopback, width 4, one server down): degraded reads",
         &["read engine", "MB/s"],
+        &rows,
+    );
+}
+
+/// Reed–Solomon degraded reads on the real stack: a 4+2 stripe group
+/// with zero, one, and then two servers down at once. Every read with a
+/// dead home server runs the full locate + k-survivor fetch + GF(2^8)
+/// matrix decode path; the two-down row is the multi-failure case XOR
+/// parity cannot serve at all.
+fn measure_rs_two_down() {
+    const BLOCK: usize = 8 * 1024;
+    const BLOCKS: usize = 64;
+    const ROUNDS: usize = 10;
+    const WIDTH: u32 = 6;
+
+    let mut rows = Vec::new();
+    for (name, kill) in [
+        ("healthy (0 down)", 0usize),
+        ("degraded (1 down)", 1),
+        ("degraded (2 down)", 2),
+    ] {
+        let transport = Arc::new(TcpTransport::new());
+        let mut servers = Vec::new();
+        for i in 0..WIDTH {
+            let handler = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+            let server = TcpServer::spawn(ServerId::new(i), "127.0.0.1:0", handler).unwrap();
+            transport.add_server(ServerId::new(i), server.addr());
+            servers.push(server);
+        }
+        let config = LogConfig::new(ClientId::new(1), (0..WIDTH).map(ServerId::new).collect())
+            .unwrap()
+            .geometry(swarm_types::Geometry::new(4, 2).unwrap())
+            .unwrap()
+            .fragment_size(32 * 1024)
+            .cache_fragments(0);
+        let log = Log::create(transport.clone() as Arc<dyn swarm_net::Transport>, config).unwrap();
+        let svc = ServiceId::new(1);
+        let mut addrs = Vec::new();
+        for i in 0..BLOCKS {
+            addrs.push(
+                log.append_block(svc, b"", &vec![(i % 251) as u8; BLOCK])
+                    .unwrap(),
+            );
+        }
+        log.flush().unwrap();
+
+        for _ in 0..kill {
+            let mut dead = servers.remove(0);
+            dead.shutdown();
+            drop(dead);
+        }
+
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            for (i, addr) in addrs.iter().enumerate() {
+                log.forget_fragment(addr.fid);
+                let data = log.read(*addr).unwrap();
+                assert_eq!(data.len(), BLOCK);
+                assert!(
+                    data.iter().all(|&b| b == (i % 251) as u8),
+                    "degraded read returned wrong bytes"
+                );
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mb_s = (ROUNDS * BLOCKS * BLOCK) as f64 / 1e6 / secs;
+        rows.push(vec![name.to_string(), format!("{mb_s:.2}")]);
+    }
+    print_table(
+        "Real stack (TCP loopback, 4+2 Reed–Solomon): reads by failure count",
+        &["cluster state", "MB/s"],
         &rows,
     );
 }

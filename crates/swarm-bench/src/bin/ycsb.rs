@@ -36,6 +36,11 @@ struct Args {
     fragment_bytes: usize,
     flush_every: usize,
     servers: u32,
+    /// Reed–Solomon stripe geometry; `None` is the default XOR layout
+    /// over `--servers`. Setting it also fixes the cluster size to the
+    /// geometry width and suffixes output files (`_<k>p<m>`), so an RS
+    /// run never overwrites the committed XOR-baseline scoreboard.
+    geometry: Option<swarm_types::Geometry>,
     file_store: bool,
     /// Server-side sharded read cache capacity in fragments; 0 disables.
     cache_fragments: usize,
@@ -50,7 +55,7 @@ struct Args {
 
 const USAGE: &str = "usage: ycsb [--workload a|b|c|d|e|write|all] [--threads N,N,..] \
 [--windows N,N,..] [--records N] [--ops N] [--value BYTES] [--fragment BYTES] \
-[--flush-every N] [--servers N] [--store mem|file] [--cache FRAGMENTS] [--group-ms N] \
+[--flush-every N] [--servers N] [--geometry K+M] [--store mem|file] [--cache FRAGMENTS] [--group-ms N] \
 [--rate OPS_PER_SEC] [--smoke] [--out DIR] [--seed N]\n       \
 ycsb diff [--baseline DIR] [--fresh DIR] [--threshold PCT]";
 
@@ -85,6 +90,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         fragment_bytes: 8 * 1024,
         flush_every: 64,
         servers: 5,
+        geometry: None,
         file_store: true,
         cache_fragments: 1024,
         group_ms: 5,
@@ -134,6 +140,13 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--servers" => {
                 let v = value("--servers")?;
                 args.servers = v.parse().map_err(|e| format!("--servers {v}: {e}"))?;
+            }
+            "--geometry" => {
+                let v = value("--geometry")?;
+                args.geometry = Some(
+                    v.parse::<swarm_types::Geometry>()
+                        .map_err(|e| format!("--geometry {v}: {e}"))?,
+                );
             }
             "--store" => {
                 let v = value("--store")?;
@@ -464,7 +477,7 @@ fn main() -> std::process::ExitCode {
     if std::env::args().nth(1).as_deref() == Some("diff") {
         return run_diff();
     }
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -477,6 +490,17 @@ fn main() -> std::process::ExitCode {
         Runtime::default_for_platform()
     };
     let store_name = if args.file_store { "file" } else { "mem" };
+    // A requested RS geometry dictates the cluster size; every stripe
+    // spans the whole group, so width and server count must agree.
+    if let Some(g) = args.geometry {
+        args.servers = g.width() as u32;
+    }
+    // Default XOR runs keep their historical filenames (the committed
+    // baselines); RS runs get a `_<k>p<m>` suffix and their own baseline.
+    let geometry_suffix = args
+        .geometry
+        .map(|g| format!("_{}p{}", g.data(), g.parity()))
+        .unwrap_or_default();
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create {}: {e}", args.out.display());
         return std::process::ExitCode::FAILURE;
@@ -510,6 +534,7 @@ fn main() -> std::process::ExitCode {
                     flush_every: args.flush_every,
                     rate: args.rate,
                     servers: args.servers,
+                    geometry: args.geometry,
                     seed: args.seed,
                 };
                 let result = match run_workload(cluster.transport_factory(), *workload, cfg) {
@@ -547,8 +572,12 @@ fn main() -> std::process::ExitCode {
 
         print_table(
             &format!(
-                "YCSB '{}' over tcp-{runtime} ({store_name} store, {} B values)",
-                workload.name, args.value_bytes
+                "YCSB '{}' over tcp-{runtime} ({store_name} store, {} B values{})",
+                workload.name,
+                args.value_bytes,
+                args.geometry
+                    .map(|g| format!(", geometry {g}"))
+                    .unwrap_or_default()
             ),
             &["threads", "window", "ops/s", "p50_us", "p99_us", "p999_us"],
             &table,
@@ -563,7 +592,8 @@ fn main() -> std::process::ExitCode {
              \"mix\": {{\"read_pct\": {}, \"scan_pct\": {}, \"update_pct\": {}, \
              \"insert_pct\": {}, \"dist\": \"{}\"}},\n  \
              \"transport\": \"tcp-{runtime}\",\n  \"store\": \"{store_name}\",\n  \
-             \"servers\": {},\n  \"value_bytes\": {},\n  \"records_per_thread\": {},\n  \
+             \"servers\": {},\n  \"geometry\": \"{}\",\n  \"value_bytes\": {},\n  \
+             \"records_per_thread\": {},\n  \
              \"ops_per_thread\": {},\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
              \"speedup_w8_over_w1_at_8_threads\": {}\n}}\n",
             workload.name,
@@ -577,6 +607,9 @@ fn main() -> std::process::ExitCode {
                 swarm_bench::ycsb::KeyDist::Latest => "latest",
             },
             args.servers,
+            args.geometry
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| format!("{}+1", args.servers - 1)),
             args.value_bytes,
             args.records,
             args.ops,
@@ -588,7 +621,10 @@ fn main() -> std::process::ExitCode {
             rows.iter().map(json_row).collect::<Vec<_>>().join(",\n"),
             speedup.map_or("null".to_string(), |x| format!("{x:.3}")),
         );
-        let path = args.out.join(format!("BENCH_ycsb_{}.json", workload.name));
+        let path = args.out.join(format!(
+            "BENCH_ycsb_{}{geometry_suffix}.json",
+            workload.name
+        ));
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write {}: {e}", path.display());
             return std::process::ExitCode::FAILURE;

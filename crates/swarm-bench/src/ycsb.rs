@@ -232,6 +232,10 @@ pub struct RunConfig {
     pub rate: Option<f64>,
     /// Stripe group size (servers 0..n).
     pub servers: u32,
+    /// Stripe geometry over those servers; `None` keeps the default
+    /// single-XOR-parity layout ((servers-1)+1). A `Some` geometry must
+    /// have `width() == servers`; m=1 is bit-identical to the default.
+    pub geometry: Option<swarm_types::Geometry>,
     /// Base RNG seed; thread `t` runs with `seed + t`.
     pub seed: u64,
 }
@@ -248,6 +252,7 @@ impl Default for RunConfig {
             flush_every: 128,
             rate: None,
             servers: 5,
+            geometry: None,
             seed: 42,
         }
     }
@@ -276,7 +281,7 @@ impl RunResult {
 }
 
 fn log_config(client: u32, cfg: &RunConfig) -> Result<LogConfig> {
-    Ok(LogConfig::new(
+    let config = LogConfig::new(
         ClientId::new(client),
         (0..cfg.servers).map(ServerId::new).collect(),
     )?
@@ -286,7 +291,11 @@ fn log_config(client: u32, cfg: &RunConfig) -> Result<LogConfig> {
     .write_window(cfg.window)
     .read_window(cfg.window)
     // Enough queue that the window, not the queue, is the limiter.
-    .queue_depth(cfg.window.max(2) * 2))
+    .queue_depth(cfg.window.max(2) * 2);
+    match cfg.geometry {
+        Some(g) => config.geometry(g),
+        None => Ok(config),
+    }
 }
 
 /// Per-thread key table: `live` keys are readable (covered by a flush),
@@ -540,6 +549,28 @@ mod tests {
             assert_eq!(result.ops, 120, "workload {name}");
             assert_eq!(result.summary().count, 120, "workload {name}");
         }
+    }
+
+    #[test]
+    fn mixed_workload_runs_on_a_4p2_rs_geometry() {
+        let transport = mem_cluster(6);
+        let cfg = RunConfig {
+            threads: 2,
+            window: 4,
+            records: 20,
+            ops: 60,
+            value_bytes: 512,
+            flush_every: 16,
+            servers: 6,
+            geometry: Some(swarm_types::Geometry::new(4, 2).unwrap()),
+            ..RunConfig::default()
+        };
+        let factory: Arc<TransportFactory> =
+            Arc::new(move |_| Ok(transport.clone() as Arc<dyn Transport>));
+        let result =
+            run_workload(factory, Workload::named("a").unwrap(), cfg).expect("workload a at 4+2");
+        assert_eq!(result.ops, 120);
+        assert_eq!(result.summary().count, 120);
     }
 
     #[test]

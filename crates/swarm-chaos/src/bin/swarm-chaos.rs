@@ -4,17 +4,20 @@
 //! swarm-chaos --seed 42                      # one seed, both transports
 //! swarm-chaos --seeds 0..16 --transport mem  # a CI shard
 //! swarm-chaos --seeds 0..16 --store file     # durable FileStore backing
+//! swarm-chaos --seeds 0..8 --geometry 3+1,4+2,8+3   # RS geometry sweep
 //! swarm-chaos --seed 42 --dump               # print the schedule
 //! swarm-chaos --seeds 0..256 --dump-failures target/chaos
 //! ```
 //!
 //! Exit status is 0 iff every seed passed on every requested transport.
 //! Each failing seed prints its invariant violations and a one-line
-//! replay command.
+//! replay command carrying the full option set (transport, store,
+//! geometry, write/read windows).
 
 use std::process::ExitCode;
 
 use swarm_chaos::{RunReport, Runner, Schedule, ScheduleConfig, StoreKind, TransportKind};
+use swarm_types::Geometry;
 
 struct Args {
     seeds: Vec<u64>,
@@ -24,6 +27,7 @@ struct Args {
     read_windows: Vec<usize>,
     events: usize,
     servers: u32,
+    geometries: Option<Vec<Geometry>>,
     dump: bool,
     dump_failures: Option<String>,
 }
@@ -31,7 +35,7 @@ struct Args {
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
 [--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] \
 [--write-window N|both] [--read-window N|both] [--events N] \
-[--servers N] [--dump] [--dump-failures DIR]";
+[--servers N] [--geometry K+M[,K+M...]] [--dump] [--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         read_windows: vec![swarm_log::DEFAULT_READ_WINDOW],
         events: 64,
         servers: 4,
+        geometries: None,
         dump: false,
         dump_failures: None,
     };
@@ -121,6 +126,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--servers")?;
                 args.servers = v.parse().map_err(|e| format!("--servers {v}: {e}"))?;
             }
+            "--geometry" => {
+                let v = value("--geometry")?;
+                let mut list = Vec::new();
+                for g in v.split(',') {
+                    list.push(
+                        g.parse::<Geometry>()
+                            .map_err(|e| format!("--geometry {g}: {e}"))?,
+                    );
+                }
+                args.geometries = Some(list);
+            }
             "--dump" => args.dump = true,
             "--dump-failures" => args.dump_failures = Some(value("--dump-failures")?),
             "--help" | "-h" => {
@@ -133,13 +149,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn report_line(report: &RunReport) -> String {
+fn report_line(report: &RunReport, geometry: Geometry) -> String {
     format!(
-        "seed {:>6} transport={} store={} window={} rwindow={} hash={:#018x} \
+        "seed {:>6} transport={} store={} geometry={} window={} rwindow={} hash={:#018x} \
          events={} acked={} reads={} {}",
         report.seed,
         report.transport,
         report.store,
+        geometry,
         report.write_window,
         report.read_window,
         report.hash,
@@ -158,76 +175,96 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let cfg = ScheduleConfig::new(args.servers, args.events);
+    // No --geometry means the classic single-XOR-parity cluster of
+    // --servers members ((servers-1)+1), matching historical behavior.
+    let geometries = match &args.geometries {
+        Some(list) => list.clone(),
+        None => match Geometry::xor(args.servers as u8) {
+            Ok(g) => vec![g],
+            Err(e) => {
+                eprintln!("--servers {}: {e}", args.servers);
+                return ExitCode::from(2);
+            }
+        },
+    };
     let mut failed = 0usize;
     let mut ran = 0usize;
 
-    for &seed in &args.seeds {
-        let schedule = Schedule::generate(seed, &cfg);
-        if args.dump {
-            print!("{}", schedule.dump());
-        }
-        let mut hashes = Vec::new();
-        for &kind in &args.transports {
-            for &store in &args.stores {
-                for &window in &args.windows {
-                    for &read_window in &args.read_windows {
-                        ran += 1;
-                        let report = match Runner::run_with_options(
-                            &schedule,
-                            kind,
-                            store,
-                            window,
-                            read_window,
-                        ) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                eprintln!(
-                                    "seed {seed} transport={kind} store={store} \
-                                     window={window} rwindow={read_window}: setup failed: {e}"
-                                );
+    for &geometry in &geometries {
+        let servers = geometry.width() as u32;
+        let cfg = ScheduleConfig::with_parity(servers, args.events, geometry.parity() as u32);
+        for &seed in &args.seeds {
+            let schedule = Schedule::generate(seed, &cfg);
+            if args.dump {
+                print!("{}", schedule.dump());
+            }
+            let mut hashes = Vec::new();
+            for &kind in &args.transports {
+                for &store in &args.stores {
+                    for &window in &args.windows {
+                        for &read_window in &args.read_windows {
+                            ran += 1;
+                            let report = match Runner::run_with_options(
+                                &schedule,
+                                kind,
+                                store,
+                                window,
+                                read_window,
+                            ) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    eprintln!(
+                                        "seed {seed} transport={kind} store={store} \
+                                         geometry={geometry} window={window} \
+                                         rwindow={read_window}: setup failed: {e}"
+                                    );
+                                    failed += 1;
+                                    continue;
+                                }
+                            };
+                            println!("{}", report_line(&report, geometry));
+                            hashes.push(report.hash);
+                            if !report.passed() {
                                 failed += 1;
-                                continue;
-                            }
-                        };
-                        println!("{}", report_line(&report));
-                        hashes.push(report.hash);
-                        if !report.passed() {
-                            failed += 1;
-                            for f in &report.failures {
-                                eprintln!("  {f}");
-                            }
-                            eprintln!(
-                                "  replay: {}",
-                                report.replay_command(args.events, args.servers)
-                            );
-                            if let Some(dir) = &args.dump_failures {
-                                let path = format!(
-                                    "{dir}/seed-{seed}-{kind}-{store}-w{window}-r{read_window}\
-                                     .schedule"
+                                for f in &report.failures {
+                                    eprintln!("  {f}");
+                                }
+                                eprintln!(
+                                    "  replay: {}",
+                                    report.replay_command(args.events, servers)
                                 );
-                                if std::fs::create_dir_all(dir)
-                                    .and_then(|_| {
-                                        let mut dump = schedule.dump();
-                                        dump.push_str("\n# failures:\n");
-                                        for f in &report.failures {
-                                            dump.push_str(&format!("# {f}\n"));
-                                        }
-                                        std::fs::write(&path, dump)
-                                    })
-                                    .is_ok()
-                                {
-                                    eprintln!("  schedule dumped to {path}");
+                                if let Some(dir) = &args.dump_failures {
+                                    let path = format!(
+                                        "{dir}/seed-{seed}-{kind}-{store}-g{}p{}-w{window}\
+                                         -r{read_window}.schedule",
+                                        geometry.data(),
+                                        geometry.parity()
+                                    );
+                                    if std::fs::create_dir_all(dir)
+                                        .and_then(|_| {
+                                            let mut dump = schedule.dump();
+                                            dump.push_str("\n# failures:\n");
+                                            for f in &report.failures {
+                                                dump.push_str(&format!("# {f}\n"));
+                                            }
+                                            std::fs::write(&path, dump)
+                                        })
+                                        .is_ok()
+                                    {
+                                        eprintln!("  schedule dumped to {path}");
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
-        if hashes.windows(2).any(|w| w[0] != w[1]) {
-            eprintln!("seed {seed}: schedule hash differs across transports (bug)");
-            failed += 1;
+            if hashes.windows(2).any(|w| w[0] != w[1]) {
+                eprintln!(
+                    "seed {seed} geometry {geometry}: schedule hash differs across transports (bug)"
+                );
+                failed += 1;
+            }
         }
     }
 

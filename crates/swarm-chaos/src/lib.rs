@@ -21,7 +21,8 @@
 //!    every quiesce point:
 //!
 //!    * every acked block is readable with its exact bytes, including via
-//!      parity reconstruction when a server is held down;
+//!      parity reconstruction with up to `m` servers held down at once
+//!      (XOR for `m = 1`, Reed–Solomon decode for wider geometries);
 //!    * recovery rollforward reaches the live log head;
 //!    * the cleaner never reclaims a live stripe (checked indirectly —
 //!      blocks stay readable at their possibly-moved addresses after every
@@ -39,5 +40,5 @@ pub mod runner;
 pub mod schedule;
 
 pub use cluster::{Cluster, StoreKind, TransportKind};
-pub use runner::{RunReport, Runner};
-pub use schedule::{ChaosEvent, Schedule, ScheduleConfig};
+pub use runner::{RunOptions, RunReport, Runner};
+pub use schedule::{ChaosEvent, DownSet, Schedule, ScheduleConfig};

@@ -15,6 +15,8 @@
 //! the cleaner is entitled to move it.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,10 +24,10 @@ use parking_lot::Mutex;
 use swarm_cleaner::{CleanPolicy, Cleaner};
 use swarm_log::{recover, Log, LogConfig, ReplayEntry};
 use swarm_services::{Service, ServiceStack};
-use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+use swarm_types::{BlockAddr, ClientId, Geometry, Result, ServerId, ServiceId, SwarmError};
 
 use crate::cluster::{Cluster, StoreKind, TransportKind};
-use crate::schedule::{ChaosEvent, Schedule};
+use crate::schedule::{ChaosEvent, DownSet, Schedule};
 
 /// The service id the harness writes blocks under.
 pub const CHAOS_SERVICE: ServiceId = ServiceId::new(7);
@@ -106,6 +108,99 @@ impl Service for ChaosService {
     }
 }
 
+/// The full set of knobs that pin down one chaos run.
+///
+/// `Display` prints the exact `swarm-chaos` replay command and `FromStr`
+/// parses one back, so a failing-seed line in CI output is checkably
+/// lossless: parsing what was printed yields identical options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Transport under test.
+    pub transport: TransportKind,
+    /// Fragment store backing the servers.
+    pub store: StoreKind,
+    /// Body events generated per schedule.
+    pub events: usize,
+    /// Cluster width (`k + m`).
+    pub servers: u32,
+    /// Parity members per stripe (`m`).
+    pub parity: u32,
+    /// Store pipelining window for writes.
+    pub write_window: usize,
+    /// Read pipelining window for verification.
+    pub read_window: usize,
+}
+
+impl fmt::Display for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "swarm-chaos --seed {} --transport {} --store {} --events {} --geometry {}+{} \
+             --write-window {} --read-window {}",
+            self.seed,
+            self.transport,
+            self.store,
+            self.events,
+            self.servers - self.parity,
+            self.parity,
+            self.write_window,
+            self.read_window
+        )
+    }
+}
+
+impl FromStr for RunOptions {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let mut tokens = s.split_whitespace();
+        if tokens.next() != Some("swarm-chaos") {
+            return Err("replay line must start with `swarm-chaos`".into());
+        }
+        let mut seed = None;
+        let mut transport = None;
+        let mut store = None;
+        let mut events = None;
+        let mut geometry: Option<Geometry> = None;
+        let mut write_window = None;
+        let mut read_window = None;
+        while let Some(flag) = tokens.next() {
+            let value = tokens
+                .next()
+                .ok_or_else(|| format!("flag {flag} is missing its value"))?;
+            match flag {
+                "--seed" => seed = Some(value.parse::<u64>().map_err(|e| e.to_string())?),
+                "--transport" => transport = Some(value.parse::<TransportKind>()?),
+                "--store" => store = Some(value.parse::<StoreKind>()?),
+                "--events" => events = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
+                "--geometry" => {
+                    geometry = Some(value.parse::<Geometry>().map_err(|e| e.to_string())?)
+                }
+                "--write-window" => {
+                    write_window = Some(value.parse::<usize>().map_err(|e| e.to_string())?)
+                }
+                "--read-window" => {
+                    read_window = Some(value.parse::<usize>().map_err(|e| e.to_string())?)
+                }
+                other => return Err(format!("unknown replay flag {other}")),
+            }
+        }
+        let geometry = geometry.ok_or("replay line is missing --geometry")?;
+        Ok(RunOptions {
+            seed: seed.ok_or("replay line is missing --seed")?,
+            transport: transport.ok_or("replay line is missing --transport")?,
+            store: store.ok_or("replay line is missing --store")?,
+            events: events.ok_or("replay line is missing --events")?,
+            servers: geometry.width() as u32,
+            parity: geometry.parity() as u32,
+            write_window: write_window.ok_or("replay line is missing --write-window")?,
+            read_window: read_window.ok_or("replay line is missing --read-window")?,
+        })
+    }
+}
+
 /// The outcome of replaying one schedule on one transport.
 #[derive(Debug)]
 pub struct RunReport {
@@ -127,6 +222,8 @@ pub struct RunReport {
     pub write_window: usize,
     /// Read pipelining window the client verified with.
     pub read_window: usize,
+    /// Parity members per stripe (`m`) the run striped with.
+    pub parity: u32,
     /// Invariant violations, each tagged with the offending event index.
     pub failures: Vec<String>,
 }
@@ -137,25 +234,37 @@ impl RunReport {
         self.failures.is_empty()
     }
 
-    /// The one-liner that replays this exact run.
-    pub fn replay_command(&self, events: usize, servers: u32) -> String {
-        format!(
-            "swarm-chaos --seed {} --transport {} --store {} --events {} --servers {} \
-             --write-window {} --read-window {}",
-            self.seed,
-            self.transport,
-            self.store,
+    /// The full option set of this run, for replay lines.
+    pub fn options(&self, events: usize, servers: u32) -> RunOptions {
+        RunOptions {
+            seed: self.seed,
+            transport: self.transport,
+            store: self.store,
             events,
             servers,
-            self.write_window,
-            self.read_window
-        )
+            parity: self.parity,
+            write_window: self.write_window,
+            read_window: self.read_window,
+        }
+    }
+
+    /// The one-liner that replays this exact run.
+    pub fn replay_command(&self, events: usize, servers: u32) -> String {
+        self.options(events, servers).to_string()
     }
 }
 
-fn make_config(servers: u32, write_window: usize, read_window: usize) -> Result<LogConfig> {
+fn make_config(
+    servers: u32,
+    parity: u32,
+    write_window: usize,
+    read_window: usize,
+) -> Result<LogConfig> {
     Ok(
         LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())?
+            // `m = 1` resolves to the paper's XOR geometry; wider parity
+            // engages the Reed–Solomon coder under the same chaos matrix.
+            .geometry(Geometry::new((servers - parity) as u8, parity as u8)?)?
             .fragment_size(4096)
             // Every verification read must hit the servers, not a client
             // cache — the whole point is checking what survived.
@@ -184,6 +293,7 @@ pub struct Runner {
     cleaner: Option<Cleaner>,
     write_window: usize,
     read_window: usize,
+    parity: u32,
     next_id: u64,
     verified_reads: u64,
     acked_blocks: u64,
@@ -248,7 +358,7 @@ impl Runner {
         let stack = Arc::new(stack);
         let log = Arc::new(Log::create(
             cluster.transport(),
-            make_config(schedule.servers, write_window, read_window)?,
+            make_config(schedule.servers, schedule.parity, write_window, read_window)?,
         )?);
         let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
         Ok(Runner {
@@ -259,6 +369,7 @@ impl Runner {
             cleaner: Some(cleaner),
             write_window,
             read_window,
+            parity: schedule.parity,
             next_id: 0,
             verified_reads: 0,
             acked_blocks: 0,
@@ -339,6 +450,7 @@ impl Runner {
             acked_blocks: runner.acked_blocks,
             write_window,
             read_window,
+            parity: schedule.parity,
             failures: runner.failures,
         })
     }
@@ -465,7 +577,7 @@ impl Runner {
         self.model.lock().pending.clear();
     }
 
-    fn quiesce(&mut self, i: usize, verify_down: Option<u32>) {
+    fn quiesce(&mut self, i: usize, verify_down: DownSet) {
         // Unconsumed one-shot injections must not leak into verification
         // traffic.
         self.cluster.clear_transients();
@@ -491,20 +603,29 @@ impl Runner {
             self.check_recovery_head(i);
         }
         self.verify(i, "at quiesce");
-        if let Some(server) = verify_down {
-            // Hold one server down and verify again: every read touching
-            // it must come back via parity reconstruction.
-            self.cluster.plan(server).set_down(true);
-            self.verify(i, "with one server held down");
-            self.cluster.plan(server).set_down(false);
+        if !verify_down.is_empty() {
+            // Hold the listed servers (up to `m`) down simultaneously and
+            // verify again: every read touching them must come back via
+            // erasure decoding — XOR for one loss, Reed–Solomon beyond.
+            for server in verify_down.iter() {
+                self.cluster.plan(server).set_down(true);
+            }
+            self.verify(i, "with servers held down");
+            for server in verify_down.iter() {
+                self.cluster.plan(server).set_down(false);
+            }
         }
     }
 
     /// Invariant: recovery rollforward reaches the live (flushed) log
     /// head — same next sequence number, nothing silently dropped.
     fn check_recovery_head(&mut self, i: usize) {
-        let config = match make_config(self.cluster.servers(), self.write_window, self.read_window)
-        {
+        let config = match make_config(
+            self.cluster.servers(),
+            self.parity,
+            self.write_window,
+            self.read_window,
+        ) {
             Ok(c) => c,
             Err(e) => {
                 self.failures
@@ -619,8 +740,12 @@ impl Runner {
         // lost — exactly the torn tail recovery must discard.
         self.cleaner = None;
         self.log = None;
-        let config = match make_config(self.cluster.servers(), self.write_window, self.read_window)
-        {
+        let config = match make_config(
+            self.cluster.servers(),
+            self.parity,
+            self.write_window,
+            self.read_window,
+        ) {
             Ok(c) => c,
             Err(e) => {
                 self.failures
@@ -649,5 +774,89 @@ impl Runner {
                     .push(format!("[{i}] crash recovery failed: {e}"));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every failing seed prints a replay command; this pins the contract
+    /// that the printed line carries the *full* option set — parsing it
+    /// back yields options identical to the run's.
+    #[test]
+    fn replay_line_round_trips_every_option() {
+        let all = [
+            RunOptions {
+                seed: 42,
+                transport: TransportKind::Mem,
+                store: StoreKind::Mem,
+                events: 64,
+                servers: 4,
+                parity: 1,
+                write_window: 8,
+                read_window: 8,
+            },
+            RunOptions {
+                seed: u64::MAX,
+                transport: TransportKind::tcp(),
+                store: StoreKind::File,
+                events: 256,
+                servers: 6,
+                parity: 2,
+                write_window: 1,
+                read_window: 16,
+            },
+            RunOptions {
+                seed: 7,
+                transport: TransportKind::Mem,
+                store: StoreKind::File,
+                events: 48,
+                servers: 11,
+                parity: 3,
+                write_window: 4,
+                read_window: 1,
+            },
+        ];
+        for options in all {
+            let line = options.to_string();
+            for flag in [
+                "--seed",
+                "--transport",
+                "--store",
+                "--events",
+                "--geometry",
+                "--write-window",
+                "--read-window",
+            ] {
+                assert!(line.contains(flag), "replay line lost {flag}: {line}");
+            }
+            let parsed: RunOptions = line.parse().expect("replay line parses");
+            assert_eq!(parsed, options, "round-trip changed {line}");
+        }
+    }
+
+    /// The report's replay command is the same canonical line.
+    #[test]
+    fn report_replay_command_matches_options() {
+        let report = RunReport {
+            seed: 9,
+            transport: TransportKind::Mem,
+            store: StoreKind::Mem,
+            hash: 0,
+            events: 70,
+            verified_reads: 0,
+            acked_blocks: 0,
+            write_window: 8,
+            read_window: 8,
+            parity: 2,
+            failures: Vec::new(),
+        };
+        let line = report.replay_command(64, 6);
+        assert_eq!(line, report.options(64, 6).to_string());
+        let parsed: RunOptions = line.parse().expect("parses");
+        assert_eq!(parsed.servers, 6);
+        assert_eq!(parsed.parity, 2);
+        assert_eq!(parsed.events, 64);
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! A schedule is a flat list of [`ChaosEvent`]s expanded from a 64-bit
 //! seed by a deterministic RNG. The generator enforces one structural
-//! rule — **at most one impaired server (down or disk-full) at any
-//! time, with a flush barrier between impairment windows** — which is
-//! exactly the paper's single-parity fault model: every stripe's write
-//! window sees at most one failed member, so every acked stripe is
-//! either complete or reconstructible.
+//! rule — **at most `m` impaired servers (down or disk-full) at any
+//! time, with a flush barrier closing every impairment window** — the
+//! fault model of an `m`-parity stripe: every stripe's write window sees
+//! at most `m` failed members, so every acked stripe is either complete
+//! or decodable. The paper's single-XOR-parity shape is `m = 1`.
 //!
 //! Schedules canonicalize to text (one event per line) and hash with
 //! FNV-1a 64; the hash covers the seed, the cluster shape, and every
@@ -20,26 +20,108 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Shape parameters for schedule generation.
 #[derive(Debug, Clone, Copy)]
 pub struct ScheduleConfig {
-    /// Number of storage servers (= stripe width). At least 3, so the
-    /// cluster survives one held-down server during verification.
+    /// Number of storage servers (= stripe width `k + m`). At least 3,
+    /// so the cluster survives held-down servers during verification.
     pub servers: u32,
     /// Number of body events to generate (restores and the verification
     /// tail are appended on top).
     pub events: usize,
+    /// Parity members per stripe (`m`) — the impairment budget: the
+    /// generator keeps at most `m` servers impaired at once and the
+    /// verification tail holds `m` servers down.
+    pub parity: u32,
 }
 
 impl ScheduleConfig {
-    /// Creates a config; panics if `servers < 3` or `events == 0`.
+    /// Creates a single-parity (XOR) config; panics if `servers < 3` or
+    /// `events == 0`.
     pub fn new(servers: u32, events: usize) -> ScheduleConfig {
+        ScheduleConfig::with_parity(servers, events, 1)
+    }
+
+    /// Creates a config for a `servers - parity` + `parity` geometry;
+    /// panics if `servers < 3`, `events == 0`, or `parity` leaves no
+    /// data members.
+    pub fn with_parity(servers: u32, events: usize, parity: u32) -> ScheduleConfig {
         assert!(servers >= 3, "chaos needs >= 3 servers for reconstruction");
         assert!(events > 0, "chaos needs at least one event");
-        ScheduleConfig { servers, events }
+        assert!(
+            parity >= 1 && parity < servers,
+            "parity must be 1..servers (k >= 1 data members)"
+        );
+        ScheduleConfig {
+            servers,
+            events,
+            parity,
+        }
     }
 }
 
 impl Default for ScheduleConfig {
     fn default() -> Self {
         ScheduleConfig::new(4, 64)
+    }
+}
+
+/// A set of server indices packed into a bitmask, so [`ChaosEvent`]
+/// stays `Copy` while quiesce checks hold up to `m` servers down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DownSet(u64);
+
+impl DownSet {
+    /// The empty set.
+    pub const EMPTY: DownSet = DownSet(0);
+
+    /// Adds server `s` (idempotent).
+    pub fn add(&mut self, s: u32) {
+        debug_assert!(s < 64);
+        self.0 |= 1 << s;
+    }
+
+    /// Is server `s` in the set?
+    pub fn contains(self, s: u32) -> bool {
+        self.0 & (1 << s) != 0
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of servers in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The member indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        (0..64).filter(move |s| self.contains(*s))
+    }
+}
+
+impl FromIterator<u32> for DownSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> DownSet {
+        let mut set = DownSet::EMPTY;
+        for s in iter {
+            set.add(s);
+        }
+        set
+    }
+}
+
+impl fmt::Display for DownSet {
+    /// Comma-separated ascending indices (`"1,3"`); empty set prints
+    /// nothing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        Ok(())
     }
 }
 
@@ -112,11 +194,12 @@ pub enum ChaosEvent {
     CleanPass,
     /// Settle the cluster: clear transient faults, flush, check that
     /// recovery reaches the log head, and verify every acked block —
-    /// optionally once more with one server held down to force parity
-    /// reconstruction.
+    /// optionally once more with up to `m` servers held down
+    /// simultaneously to force multi-erasure decoding.
     Quiesce {
-        /// Server to hold down during a second verification pass.
-        verify_down: Option<u32>,
+        /// Servers to hold down during a second verification pass
+        /// (empty = no held-down pass).
+        verify_down: DownSet,
     },
     /// Drop the client (log + cleaner) *without* flushing, run crash
     /// recovery, and verify every acked block through the recovered log.
@@ -143,10 +226,8 @@ impl fmt::Display for ChaosEvent {
             ChaosEvent::DiskFull { server } => write!(f, "disk-full server={server}"),
             ChaosEvent::DiskFree { server } => write!(f, "disk-free server={server}"),
             ChaosEvent::CleanPass => write!(f, "clean-pass"),
-            ChaosEvent::Quiesce { verify_down: None } => write!(f, "quiesce"),
-            ChaosEvent::Quiesce {
-                verify_down: Some(s),
-            } => write!(f, "quiesce verify-down={s}"),
+            ChaosEvent::Quiesce { verify_down } if verify_down.is_empty() => write!(f, "quiesce"),
+            ChaosEvent::Quiesce { verify_down } => write!(f, "quiesce verify-down={verify_down}"),
             ChaosEvent::CrashRecover => write!(f, "crash-recover"),
         }
     }
@@ -159,20 +240,41 @@ pub struct Schedule {
     pub seed: u64,
     /// Cluster width the schedule was generated for.
     pub servers: u32,
+    /// Parity members per stripe (`m`) — the impairment budget the
+    /// schedule was generated under.
+    pub parity: u32,
     /// The event list, in execution order.
     pub events: Vec<ChaosEvent>,
 }
 
 /// Generator-side impairment tracking: who is down / full right now.
+/// Down servers and the disk-full server share the `m` impairment slots.
 #[derive(Default)]
 struct Impairment {
-    down: Option<u32>,
+    down: Vec<u32>,
     full: Option<u32>,
 }
 
 impl Impairment {
-    fn any(&self) -> bool {
-        self.down.is_some() || self.full.is_some()
+    /// Occupied impairment slots.
+    fn slots(&self) -> u32 {
+        self.down.len() as u32 + self.full.is_some() as u32
+    }
+
+    /// Is `server` currently down or disk-full?
+    fn is_impaired(&self, server: u32) -> bool {
+        self.full == Some(server) || self.down.contains(&server)
+    }
+
+    /// Picks a random currently-healthy server. Terminates because the
+    /// impairment budget (`m < servers`) always leaves a healthy one.
+    fn pick_healthy(&self, rng: &mut StdRng, servers: u32) -> u32 {
+        loop {
+            let s = rng.gen_range(0..servers);
+            if !self.is_impaired(s) {
+                return s;
+            }
+        }
     }
 
     /// Emits the restore events (plus the flush barrier that closes any
@@ -180,7 +282,7 @@ impl Impairment {
     /// cluster to full health.
     fn restore(&mut self, events: &mut Vec<ChaosEvent>) {
         let mut restored = false;
-        if let Some(s) = self.down.take() {
+        for s in self.down.drain(..) {
             events.push(ChaosEvent::RestartServer { server: s });
             restored = true;
         }
@@ -233,24 +335,26 @@ impl Schedule {
                 68..=73 => events.push(ChaosEvent::TruncateNext {
                     server: rng.gen_range(0..cfg.servers),
                 }),
-                // Server impairments: one at a time, ended by a restore +
-                // flush barrier so no stripe ever sees two failed members.
+                // Server impairments: at most `m` at a time (down servers
+                // and the disk-full server share the budget), every window
+                // ended by a restore + flush barrier so no stripe ever
+                // sees more than `m` failed members.
                 74..=81 => {
-                    if let Some(s) = imp.down.take() {
+                    if imp.slots() < cfg.parity {
+                        let s = imp.pick_healthy(&mut rng, cfg.servers);
+                        imp.down.push(s);
+                        events.push(ChaosEvent::KillServer { server: s });
+                    } else if let Some(s) = imp.down.pop() {
                         events.push(ChaosEvent::RestartServer { server: s });
                         events.push(ChaosEvent::Flush);
-                    } else if !imp.any() {
-                        let s = rng.gen_range(0..cfg.servers);
-                        imp.down = Some(s);
-                        events.push(ChaosEvent::KillServer { server: s });
                     }
                 }
                 82..=87 => {
                     if let Some(s) = imp.full.take() {
                         events.push(ChaosEvent::DiskFree { server: s });
                         events.push(ChaosEvent::Flush);
-                    } else if !imp.any() {
-                        let s = rng.gen_range(0..cfg.servers);
+                    } else if imp.slots() < cfg.parity {
+                        let s = imp.pick_healthy(&mut rng, cfg.servers);
                         imp.full = Some(s);
                         events.push(ChaosEvent::DiskFull { server: s });
                     }
@@ -262,7 +366,13 @@ impl Schedule {
                 }
                 92..=95 => {
                     imp.restore(&mut events);
-                    let verify_down = rng.gen_bool(0.5).then(|| rng.gen_range(0..cfg.servers));
+                    let mut verify_down = DownSet::EMPTY;
+                    if rng.gen_bool(0.5) {
+                        let count = rng.gen_range(1..=cfg.parity);
+                        while verify_down.len() < count {
+                            verify_down.add(rng.gen_range(0..cfg.servers));
+                        }
+                    }
                     events.push(ChaosEvent::Quiesce { verify_down });
                 }
                 _ => {
@@ -273,17 +383,25 @@ impl Schedule {
         }
 
         // Verification tail: every schedule ends with a settled check, a
-        // crash/recover cycle, and a reconstruction-forcing check.
+        // crash/recover cycle, and a decode-forcing check with the full
+        // impairment budget (`m` distinct servers) held down at once.
         imp.restore(&mut events);
-        events.push(ChaosEvent::Quiesce { verify_down: None });
-        events.push(ChaosEvent::CrashRecover);
         events.push(ChaosEvent::Quiesce {
-            verify_down: Some(rng.gen_range(0..cfg.servers)),
+            verify_down: DownSet::EMPTY,
+        });
+        events.push(ChaosEvent::CrashRecover);
+        let mut tail_down = DownSet::EMPTY;
+        while tail_down.len() < cfg.parity {
+            tail_down.add(rng.gen_range(0..cfg.servers));
+        }
+        events.push(ChaosEvent::Quiesce {
+            verify_down: tail_down,
         });
 
         Schedule {
             seed,
             servers: cfg.servers,
+            parity: cfg.parity,
             events,
         }
     }
@@ -299,7 +417,10 @@ impl Schedule {
             }
             h = (h ^ b'\n' as u64).wrapping_mul(PRIME);
         };
-        eat(&format!("seed={} servers={}", self.seed, self.servers));
+        eat(&format!(
+            "seed={} servers={} parity={}",
+            self.seed, self.servers, self.parity
+        ));
         for e in &self.events {
             eat(&e.to_string());
         }
@@ -311,9 +432,10 @@ impl Schedule {
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut out = format!(
-            "# seed={} servers={} events={} hash={:#018x}\n",
+            "# seed={} servers={} parity={} events={} hash={:#018x}\n",
             self.seed,
             self.servers,
+            self.parity,
             self.events.len(),
             self.hash()
         );
@@ -340,63 +462,124 @@ mod tests {
     }
 
     #[test]
-    fn at_most_one_impaired_server_with_flush_barriers() {
-        let cfg = ScheduleConfig::new(4, 256);
-        for seed in 0..64 {
-            let s = Schedule::generate(seed, &cfg);
-            let mut down: Option<u32> = None;
-            let mut full: Option<u32> = None;
-            // A new impairment may only begin after the previous window
-            // was closed by a flush.
-            let mut flushed_since_restore = true;
-            for (i, e) in s.events.iter().enumerate() {
-                match *e {
-                    ChaosEvent::KillServer { server } => {
-                        assert!(down.is_none() && full.is_none(), "seed {seed} event {i}");
-                        assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
-                        down = Some(server);
+    fn at_most_m_impaired_servers_with_flush_barriers() {
+        for (servers, parity) in [(4u32, 1u32), (6, 2), (11, 3)] {
+            let cfg = ScheduleConfig::with_parity(servers, 256, parity);
+            for seed in 0..64 {
+                let s = Schedule::generate(seed, &cfg);
+                let mut down: Vec<u32> = Vec::new();
+                let mut full: Option<u32> = None;
+                // A new impairment may only begin after the previous
+                // restore was sealed by a flush barrier.
+                let mut flushed_since_restore = true;
+                for (i, e) in s.events.iter().enumerate() {
+                    let slots = down.len() as u32 + full.is_some() as u32;
+                    match *e {
+                        ChaosEvent::KillServer { server } => {
+                            assert!(slots < parity, "seed {seed} event {i}: budget");
+                            assert!(
+                                !down.contains(&server) && full != Some(server),
+                                "seed {seed} event {i}: double impairment"
+                            );
+                            assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
+                            down.push(server);
+                        }
+                        ChaosEvent::RestartServer { server } => {
+                            let pos = down.iter().position(|&d| d == server);
+                            assert!(pos.is_some(), "seed {seed} event {i}: restart of live");
+                            down.remove(pos.unwrap());
+                            flushed_since_restore = false;
+                        }
+                        ChaosEvent::DiskFull { server } => {
+                            assert!(slots < parity, "seed {seed} event {i}: budget");
+                            assert!(
+                                !down.contains(&server) && full.is_none(),
+                                "seed {seed} event {i}: double impairment"
+                            );
+                            assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
+                            full = Some(server);
+                        }
+                        ChaosEvent::DiskFree { server } => {
+                            assert_eq!(full, Some(server), "seed {seed} event {i}");
+                            full = None;
+                            flushed_since_restore = false;
+                        }
+                        ChaosEvent::Flush | ChaosEvent::Checkpoint => flushed_since_restore = true,
+                        ChaosEvent::CleanPass | ChaosEvent::CrashRecover => {
+                            assert!(
+                                down.is_empty() && full.is_none(),
+                                "seed {seed} event {i}: cluster check while impaired"
+                            );
+                        }
+                        ChaosEvent::Quiesce { verify_down } => {
+                            assert!(
+                                down.is_empty() && full.is_none(),
+                                "seed {seed} event {i}: cluster check while impaired"
+                            );
+                            assert!(
+                                verify_down.len() <= parity,
+                                "seed {seed} event {i}: verify-down beyond budget"
+                            );
+                            for s in verify_down.iter() {
+                                assert!(s < servers, "seed {seed} event {i}: bad server");
+                            }
+                        }
+                        _ => {}
                     }
-                    ChaosEvent::RestartServer { server } => {
-                        assert_eq!(down, Some(server), "seed {seed} event {i}");
-                        down = None;
-                        flushed_since_restore = false;
-                    }
-                    ChaosEvent::DiskFull { server } => {
-                        assert!(down.is_none() && full.is_none(), "seed {seed} event {i}");
-                        assert!(flushed_since_restore, "seed {seed} event {i}: no barrier");
-                        full = Some(server);
-                    }
-                    ChaosEvent::DiskFree { server } => {
-                        assert_eq!(full, Some(server), "seed {seed} event {i}");
-                        full = None;
-                        flushed_since_restore = false;
-                    }
-                    ChaosEvent::Flush | ChaosEvent::Checkpoint => flushed_since_restore = true,
-                    ChaosEvent::CleanPass
-                    | ChaosEvent::Quiesce { .. }
-                    | ChaosEvent::CrashRecover => {
-                        assert!(
-                            down.is_none() && full.is_none(),
-                            "seed {seed} event {i}: cluster check while impaired"
-                        );
-                    }
-                    _ => {}
                 }
+                assert!(
+                    down.is_empty() && full.is_none(),
+                    "seed {seed}: unrestored tail"
+                );
+                // Every schedule ends with the verification tail: a
+                // crash/recover cycle then a quiesce holding the full
+                // `m`-server budget down.
+                let n = s.events.len();
+                match s.events[n - 1] {
+                    ChaosEvent::Quiesce { verify_down } => {
+                        assert_eq!(verify_down.len(), parity, "seed {seed}: tail budget")
+                    }
+                    _ => panic!("seed {seed}: tail is not a quiesce"),
+                }
+                assert!(matches!(s.events[n - 2], ChaosEvent::CrashRecover));
             }
-            assert!(
-                down.is_none() && full.is_none(),
-                "seed {seed}: unrestored tail"
-            );
-            // Every schedule ends with the verification tail.
-            let n = s.events.len();
-            assert!(matches!(
-                s.events[n - 1],
-                ChaosEvent::Quiesce {
-                    verify_down: Some(_)
-                }
-            ));
-            assert!(matches!(s.events[n - 2], ChaosEvent::CrashRecover));
         }
+    }
+
+    #[test]
+    fn down_set_tracks_members_and_prints_comma_lists() {
+        let mut set = DownSet::EMPTY;
+        assert!(set.is_empty());
+        assert_eq!(set.to_string(), "");
+        set.add(3);
+        set.add(1);
+        set.add(3);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(1) && set.contains(3) && !set.contains(2));
+        assert_eq!(set.to_string(), "1,3");
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 3]);
+        let from: DownSet = [5u32, 0, 5].into_iter().collect();
+        assert_eq!(from.to_string(), "0,5");
+        assert_eq!(
+            ChaosEvent::Quiesce { verify_down: from }.to_string(),
+            "quiesce verify-down=0,5"
+        );
+        assert_eq!(
+            ChaosEvent::Quiesce {
+                verify_down: DownSet::EMPTY
+            }
+            .to_string(),
+            "quiesce"
+        );
+    }
+
+    #[test]
+    fn parity_changes_the_schedule_hash() {
+        let a = Schedule::generate(9, &ScheduleConfig::with_parity(6, 32, 1));
+        let b = Schedule::generate(9, &ScheduleConfig::with_parity(6, 32, 2));
+        assert_ne!(a.hash(), b.hash());
+        assert_eq!(a.parity, 1);
+        assert_eq!(b.parity, 2);
     }
 
     #[test]

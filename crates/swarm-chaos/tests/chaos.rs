@@ -111,3 +111,49 @@ fn file_store_with_group_commit_never_loses_acked_writes() {
     }
     assert!(stall_anywhere, "no seed in 0..64 generated a server-stall");
 }
+
+/// Reed–Solomon geometries under the full chaos vocabulary: with up to
+/// `m` servers killed concurrently and the verification tail holding `m`
+/// servers down at once, every acked block still reads back byte-exact
+/// (through multi-erasure decode when needed).
+#[test]
+fn rs_geometries_never_lose_acked_writes_with_m_concurrent_kills() {
+    for (servers, parity) in [(6u32, 2u32), (11, 3)] {
+        for seed in 0..3u64 {
+            let schedule =
+                Schedule::generate(seed, &ScheduleConfig::with_parity(servers, 32, parity));
+            // The budget must actually be spent somewhere in the sweep:
+            // at least one seed reaches `m` simultaneous impairments.
+            let report = Runner::run(&schedule, TransportKind::Mem).unwrap();
+            assert_eq!(report.parity, parity);
+            assert!(
+                report.passed(),
+                "{}+{} seed {seed}: {:?}\nreplay: {}",
+                servers - parity,
+                parity,
+                report.failures,
+                report.replay_command(32, servers)
+            );
+        }
+        let mut max_down = 0u32;
+        for seed in 0..64u64 {
+            let schedule =
+                Schedule::generate(seed, &ScheduleConfig::with_parity(servers, 64, parity));
+            let mut down = 0u32;
+            for e in &schedule.events {
+                match e {
+                    ChaosEvent::KillServer { .. } => {
+                        down += 1;
+                        max_down = max_down.max(down);
+                    }
+                    ChaosEvent::RestartServer { .. } => down -= 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(
+            max_down, parity,
+            "no seed in 0..64 reached {parity} concurrent kills"
+        );
+    }
+}

@@ -21,7 +21,9 @@
 //! Store RPCs each server channel keeps in flight (DESIGN.md §15);
 //! `--write-window 1` is the paper-faithful serial write path. Read-path
 //! commands accept `--read-window N` the same way (DESIGN.md §16);
-//! `--read-window 1` is the serial read path.
+//! `--read-window 1` is the serial read path. Log-mounting commands
+//! accept `--geometry K+M` to select a Reed–Solomon stripe shape
+//! (DESIGN.md §17); unset (or any M=1) is the paper's XOR layout.
 //! swarm-admin frag locate <seq> --servers … [--client N]   # where is a fragment?
 //! ```
 
@@ -85,6 +87,20 @@ fn read_window(args: &Args) -> Result<usize> {
         return Err(SwarmError::invalid("--read-window must be >= 1"));
     }
     Ok(w)
+}
+
+/// `--geometry K+M`: stripe shape — K data plus M Reed–Solomon parity
+/// members per stripe (DESIGN.md §17). Unset keeps the paper's default
+/// single-XOR-parity layout over the full server list; `--geometry` with
+/// M=1 is bit-identical to that default.
+fn apply_geometry(args: &Args, config: LogConfig) -> Result<LogConfig> {
+    match args.options.get("geometry") {
+        None => Ok(config),
+        Some(spec) => {
+            let geometry: swarm_types::Geometry = spec.parse()?;
+            config.geometry(geometry)
+        }
+    }
 }
 
 fn ping(args: &Args) -> Result<()> {
@@ -161,6 +177,7 @@ fn mount(args: &Args) -> Result<(Arc<Log>, Arc<StingFs>)> {
         .fragment_size(args.get_u64("fragment-size", 1 << 20)? as usize)
         .write_window(write_window(args)?)
         .read_window(read_window(args)?);
+    let config = apply_geometry(args, config)?;
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     let log = Arc::new(log);
     let fs = StingFs::bare(log.clone(), StingConfig::default());
@@ -246,6 +263,7 @@ fn log_command(args: &Args) -> Result<()> {
     let config = LogConfig::new(client_id(args)?, ids)?
         .write_window(write_window(args)?)
         .read_window(read_window(args)?);
+    let config = apply_geometry(args, config)?;
     let (log, replay) = recover(transport, config, &[STING_SVC])?;
     println!(
         "log of {}: next fragment seq {}, {} entries since the oldest needed checkpoint",

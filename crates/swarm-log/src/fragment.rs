@@ -47,7 +47,9 @@ pub struct FragmentHeader {
     pub member_count: u8,
     /// This fragment's index within the stripe.
     pub my_index: u8,
-    /// Index of the parity member.
+    /// Index of the *first* parity member (= number of data members `k`).
+    /// Members `parity_index..member_count` are all parity; the paper's
+    /// single-XOR shape has `parity_index == member_count - 1`.
     pub parity_index: u8,
     /// Length of the body in bytes.
     pub body_len: u32,
@@ -65,6 +67,31 @@ impl FragmentHeader {
     /// Is this a parity fragment?
     pub fn is_parity(&self) -> bool {
         self.flags & FLAG_PARITY != 0
+    }
+
+    /// Number of data members in the stripe (`k`).
+    pub fn data_count(&self) -> u8 {
+        self.parity_index
+    }
+
+    /// Number of parity members in the stripe (`m`).
+    pub fn parity_count(&self) -> u8 {
+        self.member_count - self.parity_index
+    }
+
+    /// Is stripe member `i` a parity member?
+    pub fn is_parity_member(&self, i: u8) -> bool {
+        i >= self.parity_index
+    }
+
+    /// Coding row of parity member `i` (0 = the XOR row).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `i` is a data member.
+    pub fn parity_row(&self, i: u8) -> u8 {
+        debug_assert!(self.is_parity_member(i));
+        i - self.parity_index
     }
 
     /// Encoded header length in bytes (stable once `group` and
@@ -178,7 +205,10 @@ impl Decode for FragmentHeader {
                 header.group.len()
             )));
         }
-        if header.my_index >= header.member_count || header.parity_index >= header.member_count {
+        if header.my_index >= header.member_count
+            || header.parity_index >= header.member_count
+            || header.parity_index == 0
+        {
             return Err(SwarmError::corrupt("member index out of range"));
         }
         Ok(header)

@@ -20,7 +20,8 @@
 //! | [`entry`] | §2.1.1, Fig 1 | blocks, records, deletes, checkpoints |
 //! | [`fragment`] | §2.1.1 | self-identifying fragment format |
 //! | [`stripe`] | §2.1.2 | stripe planning, rotated parity placement |
-//! | [`parity`] | §2.1.2 | incremental XOR parity, reconstruction math |
+//! | [`parity`] | §2.1.2 | incremental XOR/Reed–Solomon parity, reconstruction math |
+//! | [`gf`] | — | GF(2^8) kernel: word-wide multiply, Cauchy coding rows |
 //! | [`writer`] | §2.1.2 | pipelined per-server fragment writers |
 //! | [`log`] | §2.1 | the [`Log`] type: append / read / checkpoint / flush |
 //! | [`reader`] | §2.3 | windowed, batching pipelined read engine |
@@ -53,6 +54,7 @@
 
 pub mod entry;
 pub mod fragment;
+pub mod gf;
 pub mod log;
 pub mod parity;
 pub mod reader;

@@ -198,6 +198,20 @@ impl LogConfig {
         })
     }
 
+    /// Sets the stripe geometry (`k` data + `m` parity members per
+    /// stripe). The group's server count must equal `k + m`. The default
+    /// is the paper's `width-1 + 1` XOR shape; `m > 1` selects GF(2^8)
+    /// Reed–Solomon parity that survives any `m` concurrent losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] if the geometry's width
+    /// does not match the group's server count.
+    pub fn geometry(mut self, geometry: swarm_types::Geometry) -> Result<LogConfig> {
+        self.group = StripeGroup::with_geometry(self.group.servers().to_vec(), geometry)?;
+        Ok(self)
+    }
+
     /// Sets the fragment size.
     pub fn fragment_size(mut self, bytes: usize) -> LogConfig {
         self.fragment_size = bytes;
@@ -610,8 +624,11 @@ impl Log {
                     debug_assert_eq!(state.next_seq % width, 0);
                     let plan = self.config.group.plan(self.config.client, stripe_seq);
                     state.stripe = Some(OpenStripe {
+                        acc: ParityAccumulator::with_geometry(
+                            plan.data_count() as usize,
+                            plan.parity_count() as usize,
+                        ),
                         plan,
-                        acc: ParityAccumulator::new(),
                         next_member: 0,
                     });
                     state.stripe.as_mut().expect("just inserted")
@@ -671,22 +688,23 @@ impl Log {
         Ok(())
     }
 
-    /// Emits the parity fragment for the open stripe and resets stripe
-    /// state. Requires all data members sealed (padding happens in
-    /// `flush`).
+    /// Emits the stripe's `m` parity fragments and resets stripe state.
+    /// Requires all data members sealed (padding happens in `flush`).
     fn close_stripe(&self, state: &mut LogState) -> Result<()> {
         let Some(stripe) = state.stripe.take() else {
             return Ok(());
         };
-        let parity_index = stripe.plan.parity_index();
-        let header = stripe.plan.header(parity_index);
-        let parity = stripe.acc.build_parity(header);
-        let server = stripe.plan.member_server(parity_index);
-        state.fragment_map.insert(parity.fid(), server);
-        state.next_seq = parity.fid().seq() + 1;
-        state.stats.parity_fragments += 1;
-        state.stats.bytes_shipped += parity.bytes.len() as u64;
-        self.pool.submit(server, parity)?;
+        let first_parity = stripe.plan.parity_index();
+        let headers = (first_parity..stripe.plan.width()).map(|i| stripe.plan.header(i));
+        let parities = stripe.acc.build_parities(headers);
+        for (offset, parity) in parities.into_iter().enumerate() {
+            let server = stripe.plan.member_server(first_parity + offset as u8);
+            state.fragment_map.insert(parity.fid(), server);
+            state.next_seq = parity.fid().seq() + 1;
+            state.stats.parity_fragments += 1;
+            state.stats.bytes_shipped += parity.bytes.len() as u64;
+            self.pool.submit(server, parity)?;
+        }
         Ok(())
     }
 

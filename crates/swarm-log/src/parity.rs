@@ -1,16 +1,21 @@
 //! Parity computation (§2.1.2).
 //!
 //! "A stripe's parity is computed as its fragments are written": the
-//! [`ParityAccumulator`] XORs each sealed data fragment into a running
-//! buffer, so by the time the last data fragment of a stripe ships, the
-//! parity fragment is ready too. Fragments in a stripe may have different
-//! lengths (the final stripe before a flush can be short); shorter
-//! fragments are treated as zero-padded, and the true lengths are recorded
-//! in the parity fragment's header so reconstruction can trim its output.
+//! [`ParityAccumulator`] folds each sealed data fragment into `m` running
+//! parity buffers, so by the time the last data fragment of a stripe ships,
+//! every parity fragment is ready too. Parity row 0 is the paper's XOR
+//! (the all-ones row of the normalized Cauchy matrix — see [`crate::gf`]);
+//! rows 1.. are GF(2^8) Reed–Solomon combinations, and together the `m`
+//! rows survive any `m` concurrent member losses. Fragments in a stripe
+//! may have different lengths (the final stripe before a flush can be
+//! short); shorter fragments are treated as zero-padded, and the true
+//! lengths are recorded in every parity fragment's header so
+//! reconstruction can trim its output.
 
 use swarm_types::{crc32, ByteWriter, Encode, FragmentId};
 
 use crate::fragment::{FragmentHeader, SealedFragment, FLAG_PARITY};
+use crate::gf;
 
 /// XORs `src` into `dst`, growing `dst` with zero padding if needed.
 ///
@@ -50,25 +55,61 @@ pub fn xor_into_baseline(dst: &mut Vec<u8>, src: &[u8]) {
     }
 }
 
-/// Accumulates the XOR of data fragments as they seal.
-#[derive(Debug, Default)]
+/// Accumulates `m` parity rows over the data fragments of one stripe as
+/// they seal.
+///
+/// Row 0 is always plain XOR ([`xor_into`] — the all-ones coding row), so
+/// single-parity stripes pay no table lookups and produce bytes identical
+/// to the paper's XOR parity. Rows 1.. fold each member through the
+/// word-wide GF(2^8) kernel with its [`gf::coding_row`] coefficient.
+#[derive(Debug)]
 pub struct ParityAccumulator {
-    buf: Vec<u8>,
+    rows: Vec<Vec<u8>>,
+    /// Coding rows 1..m (row 0 is implicit all-ones); empty when `m == 1`.
+    coding: Vec<Vec<u8>>,
     members: Vec<(FragmentId, u32)>,
 }
 
+impl Default for ParityAccumulator {
+    fn default() -> Self {
+        ParityAccumulator::new()
+    }
+}
+
 impl ParityAccumulator {
-    /// Starts an empty accumulator (one per in-flight stripe).
+    /// Starts an empty single-parity (XOR) accumulator — the paper's
+    /// configuration (one per in-flight stripe).
     pub fn new() -> Self {
         ParityAccumulator {
-            buf: Vec::new(),
+            rows: vec![Vec::new()],
+            coding: Vec::new(),
             members: Vec::new(),
         }
     }
 
-    /// Folds a sealed data fragment into the parity.
+    /// Starts an accumulator for a `data + parity` stripe. `parity == 1`
+    /// is identical to [`ParityAccumulator::new`].
+    pub fn with_geometry(data: usize, parity: usize) -> Self {
+        debug_assert!(data >= 1 && parity >= 1);
+        ParityAccumulator {
+            rows: vec![Vec::new(); parity],
+            coding: (1..parity).map(|j| gf::coding_row(data, j)).collect(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of parity rows this accumulator seals (`m`).
+    pub fn parity_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Folds a sealed data fragment into every parity row.
     pub fn add(&mut self, fragment: &SealedFragment) {
-        xor_into(&mut self.buf, &fragment.bytes);
+        let i = self.members.len();
+        xor_into(&mut self.rows[0], &fragment.bytes);
+        for (row, coeffs) in self.rows[1..].iter_mut().zip(&self.coding) {
+            gf::mul_into(row, &fragment.bytes, coeffs[i]);
+        }
         self.members.push((fragment.fid(), fragment.len()));
     }
 
@@ -87,24 +128,55 @@ impl ParityAccumulator {
         self.members.iter().map(|(_, len)| *len).collect()
     }
 
-    /// Finalizes into a parity fragment.
+    /// Finalizes a single-parity accumulator into its parity fragment.
     ///
     /// `header` must describe the parity member (its fid, index, stripe
     /// membership); this method fills in the parity flag, body fields, and
     /// member length table.
-    pub fn build_parity(self, mut header: FragmentHeader) -> SealedFragment {
-        header.flags |= FLAG_PARITY;
-        header.member_lens = self.member_lens();
-        header.body_len = self.buf.len() as u32;
-        header.body_crc = crc32(&self.buf);
-        let mut w = ByteWriter::with_capacity(header.encoded_len() + self.buf.len());
-        header.encode(&mut w);
-        w.put_raw(&self.buf);
-        SealedFragment {
-            header,
-            bytes: w.into_bytes().into(),
-            marked: false,
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator was built with more than one parity row —
+    /// use [`ParityAccumulator::build_parities`] for those.
+    pub fn build_parity(self, header: FragmentHeader) -> SealedFragment {
+        assert_eq!(
+            self.rows.len(),
+            1,
+            "multi-parity stripes use build_parities"
+        );
+        self.build_parities([header])
+            .pop()
+            .expect("one row in, one out")
+    }
+
+    /// Finalizes into `m` parity fragments, one per row, consuming the
+    /// accumulator. `headers` must describe the parity members in row
+    /// order (member indices `k`, `k+1`, …); each gets the parity flag,
+    /// body fields, and the shared member length table filled in.
+    pub fn build_parities(
+        self,
+        headers: impl IntoIterator<Item = FragmentHeader>,
+    ) -> Vec<SealedFragment> {
+        let lens = self.member_lens();
+        let mut out = Vec::with_capacity(self.rows.len());
+        let mut headers = headers.into_iter();
+        for body in self.rows {
+            let mut header = headers.next().expect("a header per parity row");
+            header.flags |= FLAG_PARITY;
+            header.member_lens = lens.clone();
+            header.body_len = body.len() as u32;
+            header.body_crc = crc32(&body);
+            let mut w = ByteWriter::with_capacity(header.encoded_len() + body.len());
+            header.encode(&mut w);
+            w.put_raw(&body);
+            out.push(SealedFragment {
+                header,
+                bytes: w.into_bytes().into(),
+                marked: false,
+            });
         }
+        assert!(headers.next().is_none(), "a header per parity row");
+        out
     }
 
     /// Reconstructs a missing data fragment from the parity *body* and the
@@ -244,7 +316,157 @@ mod tests {
         assert_eq!(&parity.bytes[body_start..], &f.bytes[..]);
     }
 
+    #[test]
+    fn single_parity_rs_is_bitwise_xor() {
+        // m = 1 through with_geometry must produce byte-identical output
+        // to the paper's XOR accumulator, whatever k is.
+        for k in [1u8, 3, 7] {
+            let frags: Vec<SealedFragment> = (0..k)
+                .map(|i| {
+                    data_fragment(
+                        i as u64,
+                        i,
+                        k + 1,
+                        &vec![i.wrapping_mul(37); 64 + i as usize * 111],
+                    )
+                })
+                .collect();
+            let mut xor = ParityAccumulator::new();
+            let mut rs = ParityAccumulator::with_geometry(k as usize, 1);
+            for f in &frags {
+                xor.add(f);
+                rs.add(f);
+            }
+            let a = xor.build_parity(header(k as u64, k, k + 1));
+            let b = rs.build_parity(header(k as u64, k, k + 1));
+            assert_eq!(a.bytes, b.bytes, "k={k}");
+        }
+    }
+
+    fn rs_headers(k: u8, m: u8) -> Vec<FragmentHeader> {
+        (0..m)
+            .map(|j| {
+                let mut h = header((k + j) as u64, k + j, k + m);
+                h.parity_index = k;
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_parity_row_zero_is_xor() {
+        // The first of m parities is still plain XOR: a 1-down failure in
+        // any geometry can be repaired by the old XOR path.
+        let frags = vec![
+            data_fragment(0, 0, 6, &[5u8; 320]),
+            data_fragment(1, 1, 6, &[9u8; 17]),
+            data_fragment(2, 2, 6, &[13u8; 199]),
+            data_fragment(3, 3, 6, &[17u8; 64]),
+        ];
+        let mut xor = ParityAccumulator::new();
+        let mut rs = ParityAccumulator::with_geometry(4, 2);
+        for f in &frags {
+            xor.add(f);
+            rs.add(f);
+        }
+        let xor_parity = xor.build_parity({
+            let mut h = header(4, 4, 6);
+            h.parity_index = 4;
+            h
+        });
+        let parities = rs.build_parities(rs_headers(4, 2));
+        assert_eq!(parities.len(), 2);
+        assert_eq!(parities[0].bytes, xor_parity.bytes);
+        assert_ne!(
+            &parities[1].bytes[parities[1].header.encoded_len()..],
+            &parities[0].bytes[parities[0].header.encoded_len()..],
+        );
+    }
+
+    /// Decodes the erased members of a stripe from ≥k survivors using the
+    /// gf kernel — the same math `reconstruct.rs` runs against fetched
+    /// bytes.
+    fn rs_decode(k: usize, survivors: &[(usize, &[u8])], wanted: &[usize]) -> Vec<Vec<u8>> {
+        let indices: Vec<usize> = survivors.iter().map(|(i, _)| *i).collect();
+        let rows = crate::gf::decode_rows(k, &indices, wanted).expect("MDS");
+        rows.into_iter()
+            .map(|row| {
+                let mut out = Vec::new();
+                for ((_, bytes), &c) in survivors.iter().zip(&row) {
+                    crate::gf::mul_into(&mut out, bytes, c);
+                }
+                out
+            })
+            .collect()
+    }
+
     proptest! {
+        #[test]
+        fn prop_rs_roundtrips_every_erasure_pattern(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..400), 2..5),
+            m in 2usize..4,
+        ) {
+            let k = payloads.len();
+            let width = (k + m) as u8;
+            let frags: Vec<SealedFragment> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let mut h = header(i as u64, i as u8, width);
+                    h.parity_index = k as u8;
+                    let mut b = FragmentBuilder::new(h, 1 << 16);
+                    b.append_block(ServiceId::new(1), b"", p);
+                    b.seal()
+                })
+                .collect();
+            let mut acc = ParityAccumulator::with_geometry(k, m);
+            for f in &frags {
+                acc.add(f);
+            }
+            let lens = acc.member_lens();
+            let parities = acc.build_parities(rs_headers(k as u8, m as u8));
+            // Member symbol i: data members contribute their full bytes
+            // (zero-padded by the kernels); parities contribute bodies.
+            let symbol = |i: usize| -> Vec<u8> {
+                if i < k {
+                    frags[i].bytes.to_vec()
+                } else {
+                    let p = &parities[i - k];
+                    p.bytes[p.header.encoded_len()..].to_vec()
+                }
+            };
+            // Every erasure pattern of size exactly m (subsumes < m).
+            let width = k + m;
+            for pattern in 0u32..(1 << width) {
+                if pattern.count_ones() as usize != m {
+                    continue;
+                }
+                let erased: Vec<usize> =
+                    (0..width).filter(|i| pattern & (1 << i) != 0).collect();
+                let surv_syms: Vec<Vec<u8>> = (0..width)
+                    .filter(|i| !erased.contains(i))
+                    .map(symbol)
+                    .collect();
+                let survivors: Vec<(usize, &[u8])> = (0..width)
+                    .filter(|i| !erased.contains(i))
+                    .zip(surv_syms.iter().map(|s| s.as_slice()))
+                    .take(k)
+                    .collect();
+                let wanted: Vec<usize> =
+                    erased.iter().copied().filter(|&i| i < k).collect();
+                let rebuilt = rs_decode(k, &survivors, &wanted);
+                for (w, got) in wanted.iter().zip(&rebuilt) {
+                    let mut expect = frags[*w].bytes.to_vec();
+                    // Decoded symbols are stripe-width, zero-padded.
+                    let mut got = got.clone();
+                    got.truncate(lens[*w] as usize);
+                    expect.truncate(lens[*w] as usize);
+                    prop_assert_eq!(&got, &expect, "pattern {:b} member {}", pattern, w);
+                }
+            }
+        }
+
         #[test]
         fn prop_reconstruction_recovers_any_member(
             payloads in proptest::collection::vec(

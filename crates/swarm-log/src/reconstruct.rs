@@ -15,13 +15,20 @@
 //! construction live on *different* servers — are fetched in parallel and
 //! XORed into the accumulator in arrival order (XOR is commutative, so
 //! arrival order does not affect the result).
+//!
+//! Single-parity stripes rebuild exactly as the paper describes. Stripes
+//! with `m > 1` Reed–Solomon parities tolerate up to `m` concurrent member
+//! losses: the fetch fans out to every other member, the first `k` arrivals
+//! win, and the lost fragment is decoded as a GF(2^8) linear combination of
+//! those survivors ([`crate::gf::decode_rows`]).
 
 use std::sync::Arc;
 
 use swarm_net::{ConnectionPool, Request, Response};
-use swarm_types::{Bytes, FragmentId, Result, ServerId, SwarmError};
+use swarm_types::{Bytes, FragmentId, Result, ServerId, SwarmError, MAX_PARITY};
 
 use crate::fragment::{parse_header, FragmentHeader, LOCATE_HEADER_LEN};
+use crate::gf;
 use crate::parity::xor_into;
 use crate::reader::{ReadEngine, DEFAULT_READ_WINDOW};
 
@@ -93,21 +100,41 @@ pub fn fetch_fragment_with(
 }
 
 /// Finds a surviving stripe-mate's header for `fid` by probing `fid ± 1`
-/// (and, transitively, every member the first discovered header names).
+/// first (the paper's rule), then outward: multi-parity stripes can lose
+/// both immediate neighbours, but never more than `m <=` [`MAX_PARITY`]
+/// members total, so a surviving mate — if the stripe exists at all — sits
+/// within `MAX_PARITY` fids. Any located header of this log reveals the
+/// uniform stripe width, which prunes probes outside `fid`'s own stripe.
 fn find_stripe_header(pool: &Arc<ConnectionPool>, fid: FragmentId) -> Option<FragmentHeader> {
-    let mut candidates = Vec::new();
-    if let Some(prev) = fid.prev() {
-        candidates.push(prev);
-    }
-    if let Some(next) = fid.next() {
-        candidates.push(next);
-    }
-    for candidate in candidates {
-        if let Some((_, header)) = locate_fragment(pool, candidate) {
-            let first = header.stripe_first_seq;
-            let count = header.member_count as u64;
-            if (first..first + count).contains(&fid.seq()) {
-                return Some(header);
+    let mut width: Option<u64> = None;
+    for d in 1..=MAX_PARITY as u64 {
+        let below = fid.seq().checked_sub(d);
+        let above = fid.seq().checked_add(d);
+        for candidate in [below, above].into_iter().flatten() {
+            if let Some(w) = width {
+                let first = fid.seq() / w * w;
+                if !(first..first + w).contains(&candidate) {
+                    continue;
+                }
+            }
+            let mate = FragmentId::new(fid.client(), candidate);
+            if let Some((_, header)) = locate_fragment(pool, mate) {
+                let first = header.stripe_first_seq;
+                let count = header.member_count as u64;
+                if (first..first + count).contains(&fid.seq()) {
+                    return Some(header);
+                }
+                // A neighbour from an adjacent stripe: remember the log's
+                // stripe width so further probing stays in-stripe.
+                width = Some(count);
+            }
+        }
+        if let Some(w) = width {
+            let first = fid.seq() / w * w;
+            let below_done = fid.seq().checked_sub(d + 1).is_none_or(|c| c < first);
+            let above_done = fid.seq() + d + 1 >= first + w;
+            if below_done && above_done {
+                break;
             }
         }
     }
@@ -174,6 +201,21 @@ pub fn reconstruct_fragment_with(engine: &ReadEngine, fid: FragmentId) -> Result
     })?;
 
     let my_index = (fid.seq() - header.stripe_first_seq) as u8;
+    if header.parity_count() > 1 {
+        // Reed–Solomon stripe: any k survivors decode any member.
+        return reconstruct_rs(engine, fid, &header, my_index);
+    }
+    reconstruct_xor(engine, fid, &header, my_index)
+}
+
+/// The paper's single-parity rebuild: fetch every other member (all are
+/// required) and XOR them in arrival order.
+fn reconstruct_xor(
+    engine: &ReadEngine,
+    fid: FragmentId,
+    header: &FragmentHeader,
+    my_index: u8,
+) -> Result<Bytes> {
     let parity_index = header.parity_index;
 
     if my_index == parity_index {
@@ -184,7 +226,7 @@ pub fn reconstruct_fragment_with(engine: &ReadEngine, fid: FragmentId) -> Result
             .collect();
         let mut acc_buf: Vec<u8> = Vec::new();
         let mut lens = vec![0u32; header.member_count as usize];
-        fetch_members(engine, &header, &indices, |i, bytes| {
+        fetch_members(engine, header, &indices, |i, bytes| {
             lens[i as usize] = bytes.len() as u32;
             xor_into(&mut acc_buf, &bytes);
             Ok(())
@@ -223,7 +265,7 @@ pub fn reconstruct_fragment_with(engine: &ReadEngine, fid: FragmentId) -> Result
         .collect();
     let mut acc: Vec<u8> = Vec::new();
     let mut true_len: Option<usize> = None;
-    fetch_members(engine, &header, &indices, |i, bytes| {
+    fetch_members(engine, header, &indices, |i, bytes| {
         if i == parity_index {
             let parity_header = parse_header(&bytes)?;
             if !parity_header.is_parity() {
@@ -263,6 +305,210 @@ pub fn reconstruct_fragment_with(engine: &ReadEngine, fid: FragmentId) -> Result
         });
     }
     Ok(Bytes::from(rebuilt))
+}
+
+/// Fetches every stripe member except `exclude` in parallel and keeps the
+/// first `need` that arrive — the tolerant fan-out under the Reed–Solomon
+/// decode, where any `k` of the `k + m - 1` other members suffice.
+/// Unavailable members are skipped, not fatal; fewer than `need` total is
+/// a [`SwarmError::ReconstructionFailed`] naming every failure.
+fn fetch_survivors(
+    engine: &ReadEngine,
+    header: &FragmentHeader,
+    exclude: u8,
+    need: usize,
+) -> Result<Vec<(u8, Bytes)>> {
+    let indices: Vec<u8> = (0..header.member_count).filter(|i| *i != exclude).collect();
+    let mut out: Vec<(u8, Bytes)> = Vec::with_capacity(need);
+    let mut reasons: Vec<String> = Vec::new();
+    if indices.len() <= 1 || !engine.pool().fanout_enabled() {
+        for &i in &indices {
+            if out.len() == need {
+                break;
+            }
+            match fetch_member(engine, header, i) {
+                Ok(bytes) => out.push((i, bytes)),
+                Err(e) => reasons.push(format!("member {i}: {e}")),
+            }
+        }
+    } else {
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            for &i in &indices {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let _ = tx.send((i, fetch_member(engine, header, i)));
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                match result {
+                    Ok(bytes) => {
+                        out.push((i, bytes));
+                        if out.len() == need {
+                            // Dropping the receiver lets the laggards'
+                            // sends fail; the scope still joins them.
+                            break;
+                        }
+                    }
+                    Err(e) => reasons.push(format!("member {i}: {e}")),
+                }
+            }
+        });
+    }
+    if out.len() < need {
+        return Err(SwarmError::ReconstructionFailed {
+            fid: header.member_fid(exclude),
+            reason: format!(
+                "only {} of the {} survivors needed are available ({})",
+                out.len(),
+                need,
+                reasons.join("; ")
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// Rebuilds any member of a Reed–Solomon stripe from the first `k`
+/// surviving members to arrive.
+///
+/// Data members come back as a [`gf::decode_rows`] combination of the
+/// survivors' symbols (a data member's symbol is its full stored bytes, a
+/// parity member's is its body). A lost parity is re-encoded through the
+/// same inversion: its [`gf::coding_row`] composed with the survivor
+/// inverse gives one coefficient per survivor, so no intermediate data
+/// rebuild is materialized.
+fn reconstruct_rs(
+    engine: &ReadEngine,
+    fid: FragmentId,
+    header: &FragmentHeader,
+    my_index: u8,
+) -> Result<Bytes> {
+    let k = header.data_count() as usize;
+    let survivors = fetch_survivors(engine, header, my_index, k)?;
+
+    // Split each survivor into its symbol (full bytes for data members,
+    // body for parity members) and harvest a parity's member-length table
+    // for trimming.
+    let mut lens_from_parity: Option<Vec<u32>> = None;
+    let mut symbols: Vec<(usize, Bytes, usize)> = Vec::with_capacity(k); // (member, bytes, body offset)
+    for (i, bytes) in survivors {
+        if header.is_parity_member(i) {
+            let ph = parse_header(&bytes)?;
+            if !ph.is_parity() {
+                return Err(SwarmError::corrupt(format!(
+                    "member {i} of {} is not a parity fragment",
+                    header.stripe
+                )));
+            }
+            if lens_from_parity.is_none() {
+                lens_from_parity = Some(ph.member_lens.clone());
+            }
+            let body = ph.encoded_len();
+            symbols.push((i as usize, bytes, body));
+        } else {
+            symbols.push((i as usize, bytes, 0));
+        }
+    }
+    let survivor_indices: Vec<usize> = symbols.iter().map(|(i, _, _)| *i).collect();
+
+    // True stored length of each data member: a surviving parity's table,
+    // or — when all k data members survived (only a parity was lost) —
+    // their own lengths.
+    let data_len = |i: usize| -> Result<usize> {
+        if let Some(lens) = &lens_from_parity {
+            return Ok(*lens
+                .get(i)
+                .ok_or_else(|| SwarmError::corrupt("parity member_lens table too short"))?
+                as usize);
+        }
+        symbols
+            .iter()
+            .find(|(s, _, _)| *s == i)
+            .map(|(_, bytes, _)| bytes.len())
+            .ok_or_else(|| SwarmError::corrupt("no parity survivor names the lost member's length"))
+    };
+
+    let mut rebuilt: Vec<u8> = Vec::new();
+    if my_index < header.parity_index {
+        // Lost data member: one decode row recombines the survivors.
+        // (Rebuilding data means at most k-1 data survivors, so the k
+        // survivors always include a parity and `data_len` never misses.)
+        let rows = gf::decode_rows(k, &survivor_indices, &[my_index as usize])
+            .ok_or_else(|| SwarmError::corrupt("survivor matrix is singular"))?;
+        for ((_, bytes, body), &c) in symbols.iter().zip(&rows[0]) {
+            gf::mul_into(&mut rebuilt, &bytes[*body..], c);
+        }
+        let true_len = data_len(my_index as usize)?;
+        // Shorter-than-true folds only happen when every longer survivor
+        // carried a zero coefficient — the symbol really is zero there.
+        rebuilt.resize(true_len.max(rebuilt.len()), 0);
+        rebuilt.truncate(true_len);
+
+        let view = crate::fragment::FragmentView::parse(&rebuilt).map_err(|e| {
+            SwarmError::ReconstructionFailed {
+                fid,
+                reason: format!("rebuilt bytes failed validation: {e}"),
+            }
+        })?;
+        if view.header.fid != fid {
+            return Err(SwarmError::ReconstructionFailed {
+                fid,
+                reason: format!("rebuilt fragment identifies as {}", view.header.fid),
+            });
+        }
+        return Ok(Bytes::from(rebuilt));
+    }
+
+    // Lost parity member: compose its coding row with the survivor
+    // inverse to get coefficients directly over the survivors.
+    let row_j = (my_index - header.parity_index) as usize;
+    let all_data: Vec<usize> = (0..k).collect();
+    let inverse = gf::decode_rows(k, &survivor_indices, &all_data)
+        .ok_or_else(|| SwarmError::corrupt("survivor matrix is singular"))?;
+    let target = gf::coding_row(k, row_j);
+    let coeffs: Vec<u8> = (0..k)
+        .map(|s| {
+            let mut acc = 0u8;
+            for (i, &t) in target.iter().enumerate() {
+                acc ^= gf::mul(t, inverse[i][s]);
+            }
+            acc
+        })
+        .collect();
+    for ((_, bytes, body), &c) in symbols.iter().zip(&coeffs) {
+        gf::mul_into(&mut rebuilt, &bytes[*body..], c);
+    }
+
+    // Parity bodies span the longest member; their headers carry the
+    // member-length table.
+    let mut lens = Vec::with_capacity(k);
+    for i in 0..k {
+        lens.push(data_len(i)? as u32);
+    }
+    let body_len = lens.iter().map(|l| *l as usize).max().unwrap_or(0);
+    rebuilt.resize(body_len.max(rebuilt.len()), 0);
+    rebuilt.truncate(body_len);
+
+    let parity_header = FragmentHeader {
+        flags: crate::fragment::FLAG_PARITY,
+        fid,
+        stripe: header.stripe,
+        stripe_first_seq: header.stripe_first_seq,
+        member_count: header.member_count,
+        my_index,
+        parity_index: header.parity_index,
+        body_len: rebuilt.len() as u32,
+        body_crc: swarm_types::crc32(&rebuilt),
+        group: header.group.clone(),
+        member_lens: lens,
+    };
+    let mut w = swarm_types::ByteWriter::with_capacity(parity_header.encoded_len() + rebuilt.len());
+    use swarm_types::Encode;
+    parity_header.encode(&mut w);
+    w.put_raw(&rebuilt);
+    Ok(Bytes::from(w.into_bytes()))
 }
 
 /// Fetches stripe member `i`, trying its home server first and falling

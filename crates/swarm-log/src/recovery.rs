@@ -201,6 +201,16 @@ pub fn recover(
                 view.header.member_count, width
             )));
         }
+        if view.header.parity_index != config.group.data_width() {
+            return Err(SwarmError::invalid(format!(
+                "log was written with geometry {}+{}, but recovery was configured \
+                 with {}+{} — recover with the original geometry",
+                view.header.data_count(),
+                view.header.parity_count(),
+                config.group.data_width(),
+                config.group.parity_count(),
+            )));
+        }
         if !view.header.is_parity() {
             for le in view.entries {
                 let pos = LogPosition {

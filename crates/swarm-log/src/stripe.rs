@@ -1,13 +1,14 @@
 //! Stripe planning: which fragment goes where (§2.1.2).
 //!
-//! A client's log is cut into stripes of a fixed width `w` (data members
-//! plus one parity member). Stripe `s` owns the fragment sequence numbers
-//! `[s*w, (s+1)*w)`; consecutive numbering within a stripe is what lets
-//! reconstruction find stripe-mates of a lost fragment by probing
-//! `fid ± 1` (§2.3.3). Member `i` of stripe `s` is placed on
-//! `group[(s + i) mod w]`, so the parity member (always the last fid of
-//! the stripe) rotates across the servers stripe by stripe — the paper's
-//! load-balancing rule for reconstruction traffic.
+//! A client's log is cut into stripes of a fixed width `w` (`k` data
+//! members plus `m` parity members; the paper's shape is `m = 1`). Stripe
+//! `s` owns the fragment sequence numbers `[s*w, (s+1)*w)`; consecutive
+//! numbering within a stripe is what lets reconstruction find stripe-mates
+//! of a lost fragment by probing `fid ± 1` (§2.3.3). Member `i` of stripe
+//! `s` is placed on `group[(s + i) mod w]`, so the parity members (always
+//! the last `m` fids of the stripe) rotate across the servers stripe by
+//! stripe — the paper's load-balancing rule for reconstruction traffic,
+//! applied to every parity.
 //!
 //! Stripes are always *complete*: if the log is flushed mid-stripe, the
 //! unfilled data slots are padded with header-only empty fragments so that
@@ -15,7 +16,7 @@
 //! breaks. (Empty fragments cost ~64 bytes each and are reclaimed with
 //! their stripe by the cleaner.)
 
-use swarm_types::{ClientId, FragmentId, Result, ServerId, StripeSeq, SwarmError};
+use swarm_types::{ClientId, FragmentId, Geometry, Result, ServerId, StripeSeq, SwarmError};
 
 use crate::fragment::FragmentHeader;
 
@@ -27,10 +28,12 @@ pub const MAX_WIDTH: usize = swarm_types::MAX_STRIPE_WIDTH;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StripeGroup {
     servers: Vec<ServerId>,
+    parity: u8,
 }
 
 impl StripeGroup {
-    /// Creates a stripe group from distinct servers.
+    /// Creates a single-parity (XOR) stripe group from distinct servers —
+    /// the paper's configuration.
     ///
     /// # Errors
     ///
@@ -38,6 +41,17 @@ impl StripeGroup {
     /// given ("a stripe is a set of two or more fragments"), more than
     /// [`MAX_WIDTH`], or any duplicates.
     pub fn new(servers: Vec<ServerId>) -> Result<StripeGroup> {
+        let geometry = Geometry::xor(servers.len().min(MAX_WIDTH) as u8)?;
+        StripeGroup::with_geometry(servers, geometry)
+    }
+
+    /// Creates a stripe group with an explicit `k+m` [`Geometry`]; the
+    /// group must have exactly `k + m` distinct servers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StripeGroup::new`], plus a width/geometry mismatch.
+    pub fn with_geometry(servers: Vec<ServerId>, geometry: Geometry) -> Result<StripeGroup> {
         if servers.len() < 2 {
             return Err(SwarmError::invalid(
                 "a stripe group needs at least 2 servers (1 data + 1 parity)",
@@ -49,13 +63,23 @@ impl StripeGroup {
                 servers.len()
             )));
         }
+        if servers.len() != geometry.width() as usize {
+            return Err(SwarmError::invalid(format!(
+                "geometry {geometry} wants {} servers, group has {}",
+                geometry.width(),
+                servers.len()
+            )));
+        }
         let mut sorted = servers.clone();
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != servers.len() {
             return Err(SwarmError::invalid("stripe group has duplicate servers"));
         }
-        Ok(StripeGroup { servers })
+        Ok(StripeGroup {
+            servers,
+            parity: geometry.parity(),
+        })
     }
 
     /// Stripe width (number of members, data + parity).
@@ -63,9 +87,19 @@ impl StripeGroup {
         self.servers.len() as u8
     }
 
-    /// Number of data members per stripe.
+    /// Number of data members per stripe (`k`).
     pub fn data_width(&self) -> u8 {
-        self.width() - 1
+        self.width() - self.parity
+    }
+
+    /// Number of parity members per stripe (`m`).
+    pub fn parity_count(&self) -> u8 {
+        self.parity
+    }
+
+    /// The group's stripe shape.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::new(self.data_width(), self.parity).expect("group was validated")
     }
 
     /// The member servers in declaration order.
@@ -85,6 +119,7 @@ impl StripeGroup {
             stripe,
             first_seq: s * w as u64,
             servers: rotated,
+            parity: self.parity,
         }
     }
 }
@@ -100,6 +135,8 @@ pub struct StripePlan {
     pub first_seq: u64,
     /// Member `i` is stored on `servers[i]` (already rotated).
     pub servers: Vec<ServerId>,
+    /// Number of parity members (`m`); the last `m` fids of the stripe.
+    pub parity: u8,
 }
 
 impl StripePlan {
@@ -108,9 +145,21 @@ impl StripePlan {
         self.servers.len() as u8
     }
 
-    /// Index of the parity member (always the last fid of the stripe).
+    /// Index of the *first* parity member (= `k`, the number of data
+    /// members). Members `parity_index()..width()` are all parity, in
+    /// coding-row order; data members fill the fids below it.
     pub fn parity_index(&self) -> u8 {
-        self.width() - 1
+        self.width() - self.parity
+    }
+
+    /// Number of data members (`k`).
+    pub fn data_count(&self) -> u8 {
+        self.width() - self.parity
+    }
+
+    /// Number of parity members (`m`).
+    pub fn parity_count(&self) -> u8 {
+        self.parity
     }
 
     /// Fragment id of member `i`.
@@ -226,6 +275,42 @@ mod tests {
             assert_eq!(h.member_server(i), plan.member_server(i));
             assert_eq!(h.member_fid(i), plan.member_fid(i));
         }
+    }
+
+    #[test]
+    fn geometry_group_places_m_parities() {
+        let g = StripeGroup::with_geometry(
+            (0..6).map(ServerId::new).collect(),
+            Geometry::new(4, 2).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(g.data_width(), 4);
+        assert_eq!(g.parity_count(), 2);
+        assert_eq!(g.geometry().to_string(), "4+2");
+        let plan = g.plan(ClientId::new(1), StripeSeq::new(3));
+        assert_eq!(plan.parity_index(), 4);
+        assert_eq!(plan.data_count(), 4);
+        assert_eq!(plan.parity_count(), 2);
+        for i in 0..6u8 {
+            assert_eq!(plan.header(i).parity_index, 4);
+        }
+        // Parity members rotate like every other member: over width
+        // consecutive stripes the first parity visits every server.
+        let mut seen: Vec<ServerId> = (0..6)
+            .map(|s| {
+                let p = g.plan(ClientId::new(1), StripeSeq::new(s));
+                p.member_server(p.parity_index())
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+        // Width/geometry mismatch is rejected.
+        assert!(StripeGroup::with_geometry(
+            (0..5).map(ServerId::new).collect(),
+            Geometry::new(4, 2).unwrap(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub const DEFAULT_BLOCK_SIZE: usize = 4 << 10;
 /// fragment headers stay small.
 pub const MAX_STRIPE_WIDTH: usize = 64;
 
+/// Upper bound on parity members per stripe. Reed–Solomon over GF(2^8)
+/// with the normalized Cauchy matrix supports up to `256 - k` parities;
+/// we bound far below that so recovery fan-out stays reasonable.
+pub const MAX_PARITY: usize = 8;
+
 /// Magic number identifying a Swarm fragment header on disk or on the wire.
 pub const FRAGMENT_MAGIC: u32 = 0x5357_4D46; // "SWMF"
 

@@ -1,0 +1,148 @@
+//! Stripe geometry: how many data and parity members a stripe has.
+//!
+//! The paper's prototype stripes `k` data fragments with a single rotated
+//! XOR parity (§2.1.2) — geometry `k+1`. Generalized Reed–Solomon stripes
+//! keep the same rotation and fragment format but seal `m` parity members
+//! per stripe, surviving any `m` concurrent member losses. Geometry is
+//! written `k+m` everywhere user-facing (`4+2` = 4 data + 2 parity), and
+//! `k+1` stays the default so the paper-faithful path is untouched.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::constants::{MAX_PARITY, MAX_STRIPE_WIDTH};
+use crate::error::{Result, SwarmError};
+
+/// A validated `(data, parity)` stripe shape.
+///
+/// Width (`data + parity`) is the stripe-group size: every member lives on
+/// its own server. `parity == 1` is the paper's XOR configuration;
+/// `parity > 1` selects the GF(2^8) Reed–Solomon kernel whose first parity
+/// row is the same XOR (so `m = 1` RS is bit-identical to XOR parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    data: u8,
+    parity: u8,
+}
+
+impl Geometry {
+    /// Creates a geometry of `data` data members and `parity` parity
+    /// members per stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidArgument`] unless `data >= 1`,
+    /// `1 <= parity <= MAX_PARITY`, and the total width fits in
+    /// [`MAX_STRIPE_WIDTH`].
+    pub fn new(data: u8, parity: u8) -> Result<Geometry> {
+        if data == 0 {
+            return Err(SwarmError::invalid("geometry needs at least 1 data member"));
+        }
+        if parity == 0 {
+            return Err(SwarmError::invalid(
+                "geometry needs at least 1 parity member",
+            ));
+        }
+        if parity as usize > MAX_PARITY {
+            return Err(SwarmError::invalid(format!(
+                "{parity} parity members exceeds maximum {MAX_PARITY}"
+            )));
+        }
+        let width = data as usize + parity as usize;
+        if width > MAX_STRIPE_WIDTH {
+            return Err(SwarmError::invalid(format!(
+                "geometry {data}+{parity} exceeds maximum stripe width {MAX_STRIPE_WIDTH}"
+            )));
+        }
+        Ok(Geometry { data, parity })
+    }
+
+    /// The paper's default shape for a `width`-server group: one XOR
+    /// parity, `width - 1` data members.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Geometry::new`] (`width` must be 2..=[`MAX_STRIPE_WIDTH`]).
+    pub fn xor(width: u8) -> Result<Geometry> {
+        if width < 2 {
+            return Err(SwarmError::invalid(
+                "a stripe needs at least 2 members (1 data + 1 parity)",
+            ));
+        }
+        Geometry::new(width - 1, 1)
+    }
+
+    /// Number of data members per stripe (`k`).
+    pub fn data(&self) -> u8 {
+        self.data
+    }
+
+    /// Number of parity members per stripe (`m`).
+    pub fn parity(&self) -> u8 {
+        self.parity
+    }
+
+    /// Stripe width: data + parity (= servers per stripe group).
+    pub fn width(&self) -> u8 {
+        self.data + self.parity
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.data, self.parity)
+    }
+}
+
+impl FromStr for Geometry {
+    type Err = SwarmError;
+
+    /// Parses the `k+m` form used by CLI flags (`3+1`, `4+2`, `8+3`).
+    fn from_str(s: &str) -> Result<Geometry> {
+        let (k, m) = s
+            .split_once('+')
+            .ok_or_else(|| SwarmError::invalid(format!("geometry {s:?} wants the form k+m")))?;
+        let k: u8 = k
+            .trim()
+            .parse()
+            .map_err(|e| SwarmError::invalid(format!("geometry {s:?}: bad data count: {e}")))?;
+        let m: u8 = m
+            .trim()
+            .parse()
+            .map_err(|e| SwarmError::invalid(format!("geometry {s:?}: bad parity count: {e}")))?;
+        Geometry::new(k, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for text in ["1+1", "3+1", "4+2", "8+3", "61+3"] {
+            let g: Geometry = text.parse().unwrap();
+            assert_eq!(g.to_string(), text);
+            assert_eq!(g.width() as usize, g.data() as usize + g.parity() as usize);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(Geometry::new(0, 1).is_err());
+        assert!(Geometry::new(4, 0).is_err());
+        assert!(Geometry::new(4, MAX_PARITY as u8 + 1).is_err());
+        assert!(Geometry::new(62, 3).is_err()); // width 65 > 64
+        assert!("4".parse::<Geometry>().is_err());
+        assert!("4+".parse::<Geometry>().is_err());
+        assert!("+2".parse::<Geometry>().is_err());
+        assert!("4-2".parse::<Geometry>().is_err());
+    }
+
+    #[test]
+    fn xor_default_is_single_parity() {
+        let g = Geometry::xor(4).unwrap();
+        assert_eq!((g.data(), g.parity()), (3, 1));
+        assert!(Geometry::xor(1).is_err());
+    }
+}

@@ -31,11 +31,13 @@ pub mod codec;
 pub mod constants;
 pub mod crc;
 pub mod error;
+pub mod geometry;
 pub mod id;
 
 pub use bytes::Bytes;
 pub use codec::{ByteReader, ByteWriter, Decode, Encode};
-pub use constants::{DEFAULT_BLOCK_SIZE, DEFAULT_FRAGMENT_SIZE, MAX_STRIPE_WIDTH};
+pub use constants::{DEFAULT_BLOCK_SIZE, DEFAULT_FRAGMENT_SIZE, MAX_PARITY, MAX_STRIPE_WIDTH};
 pub use crc::crc32;
 pub use error::{Result, SwarmError};
+pub use geometry::Geometry;
 pub use id::{Aid, BlockAddr, ClientId, FragmentId, ServerId, ServiceId, StripeSeq};

@@ -1,0 +1,176 @@
+//! In-tree SIMD kernel shim: a safe wrapper over the x86 byte-shuffle
+//! (`pshufb`) GF(2^8) multiply-fold.
+//!
+//! The workspace forbids unsafe code everywhere business logic lives,
+//! but the Reed–Solomon encode kernel is bottlenecked on per-byte field
+//! multiplies, and the classic fix — split each byte into nibbles and
+//! look both halves up in 16-entry product tables with one vector
+//! shuffle each — only exists as `core::arch` intrinsics. This shim
+//! confines the `unsafe` exactly like `shims/epoll` confines syscalls:
+//! feature-gated `#[target_feature]` functions guarded by runtime
+//! detection, with a fully safe public surface.
+//!
+//! [`gf8_mul_fold`] folds `c · src` into `dst` given the two nibble
+//! product tables for `c` (`lo[n] = c·n`, `hi[n] = c·(n<<4)`; the caller
+//! owns the field arithmetic) and returns how many leading bytes it
+//! handled — `0` on targets or CPUs without the shuffle unit, in which
+//! case the caller runs its portable kernel instead. The tail shorter
+//! than one vector is always left to the caller.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// Folds `c · src[i]` into `dst[i]` for a prefix of `src`, using the
+/// nibble product tables `lo` and `hi` (GF(2^8) multiplication is
+/// GF(2)-linear, so `c·s = c·(s & 0x0f) ⊕ c·(s & 0xf0)`). Returns the
+/// number of bytes processed: a multiple of the vector width, `0` when
+/// no suitable SIMD unit exists. Never touches `dst` beyond
+/// `min(dst.len(), src.len())`.
+pub fn gf8_mul_fold(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+    let n = dst.len().min(src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 feature was just detected at runtime.
+            return unsafe { x86::mul_fold_avx2(&mut dst[..n], &src[..n], lo, hi) };
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            // SAFETY: the SSSE3 feature was just detected at runtime.
+            return unsafe { x86::mul_fold_ssse3(&mut dst[..n], &src[..n], lo, hi) };
+        }
+    }
+    let _ = (n, lo, hi);
+    0
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_fold_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+        let n = src.len() / 32 * 32;
+        // SAFETY: unaligned 16-byte loads from 16-byte arrays.
+        let (lo_t, hi_t) = unsafe {
+            (
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast())),
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast())),
+            )
+        };
+        let nib = _mm256_set1_epi8(0x0f);
+        let mut off = 0usize;
+        while off < n {
+            // SAFETY: `off + 32 <= n <= src.len() <= dst.len()`; loads and
+            // stores are unaligned.
+            unsafe {
+                let s = _mm256_loadu_si256(src.as_ptr().add(off).cast());
+                let d_ptr = dst.as_mut_ptr().add(off).cast();
+                let d = _mm256_loadu_si256(d_ptr as *const __m256i);
+                let lo_part = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, nib));
+                let hi_part =
+                    _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi16(s, 4), nib));
+                let prod = _mm256_xor_si256(lo_part, hi_part);
+                _mm256_storeu_si256(d_ptr, _mm256_xor_si256(d, prod));
+            }
+            off += 32;
+        }
+        n
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified SSSE3 support at runtime.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_fold_ssse3(
+        dst: &mut [u8],
+        src: &[u8],
+        lo: &[u8; 16],
+        hi: &[u8; 16],
+    ) -> usize {
+        let n = src.len() / 16 * 16;
+        // SAFETY: unaligned 16-byte loads from 16-byte arrays.
+        let (lo_t, hi_t) = unsafe {
+            (
+                _mm_loadu_si128(lo.as_ptr().cast()),
+                _mm_loadu_si128(hi.as_ptr().cast()),
+            )
+        };
+        let nib = _mm_set1_epi8(0x0f);
+        let mut off = 0usize;
+        while off < n {
+            // SAFETY: `off + 16 <= n <= src.len() <= dst.len()`; loads and
+            // stores are unaligned.
+            unsafe {
+                let s = _mm_loadu_si128(src.as_ptr().add(off).cast());
+                let d_ptr = dst.as_mut_ptr().add(off).cast();
+                let d = _mm_loadu_si128(d_ptr as *const __m128i);
+                let lo_part = _mm_shuffle_epi8(lo_t, _mm_and_si128(s, nib));
+                let hi_part = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi16(s, 4), nib));
+                let prod = _mm_xor_si128(lo_part, hi_part);
+                _mm_storeu_si128(d_ptr, _mm_xor_si128(d, prod));
+            }
+            off += 16;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A tiny independent GF(2^8) multiply (poly 0x11d) so the shim's
+    // tests don't depend on the caller's tables.
+    fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            let hi = a & 0x80;
+            a <<= 1;
+            if hi != 0 {
+                a ^= 0x1d;
+            }
+            b >>= 1;
+        }
+        p
+    }
+
+    #[test]
+    fn folds_match_scalar_for_every_coefficient_class() {
+        for c in [0u8, 1, 2, 0x1d, 0x8e, 0xff] {
+            let mut lo = [0u8; 16];
+            let mut hi = [0u8; 16];
+            for n in 0..16u8 {
+                lo[n as usize] = gf_mul(c, n);
+                hi[n as usize] = gf_mul(c, n << 4);
+            }
+            for len in [0usize, 15, 16, 17, 31, 32, 33, 257, 4096] {
+                let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31)).collect();
+                let mut dst: Vec<u8> = (0..len).map(|i| (i as u8) ^ 0x5a).collect();
+                let want: Vec<u8> = dst
+                    .iter()
+                    .zip(&src)
+                    .map(|(&d, &s)| d ^ gf_mul(c, s))
+                    .collect();
+                let done = gf8_mul_fold(&mut dst, &src, &lo, &hi);
+                assert!(
+                    done <= len && done.is_multiple_of(16),
+                    "done={done} len={len}"
+                );
+                assert_eq!(&dst[..done], &want[..done], "c={c:#x} len={len}");
+                assert_eq!(
+                    &dst[done..],
+                    &{
+                        let tail: Vec<u8> = (done..len).map(|i| (i as u8) ^ 0x5a).collect();
+                        tail
+                    }[..],
+                    "tail must be untouched"
+                );
+            }
+        }
+    }
+}
