@@ -1,0 +1,357 @@
+//! Multi-client interference scoreboard (DESIGN.md §18.4): YCSB write
+//! traffic at 1/8/32 concurrent client logs while a *cleaner* churns the
+//! same servers from its own client log.
+//!
+//! The paper's scalability story says clients never synchronize through
+//! the servers — but they do *share* them, and the cleaner is the one
+//! background tenant that can monopolize server channels with relocation
+//! I/O. Each scoreboard cell therefore runs the same foreground workload
+//! three ways:
+//!
+//! * **idle** — no cleaner; the interference-free baseline.
+//! * **unpaced** — a cleaner relocating live blocks as fast as the
+//!   servers let it (the pre-budget behaviour, recorded for contrast).
+//! * **budgeted** — the same cleaner throttled by
+//!   [`CleanerConfig::budget_bytes_per_sec`]; the acceptance bar is that
+//!   foreground write p99 inflates ≤ 2× over idle.
+//!
+//! The churn rig is also a correctness check: after the run, every live
+//! churn block — most of them relocated several times by then — must
+//! read back byte-exact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use swarm_cleaner::{CleanPolicy, CleanStats, Cleaner, CleanerConfig, CleanerHandle};
+use swarm_log::{Log, LogConfig, ReplayEntry};
+use swarm_services::{Service, ServiceStack};
+use swarm_types::{BlockAddr, ClientId, Result, ServerId, ServiceId, SwarmError};
+
+use crate::ycsb::{run_workload, RunConfig, RunResult, TransportFactory, Workload};
+
+/// Service id the churn rig writes blocks under.
+pub const CHURN_SERVICE: ServiceId = ServiceId::new(11);
+
+/// Client id of the churn log — below the YCSB driver range (1000+).
+pub const CHURN_CLIENT: ClientId = ClientId::new(999);
+
+/// Whether (and how) the concurrent cleaner runs during a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanerMode {
+    /// No cleaner: the interference-free baseline.
+    Idle,
+    /// Cleaner with no throughput budget (worst case, kept for contrast).
+    Unpaced,
+    /// Cleaner paced to this many bytes/sec of relocation I/O.
+    Budgeted(u64),
+}
+
+impl CleanerMode {
+    /// Stable row tag; the `ycsb diff` gate keys cells on it.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CleanerMode::Idle => "idle",
+            CleanerMode::Unpaced => "unpaced",
+            CleanerMode::Budgeted(_) => "budgeted",
+        }
+    }
+
+    fn budget(self) -> Option<u64> {
+        match self {
+            CleanerMode::Budgeted(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Shape of the churn log the cleaner works over.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Blocks preloaded before the foreground run starts.
+    pub blocks: usize,
+    /// Size of each churn block.
+    pub value_bytes: usize,
+    /// Churn-log fragment size (small, so the preload spans many stripes).
+    pub fragment_bytes: usize,
+    /// Stripes reclaimed per clean pass.
+    pub stripes_per_pass: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            blocks: 96,
+            value_bytes: 4096,
+            fragment_bytes: 8 * 1024,
+            stripes_per_pass: 2,
+        }
+    }
+}
+
+/// One `(clients, cleaner-mode)` scoreboard cell.
+pub struct ContentionCell {
+    /// Concurrent foreground client logs.
+    pub clients: usize,
+    /// Cleaner mode the cell ran under.
+    pub mode: CleanerMode,
+    /// The foreground workload's merged result.
+    pub result: RunResult,
+    /// Cleaner totals across every pass that ran alongside the workload.
+    pub clean: CleanStats,
+    /// Block-move notifications the churn service absorbed.
+    pub moves: u64,
+}
+
+fn churn_value(i: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|j| (i.wrapping_mul(131) ^ j) as u8).collect()
+}
+
+/// Minimal block-owning service for the churn log: tracks live blocks by
+/// creation tag so cleaner relocations keep the directory current.
+#[derive(Default)]
+struct ChurnOwner {
+    blocks: HashMap<Vec<u8>, BlockAddr>,
+    moves: u64,
+}
+
+impl Service for ChurnOwner {
+    fn id(&self) -> ServiceId {
+        CHURN_SERVICE
+    }
+
+    fn name(&self) -> &str {
+        "churn-owner"
+    }
+
+    fn restore_checkpoint(&mut self, _data: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn replay(&mut self, _entry: &ReplayEntry) -> Result<()> {
+        Ok(())
+    }
+
+    fn block_moved(&mut self, old: BlockAddr, new: BlockAddr, create: &[u8]) -> Result<()> {
+        match self.blocks.get_mut(create) {
+            Some(addr) if *addr == old => {
+                *addr = new;
+                self.moves += 1;
+                Ok(())
+            }
+            _ => Err(SwarmError::invalid("cleaner moved an unknown churn block")),
+        }
+    }
+
+    fn write_checkpoint(&mut self, log: &Log) -> Result<()> {
+        log.checkpoint(CHURN_SERVICE, b"churn-ckpt")?;
+        Ok(())
+    }
+}
+
+/// The background tenant: a churn log plus a periodic cleaner over it.
+struct ChurnRig {
+    log: Arc<Log>,
+    owner: Arc<Mutex<ChurnOwner>>,
+    handle: CleanerHandle,
+    value_bytes: usize,
+}
+
+impl ChurnRig {
+    /// Preloads the churn log (every 4th block deleted so stripes mix
+    /// dead space with live blocks to relocate) and starts the cleaner.
+    fn start(
+        transport_for: &Arc<TransportFactory>,
+        cfg: &RunConfig,
+        budget: Option<u64>,
+        churn: &ChurnConfig,
+    ) -> Result<ChurnRig> {
+        // Index past the driver threads: each factory invocation hands
+        // out an independent transport instance.
+        let transport = transport_for(cfg.threads)?;
+        let config = LogConfig::new(CHURN_CLIENT, (0..cfg.servers).map(ServerId::new).collect())?
+            .fragment_size(churn.fragment_bytes)
+            // Relocated blocks must be re-read from the servers, not a
+            // stale client cache.
+            .cache_fragments(0);
+        let log = match cfg.geometry {
+            Some(g) => Arc::new(Log::create(transport, config.geometry(g)?)?),
+            None => Arc::new(Log::create(transport, config)?),
+        };
+        let owner: Arc<Mutex<ChurnOwner>> = Arc::new(Mutex::new(ChurnOwner::default()));
+        let mut stack = ServiceStack::new();
+        stack.register(owner.clone() as Arc<Mutex<dyn Service>>)?;
+
+        let mut addrs = Vec::with_capacity(churn.blocks);
+        for i in 0..churn.blocks {
+            let tag = (i as u64).to_be_bytes();
+            let addr = log.append_block(CHURN_SERVICE, &tag, &churn_value(i, churn.value_bytes))?;
+            owner.lock().blocks.insert(tag.to_vec(), addr);
+            addrs.push((i, addr));
+        }
+        log.flush()?;
+        for (i, addr) in addrs {
+            if i % 4 == 3 {
+                log.delete_block(CHURN_SERVICE, addr)?;
+                owner.lock().blocks.remove(&(i as u64).to_be_bytes()[..]);
+            }
+        }
+        // Anchor past the preload so its stripes are cleanable at once;
+        // later passes force their own checkpoints when starved.
+        log.checkpoint(CHURN_SERVICE, b"churn-ckpt")?;
+
+        let cleaner = Arc::new(Cleaner::with_config(
+            log.clone(),
+            Arc::new(stack),
+            CleanerConfig {
+                policy: CleanPolicy::CostBenefit,
+                budget_bytes_per_sec: budget,
+            },
+        ));
+        let handle = cleaner.spawn_periodic(Duration::from_millis(1), churn.stripes_per_pass);
+        Ok(ChurnRig {
+            log,
+            owner,
+            handle,
+            value_bytes: churn.value_bytes,
+        })
+    }
+
+    /// Stops the cleaner (waiting briefly for it to have reclaimed at
+    /// least one stripe, so even a fast foreground run records real
+    /// cleaner work) and verifies every live churn block byte-exact.
+    fn finish(mut self) -> Result<(CleanStats, u64)> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.handle.totals().stripes_cleaned == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.handle.stop();
+        let owner = self.owner.lock();
+        for (tag, addr) in &owner.blocks {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(tag);
+            let i = u64::from_be_bytes(raw) as usize;
+            let got = self.log.read(*addr)?;
+            if got[..] != churn_value(i, self.value_bytes)[..] {
+                return Err(SwarmError::corrupt(format!(
+                    "churn block {i} read back wrong bytes after relocation"
+                )));
+            }
+        }
+        Ok((self.handle.totals(), owner.moves))
+    }
+}
+
+/// Runs one contention cell: the foreground `workload` at `cfg.threads`
+/// client logs, with the churn rig's cleaner running (or not) per `mode`.
+///
+/// # Errors
+///
+/// Propagates foreground driver errors, churn-rig setup failures, and
+/// byte-exactness violations on the relocated churn blocks.
+pub fn run_contention_cell(
+    transport_for: Arc<TransportFactory>,
+    workload: Workload,
+    cfg: RunConfig,
+    mode: CleanerMode,
+    churn: &ChurnConfig,
+) -> Result<ContentionCell> {
+    let rig = match mode {
+        CleanerMode::Idle => None,
+        _ => Some(ChurnRig::start(&transport_for, &cfg, mode.budget(), churn)?),
+    };
+    let result = run_workload(transport_for, workload, cfg)?;
+    let (clean, moves) = match rig {
+        Some(rig) => rig.finish()?,
+        None => (CleanStats::default(), 0),
+    };
+    Ok(ContentionCell {
+        clients: cfg.threads,
+        mode,
+        result,
+        clean,
+        moves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_cluster;
+    use swarm_net::Transport;
+
+    fn small_cfg(threads: usize) -> RunConfig {
+        RunConfig {
+            threads,
+            window: 4,
+            records: 16,
+            ops: 80,
+            value_bytes: 512,
+            fragment_bytes: 4096,
+            flush_every: 16,
+            servers: 3,
+            ..RunConfig::default()
+        }
+    }
+
+    fn factory() -> Arc<TransportFactory> {
+        let transport = mem_cluster(3);
+        Arc::new(move |_| Ok(transport.clone() as Arc<dyn Transport>))
+    }
+
+    #[test]
+    fn idle_cell_runs_without_a_cleaner() {
+        let cell = run_contention_cell(
+            factory(),
+            Workload::named("write").unwrap(),
+            small_cfg(2),
+            CleanerMode::Idle,
+            &ChurnConfig::default(),
+        )
+        .expect("idle cell");
+        assert_eq!(cell.result.ops, 160);
+        assert_eq!(cell.clean, CleanStats::default());
+        assert_eq!(cell.mode.tag(), "idle");
+    }
+
+    #[test]
+    fn cleaner_churns_alongside_the_workload_and_blocks_stay_exact() {
+        let churn = ChurnConfig {
+            blocks: 24,
+            value_bytes: 1024,
+            fragment_bytes: 4096,
+            stripes_per_pass: 2,
+        };
+        for mode in [
+            CleanerMode::Unpaced,
+            CleanerMode::Budgeted(64 * 1024 * 1024),
+        ] {
+            let cell = run_contention_cell(
+                factory(),
+                Workload::named("write").unwrap(),
+                small_cfg(2),
+                mode,
+                &churn,
+            )
+            .expect("contention cell");
+            assert_eq!(cell.result.ops, 160, "{mode:?}");
+            // finish() waits for at least one reclaimed stripe, and the
+            // preload leaves live blocks in every stripe — so the
+            // cleaner demonstrably relocated data while the foreground
+            // ran, and ChurnRig::finish re-read it all byte-exact.
+            assert!(cell.clean.stripes_cleaned > 0, "{mode:?}: {:?}", cell.clean);
+            assert!(cell.clean.blocks_moved > 0, "{mode:?}: {:?}", cell.clean);
+            assert_eq!(cell.moves, cell.clean.blocks_moved, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn mode_tags_are_stable_scoreboard_keys() {
+        assert_eq!(CleanerMode::Idle.tag(), "idle");
+        assert_eq!(CleanerMode::Unpaced.tag(), "unpaced");
+        assert_eq!(CleanerMode::Budgeted(1).tag(), "budgeted");
+        assert_eq!(CleanerMode::Budgeted(5).budget(), Some(5));
+        assert_eq!(CleanerMode::Unpaced.budget(), None);
+    }
+}

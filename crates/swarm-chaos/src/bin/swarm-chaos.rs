@@ -27,6 +27,7 @@ struct Args {
     read_windows: Vec<usize>,
     events: usize,
     servers: u32,
+    clients: u32,
     geometries: Option<Vec<Geometry>>,
     dump: bool,
     dump_failures: Option<String>,
@@ -35,7 +36,8 @@ struct Args {
 const USAGE: &str = "usage: swarm-chaos [--seed N | --seeds A..B] \
 [--transport mem|tcp|tcp-blocking|tcp-epoll|all] [--store mem|file|both] \
 [--write-window N|both] [--read-window N|both] [--events N] \
-[--servers N] [--geometry K+M[,K+M...]] [--dump] [--dump-failures DIR]";
+[--servers N] [--clients N] [--geometry K+M[,K+M...]] [--dump] \
+[--dump-failures DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         read_windows: vec![swarm_log::DEFAULT_READ_WINDOW],
         events: 64,
         servers: 4,
+        clients: 1,
         geometries: None,
         dump: false,
         dump_failures: None,
@@ -126,6 +129,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--servers")?;
                 args.servers = v.parse().map_err(|e| format!("--servers {v}: {e}"))?;
             }
+            "--clients" => {
+                let v = value("--clients")?;
+                args.clients = v.parse().map_err(|e| format!("--clients {v}: {e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients must be >= 1".into());
+                }
+            }
             "--geometry" => {
                 let v = value("--geometry")?;
                 let mut list = Vec::new();
@@ -151,12 +161,13 @@ fn parse_args() -> Result<Args, String> {
 
 fn report_line(report: &RunReport, geometry: Geometry) -> String {
     format!(
-        "seed {:>6} transport={} store={} geometry={} window={} rwindow={} hash={:#018x} \
-         events={} acked={} reads={} {}",
+        "seed {:>6} transport={} store={} geometry={} clients={} window={} rwindow={} \
+         hash={:#018x} events={} acked={} reads={} {}",
         report.seed,
         report.transport,
         report.store,
         geometry,
+        report.clients,
         report.write_window,
         report.read_window,
         report.hash,
@@ -192,7 +203,8 @@ fn main() -> ExitCode {
 
     for &geometry in &geometries {
         let servers = geometry.width() as u32;
-        let cfg = ScheduleConfig::with_parity(servers, args.events, geometry.parity() as u32);
+        let cfg = ScheduleConfig::with_parity(servers, args.events, geometry.parity() as u32)
+            .clients(args.clients);
         for &seed in &args.seeds {
             let schedule = Schedule::generate(seed, &cfg);
             if args.dump {

@@ -154,6 +154,9 @@ pub struct Cluster {
     faults: Arc<FaultTransport>,
     tcp: Option<Arc<TcpTransport>>,
     slots: Vec<Slot>,
+    /// Worker-pool width every TCP server (re)spawns with — sized for
+    /// the run's client count, see [`Cluster::new_sized`].
+    workers: usize,
     /// Present for file-backed clusters; removes the store root on drop.
     _store_dir: Option<StoreDir>,
 }
@@ -184,6 +187,35 @@ impl Cluster {
         servers: u32,
         store_kind: StoreKind,
     ) -> Result<Cluster> {
+        Self::new_sized(kind, servers, store_kind, 1)
+    }
+
+    /// Like [`Cluster::new_with_store`], sized for `clients` concurrent
+    /// client logs. The blocking runtime dedicates a server worker to
+    /// every open connection, and each rig keeps a couple of persistent
+    /// connections per server (write engine, read engine, pooled spares),
+    /// so many-client runs need wider pools than the single-client
+    /// default — otherwise fresh dials (recovery checks, verification
+    /// reads) park behind saturated workers and time out, which the
+    /// harness would misreport as lost durability. Epoll multiplexes
+    /// connections off a small pool, so it keeps the default width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`swarm_types::SwarmError::Io`] if a TCP listener cannot
+    /// bind or a file store cannot be created.
+    pub fn new_sized(
+        kind: TransportKind,
+        servers: u32,
+        store_kind: StoreKind,
+        clients: u32,
+    ) -> Result<Cluster> {
+        let workers = match kind {
+            TransportKind::Tcp(Runtime::Blocking) => ServerConfig::default()
+                .workers
+                .max(5 * clients as usize + 16),
+            _ => ServerConfig::default().workers,
+        };
         let store_dir = match store_kind {
             StoreKind::Mem => None,
             StoreKind::File => Some(StoreDir::fresh()),
@@ -224,6 +256,7 @@ impl Cluster {
                     faults,
                     tcp: None,
                     slots,
+                    workers,
                     _store_dir: store_dir,
                 })
             }
@@ -250,6 +283,7 @@ impl Cluster {
                         "127.0.0.1:0",
                         handler,
                         ServerConfig {
+                            workers,
                             runtime,
                             faults: Some(plan.clone()),
                             ..ServerConfig::default()
@@ -269,6 +303,7 @@ impl Cluster {
                     faults,
                     tcp: Some(tcp),
                     slots,
+                    workers,
                     _store_dir: store_dir,
                 })
             }
@@ -331,6 +366,7 @@ impl Cluster {
                 "127.0.0.1:0",
                 handler,
                 ServerConfig {
+                    workers: self.workers,
                     runtime,
                     faults: Some(slot.plan.clone()),
                     ..ServerConfig::default()

@@ -131,6 +131,8 @@ pub struct RunOptions {
     pub write_window: usize,
     /// Read pipelining window for verification.
     pub read_window: usize,
+    /// Concurrent client logs sharing the cluster.
+    pub clients: u32,
 }
 
 impl fmt::Display for RunOptions {
@@ -138,7 +140,7 @@ impl fmt::Display for RunOptions {
         write!(
             f,
             "swarm-chaos --seed {} --transport {} --store {} --events {} --geometry {}+{} \
-             --write-window {} --read-window {}",
+             --write-window {} --read-window {} --clients {}",
             self.seed,
             self.transport,
             self.store,
@@ -146,7 +148,8 @@ impl fmt::Display for RunOptions {
             self.servers - self.parity,
             self.parity,
             self.write_window,
-            self.read_window
+            self.read_window,
+            self.clients
         )
     }
 }
@@ -166,6 +169,7 @@ impl FromStr for RunOptions {
         let mut geometry: Option<Geometry> = None;
         let mut write_window = None;
         let mut read_window = None;
+        let mut clients = None;
         while let Some(flag) = tokens.next() {
             let value = tokens
                 .next()
@@ -184,6 +188,7 @@ impl FromStr for RunOptions {
                 "--read-window" => {
                     read_window = Some(value.parse::<usize>().map_err(|e| e.to_string())?)
                 }
+                "--clients" => clients = Some(value.parse::<u32>().map_err(|e| e.to_string())?),
                 other => return Err(format!("unknown replay flag {other}")),
             }
         }
@@ -197,6 +202,8 @@ impl FromStr for RunOptions {
             parity: geometry.parity() as u32,
             write_window: write_window.ok_or("replay line is missing --write-window")?,
             read_window: read_window.ok_or("replay line is missing --read-window")?,
+            // Older replay lines predate multi-client runs: one client.
+            clients: clients.unwrap_or(1),
         })
     }
 }
@@ -224,6 +231,8 @@ pub struct RunReport {
     pub read_window: usize,
     /// Parity members per stripe (`m`) the run striped with.
     pub parity: u32,
+    /// Concurrent client logs the run dealt events across.
+    pub clients: u32,
     /// Invariant violations, each tagged with the offending event index.
     pub failures: Vec<String>,
 }
@@ -245,6 +254,7 @@ impl RunReport {
             parity: self.parity,
             write_window: self.write_window,
             read_window: self.read_window,
+            clients: self.clients,
         }
     }
 
@@ -255,13 +265,14 @@ impl RunReport {
 }
 
 fn make_config(
+    client: ClientId,
     servers: u32,
     parity: u32,
     write_window: usize,
     read_window: usize,
 ) -> Result<LogConfig> {
     Ok(
-        LogConfig::new(ClientId::new(1), (0..servers).map(ServerId::new).collect())?
+        LogConfig::new(client, (0..servers).map(ServerId::new).collect())?
             // `m = 1` resolves to the paper's XOR geometry; wider parity
             // engages the Reed–Solomon coder under the same chaos matrix.
             .geometry(Geometry::new((servers - parity) as u8, parity as u8)?)?
@@ -283,18 +294,72 @@ fn make_config(
     )
 }
 
-/// Replays one [`Schedule`] against a live cluster, checking invariants
-/// at every quiesce point.
-pub struct Runner {
-    cluster: Cluster,
+/// One client's complete state: its own log, cleaner, service stack,
+/// and acked-write model. Rigs share nothing but the cluster, so a
+/// byte-exact per-rig verify at every quiesce point *is* the zero
+/// cross-client-interference check — client A's blocks must survive
+/// client B's appends, clean passes, and crash recoveries untouched.
+struct Rig {
+    client: ClientId,
     model: Model,
     stack: Arc<ServiceStack>,
     log: Option<Arc<Log>>,
     cleaner: Option<Cleaner>,
+    next_id: u64,
+}
+
+impl Rig {
+    fn new(
+        cluster: &Cluster,
+        client: ClientId,
+        servers: u32,
+        parity: u32,
+        write_window: usize,
+        read_window: usize,
+    ) -> Result<Rig> {
+        let model: Model = Arc::new(Mutex::new(ModelInner::default()));
+        let mut stack = ServiceStack::new();
+        let service: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(ChaosService {
+            model: model.clone(),
+        }));
+        stack.register(service)?;
+        let stack = Arc::new(stack);
+        let log = Arc::new(Log::create(
+            cluster.transport(),
+            make_config(client, servers, parity, write_window, read_window)?,
+        )?);
+        let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
+        Ok(Rig {
+            client,
+            model,
+            stack,
+            log: Some(log),
+            cleaner: Some(cleaner),
+            next_id: 0,
+        })
+    }
+
+    fn log(&self) -> Arc<Log> {
+        self.log.clone().expect("log present while stepping")
+    }
+}
+
+/// Replays one [`Schedule`] against a live cluster, checking invariants
+/// at every quiesce point.
+///
+/// With `schedule.clients > 1` the runner stands up one [`Rig`] per
+/// client over the *same* servers: appends and deletes are dealt
+/// round-robin, while flushes, checkpoints, clean passes, quiesces,
+/// and crash recoveries apply to every rig — maximal contention on the
+/// shared cluster with fully independent durability oracles.
+pub struct Runner {
+    cluster: Cluster,
+    rigs: Vec<Rig>,
     write_window: usize,
     read_window: usize,
     parity: u32,
-    next_id: u64,
+    append_rr: usize,
+    delete_rr: usize,
     verified_reads: u64,
     acked_blocks: u64,
     failures: Vec<String>,
@@ -348,29 +413,27 @@ impl Runner {
         write_window: usize,
         read_window: usize,
     ) -> Result<Runner> {
-        let cluster = Cluster::new_with_store(kind, schedule.servers, store)?;
-        let model: Model = Arc::new(Mutex::new(ModelInner::default()));
-        let mut stack = ServiceStack::new();
-        let service: Arc<Mutex<dyn Service>> = Arc::new(Mutex::new(ChaosService {
-            model: model.clone(),
-        }));
-        stack.register(service)?;
-        let stack = Arc::new(stack);
-        let log = Arc::new(Log::create(
-            cluster.transport(),
-            make_config(schedule.servers, schedule.parity, write_window, read_window)?,
-        )?);
-        let cleaner = Cleaner::new(log.clone(), stack.clone(), CleanPolicy::CostBenefit);
+        let cluster = Cluster::new_sized(kind, schedule.servers, store, schedule.clients)?;
+        let rigs = (1..=schedule.clients)
+            .map(|c| {
+                Rig::new(
+                    &cluster,
+                    ClientId::new(c),
+                    schedule.servers,
+                    schedule.parity,
+                    write_window,
+                    read_window,
+                )
+            })
+            .collect::<Result<Vec<Rig>>>()?;
         Ok(Runner {
             cluster,
-            model,
-            stack,
-            log: Some(log),
-            cleaner: Some(cleaner),
+            rigs,
             write_window,
             read_window,
             parity: schedule.parity,
-            next_id: 0,
+            append_rr: 0,
+            delete_rr: 0,
             verified_reads: 0,
             acked_blocks: 0,
             failures: Vec::new(),
@@ -435,7 +498,7 @@ impl Runner {
                     .push(format!("[{i}] aborting: too many failures"));
                 break;
             }
-            if runner.log.is_none() {
+            if runner.rigs.iter().any(|r| r.log.is_none()) {
                 break; // unrecoverable (crash recovery itself failed)
             }
             runner.step(i, event);
@@ -451,75 +514,44 @@ impl Runner {
             write_window,
             read_window,
             parity: schedule.parity,
+            clients: schedule.clients,
             failures: runner.failures,
         })
-    }
-
-    fn log(&self) -> &Arc<Log> {
-        self.log.as_ref().expect("log present while stepping")
     }
 
     fn step(&mut self, i: usize, event: &ChaosEvent) {
         match *event {
             ChaosEvent::Append { size, fill } => {
-                let id = self.next_id;
-                self.next_id += 1;
-                let data = vec![fill; size];
-                match self
-                    .log()
-                    .append_block(CHAOS_SERVICE, &id.to_le_bytes(), &data)
-                {
-                    Ok(addr) => self.model.lock().pending.push((
-                        id,
-                        BlockState {
-                            addr,
-                            len: size,
-                            fill,
-                        },
-                    )),
-                    // Append can fail when a sealed fragment's store
-                    // cascades; the block was never acked, so the model
-                    // simply never learns about it.
-                    Err(e) => {
-                        swarm_metrics::trace!("chaos", "append {id} failed: {e}");
+                let r = self.append_rr % self.rigs.len();
+                self.append_rr += 1;
+                self.append(r, size, fill);
+            }
+            ChaosEvent::Flush => {
+                for r in 0..self.rigs.len() {
+                    match self.rigs[r].log().flush() {
+                        Ok(()) => self.ack_pending(r),
+                        Err(e) => {
+                            swarm_metrics::trace!("chaos", "flush failed (acks dropped): {e}");
+                            self.drop_pending(r);
+                        }
                     }
                 }
             }
-            ChaosEvent::Flush => match self.log().flush() {
-                Ok(()) => self.ack_pending(),
-                Err(e) => {
-                    swarm_metrics::trace!("chaos", "flush failed (acks dropped): {e}");
-                    self.drop_pending();
-                }
-            },
-            ChaosEvent::Checkpoint => match self.log().checkpoint(CHAOS_SERVICE, b"chaos-ckpt") {
-                Ok(_) => self.ack_pending(),
-                Err(e) => {
-                    swarm_metrics::trace!("chaos", "checkpoint failed (acks dropped): {e}");
-                    self.drop_pending();
-                }
-            },
-            ChaosEvent::DeleteOldest => {
-                let oldest = self
-                    .model
-                    .lock()
-                    .acked
-                    .iter()
-                    .next()
-                    .map(|(&id, state)| (id, state.addr));
-                if let Some((id, addr)) = oldest {
-                    match self.log().delete_block(CHAOS_SERVICE, addr) {
-                        // The record may still be unflushed, but dropping
-                        // the block from the model is safe either way: we
-                        // just stop verifying it.
-                        Ok(_) => {
-                            self.model.lock().acked.remove(&id);
-                        }
+            ChaosEvent::Checkpoint => {
+                for r in 0..self.rigs.len() {
+                    match self.rigs[r].log().checkpoint(CHAOS_SERVICE, b"chaos-ckpt") {
+                        Ok(_) => self.ack_pending(r),
                         Err(e) => {
-                            swarm_metrics::trace!("chaos", "delete of {id} failed: {e}");
+                            swarm_metrics::trace!("chaos", "checkpoint failed (acks dropped): {e}");
+                            self.drop_pending(r);
                         }
                     }
                 }
+            }
+            ChaosEvent::DeleteOldest => {
+                let r = self.delete_rr % self.rigs.len();
+                self.delete_rr += 1;
+                self.delete_oldest(r);
             }
             ChaosEvent::ConnReset { server } => self.cluster.plan(server).inject_reset(1),
             ChaosEvent::Delay { server, micros } => {
@@ -539,7 +571,10 @@ impl Runner {
             ChaosEvent::DiskFull { server } => self.cluster.plan(server).set_disk_full(true),
             ChaosEvent::DiskFree { server } => self.cluster.plan(server).set_disk_full(false),
             ChaosEvent::CleanPass => {
-                if let Some(cleaner) = &self.cleaner {
+                for r in 0..self.rigs.len() {
+                    let Some(cleaner) = &self.rigs[r].cleaner else {
+                        continue;
+                    };
                     // The generator restored the cluster first, so a
                     // cleaning error here is a real bug, not bad luck.
                     match cleaner.clean_pass(4) {
@@ -551,19 +586,82 @@ impl Runner {
                                 stats.blocks_moved
                             );
                         }
-                        Err(e) => self.failures.push(format!("[{i}] clean pass failed: {e}")),
+                        Err(e) => {
+                            let client = self.rigs[r].client;
+                            self.failures
+                                .push(format!("[{i}] client {client} clean pass failed: {e}"));
+                        }
                     }
                 }
-                self.verify(i, "after clean pass");
+                self.verify_all(i, "after clean pass");
             }
             ChaosEvent::Quiesce { verify_down } => self.quiesce(i, verify_down),
-            ChaosEvent::CrashRecover => self.crash_recover(i),
+            ChaosEvent::CrashRecover => {
+                // All clients crash together: unflushed appends die with
+                // their processes, then each recovers its own log.
+                self.cluster.clear_transients();
+                for r in 0..self.rigs.len() {
+                    self.crash_recover(r, i);
+                }
+            }
         }
     }
 
-    /// A successful flush acked everything pending.
-    fn ack_pending(&mut self) {
-        let mut model = self.model.lock();
+    /// One client appends a block (round-robin dealt by the caller).
+    fn append(&mut self, r: usize, size: usize, fill: u8) {
+        let rig = &mut self.rigs[r];
+        let id = rig.next_id;
+        rig.next_id += 1;
+        let data = vec![fill; size];
+        match rig
+            .log()
+            .append_block(CHAOS_SERVICE, &id.to_le_bytes(), &data)
+        {
+            Ok(addr) => rig.model.lock().pending.push((
+                id,
+                BlockState {
+                    addr,
+                    len: size,
+                    fill,
+                },
+            )),
+            // Append can fail when a sealed fragment's store cascades;
+            // the block was never acked, so the model simply never
+            // learns about it.
+            Err(e) => {
+                swarm_metrics::trace!("chaos", "append {id} failed: {e}");
+            }
+        }
+    }
+
+    /// One client deletes its oldest acked block.
+    fn delete_oldest(&mut self, r: usize) {
+        let rig = &self.rigs[r];
+        let oldest = rig
+            .model
+            .lock()
+            .acked
+            .iter()
+            .next()
+            .map(|(&id, state)| (id, state.addr));
+        if let Some((id, addr)) = oldest {
+            match rig.log().delete_block(CHAOS_SERVICE, addr) {
+                // The record may still be unflushed, but dropping the
+                // block from the model is safe either way: we just stop
+                // verifying it.
+                Ok(_) => {
+                    rig.model.lock().acked.remove(&id);
+                }
+                Err(e) => {
+                    swarm_metrics::trace!("chaos", "delete of {id} failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// A successful flush acked everything the rig had pending.
+    fn ack_pending(&mut self, r: usize) {
+        let mut model = self.rigs[r].model.lock();
         let pending = std::mem::take(&mut model.pending);
         for (id, state) in pending {
             self.acked_blocks += 1;
@@ -573,36 +671,40 @@ impl Runner {
 
     /// A failed flush leaves pending blocks unacked. They may or may not
     /// be durable ("limbo"); the harness never verifies them.
-    fn drop_pending(&mut self) {
-        self.model.lock().pending.clear();
+    fn drop_pending(&mut self, r: usize) {
+        self.rigs[r].model.lock().pending.clear();
     }
 
     fn quiesce(&mut self, i: usize, verify_down: DownSet) {
         // Unconsumed one-shot injections must not leak into verification
         // traffic.
         self.cluster.clear_transients();
-        // First flush drains any store errors accumulated during fault
-        // windows; on a restored cluster the retry then succeeds.
-        let flushed = match self.log().flush() {
-            Ok(()) => true,
-            Err(e) => {
-                swarm_metrics::trace!("chaos", "quiesce flush drained errors: {e}");
-                self.drop_pending();
-                match self.log().flush() {
-                    Ok(()) => true,
-                    Err(e) => {
-                        self.failures
-                            .push(format!("[{i}] flush failed on a healthy cluster: {e}"));
-                        false
+        for r in 0..self.rigs.len() {
+            // First flush drains any store errors accumulated during
+            // fault windows; on a restored cluster the retry succeeds.
+            let flushed = match self.rigs[r].log().flush() {
+                Ok(()) => true,
+                Err(e) => {
+                    swarm_metrics::trace!("chaos", "quiesce flush drained errors: {e}");
+                    self.drop_pending(r);
+                    match self.rigs[r].log().flush() {
+                        Ok(()) => true,
+                        Err(e) => {
+                            let client = self.rigs[r].client;
+                            self.failures.push(format!(
+                                "[{i}] client {client} flush failed on a healthy cluster: {e}"
+                            ));
+                            false
+                        }
                     }
                 }
+            };
+            if flushed {
+                self.ack_pending(r);
+                self.check_recovery_head(r, i);
             }
-        };
-        if flushed {
-            self.ack_pending();
-            self.check_recovery_head(i);
         }
-        self.verify(i, "at quiesce");
+        self.verify_all(i, "at quiesce");
         if !verify_down.is_empty() {
             // Hold the listed servers (up to `m`) down simultaneously and
             // verify again: every read touching them must come back via
@@ -610,17 +712,27 @@ impl Runner {
             for server in verify_down.iter() {
                 self.cluster.plan(server).set_down(true);
             }
-            self.verify(i, "with servers held down");
+            self.verify_all(i, "with servers held down");
             for server in verify_down.iter() {
                 self.cluster.plan(server).set_down(false);
             }
         }
     }
 
+    /// Every rig's acked blocks verify byte-exact — each against its own
+    /// model, so any bleed-through between client logs surfaces here.
+    fn verify_all(&mut self, i: usize, context: &str) {
+        for r in 0..self.rigs.len() {
+            self.verify(r, i, context);
+        }
+    }
+
     /// Invariant: recovery rollforward reaches the live (flushed) log
     /// head — same next sequence number, nothing silently dropped.
-    fn check_recovery_head(&mut self, i: usize) {
+    fn check_recovery_head(&mut self, r: usize, i: usize) {
+        let client = self.rigs[r].client;
         let config = match make_config(
+            client,
             self.cluster.servers(),
             self.parity,
             self.write_window,
@@ -635,40 +747,42 @@ impl Runner {
         };
         match recover(self.cluster.transport(), config, &[CHAOS_SERVICE]) {
             Ok((recovered, _replay)) => {
-                let live = self.log().next_seq();
+                let live = self.rigs[r].log().next_seq();
                 let got = recovered.next_seq();
                 if got != live {
                     self.failures.push(format!(
-                        "[{i}] recovery stopped short of the log head: \
+                        "[{i}] client {client} recovery stopped short of the log head: \
                          recovered next_seq {got}, live next_seq {live}"
                     ));
                 }
             }
-            Err(e) => self
-                .failures
-                .push(format!("[{i}] recovery of a flushed log failed: {e}")),
+            Err(e) => self.failures.push(format!(
+                "[{i}] client {client} recovery of a flushed log failed: {e}"
+            )),
         }
     }
 
     /// Invariant: every acked block reads back with its exact bytes.
-    fn verify(&mut self, i: usize, context: &str) {
-        let snapshot: Vec<(u64, BlockState)> = self
+    fn verify(&mut self, r: usize, i: usize, context: &str) {
+        let client = self.rigs[r].client;
+        let log = self.rigs[r].log();
+        let snapshot: Vec<(u64, BlockState)> = self.rigs[r]
             .model
             .lock()
             .acked
             .iter()
             .map(|(&id, &state)| (id, state))
             .collect();
-        for (id, state) in snapshot {
+        for (id, state) in &snapshot {
             if self.failures.len() >= MAX_FAILURES {
                 return;
             }
-            match self.log().read(state.addr) {
+            match log.read(state.addr) {
                 Ok(bytes) => {
                     if bytes.len() != state.len || bytes.as_slice().iter().any(|&b| b != state.fill)
                     {
                         self.failures.push(format!(
-                            "[{i}] block {id} corrupt {context}: \
+                            "[{i}] client {client} block {id} corrupt {context}: \
                              want {} x {:#04x}, got {} bytes",
                             state.len,
                             state.fill,
@@ -679,39 +793,31 @@ impl Runner {
                     }
                 }
                 Err(e) => self.failures.push(format!(
-                    "[{i}] acked block {id} unreadable {context} (addr {:?}): {e}",
+                    "[{i}] client {client} acked block {id} unreadable {context} \
+                     (addr {:?}): {e}",
                     state.addr
                 )),
             }
         }
-        self.verify_scan(i, context);
+        self.verify_scan(r, i, &snapshot, context);
     }
 
     /// Invariant: the batched scan path agrees with the model too —
     /// `read_many` returns every acked block byte-exact, in order, even
     /// when a held-down server forces the reconstruction fallback.
-    fn verify_scan(&mut self, i: usize, context: &str) {
-        if self.failures.len() >= MAX_FAILURES {
+    fn verify_scan(&mut self, r: usize, i: usize, snapshot: &[(u64, BlockState)], context: &str) {
+        if self.failures.len() >= MAX_FAILURES || snapshot.is_empty() {
             return;
         }
-        let snapshot: Vec<(u64, BlockState)> = self
-            .model
-            .lock()
-            .acked
-            .iter()
-            .map(|(&id, &state)| (id, state))
-            .collect();
-        if snapshot.is_empty() {
-            return;
-        }
+        let client = self.rigs[r].client;
         let addrs: Vec<BlockAddr> = snapshot.iter().map(|(_, s)| s.addr).collect();
-        match self.log().read_many(&addrs) {
+        match self.rigs[r].log().read_many(&addrs) {
             Ok(results) => {
                 for ((id, state), bytes) in snapshot.iter().zip(&results) {
                     if bytes.len() != state.len || bytes.as_slice().iter().any(|&b| b != state.fill)
                     {
                         self.failures.push(format!(
-                            "[{i}] block {id} corrupt in scan {context}: \
+                            "[{i}] client {client} block {id} corrupt in scan {context}: \
                              want {} x {:#04x}, got {} bytes",
                             state.len,
                             state.fill,
@@ -723,24 +829,25 @@ impl Runner {
                     }
                 }
             }
-            Err(e) => self
-                .failures
-                .push(format!("[{i}] scan of acked blocks failed {context}: {e}")),
+            Err(e) => self.failures.push(format!(
+                "[{i}] client {client} scan of acked blocks failed {context}: {e}"
+            )),
         }
     }
 
-    /// Drops the client without flushing (a crash), recovers, and
+    /// Drops one client without flushing (a crash), recovers, and
     /// verifies through the recovered log.
-    fn crash_recover(&mut self, i: usize) {
+    fn crash_recover(&mut self, r: usize, i: usize) {
         // Unflushed appends die with the client; they were never acked.
-        self.drop_pending();
-        self.cluster.clear_transients();
+        self.drop_pending(r);
+        let client = self.rigs[r].client;
         // The cleaner holds the only other reference to the log; dropping
         // both simulates the client process dying. The open fragment is
         // lost — exactly the torn tail recovery must discard.
-        self.cleaner = None;
-        self.log = None;
+        self.rigs[r].cleaner = None;
+        self.rigs[r].log = None;
         let config = match make_config(
+            client,
             self.cluster.servers(),
             self.parity,
             self.write_window,
@@ -755,23 +862,23 @@ impl Runner {
         };
         match recover(self.cluster.transport(), config, &[CHAOS_SERVICE]) {
             Ok((log, replay)) => {
-                if let Err(e) = self.stack.recover(&replay) {
+                if let Err(e) = self.rigs[r].stack.recover(&replay) {
                     self.failures
-                        .push(format!("[{i}] service replay failed: {e}"));
+                        .push(format!("[{i}] client {client} service replay failed: {e}"));
                 }
                 let log = Arc::new(log);
-                self.cleaner = Some(Cleaner::new(
+                self.rigs[r].cleaner = Some(Cleaner::new(
                     log.clone(),
-                    self.stack.clone(),
+                    self.rigs[r].stack.clone(),
                     CleanPolicy::CostBenefit,
                 ));
-                self.log = Some(log);
-                self.verify(i, "after crash recovery");
+                self.rigs[r].log = Some(log);
+                self.verify(r, i, "after crash recovery");
             }
             Err(e) => {
-                // Leaves the runner log-less; the step loop stops.
+                // Leaves the rig log-less; the step loop stops.
                 self.failures
-                    .push(format!("[{i}] crash recovery failed: {e}"));
+                    .push(format!("[{i}] client {client} crash recovery failed: {e}"));
             }
         }
     }
@@ -796,6 +903,7 @@ mod tests {
                 parity: 1,
                 write_window: 8,
                 read_window: 8,
+                clients: 1,
             },
             RunOptions {
                 seed: u64::MAX,
@@ -806,6 +914,7 @@ mod tests {
                 parity: 2,
                 write_window: 1,
                 read_window: 16,
+                clients: 8,
             },
             RunOptions {
                 seed: 7,
@@ -816,6 +925,7 @@ mod tests {
                 parity: 3,
                 write_window: 4,
                 read_window: 1,
+                clients: 32,
             },
         ];
         for options in all {
@@ -828,12 +938,23 @@ mod tests {
                 "--geometry",
                 "--write-window",
                 "--read-window",
+                "--clients",
             ] {
                 assert!(line.contains(flag), "replay line lost {flag}: {line}");
             }
             let parsed: RunOptions = line.parse().expect("replay line parses");
             assert_eq!(parsed, options, "round-trip changed {line}");
         }
+    }
+
+    /// Replay lines printed before multi-client runs existed have no
+    /// `--clients` flag; they must keep parsing as one-client runs.
+    #[test]
+    fn legacy_replay_line_defaults_to_one_client() {
+        let line = "swarm-chaos --seed 3 --transport mem --store mem --events 32 \
+                    --geometry 3+1 --write-window 8 --read-window 8";
+        let parsed: RunOptions = line.parse().expect("legacy line parses");
+        assert_eq!(parsed.clients, 1);
     }
 
     /// The report's replay command is the same canonical line.
@@ -850,6 +971,7 @@ mod tests {
             write_window: 8,
             read_window: 8,
             parity: 2,
+            clients: 8,
             failures: Vec::new(),
         };
         let line = report.replay_command(64, 6);
@@ -858,5 +980,6 @@ mod tests {
         assert_eq!(parsed.servers, 6);
         assert_eq!(parsed.parity, 2);
         assert_eq!(parsed.events, 64);
+        assert_eq!(parsed.clients, 8);
     }
 }

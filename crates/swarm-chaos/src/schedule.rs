@@ -30,6 +30,10 @@ pub struct ScheduleConfig {
     /// generator keeps at most `m` servers impaired at once and the
     /// verification tail holds `m` servers down.
     pub parity: u32,
+    /// Concurrent client logs sharing the cluster. The runner deals
+    /// work events round-robin across them and verifies every client's
+    /// acked blocks at every quiesce (zero cross-client interference).
+    pub clients: u32,
 }
 
 impl ScheduleConfig {
@@ -53,7 +57,15 @@ impl ScheduleConfig {
             servers,
             events,
             parity,
+            clients: 1,
         }
+    }
+
+    /// Sets the number of concurrent client logs; panics if zero.
+    pub fn clients(mut self, clients: u32) -> ScheduleConfig {
+        assert!(clients >= 1, "chaos needs at least one client");
+        self.clients = clients;
+        self
     }
 }
 
@@ -243,6 +255,8 @@ pub struct Schedule {
     /// Parity members per stripe (`m`) — the impairment budget the
     /// schedule was generated under.
     pub parity: u32,
+    /// Concurrent client logs the schedule is dealt across.
+    pub clients: u32,
     /// The event list, in execution order.
     pub events: Vec<ChaosEvent>,
 }
@@ -402,6 +416,7 @@ impl Schedule {
             seed,
             servers: cfg.servers,
             parity: cfg.parity,
+            clients: cfg.clients,
             events,
         }
     }
@@ -418,8 +433,8 @@ impl Schedule {
             h = (h ^ b'\n' as u64).wrapping_mul(PRIME);
         };
         eat(&format!(
-            "seed={} servers={} parity={}",
-            self.seed, self.servers, self.parity
+            "seed={} servers={} parity={} clients={}",
+            self.seed, self.servers, self.parity, self.clients
         ));
         for e in &self.events {
             eat(&e.to_string());
@@ -432,10 +447,11 @@ impl Schedule {
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut out = format!(
-            "# seed={} servers={} parity={} events={} hash={:#018x}\n",
+            "# seed={} servers={} parity={} clients={} events={} hash={:#018x}\n",
             self.seed,
             self.servers,
             self.parity,
+            self.clients,
             self.events.len(),
             self.hash()
         );
@@ -580,6 +596,16 @@ mod tests {
         assert_ne!(a.hash(), b.hash());
         assert_eq!(a.parity, 1);
         assert_eq!(b.parity, 2);
+    }
+
+    #[test]
+    fn clients_change_the_hash_but_not_the_events() {
+        let cfg = ScheduleConfig::new(4, 32);
+        let a = Schedule::generate(5, &cfg);
+        let b = Schedule::generate(5, &cfg.clients(8));
+        assert_eq!(a.events, b.events, "client count deals work, not events");
+        assert_ne!(a.hash(), b.hash(), "clients must be covered by the hash");
+        assert!(b.dump().contains("clients=8"));
     }
 
     #[test]

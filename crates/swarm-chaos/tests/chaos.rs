@@ -77,6 +77,38 @@ fn small_seed_matrix_never_loses_acked_writes() {
     }
 }
 
+/// Multi-client runs deal the same schedule across independent client
+/// logs on one shared cluster: every client's acked blocks must verify
+/// byte-exact at every quiesce (zero cross-client interference), the
+/// verdict must be deterministic, and more clients must not change the
+/// schedule itself — only who executes each work event.
+#[test]
+fn multi_client_runs_pass_deterministically_with_no_interference() {
+    for clients in [2u32, 8] {
+        let schedule = Schedule::generate(13, &ScheduleConfig::new(4, 48).clients(clients));
+        assert_eq!(
+            schedule.events,
+            Schedule::generate(13, &cfg()).events,
+            "client count must deal events, not change them"
+        );
+        let first = Runner::run(&schedule, TransportKind::Mem).unwrap();
+        let second = Runner::run(&schedule, TransportKind::Mem).unwrap();
+        assert!(
+            first.passed(),
+            "{clients} clients lost acked data: {:?}\nreplay: {}",
+            first.failures,
+            first.replay_command(48, 4)
+        );
+        assert_eq!(first.clients, clients);
+        assert_eq!(first.acked_blocks, second.acked_blocks);
+        assert_eq!(first.verified_reads, second.verified_reads);
+        assert!(
+            first.replay_command(48, 4).contains("--clients"),
+            "replay line must carry the client count"
+        );
+    }
+}
+
 /// Schedules include the server-stall event (a wedged journal committer),
 /// and the file-backed cluster — durable FileStore with group commit on
 /// the critical path — still never loses an acked write.

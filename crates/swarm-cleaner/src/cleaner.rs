@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use swarm_log::{Log, LogPosition};
@@ -20,6 +21,9 @@ struct CleanerMetrics {
     forced_checkpoints: swarm_metrics::Counter,
     pass_us: swarm_metrics::Histogram,
     select_us: swarm_metrics::Histogram,
+    budget_bytes: swarm_metrics::Counter,
+    budget_waits: swarm_metrics::Counter,
+    budget_wait_us: swarm_metrics::Histogram,
 }
 
 fn metrics() -> &'static CleanerMetrics {
@@ -32,7 +36,94 @@ fn metrics() -> &'static CleanerMetrics {
         forced_checkpoints: swarm_metrics::counter("cleaner.forced_checkpoints"),
         pass_us: swarm_metrics::histogram("cleaner.pass_us"),
         select_us: swarm_metrics::histogram("cleaner.select_us"),
+        budget_bytes: swarm_metrics::counter("cleaner.budget_bytes"),
+        budget_waits: swarm_metrics::counter("cleaner.budget_waits"),
+        budget_wait_us: swarm_metrics::histogram("cleaner.budget_wait_us"),
     })
+}
+
+/// Tuning for a [`Cleaner`].
+#[derive(Debug, Clone)]
+pub struct CleanerConfig {
+    /// Victim-selection policy.
+    pub policy: CleanPolicy,
+    /// Cap on the cleaner's I/O rate — bytes read plus bytes re-appended
+    /// while relocating live blocks — token-bucket paced. Reclamation
+    /// shares servers (and the client's connection pool) with foreground
+    /// writes; unpaced, a big clean pass can monopolize both. `None`
+    /// leaves the cleaner unpaced.
+    pub budget_bytes_per_sec: Option<u64>,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            policy: CleanPolicy::CostBenefit,
+            budget_bytes_per_sec: None,
+        }
+    }
+}
+
+/// Debt-model token bucket: `consume` waits until the balance is
+/// non-negative, then takes the whole charge at once (going negative).
+/// A single block larger than one second of budget therefore never
+/// deadlocks — it just puts the bucket in debt that later charges pay
+/// down — and the long-run rate converges on `rate` bytes/sec.
+struct TokenBucket {
+    rate: u64,
+    state: Mutex<BucketState>,
+}
+
+struct BucketState {
+    /// Byte balance; negative = debt from a prior oversized charge.
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: u64) -> TokenBucket {
+        TokenBucket {
+            rate: rate.max(1),
+            state: Mutex::new(BucketState {
+                tokens: 0.0,
+                last: Instant::now(),
+            }),
+        }
+    }
+
+    /// Blocks until the budget allows `bytes` more of cleaner I/O.
+    fn consume(&self, bytes: u64) {
+        let m = metrics();
+        m.budget_bytes.add(bytes);
+        let mut waited: Option<Instant> = None;
+        loop {
+            let wait = {
+                let mut st = self.state.lock();
+                let now = Instant::now();
+                let refill = now.duration_since(st.last).as_secs_f64() * self.rate as f64;
+                // Credit never accumulates past one second of budget: an
+                // idle cleaner must not bank a burst.
+                st.tokens = (st.tokens + refill).min(self.rate as f64);
+                st.last = now;
+                if st.tokens >= 0.0 {
+                    st.tokens -= bytes as f64;
+                    break;
+                }
+                Duration::from_secs_f64(-st.tokens / self.rate as f64)
+            };
+            if waited.is_none() {
+                m.budget_waits.inc();
+                waited = Some(Instant::now());
+            }
+            // Sleep in bounded steps so a large debt stays interruptible
+            // by the clock (oversleep would under-run the budget, not
+            // break it).
+            std::thread::sleep(wait.min(Duration::from_millis(100)));
+        }
+        if let Some(started) = waited {
+            m.budget_wait_us.record(started.elapsed());
+        }
+    }
 }
 
 /// What one cleaning pass accomplished.
@@ -69,6 +160,7 @@ pub struct Cleaner {
     log: Arc<Log>,
     stack: Arc<ServiceStack>,
     policy: CleanPolicy,
+    budget: Option<TokenBucket>,
     /// Stripes already reclaimed (first sequence numbers), so rescans can
     /// skip them cheaply.
     cleaned: Mutex<HashSet<u64>>,
@@ -86,10 +178,24 @@ impl std::fmt::Debug for Cleaner {
 impl Cleaner {
     /// Creates a cleaner over `log`, notifying services in `stack`.
     pub fn new(log: Arc<Log>, stack: Arc<ServiceStack>, policy: CleanPolicy) -> Cleaner {
+        Cleaner::with_config(
+            log,
+            stack,
+            CleanerConfig {
+                policy,
+                ..CleanerConfig::default()
+            },
+        )
+    }
+
+    /// Creates a cleaner with full tuning, including the optional
+    /// throughput budget.
+    pub fn with_config(log: Arc<Log>, stack: Arc<ServiceStack>, config: CleanerConfig) -> Cleaner {
         Cleaner {
             log,
             stack,
-            policy,
+            policy: config.policy,
+            budget: config.budget_bytes_per_sec.map(TokenBucket::new),
             cleaned: Mutex::new(HashSet::new()),
         }
     }
@@ -234,6 +340,12 @@ impl Cleaner {
         //    service with the original creation record, notify the
         //    service (old addr, new addr, creation record — §2.1.4).
         for lb in &usage.live_blocks {
+            // Each relocation reads the block once and writes it once;
+            // charge both against the budget *before* issuing the I/O so
+            // foreground traffic sees the pause, not the burst.
+            if let Some(bucket) = &self.budget {
+                bucket.consume(2 * u64::from(lb.addr.len));
+            }
             let data = self.log.read(lb.addr)?;
             let new_addr = self.log.append_block(lb.service, &lb.create, &data)?;
             stats.blocks_moved += 1;
@@ -497,6 +609,72 @@ mod tests {
             let data = f.log.read(addr).unwrap();
             assert_eq!(data, vec![t[0]; 1200], "tag {t:?}");
         }
+    }
+
+    #[test]
+    fn token_bucket_first_charge_is_free_then_debt_paces_the_next() {
+        let bucket = TokenBucket::new(100_000);
+        let start = Instant::now();
+        bucket.consume(30_000);
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "first charge should ride the debt model, not wait: {:?}",
+            start.elapsed()
+        );
+        // 30 000 bytes of debt at 100 000 B/s ≈ 300 ms before the next
+        // charge may proceed.
+        let start = Instant::now();
+        bucket.consume(1);
+        assert!(
+            start.elapsed() >= Duration::from_millis(250),
+            "debt from the first charge must pace the second: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn default_config_is_unpaced() {
+        assert!(CleanerConfig::default().budget_bytes_per_sec.is_none());
+    }
+
+    #[test]
+    fn budgeted_pass_paces_live_block_moves() {
+        let f = fixture(3);
+        for c in b'a'..=b'f' {
+            write_block(&f, &[c], 1200);
+        }
+        f.log.checkpoint(SVC, b"ckpt").unwrap();
+        // Each relocation charges 2 × 1200 bytes; at 48 000 B/s that is
+        // ~50 ms of budget per moved block after the first.
+        let cleaner = Cleaner::with_config(
+            f.log.clone(),
+            f.stack.clone(),
+            CleanerConfig {
+                policy: CleanPolicy::Greedy,
+                budget_bytes_per_sec: Some(48_000),
+            },
+        );
+        let waits_before = swarm_metrics::snapshot().counter("cleaner.budget_waits");
+        let bytes_before = swarm_metrics::snapshot().counter("cleaner.budget_bytes");
+        let start = Instant::now();
+        let stats = cleaner.clean_pass(16).unwrap();
+        let elapsed = start.elapsed();
+        assert!(stats.blocks_moved >= 2, "{stats:?}");
+        let floor = Duration::from_millis(40 * (stats.blocks_moved - 1));
+        assert!(
+            elapsed >= floor,
+            "budget not enforced: {} moves took only {elapsed:?}",
+            stats.blocks_moved
+        );
+        let snap = swarm_metrics::snapshot();
+        assert!(
+            snap.counter("cleaner.budget_waits") > waits_before,
+            "cleaner.budget_waits never moved"
+        );
+        assert!(
+            snap.counter("cleaner.budget_bytes") - bytes_before >= 2 * stats.bytes_moved,
+            "cleaner.budget_bytes under-counted"
+        );
     }
 
     #[test]

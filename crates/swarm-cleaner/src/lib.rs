@@ -25,6 +25,6 @@ pub mod cleaner;
 pub mod policy;
 pub mod usage;
 
-pub use cleaner::{CleanStats, Cleaner, CleanerHandle};
+pub use cleaner::{CleanStats, Cleaner, CleanerConfig, CleanerHandle};
 pub use policy::CleanPolicy;
 pub use usage::{LiveBlock, StripeUsage, UsageTable};

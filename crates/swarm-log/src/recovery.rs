@@ -239,6 +239,29 @@ pub fn recover(
         seq += 1;
     }
 
+    // The scan concluded "end of log" at `seq`. That conclusion is only
+    // sound if enough of the stripe group answered: every stripe spans
+    // the whole group, so any k reachable servers are guaranteed to hold
+    // members of every surviving stripe. With fewer than k servers
+    // answering, a partitioned (or connection-saturated) cluster is
+    // indistinguishable from a short log — recovering "empty" here would
+    // silently abandon acknowledged writes, so refuse instead.
+    let reachable = pool
+        .broadcast(&Request::Ping)
+        .into_iter()
+        .filter(|(_, resp)| matches!(resp, Response::Ok))
+        .count();
+    if (reachable as u8) < config.group.data_width() {
+        return Err(SwarmError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            format!(
+                "recovery reached only {reachable} of {width} servers (need {} to \
+                 prove the log head) — refusing to recover a possibly-truncated log",
+                config.group.data_width()
+            ),
+        )));
+    }
+
     // Torn-tail discard: the scan stopped at `seq`. If that is mid-stripe,
     // the final stripe never completed (no parity): drop its entries and
     // best-effort delete its surviving fragments so they don't linger as

@@ -52,6 +52,9 @@ pub const DEFAULT_WRITE_WINDOW: usize = 8;
 pub(crate) struct WriterMetrics {
     pub(crate) store_us: swarm_metrics::Histogram,
     pub(crate) store_retries: swarm_metrics::Counter,
+    /// Stores resubmitted after the server's admission layer answered
+    /// `Busy` (fair-queueing pushback, not a connectivity failure).
+    pub(crate) busy_backoffs: swarm_metrics::Counter,
     pub(crate) reconnects: swarm_metrics::Counter,
     pub(crate) write_errors: swarm_metrics::Counter,
     pub(crate) flush_dropped_errors: swarm_metrics::Counter,
@@ -69,6 +72,7 @@ pub(crate) fn metrics() -> &'static WriterMetrics {
     M.get_or_init(|| WriterMetrics {
         store_us: swarm_metrics::histogram("log.store_us"),
         store_retries: swarm_metrics::counter("log.store_retries"),
+        busy_backoffs: swarm_metrics::counter("log.busy_backoffs"),
         reconnects: swarm_metrics::counter("log.reconnects"),
         write_errors: swarm_metrics::counter("log.write_errors"),
         flush_dropped_errors: swarm_metrics::counter("log.flush_dropped_errors"),
@@ -498,16 +502,27 @@ impl ServerWriter {
                 // A duplicate store after a retried-but-actually-
                 // successful attempt is fine: the fragment is there.
                 Err(SwarmError::FragmentExists(_)) => return Ok(()),
-                // The server answered: a protocol-level refusal is final,
-                // not a connectivity problem to retry.
+                // Admission pushback: the server is up but bounded this
+                // client's backlog. Back off and resubmit on the same
+                // connection — the one server-answered error that is
+                // explicitly retryable.
+                Err(e @ SwarmError::Busy(_)) => {
+                    m.busy_backoffs.inc();
+                    e
+                }
+                // Any other server answer is a protocol-level refusal:
+                // final, not a connectivity problem to retry.
                 Err(e) => return Err(e),
             },
-            Err(e) => e,
+            Err(e) => {
+                // Transport failure: the shared connection (and, on mux,
+                // every sibling store on it) may be dead. Drop it and
+                // retry on fresh pooled connections, replaying the same
+                // prepared buffers.
+                self.conn = None;
+                e
+            }
         };
-        // Transport failure: the shared connection (and, on mux, every
-        // sibling store on it) may be dead. Drop it and retry on fresh
-        // pooled connections, replaying the same prepared buffers.
-        self.conn = None;
         for attempt in 1..self.retries.max(1) {
             m.store_retries.inc();
             std::thread::sleep(self.backoff);
@@ -527,13 +542,17 @@ impl ServerWriter {
                 }
             };
             match conn.call_prepared(&prepared) {
-                Ok(resp) => {
-                    return match resp.into_result() {
-                        Ok(_) => Ok(()),
-                        Err(SwarmError::FragmentExists(_)) => Ok(()),
-                        Err(e) => Err(e),
-                    };
-                }
+                Ok(resp) => match resp.into_result() {
+                    Ok(_) => return Ok(()),
+                    Err(SwarmError::FragmentExists(_)) => return Ok(()),
+                    Err(e @ SwarmError::Busy(_)) => {
+                        // Still throttled: keep the (healthy) connection
+                        // and back off again.
+                        m.busy_backoffs.inc();
+                        last_err = e;
+                    }
+                    Err(e) => return Err(e),
+                },
                 Err(e) => {
                     self.conn = None; // force reconnect
                     last_err = e;

@@ -236,6 +236,35 @@ fn recovery_of_empty_cluster_is_empty() {
 }
 
 #[test]
+fn recovery_refuses_an_unreachable_cluster() {
+    // A real log exists on a 3-server (2+1) cluster...
+    let (transport, servers) = cluster(3);
+    {
+        let log = Log::create(transport.clone(), config(1, 3)).unwrap();
+        log.append_record(SVC, 1, b"durable and acked").unwrap();
+        log.flush().unwrap();
+    }
+    // ...but the recovering client can only reach one server. One
+    // survivor is below the data width k=2, so "no more fragments" can
+    // mean either end-of-log or unreachable data — recovery must refuse
+    // rather than hand back a silently truncated (here: empty) log.
+    let partitioned = Arc::new(MemTransport::new());
+    partitioned.register(ServerId::new(0), servers[0].clone());
+    let err = recover(partitioned, config(1, 3), &[SVC]).unwrap_err();
+    assert!(
+        err.to_string().contains("refusing to recover"),
+        "want the reachability refusal, got: {err}"
+    );
+    // With k servers answering, the same recovery succeeds (third server
+    // still down — within the parity budget).
+    let degraded = Arc::new(MemTransport::new());
+    degraded.register(ServerId::new(0), servers[0].clone());
+    degraded.register(ServerId::new(1), servers[1].clone());
+    let (_log, replay) = recover(degraded, config(1, 3), &[SVC]).unwrap();
+    assert_eq!(replay.records_for(SVC).len(), 1);
+}
+
+#[test]
 fn checkpoint_and_rollforward() {
     let (transport, _servers) = cluster(3);
     {

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod fault;
 pub mod frame;
 pub mod handler;
@@ -35,14 +36,19 @@ pub mod tcp;
 pub mod transport;
 pub mod workpool;
 
+pub use admission::{Admission, AdmissionConfig, Submitted};
 pub use fault::{FaultHandler, FaultPlan, FaultTransport};
 pub use frame::{read_frame, write_frame, write_frame_vectored};
 pub use handler::RequestHandler;
 pub use mem::MemTransport;
 pub use pool::ConnectionPool;
 pub use proto::{
-    BatchItem, BatchReply, PreparedRequest, ReadSpec, Request, Response, ServerStats, StoreRange,
+    BatchItem, BatchReply, HintSpec, PreparedRequest, ReadSpec, Request, Response, ServerStats,
+    StoreRange,
 };
 pub use reactor::Runtime;
-pub use transport::{broadcast, Connection, PendingCall, Transport};
+pub use transport::{
+    broadcast, peer_server_id, Connection, PeerHost, PeerTransport, PendingCall, Transport,
+    PEER_SERVER_BASE,
+};
 pub use workpool::WorkerPool;

@@ -16,7 +16,7 @@ use swarm_types::{Bytes, ClientId, Decode, Encode, Result, ServerId, SwarmError}
 use crate::fault::FaultPlan;
 use crate::handler::RequestHandler;
 use crate::proto::{Request, Response};
-use crate::transport::{Connection, Transport};
+use crate::transport::{Connection, PeerHost, Transport};
 
 struct Member {
     handler: Arc<dyn RequestHandler>,
@@ -61,6 +61,10 @@ fn mem_metrics() -> &'static MemMetrics {
 #[derive(Default)]
 pub struct MemTransport {
     members: RwLock<BTreeMap<ServerId, Member>>,
+    /// Client-embedded peer responders (cooperative cache). Kept apart from
+    /// `members` so they never appear in [`Transport::servers`] — locate
+    /// broadcasts and reconstruction fan-out must not dial peers.
+    peers: RwLock<BTreeMap<ServerId, Arc<dyn RequestHandler>>>,
     /// When true, requests/responses are serialized through the wire codec
     /// on every call (catches codec asymmetries in tests; small overhead).
     verify_codec: bool,
@@ -72,6 +76,7 @@ impl MemTransport {
     pub fn new() -> Self {
         MemTransport {
             members: RwLock::new(BTreeMap::new()),
+            peers: RwLock::new(BTreeMap::new()),
             verify_codec: true,
         }
     }
@@ -81,6 +86,7 @@ impl MemTransport {
     pub fn new_fast() -> Self {
         MemTransport {
             members: RwLock::new(BTreeMap::new()),
+            peers: RwLock::new(BTreeMap::new()),
             verify_codec: false,
         }
     }
@@ -118,9 +124,26 @@ impl MemTransport {
 impl Transport for MemTransport {
     fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
         let members = self.members.read();
-        let member = members
-            .get(&server)
-            .ok_or(SwarmError::ServerUnavailable(server))?;
+        let member = match members.get(&server) {
+            Some(member) => member,
+            None => {
+                drop(members);
+                // Not a cluster member — maybe a published peer responder.
+                let handler = self
+                    .peers
+                    .read()
+                    .get(&server)
+                    .cloned()
+                    .ok_or(SwarmError::ServerUnavailable(server))?;
+                return Ok(Box::new(MemConnection {
+                    server,
+                    client,
+                    handler,
+                    faults: Arc::new(FaultPlan::new()),
+                    verify_codec: self.verify_codec,
+                }));
+            }
+        };
         if member.faults.is_down() {
             return Err(SwarmError::ServerUnavailable(server));
         }
@@ -135,6 +158,17 @@ impl Transport for MemTransport {
 
     fn servers(&self) -> Vec<ServerId> {
         self.members.read().keys().copied().collect()
+    }
+}
+
+impl PeerHost for MemTransport {
+    fn publish(&self, peer: ServerId, handler: Arc<dyn RequestHandler>) -> Result<()> {
+        self.peers.write().insert(peer, handler);
+        Ok(())
+    }
+
+    fn withdraw(&self, peer: ServerId) {
+        self.peers.write().remove(&peer);
     }
 }
 
@@ -269,5 +303,19 @@ mod tests {
         let t = cluster(2);
         t.deregister(ServerId::new(0));
         assert_eq!(t.servers(), vec![ServerId::new(1)]);
+    }
+
+    #[test]
+    fn published_peers_are_dialable_but_not_listed() {
+        use crate::transport::{peer_server_id, PeerHost};
+        let t = cluster(2);
+        let peer = peer_server_id(ClientId::new(9));
+        t.publish(peer, Arc::new(EchoStore::default())).unwrap();
+        // Not a cluster member: broadcasts and locate must skip it.
+        assert_eq!(t.servers(), vec![ServerId::new(0), ServerId::new(1)]);
+        let mut conn = t.connect(peer, ClientId::new(1)).unwrap();
+        assert_eq!(conn.call(&Request::Ping).unwrap(), Response::Ok);
+        t.withdraw(peer);
+        assert!(t.connect(peer, ClientId::new(1)).is_err());
     }
 }

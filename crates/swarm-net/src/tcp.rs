@@ -118,6 +118,10 @@ pub struct ServerConfig {
     pub read_deadline: Option<Duration>,
     /// Server-side fault plan (see [`TcpServer::spawn_with_faults`]).
     pub faults: Option<Arc<crate::fault::FaultPlan>>,
+    /// Per-client fairness when the worker pool saturates (epoll runtime
+    /// only — the blocking runtime dedicates a worker per connection).
+    /// See [`crate::admission::Admission`].
+    pub admission: crate::admission::AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +131,7 @@ impl Default for ServerConfig {
             runtime: Runtime::default_for_platform(),
             read_deadline: Some(DEFAULT_READ_DEADLINE),
             faults: None,
+            admission: crate::admission::AdmissionConfig::default(),
         }
     }
 }
@@ -289,7 +294,7 @@ impl TcpServer {
                     id,
                     handler,
                     faults: config.faults,
-                    pool: pool.clone(),
+                    admission: crate::admission::Admission::new(pool.clone(), config.admission),
                     read_deadline: config.read_deadline,
                     consecutive_errors: 0,
                 };
@@ -570,7 +575,7 @@ struct ListenerSource {
     id: ServerId,
     handler: Arc<dyn RequestHandler>,
     faults: Option<Arc<crate::fault::FaultPlan>>,
-    pool: Arc<WorkerPool>,
+    admission: Arc<crate::admission::Admission>,
     read_deadline: Option<Duration>,
     consecutive_errors: u32,
 }
@@ -600,7 +605,7 @@ impl Source for ListenerSource {
                         self.id,
                         self.handler.clone(),
                         self.faults.clone(),
-                        self.pool.clone(),
+                        self.admission.clone(),
                         handle.clone(),
                         self.read_deadline,
                     );
@@ -650,7 +655,7 @@ struct ConnSource {
     id: ServerId,
     handler: Arc<dyn RequestHandler>,
     faults: Option<Arc<crate::fault::FaultPlan>>,
-    pool: Arc<WorkerPool>,
+    admission: Arc<crate::admission::Admission>,
     handle: Handle,
     reader: FrameReader,
     mode: ConnMode,
@@ -676,7 +681,7 @@ impl ConnSource {
         id: ServerId,
         handler: Arc<dyn RequestHandler>,
         faults: Option<Arc<crate::fault::FaultPlan>>,
-        pool: Arc<WorkerPool>,
+        admission: Arc<crate::admission::Admission>,
         handle: Handle,
         read_deadline: Option<Duration>,
     ) -> ConnSource {
@@ -685,7 +690,7 @@ impl ConnSource {
             id,
             handler,
             faults,
-            pool,
+            admission,
             handle,
             reader: FrameReader::new(),
             mode: ConnMode::Handshake,
@@ -814,7 +819,12 @@ impl ConnSource {
         let mailbox = self.mailbox.clone();
         let handle = self.handle.clone();
         let server = self.id;
-        self.pool.submit(move || {
+        // Only stores are rejectable under admission backpressure: the
+        // writer is the one caller with retry machinery, and a bounced
+        // read would surface as a data-path failure.
+        let rejectable = body.first() == Some(&crate::proto::tag::STORE);
+        let cost = body.len() as u64;
+        let outcome = self.admission.submit(client, cost, rejectable, move || {
             let completion = run_request(
                 server,
                 &*handler,
@@ -827,6 +837,14 @@ impl ConnSource {
             mailbox.lock().push(completion);
             handle.notify();
         });
+        if outcome == crate::admission::Submitted::Rejected {
+            // Busy pushback: answered from the reactor thread, bypassing
+            // the very queue that is full.
+            let response = Response::from_error(&SwarmError::Busy(self.id));
+            let completion = encode_completion(self.id, None, mux_id, seq, response);
+            self.mailbox.lock().push(completion);
+            self.drain_mailbox();
+        }
         true
     }
 
@@ -913,6 +931,7 @@ fn encode_completion(
         Response::Data(b) => b.share(),
         Response::Located(Some(b)) => b.share(),
         Response::Batch(reply) => reply.data.share(),
+        Response::PeerData { data: Some(b), .. } => b.share(),
         _ => Bytes::new(),
     };
     m.server_bytes_out
@@ -1048,6 +1067,11 @@ fn raw_fd<T: std::os::fd::AsRawFd>(t: &T) -> epoll::RawFd {
 /// [`SwarmError::ServerUnavailable`] instead of wedging the caller.
 pub struct TcpTransport {
     servers: Mutex<BTreeMap<ServerId, SocketAddr>>,
+    /// Client-embedded peer responders (cooperative cache), each backed by
+    /// its own tiny listener. Kept apart from `servers` so they never
+    /// appear in [`Transport::servers`] — locate broadcasts and
+    /// reconstruction fan-out must not dial peers.
+    peers: Mutex<HashMap<ServerId, PeerEntry>>,
     call_timeout: Mutex<Option<Duration>>,
     runtime: Mutex<Runtime>,
     channels: Mutex<HashMap<(ServerId, ClientId), Arc<MuxChannel>>>,
@@ -1060,6 +1084,13 @@ pub struct TcpTransport {
 
 /// Lock serializing dials for one `(server, client)` pair.
 type DialLock = Arc<Mutex<()>>;
+
+/// A published peer responder: the listener serving it plus its address.
+/// Dropping the entry shuts the listener down and joins its threads.
+struct PeerEntry {
+    addr: SocketAddr,
+    _server: TcpServer,
+}
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -1081,6 +1112,7 @@ impl TcpTransport {
     pub fn new() -> Self {
         TcpTransport {
             servers: Mutex::new(BTreeMap::new()),
+            peers: Mutex::new(HashMap::new()),
             call_timeout: Mutex::new(Some(DEFAULT_CALL_TIMEOUT)),
             runtime: Mutex::new(Runtime::default_for_platform()),
             channels: Mutex::new(HashMap::new()),
@@ -1248,11 +1280,16 @@ impl Drop for TcpTransport {
 
 impl Transport for TcpTransport {
     fn connect(&self, server: ServerId, client: ClientId) -> Result<Box<dyn Connection>> {
-        let addr = *self
-            .servers
-            .lock()
-            .get(&server)
-            .ok_or(SwarmError::ServerUnavailable(server))?;
+        let addr = match self.servers.lock().get(&server) {
+            Some(addr) => *addr,
+            // Not a cluster member — maybe a published peer responder.
+            None => self
+                .peers
+                .lock()
+                .get(&server)
+                .map(|p| p.addr)
+                .ok_or(SwarmError::ServerUnavailable(server))?,
+        };
         if self.runtime() == Runtime::Epoll {
             // Fall back to the blocking stack only when the platform has
             // no reactor at all; dial failures propagate (the server is
@@ -1300,6 +1337,37 @@ impl Transport for TcpTransport {
 
     fn servers(&self) -> Vec<ServerId> {
         self.servers.lock().keys().copied().collect()
+    }
+}
+
+impl crate::transport::PeerHost for TcpTransport {
+    fn publish(&self, peer: ServerId, handler: Arc<dyn RequestHandler>) -> Result<()> {
+        // A peer responder serves cache-resident blocks only, so a narrow
+        // worker pool is plenty; the listener dies with the entry.
+        let server = TcpServer::spawn_with_config(
+            peer,
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )?;
+        let addr = server.addr();
+        self.peers.lock().insert(
+            peer,
+            PeerEntry {
+                addr,
+                _server: server,
+            },
+        );
+        Ok(())
+    }
+
+    fn withdraw(&self, peer: ServerId) {
+        self.close_channels_for(peer);
+        // Dropping the entry shuts the responder down and joins it.
+        self.peers.lock().remove(&peer);
     }
 }
 
@@ -1495,6 +1563,78 @@ mod tests {
                 roundtrip_against(&server, client_rt);
             }
         }
+    }
+
+    /// Peer responders published through [`PeerHost`] are dialable like
+    /// servers — over a real socket, speaking the PeerRead protocol —
+    /// but stay out of the member list, and withdrawing one makes later
+    /// dials fail.
+    #[test]
+    fn published_peer_responders_serve_peer_reads_over_tcp() {
+        use crate::transport::{peer_server_id, PeerHost};
+        use swarm_types::{BlockAddr, SwarmError};
+
+        struct OneBlock {
+            addr: BlockAddr,
+            data: Vec<u8>,
+        }
+        impl crate::handler::RequestHandler for OneBlock {
+            fn handle(&self, _client: ClientId, request: Request) -> Response {
+                match request {
+                    Request::PeerRead { addr, .. } => Response::PeerData {
+                        data: (addr == self.addr).then(|| self.data.clone().into()),
+                        hints: vec![crate::proto::HintSpec {
+                            addr: self.addr,
+                            holder: ClientId::new(7),
+                        }],
+                    },
+                    _ => Response::from_error(&SwarmError::invalid("peer only")),
+                }
+            }
+        }
+
+        let server = spawn_echo(1, Runtime::default_for_platform());
+        let transport = Arc::new(TcpTransport::with_servers([(server.id(), server.addr())]));
+        let addr = BlockAddr::new(FragmentId::new(ClientId::new(7), 3), 128, 11);
+        let peer = peer_server_id(ClientId::new(7));
+        transport
+            .publish(
+                peer,
+                Arc::new(OneBlock {
+                    addr,
+                    data: b"peer bytes!".to_vec(),
+                }),
+            )
+            .unwrap();
+
+        assert_eq!(
+            transport.servers(),
+            vec![server.id()],
+            "peers must not join the member list"
+        );
+
+        let mut conn = transport.connect(peer, ClientId::new(8)).unwrap();
+        match conn
+            .call(&Request::PeerRead {
+                addr,
+                hints: vec![],
+            })
+            .unwrap()
+        {
+            Response::PeerData { data, hints } => {
+                assert_eq!(data.as_deref(), Some(&b"peer bytes!"[..]));
+                assert_eq!(hints.len(), 1);
+                assert_eq!(hints[0].holder, ClientId::new(7));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        drop(conn);
+
+        transport.withdraw(peer);
+        assert!(
+            transport.connect(peer, ClientId::new(8)).is_err(),
+            "withdrawn peers must not be dialable"
+        );
     }
 
     #[test]
@@ -1851,6 +1991,83 @@ mod tests {
         assert_eq!(
             pool.call(ServerId::new(6), &Request::Ping).unwrap(),
             Response::Ok
+        );
+    }
+
+    /// A saturated epoll server with a bounded per-client backlog answers
+    /// excess stores with `Busy` pushback instead of queueing unboundedly;
+    /// reads are never bounced.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn saturated_epoll_server_bounces_stores_with_busy() {
+        struct SlowStore;
+        impl RequestHandler for SlowStore {
+            fn handle(&self, _client: ClientId, _request: Request) -> Response {
+                std::thread::sleep(Duration::from_millis(5));
+                Response::Ok
+            }
+        }
+        let server = TcpServer::spawn_with_config(
+            ServerId::new(9),
+            "127.0.0.1:0",
+            Arc::new(SlowStore),
+            ServerConfig {
+                runtime: Runtime::Epoll,
+                workers: 1,
+                admission: crate::admission::AdmissionConfig {
+                    quantum: 4096,
+                    max_client_backlog: 1,
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let throttled_before = swarm_metrics::snapshot().counter("server.client_throttled");
+        let transport = TcpTransport::with_servers([(server.id(), server.addr())]);
+        transport.set_runtime(Runtime::Epoll);
+        let mut conn = transport.connect(server.id(), ClientId::new(1)).unwrap();
+        // Pipeline a burst of stores: with one worker, a 5 ms handler, and
+        // a backlog of one, most of the burst must bounce.
+        let mut pending = Vec::new();
+        for i in 0..48 {
+            let prepared = PreparedRequest::new(Request::Store {
+                fid: FragmentId::new(ClientId::new(1), i),
+                marked: false,
+                ranges: vec![],
+                data: vec![0u8; 512].into(),
+            });
+            pending.push(conn.start_prepared(&prepared));
+        }
+        let mut busy = 0;
+        for p in pending {
+            match p.wait().unwrap().into_result() {
+                Ok(_) => {}
+                Err(SwarmError::Busy(s)) => {
+                    assert_eq!(s, server.id(), "Busy names the throttling server");
+                    busy += 1;
+                }
+                Err(e) => panic!("unexpected store outcome: {e}"),
+            }
+        }
+        assert!(busy > 0, "no store was throttled");
+        let throttled_after = swarm_metrics::snapshot().counter("server.client_throttled");
+        assert!(
+            throttled_after - throttled_before >= busy,
+            "throttle counter moved by {} for {busy} bounces",
+            throttled_after - throttled_before
+        );
+        // A read on the same saturated connection queues rather than
+        // bouncing (only stores are rejectable).
+        let resp = conn
+            .call(&Request::Read {
+                fid: FragmentId::new(ClientId::new(1), 0),
+                offset: 0,
+                len: 1,
+            })
+            .unwrap();
+        assert!(
+            !matches!(resp.into_result(), Err(SwarmError::Busy(_))),
+            "a read must never bounce with Busy"
         );
     }
 }

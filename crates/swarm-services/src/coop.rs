@@ -1,4 +1,5 @@
-//! Cooperative caching: clients serve each other's cache misses.
+//! Cooperative caching: clients serve each other's cache misses over the
+//! network.
 //!
 //! §2.2 lists "distributed cooperative caching \[14\]" (Sarkar &
 //! Hartman's hint-based scheme) among the services that can be layered on
@@ -9,19 +10,65 @@
 //! no central directory and no synchronization on the read path (Swarm's
 //! design goal, §2).
 //!
-//! The [`CoopCacheGroup`] is the rendezvous: each participating client
-//! registers a [`CoopCache`]; hints propagate lazily (on successful peer
-//! fetches and on local caching events). Wrong hints are harmless — the
-//! reader just falls through to the storage servers.
+//! The data path is a real RPC: each [`CoopCache`] publishes a tiny
+//! responder at [`peer_server_id`]`(client)` through the transport's
+//! [`PeerHost`] hosting (over TCP that is a client-embedded mux server;
+//! in-memory it is direct dispatch). Peers dial it like any storage
+//! server and issue `PeerRead`. Directory hints travel three ways:
+//!
+//! * piggybacked on every `PeerRead` request and `PeerData` response
+//!   (capped at [`MAX_PIGGYBACK_HINTS`] per frame);
+//! * pushed opportunistically via `PeerGossip` to [`GOSSIP_FANOUT`]
+//!   ring-order neighbours after a server fetch or local write;
+//! * never synchronized — a wrong hint costs one wasted probe, after
+//!   which the reader falls through to the home servers.
+//!
+//! The [`CoopCacheGroup`] is only the membership rendezvous (who is in
+//! the ring); all block data moves over the transport.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use swarm_log::Log;
-use swarm_types::{BlockAddr, Bytes, ClientId, Result};
+use swarm_net::{peer_server_id, HintSpec, PeerTransport, Request, RequestHandler, Response};
+use swarm_types::{BlockAddr, Bytes, ClientId, Result, SwarmError};
 
 use crate::cache::LruCache;
+
+/// Most hints a single `PeerRead`/`PeerData`/`PeerGossip` frame carries.
+pub const MAX_PIGGYBACK_HINTS: usize = 16;
+
+/// How many ring-order neighbours receive a `PeerGossip` push after a
+/// server fetch or local write.
+pub const GOSSIP_FANOUT: usize = 4;
+
+struct CoopMetrics {
+    local_hits: swarm_metrics::Counter,
+    peer_hits: swarm_metrics::Counter,
+    stale_hints: swarm_metrics::Counter,
+    server_fetches: swarm_metrics::Counter,
+    served_to_peers: swarm_metrics::Counter,
+    peer_errors: swarm_metrics::Counter,
+    gossip_sent: swarm_metrics::Counter,
+    gossip_received: swarm_metrics::Counter,
+}
+
+fn coop_metrics() -> &'static CoopMetrics {
+    static M: std::sync::OnceLock<CoopMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| CoopMetrics {
+        local_hits: swarm_metrics::counter("coop.local_hits"),
+        peer_hits: swarm_metrics::counter("coop.peer_hits"),
+        stale_hints: swarm_metrics::counter("coop.stale_hints"),
+        server_fetches: swarm_metrics::counter("coop.server_fetches"),
+        served_to_peers: swarm_metrics::counter("coop.served_to_peers"),
+        peer_errors: swarm_metrics::counter("coop.peer_errors"),
+        gossip_sent: swarm_metrics::counter("coop.gossip_sent"),
+        gossip_received: swarm_metrics::counter("coop.gossip_received"),
+    })
+}
 
 /// Statistics for one cooperative cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,22 +83,18 @@ pub struct CoopStats {
     pub server_fetches: u64,
     /// Blocks this client served to peers.
     pub served_to_peers: u64,
+    /// Peer probes that failed at the transport (peer dead or departed).
+    pub peer_errors: u64,
 }
 
-struct Member {
-    cache: Arc<Mutex<LruCache<BlockAddr, Bytes>>>,
-    hints: Arc<Mutex<LruCache<BlockAddr, ClientId>>>,
-    served: Arc<Mutex<u64>>,
-}
-
-/// The set of clients cooperating on one machine-room's caches.
+/// The set of clients cooperating over one transport.
 ///
-/// (In the paper's setting peers talk over the same switched network as
-/// the servers; here the group is an in-process registry — the hint
-/// protocol and its staleness behaviour are what matter.)
+/// Purely a membership rendezvous: it tells each member who its
+/// gossip-ring neighbours are. Block data and hints move over the
+/// transport, not through this registry.
 #[derive(Default)]
 pub struct CoopCacheGroup {
-    members: RwLock<HashMap<ClientId, Member>>,
+    members: RwLock<BTreeSet<ClientId>>,
 }
 
 impl std::fmt::Debug for CoopCacheGroup {
@@ -68,136 +111,300 @@ impl CoopCacheGroup {
         Arc::new(CoopCacheGroup::default())
     }
 
-    /// Asks `peer` for a block (a peer-cache probe).
-    fn probe(&self, peer: ClientId, addr: BlockAddr) -> Option<Bytes> {
-        let members = self.members.read();
-        let member = members.get(&peer)?;
-        let hit = member.cache.lock().get(&addr).map(Bytes::share);
-        if hit.is_some() {
-            *member.served.lock() += 1;
-        }
-        hit
+    /// Current members, in id order (diagnostics/tests).
+    pub fn members(&self) -> Vec<ClientId> {
+        self.members.read().iter().copied().collect()
     }
 
-    /// Delivers the hint "`holder` caches `addr`" to every other member
-    /// (the piggybacked hint exchange of the cited design; here an
-    /// in-process delivery).
-    fn announce(&self, holder: ClientId, addr: BlockAddr) {
+    /// The next [`GOSSIP_FANOUT`] members after `from` in ring order.
+    /// Deterministic by construction, so seeded harnesses replay.
+    fn gossip_targets(&self, from: ClientId) -> Vec<ClientId> {
         let members = self.members.read();
-        for (peer, member) in members.iter() {
-            if *peer != holder {
-                member.hints.lock().insert(addr, holder);
+        members
+            .iter()
+            .copied()
+            .filter(|m| *m > from)
+            .chain(members.iter().copied().filter(|m| *m < from))
+            .take(GOSSIP_FANOUT)
+            .collect()
+    }
+}
+
+/// State shared between a [`CoopCache`] front end and its network
+/// responder (which runs on transport threads).
+struct Shared {
+    client: ClientId,
+    cache: Mutex<LruCache<BlockAddr, Bytes>>,
+    /// Hints: block → peer believed to cache it. Possibly stale by
+    /// design; never synchronized.
+    hints: Mutex<LruCache<BlockAddr, ClientId>>,
+    /// Recently learned "I cache X" facts, drained onto outgoing frames
+    /// (the piggybacked directory gossip). Bounded; oldest fall off.
+    recent: Mutex<VecDeque<HintSpec>>,
+    served_to_peers: AtomicU64,
+}
+
+impl Shared {
+    /// Folds piggybacked hints from a peer into the local directory.
+    fn absorb(&self, hints: &[HintSpec]) {
+        let mut table = self.hints.lock();
+        for h in hints {
+            if h.holder != self.client {
+                table.insert(h.addr, h.holder);
             }
+        }
+    }
+
+    /// Records that this client now caches `addr`, for future gossip.
+    fn note_cached(&self, addr: BlockAddr) {
+        let mut recent = self.recent.lock();
+        recent.retain(|h| h.addr != addr);
+        recent.push_back(HintSpec {
+            addr,
+            holder: self.client,
+        });
+        while recent.len() > MAX_PIGGYBACK_HINTS * 4 {
+            recent.pop_front();
+        }
+    }
+
+    /// Newest facts to ride an outgoing frame (not drained: hints are
+    /// cheap and repeating them tolerates loss).
+    fn outgoing_hints(&self) -> Vec<HintSpec> {
+        let recent = self.recent.lock();
+        recent
+            .iter()
+            .rev()
+            .take(MAX_PIGGYBACK_HINTS)
+            .copied()
+            .collect()
+    }
+}
+
+/// The client-embedded network responder for one cooperative cache.
+struct PeerResponder {
+    shared: Arc<Shared>,
+}
+
+impl RequestHandler for PeerResponder {
+    fn handle(&self, _client: ClientId, request: Request) -> Response {
+        match request {
+            Request::PeerRead { addr, hints } => {
+                self.shared.absorb(&hints);
+                let data = self.shared.cache.lock().get(&addr).map(Bytes::share);
+                if data.is_some() {
+                    self.shared.served_to_peers.fetch_add(1, Ordering::Relaxed);
+                    coop_metrics().served_to_peers.inc();
+                }
+                Response::PeerData {
+                    data,
+                    hints: self.shared.outgoing_hints(),
+                }
+            }
+            Request::PeerGossip { hints } => {
+                self.shared.absorb(&hints);
+                coop_metrics().gossip_received.inc();
+                Response::Ok
+            }
+            _ => Response::from_error(&SwarmError::invalid(
+                "peer responders serve PeerRead/PeerGossip only",
+            )),
+        }
+    }
+
+    /// Peer reads are pure in-memory lookups — safe on a reactor thread.
+    fn try_handle_fast(&self, client: ClientId, request: &Request) -> Option<Response> {
+        match request {
+            Request::PeerRead { .. } | Request::PeerGossip { .. } => {
+                Some(self.handle(client, request.clone()))
+            }
+            _ => None,
         }
     }
 }
 
 /// One client's cooperatively-shared block cache over a [`Log`].
 pub struct CoopCache {
-    client: ClientId,
     log: Arc<Log>,
     group: Arc<CoopCacheGroup>,
-    cache: Arc<Mutex<LruCache<BlockAddr, Bytes>>>,
-    served: Arc<Mutex<u64>>,
-    /// Hints: block → peer believed to cache it. Possibly stale by
-    /// design; never synchronized.
-    hints: Arc<Mutex<LruCache<BlockAddr, ClientId>>>,
+    transport: Arc<dyn PeerTransport>,
+    shared: Arc<Shared>,
     stats: Mutex<CoopStats>,
 }
 
 impl std::fmt::Debug for CoopCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoopCache")
-            .field("client", &self.client)
-            .field("stats", &*self.stats.lock())
+            .field("client", &self.shared.client)
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl CoopCache {
-    /// Joins `group` with a cache of `capacity` blocks.
+    /// Joins `group` with a cache of `capacity` blocks, publishing this
+    /// client's peer responder on `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transport cannot host the responder (e.g. a TCP
+    /// listener cannot be bound).
     pub fn join(
         group: Arc<CoopCacheGroup>,
         client: ClientId,
         log: Arc<Log>,
         capacity: usize,
-    ) -> Arc<CoopCache> {
-        let cache = Arc::new(Mutex::new(LruCache::new(capacity)));
-        let served = Arc::new(Mutex::new(0));
-        let hints = Arc::new(Mutex::new(LruCache::new(capacity * 4)));
-        group.members.write().insert(
+        transport: Arc<dyn PeerTransport>,
+    ) -> Result<Arc<CoopCache>> {
+        let shared = Arc::new(Shared {
             client,
-            Member {
-                cache: cache.clone(),
-                hints: hints.clone(),
-                served: served.clone(),
-            },
-        );
-        Arc::new(CoopCache {
-            client,
+            cache: Mutex::new(LruCache::new(capacity)),
+            hints: Mutex::new(LruCache::new(capacity * 4)),
+            recent: Mutex::new(VecDeque::new()),
+            served_to_peers: AtomicU64::new(0),
+        });
+        transport.publish(
+            peer_server_id(client),
+            Arc::new(PeerResponder {
+                shared: shared.clone(),
+            }),
+        )?;
+        group.members.write().insert(client);
+        Ok(Arc::new(CoopCache {
             log,
             group,
-            cache,
-            served,
-            hints,
+            transport,
+            shared,
             stats: Mutex::new(CoopStats::default()),
-        })
+        }))
     }
 
-    /// Leaves the group (on client shutdown).
+    /// Leaves the group (on client shutdown): withdraws the responder so
+    /// peers' dials fail fast and fall through to the home servers.
     pub fn leave(&self) {
-        self.group.members.write().remove(&self.client);
+        self.group.members.write().remove(&self.shared.client);
+        self.transport.withdraw(peer_server_id(self.shared.client));
+    }
+
+    /// This cache's client id.
+    pub fn client(&self) -> ClientId {
+        self.shared.client
     }
 
     /// Plants a hint: "peer probably caches `addr`". Hints arrive from
-    /// peers' caching announcements or out-of-band knowledge; they are
-    /// never verified eagerly.
+    /// peers' gossip or out-of-band knowledge; they are never verified
+    /// eagerly.
     pub fn hint(&self, addr: BlockAddr, peer: ClientId) {
-        if peer != self.client {
-            self.hints.lock().insert(addr, peer);
+        if peer != self.shared.client {
+            self.shared.hints.lock().insert(addr, peer);
         }
     }
 
-    /// Reads a block: own cache → hinted peer → storage servers.
+    /// Reads a block: own cache → hinted peer (one RPC) → storage
+    /// servers. A dead or stale peer costs one bounded probe, after which
+    /// the home-server read path (including reconstruction) takes over.
     ///
     /// # Errors
     ///
     /// Propagates server errors when both cache tiers miss.
     pub fn read(&self, addr: BlockAddr) -> Result<Bytes> {
-        if let Some(hit) = self.cache.lock().get(&addr).map(Bytes::share) {
+        if let Some(hit) = self.shared.cache.lock().get(&addr).map(Bytes::share) {
             self.stats.lock().local_hits += 1;
+            coop_metrics().local_hits.inc();
             return Ok(hit);
         }
         // Hint path: one probe, no retries (the cited design keeps the
         // miss penalty bounded).
-        let hinted = self.hints.lock().get(&addr).copied();
+        let hinted = self.shared.hints.lock().get(&addr).copied();
         if let Some(peer) = hinted {
-            if let Some(block) = self.group.probe(peer, addr) {
-                self.stats.lock().peer_hits += 1;
-                self.cache.lock().insert(addr, block.share());
-                return Ok(block);
+            match self.probe(peer, addr) {
+                Ok(Some(block)) => {
+                    self.stats.lock().peer_hits += 1;
+                    coop_metrics().peer_hits.inc();
+                    self.shared.cache.lock().insert(addr, block.share());
+                    self.shared.note_cached(addr);
+                    return Ok(block);
+                }
+                Ok(None) => {
+                    self.stats.lock().stale_hints += 1;
+                    coop_metrics().stale_hints.inc();
+                    self.shared.hints.lock().remove(&addr);
+                }
+                Err(_) => {
+                    // Peer dead/departed: drop the hint and fall through
+                    // to the home servers — never an error for the reader.
+                    self.stats.lock().peer_errors += 1;
+                    coop_metrics().peer_errors.inc();
+                    self.shared.hints.lock().remove(&addr);
+                }
             }
-            self.stats.lock().stale_hints += 1;
-            self.hints.lock().remove(&addr);
         }
         let block = self.log.read(addr)?;
         self.stats.lock().server_fetches += 1;
-        self.cache.lock().insert(addr, block.share());
-        // Tell peers where this block now lives (hint propagation).
-        self.group.announce(self.client, addr);
+        coop_metrics().server_fetches.inc();
+        self.shared.cache.lock().insert(addr, block.share());
+        self.shared.note_cached(addr);
+        self.announce();
         Ok(block)
     }
 
-    /// Inserts locally-written data and announces it to peers.
+    /// Inserts locally-written data and gossips its location to peers.
     pub fn put(&self, addr: BlockAddr, data: Bytes) {
-        self.cache.lock().insert(addr, data);
-        self.group.announce(self.client, addr);
+        self.shared.cache.lock().insert(addr, data);
+        self.shared.note_cached(addr);
+        self.announce();
+    }
+
+    /// One `PeerRead` RPC to `peer`'s responder, hints piggybacked both
+    /// ways.
+    fn probe(&self, peer: ClientId, addr: BlockAddr) -> Result<Option<Bytes>> {
+        let mut conn = self
+            .transport
+            .connect(peer_server_id(peer), self.shared.client)?;
+        let request = Request::PeerRead {
+            addr,
+            hints: self.shared.outgoing_hints(),
+        };
+        match conn.call(&request)? {
+            Response::PeerData { data, hints } => {
+                self.shared.absorb(&hints);
+                Ok(data)
+            }
+            Response::Err { .. } => Ok(None),
+            other => Err(SwarmError::corrupt(format!(
+                "unexpected peer response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Pushes this client's newest directory facts to its ring
+    /// neighbours. Best-effort: an unreachable neighbour is skipped.
+    fn announce(&self) {
+        let hints = self.shared.outgoing_hints();
+        if hints.is_empty() {
+            return;
+        }
+        for peer in self.group.gossip_targets(self.shared.client) {
+            let Ok(mut conn) = self
+                .transport
+                .connect(peer_server_id(peer), self.shared.client)
+            else {
+                coop_metrics().peer_errors.inc();
+                continue;
+            };
+            match conn.call(&Request::PeerGossip {
+                hints: hints.clone(),
+            }) {
+                Ok(_) => coop_metrics().gossip_sent.inc(),
+                Err(_) => coop_metrics().peer_errors.inc(),
+            }
+        }
     }
 
     /// Statistics snapshot (including blocks served to peers).
     pub fn stats(&self) -> CoopStats {
         let mut s = *self.stats.lock();
-        s.served_to_peers = *self.served.lock();
+        s.served_to_peers = self.shared.served_to_peers.load(Ordering::Relaxed);
         s
     }
 }
@@ -238,22 +445,33 @@ mod tests {
         (transport, servers, log1, log2)
     }
 
+    fn join(
+        t: &Arc<MemTransport>,
+        group: &Arc<CoopCacheGroup>,
+        c: u32,
+        log: Arc<Log>,
+        cap: usize,
+    ) -> Arc<CoopCache> {
+        CoopCache::join(group.clone(), ClientId::new(c), log, cap, t.clone()).unwrap()
+    }
+
     #[test]
     fn peer_hit_avoids_the_server() {
-        let (_t, servers, log1, log2) = setup();
+        let (t, servers, log1, log2) = setup();
         let addr = log1.append_block(SVC, b"", b"shared hot block").unwrap();
         log1.flush().unwrap();
 
         let group = CoopCacheGroup::new();
-        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
-        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        let c1 = join(&t, &group, 1, log1, 16);
+        let c2 = join(&t, &group, 2, log2, 16);
 
-        // Client 1 reads from the servers; the announce plants a hint at
-        // client 2.
+        // Client 1 reads from the servers; the gossip push plants a hint
+        // at client 2.
         assert_eq!(&*c1.read(addr).unwrap(), b"shared hot block");
         let reads_before: u64 = servers.iter().map(|s| s.stats().reads).sum();
 
-        // Client 2's read is served by client 1's cache — zero server I/O.
+        // Client 2's read is served by client 1's cache over a PeerRead
+        // RPC — zero storage-server I/O.
         assert_eq!(&*c2.read(addr).unwrap(), b"shared hot block");
         let reads_after: u64 = servers.iter().map(|s| s.stats().reads).sum();
         assert_eq!(reads_after, reads_before, "peer hit must not touch servers");
@@ -263,21 +481,22 @@ mod tests {
 
     #[test]
     fn stale_hints_fall_through_to_servers() {
-        let (_t, _servers, log1, log2) = setup();
+        let (t, _servers, log1, log2) = setup();
         let addr = log1.append_block(SVC, b"", b"evictable").unwrap();
         log1.flush().unwrap();
 
         let group = CoopCacheGroup::new();
-        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 1);
-        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
-        c1.read(addr).unwrap(); // hint planted at c2
+        let c1 = join(&t, &group, 1, log1, 1);
+        let c2 = join(&t, &group, 2, log2, 16);
+        c1.read(addr).unwrap(); // hint gossiped to c2
 
         // Evict it from c1 by filling its 1-slot cache with another block.
         let other = c1.log.append_block(SVC, b"", b"evictor").unwrap();
         c1.log.flush().unwrap();
         c1.read(other).unwrap();
 
-        // c2 follows the stale hint, misses, and falls through.
+        // c2 follows the stale hint, misses over the wire, and falls
+        // through.
         assert_eq!(&*c2.read(addr).unwrap(), b"evictable");
         let s = c2.stats();
         assert_eq!(s.stale_hints, 1);
@@ -286,12 +505,12 @@ mod tests {
 
     #[test]
     fn own_cache_beats_peers_and_servers() {
-        let (_t, _servers, log1, log2) = setup();
+        let (t, _servers, log1, log2) = setup();
         let addr = log1.append_block(SVC, b"", b"mine").unwrap();
         log1.flush().unwrap();
         let group = CoopCacheGroup::new();
-        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
-        let _c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        let c1 = join(&t, &group, 1, log1, 16);
+        let _c2 = join(&t, &group, 2, log2, 16);
         c1.read(addr).unwrap();
         c1.read(addr).unwrap();
         let s = c1.stats();
@@ -301,12 +520,12 @@ mod tests {
 
     #[test]
     fn put_announces_written_data() {
-        let (_t, servers, log1, log2) = setup();
+        let (t, servers, log1, log2) = setup();
         let addr = log1.append_block(SVC, b"", b"fresh write").unwrap();
         log1.flush().unwrap();
         let group = CoopCacheGroup::new();
-        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
-        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        let c1 = join(&t, &group, 1, log1, 16);
+        let c2 = join(&t, &group, 2, log2, 16);
         // The writer seeds its cache directly (no server read at all).
         c1.put(addr, Bytes::from(b"fresh write".to_vec()));
         let reads_before: u64 = servers.iter().map(|s| s.stats().reads).sum();
@@ -317,17 +536,60 @@ mod tests {
 
     #[test]
     fn leaving_the_group_stops_serving() {
-        let (_t, _servers, log1, log2) = setup();
+        let (t, _servers, log1, log2) = setup();
         let addr = log1.append_block(SVC, b"", b"going away").unwrap();
         log1.flush().unwrap();
         let group = CoopCacheGroup::new();
-        let c1 = CoopCache::join(group.clone(), ClientId::new(1), log1, 16);
-        let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 16);
+        let c1 = join(&t, &group, 1, log1, 16);
+        let c2 = join(&t, &group, 2, log2, 16);
         c1.read(addr).unwrap();
         c1.leave();
-        // The hint now points at a departed member: clean fall-through.
+        // The hint now points at a departed responder: the dial fails
+        // and the read falls through cleanly.
         assert_eq!(&*c2.read(addr).unwrap(), b"going away");
-        assert_eq!(c2.stats().peer_hits, 0);
-        assert_eq!(c2.stats().server_fetches, 1);
+        let s = c2.stats();
+        assert_eq!(s.peer_hits, 0);
+        assert_eq!(s.server_fetches, 1);
+        assert_eq!(s.peer_errors, 1);
+    }
+
+    #[test]
+    fn hints_piggyback_on_peer_reads() {
+        let (t, _servers, log1, log2) = setup();
+        let a = log1.append_block(SVC, b"", b"block a").unwrap();
+        let b = log1.append_block(SVC, b"", b"block b").unwrap();
+        log1.flush().unwrap();
+
+        let group = CoopCacheGroup::new();
+        let c1 = join(&t, &group, 1, log1, 16);
+        let c2 = join(&t, &group, 2, log2, 16);
+
+        // c1 caches both blocks; gossip reaches c2 for both, but wipe
+        // c2's view of `b` to prove the piggyback path refills it.
+        c1.read(a).unwrap();
+        c1.read(b).unwrap();
+        c2.shared.hints.lock().remove(&b);
+
+        // The PeerRead for `a` carries c1's recent facts back, including
+        // "I cache b".
+        c2.read(a).unwrap();
+        assert_eq!(c2.shared.hints.lock().get(&b).copied(), Some(c1.client()));
+    }
+
+    #[test]
+    fn gossip_ring_skips_self_and_wraps() {
+        let group = CoopCacheGroup::new();
+        for c in [1u32, 2, 3] {
+            group.members.write().insert(ClientId::new(c));
+        }
+        assert_eq!(
+            group.gossip_targets(ClientId::new(2)),
+            vec![ClientId::new(3), ClientId::new(1)]
+        );
+        // Non-members gossip to everyone after their slot.
+        assert_eq!(
+            group.gossip_targets(ClientId::new(9)),
+            vec![ClientId::new(1), ClientId::new(2), ClientId::new(3)]
+        );
     }
 }

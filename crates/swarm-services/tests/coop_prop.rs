@@ -1,0 +1,182 @@
+//! Property tests for the networked cooperative cache (DESIGN.md §18):
+//! random peer populations with mid-run churn (join/leave), random server
+//! outages, and interleaved reads/writes. The invariant is absolute —
+//! every read returns byte-exact data whether it was served from the
+//! reader's own cache, a peer's cache over `PeerRead`, the home servers,
+//! or parity reconstruction — and a stale directory entry may cost a
+//! wasted probe but never wrong bytes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use swarm_log::{Log, LogConfig};
+use swarm_net::MemTransport;
+use swarm_server::{MemStore, StorageServer};
+use swarm_services::{CoopCache, CoopCacheGroup};
+use swarm_types::{BlockAddr, Bytes, ClientId, ServerId, ServiceId};
+
+const SVC: ServiceId = ServiceId::new(1);
+const SERVERS: u32 = 3;
+const CLIENTS: u32 = 5;
+
+fn cluster() -> Arc<MemTransport> {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..SERVERS {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    transport
+}
+
+fn log_for(transport: &Arc<MemTransport>, client: u32) -> Arc<Log> {
+    let cfg = LogConfig::new(
+        ClientId::new(client),
+        (0..SERVERS).map(ServerId::new).collect(),
+    )
+    .unwrap()
+    .fragment_size(4096)
+    .cache_fragments(0); // the coop cache is the only cache tier under test
+    Arc::new(Log::create(transport.clone(), cfg).unwrap())
+}
+
+/// One step of a random cooperative-cache workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Client `reader` reads block `block` (both mod the live sizes).
+    Read { reader: u32, block: usize },
+    /// Client `who` leaves if joined, rejoins (fresh, empty cache) if not.
+    Churn { who: u32 },
+    /// Take server `which` down, or bring the downed server back. At
+    /// most one server is ever down (the stripe parity budget).
+    FlipServer { which: u32 },
+    /// Client 1 appends a fresh block and seeds its cache via `put`.
+    Write { data: Vec<u8> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..CLIENTS, 0usize..64).prop_map(|(reader, block)| Op::Read { reader, block }),
+        2 => (0..CLIENTS).prop_map(|who| Op::Churn { who }),
+        1 => (0..SERVERS).prop_map(|which| Op::FlipServer { which }),
+        2 => proptest::collection::vec(any::<u8>(), 1..700).prop_map(|data| Op::Write { data }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_every_read_is_byte_exact_under_churn(
+        seed_blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..700), 1..6),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let transport = cluster();
+        let group = CoopCacheGroup::new();
+
+        // Client ids 1..=CLIENTS participate; each keeps its own log
+        // handle for the whole run and a cache slot that churns.
+        let logs: Vec<Arc<Log>> =
+            (1..=CLIENTS).map(|c| log_for(&transport, c)).collect();
+        let mut caches: Vec<Option<Arc<CoopCache>>> = (0..CLIENTS as usize)
+            .map(|i| {
+                Some(
+                    CoopCache::join(
+                        group.clone(),
+                        ClientId::new(i as u32 + 1),
+                        logs[i].clone(),
+                        8,
+                        transport.clone(),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+
+        // Seed shared blocks from client 1's log.
+        let mut blocks: Vec<(BlockAddr, Vec<u8>)> = Vec::new();
+        for data in &seed_blocks {
+            let addr = logs[0].append_block(SVC, b"", data).unwrap();
+            blocks.push((addr, data.clone()));
+        }
+        logs[0].flush().unwrap();
+
+        let mut down: Option<u32> = None;
+        for op in ops {
+            match op {
+                Op::Read { reader, block } => {
+                    let i = reader as usize;
+                    let (addr, expect) = &blocks[block % blocks.len()];
+                    match &caches[i] {
+                        Some(cache) => {
+                            let got = cache.read(*addr).unwrap();
+                            prop_assert_eq!(&*got, &expect[..], "coop read, client {}", i + 1);
+                        }
+                        None => {
+                            // Departed clients read straight from the log.
+                            let got = logs[i].read(*addr).unwrap();
+                            prop_assert_eq!(&*got, &expect[..], "log read, client {}", i + 1);
+                        }
+                    }
+                }
+                Op::Churn { who } => {
+                    let i = who as usize;
+                    match caches[i].take() {
+                        Some(cache) => cache.leave(),
+                        None => {
+                            caches[i] = Some(
+                                CoopCache::join(
+                                    group.clone(),
+                                    ClientId::new(who + 1),
+                                    logs[i].clone(),
+                                    8,
+                                    transport.clone(),
+                                )
+                                .unwrap(),
+                            );
+                        }
+                    }
+                }
+                Op::FlipServer { which } => match down {
+                    Some(d) => {
+                        transport.set_down(ServerId::new(d), false);
+                        down = None;
+                    }
+                    None => {
+                        transport.set_down(ServerId::new(which), true);
+                        down = Some(which);
+                    }
+                },
+                Op::Write { data } => {
+                    // Writes need the full stripe group: restore any
+                    // downed server first (reads still exercised the
+                    // reconstruction path while it was down).
+                    if let Some(d) = down.take() {
+                        transport.set_down(ServerId::new(d), false);
+                    }
+                    let addr = logs[0].append_block(SVC, b"", &data).unwrap();
+                    logs[0].flush().unwrap();
+                    if let Some(cache) = &caches[0] {
+                        cache.put(addr, Bytes::from(data.clone()));
+                    }
+                    blocks.push((addr, data));
+                }
+            }
+        }
+
+        // Final sweep: every member (and every departed client, via its
+        // log) sees every block byte-exact, whatever the hint tables say.
+        if let Some(d) = down {
+            transport.set_down(ServerId::new(d), false);
+        }
+        for (i, slot) in caches.iter().enumerate() {
+            for (addr, expect) in &blocks {
+                let got = match slot {
+                    Some(cache) => cache.read(*addr).unwrap(),
+                    None => logs[i].read(*addr).unwrap(),
+                };
+                prop_assert_eq!(&*got, &expect[..], "final sweep, client {}", i + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Concurrent stress over the networked cooperative cache: many client
+//! threads read and write through their caches while one member churns
+//! (leave/rejoin) and raw `PeerRead`s hammer a responder from outside.
+//! Run under ThreadSanitizer in CI — the peer responder executes on
+//! transport threads concurrently with its owner's front-end calls, and
+//! this test exists to race those paths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use swarm_log::{Log, LogConfig};
+use swarm_net::{peer_server_id, MemTransport, Request, Response, Transport};
+use swarm_server::{MemStore, StorageServer};
+use swarm_services::{CoopCache, CoopCacheGroup};
+use swarm_types::{BlockAddr, ClientId, ServerId, ServiceId};
+
+const SVC: ServiceId = ServiceId::new(1);
+const SERVERS: u32 = 3;
+const WORKERS: u32 = 4;
+const READS_PER_WORKER: usize = 300;
+
+fn log_for(transport: &Arc<MemTransport>, client: u32) -> Arc<Log> {
+    let cfg = LogConfig::new(
+        ClientId::new(client),
+        (0..SERVERS).map(ServerId::new).collect(),
+    )
+    .unwrap()
+    .fragment_size(4096)
+    .cache_fragments(0);
+    Arc::new(Log::create(transport.clone(), cfg).unwrap())
+}
+
+#[test]
+fn concurrent_readers_with_churn_and_raw_probes() {
+    let transport = Arc::new(MemTransport::new());
+    for i in 0..SERVERS {
+        let srv = StorageServer::new(ServerId::new(i), MemStore::new()).into_shared();
+        transport.register(ServerId::new(i), srv);
+    }
+    let group = CoopCacheGroup::new();
+
+    // Seed blocks from client 1's log; every block's contents are a
+    // function of its index so readers can verify without a shared map.
+    let writer_log = log_for(&transport, 1);
+    let blocks: Vec<(BlockAddr, Vec<u8>)> = (0..16u8)
+        .map(|i| {
+            let data = vec![i ^ 0x5a; 64 + i as usize * 7];
+            let addr = writer_log.append_block(SVC, b"", &data).unwrap();
+            (addr, data)
+        })
+        .collect();
+    writer_log.flush().unwrap();
+
+    let caches: Vec<Arc<CoopCache>> = (1..=WORKERS)
+        .map(|c| {
+            let log = if c == 1 {
+                writer_log.clone()
+            } else {
+                log_for(&transport, c)
+            };
+            CoopCache::join(group.clone(), ClientId::new(c), log, 8, transport.clone()).unwrap()
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let blocks = Arc::new(blocks);
+    let mut readers = Vec::new();
+    let mut background = Vec::new();
+
+    // Reader threads: each hammers its own cache with an LCG-scrambled
+    // block sequence, verifying every byte.
+    for (w, cache) in caches.iter().enumerate() {
+        let cache = cache.clone();
+        let blocks = blocks.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut x = 0x9e37u32.wrapping_add(w as u32);
+            for _ in 0..READS_PER_WORKER {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                let (addr, expect) = &blocks[(x >> 8) as usize % blocks.len()];
+                let got = cache.read(*addr).unwrap();
+                assert_eq!(&*got, &expect[..], "worker {w}");
+            }
+        }));
+    }
+
+    // Churn thread: one extra member joins and leaves in a tight loop,
+    // racing the others' gossip pushes and hinted probes at it.
+    {
+        let transport = transport.clone();
+        let group = group.clone();
+        let stop = stop.clone();
+        let churn_log = log_for(&transport, WORKERS + 1);
+        background.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let cache = CoopCache::join(
+                    group.clone(),
+                    ClientId::new(WORKERS + 1),
+                    churn_log.clone(),
+                    4,
+                    transport.clone(),
+                )
+                .unwrap();
+                cache.leave();
+            }
+        }));
+    }
+
+    // Raw-probe thread: dials worker 1's responder directly and issues
+    // PeerReads (including for blocks it never cached) while its owner
+    // is mutating the same cache.
+    {
+        let transport = transport.clone();
+        let blocks = blocks.clone();
+        let stop = stop.clone();
+        background.push(std::thread::spawn(move || {
+            let peer = peer_server_id(ClientId::new(1));
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(mut conn) = transport.connect(peer, ClientId::new(99)) else {
+                    continue;
+                };
+                for (addr, expect) in blocks.iter() {
+                    match conn.call(&Request::PeerRead {
+                        addr: *addr,
+                        hints: vec![],
+                    }) {
+                        Ok(Response::PeerData { data, .. }) => {
+                            if let Some(d) = data {
+                                assert_eq!(&*d, &expect[..], "raw probe returned wrong bytes");
+                            }
+                        }
+                        Ok(other) => panic!("unexpected response: {other:?}"),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }));
+    }
+
+    // Readers finish first; then wind down the churn/probe threads.
+    for t in readers {
+        t.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in background {
+        t.join().unwrap();
+    }
+
+    // Cooperation actually happened: someone served someone.
+    let served: u64 = caches.iter().map(|c| c.stats().served_to_peers).sum();
+    let peer_hits: u64 = caches.iter().map(|c| c.stats().peer_hits).sum();
+    assert!(peer_hits > 0, "no peer hits in a shared hot set");
+    assert!(served > 0, "no blocks served to peers");
+}

@@ -47,6 +47,10 @@ pub enum SwarmError {
     AclNotFound(Aid),
     /// The server is unreachable or has crashed.
     ServerUnavailable(ServerId),
+    /// The server is up but refused admission: its fair-queueing layer
+    /// bounded this client's backlog. Retryable pushback, not a failure —
+    /// the writer backs off and resubmits on the same connection.
+    Busy(ServerId),
     /// Not enough surviving fragments in the stripe to reconstruct.
     ReconstructionFailed {
         /// Fragment we tried to rebuild.
@@ -115,6 +119,7 @@ impl fmt::Display for SwarmError {
             }
             SwarmError::AclNotFound(aid) => write!(f, "no such acl {aid}"),
             SwarmError::ServerUnavailable(s) => write!(f, "server {s} unavailable"),
+            SwarmError::Busy(s) => write!(f, "server {s} busy (admission throttled)"),
             SwarmError::ReconstructionFailed { fid, reason } => {
                 write!(f, "cannot reconstruct fragment {fid}: {reason}")
             }

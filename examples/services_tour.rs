@@ -96,8 +96,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = log2.append_block(ServiceId::new(9), b"", b"hot shared block")?;
     log2.flush()?;
     let group = CoopCacheGroup::new();
-    let c1 = CoopCache::join(group.clone(), ClientId::new(1), log.clone(), 64);
-    let c2 = CoopCache::join(group.clone(), ClientId::new(2), log2, 64);
+    let c1 = CoopCache::join(
+        group.clone(),
+        ClientId::new(1),
+        log.clone(),
+        64,
+        cluster.transport(),
+    )?;
+    let c2 = CoopCache::join(
+        group.clone(),
+        ClientId::new(2),
+        log2,
+        64,
+        cluster.transport(),
+    )?;
     c2.read(addr)?; // fetches from the servers, announces a hint
     c1.read(addr)?; // served from client 2's memory
     println!(
